@@ -1,0 +1,37 @@
+// Command pondbench prints the workload-sensitivity studies: per-class
+// slowdowns under CXL latency (Figure 4), the slowdown CDF (Figure 5),
+// zNUMA traffic for the internal workloads (Figure 15), and the spill
+// sensitivity study (Figure 16).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pond/internal/experiments"
+)
+
+func main() {
+	figs := flag.String("figures", "4,5,15,16",
+		"comma-separated list of figures to print (4,5,15,16)")
+	flag.Parse()
+
+	for _, f := range strings.Split(*figs, ",") {
+		switch strings.TrimSpace(f) {
+		case "4":
+			fmt.Println(experiments.Figure4())
+		case "5":
+			fmt.Println(experiments.Figure5())
+		case "15":
+			fmt.Println(experiments.Figure15())
+		case "16":
+			fmt.Println(experiments.Figure16())
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "pondbench: unknown figure %q\n", f)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command pondml trains and evaluates Pond's prediction models: the
+// latency-insensitivity comparison (Figure 17), the untouched-memory
+// model against the fixed strawman (Figure 18), the production-style
+// rolling evaluation (Figure 19), the combined Eq. (1) frontier
+// (Figure 20), and the forest-size ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pond/internal/experiments"
+)
+
+func main() {
+	figs := flag.String("figures", "17,18,19,20,ablation,audit",
+		"comma-separated list of figures to print (17,18,19,20,ablation,audit)")
+	folds := flag.Int("folds", 20, "cross-validation folds for Figure 17/20 (paper: 100)")
+	scaleFlag := flag.String("scale", "quick", "trace scale: quick, full, or paper")
+	flag.Parse()
+
+	scale := parseScale(*scaleFlag)
+	for _, f := range strings.Split(*figs, ",") {
+		switch strings.TrimSpace(f) {
+		case "17":
+			fmt.Println(experiments.Figure17(*folds, 3))
+		case "18":
+			fmt.Println(experiments.Figure18(scale))
+		case "19":
+			fmt.Println(experiments.Figure19(scale, 7))
+		case "20":
+			fmt.Println(experiments.Figure20(scale, *folds))
+		case "ablation":
+			fmt.Println(experiments.AblationForestSize(*folds))
+		case "audit":
+			fmt.Println(experiments.CounterAudit(8))
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "pondml: unknown figure %q\n", f)
+			os.Exit(2)
+		}
+	}
+}
+
+func parseScale(s string) experiments.Scale {
+	switch s {
+	case "quick":
+		return experiments.ScaleQuick
+	case "paper":
+		return experiments.ScalePaper
+	default:
+		return experiments.ScaleFull
+	}
+}

@@ -1,0 +1,67 @@
+// Command pondreport regenerates the complete evaluation in one run: all
+// figures, findings, and ablations, in paper order. It is the one-command
+// reproduction entry point; expect a few minutes at -scale=quick and
+// substantially longer at -scale=paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"pond/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "trace scale: quick, full, or paper")
+	folds := flag.Int("folds", 10, "cross-validation folds (paper: 100)")
+	flag.Parse()
+
+	scale := experiments.ScaleFull
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.ScaleQuick
+	case "paper":
+		scale = experiments.ScalePaper
+	}
+
+	fmt.Printf("Pond reproduction report (scale=%s, folds=%d)\n", scale, *folds)
+	fmt.Printf("================================================\n\n")
+
+	sections := []struct {
+		name string
+		run  func() fmt.Stringer
+	}{
+		{"Figure 2a", func() fmt.Stringer { return experiments.Figure2a(scale) }},
+		{"Figure 2b", func() fmt.Stringer { return experiments.Figure2b(scale) }},
+		{"Figure 3", func() fmt.Stringer { return experiments.Figure3(scale) }},
+		{"Figure 4", func() fmt.Stringer { return experiments.Figure4() }},
+		{"Figure 5", func() fmt.Stringer { return experiments.Figure5() }},
+		{"Figure 6", func() fmt.Stringer { return experiments.Figure6() }},
+		{"Figure 7", func() fmt.Stringer { return experiments.Figure7() }},
+		{"Figure 8", func() fmt.Stringer { return experiments.Figure8() }},
+		{"Figure 9", func() fmt.Stringer { return experiments.Figure9() }},
+		{"Figure 10", func() fmt.Stringer { return experiments.Figure10() }},
+		{"Figure 15", func() fmt.Stringer { return experiments.Figure15() }},
+		{"Figure 16", func() fmt.Stringer { return experiments.Figure16() }},
+		{"Figure 17", func() fmt.Stringer { return experiments.Figure17(*folds, 3) }},
+		{"Figure 18", func() fmt.Stringer { return experiments.Figure18(scale) }},
+		{"Figure 19", func() fmt.Stringer { return experiments.Figure19(scale, 7) }},
+		{"Figure 20", func() fmt.Stringer { return experiments.Figure20(scale, *folds) }},
+		{"Figure 21", func() fmt.Stringer { return experiments.Figure21(scale) }},
+		{"Finding 10", func() fmt.Stringer { return experiments.Finding10(scale) }},
+		{"Counter audit", func() fmt.Stringer { return experiments.CounterAudit(8) }},
+		{"Ablation: zNUMA", func() fmt.Stringer { return experiments.AblationZNUMA() }},
+		{"Ablation: co-location", func() fmt.Stringer { return experiments.AblationCoLocation() }},
+		{"Ablation: async release", func() fmt.Stringer { return experiments.AblationAsyncRelease(scale) }},
+		{"Ablation: forest size", func() fmt.Stringer { return experiments.AblationForestSize(*folds) }},
+	}
+	start := time.Now()
+	for _, sec := range sections {
+		t0 := time.Now()
+		out := sec.run()
+		fmt.Println(out)
+		fmt.Printf("[%s took %.1fs]\n\n", sec.name, time.Since(t0).Seconds())
+	}
+	fmt.Printf("report complete in %.1fs\n", time.Since(start).Seconds())
+}

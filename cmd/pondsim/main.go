@@ -1,0 +1,55 @@
+// Command pondsim runs the trace-driven cluster simulations: stranding
+// versus utilization (Figure 2a), stranding over time (Figure 2b), the
+// pool-size impact table (Figure 3), the end-to-end savings evaluation
+// (Figure 21), the offlining-speed distribution (Finding 10), and the
+// pool-headroom ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pond/internal/experiments"
+)
+
+func main() {
+	figs := flag.String("figures", "2a,2b,3,21,finding10,ablation",
+		"comma-separated list of figures to print (2a,2b,3,21,finding10,ablation)")
+	scaleFlag := flag.String("scale", "quick", "trace scale: quick, full, or paper")
+	flag.Parse()
+
+	scale := parseScale(*scaleFlag)
+	for _, f := range strings.Split(*figs, ",") {
+		switch strings.TrimSpace(f) {
+		case "2a":
+			fmt.Println(experiments.Figure2a(scale))
+		case "2b":
+			fmt.Println(experiments.Figure2b(scale))
+		case "3":
+			fmt.Println(experiments.Figure3(scale))
+		case "21":
+			fmt.Println(experiments.Figure21(scale))
+		case "finding10":
+			fmt.Println(experiments.Finding10(scale))
+		case "ablation":
+			fmt.Println(experiments.AblationAsyncRelease(scale))
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "pondsim: unknown figure %q\n", f)
+			os.Exit(2)
+		}
+	}
+}
+
+func parseScale(s string) experiments.Scale {
+	switch s {
+	case "quick":
+		return experiments.ScaleQuick
+	case "paper":
+		return experiments.ScalePaper
+	default:
+		return experiments.ScaleFull
+	}
+}

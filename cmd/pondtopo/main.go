@@ -1,0 +1,44 @@
+// Command pondtopo prints the hardware-layer analyses of the paper: the
+// EMC resource budget (Figure 6), per-pool-size latency breakdowns
+// (Figure 7), the Pond-vs-switch-only comparison (Figure 8), the pool
+// management walkthrough (Figure 9), the guest-visible zNUMA topology
+// (Figure 10), and the zNUMA-vs-interleaving ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pond/internal/experiments"
+)
+
+func main() {
+	figs := flag.String("figures", "6,7,8,9,10,ablation,colocation",
+		"comma-separated list of figures to print (6,7,8,9,10,ablation,colocation)")
+	flag.Parse()
+
+	for _, f := range strings.Split(*figs, ",") {
+		switch strings.TrimSpace(f) {
+		case "6":
+			fmt.Println(experiments.Figure6())
+		case "7":
+			fmt.Println(experiments.Figure7())
+		case "8":
+			fmt.Println(experiments.Figure8())
+		case "9":
+			fmt.Println(experiments.Figure9())
+		case "10":
+			fmt.Println(experiments.Figure10())
+		case "ablation":
+			fmt.Println(experiments.AblationZNUMA())
+		case "colocation":
+			fmt.Println(experiments.AblationCoLocation())
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "pondtopo: unknown figure %q\n", f)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command pondtrace generates synthetic cluster traces (the stand-in for
+// the paper's Azure production dataset), saves them as JSON, and
+// summarizes saved trace files. Generating a paper-scale fleet once and
+// re-reading it keeps repeated experiments fast and byte-identical.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pond/internal/cluster"
+	"pond/internal/sim"
+	"pond/internal/stats"
+)
+
+func main() {
+	gen := flag.String("generate", "", "generate traces and write JSON to this file")
+	summarize := flag.String("summarize", "", "read a trace JSON file and print per-cluster summaries")
+	clusters := flag.Int("clusters", 24, "clusters to generate")
+	days := flag.Int("days", 75, "trace days")
+	servers := flag.Int("servers", 16, "servers per cluster")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	switch {
+	case *gen != "":
+		cfg := cluster.DefaultGenConfig()
+		cfg.Clusters = *clusters
+		cfg.Days = *days
+		cfg.ServersPerCluster = *servers
+		cfg.Seed = *seed
+		traces := cluster.Generate(cfg)
+		f, err := os.Create(*gen)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := cluster.WriteJSON(f, traces); err != nil {
+			fatal(err)
+		}
+		total := 0
+		for _, tr := range traces {
+			total += len(tr.VMs)
+		}
+		fmt.Printf("wrote %d clusters (%d VMs) to %s\n", len(traces), total, *gen)
+
+	case *summarize != "":
+		f, err := os.Open(*summarize)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		traces, err := cluster.ReadJSON(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-14s %6s %8s %8s %10s %10s\n",
+			"cluster", "VMs", "days", "shock", "reject", "stranded")
+		for i := range traces {
+			tr := &traces[i]
+			sched := sim.BuildSchedule(tr)
+			series := sim.StrandingSeries(sched)
+			var stranded []float64
+			for _, s := range series {
+				stranded = append(stranded, 100*s.StrandedMemFrac)
+			}
+			shock := "-"
+			if tr.ShockDay > 0 {
+				shock = fmt.Sprintf("d%d", tr.ShockDay)
+			}
+			fmt.Printf("%-14s %6d %8d %8s %9.2f%% %9.1f%%\n",
+				tr.Name, len(tr.VMs), tr.Days, shock,
+				100*sched.RejectionRate(), stats.Mean(stranded))
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pondtrace:", err)
+	os.Exit(1)
+}

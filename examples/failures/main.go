@@ -1,0 +1,72 @@
+// Failure-handling walkthrough (paper §4.2 "Failure management"): an EMC
+// failure only affects the VMs with memory on that EMC, while a host
+// failure loses its VMs but returns its pool slices to the surviving
+// hosts immediately.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pond"
+)
+
+func main() {
+	cfg := pond.DefaultConfig()
+	cfg.Seed = 9
+	sys, err := pond.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build up a small population with pool-backed VMs (history first).
+	for c := int32(1); c <= 3; c++ {
+		for i := 0; i < 3; i++ {
+			vm, err := sys.StartVM(pond.VMSpec{
+				Cores: 2, MemoryGB: 16, Workload: "P2-database",
+				Customer: c, UntouchedFrac: 0.6,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sys.AdvanceSeconds(600)
+			if err := sys.StopVM(vm.ID); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	var running []int64
+	for c := int32(1); c <= 3; c++ {
+		for i := 0; i < 10; i++ {
+			vm, err := sys.StartVM(pond.VMSpec{
+				Cores: 2, MemoryGB: 16, Workload: "P2-database",
+				Customer: c, UntouchedFrac: 0.6,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			running = append(running, vm.ID)
+		}
+	}
+	st := sys.Stats()
+	fmt.Printf("steady state: %d VMs, pool used %.0f GB, pool free %d GB\n\n",
+		st.RunningVMs, st.PoolUsedGB, st.PoolFreeGB)
+
+	// EMC failure: blast radius is exactly the VMs with slices there.
+	affected, err := sys.InjectEMCFailure(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EMC 0 failed: %d of %d VMs affected (blast radius), %d keep running\n",
+		len(affected), len(running), sys.Stats().RunningVMs)
+
+	// Host failure: its VMs are lost; its pool memory is reclaimed.
+	before := sys.Stats().PoolFreeGB
+	lost, err := sys.InjectHostFailure(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("host 0 failed: %d VMs lost, pool free %d -> %d GB (slices reclaimed)\n",
+		len(lost), before, sys.Stats().PoolFreeGB)
+	fmt.Printf("surviving VMs: %d\n", sys.Stats().RunningVMs)
+}

@@ -1,0 +1,55 @@
+// Quickstart: boot a 16-socket Pond deployment, start a few VMs, and
+// inspect where their memory landed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pond"
+)
+
+func main() {
+	sys, err := pond.NewSystem(pond.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Pond quickstart: 8 dual-socket hosts sharing a 1 TB CXL pool")
+	fmt.Println()
+
+	specs := []pond.VMSpec{
+		{Cores: 8, MemoryGB: 32, Workload: "redis-ycsb-a", Customer: 1},
+		{Cores: 4, MemoryGB: 16, Workload: "spark-kmeans", Customer: 2},
+		{Cores: 16, MemoryGB: 64, Workload: "tpch-q09", Customer: 3},
+	}
+	var ids []int64
+	for _, spec := range specs {
+		vm, err := sys.StartVM(spec)
+		if err != nil {
+			log.Fatalf("start %s: %v", spec.Workload, err)
+		}
+		ids = append(ids, vm.ID)
+		fmt.Printf("VM %d (%s) on host %d: %s, %g GB local + %g GB pool\n",
+			vm.ID, spec.Workload, vm.Host, vm.Decision, vm.LocalGB, vm.PoolGB)
+	}
+
+	st := sys.Stats()
+	fmt.Println()
+	fmt.Printf("running VMs:   %d\n", st.RunningVMs)
+	fmt.Printf("pool free:     %d GB\n", st.PoolFreeGB)
+	fmt.Printf("local free:    %.0f GB\n", st.LocalFreeGB)
+	fmt.Printf("stranded:      %.0f GB\n", st.StrandedGB)
+	fmt.Printf("pool latency:  %s\n", st.PoolLatency)
+
+	for _, id := range ids {
+		if err := sys.StopVM(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("after stop: %d running, %d GB pool free (slices drain asynchronously)\n",
+		sys.Stats().RunningVMs, sys.Stats().PoolFreeGB)
+	sys.AdvanceSeconds(2)
+	fmt.Printf("2s later:   %d GB pool free\n", sys.Stats().PoolFreeGB)
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pond/internal/stats"
+)
+
+// Analysis summarizes a trace's statistical properties — the quantities
+// §3 of the paper characterizes for the production fleet. The trace
+// tools print it, and calibration tests assert on it.
+type Analysis struct {
+	Name string
+	VMs  int
+
+	// MixGBPerCore is the core-weighted DRAM:core ratio of arrivals.
+	MixGBPerCore float64
+
+	// Lifetime percentiles in hours.
+	LifetimeP50H, LifetimeP95H float64
+
+	// Untouched-memory distribution (§3.2).
+	UntouchedP50, UntouchedMean float64
+	FracOver20PctUntouched      float64
+
+	// CoreDemandPeakFrac is peak concurrent core demand over capacity.
+	CoreDemandPeakFrac float64
+
+	// ShapeCounts is the arrival count per VM type name.
+	ShapeCounts map[string]int
+}
+
+// Analyze computes the summary for one trace.
+func Analyze(tr *Trace) Analysis {
+	a := Analysis{Name: tr.Name, VMs: len(tr.VMs), ShapeCounts: map[string]int{}}
+	if len(tr.VMs) == 0 {
+		return a
+	}
+	var cores, mem float64
+	var lifetimes, untouched []float64
+	over20 := 0
+	type ev struct {
+		t float64
+		c int
+	}
+	events := make([]ev, 0, 2*len(tr.VMs))
+	for _, vm := range tr.VMs {
+		cores += float64(vm.Type.Cores)
+		mem += vm.Type.MemoryGB
+		lifetimes = append(lifetimes, vm.LifetimeSec/3600)
+		untouched = append(untouched, vm.GroundTruth.UntouchedFrac)
+		if vm.GroundTruth.UntouchedFrac > 0.20 {
+			over20++
+		}
+		a.ShapeCounts[vm.Type.Name]++
+		events = append(events, ev{vm.ArrivalSec, vm.Type.Cores}, ev{vm.DepartureSec(), -vm.Type.Cores})
+	}
+	a.MixGBPerCore = mem / cores
+	a.LifetimeP50H = stats.Quantile(lifetimes, 0.5)
+	a.LifetimeP95H = stats.Quantile(lifetimes, 0.95)
+	a.UntouchedP50 = stats.Quantile(untouched, 0.5)
+	a.UntouchedMean = stats.Mean(untouched)
+	a.FracOver20PctUntouched = float64(over20) / float64(len(tr.VMs))
+
+	sort.Slice(events, func(i, j int) bool { return events[i].t < events[j].t })
+	cur, peak := 0, 0
+	for _, e := range events {
+		cur += e.c
+		if cur > peak {
+			peak = cur
+		}
+	}
+	a.CoreDemandPeakFrac = float64(peak) / float64(tr.TotalClusterCores())
+	return a
+}
+
+// String renders the analysis as a compact block.
+func (a Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d VMs, mix %.2f GB/core, lifetime p50 %.1fh p95 %.1fh\n",
+		a.Name, a.VMs, a.MixGBPerCore, a.LifetimeP50H, a.LifetimeP95H)
+	fmt.Fprintf(&b, "  untouched: p50 %.0f%%, mean %.0f%%, >20%%: %.0f%% of VMs\n",
+		100*a.UntouchedP50, 100*a.UntouchedMean, 100*a.FracOver20PctUntouched)
+	fmt.Fprintf(&b, "  peak core demand: %.0f%% of capacity\n", 100*a.CoreDemandPeakFrac)
+	names := make([]string, 0, len(a.ShapeCounts))
+	for n := range a.ShapeCounts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b.WriteString("  shapes:")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %s:%d", n, a.ShapeCounts[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,443 @@
+package cluster
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"pond/internal/stats"
+)
+
+// smallConfig keeps unit tests fast while preserving distributions.
+func smallConfig() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.Clusters = 6
+	cfg.Days = 20
+	cfg.ServersPerCluster = 8
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("trace counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].VMs) != len(b[i].VMs) {
+			t.Fatalf("cluster %d VM counts differ", i)
+		}
+		for j := range a[i].VMs {
+			if a[i].VMs[j] != b[i].VMs[j] {
+				t.Fatalf("cluster %d VM %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedChangesOutput(t *testing.T) {
+	cfg := smallConfig()
+	a := Generate(cfg)
+	cfg.Seed = 99
+	b := Generate(cfg)
+	if len(a[0].VMs) == len(b[0].VMs) && len(a[0].VMs) > 0 && a[0].VMs[0] == b[0].VMs[0] {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	cfg := smallConfig()
+	traces := Generate(cfg)
+	if len(traces) != cfg.Clusters {
+		t.Fatalf("got %d traces, want %d", len(traces), cfg.Clusters)
+	}
+	for _, tr := range traces {
+		if len(tr.VMs) == 0 {
+			t.Fatalf("%s: empty trace", tr.Name)
+		}
+		if len(tr.Customers) != cfg.CustomersPerCluster {
+			t.Fatalf("%s: %d customers, want %d", tr.Name, len(tr.Customers), cfg.CustomersPerCluster)
+		}
+		if tr.Days != cfg.Days || tr.Servers != cfg.ServersPerCluster {
+			t.Fatalf("%s: config not propagated", tr.Name)
+		}
+	}
+}
+
+func TestVMsSortedByArrival(t *testing.T) {
+	for _, tr := range Generate(smallConfig()) {
+		if !sort.SliceIsSorted(tr.VMs, func(i, j int) bool {
+			return tr.VMs[i].ArrivalSec < tr.VMs[j].ArrivalSec
+		}) {
+			t.Fatalf("%s: VMs not sorted by arrival", tr.Name)
+		}
+	}
+}
+
+func TestVMIDsGloballyUnique(t *testing.T) {
+	seen := map[VMID]bool{}
+	for _, tr := range Generate(smallConfig()) {
+		for _, vm := range tr.VMs {
+			if seen[vm.ID] {
+				t.Fatalf("duplicate VM id %d", vm.ID)
+			}
+			seen[vm.ID] = true
+		}
+	}
+}
+
+func TestVMsWithinHorizon(t *testing.T) {
+	cfg := smallConfig()
+	horizon := float64(cfg.Days) * 86400
+	for _, tr := range Generate(cfg) {
+		for _, vm := range tr.VMs {
+			if vm.ArrivalSec < 0 || vm.ArrivalSec >= horizon {
+				t.Fatalf("VM %d arrives at %v outside [0, %v)", vm.ID, vm.ArrivalSec, horizon)
+			}
+			if vm.LifetimeSec < 120 {
+				t.Fatalf("VM %d lifetime %v below floor", vm.ID, vm.LifetimeSec)
+			}
+		}
+	}
+}
+
+func TestVMMetadataMatchesCustomer(t *testing.T) {
+	for _, tr := range Generate(smallConfig()) {
+		for _, vm := range tr.VMs {
+			c, ok := tr.CustomerByID(vm.Customer)
+			if !ok {
+				t.Fatalf("VM %d has unknown customer %d", vm.ID, vm.Customer)
+			}
+			if vm.OS != c.OS || vm.Region != c.Region {
+				t.Fatalf("VM %d metadata differs from customer", vm.ID)
+			}
+			if c.FirstParty && vm.WorkloadName == "" {
+				t.Fatalf("first-party VM %d lacks workload name", vm.ID)
+			}
+			if !c.FirstParty && vm.WorkloadName != "" {
+				t.Fatalf("opaque VM %d leaks workload name", vm.ID)
+			}
+		}
+	}
+}
+
+func TestUntouchedFractionMedianNearHalf(t *testing.T) {
+	// §3.2: about 50% of VMs touch less than 50% of their memory.
+	var untouched []float64
+	for _, tr := range Generate(DefaultGenConfig()) {
+		for _, vm := range tr.VMs {
+			untouched = append(untouched, vm.GroundTruth.UntouchedFrac)
+		}
+	}
+	med := stats.Quantile(untouched, 0.5)
+	if math.Abs(med-0.5) > 0.08 {
+		t.Fatalf("fleet median untouched = %v, want ~0.5 (§3.2)", med)
+	}
+}
+
+func TestEveryClusterHasUntouchedMemory(t *testing.T) {
+	// §3.2: even the least-untouched cluster has >50% of VMs with more
+	// than 20% untouched memory.
+	for _, tr := range Generate(DefaultGenConfig()) {
+		n, over20 := 0, 0
+		for _, vm := range tr.VMs {
+			n++
+			if vm.GroundTruth.UntouchedFrac > 0.20 {
+				over20++
+			}
+		}
+		if frac := float64(over20) / float64(n); frac < 0.5 {
+			t.Fatalf("%s: only %.2f of VMs have >20%% untouched, want > 0.5", tr.Name, frac)
+		}
+	}
+}
+
+func TestCustomerUntouchedIsPredictive(t *testing.T) {
+	// VMs of the same customer must cluster around the customer mean;
+	// that correlation is what the GBM model learns.
+	traces := Generate(smallConfig())
+	var withinVar, globalVar stats.Welford
+	perCustomer := map[CustomerID][]float64{}
+	var all []float64
+	for _, tr := range traces {
+		for _, vm := range tr.VMs {
+			perCustomer[vm.Customer] = append(perCustomer[vm.Customer], vm.GroundTruth.UntouchedFrac)
+			all = append(all, vm.GroundTruth.UntouchedFrac)
+		}
+	}
+	for _, xs := range perCustomer {
+		if len(xs) < 5 {
+			continue
+		}
+		m := stats.Mean(xs)
+		for _, x := range xs {
+			withinVar.Add((x - m) * (x - m))
+		}
+	}
+	gm := stats.Mean(all)
+	for _, x := range all {
+		globalVar.Add((x - gm) * (x - gm))
+	}
+	if withinVar.Mean() >= globalVar.Mean()/2 {
+		t.Fatalf("within-customer variance %v not much below global %v; history would not predict",
+			withinVar.Mean(), globalVar.Mean())
+	}
+}
+
+func TestLifetimesHeavyTailed(t *testing.T) {
+	var lives []float64
+	for _, tr := range Generate(smallConfig()) {
+		for _, vm := range tr.VMs {
+			lives = append(lives, vm.LifetimeSec)
+		}
+	}
+	med := stats.Quantile(lives, 0.5)
+	p99 := stats.Quantile(lives, 0.99)
+	if p99/med < 5 {
+		t.Fatalf("lifetime tail too light: median %v, p99 %v", med, p99)
+	}
+}
+
+func TestShockFractionRespected(t *testing.T) {
+	cfg := DefaultGenConfig()
+	traces := Generate(cfg)
+	shocked := 0
+	for _, tr := range traces {
+		if tr.ShockDay > 0 {
+			shocked++
+			lo, hi := int(0.40*float64(cfg.Days)), int(0.56*float64(cfg.Days))
+			if tr.ShockDay < lo || tr.ShockDay > hi {
+				t.Fatalf("%s: shock day %d outside [%d,%d]", tr.Name, tr.ShockDay, lo, hi)
+			}
+		}
+	}
+	frac := float64(shocked) / float64(len(traces))
+	if math.Abs(frac-cfg.ShockFraction) > 0.25 {
+		t.Fatalf("shocked fraction %v, want ~%v", frac, cfg.ShockFraction)
+	}
+	if shocked == 0 {
+		t.Fatal("no shocked clusters; Figure 2b needs at least one")
+	}
+}
+
+func TestShockChangesMix(t *testing.T) {
+	// After the shock day, the arriving mix leans core-heavy: mean
+	// GB/core of arrivals should drop.
+	cfg := DefaultGenConfig()
+	for _, tr := range Generate(cfg) {
+		if tr.ShockDay == 0 {
+			continue
+		}
+		var before, after stats.Welford
+		cut := float64(tr.ShockDay) * 86400
+		for _, vm := range tr.VMs {
+			if vm.ArrivalSec < cut {
+				before.Add(vm.Type.GBPerCore())
+			} else {
+				after.Add(vm.Type.GBPerCore())
+			}
+		}
+		if before.N() < 100 || after.N() < 100 {
+			continue
+		}
+		if after.Mean() >= before.Mean() {
+			t.Fatalf("%s: GB/core after shock (%v) not below before (%v)",
+				tr.Name, after.Mean(), before.Mean())
+		}
+		return // one verified cluster suffices
+	}
+	t.Skip("no shocked cluster with enough samples")
+}
+
+func TestConcurrencyNearTarget(t *testing.T) {
+	// Check Little's-law sizing: peak concurrent core demand should be
+	// in the right ballpark relative to capacity (between 40% and 130%;
+	// the scheduler will cap at 100%).
+	for _, tr := range Generate(smallConfig()) {
+		type ev struct {
+			t     float64
+			cores int
+		}
+		var evs []ev
+		for _, vm := range tr.VMs {
+			evs = append(evs, ev{vm.ArrivalSec, vm.Type.Cores})
+			evs = append(evs, ev{vm.DepartureSec(), -vm.Type.Cores})
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].t < evs[j].t })
+		cur, peak := 0, 0
+		for _, e := range evs {
+			cur += e.cores
+			if cur > peak {
+				peak = cur
+			}
+		}
+		ratio := float64(peak) / float64(tr.TotalClusterCores())
+		if ratio < 0.4 || ratio > 1.9 {
+			t.Fatalf("%s: peak demand ratio %v outside [0.4, 1.9]", tr.Name, ratio)
+		}
+	}
+}
+
+func TestVMTypesFitOneNUMANode(t *testing.T) {
+	spec := DefaultGenConfig().Spec
+	for _, vt := range VMTypes() {
+		if vt.Cores > spec.CoresPerSock {
+			t.Errorf("%s: %d cores exceed one socket (%d)", vt.Name, vt.Cores, spec.CoresPerSock)
+		}
+		if vt.MemoryGB > spec.MemGBPerSock {
+			t.Errorf("%s: %g GB exceeds one socket (%g)", vt.Name, vt.MemoryGB, spec.MemGBPerSock)
+		}
+	}
+}
+
+func TestServerSpecAccessors(t *testing.T) {
+	s := ServerSpec{Sockets: 2, CoresPerSock: 24, MemGBPerSock: 192}
+	if s.TotalCores() != 48 || s.TotalMemGB() != 384 || s.GBPerCore() != 8 {
+		t.Fatalf("spec accessors wrong: %d %g %g", s.TotalCores(), s.TotalMemGB(), s.GBPerCore())
+	}
+}
+
+func TestVMTypeAccessors(t *testing.T) {
+	vt := VMType{"D4s", 4, 16}
+	if vt.GBPerCore() != 4 {
+		t.Fatalf("GBPerCore = %v", vt.GBPerCore())
+	}
+	if vt.String() != "D4s (4 cores, 16 GB)" {
+		t.Fatalf("String = %q", vt.String())
+	}
+}
+
+func TestTouchedGB(t *testing.T) {
+	vm := VMRequest{
+		Type:        VMType{"D4s", 4, 16},
+		GroundTruth: VMGroundTruth{UntouchedFrac: 0.25},
+	}
+	if vm.TouchedGB() != 12 {
+		t.Fatalf("TouchedGB = %v, want 12", vm.TouchedGB())
+	}
+}
+
+func TestCustomerByIDMissing(t *testing.T) {
+	tr := Trace{}
+	if _, ok := tr.CustomerByID(42); ok {
+		t.Fatal("found customer in empty trace")
+	}
+}
+
+func TestFirstPartyFractionRoughlyRespected(t *testing.T) {
+	cfg := DefaultGenConfig()
+	traces := Generate(cfg)
+	n, fp := 0, 0
+	for _, tr := range traces {
+		for _, c := range tr.Customers {
+			n++
+			if c.FirstParty {
+				fp++
+			}
+		}
+	}
+	frac := float64(fp) / float64(n)
+	if math.Abs(frac-cfg.FirstPartyFraction) > 0.1 {
+		t.Fatalf("first-party fraction %v, want ~%v", frac, cfg.FirstPartyFraction)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Clusters = 2
+	cfg.Days = 5
+	traces := Generate(cfg)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(traces) {
+		t.Fatalf("traces = %d, want %d", len(got), len(traces))
+	}
+	for i := range traces {
+		a, b := traces[i], got[i]
+		if a.Name != b.Name || a.Servers != b.Servers || a.Days != b.Days || a.ShockDay != b.ShockDay {
+			t.Fatalf("trace header differs: %+v vs %+v", a.Name, b.Name)
+		}
+		if len(a.VMs) != len(b.VMs) {
+			t.Fatalf("VM counts differ: %d vs %d", len(a.VMs), len(b.VMs))
+		}
+		for j := range a.VMs {
+			if a.VMs[j] != b.VMs[j] {
+				t.Fatalf("VM %d differs after round trip:\n%+v\n%+v", j, a.VMs[j], b.VMs[j])
+			}
+		}
+		if len(a.Customers) != len(b.Customers) {
+			t.Fatal("customer counts differ")
+		}
+		for j := range a.Customers {
+			ca, cb := a.Customers[j], b.Customers[j]
+			if ca.ID != cb.ID || ca.MeanUntouched != cb.MeanUntouched || len(ca.Workloads) != len(cb.Workloads) {
+				t.Fatalf("customer %d differs", j)
+			}
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadJSONRejectsUnknownWorkload(t *testing.T) {
+	payload := `[{"name":"c","spec":{"Sockets":2,"CoresPerSock":24,"MemGBPerSock":192},` +
+		`"servers":1,"days":1,"customers":[],` +
+		`"vms":[{"id":1,"customer":1,"type":{"Name":"D2s","Cores":2,"MemoryGB":8},` +
+		`"arrival_sec":0,"lifetime_sec":100,"untouched_frac":0.5,"workload":"no-such"}]}]`
+	if _, err := ReadJSON(strings.NewReader(payload)); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestAnalyzeSummary(t *testing.T) {
+	cfg := smallConfig()
+	tr := Generate(cfg)[0]
+	a := Analyze(&tr)
+	if a.VMs != len(tr.VMs) {
+		t.Fatalf("VMs = %d", a.VMs)
+	}
+	if a.MixGBPerCore < 2 || a.MixGBPerCore > 8.5 {
+		t.Fatalf("mix ratio = %v implausible", a.MixGBPerCore)
+	}
+	if a.LifetimeP95H < a.LifetimeP50H {
+		t.Fatal("lifetime percentiles out of order")
+	}
+	if a.UntouchedP50 < 0.2 || a.UntouchedP50 > 0.8 {
+		t.Fatalf("untouched p50 = %v", a.UntouchedP50)
+	}
+	if a.CoreDemandPeakFrac <= 0 {
+		t.Fatal("no core demand")
+	}
+	total := 0
+	for _, n := range a.ShapeCounts {
+		total += n
+	}
+	if total != a.VMs {
+		t.Fatalf("shape counts sum to %d, want %d", total, a.VMs)
+	}
+	if a.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	tr := Trace{Name: "empty"}
+	a := Analyze(&tr)
+	if a.VMs != 0 {
+		t.Fatal("phantom VMs")
+	}
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pond/internal/workload"
+)
+
+// Trace serialization: traces can be generated once (expensive at paper
+// scale) and replayed by multiple experiments or shared between machines.
+// Workloads are serialized by catalogue name and rehydrated on load, so a
+// trace file stays small and version-independent of model parameters.
+
+// jsonVM is the wire form of a VMRequest.
+type jsonVM struct {
+	ID           VMID       `json:"id"`
+	Customer     CustomerID `json:"customer"`
+	Type         VMType     `json:"type"`
+	OS           string     `json:"os"`
+	Region       string     `json:"region"`
+	WorkloadName string     `json:"workload_name,omitempty"`
+	ArrivalSec   float64    `json:"arrival_sec"`
+	LifetimeSec  float64    `json:"lifetime_sec"`
+	Untouched    float64    `json:"untouched_frac"`
+	Workload     string     `json:"workload"`
+}
+
+// jsonCustomer is the wire form of a Customer.
+type jsonCustomer struct {
+	ID            CustomerID `json:"id"`
+	OS            string     `json:"os"`
+	Region        string     `json:"region"`
+	MeanUntouched float64    `json:"mean_untouched"`
+	Spread        float64    `json:"spread"`
+	Workloads     []string   `json:"workloads"`
+	TypeWeights   []float64  `json:"type_weights"`
+	FirstParty    bool       `json:"first_party"`
+}
+
+// jsonTrace is the wire form of a Trace.
+type jsonTrace struct {
+	Name      string         `json:"name"`
+	Spec      ServerSpec     `json:"spec"`
+	Servers   int            `json:"servers"`
+	Days      int            `json:"days"`
+	ShockDay  int            `json:"shock_day,omitempty"`
+	Customers []jsonCustomer `json:"customers"`
+	VMs       []jsonVM       `json:"vms"`
+}
+
+// WriteJSON encodes traces to w.
+func WriteJSON(w io.Writer, traces []Trace) error {
+	out := make([]jsonTrace, 0, len(traces))
+	for _, tr := range traces {
+		jt := jsonTrace{
+			Name: tr.Name, Spec: tr.Spec, Servers: tr.Servers,
+			Days: tr.Days, ShockDay: tr.ShockDay,
+		}
+		for _, c := range tr.Customers {
+			jc := jsonCustomer{
+				ID: c.ID, OS: c.OS, Region: c.Region,
+				MeanUntouched: c.MeanUntouched, Spread: c.Spread,
+				TypeWeights: c.TypeWeights, FirstParty: c.FirstParty,
+			}
+			for _, cw := range c.Workloads {
+				jc.Workloads = append(jc.Workloads, cw.Name)
+			}
+			jt.Customers = append(jt.Customers, jc)
+		}
+		for _, vm := range tr.VMs {
+			jt.VMs = append(jt.VMs, jsonVM{
+				ID: vm.ID, Customer: vm.Customer, Type: vm.Type,
+				OS: vm.OS, Region: vm.Region, WorkloadName: vm.WorkloadName,
+				ArrivalSec: vm.ArrivalSec, LifetimeSec: vm.LifetimeSec,
+				Untouched: vm.GroundTruth.UntouchedFrac,
+				Workload:  vm.GroundTruth.Workload.Name,
+			})
+		}
+		out = append(out, jt)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON decodes traces from r, rehydrating workloads from the
+// catalogue. Unknown workload names are an error: the trace belongs to a
+// different catalogue version.
+func ReadJSON(r io.Reader) ([]Trace, error) {
+	var in []jsonTrace
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("cluster: decoding traces: %w", err)
+	}
+	lookup := func(name string) (workload.Workload, error) {
+		w, ok := workload.ByName(name)
+		if !ok {
+			return workload.Workload{}, fmt.Errorf("cluster: trace references unknown workload %q", name)
+		}
+		return w, nil
+	}
+	traces := make([]Trace, 0, len(in))
+	for _, jt := range in {
+		tr := Trace{
+			Name: jt.Name, Spec: jt.Spec, Servers: jt.Servers,
+			Days: jt.Days, ShockDay: jt.ShockDay,
+		}
+		for _, jc := range jt.Customers {
+			c := Customer{
+				ID: jc.ID, OS: jc.OS, Region: jc.Region,
+				MeanUntouched: jc.MeanUntouched, Spread: jc.Spread,
+				TypeWeights: jc.TypeWeights, FirstParty: jc.FirstParty,
+			}
+			for _, name := range jc.Workloads {
+				w, err := lookup(name)
+				if err != nil {
+					return nil, err
+				}
+				c.Workloads = append(c.Workloads, w)
+			}
+			tr.Customers = append(tr.Customers, c)
+		}
+		for _, jv := range jt.VMs {
+			w, err := lookup(jv.Workload)
+			if err != nil {
+				return nil, err
+			}
+			tr.VMs = append(tr.VMs, VMRequest{
+				ID: jv.ID, Customer: jv.Customer, Type: jv.Type,
+				OS: jv.OS, Region: jv.Region, WorkloadName: jv.WorkloadName,
+				ArrivalSec: jv.ArrivalSec, LifetimeSec: jv.LifetimeSec,
+				GroundTruth: VMGroundTruth{
+					UntouchedFrac: jv.Untouched,
+					Workload:      w,
+				},
+			})
+		}
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}

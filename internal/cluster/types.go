@@ -1,0 +1,173 @@
+// Package cluster generates synthetic VM traces that substitute for the
+// Azure production dataset of §3.1: 100 clusters observed over 75 days
+// with millions of per-VM arrival/departure events carrying time,
+// duration, resource demands, and metadata.
+//
+// The generator is statistical, not a replay: per-cluster parameters (VM
+// shape mix, target utilization, customer population) are drawn from
+// distributions calibrated so the downstream simulator reproduces the
+// paper's stranding, untouched-memory, and pooling-savings figures. Every
+// quantity that Pond's prediction models consume — customer identity, VM
+// type, guest OS, region, workload name, and per-VM ground-truth untouched
+// memory — is generated with the correlations the paper exploits: VMs from
+// the same customer behave alike (§4.4, citing Resource Central).
+package cluster
+
+import (
+	"fmt"
+
+	"pond/internal/workload"
+)
+
+// VMID uniquely identifies a VM request across all generated clusters.
+type VMID int64
+
+// CustomerID identifies the customer owning a VM; history features key on
+// it.
+type CustomerID int32
+
+// VMType is a rentable VM shape (cores x memory), mirroring Azure's
+// D/E/F-series families with 4, 8, and 2 GB of DRAM per core.
+type VMType struct {
+	Name     string
+	Cores    int
+	MemoryGB float64
+}
+
+// GBPerCore returns the DRAM-to-core ratio of the shape.
+func (t VMType) GBPerCore() float64 { return t.MemoryGB / float64(t.Cores) }
+
+// String renders the shape as "name (c cores, g GB)".
+func (t VMType) String() string {
+	return fmt.Sprintf("%s (%d cores, %g GB)", t.Name, t.Cores, t.MemoryGB)
+}
+
+// VMTypes is the shape catalogue VMs are drawn from. The largest shape
+// (16 cores) still fits a single NUMA node of the default server, matching
+// the paper's observation that almost all VMs fit one socket.
+func VMTypes() []VMType {
+	return []VMType{
+		{"F2s", 2, 4}, {"F4s", 4, 8}, {"F8s", 8, 16},
+		{"D2s", 2, 8}, {"D4s", 4, 16}, {"D8s", 8, 32}, {"D16s", 16, 64},
+		{"E2s", 2, 16}, {"E4s", 4, 32}, {"E8s", 8, 64}, {"E16s", 16, 128},
+	}
+}
+
+// Customer is a tenant with persistent behaviour: a preferred VM shape
+// mix, a stable guest OS and region, a small set of workloads, and a
+// characteristic untouched-memory level. The untouched-memory prediction
+// model works precisely because these are stable across a customer's VMs.
+type Customer struct {
+	ID     CustomerID
+	OS     string
+	Region string
+
+	// MeanUntouched is the customer's characteristic fraction of rented
+	// memory that is never touched; per-VM draws concentrate around it.
+	MeanUntouched float64
+
+	// Spread controls per-VM variation around MeanUntouched (a Beta
+	// concentration parameter; higher is tighter).
+	Spread float64
+
+	// Workloads are the catalogue entries this customer runs.
+	Workloads []workload.Workload
+
+	// TypeWeights is the customer's preference over VMTypes().
+	TypeWeights []float64
+
+	// FirstParty customers expose their workload name to the platform
+	// (the paper's internal/first-party VMs); third-party VMs are
+	// opaque.
+	FirstParty bool
+}
+
+// VMRequest is one VM arrival with its full metadata and the generator's
+// behavioural ground truth. Prediction models must not read the
+// GroundTruth fields directly; they only see metadata and telemetry.
+type VMRequest struct {
+	ID       VMID
+	Customer CustomerID
+	Type     VMType
+	OS       string
+	Region   string
+
+	// WorkloadName is set only for first-party VMs ("" for opaque ones).
+	WorkloadName string
+
+	// ArrivalSec and LifetimeSec position the VM in simulated time
+	// (seconds since trace start).
+	ArrivalSec  float64
+	LifetimeSec float64
+
+	// GroundTruth holds what really happens inside the opaque VM.
+	GroundTruth VMGroundTruth
+}
+
+// VMGroundTruth is the generator's hidden per-VM behaviour, observable to
+// the platform only through telemetry (access-bit scans, PMU counters).
+type VMGroundTruth struct {
+	// UntouchedFrac is the fraction of rented memory never touched over
+	// the VM's lifetime (§3.2: the fleet median is ~50%).
+	UntouchedFrac float64
+
+	// Workload is the application running inside the VM; it defines
+	// latency sensitivity and PMU counter behaviour.
+	Workload workload.Workload
+}
+
+// DepartureSec returns the VM's departure time.
+func (v VMRequest) DepartureSec() float64 { return v.ArrivalSec + v.LifetimeSec }
+
+// TouchedGB returns how much of the VM's memory is actually touched.
+func (v VMRequest) TouchedGB() float64 {
+	return v.Type.MemoryGB * (1 - v.GroundTruth.UntouchedFrac)
+}
+
+// ServerSpec describes the homogeneous servers of a cluster.
+type ServerSpec struct {
+	Sockets      int
+	CoresPerSock int
+	MemGBPerSock float64
+}
+
+// TotalCores returns cores per server.
+func (s ServerSpec) TotalCores() int { return s.Sockets * s.CoresPerSock }
+
+// TotalMemGB returns DRAM per server.
+func (s ServerSpec) TotalMemGB() float64 { return float64(s.Sockets) * s.MemGBPerSock }
+
+// GBPerCore returns the server's DRAM-to-core ratio.
+func (s ServerSpec) GBPerCore() float64 { return s.TotalMemGB() / float64(s.TotalCores()) }
+
+// Trace is the generated history of one cluster.
+type Trace struct {
+	Name      string
+	Spec      ServerSpec
+	Servers   int
+	Days      int
+	Customers []Customer
+
+	// VMs is sorted by ArrivalSec.
+	VMs []VMRequest
+
+	// ShockDay is the day index at which the cluster's workload mix
+	// changed abruptly (Figure 2b); 0 when no shock was injected.
+	ShockDay int
+}
+
+// TotalClusterCores returns the cluster's core capacity.
+func (t Trace) TotalClusterCores() int { return t.Servers * t.Spec.TotalCores() }
+
+// TotalClusterMemGB returns the cluster's DRAM capacity.
+func (t Trace) TotalClusterMemGB() float64 { return float64(t.Servers) * t.Spec.TotalMemGB() }
+
+// CustomerByID returns the customer record for id.
+func (t Trace) CustomerByID(id CustomerID) (Customer, bool) {
+	for _, c := range t.Customers {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Customer{}, false
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pond/internal/cluster"
+	"pond/internal/emc"
+	"pond/internal/host"
+	"pond/internal/pool"
+)
+
+// ClusterScheduler packs VMs onto the hosts of one pool group with pool
+// memory as an additional bin-packing dimension (§5: "Azure's VM
+// scheduler incorporates zNUMA requests and pool memory as an additional
+// dimension into its bin packing").
+//
+// Placement policy: among hosts that fit the VM's cores and local memory,
+// pick the one with the fewest free cores (tight packing, like the
+// production Protean allocator). Pool capacity is onlined through the
+// Pool Manager before the VM starts; if the pool is exhausted the VM
+// falls back to an all-local allocation rather than failing (§4.3).
+type ClusterScheduler struct {
+	hosts   []*host.Host
+	manager *pool.Manager
+}
+
+// ErrNoHost is returned when no host fits the VM.
+var ErrNoHost = errors.New("core: no host with sufficient capacity")
+
+// NewClusterScheduler wires hosts and the pool manager.
+func NewClusterScheduler(hosts []*host.Host, manager *pool.Manager) *ClusterScheduler {
+	if len(hosts) == 0 {
+		panic("core: scheduler needs at least one host")
+	}
+	return &ClusterScheduler{hosts: hosts, manager: manager}
+}
+
+// Hosts returns the managed hosts.
+func (cs *ClusterScheduler) Hosts() []*host.Host { return cs.hosts }
+
+// PlaceResult reports where a VM landed.
+type PlaceResult struct {
+	HostIndex int
+	Placement *host.Placement
+	// FellBackToLocal is set when the pool was exhausted and the
+	// decision was downgraded to all-local.
+	FellBackToLocal bool
+}
+
+// Place admits a VM under the given decision at the given time.
+func (cs *ClusterScheduler) Place(vm cluster.VMRequest, d Decision, now float64) (PlaceResult, error) {
+	res := PlaceResult{HostIndex: -1}
+
+	// Host selection: tightest fit by free cores among hosts that fit
+	// cores and local memory.
+	bestCores := 1 << 30
+	for i, h := range cs.hosts {
+		if h.FreeCores() >= vm.Type.Cores && h.FreeLocalGB() >= d.LocalGB && h.FreeCores() < bestCores {
+			bestCores = h.FreeCores()
+			res.HostIndex = i
+		}
+	}
+	if res.HostIndex < 0 {
+		// A pool-heavy decision may still fit somewhere as all-local.
+		if d.PoolGB > 0 {
+			return cs.Place(vm, Decision{Kind: AllLocal, LocalGB: vm.Type.MemoryGB}, now)
+		}
+		return res, fmt.Errorf("%w: %d cores / %g GB local", ErrNoHost, vm.Type.Cores, d.LocalGB)
+	}
+
+	var slices []pool.SliceRef
+	localGB, poolGB := d.LocalGB, d.PoolGB
+	if poolGB > 0 && cs.manager != nil {
+		add, err := cs.manager.AddCapacity(emc.HostID(res.HostIndex), int(poolGB), now)
+		if err != nil {
+			// Pool exhausted: fall back to all-local (§4.3). The host
+			// chosen above may lack the extra local memory; re-select.
+			if cs.hosts[res.HostIndex].FreeLocalGB() < vm.Type.MemoryGB {
+				return cs.Place(vm, Decision{Kind: AllLocal, LocalGB: vm.Type.MemoryGB}, now)
+			}
+			localGB, poolGB = vm.Type.MemoryGB, 0
+			res.FellBackToLocal = true
+		} else {
+			slices = add.Slices
+			cs.hosts[res.HostIndex].AddPoolCapacity(float64(len(slices)))
+		}
+	} else if poolGB > 0 {
+		localGB, poolGB = vm.Type.MemoryGB, 0
+		res.FellBackToLocal = true
+	}
+
+	p, err := cs.hosts[res.HostIndex].PlaceVM(vm, localGB, poolGB, slices)
+	if err != nil {
+		// Undo the pool grant before surfacing the error.
+		if len(slices) > 0 {
+			_ = cs.hosts[res.HostIndex].RemovePoolCapacity(float64(len(slices)))
+			cs.manager.ReleaseCapacity(emc.HostID(res.HostIndex), slices, now)
+		}
+		return res, err
+	}
+	res.Placement = p
+	return res, nil
+}
+
+// Release stops a VM on the given host, returning its pool slices to the
+// manager for asynchronous offline.
+func (cs *ClusterScheduler) Release(hostIndex int, id cluster.VMID, now float64) (*host.Placement, error) {
+	if hostIndex < 0 || hostIndex >= len(cs.hosts) {
+		return nil, fmt.Errorf("core: host index %d out of range", hostIndex)
+	}
+	p, err := cs.hosts[hostIndex].ReleaseVM(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Slices) > 0 {
+		if err := cs.hosts[hostIndex].RemovePoolCapacity(float64(len(p.Slices))); err != nil {
+			return nil, err
+		}
+		if cs.manager != nil {
+			cs.manager.ReleaseCapacity(emc.HostID(hostIndex), p.Slices, now)
+		}
+	}
+	return p, nil
+}
+
+// HandleHostFailure reclaims a dead host's pool memory (§4.2): its VMs
+// are gone with it, and every slice it owned returns to the pool for
+// reallocation to other hosts. It returns the lost VM ids and reclaimed
+// capacity.
+func (cs *ClusterScheduler) HandleHostFailure(hostIndex int) (lost []cluster.VMID, reclaimedGB int, err error) {
+	if hostIndex < 0 || hostIndex >= len(cs.hosts) {
+		return nil, 0, fmt.Errorf("core: host index %d out of range", hostIndex)
+	}
+	h := cs.hosts[hostIndex]
+	lost = h.VMs()
+	for _, id := range lost {
+		if _, rerr := h.ReleaseVM(id); rerr != nil {
+			return lost, 0, rerr
+		}
+	}
+	if cs.manager != nil {
+		reclaimedGB = cs.manager.ReclaimHost(emc.HostID(hostIndex))
+	}
+	return lost, reclaimedGB, nil
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"pond/internal/cluster"
+	"pond/internal/emc"
+	"pond/internal/host"
+	"pond/internal/pool"
+	"pond/internal/stats"
+)
+
+// schedVM builds a VM with explicit cores (unlike testVM, whose second
+// argument is the customer id).
+func schedVM(id cluster.VMID, cores int, memGB float64, wname string) cluster.VMRequest {
+	vm := testVM(id, 1, memGB, wname)
+	vm.Type.Cores = cores
+	return vm
+}
+
+func newTestScheduler(t *testing.T, hosts int, poolGB int) (*ClusterScheduler, *pool.Manager) {
+	t.Helper()
+	spec := cluster.ServerSpec{Sockets: 2, CoresPerSock: 8, MemGBPerSock: 64}
+	hs := make([]*host.Host, hosts)
+	for i := range hs {
+		hs[i] = host.New(emc.HostID(i), spec, host.Config{})
+	}
+	var pm *pool.Manager
+	if poolGB > 0 {
+		pm = pool.NewManager([]*emc.Device{emc.NewDevice("emc0", poolGB, hosts)}, stats.NewRand(1))
+	}
+	return NewClusterScheduler(hs, pm), pm
+}
+
+func TestSchedulerPanicsWithoutHosts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewClusterScheduler(nil, nil)
+}
+
+func TestSchedulerPlacesAllLocal(t *testing.T) {
+	cs, _ := newTestScheduler(t, 2, 64)
+	vm := schedVM(1, 4, 16, "P5-web")
+	res, err := cs.Place(vm, Decision{Kind: AllLocal, LocalGB: 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HostIndex < 0 || res.Placement.PoolGB != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestSchedulerTightPacking(t *testing.T) {
+	cs, _ := newTestScheduler(t, 2, 0)
+	// First VM makes host 0 the tighter host; the second should follow.
+	r1, err := cs.Place(schedVM(1, 4, 16, "P5-web"), Decision{Kind: AllLocal, LocalGB: 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cs.Place(schedVM(2, 4, 16, "P5-web"), Decision{Kind: AllLocal, LocalGB: 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.HostIndex != r2.HostIndex {
+		t.Fatalf("tight packing violated: %d vs %d", r1.HostIndex, r2.HostIndex)
+	}
+}
+
+func TestSchedulerOnlinesPoolCapacity(t *testing.T) {
+	cs, pm := newTestScheduler(t, 2, 64)
+	vm := schedVM(1, 4, 32, "P2-database")
+	res, err := cs.Place(vm, Decision{Kind: ZNUMA, LocalGB: 20, PoolGB: 12}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement.PoolGB != 12 || len(res.Placement.Slices) != 12 {
+		t.Fatalf("pool backing = %g GB, %d slices", res.Placement.PoolGB, len(res.Placement.Slices))
+	}
+	if pm.FreeGB(0) != 52 {
+		t.Fatalf("pool free = %d, want 52", pm.FreeGB(0))
+	}
+	if cs.Hosts()[res.HostIndex].OnlinePoolGB() != 12 {
+		t.Fatal("host did not online the capacity")
+	}
+}
+
+func TestSchedulerFallsBackWhenPoolExhausted(t *testing.T) {
+	cs, _ := newTestScheduler(t, 1, 4)
+	vm := schedVM(1, 2, 32, "P2-database")
+	res, err := cs.Place(vm, Decision{Kind: ZNUMA, LocalGB: 16, PoolGB: 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FellBackToLocal {
+		t.Fatal("expected all-local fallback")
+	}
+	if res.Placement.PoolGB != 0 || res.Placement.LocalGB != 32 {
+		t.Fatalf("fallback placement = %+v", res.Placement)
+	}
+}
+
+func TestSchedulerFallsBackWithoutManager(t *testing.T) {
+	cs, _ := newTestScheduler(t, 1, 0)
+	res, err := cs.Place(schedVM(1, 2, 16, "P5-web"), Decision{Kind: ZNUMA, LocalGB: 8, PoolGB: 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FellBackToLocal || res.Placement.PoolGB != 0 {
+		t.Fatalf("no-manager fallback = %+v", res)
+	}
+}
+
+func TestSchedulerNoHostFits(t *testing.T) {
+	cs, _ := newTestScheduler(t, 1, 0)
+	_, err := cs.Place(schedVM(1, 64, 16, "P5-web"), Decision{Kind: AllLocal, LocalGB: 16}, 0)
+	if !errors.Is(err, ErrNoHost) {
+		t.Fatalf("err = %v, want ErrNoHost", err)
+	}
+}
+
+func TestSchedulerPoolHeavyRetriesAllLocal(t *testing.T) {
+	// A decision with more local than any host has free must retry as
+	// all-local if that fits... here it cannot, so the error surfaces.
+	cs, _ := newTestScheduler(t, 1, 64)
+	vm := schedVM(1, 2, 200, "P5-web")
+	if _, err := cs.Place(vm, Decision{Kind: ZNUMA, LocalGB: 190, PoolGB: 10}, 0); err == nil {
+		t.Fatal("oversized VM accepted")
+	}
+}
+
+func TestSchedulerRelease(t *testing.T) {
+	cs, pm := newTestScheduler(t, 2, 64)
+	vm := schedVM(1, 4, 32, "P2-database")
+	res, err := cs.Place(vm, Decision{Kind: ZNUMA, LocalGB: 24, PoolGB: 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Release(res.HostIndex, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Slices drain back asynchronously.
+	if free := pm.FreeGB(11); free != 64 {
+		t.Fatalf("pool free after drain = %d, want 64", free)
+	}
+	if cs.Hosts()[res.HostIndex].OnlinePoolGB() != 0 {
+		t.Fatal("host kept pool capacity online")
+	}
+	if _, err := cs.Release(99, 1, 0); err == nil {
+		t.Fatal("bad host index accepted")
+	}
+}
+
+func TestSchedulerHandleHostFailure(t *testing.T) {
+	cs, pm := newTestScheduler(t, 2, 64)
+	for i := 1; i <= 3; i++ {
+		vm := schedVM(cluster.VMID(i), 2, 16, "P2-database")
+		if _, err := cs.Place(vm, Decision{Kind: ZNUMA, LocalGB: 12, PoolGB: 4}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tight packing put all three on one host; fail it.
+	lost, reclaimed, err := cs.HandleHostFailure(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lost) != 3 {
+		t.Fatalf("lost %d VMs, want 3", len(lost))
+	}
+	if reclaimed != 12 {
+		t.Fatalf("reclaimed %d GB, want 12", reclaimed)
+	}
+	// The reclaimed capacity is immediately reusable by host 1.
+	if free := pm.FreeGB(0); free != 64 {
+		t.Fatalf("pool free = %d, want 64", free)
+	}
+	if _, _, err := cs.HandleHostFailure(9); err == nil {
+		t.Fatal("bad host index accepted")
+	}
+}

@@ -1,0 +1,92 @@
+package cxl
+
+import "sort"
+
+// Bandwidth contention model. The paper's provisioning argument (§2)
+// sizes one DDR5 channel per x8 CXL port, but a port is still a shared
+// resource: several VMs with pool memory behind the same port divide its
+// bandwidth. Max-min fairness is the standard model for such link
+// sharing — every flow gets its demand if possible, and the link's
+// residual capacity is split evenly among the unsatisfied.
+
+// FairShare allocates capacity among the given demands with max-min
+// fairness and returns per-demand grants (same order as demands).
+// Non-positive demands receive zero.
+func FairShare(demands []float64, capacity float64) []float64 {
+	grants := make([]float64, len(demands))
+	if capacity <= 0 || len(demands) == 0 {
+		return grants
+	}
+	// Process demands in ascending order: each either fits under the
+	// current fair share or caps at it.
+	type item struct {
+		idx    int
+		demand float64
+	}
+	items := make([]item, 0, len(demands))
+	for i, d := range demands {
+		if d > 0 {
+			items = append(items, item{idx: i, demand: d})
+		}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].demand < items[b].demand })
+
+	remaining := capacity
+	for k, it := range items {
+		share := remaining / float64(len(items)-k)
+		grant := it.demand
+		if grant > share {
+			grant = share
+		}
+		grants[it.idx] = grant
+		remaining -= grant
+	}
+	return grants
+}
+
+// ContentionSlowdown converts a bandwidth shortfall into a slowdown
+// fraction for a workload whose bandwidth sensitivity is bwSens (the
+// workload model's BWSens): granted bandwidth below demand stretches the
+// workload's memory phases proportionally, weighted by how
+// bandwidth-bound the workload is.
+func ContentionSlowdown(demandGBps, grantGBps, bwSens float64) float64 {
+	if demandGBps <= 0 || grantGBps >= demandGBps {
+		return 0
+	}
+	if grantGBps <= 0 {
+		grantGBps = 1e-9
+	}
+	shortfall := demandGBps/grantGBps - 1
+	s := bwSens * shortfall * 10 // bwSens is calibrated per saturated-link unit
+	if s > shortfall {
+		// Even a fully bandwidth-bound workload cannot slow more than
+		// the stretch of its memory phases.
+		s = shortfall
+	}
+	return s
+}
+
+// PortLoad summarizes one CXL port's sharing outcome.
+type PortLoad struct {
+	CapacityGBps float64
+	DemandGBps   float64
+	Grants       []float64
+}
+
+// Oversubscribed reports whether total demand exceeds the port.
+func (p PortLoad) Oversubscribed() bool { return p.DemandGBps > p.CapacityGBps }
+
+// SharePort runs the fairness allocation for one x8 CXL port.
+func SharePort(demands []float64) PortLoad {
+	var total float64
+	for _, d := range demands {
+		if d > 0 {
+			total += d
+		}
+	}
+	return PortLoad{
+		CapacityGBps: CXLx8GBps,
+		DemandGBps:   total,
+		Grants:       FairShare(demands, CXLx8GBps),
+	}
+}

@@ -1,0 +1,132 @@
+package cxl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFairShareUndersubscribed(t *testing.T) {
+	grants := FairShare([]float64{5, 10, 8}, 32)
+	for i, want := range []float64{5, 10, 8} {
+		if grants[i] != want {
+			t.Fatalf("grant[%d] = %v, want %v", i, grants[i], want)
+		}
+	}
+}
+
+func TestFairShareOversubscribedEven(t *testing.T) {
+	grants := FairShare([]float64{20, 20, 20, 20}, 32)
+	for i, g := range grants {
+		if g != 8 {
+			t.Fatalf("grant[%d] = %v, want 8", i, g)
+		}
+	}
+}
+
+func TestFairShareMaxMinProperty(t *testing.T) {
+	// Small demands are fully satisfied before large ones cap.
+	grants := FairShare([]float64{2, 30, 30}, 32)
+	if grants[0] != 2 {
+		t.Fatalf("small demand got %v, want 2", grants[0])
+	}
+	if grants[1] != 15 || grants[2] != 15 {
+		t.Fatalf("large demands got %v/%v, want 15 each", grants[1], grants[2])
+	}
+}
+
+func TestFairShareZeroAndNegativeDemands(t *testing.T) {
+	grants := FairShare([]float64{0, -3, 10}, 32)
+	if grants[0] != 0 || grants[1] != 0 || grants[2] != 10 {
+		t.Fatalf("grants = %v", grants)
+	}
+}
+
+func TestFairShareEmptyOrNoCapacity(t *testing.T) {
+	if got := FairShare(nil, 32); len(got) != 0 {
+		t.Fatal("nil demands")
+	}
+	for _, g := range FairShare([]float64{5}, 0) {
+		if g != 0 {
+			t.Fatal("zero capacity granted bandwidth")
+		}
+	}
+}
+
+// Property: grants never exceed demand, never exceed capacity in sum,
+// and use full capacity when oversubscribed.
+func TestFairShareProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		demands := make([]float64, len(raw))
+		var total float64
+		for i, x := range raw {
+			demands[i] = float64(x%400) / 10
+			total += demands[i]
+		}
+		const capacity = 32.0
+		grants := FairShare(demands, capacity)
+		var sum float64
+		for i, g := range grants {
+			if g < 0 || g > demands[i]+1e-9 {
+				return false
+			}
+			sum += g
+		}
+		if sum > capacity+1e-6 {
+			return false
+		}
+		if total > capacity && math.Abs(sum-capacity) > 1e-6 {
+			return false // must saturate when oversubscribed
+		}
+		if total <= capacity && math.Abs(sum-total) > 1e-6 {
+			return false // must satisfy everyone when undersubscribed
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentionSlowdownZeroWhenSatisfied(t *testing.T) {
+	if got := ContentionSlowdown(10, 10, 0.5); got != 0 {
+		t.Fatalf("satisfied demand slowed %v", got)
+	}
+	if got := ContentionSlowdown(0, 0, 0.5); got != 0 {
+		t.Fatalf("zero demand slowed %v", got)
+	}
+}
+
+func TestContentionSlowdownGrowsWithShortfall(t *testing.T) {
+	mild := ContentionSlowdown(10, 8, 0.08)
+	severe := ContentionSlowdown(10, 4, 0.08)
+	if mild <= 0 || severe <= mild {
+		t.Fatalf("slowdowns = %v, %v", mild, severe)
+	}
+}
+
+func TestContentionSlowdownCappedAtStretch(t *testing.T) {
+	// A workload cannot slow more than its memory phases stretch.
+	got := ContentionSlowdown(10, 5, 1.0)
+	if got > 1.0+1e-9 { // demand/grant - 1 = 1.0
+		t.Fatalf("slowdown %v exceeds the phase stretch", got)
+	}
+}
+
+func TestSharePort(t *testing.T) {
+	p := SharePort([]float64{10, 10, 20})
+	if !p.Oversubscribed() {
+		t.Fatal("40 GB/s on a 32 GB/s port should oversubscribe")
+	}
+	var sum float64
+	for _, g := range p.Grants {
+		sum += g
+	}
+	if math.Abs(sum-CXLx8GBps) > 1e-6 {
+		t.Fatalf("grants sum %v, want %v", sum, CXLx8GBps)
+	}
+	q := SharePort([]float64{5, 5})
+	if q.Oversubscribed() {
+		t.Fatal("10 GB/s should fit")
+	}
+}

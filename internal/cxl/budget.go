@@ -1,0 +1,105 @@
+package cxl
+
+import "fmt"
+
+// Figure 6 compares the EMC's IO requirements with AMD Genoa's IO die
+// (IOD): 128 PCIe 5.0 lanes and 12 DDR5 channels on a 397 mm^2 die. The
+// budget model expresses an EMC configuration in those units so the
+// "16-socket Pond EMC ~= one Genoa IOD" argument is checkable.
+
+// Genoa IOD reference point (§4.1, Figure 6).
+const (
+	GenoaIODLanes        = 128
+	GenoaIODDDR5Channels = 12
+	GenoaIODAreaMM2      = 397.0
+
+	// LanesPerHost is the width of each host's CXL link (x8 at PCIe 5.0).
+	LanesPerHost = 8
+
+	// HostsPerDDR5Channel reflects the bandwidth match: a x8 CXL port at
+	// a 2:1 read:write ratio matches one DDR5-4800 channel (§2), and the
+	// Figure 6 configurations provision 6 channels per 8 hosts.
+	HostsPerDDR5Channel = 8.0 / 6.0
+)
+
+// Bandwidth constants (GB/s) used by the bandwidth model (§2, §6.1).
+const (
+	// DDR5ChannelGBps is the peak bandwidth of one DDR5-4800 channel.
+	DDR5ChannelGBps = 38.4
+
+	// CXLx8GBps is the usable bandwidth of a bidirectional x8 CXL port
+	// at PCIe 5.0 speeds with a typical 2:1 read:write ratio.
+	CXLx8GBps = 32.0
+
+	// EmulatedRemoteGBps is the cross-socket bandwidth of the paper's
+	// emulation testbed, about 3/4 of a CXL x8 link (§6.1).
+	EmulatedRemoteGBps = 30.0
+
+	// LocalSocketGBps is the local-socket bandwidth measured on the
+	// paper's Intel testbed (§6.1).
+	LocalSocketGBps = 80.0
+)
+
+// Budget summarizes the hardware cost of providing a pool across the given
+// number of CPU sockets.
+type Budget struct {
+	Sockets      int
+	EMCs         int     // external memory controllers required
+	Switches     int     // CXL switches required (0 for direct attach)
+	PCIeLanes    int     // total host-facing PCIe 5.0 lanes across EMCs
+	DDR5Channels int     // total DDR5 channels across EMCs
+	IODFraction  float64 // per-EMC silicon relative to one Genoa IOD
+	AreaMM2      float64 // per-EMC die-area proxy
+}
+
+// String renders the budget as one table row of Figure 6.
+func (b Budget) String() string {
+	return fmt.Sprintf("%2d sockets: %d EMC(s), %d switch(es), %3d lanes, %2d DDR5 ch, %.2fx IOD (%.0f mm2/EMC)",
+		b.Sockets, b.EMCs, b.Switches, b.PCIeLanes, b.DDR5Channels, b.IODFraction, b.AreaMM2)
+}
+
+// EMCBudget returns the Figure 6 resource budget for a Pond pool of the
+// given socket count. Small pools (<=16 sockets) connect every host
+// directly to one multi-headed EMC; larger pools interpose CXL switches so
+// each of 4 EMCs serves the fabric through x8 links.
+func EMCBudget(sockets int) Budget {
+	if sockets < 2 || sockets > 64 {
+		panic(fmt.Sprintf("cxl: no EMC budget for %d sockets", sockets))
+	}
+	switch {
+	case sockets <= 8:
+		// 8 hosts x8 = 64 lanes, 6 DDR5 channels: about half an IOD.
+		return Budget{
+			Sockets: sockets, EMCs: 1, Switches: 0,
+			PCIeLanes: 8 * LanesPerHost, DDR5Channels: 6,
+			IODFraction: 0.5, AreaMM2: GenoaIODAreaMM2 / 2,
+		}
+	case sockets <= 16:
+		// 16 hosts x8 = 128 lanes, 12 DDR5 channels: about one IOD.
+		return Budget{
+			Sockets: sockets, EMCs: 1, Switches: 0,
+			PCIeLanes: 16 * LanesPerHost, DDR5Channels: 12,
+			IODFraction: 1.0, AreaMM2: GenoaIODAreaMM2,
+		}
+	default:
+		// Switched configuration: 8 switches fan hosts into 4 EMCs; each
+		// EMC exposes 96 lanes toward the switches (4 EMCs w/ x8 links to
+		// 8 switches + host side) and keeps 12 DDR5 channels.
+		return Budget{
+			Sockets: sockets, EMCs: 4, Switches: 8,
+			PCIeLanes: 96, DDR5Channels: 12,
+			IODFraction: 1.0, AreaMM2: GenoaIODAreaMM2,
+		}
+	}
+}
+
+// PortBandwidthMatchesDDR5 reports whether a x8 CXL port keeps up with a
+// DDR5-4800 channel within the given tolerance fraction; the paper's
+// provisioning argument depends on this being true within ~20%.
+func PortBandwidthMatchesDDR5(tolerance float64) bool {
+	diff := DDR5ChannelGBps - CXLx8GBps
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff/DDR5ChannelGBps <= tolerance
+}

@@ -1,0 +1,224 @@
+// Package cxl models the CXL interconnect hardware layer of Pond: the
+// request flow through a CXL port (paper Figure 1), the additive latency
+// composition for each pool size (Figure 7), the comparison between Pond's
+// multi-headed EMC design and switch-only fabrics (Figure 8), and the EMC
+// ASIC resource budget relative to AMD Genoa's IO die (Figure 6).
+//
+// The model is deliberately behavioural: every latency is a named stage
+// with a nanosecond cost taken from the paper's published assumptions, and
+// topologies are built by composing stages. This makes the arithmetic that
+// underlies Pond's "small pools only" design decision testable.
+package cxl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Latency assumptions from Figure 7 of the paper, in nanoseconds.
+const (
+	// CoreLLCFabricNanos is the CPU-side cost of a cache miss reaching
+	// the memory subsystem: core, LLC, and on-die fabric.
+	CoreLLCFabricNanos = 40.0
+
+	// MCAndDRAMNanos is the memory-controller plus DRAM access cost.
+	MCAndDRAMNanos = 45.0
+
+	// PortRoundTripNanos is the measured round-trip latency of one CXL
+	// port traversal (Intel Sapphire Rapids measurement cited in §2).
+	PortRoundTripNanos = 25.0
+
+	// FlightShortNanos is wire propagation for runs under 500 mm.
+	FlightShortNanos = 5.0
+
+	// RetimerPairNanos is the added latency of a retimer pair: about
+	// 10 ns in each direction (§4.1).
+	RetimerPairNanos = 20.0
+
+	// SwitchARBNanos is switch arbitration plus internal NOC cost; the
+	// full switch traversal (ingress port + ARB + egress port) is at
+	// least 70 ns (§4.1).
+	SwitchARBNanos = 20.0
+
+	// EMCACLNanos is the EMC-side address mapping and permission (ACL)
+	// check for the slice ownership table.
+	EMCACLNanos = 5.0
+
+	// EMCNOCNanos is the EMC's internal network-on-chip hop from CXL
+	// port to the DDR5 memory controller.
+	EMCNOCNanos = 10.0
+
+	// RetimerDistanceMM is the trace length above which signal-integrity
+	// simulations indicate CXL needs a retimer (§4.1).
+	RetimerDistanceMM = 500
+)
+
+// Figure 1 request-flow breakdown of the 25 ns port round trip.
+const (
+	PortPHYNanos         = 4.0                                 // CXL & PCIe PHY
+	PortArbMuxNanos      = 2.0                                 // Arb/Mux
+	PortLinkLayersNanos  = 19.0                                // transaction & link layers
+	LocalDRAMLatencyNano = CoreLLCFabricNanos + MCAndDRAMNanos // 85 ns
+)
+
+// Stage is one named component of an access path with its latency cost.
+type Stage struct {
+	Name  string
+	Nanos float64
+}
+
+// Path is an ordered latency composition from core to DRAM and back.
+type Path struct {
+	Name   string
+	Stages []Stage
+}
+
+// TotalNanos returns the end-to-end latency of the path.
+func (p Path) TotalNanos() float64 {
+	var total float64
+	for _, s := range p.Stages {
+		total += s.Nanos
+	}
+	return total
+}
+
+// IncreaseOverLocal returns the path latency as a percentage of the
+// NUMA-local baseline (e.g. 182 means a 182% latency level, i.e. 1.82x).
+func (p Path) IncreaseOverLocal() float64 {
+	return 100 * p.TotalNanos() / LocalDRAMLatencyNano
+}
+
+// AddedNanos returns the latency the path adds over NUMA-local DRAM.
+func (p Path) AddedNanos() float64 {
+	return p.TotalNanos() - LocalDRAMLatencyNano
+}
+
+// String renders the path as "name: stage(a) + stage(b) = total ns".
+func (p Path) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: ", p.Name)
+	for i, s := range p.Stages {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%s(%.0f)", s.Name, s.Nanos)
+	}
+	fmt.Fprintf(&b, " = %.0f ns (%.0f%%)", p.TotalNanos(), p.IncreaseOverLocal())
+	return b.String()
+}
+
+// LocalPath returns the NUMA-local DRAM access path (85 ns).
+func LocalPath() Path {
+	return Path{
+		Name: "local DRAM",
+		Stages: []Stage{
+			{"core/LLC/fabric", CoreLLCFabricNanos},
+			{"MC & DRAM", MCAndDRAMNanos},
+		},
+	}
+}
+
+// PondPath returns the access path from a CPU socket to pool DRAM for a
+// Pond pool of the given socket count, per Figure 7:
+//
+//	<=8  sockets: direct multi-headed EMC, no retimer      (155 ns, 182%)
+//	<=16 sockets: direct multi-headed EMC with retimer     (180 ns, 212%)
+//	<=64 sockets: retimer + CXL switch + multi-headed EMC  (280 ns, >318%)
+//
+// PondPath panics for socket counts outside [2, 64]; the paper does not
+// define larger Pond configurations.
+func PondPath(sockets int) Path {
+	switch {
+	case sockets < 2 || sockets > 64:
+		panic(fmt.Sprintf("cxl: no Pond topology for %d sockets", sockets))
+	case sockets <= 8:
+		return Path{
+			Name: fmt.Sprintf("%d-socket Pond", sockets),
+			Stages: []Stage{
+				{"core/LLC/fabric", CoreLLCFabricNanos},
+				{"CXL port (CPU)", PortRoundTripNanos},
+				{"flight", FlightShortNanos},
+				{"CXL port (EMC)", PortRoundTripNanos},
+				{"EMC ACL+NOC", EMCACLNanos + EMCNOCNanos},
+				{"MC & DRAM", MCAndDRAMNanos},
+			},
+		}
+	case sockets <= 16:
+		return Path{
+			Name: fmt.Sprintf("%d-socket Pond", sockets),
+			Stages: []Stage{
+				{"core/LLC/fabric", CoreLLCFabricNanos},
+				{"CXL port (CPU)", PortRoundTripNanos},
+				{"flight+retimer+flight", FlightShortNanos + RetimerPairNanos + FlightShortNanos},
+				{"CXL port (EMC)", PortRoundTripNanos},
+				{"EMC ACL+NOC", EMCACLNanos + EMCNOCNanos},
+				{"MC & DRAM", MCAndDRAMNanos},
+			},
+		}
+	default:
+		return Path{
+			Name: fmt.Sprintf("%d-socket Pond", sockets),
+			Stages: []Stage{
+				{"core/LLC/fabric", CoreLLCFabricNanos},
+				{"CXL port (CPU)", PortRoundTripNanos},
+				{"flight+retimer+flight", FlightShortNanos + RetimerPairNanos + FlightShortNanos},
+				{"CXL port (switch in)", PortRoundTripNanos},
+				{"switch ARB+NOC", SwitchARBNanos},
+				{"CXL port (switch out)", PortRoundTripNanos},
+				{"flight+retimer+flight", FlightShortNanos + RetimerPairNanos + FlightShortNanos},
+				{"CXL port (EMC)", PortRoundTripNanos},
+				{"EMC ACL+NOC", EMCACLNanos + EMCNOCNanos},
+				{"MC & DRAM", MCAndDRAMNanos},
+			},
+		}
+	}
+}
+
+// SwitchOnlyPath returns the access path for the alternative design that
+// reaches pool memory exclusively through CXL switches in front of
+// single-headed memory devices (the comparison baseline of Figure 8).
+// Every pool size pays at least one full switch traversal; 16 sockets adds
+// a retimer leg, and pools above 16 sockets require a second switch level
+// because single-headed devices cannot absorb the fan-out a multi-headed
+// EMC provides.
+func SwitchOnlyPath(sockets int) Path {
+	if sockets < 2 || sockets > 64 {
+		panic(fmt.Sprintf("cxl: no switch-only topology for %d sockets", sockets))
+	}
+	stages := []Stage{
+		{"core/LLC/fabric", CoreLLCFabricNanos},
+		{"CXL port (CPU)", PortRoundTripNanos},
+	}
+	if sockets > 8 {
+		stages = append(stages, Stage{"flight+retimer+flight", FlightShortNanos + RetimerPairNanos + FlightShortNanos})
+	} else {
+		stages = append(stages, Stage{"flight", FlightShortNanos})
+	}
+	stages = append(stages,
+		Stage{"CXL port (switch in)", PortRoundTripNanos},
+		Stage{"switch ARB+NOC", SwitchARBNanos},
+		Stage{"CXL port (switch out)", PortRoundTripNanos},
+	)
+	if sockets > 16 {
+		// A second switch level for the larger fan-outs.
+		stages = append(stages,
+			Stage{"flight+retimer+flight", FlightShortNanos + RetimerPairNanos + FlightShortNanos},
+			Stage{"CXL port (switch2 in)", PortRoundTripNanos},
+			Stage{"switch2 ARB+NOC", SwitchARBNanos},
+			Stage{"CXL port (switch2 out)", PortRoundTripNanos},
+		)
+	}
+	stages = append(stages,
+		Stage{"flight", FlightShortNanos},
+		Stage{"CXL port (device)", PortRoundTripNanos},
+		Stage{"device NOC", EMCNOCNanos},
+		Stage{"MC & DRAM", MCAndDRAMNanos},
+	)
+	return Path{Name: fmt.Sprintf("%d-socket switch-only", sockets), Stages: stages}
+}
+
+// SwitchTraversalNanos is the full cost of one switch hop: ingress port,
+// arbitration/NOC, egress port. The paper cites "at least 70 ns".
+func SwitchTraversalNanos() float64 {
+	return PortRoundTripNanos + SwitchARBNanos + PortRoundTripNanos
+}

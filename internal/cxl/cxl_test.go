@@ -1,0 +1,248 @@
+package cxl
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLocalPathIs85ns(t *testing.T) {
+	if got := LocalPath().TotalNanos(); got != 85 {
+		t.Fatalf("local DRAM = %v ns, want 85", got)
+	}
+}
+
+func TestPond8SocketIs155ns(t *testing.T) {
+	p := PondPath(8)
+	if got := p.TotalNanos(); got != 155 {
+		t.Fatalf("8-socket Pond = %v ns, want 155 (Figure 7)", got)
+	}
+	if got := p.IncreaseOverLocal(); math.Abs(got-182.35) > 0.1 {
+		t.Fatalf("8-socket increase = %v%%, want ~182%%", got)
+	}
+}
+
+func TestPond16SocketIs180ns(t *testing.T) {
+	p := PondPath(16)
+	if got := p.TotalNanos(); got != 180 {
+		t.Fatalf("16-socket Pond = %v ns, want 180 (Figure 7)", got)
+	}
+	if got := p.IncreaseOverLocal(); math.Abs(got-211.76) > 0.1 {
+		t.Fatalf("16-socket increase = %v%%, want ~212%%", got)
+	}
+}
+
+func TestPond32SocketExceeds270ns(t *testing.T) {
+	for _, sockets := range []int{32, 64} {
+		p := PondPath(sockets)
+		if got := p.TotalNanos(); got <= 270 {
+			t.Fatalf("%d-socket Pond = %v ns, want > 270 (Figure 7)", sockets, got)
+		}
+		if got := p.IncreaseOverLocal(); got < 318 {
+			t.Fatalf("%d-socket increase = %v%%, want >= 318%%", sockets, got)
+		}
+	}
+}
+
+func TestPondAddedLatencySmallPools(t *testing.T) {
+	// §1/§4.1: small pools of 8-16 sockets add only 70-90 ns.
+	for _, sockets := range []int{2, 4, 8, 16} {
+		added := PondPath(sockets).AddedNanos()
+		if added < 70 || added > 95 {
+			t.Fatalf("%d-socket pool adds %v ns, want within [70,95]", sockets, added)
+		}
+	}
+}
+
+func TestPondPathMonotoneInPoolSize(t *testing.T) {
+	prev := 0.0
+	for _, sockets := range []int{2, 8, 16, 32, 64} {
+		total := PondPath(sockets).TotalNanos()
+		if total < prev {
+			t.Fatalf("latency decreased at %d sockets: %v < %v", sockets, total, prev)
+		}
+		prev = total
+	}
+}
+
+func TestPondPathPanicsOutOfRange(t *testing.T) {
+	for _, sockets := range []int{0, 1, 65, 128} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("PondPath(%d) did not panic", sockets)
+				}
+			}()
+			PondPath(sockets)
+		}()
+	}
+}
+
+func TestSwitchOnlyPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SwitchOnlyPath(1) did not panic")
+		}
+	}()
+	SwitchOnlyPath(1)
+}
+
+func TestSwitchTraversalAtLeast70ns(t *testing.T) {
+	if got := SwitchTraversalNanos(); got < 70 {
+		t.Fatalf("switch traversal = %v ns, want >= 70 (§4.1)", got)
+	}
+}
+
+func TestPondBeatsSwitchOnlyByAboutOneThird(t *testing.T) {
+	// Figure 8: Pond reduces latency by ~1/3 at 8-16 sockets.
+	for _, sockets := range []int{8, 16} {
+		pond := PondPath(sockets).TotalNanos()
+		sw := SwitchOnlyPath(sockets).TotalNanos()
+		reduction := 1 - pond/sw
+		if reduction < 0.25 || reduction > 0.45 {
+			t.Fatalf("%d sockets: reduction = %.2f, want ~1/3 (pond=%v sw=%v)",
+				sockets, reduction, pond, sw)
+		}
+	}
+}
+
+func TestSwitchOnlyAlwaysSlowerThanPond(t *testing.T) {
+	for _, sockets := range []int{2, 8, 16, 32, 64} {
+		pond := PondPath(sockets).TotalNanos()
+		sw := SwitchOnlyPath(sockets).TotalNanos()
+		if pond >= sw {
+			t.Fatalf("%d sockets: Pond (%v) not faster than switch-only (%v)", sockets, pond, sw)
+		}
+	}
+}
+
+func TestSwitchOnlySecondLevelAbove16(t *testing.T) {
+	sw16 := SwitchOnlyPath(16).TotalNanos()
+	sw32 := SwitchOnlyPath(32).TotalNanos()
+	if sw32 <= sw16 {
+		t.Fatalf("32-socket switch-only (%v) should pay a second switch over 16 (%v)", sw32, sw16)
+	}
+	if sw32-sw16 < SwitchTraversalNanos() {
+		t.Fatalf("second switch level adds %v ns, want >= %v", sw32-sw16, SwitchTraversalNanos())
+	}
+}
+
+func TestPathStringMentionsStagesAndTotal(t *testing.T) {
+	s := PondPath(8).String()
+	for _, want := range []string{"8-socket Pond", "CXL port", "155", "182"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Path.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestPortBreakdownSumsTo25(t *testing.T) {
+	phy, arb, link := PortBreakdownNanos()
+	if phy+arb+link != PortRoundTripNanos {
+		t.Fatalf("port breakdown %v+%v+%v != %v", phy, arb, link, PortRoundTripNanos)
+	}
+}
+
+func TestTransactionsNeedNoFaultsOrDMA(t *testing.T) {
+	for _, tr := range []Transaction{ReadTransaction(), WriteBackTransaction()} {
+		if tr.RequiresPageFault() || tr.RequiresDMA() {
+			t.Fatalf("CXL.mem transaction %v should need neither faults nor DMA", tr)
+		}
+	}
+}
+
+func TestTransactionPairs(t *testing.T) {
+	if r := ReadTransaction(); r.Request != Req || r.Response != DRS {
+		t.Fatalf("read transaction = %+v", r)
+	}
+	if w := WriteBackTransaction(); w.Request != RwD || w.Response != NDR {
+		t.Fatalf("write-back transaction = %+v", w)
+	}
+}
+
+func TestMessageClassStrings(t *testing.T) {
+	cases := map[MessageClass]string{Req: "Req", DRS: "DRS", RwD: "RwD", NDR: "NDR", MessageClass(99): "unknown"}
+	for mc, want := range cases {
+		if got := mc.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", mc, got, want)
+		}
+	}
+}
+
+func TestEMCBudget8Sockets(t *testing.T) {
+	b := EMCBudget(8)
+	if b.PCIeLanes != 64 || b.DDR5Channels != 6 || b.IODFraction != 0.5 {
+		t.Fatalf("8-socket budget = %+v, want 64 lanes / 6 channels / half IOD (Figure 6)", b)
+	}
+	if b.Switches != 0 {
+		t.Fatalf("8-socket pool should be switchless, got %d switches", b.Switches)
+	}
+}
+
+func TestEMCBudget16Sockets(t *testing.T) {
+	b := EMCBudget(16)
+	if b.PCIeLanes != 128 || b.DDR5Channels != 12 || b.IODFraction != 1.0 {
+		t.Fatalf("16-socket budget = %+v, want 128 lanes / 12 channels / one IOD (Figure 6)", b)
+	}
+	if b.PCIeLanes != GenoaIODLanes || b.DDR5Channels != GenoaIODDDR5Channels {
+		t.Fatalf("16-socket EMC should match Genoa IOD exactly: %+v", b)
+	}
+}
+
+func TestEMCBudgetLargePoolsNeedSwitches(t *testing.T) {
+	for _, sockets := range []int{32, 64} {
+		b := EMCBudget(sockets)
+		if b.Switches == 0 {
+			t.Fatalf("%d-socket pool should require switches", sockets)
+		}
+		if b.EMCs < 2 {
+			t.Fatalf("%d-socket pool should shard across EMCs, got %d", sockets, b.EMCs)
+		}
+	}
+}
+
+func TestEMCBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EMCBudget(1) did not panic")
+		}
+	}()
+	EMCBudget(1)
+}
+
+func TestBudgetString(t *testing.T) {
+	s := EMCBudget(16).String()
+	if !strings.Contains(s, "16 sockets") || !strings.Contains(s, "128 lanes") {
+		t.Fatalf("Budget.String() = %q", s)
+	}
+}
+
+func TestPortBandwidthMatchesDDR5(t *testing.T) {
+	if !PortBandwidthMatchesDDR5(0.2) {
+		t.Fatalf("x8 CXL (%v GB/s) should be within 20%% of DDR5-4800 (%v GB/s)",
+			CXLx8GBps, DDR5ChannelGBps)
+	}
+	if PortBandwidthMatchesDDR5(0.01) {
+		t.Fatal("1% tolerance should not match; the link is slightly narrower")
+	}
+}
+
+func TestEmulationBandwidthIsThreeQuartersOfLink(t *testing.T) {
+	ratio := EmulatedRemoteGBps / CXLx8GBps
+	if math.Abs(ratio-0.75) > 0.2 {
+		t.Fatalf("emulated remote bandwidth ratio = %v, want ~3/4 (§6.1)", ratio)
+	}
+}
+
+func TestFigure7LatencyLevels(t *testing.T) {
+	// The two emulation scenarios in the paper: 182% and 222% levels.
+	if lvl := PondPath(8).IncreaseOverLocal(); math.Round(lvl) != 182 {
+		t.Fatalf("8-socket level = %v, want 182", lvl)
+	}
+	// The AMD testbed emulates 222% (115 -> 255 ns); Pond's 16-socket
+	// topology sits at 212%, between the two studied levels.
+	lvl16 := PondPath(16).IncreaseOverLocal()
+	if lvl16 < 182 || lvl16 > 222 {
+		t.Fatalf("16-socket level = %v, want within [182, 222]", lvl16)
+	}
+}

@@ -1,0 +1,76 @@
+package cxl
+
+import "math"
+
+// Load-dependent latency. The Figure 7 numbers are unloaded round-trip
+// times; under bandwidth pressure, requests also queue at the EMC's CXL
+// ports and DDR5 memory controllers. An M/M/1-style waiting-time term
+// captures the shape every shared memory channel exhibits: flat until
+// ~60% utilization, then a sharp knee toward saturation. Pond's
+// provisioning rule (one DDR5 channel per x8 port, §2) exists precisely
+// to keep pool ports out of that knee.
+
+// ServiceNanos is the per-cacheline service time at an EMC port. A 64 B
+// line at 32 GB/s takes 2 ns of link occupancy.
+const ServiceNanos = 2.0
+
+// QueueDelayNanos returns the expected queueing delay at one port at the
+// given utilization (0 <= rho < 1). It grows as rho/(1-rho), the M/M/1
+// waiting-time shape. Utilizations at or above 1 are clamped just below
+// saturation so callers see a large but finite penalty.
+func QueueDelayNanos(rho float64) float64 {
+	if rho <= 0 {
+		return 0
+	}
+	if rho > 0.99 {
+		rho = 0.99
+	}
+	return ServiceNanos * rho / (1 - rho)
+}
+
+// LoadedLatency returns the end-to-end pool access latency at the given
+// port utilization: the unloaded path plus the queueing term.
+func LoadedLatency(p Path, rho float64) float64 {
+	return p.TotalNanos() + QueueDelayNanos(rho)
+}
+
+// UtilizationFor returns the port utilization implied by an aggregate
+// demand against the port's capacity.
+func UtilizationFor(demandGBps float64) float64 {
+	if demandGBps <= 0 {
+		return 0
+	}
+	return demandGBps / CXLx8GBps
+}
+
+// EffectiveLatencyRatio returns the loaded pool-to-local latency ratio
+// for a Pond pool of the given size under the given port utilization —
+// the quantity the workload slowdown model consumes. At zero load it
+// reduces to the Figure 7 ratios (1.82 for 8 sockets, 2.12 for 16).
+func EffectiveLatencyRatio(sockets int, rho float64) float64 {
+	return LoadedLatency(PondPath(sockets), rho) / LocalDRAMLatencyNano
+}
+
+// SaturationHeadroom reports how much more bandwidth (GB/s) the port can
+// absorb before the queueing delay exceeds budgetNanos.
+func SaturationHeadroom(budgetNanos float64) float64 {
+	if budgetNanos <= 0 {
+		return 0
+	}
+	// Invert QueueDelayNanos: rho = d / (d + service).
+	rho := budgetNanos / (budgetNanos + ServiceNanos)
+	return rho * CXLx8GBps
+}
+
+// KneeUtilization is the utilization at which queueing adds as much
+// latency as a full switch traversal — the practical ceiling for
+// latency-sensitive pools.
+func KneeUtilization() float64 {
+	target := SwitchTraversalNanos()
+	return target / (target + ServiceNanos)
+}
+
+// BoundedRho clamps a utilization into [0, 0.99].
+func BoundedRho(rho float64) float64 {
+	return math.Max(0, math.Min(rho, 0.99))
+}

@@ -1,0 +1,121 @@
+package cxl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueDelayZeroAtZeroLoad(t *testing.T) {
+	if QueueDelayNanos(0) != 0 || QueueDelayNanos(-1) != 0 {
+		t.Fatal("idle port should add no delay")
+	}
+}
+
+func TestQueueDelayMonotone(t *testing.T) {
+	prev := -1.0
+	for rho := 0.0; rho < 1.0; rho += 0.05 {
+		d := QueueDelayNanos(rho)
+		if d < prev {
+			t.Fatalf("delay fell at rho=%v", rho)
+		}
+		prev = d
+	}
+}
+
+func TestQueueDelayKneeShape(t *testing.T) {
+	// Flat at low load, sharp near saturation.
+	low := QueueDelayNanos(0.3)
+	mid := QueueDelayNanos(0.6)
+	high := QueueDelayNanos(0.95)
+	if low > 1 {
+		t.Fatalf("30%% load adds %v ns; should be negligible", low)
+	}
+	if high < 10*mid {
+		t.Fatalf("no knee: 95%% load (%v) vs 60%% (%v)", high, mid)
+	}
+}
+
+func TestQueueDelayClampsAtSaturation(t *testing.T) {
+	d1 := QueueDelayNanos(1.0)
+	d2 := QueueDelayNanos(5.0)
+	if math.IsInf(d1, 0) || d1 != d2 {
+		t.Fatalf("saturation not clamped: %v vs %v", d1, d2)
+	}
+}
+
+func TestLoadedLatencyReducesToUnloaded(t *testing.T) {
+	p := PondPath(8)
+	if LoadedLatency(p, 0) != p.TotalNanos() {
+		t.Fatal("zero load must match Figure 7")
+	}
+}
+
+func TestEffectiveLatencyRatioAtZeroLoad(t *testing.T) {
+	if r := EffectiveLatencyRatio(8, 0); math.Abs(r-155.0/85.0) > 1e-9 {
+		t.Fatalf("ratio = %v", r)
+	}
+	if r := EffectiveLatencyRatio(16, 0); math.Abs(r-180.0/85.0) > 1e-9 {
+		t.Fatalf("ratio = %v", r)
+	}
+}
+
+func TestEffectiveLatencyRatioGrowsWithLoad(t *testing.T) {
+	if EffectiveLatencyRatio(8, 0.9) <= EffectiveLatencyRatio(8, 0.2) {
+		t.Fatal("loaded ratio should exceed lightly loaded")
+	}
+}
+
+func TestUtilizationFor(t *testing.T) {
+	if UtilizationFor(-1) != 0 || UtilizationFor(0) != 0 {
+		t.Fatal("non-positive demand should idle")
+	}
+	if got := UtilizationFor(CXLx8GBps / 2); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("half demand = %v", got)
+	}
+}
+
+func TestSaturationHeadroomInvertsDelay(t *testing.T) {
+	// The headroom for a given budget must produce that budget's delay.
+	for _, budget := range []float64{1, 5, 20, 70} {
+		gbps := SaturationHeadroom(budget)
+		rho := UtilizationFor(gbps)
+		if got := QueueDelayNanos(rho); math.Abs(got-budget) > 0.5 {
+			t.Fatalf("budget %v ns: headroom %v GB/s gives delay %v", budget, gbps, got)
+		}
+	}
+	if SaturationHeadroom(0) != 0 {
+		t.Fatal("zero budget should allow no load")
+	}
+}
+
+func TestKneeUtilizationSensible(t *testing.T) {
+	knee := KneeUtilization()
+	if knee <= 0.9 || knee >= 1 {
+		t.Fatalf("knee = %v; a 70 ns budget on a 2 ns service time sits very close to saturation", knee)
+	}
+	// At the knee, delay equals one switch traversal.
+	if d := QueueDelayNanos(knee); math.Abs(d-SwitchTraversalNanos()) > 1 {
+		t.Fatalf("delay at knee = %v, want ~%v", d, SwitchTraversalNanos())
+	}
+}
+
+func TestBoundedRho(t *testing.T) {
+	if BoundedRho(-2) != 0 || BoundedRho(2) != 0.99 || BoundedRho(0.5) != 0.5 {
+		t.Fatal("clamp broken")
+	}
+}
+
+// Property: loaded latency is always >= the unloaded path and finite.
+func TestLoadedLatencyProperty(t *testing.T) {
+	f := func(rawSockets uint8, rawRho float64) bool {
+		sockets := []int{2, 8, 16, 32, 64}[int(rawSockets)%5]
+		rho := BoundedRho(math.Mod(math.Abs(rawRho), 2))
+		p := PondPath(sockets)
+		l := LoadedLatency(p, rho)
+		return l >= p.TotalNanos() && !math.IsInf(l, 0) && !math.IsNaN(l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

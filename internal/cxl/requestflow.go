@@ -1,0 +1,66 @@
+package cxl
+
+// Figure 1 of the paper walks a CPU cache miss through the CXL.mem
+// protocol: the miss becomes a Request (Req) on the CXL port, the device
+// answers with a Data Response (DRS); a write-back becomes a Request with
+// Data (RwD) answered by a No Data Response (NDR). Neither flow involves
+// page faults or DMA — that property is what lets pool memory stay
+// statically preallocated (§2). The types here encode that flow so the
+// EMC model and tests can speak the same vocabulary.
+
+// MessageClass identifies a CXL.mem transaction type.
+type MessageClass int
+
+const (
+	// Req is a memory read request (issued on LLC miss).
+	Req MessageClass = iota
+	// DRS is the data response carrying the missing cache line.
+	DRS
+	// RwD is a request-with-data (issued on LLC write-back).
+	RwD
+	// NDR is the no-data response completing a write.
+	NDR
+)
+
+// String names the message class as the spec does.
+func (m MessageClass) String() string {
+	switch m {
+	case Req:
+		return "Req"
+	case DRS:
+		return "DRS"
+	case RwD:
+		return "RwD"
+	case NDR:
+		return "NDR"
+	default:
+		return "unknown"
+	}
+}
+
+// Transaction pairs a request with its response class.
+type Transaction struct {
+	Request  MessageClass
+	Response MessageClass
+}
+
+// ReadTransaction is the cache-miss flow: Req -> DRS.
+func ReadTransaction() Transaction { return Transaction{Request: Req, Response: DRS} }
+
+// WriteBackTransaction is the write-back flow: RwD -> NDR.
+func WriteBackTransaction() Transaction { return Transaction{Request: RwD, Response: NDR} }
+
+// RequiresPageFault reports whether the transaction involves a page fault;
+// for CXL.mem it never does, which is the core compatibility property of
+// Pond with virtualization accelerators (G2).
+func (t Transaction) RequiresPageFault() bool { return false }
+
+// RequiresDMA reports whether the transaction involves a DMA; CXL.mem
+// transfers are cache-line load/store, never DMA.
+func (t Transaction) RequiresDMA() bool { return false }
+
+// PortBreakdownNanos returns the three components of the measured 25 ns
+// port round trip from Figure 1: PHY, Arb/Mux, and transaction+link layers.
+func PortBreakdownNanos() (phy, arbMux, linkLayers float64) {
+	return PortPHYNanos, PortArbMuxNanos, PortLinkLayersNanos
+}

@@ -1,0 +1,66 @@
+package emc
+
+import "fmt"
+
+// DDR5 channel interleaving inside the EMC. The device's memory
+// controllers (6 channels on an 8-socket EMC, 12 on a 16-socket one,
+// Figure 6) serve cachelines interleaved at a fixed granule so a single
+// host's sequential stream spreads across all channels — the same reason
+// server memory controllers interleave. The mapper also lets tests verify
+// that one misbehaving channel (RAS isolation, §4.1) affects a bounded,
+// identifiable address slice.
+
+// InterleaveGranuleBytes is the per-channel striping unit (a common
+// 256-byte granule: four cachelines per channel before moving on).
+const InterleaveGranuleBytes = 256
+
+// ChannelMap describes the EMC's internal address-to-channel layout.
+type ChannelMap struct {
+	Channels int
+}
+
+// NewChannelMap validates and builds a map.
+func NewChannelMap(channels int) ChannelMap {
+	if channels <= 0 {
+		panic(fmt.Sprintf("emc: invalid channel count %d", channels))
+	}
+	return ChannelMap{Channels: channels}
+}
+
+// ChannelFor returns the DDR5 channel serving the given device byte
+// address.
+func (m ChannelMap) ChannelFor(addr uint64) int {
+	return int((addr / InterleaveGranuleBytes) % uint64(m.Channels))
+}
+
+// SliceChannels returns how many distinct channels a 1 GB slice touches —
+// always all of them, which is why Pond interleaves only *within* the EMC
+// and never across EMCs (blast radius, §4.2).
+func (m ChannelMap) SliceChannels(s SliceID) int {
+	granules := uint64(SliceGB) << 30 / InterleaveGranuleBytes
+	if granules >= uint64(m.Channels) {
+		return m.Channels
+	}
+	return int(granules)
+}
+
+// ChannelShare returns the fraction of the device's aggregate bandwidth
+// one stream gets among activeStreams concurrent streams. Because every
+// stream stripes over all channels, sharing is uniform at any
+// concurrency — the property that makes per-VM pool bandwidth predictable
+// without channel-affinity placement.
+func (m ChannelMap) ChannelShare(activeStreams int) float64 {
+	if activeStreams <= 0 {
+		return 0
+	}
+	return 1 / float64(activeStreams)
+}
+
+// FailChannelBlastGB returns how much of a capacityGB device is affected
+// when one channel's DRAM fails: with full interleaving, every slice
+// touches the failed channel, so the whole device is affected — the
+// reason EMC-level failures, not channel-level ones, define Pond's blast
+// radius unit.
+func (m ChannelMap) FailChannelBlastGB(capacityGB int) int {
+	return capacityGB
+}

@@ -1,0 +1,90 @@
+package emc
+
+import "fmt"
+
+// HDMDecoder models the Host-managed Device Memory decoder each host
+// programs at boot (§4.2): the EMC exposes its entire capacity on each
+// port, and the host maps that range into its physical address space,
+// initially offline/"not enabled". Slice onlining then toggles 1 GB
+// sub-ranges hot-pluggable.
+type HDMDecoder struct {
+	Host     HostID
+	Device   string
+	BaseAddr uint64 // host-physical base of the device window
+	SizeGB   int
+	enabled  []bool // per-slice online state as seen by the host
+}
+
+// NewHDMDecoder programs a decoder for the device window. All slices
+// start offline, matching "hosts program each EMC's address range but
+// treat them initially as offline".
+func NewHDMDecoder(h HostID, d *Device, baseAddr uint64) *HDMDecoder {
+	return &HDMDecoder{
+		Host:     h,
+		Device:   d.Name(),
+		BaseAddr: baseAddr,
+		SizeGB:   d.CapacityGB(),
+		enabled:  make([]bool, d.Slices()),
+	}
+}
+
+// SliceAddr returns the host-physical base address of slice s.
+func (hd *HDMDecoder) SliceAddr(s SliceID) uint64 {
+	return hd.BaseAddr + uint64(s)*uint64(SliceGB)<<30
+}
+
+// SliceForAddr maps a host-physical address back to a slice id, or
+// (-1, false) when the address is outside the device window.
+func (hd *HDMDecoder) SliceForAddr(addr uint64) (SliceID, bool) {
+	if addr < hd.BaseAddr {
+		return -1, false
+	}
+	off := (addr - hd.BaseAddr) >> 30
+	if off >= uint64(hd.SizeGB/SliceGB) {
+		return -1, false
+	}
+	return SliceID(off), true
+}
+
+// Online marks slice s usable by the host's memory manager (the
+// add_capacity interrupt path).
+func (hd *HDMDecoder) Online(s SliceID) error {
+	if int(s) < 0 || int(s) >= len(hd.enabled) {
+		return fmt.Errorf("hdm: slice %d outside device window", s)
+	}
+	hd.enabled[s] = true
+	return nil
+}
+
+// Offline removes slice s from the host's usable memory (the
+// release_capacity path). Offlining an already-offline slice is an error:
+// it indicates the driver and Pool Manager disagree about ownership.
+func (hd *HDMDecoder) Offline(s SliceID) error {
+	if int(s) < 0 || int(s) >= len(hd.enabled) {
+		return fmt.Errorf("hdm: slice %d outside device window", s)
+	}
+	if !hd.enabled[s] {
+		return fmt.Errorf("hdm: slice %d already offline", s)
+	}
+	hd.enabled[s] = false
+	return nil
+}
+
+// IsOnline reports whether the host currently has slice s online.
+func (hd *HDMDecoder) IsOnline(s SliceID) bool {
+	if int(s) < 0 || int(s) >= len(hd.enabled) {
+		return false
+	}
+	return hd.enabled[s]
+}
+
+// OnlineGB returns the amount of device memory this host has online.
+func (hd *HDMDecoder) OnlineGB() int {
+	n := 0
+	for _, e := range hd.enabled {
+		if e {
+			n++
+		}
+	}
+	return n * SliceGB
+}

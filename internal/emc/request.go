@@ -1,0 +1,51 @@
+package emc
+
+import "fmt"
+
+// Request walking: the end-to-end journey of one CXL.mem access through
+// the EMC (Figure 1 meets §4.1). A host-physical address goes through the
+// host's HDM decoder to a slice, the permission table validates the
+// requestor, and the interleaver picks the DDR5 channel. This composes
+// the pieces modeled individually elsewhere so integration tests can walk
+// real addresses through the whole device.
+
+// RequestResult reports one walked access.
+type RequestResult struct {
+	Slice   SliceID
+	Channel int
+}
+
+// RequestWalker binds a host's decoder to a device and its channel map.
+type RequestWalker struct {
+	dev      *Device
+	hdm      *HDMDecoder
+	channels ChannelMap
+}
+
+// NewRequestWalker wires the three components for one host.
+func NewRequestWalker(dev *Device, hdm *HDMDecoder, channels ChannelMap) *RequestWalker {
+	if hdm == nil || dev == nil {
+		panic("emc: request walker needs a device and decoder")
+	}
+	return &RequestWalker{dev: dev, hdm: hdm, channels: channels}
+}
+
+// Walk validates and routes an access by the decoder's host to the given
+// host-physical address. It returns the slice and channel the access
+// lands on, a FatalMemoryError for permission violations, or a decode
+// error for addresses outside the device window.
+func (rw *RequestWalker) Walk(addr uint64) (RequestResult, error) {
+	slice, ok := rw.hdm.SliceForAddr(addr)
+	if !ok {
+		return RequestResult{}, fmt.Errorf("emc: address %#x outside device window", addr)
+	}
+	if !rw.hdm.IsOnline(slice) {
+		return RequestResult{}, fmt.Errorf("emc: slice %d offline on host %d", slice, rw.hdm.Host)
+	}
+	if err := rw.dev.Access(slice, rw.hdm.Host); err != nil {
+		return RequestResult{}, err
+	}
+	// Channel selection uses the device-relative offset.
+	off := addr - rw.hdm.BaseAddr
+	return RequestResult{Slice: slice, Channel: rw.channels.ChannelFor(off)}, nil
+}

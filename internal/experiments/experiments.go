@@ -1,0 +1,89 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3, §6). Each FigureN function returns a structured result
+// with a String method that prints the same rows or series the paper
+// reports; the cmd/ tools and the repository's benchmarks are thin
+// wrappers around these entry points.
+//
+// Scale: every trace-driven experiment takes a Scale that controls how
+// many clusters and days the synthetic fleet spans. ScaleQuick keeps unit
+// tests and benchmarks fast; ScalePaper approximates the paper's 100
+// clusters x 75 days.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pond/internal/cluster"
+)
+
+// DefaultSeed is the fleet-wide default seed; every experiment derives
+// its own stream from it, so the whole evaluation is reproducible.
+const DefaultSeed = 42
+
+// Scale selects the size of trace-driven experiments.
+type Scale int
+
+// Available scales.
+const (
+	// ScaleQuick: a handful of clusters, enough for shape checks.
+	ScaleQuick Scale = iota
+	// ScaleFull: the default evaluation scale (fraction of the paper's
+	// fleet, same distributions).
+	ScaleFull
+	// ScalePaper: 100 clusters over 75 days, as in the paper. Slow.
+	ScalePaper
+)
+
+// GenConfig returns the trace-generator configuration for the scale.
+func (s Scale) GenConfig() cluster.GenConfig {
+	cfg := cluster.DefaultGenConfig()
+	cfg.Seed = DefaultSeed
+	switch s {
+	case ScaleQuick:
+		cfg.Clusters = 6
+		cfg.Days = 25
+		cfg.ServersPerCluster = 12
+	case ScalePaper:
+		cfg.Clusters = 100
+		cfg.Days = 75
+		cfg.ServersPerCluster = 16
+	default: // ScaleFull
+		cfg.Clusters = 24
+		cfg.Days = 75
+		cfg.ServersPerCluster = 16
+	}
+	return cfg
+}
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case ScaleQuick:
+		return "quick"
+	case ScalePaper:
+		return "paper"
+	default:
+		return "full"
+	}
+}
+
+// table is a tiny fixed-width text-table builder shared by the result
+// renderers.
+type table struct {
+	b strings.Builder
+}
+
+func (t *table) title(s string) {
+	t.b.WriteString(s)
+	t.b.WriteString("\n")
+	t.b.WriteString(strings.Repeat("-", len(s)))
+	t.b.WriteString("\n")
+}
+
+func (t *table) row(format string, args ...any) {
+	fmt.Fprintf(&t.b, format, args...)
+	t.b.WriteString("\n")
+}
+
+func (t *table) String() string { return t.b.String() }

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pond/internal/cluster"
+	"pond/internal/cxl"
+	"pond/internal/emc"
+	"pond/internal/guest"
+	"pond/internal/host"
+	"pond/internal/pool"
+	"pond/internal/stats"
+	"pond/internal/workload"
+)
+
+// Figure6Result is the EMC resource-budget comparison against AMD Genoa's
+// IO die.
+type Figure6Result struct {
+	Budgets []cxl.Budget
+}
+
+// Figure6 computes the EMC budget for the paper's pool sizes.
+func Figure6() Figure6Result {
+	var r Figure6Result
+	for _, sockets := range []int{8, 16, 32, 64} {
+		r.Budgets = append(r.Budgets, cxl.EMCBudget(sockets))
+	}
+	return r
+}
+
+// String renders the Figure 6 table.
+func (r Figure6Result) String() string {
+	var t table
+	t.title("Figure 6: EMC budget vs AMD Genoa IOD (128 lanes, 12 DDR5 ch, 397 mm2)")
+	for _, b := range r.Budgets {
+		t.row("%s", b)
+	}
+	return t.String()
+}
+
+// Figure7Result is the latency breakdown per pool size.
+type Figure7Result struct {
+	Paths []cxl.Path
+}
+
+// Figure7 composes the access paths of Figure 7.
+func Figure7() Figure7Result {
+	r := Figure7Result{Paths: []cxl.Path{cxl.LocalPath()}}
+	for _, sockets := range []int{8, 16, 32, 64} {
+		r.Paths = append(r.Paths, cxl.PondPath(sockets))
+	}
+	return r
+}
+
+// String renders each path with its stage breakdown.
+func (r Figure7Result) String() string {
+	var t table
+	t.title("Figure 7: pool size and latency tradeoffs")
+	for _, p := range r.Paths {
+		t.row("%s", p)
+	}
+	return t.String()
+}
+
+// Figure8Row compares Pond against the switch-only design at one size.
+type Figure8Row struct {
+	Sockets      int
+	PondNanos    float64
+	SwitchNanos  float64
+	ReductionPct float64
+}
+
+// Figure8Result is the latency comparison series.
+type Figure8Result struct {
+	Rows []Figure8Row
+}
+
+// Figure8 evaluates both designs across pool sizes.
+func Figure8() Figure8Result {
+	var r Figure8Result
+	for _, sockets := range []int{2, 8, 16, 32, 64} {
+		pond := cxl.PondPath(sockets).TotalNanos()
+		sw := cxl.SwitchOnlyPath(sockets).TotalNanos()
+		r.Rows = append(r.Rows, Figure8Row{
+			Sockets:      sockets,
+			PondNanos:    pond,
+			SwitchNanos:  sw,
+			ReductionPct: 100 * (1 - pond/sw),
+		})
+	}
+	return r
+}
+
+// String renders the Figure 8 series.
+func (r Figure8Result) String() string {
+	var t table
+	t.title("Figure 8: pool access latency, Pond multi-headed EMC vs switches only")
+	t.row("%-8s %12s %14s %10s", "sockets", "Pond [ns]", "switch-only", "reduction")
+	for _, row := range r.Rows {
+		t.row("%-8d %12.0f %14.0f %9.0f%%", row.Sockets, row.PondNanos, row.SwitchNanos, row.ReductionPct)
+	}
+	return t.String()
+}
+
+// Figure9Event is one line of the pool-management walkthrough.
+type Figure9Event struct {
+	T    int
+	What string
+}
+
+// Figure9Result is the Figure 9 event trace.
+type Figure9Result struct {
+	Events []Figure9Event
+	// FreeGBAfter is the pool's free capacity at the end.
+	FreeGBAfter int
+}
+
+// Figure9 re-enacts the paper's pool-management example: two hosts share
+// one EMC; VM2 departs and its slice is released asynchronously; a new VM
+// arrives on host 2 and receives capacity before it starts.
+func Figure9() Figure9Result {
+	var r Figure9Result
+	log := func(t int, format string, args ...any) {
+		r.Events = append(r.Events, Figure9Event{T: t, What: fmt.Sprintf(format, args...)})
+	}
+	device := emc.NewDevice("EMC1", 8, 2)
+	pm := pool.NewManager([]*emc.Device{device}, stats.NewRand(DefaultSeed))
+
+	// t=0: hosts map local and EMC memory at boot; slices x,y assigned.
+	res1, err := pm.AddCapacity(0, 1, 0)
+	must(err)
+	log(0, "hosts map EMC memory at boot; slice %v online on H1 (used by VM1)", res1.Slices[0].Slice)
+	res2, err := pm.AddCapacity(0, 1, 0)
+	must(err)
+	log(0, "slice %v online on H1 (used by VM2)", res2.Slices[0].Slice)
+
+	// t=1: VM2 leaves; H1 releases capacity asynchronously.
+	pm.ReleaseCapacity(0, res2.Slices, 1)
+	log(1, "VM2 leaves; release_capacity(H1, y) queued (offline takes 10-100 ms/GB)")
+
+	// t=2: release completes; slice back in the pool.
+	log(2, "offline complete; pool free = %d GB", pm.FreeGB(2))
+
+	// t=3: new VM needs 1 GB of pool memory on host 2.
+	res3, err := pm.AddCapacity(1, 1, 3)
+	must(err)
+	log(3, "add_capacity(H2, %v): onlined in %.0f us, before the VM starts",
+		res3.Slices[0].Slice, res3.OnlineLatencySec*1e6)
+
+	// t=4: VM3 runs on H2 with the reassigned slice.
+	if device.Owner(res3.Slices[0].Slice) != 1 {
+		panic("experiments: figure 9 slice not owned by H2")
+	}
+	log(4, "VM3 running on H2; slice ownership enforced by EMC permission table")
+	r.FreeGBAfter = pm.FreeGB(4)
+	return r
+}
+
+// String renders the walkthrough.
+func (r Figure9Result) String() string {
+	var t table
+	t.title("Figure 9: pool management example (asynchronous release)")
+	for _, e := range r.Events {
+		t.row("t=%d  %s", e.T, e.What)
+	}
+	t.row("pool free at end: %d GB", r.FreeGBAfter)
+	return t.String()
+}
+
+// Figure10Result is the guest-visible zNUMA topology.
+type Figure10Result struct {
+	Topology host.Topology
+}
+
+// Figure10 builds the topology of a VM with 24 GB local and 8 GB zNUMA at
+// the 182% latency level, as a Linux guest would report it.
+func Figure10() Figure10Result {
+	h := host.New(0, cluster.ServerSpec{Sockets: 2, CoresPerSock: 24, MemGBPerSock: 192},
+		host.Config{PoolLatencyRatio: 1.82})
+	h.AddPoolCapacity(8)
+	vm := cluster.VMRequest{
+		ID:   1,
+		Type: cluster.VMType{Name: "D8s_v3", Cores: 8, MemoryGB: 32},
+	}
+	p, err := h.PlaceVM(vm, 24, 8, nil)
+	must(err)
+	return Figure10Result{Topology: p.Topology}
+}
+
+// String renders the numactl-style view of Figure 10.
+func (r Figure10Result) String() string {
+	var t table
+	t.title("Figure 10: zNUMA as seen from a Linux VM")
+	t.row("%s", r.Topology)
+	return t.String()
+}
+
+// ZNUMAAblationResult compares zNUMA (local-preferred) against the
+// uniform interleaving of prior work (DESIGN.md ablation 2).
+type ZNUMAAblationResult struct {
+	Workload        string
+	ZNUMATrafficPct float64
+	InterleavedPct  float64
+	AdvantageFactor float64
+}
+
+// AblationZNUMA runs the placement-policy ablation on the video workload
+// with a correctly sized local node.
+func AblationZNUMA() ZNUMAAblationResult {
+	ws := workloadVideo()
+	local := ws.FootprintGB * 1.2
+	poolGB := ws.FootprintGB * 0.5
+
+	topo := host.NewTopology(8, local, poolGB, 1.82)
+	mm := guest.Boot(topo, guest.LocalPreferred)
+	st, err := mm.RunWorkload(ws, ws.FootprintGB)
+	must(err)
+
+	mi := guest.Boot(topo, guest.Interleaved)
+	sti, err := mi.RunWorkload(ws, ws.FootprintGB)
+	must(err)
+
+	return ZNUMAAblationResult{
+		Workload:        ws.Name,
+		ZNUMATrafficPct: 100 * st.ZNUMAFrac,
+		InterleavedPct:  100 * sti.ZNUMAFrac,
+		AdvantageFactor: sti.ZNUMAFrac / st.ZNUMAFrac,
+	}
+}
+
+// String renders the ablation.
+func (r ZNUMAAblationResult) String() string {
+	var t table
+	t.title("Ablation: zNUMA vs uniform interleaving")
+	t.row("%-14s zNUMA traffic %.3f%%  interleaved %.1f%%  advantage %.0fx",
+		r.Workload, r.ZNUMATrafficPct, r.InterleavedPct, r.AdvantageFactor)
+	return t.String()
+}
+
+func must(err error) {
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+}
+
+// CoLocationRow is one co-location level's outcome.
+type CoLocationRow struct {
+	VMs              int
+	PortUtilization  float64
+	MeanExtraSlowPct float64
+	P95ExtraSlowPct  float64
+	QueueDelayNanos  float64
+}
+
+// CoLocationResult is the port-contention ablation: how many pool-backed
+// VMs can share one x8 CXL port before bandwidth sharing and queueing
+// visibly stretch them. This extends the paper's provisioning argument
+// (§2: one DDR5 channel per x8 port) to the oversubscribed regime.
+type CoLocationResult struct {
+	Rows []CoLocationRow
+}
+
+// AblationCoLocation samples random pool-backed VM sets of growing size
+// on one port and measures the extra slowdown from fair-share bandwidth
+// plus queueing delay.
+func AblationCoLocation() CoLocationResult {
+	r := stats.NewRand(DefaultSeed)
+	catalogue := workload.Catalogue()
+	var out CoLocationResult
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		const trials = 40
+		var extras []float64
+		var utilSum, delaySum float64
+		for trial := 0; trial < trials; trial++ {
+			demands := make([]float64, n)
+			ws := make([]workload.Workload, n)
+			for i := 0; i < n; i++ {
+				ws[i] = catalogue[r.Intn(len(catalogue))]
+				// Each VM keeps ~30% of its memory on the pool.
+				demands[i] = ws[i].PoolBandwidthGBps(0.3)
+			}
+			load := cxl.SharePort(demands)
+			rho := cxl.BoundedRho(load.DemandGBps / load.CapacityGBps)
+			delay := cxl.QueueDelayNanos(rho)
+			utilSum += rho
+			delaySum += delay
+			for i := 0; i < n; i++ {
+				bw := cxl.ContentionSlowdown(demands[i], load.Grants[i], ws[i].BWSens)
+				// Queueing stretches the latency ratio; reuse the
+				// workload's latency sensitivity against the bump.
+				lat := ws[i].LatSens * (delay / cxl.LocalDRAMLatencyNano) * 0.3
+				extras = append(extras, 100*(bw+lat))
+			}
+		}
+		sum := stats.Summarize(extras)
+		out.Rows = append(out.Rows, CoLocationRow{
+			VMs:              n,
+			PortUtilization:  utilSum / trials,
+			MeanExtraSlowPct: sum.Mean,
+			P95ExtraSlowPct:  sum.P95,
+			QueueDelayNanos:  delaySum / trials,
+		})
+	}
+	return out
+}
+
+// String renders the co-location table.
+func (r CoLocationResult) String() string {
+	var t table
+	t.title("Ablation: pool-backed VMs sharing one x8 CXL port")
+	t.row("%-6s %12s %14s %12s %12s", "VMs", "port util", "queue delay", "mean extra", "p95 extra")
+	for _, row := range r.Rows {
+		t.row("%-6d %11.0f%% %11.1f ns %11.2f%% %11.2f%%",
+			row.VMs, 100*row.PortUtilization, row.QueueDelayNanos,
+			row.MeanExtraSlowPct, row.P95ExtraSlowPct)
+	}
+	return t.String()
+}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"pond/internal/guest"
+	"pond/internal/host"
+	"pond/internal/stats"
+	"pond/internal/workload"
+)
+
+// workloadVideo fetches the Figure 15 video workload.
+func workloadVideo() workload.Workload {
+	w, ok := workload.ByName("P1-video")
+	if !ok {
+		panic("experiments: video workload missing")
+	}
+	return w
+}
+
+// Figure4Row summarizes one workload class at one latency level.
+type Figure4Row struct {
+	Class     workload.Class
+	N         int
+	MinPct    float64
+	MedianPct float64
+	MaxPct    float64
+	Under5Pct int // workloads below 5% slowdown
+	Over25Pct int // workloads above 25% slowdown
+}
+
+// Figure4Result is the per-class slowdown summary at both latency levels.
+type Figure4Result struct {
+	Ratio182 []Figure4Row
+	Ratio222 []Figure4Row
+	// PerWorkload carries the raw series for plotting (name, class,
+	// slowdown at both levels).
+	PerWorkload []Figure4Workload
+}
+
+// Figure4Workload is one bar of Figure 4.
+type Figure4Workload struct {
+	Name        string
+	Class       workload.Class
+	Slowdown182 float64
+	Slowdown222 float64
+}
+
+// Figure4 evaluates all 158 workloads fully pool-backed at both levels.
+func Figure4() Figure4Result {
+	var r Figure4Result
+	for _, w := range workload.Catalogue() {
+		r.PerWorkload = append(r.PerWorkload, Figure4Workload{
+			Name:        w.Name,
+			Class:       w.Class,
+			Slowdown182: w.SlowdownPct(workload.Ratio182, 1),
+			Slowdown222: w.SlowdownPct(workload.Ratio222, 1),
+		})
+	}
+	r.Ratio182 = classRows(workload.Ratio182)
+	r.Ratio222 = classRows(workload.Ratio222)
+	return r
+}
+
+func classRows(ratio float64) []Figure4Row {
+	var rows []Figure4Row
+	for _, c := range workload.Classes() {
+		ws := workload.ByClass(c)
+		var xs []float64
+		row := Figure4Row{Class: c, N: len(ws)}
+		for _, w := range ws {
+			s := w.SlowdownPct(ratio, 1)
+			xs = append(xs, s)
+			if s < 5 {
+				row.Under5Pct++
+			}
+			if s > 25 {
+				row.Over25Pct++
+			}
+		}
+		sum := stats.Summarize(xs)
+		row.MinPct, row.MedianPct, row.MaxPct = sum.Min, sum.Median, sum.Max
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// String renders the per-class table at both levels.
+func (r Figure4Result) String() string {
+	var t table
+	t.title("Figure 4: slowdown under 182%/222% memory latency, by workload class")
+	t.row("%-15s %3s | %23s | %23s", "class", "n", "182% min/med/max <5 >25", "222% min/med/max <5 >25")
+	for i := range r.Ratio182 {
+		a, b := r.Ratio182[i], r.Ratio222[i]
+		t.row("%-15s %3d | %5.1f %5.1f %5.1f %2d %2d | %5.1f %5.1f %5.1f %2d %2d",
+			a.Class, a.N,
+			a.MinPct, a.MedianPct, a.MaxPct, a.Under5Pct, a.Over25Pct,
+			b.MinPct, b.MedianPct, b.MaxPct, b.Under5Pct, b.Over25Pct)
+	}
+	return t.String()
+}
+
+// Figure5Result is the slowdown CDF at both levels with the paper's
+// headline buckets.
+type Figure5Result struct {
+	CDF182 []stats.CDFPoint
+	CDF222 []stats.CDFPoint
+
+	Under1Pct182, Under5Pct182, Over25Pct182 float64
+	Under1Pct222, Under5Pct222, Over25Pct222 float64
+	Outliers222                              int
+	MaxPct222                                float64
+}
+
+// Figure5 computes the CDFs of Figure 5.
+func Figure5() Figure5Result {
+	var s182, s222 []float64
+	for _, w := range workload.Catalogue() {
+		s182 = append(s182, w.SlowdownPct(workload.Ratio182, 1))
+		s222 = append(s222, w.SlowdownPct(workload.Ratio222, 1))
+	}
+	r := Figure5Result{
+		CDF182:       stats.CDF(s182),
+		CDF222:       stats.CDF(s222),
+		Under1Pct182: stats.FractionBelow(s182, 1),
+		Under5Pct182: stats.FractionBelow(s182, 5),
+		Over25Pct182: stats.FractionAbove(s182, 25),
+		Under1Pct222: stats.FractionBelow(s222, 1),
+		Under5Pct222: stats.FractionBelow(s222, 5),
+		Over25Pct222: stats.FractionAbove(s222, 25),
+		MaxPct222:    stats.Max(s222),
+	}
+	for _, x := range s222 {
+		if x > 100 {
+			r.Outliers222++
+		}
+	}
+	return r
+}
+
+// String renders the Figure 5 headline numbers.
+func (r Figure5Result) String() string {
+	var t table
+	t.title("Figure 5: CDF of slowdowns under CXL latency")
+	t.row("182%%: <1%%: %4.1f%%   <5%%: %4.1f%%   >25%%: %4.1f%%",
+		100*r.Under1Pct182, 100*r.Under5Pct182, 100*r.Over25Pct182)
+	t.row("222%%: <1%%: %4.1f%%   <5%%: %4.1f%%   >25%%: %4.1f%%   outliers>100%%: %d (max %.0f%%)",
+		100*r.Under1Pct222, 100*r.Under5Pct222, 100*r.Over25Pct222, r.Outliers222, r.MaxPct222)
+	return t.String()
+}
+
+// Figure15Row is one internal workload's zNUMA traffic measurement.
+type Figure15Row struct {
+	Workload     string
+	TrafficPct   float64
+	UntouchedGB  float64
+	BitmapPages  int
+	TouchedPages int
+}
+
+// Figure15Result is the production zNUMA-effectiveness experiment.
+type Figure15Result struct {
+	Rows []Figure15Row
+}
+
+// Figure15 runs the four internal workloads on correctly sized zNUMA
+// topologies (the local vNUMA node covers the footprint) and measures
+// traffic to the zNUMA node plus the access-bit picture the hypervisor
+// sees after its scans.
+func Figure15() Figure15Result {
+	var r Figure15Result
+	for _, w := range workload.InternalWorkloads() {
+		localGB := w.FootprintGB * 1.25
+		poolGB := w.FootprintGB * 0.5
+		topo := host.NewTopology(8, localGB, poolGB, 1.82)
+		mm := guest.Boot(topo, guest.LocalPreferred)
+		st, err := mm.RunWorkload(w, w.FootprintGB)
+		must(err)
+
+		// Hypervisor view: access bits over the VM's memory after the
+		// workload touched its footprint.
+		pt := host.NewPageTable(localGB + poolGB)
+		pt.TouchRange(0, w.FootprintGB)
+		r.Rows = append(r.Rows, Figure15Row{
+			Workload:     w.Name,
+			TrafficPct:   100 * st.ZNUMAFrac,
+			UntouchedGB:  (localGB + poolGB) - w.FootprintGB,
+			BitmapPages:  pt.Pages(),
+			TouchedPages: int(float64(pt.Pages()) * (1 - pt.UntouchedFrac())),
+		})
+	}
+	return r
+}
+
+// String renders the Figure 15 table.
+func (r Figure15Result) String() string {
+	var t table
+	t.title("Figure 15: traffic to zNUMA under correct untouched-memory prediction")
+	t.row("%-14s %10s %12s %16s", "workload", "traffic", "untouched", "access bitmap")
+	for _, row := range r.Rows {
+		t.row("%-14s %9.2f%% %9.0f GB %8d/%d pages",
+			row.Workload, row.TrafficPct, row.UntouchedGB, row.TouchedPages, row.BitmapPages)
+	}
+	return t.String()
+}
+
+// Figure16Row is the slowdown distribution at one zNUMA sizing.
+type Figure16Row struct {
+	Label     string
+	SpillFrac float64
+	Summary   stats.Summary
+}
+
+// Figure16Result is the spill sensitivity study.
+type Figure16Result struct {
+	Rows []Figure16Row
+}
+
+// Figure16 reruns all 158 workloads under the paper's seven zNUMA sizes:
+// all-local, correctly sized (0% spilled), and 10-100% of the footprint
+// spilled. Run-to-run variation is modeled as a small noise term, as in
+// the paper's violin plots.
+func Figure16() Figure16Result {
+	r := stats.NewRand(DefaultSeed)
+	configs := []struct {
+		label string
+		spill float64
+		local bool
+	}{
+		{"all local", 0, true},
+		{"0% spilled", 0, false},
+		{"10%", 0.10, false},
+		{"20%", 0.20, false},
+		{"40%", 0.40, false},
+		{"60%", 0.60, false},
+		{"75%", 0.75, false},
+		{"100%", 1.00, false},
+	}
+	var out Figure16Result
+	for _, cfg := range configs {
+		var xs []float64
+		for _, w := range workload.Catalogue() {
+			var slow float64
+			if cfg.local {
+				slow = 0
+			} else {
+				slow = w.SpillSlowdown(workload.Ratio182, cfg.spill)
+			}
+			// Run-to-run variation: ±0.5% measurement noise.
+			slow += 0.005 * r.NormFloat64()
+			xs = append(xs, 100*slow)
+		}
+		out.Rows = append(out.Rows, Figure16Row{
+			Label:     cfg.label,
+			SpillFrac: cfg.spill,
+			Summary:   stats.Summarize(xs),
+		})
+	}
+	return out
+}
+
+// String renders the violin summaries.
+func (r Figure16Result) String() string {
+	var t table
+	t.title("Figure 16: slowdown under different pool allocations (182% latency)")
+	t.row("%-12s %8s %8s %8s %8s", "zNUMA size", "p25", "median", "p75", "max")
+	for _, row := range r.Rows {
+		t.row("%-12s %7.1f%% %7.1f%% %7.1f%% %7.1f%%",
+			row.Label, row.Summary.P25, row.Summary.Median, row.Summary.P75, row.Summary.Max)
+	}
+	return t.String()
+}

@@ -1,0 +1,193 @@
+package guest
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pond/internal/host"
+	"pond/internal/workload"
+)
+
+func topoWithZNUMA(localGB, poolGB float64) host.Topology {
+	return host.NewTopology(4, localGB, poolGB, 1.82)
+}
+
+func TestBootPinsMetadataOnEveryNode(t *testing.T) {
+	m := Boot(topoWithZNUMA(24, 8), LocalPreferred)
+	zones := m.Zones()
+	if len(zones) != 2 {
+		t.Fatalf("zones = %d", len(zones))
+	}
+	for _, z := range zones {
+		if z.MetaGB <= 0 {
+			t.Fatalf("node %d has no metadata; zNUMA traffic would be zero", z.Node)
+		}
+		if z.UsedGB != z.MetaGB {
+			t.Fatalf("node %d used %g != meta %g at boot", z.Node, z.UsedGB, z.MetaGB)
+		}
+	}
+	if !zones[1].ZNUMA {
+		t.Fatal("second node should be zNUMA")
+	}
+}
+
+func TestLocalPreferredFillsLocalFirst(t *testing.T) {
+	m := Boot(topoWithZNUMA(24, 8), LocalPreferred)
+	if err := m.Allocate(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SpilledGB(); got != 0 {
+		t.Fatalf("spilled %g GB with local space free", got)
+	}
+}
+
+func TestLocalPreferredSpillsOnlyWhenExhausted(t *testing.T) {
+	m := Boot(topoWithZNUMA(24, 8), LocalPreferred)
+	localFree := m.Zones()[0].FreeGB()
+	if err := m.Allocate(localFree + 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SpilledGB(); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("spilled = %g, want 3", got)
+	}
+}
+
+func TestAllocateOutOfMemory(t *testing.T) {
+	m := Boot(topoWithZNUMA(8, 4), LocalPreferred)
+	if err := m.Allocate(100); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestAllocateNegativeRejected(t *testing.T) {
+	m := Boot(topoWithZNUMA(8, 4), LocalPreferred)
+	if err := m.Allocate(-1); err == nil {
+		t.Fatal("negative allocation accepted")
+	}
+}
+
+func TestInterleavedSpreadsProportionally(t *testing.T) {
+	m := Boot(topoWithZNUMA(24, 8), Interleaved)
+	if err := m.Allocate(16); err != nil {
+		t.Fatal(err)
+	}
+	zones := m.Zones()
+	localShare := zones[0].UsedGB - zones[0].MetaGB
+	poolShare := zones[1].UsedGB - zones[1].MetaGB
+	if poolShare < 2 {
+		t.Fatalf("interleaved pool share = %g, want proportional (~4)", poolShare)
+	}
+	if math.Abs(localShare+poolShare-16) > 1e-6 {
+		t.Fatalf("allocation lost: %g + %g != 16", localShare, poolShare)
+	}
+}
+
+func TestAccessProfileNoZNUMA(t *testing.T) {
+	m := Boot(host.NewTopology(4, 16, 0, 1.82), LocalPreferred)
+	w, _ := workload.ByName("P1-video")
+	st := m.AccessProfile(w)
+	if st.ZNUMAFrac != 0 || st.LocalFrac != 1 {
+		t.Fatalf("no-zNUMA profile = %+v", st)
+	}
+}
+
+func TestFigure15MetadataOnlyTraffic(t *testing.T) {
+	// §6.2: with a correctly sized local node, zNUMA traffic collapses
+	// to the per-workload metadata constant (0.06%-0.38%).
+	for _, w := range workload.InternalWorkloads() {
+		local := w.FootprintGB * 1.2 // correct prediction: room to spare
+		m := Boot(topoWithZNUMA(local, 8), LocalPreferred)
+		st, err := m.RunWorkload(w, w.FootprintGB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(st.ZNUMAFrac-w.MetadataTraffic) > 1e-9 {
+			t.Fatalf("%s: zNUMA traffic = %v, want metadata %v", w.Name, st.ZNUMAFrac, w.MetadataTraffic)
+		}
+		if st.ZNUMAFrac < 0.0005 || st.ZNUMAFrac > 0.004 {
+			t.Fatalf("%s: traffic %v outside Figure 15's 0.06-0.38%% band", w.Name, st.ZNUMAFrac)
+		}
+	}
+}
+
+func TestSpillIncreasesZNUMATraffic(t *testing.T) {
+	w, _ := workload.ByName("gapbs-bc-twitter") // 18 GB footprint
+	// Local node undersized by 25% of footprint.
+	m := Boot(topoWithZNUMA(w.FootprintGB*0.75, w.FootprintGB), LocalPreferred)
+	st, err := m.RunWorkload(w, w.FootprintGB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ZNUMAFrac < 0.3 {
+		t.Fatalf("undersized local node: zNUMA traffic %v, want substantial (skewed workload)", st.ZNUMAFrac)
+	}
+}
+
+func TestInterleavedAblationSendsProportionalTraffic(t *testing.T) {
+	// The ablation: with uniform interleaving, even an idle-footprint
+	// workload sends a capacity share of accesses to the pool —
+	// untouched memory cannot be exploited.
+	w, _ := workload.ByName("P1-video")
+	local, poolGB := 24.0, 8.0
+	m := Boot(topoWithZNUMA(local, poolGB), Interleaved)
+	st, err := m.RunWorkload(w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := poolGB / (local + poolGB)
+	if math.Abs(st.ZNUMAFrac-want) > 0.01 {
+		t.Fatalf("interleaved traffic = %v, want ~%v", st.ZNUMAFrac, want)
+	}
+	// zNUMA with the same split keeps traffic at metadata level: the
+	// paper's headline comparison.
+	mz := Boot(topoWithZNUMA(local, poolGB), LocalPreferred)
+	stz, _ := mz.RunWorkload(w, 10)
+	if stz.ZNUMAFrac >= st.ZNUMAFrac/10 {
+		t.Fatalf("zNUMA (%v) should beat interleaving (%v) by >10x", stz.ZNUMAFrac, st.ZNUMAFrac)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LocalPreferred.String() != "local-preferred" || Interleaved.String() != "interleaved" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Fatal("unknown policy name wrong")
+	}
+}
+
+func TestZonesCopy(t *testing.T) {
+	m := Boot(topoWithZNUMA(8, 4), LocalPreferred)
+	z := m.Zones()
+	z[0].UsedGB = 999
+	if m.Zones()[0].UsedGB == 999 {
+		t.Fatal("Zones aliases internal state")
+	}
+}
+
+func TestTotalFreeAccounting(t *testing.T) {
+	m := Boot(topoWithZNUMA(8, 4), LocalPreferred)
+	before := m.TotalFreeGB()
+	if err := m.Allocate(5); err != nil {
+		t.Fatal(err)
+	}
+	after := m.TotalFreeGB()
+	if math.Abs(before-after-5) > 1e-9 {
+		t.Fatalf("free accounting: %g -> %g", before, after)
+	}
+}
+
+func TestInterleavedExhaustion(t *testing.T) {
+	m := Boot(topoWithZNUMA(8, 4), Interleaved)
+	free := m.TotalFreeGB()
+	if err := m.Allocate(free); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalFreeGB() > 1e-6 {
+		t.Fatalf("free after full allocation = %g", m.TotalFreeGB())
+	}
+	if err := m.Allocate(0.1); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("over-allocation = %v", err)
+	}
+}

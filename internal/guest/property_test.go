@@ -1,0 +1,103 @@
+package guest
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pond/internal/host"
+)
+
+// Property: under any sequence of allocations that fits, total used
+// memory equals metadata plus the allocated amounts, and no zone exceeds
+// its size.
+func TestAllocationConservationProperty(t *testing.T) {
+	f := func(rawLocal, rawPool uint8, allocs []uint8) bool {
+		localGB := 8 + float64(rawLocal%64)
+		poolGB := float64(rawPool % 32)
+		m := Boot(host.NewTopology(4, localGB, poolGB, 1.82), LocalPreferred)
+
+		var meta, wanted float64
+		for _, z := range m.Zones() {
+			meta += z.MetaGB
+		}
+		for _, a := range allocs {
+			gb := float64(a%16) / 2
+			if gb > m.TotalFreeGB() {
+				continue
+			}
+			if err := m.Allocate(gb); err != nil {
+				return false
+			}
+			wanted += gb
+		}
+		var used float64
+		for _, z := range m.Zones() {
+			if z.UsedGB > z.SizeGB+1e-9 {
+				return false
+			}
+			used += z.UsedGB
+		}
+		return math.Abs(used-(meta+wanted)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: local-preferred never spills while local space remains.
+func TestNoSpillWhileLocalFreeProperty(t *testing.T) {
+	f := func(rawLocal uint8, allocs []uint8) bool {
+		localGB := 16 + float64(rawLocal%64)
+		m := Boot(host.NewTopology(4, localGB, 32, 1.82), LocalPreferred)
+		for _, a := range allocs {
+			gb := float64(a % 8)
+			if gb > m.TotalFreeGB() {
+				continue
+			}
+			if err := m.Allocate(gb); err != nil {
+				return false
+			}
+			zones := m.Zones()
+			localFree := zones[0].FreeGB()
+			if m.SpilledGB() > 1e-9 && localFree > 1e-9 {
+				return false // spilled while local space remained
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the interleaved ablation's zNUMA share approaches the
+// capacity ratio regardless of allocation sizes.
+func TestInterleavedShareProperty(t *testing.T) {
+	f := func(allocs []uint8) bool {
+		const localGB, poolGB = 48.0, 16.0
+		m := Boot(host.NewTopology(4, localGB, poolGB, 1.82), Interleaved)
+		for _, a := range allocs {
+			gb := float64(a % 8)
+			if gb > m.TotalFreeGB() {
+				continue
+			}
+			if err := m.Allocate(gb); err != nil {
+				return false
+			}
+		}
+		zones := m.Zones()
+		usedLocal := zones[0].UsedGB - zones[0].MetaGB
+		usedPool := zones[1].UsedGB - zones[1].MetaGB
+		total := usedLocal + usedPool
+		if total < 4 {
+			return true // too little signal
+		}
+		share := usedPool / total
+		want := poolGB / (localGB + poolGB)
+		return math.Abs(share-want) < 0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

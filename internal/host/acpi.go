@@ -1,0 +1,155 @@
+package host
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ACPI table encoding. The hypervisor presents the zNUMA topology to the
+// guest through the ACPI SRAT (System Resource Affinity Table) and SLIT
+// (System Locality Information Table): the zNUMA node appears as a
+// memory-affinity entry with no processor-affinity entries — exactly how
+// "a memory block (node_memblk) without an entry in the node_cpuid"
+// (§4.2) reaches a Linux guest. These encoders produce simplified but
+// structurally faithful table bytes, so tests can verify what the guest
+// actually parses.
+
+// ACPI structure constants (ACPI 6.4, §5.2.16).
+const (
+	sratHeaderLen = 48
+	slitHeaderLen = 44
+
+	// SRAT affinity structure types.
+	sratTypeProcessor = 0
+	sratTypeMemory    = 1
+
+	processorAffinityLen = 16
+	memoryAffinityLen    = 40
+
+	memoryEnabledFlag = 1 << 0
+)
+
+// EncodeSRAT renders the topology's processor and memory affinity
+// structures. Every CPU of a node becomes one processor-affinity entry;
+// every node's memory becomes one memory-affinity entry. A zNUMA node
+// therefore contributes a memory entry and no processor entries.
+func EncodeSRAT(t Topology) []byte {
+	var body []byte
+	for _, n := range t.Nodes {
+		for _, cpu := range n.CPUs {
+			e := make([]byte, processorAffinityLen)
+			e[0] = sratTypeProcessor
+			e[1] = processorAffinityLen
+			e[2] = byte(n.ID) // proximity domain (low byte)
+			e[3] = byte(cpu)  // APIC id
+			binary.LittleEndian.PutUint32(e[4:], memoryEnabledFlag)
+			body = append(body, e...)
+		}
+		if n.MemGB > 0 {
+			e := make([]byte, memoryAffinityLen)
+			e[0] = sratTypeMemory
+			e[1] = memoryAffinityLen
+			binary.LittleEndian.PutUint32(e[2:], uint32(n.ID)) // proximity domain
+			base := memBaseFor(t, n.ID)
+			length := uint64(n.MemGB * (1 << 30))
+			binary.LittleEndian.PutUint64(e[8:], base)
+			binary.LittleEndian.PutUint64(e[16:], length)
+			binary.LittleEndian.PutUint32(e[28:], memoryEnabledFlag)
+			body = append(body, e...)
+		}
+	}
+	header := make([]byte, sratHeaderLen)
+	copy(header[0:4], "SRAT")
+	binary.LittleEndian.PutUint32(header[4:], uint32(sratHeaderLen+len(body)))
+	header[8] = 3 // revision
+	return append(header, body...)
+}
+
+// memBaseFor lays node memory ranges out consecutively from zero.
+func memBaseFor(t Topology, nodeID int) uint64 {
+	var base uint64
+	for _, n := range t.Nodes {
+		if n.ID == nodeID {
+			return base
+		}
+		base += uint64(n.MemGB * (1 << 30))
+	}
+	return base
+}
+
+// EncodeSLIT renders the locality matrix: a header, the locality count,
+// then row-major distances.
+func EncodeSLIT(t Topology) []byte {
+	n := len(t.Nodes)
+	out := make([]byte, slitHeaderLen+8+n*n)
+	copy(out[0:4], "SLIT")
+	binary.LittleEndian.PutUint32(out[4:], uint32(len(out)))
+	out[8] = 1 // revision
+	binary.LittleEndian.PutUint64(out[slitHeaderLen:], uint64(n))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out[slitHeaderLen+8+i*n+j] = byte(t.SLIT[i][j])
+		}
+	}
+	return out
+}
+
+// ParsedSRAT is the guest's view after parsing the table.
+type ParsedSRAT struct {
+	// CPUsByDomain maps proximity domain -> APIC ids.
+	CPUsByDomain map[int][]int
+	// MemGBByDomain maps proximity domain -> memory size.
+	MemGBByDomain map[int]float64
+}
+
+// ParseSRAT decodes a table produced by EncodeSRAT, as a guest OS would.
+func ParseSRAT(raw []byte) (ParsedSRAT, error) {
+	p := ParsedSRAT{CPUsByDomain: map[int][]int{}, MemGBByDomain: map[int]float64{}}
+	if len(raw) < sratHeaderLen || string(raw[0:4]) != "SRAT" {
+		return p, fmt.Errorf("host: not an SRAT table")
+	}
+	total := int(binary.LittleEndian.Uint32(raw[4:]))
+	if total != len(raw) {
+		return p, fmt.Errorf("host: SRAT length %d != %d", total, len(raw))
+	}
+	for off := sratHeaderLen; off < len(raw); {
+		if off+2 > len(raw) {
+			return p, fmt.Errorf("host: truncated SRAT entry at %d", off)
+		}
+		typ, l := raw[off], int(raw[off+1])
+		if l == 0 || off+l > len(raw) {
+			return p, fmt.Errorf("host: bad SRAT entry length %d at %d", l, off)
+		}
+		switch typ {
+		case sratTypeProcessor:
+			domain := int(raw[off+2])
+			apic := int(raw[off+3])
+			p.CPUsByDomain[domain] = append(p.CPUsByDomain[domain], apic)
+		case sratTypeMemory:
+			domain := int(binary.LittleEndian.Uint32(raw[off+2:]))
+			length := binary.LittleEndian.Uint64(raw[off+16:])
+			p.MemGBByDomain[domain] += float64(length) / (1 << 30)
+		}
+		off += l
+	}
+	return p, nil
+}
+
+// ParseSLIT decodes a locality matrix, as a guest OS would.
+func ParseSLIT(raw []byte) ([][]int, error) {
+	if len(raw) < slitHeaderLen+8 || string(raw[0:4]) != "SLIT" {
+		return nil, fmt.Errorf("host: not a SLIT table")
+	}
+	n := int(binary.LittleEndian.Uint64(raw[slitHeaderLen:]))
+	if len(raw) != slitHeaderLen+8+n*n {
+		return nil, fmt.Errorf("host: SLIT length mismatch for %d localities", n)
+	}
+	out := make([][]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			out[i][j] = int(raw[slitHeaderLen+8+i*n+j])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package host
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSRATRoundTrip(t *testing.T) {
+	topo := NewTopology(4, 24, 8, 1.82)
+	raw := EncodeSRAT(topo)
+	parsed, err := ParseSRAT(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0: 4 CPUs, 24 GB. Node 1 (zNUMA): no CPUs, 8 GB.
+	if got := parsed.CPUsByDomain[0]; len(got) != 4 {
+		t.Fatalf("node 0 CPUs = %v", got)
+	}
+	if got := parsed.CPUsByDomain[1]; len(got) != 0 {
+		t.Fatalf("zNUMA node has processor affinity entries: %v (§4.2 forbids node_cpuid)", got)
+	}
+	if math.Abs(parsed.MemGBByDomain[0]-24) > 1e-9 || math.Abs(parsed.MemGBByDomain[1]-8) > 1e-9 {
+		t.Fatalf("memory domains = %v", parsed.MemGBByDomain)
+	}
+}
+
+func TestSRATNoZNUMA(t *testing.T) {
+	topo := NewTopology(2, 16, 0, 1.82)
+	parsed, err := ParseSRAT(EncodeSRAT(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := parsed.MemGBByDomain[1]; ok {
+		t.Fatal("phantom zNUMA domain")
+	}
+}
+
+func TestParseSRATRejectsGarbage(t *testing.T) {
+	if _, err := ParseSRAT([]byte("XXXX")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	raw := EncodeSRAT(NewTopology(2, 8, 4, 1.82))
+	if _, err := ParseSRAT(raw[:len(raw)-3]); err == nil {
+		t.Fatal("truncated table accepted")
+	}
+}
+
+func TestSLITRoundTrip(t *testing.T) {
+	topo := NewTopology(2, 8, 8, 1.82)
+	got, err := ParseSLIT(EncodeSLIT(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0][0] != 10 || got[0][1] != 18 || got[1][0] != 18 || got[1][1] != 10 {
+		t.Fatalf("SLIT = %v", got)
+	}
+}
+
+func TestParseSLITRejectsGarbage(t *testing.T) {
+	if _, err := ParseSLIT([]byte("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	raw := EncodeSLIT(NewTopology(2, 8, 8, 1.82))
+	if _, err := ParseSLIT(raw[:len(raw)-1]); err == nil {
+		t.Fatal("truncated matrix accepted")
+	}
+}
+
+func TestSRATMemoryRangesDisjoint(t *testing.T) {
+	topo := NewTopology(4, 24, 8, 1.82)
+	// Node memory ranges are laid out consecutively: node 1's base is
+	// node 0's size.
+	if base := memBaseFor(topo, 1); base != uint64(24)<<30 {
+		t.Fatalf("node 1 base = %#x", base)
+	}
+}

@@ -1,0 +1,350 @@
+package host
+
+import (
+	"errors"
+	"fmt"
+
+	"pond/internal/cluster"
+	"pond/internal/emc"
+	"pond/internal/pool"
+)
+
+// ReconfigSecPerGB is the cost of Pond's one-time memory reconfiguration:
+// disabling the virtualization accelerator, copying pool memory to local
+// DRAM, and re-enabling — about 50 ms per GB of pool memory (§4.2).
+const ReconfigSecPerGB = 0.050
+
+// CommitOverestimate inflates the guest-committed memory counter relative
+// to truly touched memory; the paper notes the counter "overestimates
+// used memory" (§4.2).
+const CommitOverestimate = 1.15
+
+// Errors returned by placement operations.
+var (
+	ErrNoCapacity     = errors.New("host: insufficient NUMA-node capacity")
+	ErrNoPoolCapacity = errors.New("host: insufficient online pool memory")
+	ErrUnknownVM      = errors.New("host: unknown VM")
+	ErrPartition      = errors.New("host: pool partition is hypervisor-only")
+)
+
+// Placement records where one VM's resources live.
+type Placement struct {
+	VM      cluster.VMRequest
+	Node    int     // physical NUMA node hosting cores and local memory
+	LocalGB float64 // socket-local DRAM
+	PoolGB  float64 // pool DRAM behind the zNUMA node
+	Slices  []pool.SliceRef
+
+	// Topology is the guest-visible vNUMA/zNUMA layout.
+	Topology Topology
+
+	// AccelEnabled tracks the virtualization accelerator state; it is
+	// only disabled transiently during reconfiguration (G2).
+	AccelEnabled bool
+
+	// Reconfigured is set after the one-time pool-to-local migration.
+	Reconfigured bool
+
+	// SpannedGB is local memory sourced from the remote socket when the
+	// placement had to span NUMA nodes (rare; §3.1).
+	SpannedGB float64
+	// SpanNode is the node providing SpannedGB (-1 when not spanning).
+	SpanNode int
+
+	// PageTable carries access bits when telemetry is enabled.
+	PageTable *PageTable
+}
+
+// IsSpanning reports whether the placement crosses NUMA nodes.
+func (p *Placement) IsSpanning() bool { return p.SpannedGB > 0 }
+
+// Config controls optional host behaviour.
+type Config struct {
+	// PoolLatencyRatio sets the SLIT distance guests see for zNUMA.
+	PoolLatencyRatio float64
+
+	// EnablePageTables allocates per-VM access-bit tracking. The
+	// cluster simulator disables it for speed; the zNUMA experiments
+	// enable it.
+	EnablePageTables bool
+
+	// AllowSpanning lets a VM keep all cores on one socket while
+	// sourcing part of its local memory from the other socket when no
+	// single node has room. The paper observes this for 2-3% of VMs
+	// and under 1% of memory pages (§3.1 "NUMA spanning").
+	AllowSpanning bool
+}
+
+// numaNode is the host-side accounting for one physical socket.
+type numaNode struct {
+	coresFree int
+	memFreeGB float64
+}
+
+// Host is one dual-socket server participating in a Pond pool.
+type Host struct {
+	ID   emc.HostID
+	Spec cluster.ServerSpec
+	cfg  Config
+
+	nodes []numaNode
+
+	// Pool memory online on this host, split into the hypervisor-only
+	// partition (usable for VM zNUMA backing) — Pond's fragmentation
+	// containment (§4.2): host agents and drivers may only allocate
+	// from local memory, so 1 GB slices stay whole and offlinable.
+	poolFreeGB   float64
+	poolOnlineGB float64
+
+	vms map[cluster.VMID]*Placement
+}
+
+// New creates a host with all cores and memory free.
+func New(id emc.HostID, spec cluster.ServerSpec, cfg Config) *Host {
+	if cfg.PoolLatencyRatio == 0 {
+		cfg.PoolLatencyRatio = 1.82
+	}
+	h := &Host{ID: id, Spec: spec, cfg: cfg, vms: make(map[cluster.VMID]*Placement)}
+	h.nodes = make([]numaNode, spec.Sockets)
+	for i := range h.nodes {
+		h.nodes[i] = numaNode{coresFree: spec.CoresPerSock, memFreeGB: spec.MemGBPerSock}
+	}
+	return h
+}
+
+// AddPoolCapacity onlines pool slices delivered by the Pool Manager into
+// the hypervisor-only partition.
+func (h *Host) AddPoolCapacity(gb float64) {
+	h.poolFreeGB += gb
+	h.poolOnlineGB += gb
+}
+
+// RemovePoolCapacity offlines unused pool memory (before handing the
+// slices back to the Pool Manager). It fails if the memory is in use.
+func (h *Host) RemovePoolCapacity(gb float64) error {
+	if gb > h.poolFreeGB+1e-9 {
+		return fmt.Errorf("%w: %g GB requested, %g free", ErrNoPoolCapacity, gb, h.poolFreeGB)
+	}
+	h.poolFreeGB -= gb
+	h.poolOnlineGB -= gb
+	return nil
+}
+
+// AllocateHostAgent models a host agent or driver allocation. Such
+// allocations are forced into host-local memory — never the pool
+// partition — so they cannot fragment 1 GB slices (§4.2).
+func (h *Host) AllocateHostAgent(gb float64, fromPool bool) error {
+	if fromPool {
+		return ErrPartition
+	}
+	for i := range h.nodes {
+		if h.nodes[i].memFreeGB >= gb {
+			h.nodes[i].memFreeGB -= gb
+			return nil
+		}
+	}
+	return ErrNoCapacity
+}
+
+// PlaceVM admits a VM with the given local/pool split. The VM's cores and
+// local memory land on a single NUMA node (the paper: almost all VMs fit
+// one node); pool memory comes from the hypervisor partition and surfaces
+// as a zNUMA node in the guest topology.
+func (h *Host) PlaceVM(vm cluster.VMRequest, localGB, poolGB float64, slices []pool.SliceRef) (*Placement, error) {
+	if localGB+poolGB < vm.Type.MemoryGB-1e-9 {
+		return nil, fmt.Errorf("host: allocation %g+%g GB under VM size %g", localGB, poolGB, vm.Type.MemoryGB)
+	}
+	if _, exists := h.vms[vm.ID]; exists {
+		return nil, fmt.Errorf("host: VM %d already placed", vm.ID)
+	}
+	if poolGB > h.poolFreeGB+1e-9 {
+		return nil, fmt.Errorf("%w: need %g GB, have %g", ErrNoPoolCapacity, poolGB, h.poolFreeGB)
+	}
+	node := -1
+	for i := range h.nodes {
+		if h.nodes[i].coresFree >= vm.Type.Cores && h.nodes[i].memFreeGB >= localGB {
+			node = i
+			break
+		}
+	}
+	spannedGB := 0.0
+	spanNode := -1
+	if node < 0 && h.cfg.AllowSpanning {
+		// Spanning fallback: cores on the node that has them, with the
+		// memory shortfall sourced from the other node.
+		for i := range h.nodes {
+			if h.nodes[i].coresFree < vm.Type.Cores {
+				continue
+			}
+			shortfall := localGB - h.nodes[i].memFreeGB
+			if shortfall <= 0 {
+				continue
+			}
+			for j := range h.nodes {
+				if j != i && h.nodes[j].memFreeGB >= shortfall {
+					node, spanNode = i, j
+					spannedGB = shortfall
+					break
+				}
+			}
+			if node >= 0 {
+				break
+			}
+		}
+	}
+	if node < 0 {
+		return nil, fmt.Errorf("%w: VM %d needs %d cores / %g GB local",
+			ErrNoCapacity, vm.ID, vm.Type.Cores, localGB)
+	}
+	h.nodes[node].coresFree -= vm.Type.Cores
+	h.nodes[node].memFreeGB -= localGB - spannedGB
+	if spanNode >= 0 {
+		h.nodes[spanNode].memFreeGB -= spannedGB
+	}
+	h.poolFreeGB -= poolGB
+
+	p := &Placement{
+		VM:           vm,
+		Node:         node,
+		LocalGB:      localGB,
+		PoolGB:       poolGB,
+		Slices:       slices,
+		Topology:     NewTopology(vm.Type.Cores, localGB, poolGB, h.cfg.PoolLatencyRatio),
+		AccelEnabled: true,
+		SpannedGB:    spannedGB,
+		SpanNode:     spanNode,
+	}
+	if h.cfg.EnablePageTables {
+		p.PageTable = NewPageTable(vm.Type.MemoryGB)
+	}
+	h.vms[vm.ID] = p
+	return p, nil
+}
+
+// ReleaseVM frees a departed VM's resources and returns its pool slices
+// for the Pool Manager's asynchronous release.
+func (h *Host) ReleaseVM(id cluster.VMID) (*Placement, error) {
+	p, ok := h.vms[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownVM, id)
+	}
+	delete(h.vms, id)
+	h.nodes[p.Node].coresFree += p.VM.Type.Cores
+	h.nodes[p.Node].memFreeGB += p.LocalGB - p.SpannedGB
+	if p.SpanNode >= 0 {
+		h.nodes[p.SpanNode].memFreeGB += p.SpannedGB
+	}
+	h.poolFreeGB += p.PoolGB // freed into the partition until offlined
+	return p, nil
+}
+
+// Reconfigure performs the one-time mitigation (§4.2): if local memory is
+// available, the hypervisor disables the accelerator, copies the VM's
+// pool memory into local DRAM, and re-enables acceleration. It returns
+// the copy duration (~50 ms/GB) and the freed pool capacity.
+func (h *Host) Reconfigure(id cluster.VMID) (durationSec, freedPoolGB float64, err error) {
+	p, ok := h.vms[id]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %d", ErrUnknownVM, id)
+	}
+	if p.Reconfigured {
+		return 0, 0, fmt.Errorf("host: VM %d already reconfigured; the mitigation is one-time", id)
+	}
+	if p.PoolGB == 0 {
+		return 0, 0, nil
+	}
+	if h.nodes[p.Node].memFreeGB < p.PoolGB {
+		return 0, 0, fmt.Errorf("%w: reconfiguration needs %g GB local", ErrNoCapacity, p.PoolGB)
+	}
+	moved := p.PoolGB
+	p.AccelEnabled = false
+	h.nodes[p.Node].memFreeGB -= moved
+	h.poolFreeGB += moved
+	p.LocalGB += moved
+	p.PoolGB = 0
+	p.Reconfigured = true
+	p.Topology = NewTopology(p.VM.Type.Cores, p.LocalGB, 0, h.cfg.PoolLatencyRatio)
+	p.AccelEnabled = true
+	return moved * ReconfigSecPerGB, moved, nil
+}
+
+// Placement returns the placement of a VM.
+func (h *Host) Placement(id cluster.VMID) (*Placement, bool) {
+	p, ok := h.vms[id]
+	return p, ok
+}
+
+// VMs returns the ids of all resident VMs.
+func (h *Host) VMs() []cluster.VMID {
+	out := make([]cluster.VMID, 0, len(h.vms))
+	for id := range h.vms {
+		out = append(out, id)
+	}
+	return out
+}
+
+// FreeCores returns total free cores across nodes.
+func (h *Host) FreeCores() int {
+	n := 0
+	for _, nd := range h.nodes {
+		n += nd.coresFree
+	}
+	return n
+}
+
+// FreeLocalGB returns total free socket-local memory.
+func (h *Host) FreeLocalGB() float64 {
+	var g float64
+	for _, nd := range h.nodes {
+		g += nd.memFreeGB
+	}
+	return g
+}
+
+// FreePoolGB returns unused online pool memory.
+func (h *Host) FreePoolGB() float64 { return h.poolFreeGB }
+
+// OnlinePoolGB returns total pool memory online on this host.
+func (h *Host) OnlinePoolGB() float64 { return h.poolOnlineGB }
+
+// StrandedGB returns the local memory stranded on this host: free memory
+// on NUMA nodes whose cores are fully allocated — technically rentable,
+// practically not (§2).
+func (h *Host) StrandedGB() float64 {
+	var g float64
+	for _, nd := range h.nodes {
+		if nd.coresFree == 0 {
+			g += nd.memFreeGB
+		}
+	}
+	return g
+}
+
+// GuestCommittedGB returns the guest-committed memory counter for a VM:
+// an overestimate of touched memory, capped at the VM size (§4.2).
+func (h *Host) GuestCommittedGB(id cluster.VMID) (float64, error) {
+	p, ok := h.vms[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownVM, id)
+	}
+	touched := p.VM.TouchedGB() * CommitOverestimate
+	if touched > p.VM.Type.MemoryGB {
+		touched = p.VM.Type.MemoryGB
+	}
+	return touched, nil
+}
+
+// VMsOnSlices returns VMs whose pool memory intersects the given EMC
+// index — the blast radius of that EMC's failure.
+func (h *Host) VMsOnSlices(emcIndex int) []cluster.VMID {
+	var out []cluster.VMID
+	for id, p := range h.vms {
+		for _, ref := range p.Slices {
+			if ref.EMC == emcIndex {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}

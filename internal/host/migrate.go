@@ -1,0 +1,65 @@
+package host
+
+import (
+	"fmt"
+
+	"pond/internal/cluster"
+	"pond/internal/pool"
+)
+
+// LiveMigrate moves a VM to a destination host with an all-local
+// allocation. This is the QoS monitor's mitigation when the VM's own host
+// lacks local headroom for the one-time reconfiguration (§6.4: "the QoS
+// monitor initiates a live VM migration to a configuration allocated
+// entirely on local DRAM").
+//
+// The hypervisor disables the virtualization accelerator for the final
+// copy, like any live migration (§4.2); the returned duration charges the
+// paper's 50 ms/GB copy rate over the full VM memory. The VM's pool
+// slices are returned for the Pool Manager's asynchronous release.
+func LiveMigrate(src, dst *Host, id cluster.VMID) (durationSec float64, freed []pool.SliceRef, err error) {
+	if src == dst {
+		return 0, nil, fmt.Errorf("host: live migration requires distinct hosts")
+	}
+	p, ok := src.Placement(id)
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %d", ErrUnknownVM, id)
+	}
+	vm := p.VM
+	// Verify the destination can host the VM entirely locally before
+	// touching the source.
+	fits := false
+	for i := range dst.nodes {
+		if dst.nodes[i].coresFree >= vm.Type.Cores && dst.nodes[i].memFreeGB >= vm.Type.MemoryGB {
+			fits = true
+			break
+		}
+	}
+	if !fits {
+		return 0, nil, fmt.Errorf("%w: destination cannot host %d cores / %g GB locally",
+			ErrNoCapacity, vm.Type.Cores, vm.Type.MemoryGB)
+	}
+	released, err := src.ReleaseVM(id)
+	if err != nil {
+		return 0, nil, err
+	}
+	if released.PoolGB > 0 {
+		// The source frees its online pool capacity; the caller hands
+		// the slices back to the Pool Manager.
+		if rerr := src.RemovePoolCapacity(released.PoolGB); rerr != nil {
+			return 0, nil, rerr
+		}
+	}
+	newP, err := dst.PlaceVM(vm, vm.Type.MemoryGB, 0, nil)
+	if err != nil {
+		// Undo: put the VM back where it was. The capacity was just
+		// freed, so this cannot fail.
+		src.AddPoolCapacity(released.PoolGB)
+		if _, rerr := src.PlaceVM(vm, released.LocalGB, released.PoolGB, released.Slices); rerr != nil {
+			return 0, nil, fmt.Errorf("host: migration rollback failed: %v (after %v)", rerr, err)
+		}
+		return 0, nil, err
+	}
+	newP.Reconfigured = true // migration is the mitigation; it happens once
+	return vm.Type.MemoryGB * ReconfigSecPerGB, released.Slices, nil
+}

@@ -1,0 +1,143 @@
+package host
+
+import (
+	"errors"
+	"testing"
+
+	"pond/internal/cluster"
+	"pond/internal/pool"
+)
+
+func TestLiveMigrateMovesVMToAllLocal(t *testing.T) {
+	src := New(1, testSpec, Config{})
+	dst := New(2, testSpec, Config{})
+	src.AddPoolCapacity(16)
+	refs := []pool.SliceRef{{EMC: 0, Slice: 1}, {EMC: 0, Slice: 2}}
+	vm := testVM(1, 4, 32)
+	if _, err := src.PlaceVM(vm, 16, 16, refs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	dur, freed, err := LiveMigrate(src, dst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur != 32*ReconfigSecPerGB {
+		t.Fatalf("duration = %v, want %v", dur, 32*ReconfigSecPerGB)
+	}
+	if len(freed) != 2 {
+		t.Fatalf("freed slices = %d", len(freed))
+	}
+	if _, ok := src.Placement(1); ok {
+		t.Fatal("VM still on source")
+	}
+	p, ok := dst.Placement(1)
+	if !ok || p.PoolGB != 0 || p.LocalGB != 32 {
+		t.Fatalf("destination placement = %+v", p)
+	}
+	if !p.Reconfigured {
+		t.Fatal("migration should count as the one-time mitigation")
+	}
+	// Source pool capacity was offlined.
+	if src.OnlinePoolGB() != 0 {
+		t.Fatalf("source still has %g GB pool online", src.OnlinePoolGB())
+	}
+}
+
+func TestLiveMigrateRejectsSameHost(t *testing.T) {
+	h := New(1, testSpec, Config{})
+	if _, _, err := LiveMigrate(h, h, 1); err == nil {
+		t.Fatal("same-host migration accepted")
+	}
+}
+
+func TestLiveMigrateUnknownVM(t *testing.T) {
+	src := New(1, testSpec, Config{})
+	dst := New(2, testSpec, Config{})
+	if _, _, err := LiveMigrate(src, dst, 42); !errors.Is(err, ErrUnknownVM) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLiveMigrateChecksDestinationCapacity(t *testing.T) {
+	src := New(1, testSpec, Config{})
+	dst := New(2, testSpec, Config{})
+	src.AddPoolCapacity(8)
+	vm := testVM(1, 4, 16)
+	if _, err := src.PlaceVM(vm, 8, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the destination completely.
+	for i := 2; i <= 3; i++ {
+		if _, err := dst.PlaceVM(testVM(cluster.VMID(i), 24, 190), 190, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := LiveMigrate(src, dst, 1); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+	// The VM must still be intact on the source.
+	p, ok := src.Placement(1)
+	if !ok || p.PoolGB != 8 {
+		t.Fatalf("source placement disturbed: %+v", p)
+	}
+}
+
+func TestSpanningDisabledByDefault(t *testing.T) {
+	h := New(1, testSpec, Config{})
+	// Fragment: 92 GB on node 0, then 120 GB (too big for node 0's
+	// remaining 100) lands on node 1. Neither node can hold 150 GB.
+	if _, err := h.PlaceVM(testVM(1, 2, 92), 92, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.PlaceVM(testVM(2, 2, 120), 120, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.PlaceVM(testVM(3, 4, 150), 150, 0, nil); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v, want ErrNoCapacity without spanning", err)
+	}
+}
+
+func TestSpanningPlacesAcrossNodes(t *testing.T) {
+	h := New(1, testSpec, Config{AllowSpanning: true})
+	if _, err := h.PlaceVM(testVM(1, 2, 92), 92, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.PlaceVM(testVM(2, 2, 120), 120, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	p, err := h.PlaceVM(testVM(3, 4, 150), 150, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsSpanning() {
+		t.Fatal("placement should span")
+	}
+	// Home node 0 has 100 GB free: 50 GB spans to node 1.
+	if p.SpannedGB != 50 {
+		t.Fatalf("spanned = %g GB, want 50 (100 on home node)", p.SpannedGB)
+	}
+	if p.SpanNode == p.Node || p.SpanNode < 0 {
+		t.Fatalf("span node = %d, home %d", p.SpanNode, p.Node)
+	}
+	// Release restores both nodes.
+	if _, err := h.ReleaseVM(3); err != nil {
+		t.Fatal(err)
+	}
+	if h.FreeLocalGB() != 384-212 {
+		t.Fatalf("free after release = %g", h.FreeLocalGB())
+	}
+}
+
+func TestSpanningStillRequiresCores(t *testing.T) {
+	h := New(1, testSpec, Config{AllowSpanning: true})
+	// Consume all cores of both sockets.
+	if _, err := h.PlaceVM(testVM(1, 24, 10), 10, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.PlaceVM(testVM(2, 24, 10), 10, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.PlaceVM(testVM(3, 2, 8), 8, 0, nil); !errors.Is(err, ErrNoCapacity) {
+		t.Fatal("spanning must not invent cores")
+	}
+}

@@ -1,0 +1,103 @@
+package host
+
+// PageTable models the hypervisor (second-level) page table of one VM,
+// at the granularity Pond's telemetry needs: access bits per region,
+// scanned and reset every 30 minutes at ~10 s per full scan (§5).
+//
+// Pond only needs to find pages that were never touched, so infrequent
+// resets suffice and the scan overhead stays negligible.
+
+// PageMB is the tracking granularity. Coarse 64 MB regions keep the
+// table small (a 128 GB VM needs 2048 entries) while still resolving the
+// untouched-memory fractions the model consumes.
+const PageMB = 64
+
+// Scan cadence constants from §5.
+const (
+	ScanIntervalSec = 30 * 60
+	ScanCostSec     = 10.0
+)
+
+// PageTable tracks access and ever-accessed bits for a VM's memory.
+type PageTable struct {
+	accessed []bool // current access bits (reset by scans)
+	everSet  []bool // whether the access bit was ever set since VM start
+	scans    int
+}
+
+// NewPageTable creates a table covering memGB of guest memory.
+func NewPageTable(memGB float64) *PageTable {
+	pages := int(memGB*1024+PageMB-1) / PageMB
+	if pages < 1 {
+		pages = 1
+	}
+	return &PageTable{
+		accessed: make([]bool, pages),
+		everSet:  make([]bool, pages),
+	}
+}
+
+// Pages returns the number of tracked regions.
+func (pt *PageTable) Pages() int { return len(pt.accessed) }
+
+// Touch marks the page containing the given GB offset accessed.
+func (pt *PageTable) Touch(offsetGB float64) {
+	idx := int(offsetGB * 1024 / PageMB)
+	if idx < 0 || idx >= len(pt.accessed) {
+		return
+	}
+	pt.accessed[idx] = true
+	pt.everSet[idx] = true
+}
+
+// TouchRange marks [startGB, endGB) accessed.
+func (pt *PageTable) TouchRange(startGB, endGB float64) {
+	lo := int(startGB * 1024 / PageMB)
+	hi := int(endGB * 1024 / PageMB)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(pt.accessed) {
+		hi = len(pt.accessed)
+	}
+	for i := lo; i < hi; i++ {
+		pt.accessed[i] = true
+		pt.everSet[i] = true
+	}
+}
+
+// Scan reads and resets the access bits, returning the fraction of pages
+// accessed since the last scan. This is the 30-minute telemetry pass.
+func (pt *PageTable) Scan() (accessedFrac float64) {
+	n := 0
+	for i, a := range pt.accessed {
+		if a {
+			n++
+			pt.accessed[i] = false
+		}
+	}
+	pt.scans++
+	return float64(n) / float64(len(pt.accessed))
+}
+
+// Scans returns how many scans have run.
+func (pt *PageTable) Scans() int { return pt.scans }
+
+// UntouchedFrac returns the fraction of pages whose access bit was never
+// set since VM start — the label source for the untouched-memory model
+// (Figure 14).
+func (pt *PageTable) UntouchedFrac() float64 {
+	n := 0
+	for _, e := range pt.everSet {
+		if !e {
+			n++
+		}
+	}
+	return float64(n) / float64(len(pt.everSet))
+}
+
+// AccessBitmap returns a copy of the ever-accessed bitmap (Figure 15's
+// access-bit visualisation).
+func (pt *PageTable) AccessBitmap() []bool {
+	return append([]bool(nil), pt.everSet...)
+}

@@ -1,0 +1,116 @@
+// Package host models Pond's system-software layer on each server (§4.2):
+// the hypervisor that statically preallocates VM memory across socket-local
+// DRAM and pool DRAM, exposes pool memory to guests as a zero-core virtual
+// NUMA (zNUMA) node, tracks access bits in its page tables, and performs
+// the one-time reconfiguration that migrates a mispredicted VM back to
+// all-local memory.
+package host
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// VNode is one virtual NUMA node presented to a guest.
+type VNode struct {
+	ID    int
+	CPUs  []int // vCPU ids; empty for a zNUMA node
+	MemGB float64
+}
+
+// IsZNUMA reports whether the node has memory but no cores — Linux's
+// CPU-less NUMA node, which guests allocate from only as a last resort.
+func (n VNode) IsZNUMA() bool { return len(n.CPUs) == 0 && n.MemGB > 0 }
+
+// Topology is the SRAT/SLIT view a guest receives (§4.2): a memory block
+// per node (node_memblk), CPU assignments (node_cpuid, absent for zNUMA),
+// and the NUMA distance matrix (numa_slit) carrying the true latency
+// ratio so guest-OS NUMA-aware management works.
+type Topology struct {
+	Nodes []VNode
+	SLIT  [][]int
+}
+
+// LocalDistance is the SLIT distance of a node to itself, by ACPI
+// convention.
+const LocalDistance = 10
+
+// NewTopology builds a guest topology with the given local node (cores,
+// local memory) and, when poolGB > 0, a zNUMA node whose SLIT distance
+// reflects the pool latency ratio (e.g. 1.82 → distance 18).
+func NewTopology(vcpus int, localGB, poolGB, latencyRatio float64) Topology {
+	cpus := make([]int, vcpus)
+	for i := range cpus {
+		cpus[i] = i
+	}
+	nodes := []VNode{{ID: 0, CPUs: cpus, MemGB: localGB}}
+	if poolGB > 0 {
+		nodes = append(nodes, VNode{ID: 1, MemGB: poolGB})
+	}
+	n := len(nodes)
+	slit := make([][]int, n)
+	remote := int(math.Round(LocalDistance * latencyRatio))
+	for i := range slit {
+		slit[i] = make([]int, n)
+		for j := range slit[i] {
+			if i == j {
+				slit[i][j] = LocalDistance
+			} else {
+				slit[i][j] = remote
+			}
+		}
+	}
+	return Topology{Nodes: nodes, SLIT: slit}
+}
+
+// ZNUMANode returns the index of the zNUMA node, if present.
+func (t Topology) ZNUMANode() (int, bool) {
+	for i, n := range t.Nodes {
+		if n.IsZNUMA() {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// TotalMemGB returns the guest-visible memory across nodes.
+func (t Topology) TotalMemGB() float64 {
+	var total float64
+	for _, n := range t.Nodes {
+		total += n.MemGB
+	}
+	return total
+}
+
+// String renders the topology the way `numactl --hardware` shows it in
+// the guest (paper Figure 10).
+func (t Topology) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "available: %d nodes (0-%d)\n", len(t.Nodes), len(t.Nodes)-1)
+	for _, n := range t.Nodes {
+		if len(n.CPUs) == 0 {
+			fmt.Fprintf(&b, "node %d cpus:\n", n.ID)
+		} else {
+			fmt.Fprintf(&b, "node %d cpus:", n.ID)
+			for _, c := range n.CPUs {
+				fmt.Fprintf(&b, " %d", c)
+			}
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "node %d size: %d MB\n", n.ID, int(n.MemGB*1024))
+	}
+	b.WriteString("node distances:\nnode ")
+	for i := range t.Nodes {
+		fmt.Fprintf(&b, " %3d", i)
+	}
+	b.WriteString("\n")
+	for i, row := range t.SLIT {
+		fmt.Fprintf(&b, "  %d: ", i)
+		for _, d := range row {
+			fmt.Fprintf(&b, " %3d", d)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package ml
+
+import (
+	"sort"
+
+	"pond/internal/stats"
+)
+
+// FeatureImportance ranks features by their contribution to a fitted
+// model, via permutation importance: shuffle one feature column across
+// the evaluation set and measure how much the model's accuracy drops.
+// The paper's latency-insensitivity model consumes 200 counters of which
+// a handful carry signal (Figure 12); importance analysis is how such a
+// model is audited in practice.
+
+// Importance is one feature's score.
+type Importance struct {
+	Feature int
+	// Drop is the accuracy lost when the feature is permuted; higher
+	// means more important. Noise features score near zero.
+	Drop float64
+}
+
+// PermutationImportance computes importance of every feature of a binary
+// classifier over the given evaluation set. The model is consulted
+// through its probability function. Deterministic given the seed.
+func PermutationImportance(predict func([]float64) float64, X [][]float64, truth []bool, threshold float64, seed int64) []Importance {
+	if len(X) == 0 || len(X) != len(truth) {
+		panic("ml: bad evaluation set")
+	}
+	r := stats.NewRand(seed)
+	base := accuracyOf(predict, X, truth, threshold)
+
+	nFeatures := len(X[0])
+	out := make([]Importance, nFeatures)
+
+	// Reusable buffers: a shuffled copy of one column and row views
+	// that splice it in.
+	column := make([]float64, len(X))
+	row := make([]float64, nFeatures)
+	for f := 0; f < nFeatures; f++ {
+		for i := range X {
+			column[i] = X[i][f]
+		}
+		r.Shuffle(len(column), func(a, b int) { column[a], column[b] = column[b], column[a] })
+		correct := 0
+		for i := range X {
+			copy(row, X[i])
+			row[f] = column[i]
+			pred := predict(row) >= threshold
+			if pred == truth[i] {
+				correct++
+			}
+		}
+		permuted := float64(correct) / float64(len(X))
+		out[f] = Importance{Feature: f, Drop: base - permuted}
+	}
+	return out
+}
+
+// TopFeatures returns the k most important features, sorted by
+// descending drop (ties broken by feature index for determinism).
+func TopFeatures(imp []Importance, k int) []Importance {
+	sorted := append([]Importance(nil), imp...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Drop != sorted[j].Drop {
+			return sorted[i].Drop > sorted[j].Drop
+		}
+		return sorted[i].Feature < sorted[j].Feature
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
+func accuracyOf(predict func([]float64) float64, X [][]float64, truth []bool, threshold float64) float64 {
+	correct := 0
+	for i := range X {
+		if (predict(X[i]) >= threshold) == truth[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}

@@ -1,0 +1,82 @@
+package ml
+
+import (
+	"testing"
+
+	"pond/internal/stats"
+)
+
+func TestPermutationImportanceFindsSignal(t *testing.T) {
+	// y depends only on features 0 and 1; 2..9 are noise.
+	X, y, truth := synthClassification(600, 10, 21)
+	cfg := DefaultForestConfig()
+	cfg.Tree.FeatureFrac = 0.5
+	f := FitForest(X, y, cfg)
+	imp := PermutationImportance(f.PredictProb, X, truth, 0.5, 1)
+	if len(imp) != 10 {
+		t.Fatalf("importances = %d", len(imp))
+	}
+	top := TopFeatures(imp, 2)
+	seen := map[int]bool{top[0].Feature: true, top[1].Feature: true}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("top features = %v, want {0,1}", top)
+	}
+	// Noise features should score near zero.
+	for _, im := range imp {
+		if im.Feature >= 2 && im.Drop > 0.08 {
+			t.Errorf("noise feature %d scored %v", im.Feature, im.Drop)
+		}
+	}
+}
+
+func TestPermutationImportanceDeterministic(t *testing.T) {
+	X, y, truth := synthClassification(300, 6, 22)
+	f := FitForest(X, y, DefaultForestConfig())
+	a := PermutationImportance(f.PredictProb, X, truth, 0.5, 7)
+	b := PermutationImportance(f.PredictProb, X, truth, 0.5, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("importance not deterministic")
+		}
+	}
+}
+
+func TestPermutationImportancePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PermutationImportance(func([]float64) float64 { return 0 }, nil, nil, 0.5, 1)
+}
+
+func TestTopFeaturesOrderingAndBounds(t *testing.T) {
+	imp := []Importance{{0, 0.1}, {1, 0.5}, {2, 0.5}, {3, 0.0}}
+	top := TopFeatures(imp, 3)
+	if top[0].Feature != 1 || top[1].Feature != 2 || top[2].Feature != 0 {
+		t.Fatalf("ordering = %v", top)
+	}
+	if got := TopFeatures(imp, 99); len(got) != 4 {
+		t.Fatalf("clamp failed: %d", len(got))
+	}
+	// Input must not be reordered.
+	if imp[0].Feature != 0 {
+		t.Fatal("TopFeatures mutated input")
+	}
+}
+
+func TestImportanceOnLinearSignal(t *testing.T) {
+	// A model that only reads feature 3.
+	r := stats.NewRand(5)
+	X := make([][]float64, 400)
+	truth := make([]bool, 400)
+	for i := range X {
+		X[i] = []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+		truth[i] = X[i][3] > 0.5
+	}
+	predict := func(x []float64) float64 { return x[3] }
+	imp := PermutationImportance(predict, X, truth, 0.5, 1)
+	if TopFeatures(imp, 1)[0].Feature != 3 {
+		t.Fatalf("importance missed the only signal: %v", imp)
+	}
+}

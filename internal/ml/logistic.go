@@ -1,0 +1,128 @@
+package ml
+
+import (
+	"math"
+
+	"pond/internal/stats"
+)
+
+// Logistic regression: a linear baseline between the single-counter
+// thresholds and the random forest on the Figure 17 task. Trained with
+// batch gradient descent on standardized features and L2 regularization.
+// Its failure mode on the insensitivity problem is instructive: the
+// decision surface is linear in counter space, so the deceptive
+// store-bound workloads (Finding 4) cost it more than they cost the
+// forest.
+
+// LogisticConfig parameterizes training.
+type LogisticConfig struct {
+	Epochs       int
+	LearningRate float64
+	L2           float64
+	Seed         int64
+}
+
+// DefaultLogisticConfig returns settings suited to a few hundred rows.
+func DefaultLogisticConfig() LogisticConfig {
+	return LogisticConfig{Epochs: 500, LearningRate: 0.5, L2: 0.02, Seed: 1}
+}
+
+// Logistic is a fitted model.
+type Logistic struct {
+	weights []float64
+	bias    float64
+	mean    []float64
+	scale   []float64
+}
+
+// FitLogistic trains on rows X with 0/1 targets y.
+func FitLogistic(X [][]float64, y []float64, cfg LogisticConfig) *Logistic {
+	if len(X) == 0 || len(X) != len(y) {
+		panic("ml: bad training set")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 300
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.5
+	}
+	n := len(X)
+	d := len(X[0])
+
+	m := &Logistic{
+		weights: make([]float64, d),
+		mean:    make([]float64, d),
+		scale:   make([]float64, d),
+	}
+	// Standardize features: gradient descent on raw counter scales
+	// (0..120 GB/s next to 0..1 fractions) would crawl.
+	for j := 0; j < d; j++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += X[i][j]
+		}
+		m.mean[j] = sum / float64(n)
+		var ss float64
+		for i := 0; i < n; i++ {
+			diff := X[i][j] - m.mean[j]
+			ss += diff * diff
+		}
+		m.scale[j] = math.Sqrt(ss/float64(n)) + 1e-9
+	}
+	std := make([][]float64, n)
+	for i := range std {
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			row[j] = (X[i][j] - m.mean[j]) / m.scale[j]
+		}
+		std[i] = row
+	}
+
+	r := stats.NewRand(cfg.Seed)
+	for j := range m.weights {
+		m.weights[j] = 0.01 * r.NormFloat64()
+	}
+	gradW := make([]float64, d)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for j := range gradW {
+			gradW[j] = cfg.L2 * m.weights[j]
+		}
+		gradB := 0.0
+		for i := 0; i < n; i++ {
+			p := m.probStd(std[i])
+			err := p - y[i]
+			for j := 0; j < d; j++ {
+				gradW[j] += err * std[i][j] / float64(n)
+			}
+			gradB += err / float64(n)
+		}
+		for j := 0; j < d; j++ {
+			m.weights[j] -= cfg.LearningRate * gradW[j]
+		}
+		m.bias -= cfg.LearningRate * gradB
+	}
+	return m
+}
+
+// probStd scores an already-standardized row.
+func (m *Logistic) probStd(row []float64) float64 {
+	z := m.bias
+	for j, w := range m.weights {
+		z += w * row[j]
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// PredictProb returns P(y=1 | x).
+func (m *Logistic) PredictProb(x []float64) float64 {
+	z := m.bias
+	for j, w := range m.weights {
+		z += w * (x[j] - m.mean[j]) / m.scale[j]
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Weights returns a copy of the (standardized-space) weights.
+func (m *Logistic) Weights() []float64 {
+	return append([]float64(nil), m.weights...)
+}

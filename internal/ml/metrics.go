@@ -1,0 +1,173 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+
+	"pond/internal/stats"
+)
+
+// Confusion summarizes binary classification outcomes.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Total returns the number of classified samples.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// FPRate returns false positives over all samples. This matches the
+// paper's Figure 17 definition: the share of *all* workloads incorrectly
+// labeled latency-insensitive, not the share of positives.
+func (c Confusion) FPRate() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.Total())
+}
+
+// PositiveRate returns the share of samples labeled positive.
+func (c Confusion) PositiveRate() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.FP) / float64(c.Total())
+}
+
+// Accuracy returns the share of correct labels.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// String renders the matrix compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("tp=%d fp=%d tn=%d fn=%d", c.TP, c.FP, c.TN, c.FN)
+}
+
+// Confuse classifies scores against a threshold and compares with truth
+// (true = positive class).
+func Confuse(scores []float64, truth []bool, threshold float64) Confusion {
+	if len(scores) != len(truth) {
+		panic("ml: scores and truth length mismatch")
+	}
+	var c Confusion
+	for i, s := range scores {
+		pred := s >= threshold
+		switch {
+		case pred && truth[i]:
+			c.TP++
+		case pred && !truth[i]:
+			c.FP++
+		case !pred && truth[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// OperatingPoint is one threshold's tradeoff: how many samples get the
+// positive label versus how many of those are wrong (as a share of all).
+type OperatingPoint struct {
+	Threshold    float64
+	PositiveRate float64
+	FPRate       float64
+}
+
+// Sweep evaluates the positive-rate/FP-rate tradeoff over thresholds,
+// producing the curve of Figure 17. Thresholds are taken from the score
+// distribution so every achievable operating point appears once.
+func Sweep(scores []float64, truth []bool) []OperatingPoint {
+	uniq := map[float64]bool{}
+	for _, s := range scores {
+		uniq[s] = true
+	}
+	thresholds := make([]float64, 0, len(uniq)+1)
+	for s := range uniq {
+		thresholds = append(thresholds, s)
+	}
+	thresholds = append(thresholds, 2) // "label nothing" endpoint
+	sort.Float64s(thresholds)
+
+	out := make([]OperatingPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		c := Confuse(scores, truth, th)
+		out = append(out, OperatingPoint{
+			Threshold:    th,
+			PositiveRate: c.PositiveRate(),
+			FPRate:       c.FPRate(),
+		})
+	}
+	return out
+}
+
+// PinballLoss returns the mean quantile loss of predictions at quantile q.
+func PinballLoss(yTrue, yPred []float64, q float64) float64 {
+	if len(yTrue) != len(yPred) {
+		panic("ml: length mismatch")
+	}
+	var sum float64
+	for i := range yTrue {
+		diff := yTrue[i] - yPred[i]
+		if diff >= 0 {
+			sum += q * diff
+		} else {
+			sum += (q - 1) * diff
+		}
+	}
+	return sum / float64(len(yTrue))
+}
+
+// OverpredictionRate returns the share of samples where the prediction
+// exceeds the truth — for untouched memory, the VMs that would spill into
+// their zNUMA node (§4.4).
+func OverpredictionRate(yTrue, yPred []float64) float64 {
+	if len(yTrue) != len(yPred) {
+		panic("ml: length mismatch")
+	}
+	n := 0
+	for i := range yTrue {
+		if yPred[i] > yTrue[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(yTrue))
+}
+
+// MAE returns mean absolute error.
+func MAE(yTrue, yPred []float64) float64 {
+	if len(yTrue) != len(yPred) {
+		panic("ml: length mismatch")
+	}
+	var sum float64
+	for i := range yTrue {
+		d := yTrue[i] - yPred[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(yTrue))
+}
+
+// SplitIndices returns a random train/test index split with the given
+// train fraction.
+func SplitIndices(n int, trainFrac float64, r *stats.Rand) (train, test []int) {
+	perm := r.Perm(n)
+	cut := int(trainFrac * float64(n))
+	return perm[:cut], perm[cut:]
+}
+
+// Select gathers the rows of X (and y) at the given indices.
+func Select(X [][]float64, y []float64, idx []int) ([][]float64, []float64) {
+	sx := make([][]float64, len(idx))
+	sy := make([]float64, len(idx))
+	for k, i := range idx {
+		sx[k] = X[i]
+		sy[k] = y[i]
+	}
+	return sx, sy
+}

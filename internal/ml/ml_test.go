@@ -1,0 +1,439 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"pond/internal/stats"
+)
+
+// synthRegression builds y = 3*x0 + noise with distractor features.
+func synthRegression(n, features int, seed int64) ([][]float64, []float64) {
+	r := stats.NewRand(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, features)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		X[i] = row
+		y[i] = 3*row[0] + 0.05*r.NormFloat64()
+	}
+	return X, y
+}
+
+// synthClassification labels rows by a nonlinear rule on two features.
+func synthClassification(n, features int, seed int64) ([][]float64, []float64, []bool) {
+	r := stats.NewRand(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	truth := make([]bool, n)
+	for i := range X {
+		row := make([]float64, features)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		X[i] = row
+		pos := row[0] > 0.5 && row[1] < 0.6
+		truth[i] = pos
+		if pos {
+			y[i] = 1
+		}
+	}
+	return X, y, truth
+}
+
+func TestTreeFitsSimpleStep(t *testing.T) {
+	X := [][]float64{{0}, {0.1}, {0.2}, {0.8}, {0.9}, {1.0}}
+	y := []float64{0, 0, 0, 1, 1, 1}
+	tree := FitTree(X, y, TreeConfig{MaxDepth: 3, MinLeaf: 1, FeatureFrac: 1, Criterion: Variance}, stats.NewRand(1))
+	if got := tree.Predict([]float64{0.05}); got != 0 {
+		t.Fatalf("predict(0.05) = %v", got)
+	}
+	if got := tree.Predict([]float64{0.95}); got != 1 {
+		t.Fatalf("predict(0.95) = %v", got)
+	}
+}
+
+func TestTreePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FitTree(nil, nil, DefaultTreeConfig(), stats.NewRand(1))
+}
+
+func TestTreeRespectsMaxDepth(t *testing.T) {
+	X, y := synthRegression(500, 5, 1)
+	tree := FitTree(X, y, TreeConfig{MaxDepth: 3, MinLeaf: 1, FeatureFrac: 1}, stats.NewRand(1))
+	if d := tree.Depth(); d > 3 {
+		t.Fatalf("depth = %d, want <= 3", d)
+	}
+}
+
+func TestTreeRegressionAccuracy(t *testing.T) {
+	X, y := synthRegression(800, 8, 2)
+	tree := FitTree(X, y, TreeConfig{MaxDepth: 8, MinLeaf: 5, FeatureFrac: 1}, stats.NewRand(1))
+	Xt, yt := synthRegression(200, 8, 3)
+	if got := MAE(yt, predictAll(tree, Xt)); got > 0.25 {
+		t.Fatalf("tree MAE = %v, want < 0.25", got)
+	}
+}
+
+func TestTreePureLeafShortCircuit(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	tree := FitTree(X, y, DefaultTreeConfig(), stats.NewRand(1))
+	if tree.Leaves() != 1 {
+		t.Fatalf("constant target grew %d leaves", tree.Leaves())
+	}
+	if tree.Predict([]float64{99}) != 7 {
+		t.Fatal("constant tree mispredicts")
+	}
+}
+
+func TestTreeLeafIDsStable(t *testing.T) {
+	X, y := synthRegression(300, 4, 4)
+	tree := FitTree(X, y, DefaultTreeConfig(), stats.NewRand(1))
+	for i := 0; i < 50; i++ {
+		id := tree.LeafID(X[i])
+		if id < 0 || id >= tree.Leaves() {
+			t.Fatalf("leaf id %d out of range [0,%d)", id, tree.Leaves())
+		}
+	}
+}
+
+func TestTreeSetLeafValue(t *testing.T) {
+	X := [][]float64{{0}, {1}}
+	y := []float64{0, 1}
+	tree := FitTree(X, y, TreeConfig{MaxDepth: 2, MinLeaf: 1, FeatureFrac: 1}, stats.NewRand(1))
+	id := tree.LeafID([]float64{0})
+	tree.SetLeafValue(id, 42)
+	if tree.Predict([]float64{0}) != 42 {
+		t.Fatal("SetLeafValue not reflected in Predict")
+	}
+}
+
+func TestTreeDeterministicGivenSeed(t *testing.T) {
+	X, y := synthRegression(300, 6, 5)
+	cfg := TreeConfig{MaxDepth: 6, MinLeaf: 2, FeatureFrac: 0.5}
+	t1 := FitTree(X, y, cfg, stats.NewRand(9))
+	t2 := FitTree(X, y, cfg, stats.NewRand(9))
+	for i := 0; i < 50; i++ {
+		if t1.Predict(X[i]) != t2.Predict(X[i]) {
+			t.Fatal("same seed, different trees")
+		}
+	}
+}
+
+func TestForestClassification(t *testing.T) {
+	X, y, truth := synthClassification(600, 10, 6)
+	cfg := DefaultForestConfig()
+	cfg.Tree.FeatureFrac = 0.5
+	f := FitForest(X, y, cfg)
+	c := Confuse(predictAllForest(f, X), truth, 0.5)
+	if acc := c.Accuracy(); acc < 0.93 {
+		t.Fatalf("forest training accuracy = %v, want >= 0.93", acc)
+	}
+}
+
+func TestForestGeneralizes(t *testing.T) {
+	X, y, _ := synthClassification(800, 10, 7)
+	cfg := DefaultForestConfig()
+	cfg.Tree.FeatureFrac = 0.5
+	f := FitForest(X, y, cfg)
+	Xt, _, truthT := synthClassification(300, 10, 8)
+	c := Confuse(predictAllForest(f, Xt), truthT, 0.5)
+	if acc := c.Accuracy(); acc < 0.88 {
+		t.Fatalf("forest test accuracy = %v, want >= 0.88", acc)
+	}
+}
+
+func TestForestProbabilitiesInUnitInterval(t *testing.T) {
+	X, y, _ := synthClassification(300, 6, 9)
+	f := FitForest(X, y, DefaultForestConfig())
+	for i := 0; i < 100; i++ {
+		p := f.PredictProb(X[i])
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v outside [0,1]", p)
+		}
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	X, y, _ := synthClassification(300, 6, 10)
+	cfg := DefaultForestConfig()
+	f1 := FitForest(X, y, cfg)
+	f2 := FitForest(X, y, cfg)
+	for i := 0; i < 50; i++ {
+		if f1.PredictProb(X[i]) != f2.PredictProb(X[i]) {
+			t.Fatal("same config, different forests")
+		}
+	}
+}
+
+func TestForestTreesCount(t *testing.T) {
+	X, y, _ := synthClassification(100, 4, 11)
+	cfg := DefaultForestConfig()
+	cfg.NTrees = 7
+	if got := FitForest(X, y, cfg).Trees(); got != 7 {
+		t.Fatalf("trees = %d", got)
+	}
+}
+
+func TestGBMQuantileCoverage(t *testing.T) {
+	// For y ~ x + noise, a q=0.1 model should under-predict ~90% of
+	// samples: the overprediction rate should be near 10%.
+	r := stats.NewRand(12)
+	n := 3000
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x0 := r.Float64()
+		X[i] = []float64{x0, r.Float64()}
+		y[i] = x0 + 0.2*r.NormFloat64()
+	}
+	cfg := DefaultGBMConfig()
+	cfg.Quantile = 0.10
+	m := FitGBM(X, y, cfg)
+	op := OverpredictionRate(y, predictAllGBM(m, X))
+	if math.Abs(op-0.10) > 0.05 {
+		t.Fatalf("overprediction rate = %v, want ~0.10", op)
+	}
+}
+
+func TestGBMQuantileOrdering(t *testing.T) {
+	// A higher-quantile model must predict above a lower-quantile one
+	// on average.
+	r := stats.NewRand(13)
+	n := 1500
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x0 := r.Float64()
+		X[i] = []float64{x0}
+		y[i] = x0 + 0.3*r.NormFloat64()
+	}
+	lo := FitGBM(X, y, GBMConfig{NTrees: 40, LearningRate: 0.1, Tree: DefaultTreeConfig(), Quantile: 0.1, Seed: 1})
+	hi := FitGBM(X, y, GBMConfig{NTrees: 40, LearningRate: 0.1, Tree: DefaultTreeConfig(), Quantile: 0.9, Seed: 1})
+	var loMean, hiMean float64
+	for i := 0; i < 200; i++ {
+		loMean += lo.Predict(X[i])
+		hiMean += hi.Predict(X[i])
+	}
+	if loMean >= hiMean {
+		t.Fatalf("q=0.1 mean %v not below q=0.9 mean %v", loMean/200, hiMean/200)
+	}
+}
+
+func TestGBMBeatsConstantBaseline(t *testing.T) {
+	r := stats.NewRand(14)
+	n := 2000
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x0, x1 := r.Float64(), r.Float64()
+		X[i] = []float64{x0, x1, r.Float64()}
+		y[i] = 2*x0 - x1 + 0.1*r.NormFloat64()
+	}
+	cfg := DefaultGBMConfig()
+	cfg.Quantile = 0.5
+	m := FitGBM(X, y, cfg)
+	pred := predictAllGBM(m, X)
+	constPred := make([]float64, n)
+	med := stats.Quantile(y, 0.5)
+	for i := range constPred {
+		constPred[i] = med
+	}
+	if PinballLoss(y, pred, 0.5) >= PinballLoss(y, constPred, 0.5)/2 {
+		t.Fatal("GBM did not substantially beat constant median")
+	}
+}
+
+func TestGBMPanicsOnBadQuantile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	X, y := synthRegression(10, 2, 15)
+	cfg := DefaultGBMConfig()
+	cfg.Quantile = 1.5
+	FitGBM(X, y, cfg)
+}
+
+func TestGBMStages(t *testing.T) {
+	X, y := synthRegression(100, 3, 16)
+	cfg := DefaultGBMConfig()
+	cfg.NTrees = 12
+	if got := FitGBM(X, y, cfg).Stages(); got != 12 {
+		t.Fatalf("stages = %d", got)
+	}
+}
+
+func TestConfuseCounts(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	truth := []bool{true, false, true, false}
+	c := Confuse(scores, truth, 0.5)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %v", c)
+	}
+	if c.FPRate() != 0.25 || c.PositiveRate() != 0.5 || c.Accuracy() != 0.5 {
+		t.Fatalf("rates wrong: %v %v %v", c.FPRate(), c.PositiveRate(), c.Accuracy())
+	}
+}
+
+func TestConfuseMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Confuse([]float64{1}, []bool{true, false}, 0.5)
+}
+
+func TestSweepMonotone(t *testing.T) {
+	scores := []float64{0.1, 0.4, 0.6, 0.6, 0.9}
+	truth := []bool{false, false, true, false, true}
+	pts := Sweep(scores, truth)
+	// As threshold rises, positive rate must not increase.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PositiveRate > pts[i-1].PositiveRate {
+			t.Fatalf("positive rate increased with threshold: %+v", pts)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.PositiveRate != 0 || last.FPRate != 0 {
+		t.Fatalf("endpoint should label nothing: %+v", last)
+	}
+}
+
+func TestPinballLossAsymmetry(t *testing.T) {
+	// Under-prediction at q=0.9 costs 9x more than over-prediction.
+	under := PinballLoss([]float64{1}, []float64{0}, 0.9)
+	over := PinballLoss([]float64{0}, []float64{1}, 0.9)
+	if math.Abs(under/over-9) > 1e-9 {
+		t.Fatalf("asymmetry = %v, want 9", under/over)
+	}
+}
+
+func TestOverpredictionRate(t *testing.T) {
+	got := OverpredictionRate([]float64{1, 1, 1, 1}, []float64{0.5, 1.5, 2, 1})
+	if got != 0.5 {
+		t.Fatalf("OP = %v, want 0.5", got)
+	}
+}
+
+func TestSplitIndicesPartition(t *testing.T) {
+	train, test := SplitIndices(100, 0.7, stats.NewRand(1))
+	if len(train) != 70 || len(test) != 30 {
+		t.Fatalf("split sizes = %d/%d", len(train), len(test))
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, train...), test...) {
+		if seen[i] {
+			t.Fatalf("index %d appears twice", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestSelect(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{10, 20, 30}
+	sx, sy := Select(X, y, []int{2, 0})
+	if sx[0][0] != 3 || sy[1] != 10 {
+		t.Fatalf("Select wrong: %v %v", sx, sy)
+	}
+}
+
+func predictAll(t *Tree, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = t.Predict(x)
+	}
+	return out
+}
+
+func predictAllForest(f *Forest, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = f.PredictProb(x)
+	}
+	return out
+}
+
+func predictAllGBM(m *GBM, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+func TestLogisticSeparatesLinearData(t *testing.T) {
+	r := stats.NewRand(31)
+	n := 600
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	truth := make([]bool, n)
+	for i := range X {
+		X[i] = []float64{r.Float64() * 100, r.Float64()} // mixed scales
+		pos := X[i][0]/100+X[i][1] > 1
+		truth[i] = pos
+		if pos {
+			y[i] = 1
+		}
+	}
+	m := FitLogistic(X, y, DefaultLogisticConfig())
+	scores := make([]float64, n)
+	for i := range X {
+		scores[i] = m.PredictProb(X[i])
+	}
+	if acc := Confuse(scores, truth, 0.5).Accuracy(); acc < 0.9 {
+		t.Fatalf("logistic accuracy = %v on linearly separable data", acc)
+	}
+}
+
+func TestLogisticProbabilitiesBounded(t *testing.T) {
+	X, y, _ := synthClassification(300, 6, 32)
+	m := FitLogistic(X, y, DefaultLogisticConfig())
+	for i := 0; i < 100; i++ {
+		p := m.PredictProb(X[i])
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("probability %v", p)
+		}
+	}
+}
+
+func TestLogisticDeterministic(t *testing.T) {
+	X, y, _ := synthClassification(200, 5, 33)
+	a := FitLogistic(X, y, DefaultLogisticConfig())
+	b := FitLogistic(X, y, DefaultLogisticConfig())
+	for i := 0; i < 50; i++ {
+		if a.PredictProb(X[i]) != b.PredictProb(X[i]) {
+			t.Fatal("same config, different models")
+		}
+	}
+}
+
+func TestLogisticPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FitLogistic(nil, nil, DefaultLogisticConfig())
+}
+
+func TestLogisticWeightsCopy(t *testing.T) {
+	X, y, _ := synthClassification(100, 4, 34)
+	m := FitLogistic(X, y, DefaultLogisticConfig())
+	w := m.Weights()
+	w[0] = 999
+	if m.Weights()[0] == 999 {
+		t.Fatal("Weights aliases internals")
+	}
+}

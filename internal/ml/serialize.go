@@ -1,0 +1,180 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Model serialization. The paper's pipeline trains models centrally,
+// exports them (to ONNX), and serves them from a low-latency inference
+// system on the VM request path (§5). The JSON forms here play the ONNX
+// role: a trained forest or GBM round-trips through an opaque byte
+// stream, and the serving side rebuilds an identical predictor.
+
+// jsonNode is the wire form of one tree node, flattened depth-first.
+type jsonNode struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Left      int     `json:"l"` // index into the node array, -1 for none
+	Right     int     `json:"r"`
+	Leaf      bool    `json:"leaf"`
+	LeafID    int     `json:"id,omitempty"`
+	Value     float64 `json:"v"`
+}
+
+// jsonTree is the wire form of a Tree.
+type jsonTree struct {
+	Nodes    []jsonNode `json:"nodes"`
+	Features int        `json:"features"`
+	Leaves   int        `json:"leaves"`
+}
+
+func flattenTree(t *Tree) jsonTree {
+	jt := jsonTree{Features: t.features, Leaves: len(t.leaves)}
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		idx := len(jt.Nodes)
+		jt.Nodes = append(jt.Nodes, jsonNode{})
+		jn := jsonNode{
+			Feature:   n.feature,
+			Threshold: n.threshold,
+			Left:      -1,
+			Right:     -1,
+			Leaf:      n.leaf,
+			LeafID:    n.leafID,
+			Value:     n.value,
+		}
+		if !n.leaf {
+			jn.Left = walk(n.left)
+			jn.Right = walk(n.right)
+		}
+		jt.Nodes[idx] = jn
+		return idx
+	}
+	walk(t.root)
+	return jt
+}
+
+func rebuildTree(jt jsonTree) (*Tree, error) {
+	if len(jt.Nodes) == 0 {
+		return nil, fmt.Errorf("ml: empty tree")
+	}
+	t := &Tree{features: jt.Features, leaves: make([]*node, jt.Leaves)}
+	var build func(idx int) (*node, error)
+	build = func(idx int) (*node, error) {
+		if idx < 0 || idx >= len(jt.Nodes) {
+			return nil, fmt.Errorf("ml: node index %d out of range", idx)
+		}
+		jn := jt.Nodes[idx]
+		n := &node{
+			feature:   jn.Feature,
+			threshold: jn.Threshold,
+			leaf:      jn.Leaf,
+			leafID:    jn.LeafID,
+			value:     jn.Value,
+		}
+		if n.leaf {
+			if n.leafID < 0 || n.leafID >= len(t.leaves) {
+				return nil, fmt.Errorf("ml: leaf id %d out of range", n.leafID)
+			}
+			t.leaves[n.leafID] = n
+			return n, nil
+		}
+		var err error
+		if n.left, err = build(jn.Left); err != nil {
+			return nil, err
+		}
+		if n.right, err = build(jn.Right); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	root, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	for i, leaf := range t.leaves {
+		if leaf == nil {
+			return nil, fmt.Errorf("ml: leaf %d missing", i)
+		}
+	}
+	return t, nil
+}
+
+// jsonForest is the wire form of a Forest.
+type jsonForest struct {
+	Kind  string     `json:"kind"`
+	Trees []jsonTree `json:"trees"`
+}
+
+// ExportForest writes the forest to w.
+func ExportForest(w io.Writer, f *Forest) error {
+	jf := jsonForest{Kind: "forest"}
+	for _, t := range f.trees {
+		jf.Trees = append(jf.Trees, flattenTree(t))
+	}
+	return json.NewEncoder(w).Encode(jf)
+}
+
+// ImportForest reads a forest written by ExportForest.
+func ImportForest(r io.Reader) (*Forest, error) {
+	var jf jsonForest
+	if err := json.NewDecoder(r).Decode(&jf); err != nil {
+		return nil, fmt.Errorf("ml: decoding forest: %w", err)
+	}
+	if jf.Kind != "forest" {
+		return nil, fmt.Errorf("ml: expected forest, got %q", jf.Kind)
+	}
+	if len(jf.Trees) == 0 {
+		return nil, fmt.Errorf("ml: forest has no trees")
+	}
+	f := &Forest{}
+	for _, jt := range jf.Trees {
+		t, err := rebuildTree(jt)
+		if err != nil {
+			return nil, err
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}
+
+// jsonGBM is the wire form of a GBM.
+type jsonGBM struct {
+	Kind     string     `json:"kind"`
+	Init     float64    `json:"init"`
+	LR       float64    `json:"lr"`
+	Quantile float64    `json:"quantile"`
+	Trees    []jsonTree `json:"trees"`
+}
+
+// ExportGBM writes the model to w.
+func ExportGBM(w io.Writer, m *GBM) error {
+	jg := jsonGBM{Kind: "gbm", Init: m.init, LR: m.lr, Quantile: m.quantile}
+	for _, t := range m.trees {
+		jg.Trees = append(jg.Trees, flattenTree(t))
+	}
+	return json.NewEncoder(w).Encode(jg)
+}
+
+// ImportGBM reads a model written by ExportGBM.
+func ImportGBM(r io.Reader) (*GBM, error) {
+	var jg jsonGBM
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("ml: decoding gbm: %w", err)
+	}
+	if jg.Kind != "gbm" {
+		return nil, fmt.Errorf("ml: expected gbm, got %q", jg.Kind)
+	}
+	m := &GBM{init: jg.Init, lr: jg.LR, quantile: jg.Quantile}
+	for _, jt := range jg.Trees {
+		t, err := rebuildTree(jt)
+		if err != nil {
+			return nil, err
+		}
+		m.trees = append(m.trees, t)
+	}
+	return m, nil
+}

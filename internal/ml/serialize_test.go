@@ -1,0 +1,87 @@
+package ml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestForestRoundTrip(t *testing.T) {
+	X, y, _ := synthClassification(400, 8, 41)
+	cfg := DefaultForestConfig()
+	cfg.NTrees = 15
+	f := FitForest(X, y, cfg)
+
+	var buf bytes.Buffer
+	if err := ExportForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trees() != f.Trees() {
+		t.Fatalf("trees = %d, want %d", got.Trees(), f.Trees())
+	}
+	for i := 0; i < 200; i++ {
+		if got.PredictProb(X[i%len(X)]) != f.PredictProb(X[i%len(X)]) {
+			t.Fatal("round-tripped forest predicts differently")
+		}
+	}
+}
+
+func TestGBMRoundTrip(t *testing.T) {
+	X, y := synthRegression(500, 5, 42)
+	cfg := DefaultGBMConfig()
+	cfg.NTrees = 20
+	m := FitGBM(X, y, cfg)
+
+	var buf bytes.Buffer
+	if err := ExportGBM(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportGBM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Quantile() != m.Quantile() || got.Stages() != m.Stages() {
+		t.Fatal("metadata lost")
+	}
+	for i := 0; i < 200; i++ {
+		if got.Predict(X[i%len(X)]) != m.Predict(X[i%len(X)]) {
+			t.Fatal("round-tripped GBM predicts differently")
+		}
+	}
+}
+
+func TestImportForestRejectsGarbage(t *testing.T) {
+	if _, err := ImportForest(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ImportForest(strings.NewReader(`{"kind":"gbm","trees":[]}`)); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	if _, err := ImportForest(strings.NewReader(`{"kind":"forest","trees":[]}`)); err == nil {
+		t.Fatal("empty forest accepted")
+	}
+}
+
+func TestImportGBMRejectsGarbage(t *testing.T) {
+	if _, err := ImportGBM(strings.NewReader(`{"kind":"forest"}`)); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	// Corrupt node indices must not crash the importer.
+	bad := `{"kind":"gbm","init":0,"lr":0.1,"quantile":0.5,` +
+		`"trees":[{"nodes":[{"f":0,"t":0.5,"l":99,"r":1,"leaf":false}],"features":1,"leaves":0}]}`
+	if _, err := ImportGBM(strings.NewReader(bad)); err == nil {
+		t.Fatal("corrupt tree accepted")
+	}
+}
+
+func TestImportForestDetectsMissingLeaves(t *testing.T) {
+	// A tree claiming 2 leaves but containing 1 must be rejected.
+	bad := `{"kind":"forest","trees":[{"nodes":[{"leaf":true,"id":0,"v":1}],"features":1,"leaves":2}]}`
+	if _, err := ImportForest(strings.NewReader(bad)); err == nil {
+		t.Fatal("missing leaf accepted")
+	}
+}

@@ -1,0 +1,257 @@
+// Package ml implements the two model families Pond's control plane uses
+// (§5), from scratch on the standard library: CART decision trees,
+// bootstrap-aggregated random forests (the scikit-learn RandomForest
+// stand-in for latency-insensitivity classification), and gradient-boosted
+// regression trees with pinball loss (the LightGBM quantile-GBM stand-in
+// for untouched-memory prediction).
+//
+// Every fit is deterministic given its seed; the experiment harness relies
+// on that for reproducible figures.
+package ml
+
+import (
+	"fmt"
+	"sort"
+
+	"pond/internal/stats"
+)
+
+// Criterion selects the split quality measure.
+type Criterion int
+
+const (
+	// Variance minimizes within-node sum of squared errors (regression).
+	Variance Criterion = iota
+	// Gini minimizes within-node Gini impurity (binary classification
+	// with 0/1 targets).
+	Gini
+)
+
+// TreeConfig bounds tree growth.
+type TreeConfig struct {
+	MaxDepth    int
+	MinLeaf     int     // minimum samples per leaf
+	FeatureFrac float64 // fraction of features considered per split (1.0 = all)
+	Criterion   Criterion
+}
+
+// DefaultTreeConfig returns a sane regression-tree configuration.
+func DefaultTreeConfig() TreeConfig {
+	return TreeConfig{MaxDepth: 6, MinLeaf: 5, FeatureFrac: 1.0, Criterion: Variance}
+}
+
+// node is one tree node; leaves carry a value, internal nodes a split.
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	leaf      bool
+	leafID    int
+	value     float64
+}
+
+// Tree is a fitted CART tree.
+type Tree struct {
+	root     *node
+	leaves   []*node
+	features int
+}
+
+// FitTree grows a tree on rows X (all of equal length) with targets y.
+// The RNG drives per-split feature subsampling; pass a fresh fork per
+// tree for forests.
+func FitTree(X [][]float64, y []float64, cfg TreeConfig, r *stats.Rand) *Tree {
+	if len(X) == 0 || len(X) != len(y) {
+		panic(fmt.Sprintf("ml: bad training set: %d rows, %d targets", len(X), len(y)))
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 6
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 1
+	}
+	if cfg.FeatureFrac <= 0 || cfg.FeatureFrac > 1 {
+		cfg.FeatureFrac = 1
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{features: len(X[0])}
+	t.root = t.grow(X, y, idx, cfg, 0, r)
+	return t
+}
+
+// grow recursively builds the subtree over the sample indices idx.
+func (t *Tree) grow(X [][]float64, y []float64, idx []int, cfg TreeConfig, depth int, r *stats.Rand) *node {
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || pure(y, idx) {
+		return t.makeLeaf(y, idx)
+	}
+	feat, thr, ok := bestSplit(X, y, idx, cfg, r)
+	if !ok {
+		return t.makeLeaf(y, idx)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.MinLeaf || len(right) < cfg.MinLeaf {
+		return t.makeLeaf(y, idx)
+	}
+	return &node{
+		feature:   feat,
+		threshold: thr,
+		left:      t.grow(X, y, left, cfg, depth+1, r),
+		right:     t.grow(X, y, right, cfg, depth+1, r),
+	}
+}
+
+// makeLeaf creates a leaf whose value is the target mean (probability for
+// 0/1 targets).
+func (t *Tree) makeLeaf(y []float64, idx []int) *node {
+	var sum float64
+	for _, i := range idx {
+		sum += y[i]
+	}
+	n := &node{leaf: true, leafID: len(t.leaves), value: sum / float64(len(idx))}
+	t.leaves = append(t.leaves, n)
+	return n
+}
+
+// pure reports whether all targets in idx are identical.
+func pure(y []float64, idx []int) bool {
+	for _, i := range idx[1:] {
+		if y[i] != y[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+// bestSplit scans a feature subset for the impurity-minimizing threshold.
+func bestSplit(X [][]float64, y []float64, idx []int, cfg TreeConfig, r *stats.Rand) (feat int, thr float64, ok bool) {
+	nFeatures := len(X[idx[0]])
+	candidates := featureSubset(nFeatures, cfg.FeatureFrac, r)
+
+	type pair struct{ x, y float64 }
+	pairs := make([]pair, len(idx))
+	bestScore := infinity
+	for _, f := range candidates {
+		for k, i := range idx {
+			pairs[k] = pair{X[i][f], y[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].x < pairs[b].x })
+
+		// Prefix statistics allow O(n) evaluation of all thresholds.
+		var lSum, lSq float64
+		var rSum, rSq float64
+		for _, p := range pairs {
+			rSum += p.y
+			rSq += p.y * p.y
+		}
+		n := float64(len(pairs))
+		for k := 0; k < len(pairs)-1; k++ {
+			lSum += pairs[k].y
+			lSq += pairs[k].y * pairs[k].y
+			rSum -= pairs[k].y
+			rSq -= pairs[k].y * pairs[k].y
+			if pairs[k].x == pairs[k+1].x {
+				continue // cannot split between equal values
+			}
+			ln := float64(k + 1)
+			rn := n - ln
+			if int(ln) < cfg.MinLeaf || int(rn) < cfg.MinLeaf {
+				continue
+			}
+			var score float64
+			switch cfg.Criterion {
+			case Gini:
+				lp := lSum / ln
+				rp := rSum / rn
+				score = ln*2*lp*(1-lp) + rn*2*rp*(1-rp)
+			default: // Variance: SSE = sq - sum^2/n
+				score = (lSq - lSum*lSum/ln) + (rSq - rSum*rSum/rn)
+			}
+			if score < bestScore {
+				bestScore = score
+				feat = f
+				thr = (pairs[k].x + pairs[k+1].x) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+const infinity = 1e308
+
+// featureSubset samples ceil(frac*n) distinct feature indices.
+func featureSubset(n int, frac float64, r *stats.Rand) []int {
+	k := int(frac*float64(n) + 0.999999)
+	if k >= n || r == nil {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	if k < 1 {
+		k = 1
+	}
+	perm := r.Perm(n)
+	return perm[:k]
+}
+
+// Predict returns the tree's output for one row.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// LeafID returns the index of the leaf x lands in (stable for the tree's
+// lifetime); the quantile GBM uses it to re-fit leaf values.
+func (t *Tree) LeafID(x []float64) int {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.leafID
+}
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int { return len(t.leaves) }
+
+// SetLeafValue overwrites a leaf's output (quantile GBM leaf adjustment).
+func (t *Tree) SetLeafValue(leafID int, v float64) {
+	t.leaves[leafID].value = v
+}
+
+// Depth returns the maximum depth of the tree (root = 0).
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *node) int {
+	if n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

@@ -1,0 +1,215 @@
+package pmu
+
+import (
+	"strings"
+	"testing"
+
+	"pond/internal/stats"
+	"pond/internal/workload"
+)
+
+func TestCounterNamesCount(t *testing.T) {
+	names := CounterNames()
+	if len(names) != NumCounters {
+		t.Fatalf("len(CounterNames()) = %d, want %d", len(names), NumCounters)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate counter name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestNamedCounters(t *testing.T) {
+	if CounterName(DRAMBound) != "tma_dram_bound" {
+		t.Fatalf("DRAMBound name = %q", CounterName(DRAMBound))
+	}
+	if CounterName(MemoryBound) != "tma_memory_bound" {
+		t.Fatalf("MemoryBound name = %q", CounterName(MemoryBound))
+	}
+	if !strings.HasPrefix(CounterName(GenericBase), "generic_event_") {
+		t.Fatalf("generic name = %q", CounterName(GenericBase))
+	}
+}
+
+func TestCounterNamePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CounterName(NumCounters)
+}
+
+func TestSampleDeterministicGivenSeed(t *testing.T) {
+	w, _ := workload.ByName("505.mcf_r")
+	a := Sample(w, stats.NewRand(1))
+	b := Sample(w, stats.NewRand(1))
+	if a != b {
+		t.Fatal("same seed produced different samples")
+	}
+}
+
+func TestSampleVariesAcrossDraws(t *testing.T) {
+	w, _ := workload.ByName("505.mcf_r")
+	r := stats.NewRand(1)
+	a := Sample(w, r)
+	b := Sample(w, r)
+	if a == b {
+		t.Fatal("independent samples are identical; measurement noise missing")
+	}
+}
+
+func TestSampleTracksWorkloadDRAMBound(t *testing.T) {
+	r := stats.NewRand(2)
+	mcf, _ := workload.ByName("505.mcf_r")     // heavily DRAM-bound
+	leela, _ := workload.ByName("541.leela_r") // compute-bound
+	var mcfSum, leelaSum float64
+	for i := 0; i < 50; i++ {
+		mcfSum += Sample(mcf, r)[DRAMBound]
+		leelaSum += Sample(leela, r)[DRAMBound]
+	}
+	if mcfSum <= leelaSum*5 {
+		t.Fatalf("mcf DRAM-bound (%v) should dwarf leela's (%v)", mcfSum/50, leelaSum/50)
+	}
+}
+
+func TestSampleFractionsBounded(t *testing.T) {
+	r := stats.NewRand(3)
+	for _, w := range workload.Catalogue() {
+		v := Sample(w, r)
+		for _, idx := range []int{BackendBound, MemoryBound, DRAMBound, StoreBound, FrontendBound, Retiring} {
+			if v[idx] < 0 || v[idx] > 1 {
+				t.Fatalf("%s: counter %s = %v outside [0,1]", w.Name, CounterName(idx), v[idx])
+			}
+		}
+		if v[BandwidthGBps] < 0 || v[BandwidthGBps] > 120 {
+			t.Fatalf("%s: bandwidth %v implausible", w.Name, v[BandwidthGBps])
+		}
+	}
+}
+
+func TestDeceptiveWorkloadHidesFromDRAMBound(t *testing.T) {
+	// Finding 4: VoltDB YCSB-C slows >20% but reports tiny DRAM-bound.
+	w, ok := workload.ByName("voltdb-ycsb-c")
+	if !ok {
+		t.Fatal("missing deceptive workload")
+	}
+	r := stats.NewRand(4)
+	var db, sb float64
+	for i := 0; i < 50; i++ {
+		v := Sample(w, r)
+		db += v[DRAMBound]
+		sb += v[StoreBound]
+	}
+	db, sb = db/50, sb/50
+	if db > 0.06 {
+		t.Fatalf("deceptive workload mean DRAM-bound = %v, want < 0.06", db)
+	}
+	if sb < 0.1 {
+		t.Fatalf("deceptive workload store-bound = %v should carry the signal", sb)
+	}
+}
+
+func TestBandwidthCounterSeparatesBWBoundWorkloads(t *testing.T) {
+	r := stats.NewRand(5)
+	lbm, _ := workload.ByName("519.lbm_r")     // bandwidth-bound
+	leela, _ := workload.ByName("541.leela_r") // compute-bound
+	var lbmBW, leelaBW float64
+	for i := 0; i < 50; i++ {
+		lbmBW += Sample(lbm, r)[BandwidthGBps]
+		leelaBW += Sample(leela, r)[BandwidthGBps]
+	}
+	if lbmBW <= leelaBW*2 {
+		t.Fatalf("lbm bandwidth (%v) should dominate leela (%v)", lbmBW/50, leelaBW/50)
+	}
+}
+
+func TestGenericCountersMostlyNoise(t *testing.T) {
+	// The generic counters must not leak strong signal: correlate each
+	// against the workload's true sensitivity and require most to be
+	// weak.
+	ws := workload.Catalogue()
+	r := stats.NewRand(6)
+	n := len(ws)
+	sens := make([]float64, n)
+	samples := make([]Vector, n)
+	for i, w := range ws {
+		sens[i] = w.Slowdown(workload.Ratio182, 1)
+		samples[i] = Sample(w, r)
+	}
+	strong := 0
+	for c := GenericBase; c < NumCounters; c++ {
+		xs := make([]float64, n)
+		for i := range samples {
+			xs[i] = samples[i][c]
+		}
+		if corr := correlation(xs, sens); corr > 0.5 {
+			strong++
+		}
+	}
+	if strong > (NumCounters-GenericBase)/4 {
+		t.Fatalf("%d generic counters strongly correlated; they should be mostly noise", strong)
+	}
+}
+
+func TestMeanVector(t *testing.T) {
+	var a, b Vector
+	a[DRAMBound], b[DRAMBound] = 0.2, 0.4
+	m := MeanVector([]Vector{a, b})
+	if diff := m[DRAMBound] - 0.3; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("mean = %v, want 0.3", m[DRAMBound])
+	}
+	var zero Vector
+	if MeanVector(nil) != zero {
+		t.Fatal("MeanVector(nil) should be zero")
+	}
+}
+
+func TestFeaturesCopies(t *testing.T) {
+	var v Vector
+	v[0] = 1
+	f := v.Features()
+	if len(f) != NumCounters || f[0] != 1 {
+		t.Fatalf("Features() = len %d, f[0]=%v", len(f), f[0])
+	}
+	f[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Features aliases the vector")
+	}
+}
+
+func TestOverheadIsNegligible(t *testing.T) {
+	if OverheadFraction() > 0.002 {
+		t.Fatalf("sampling overhead %v should be ~0.1%% (§5)", OverheadFraction())
+	}
+}
+
+func correlation(xs, ys []float64) float64 {
+	mx, my := stats.Mean(xs), stats.Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / (sqrtf(sxx) * sqrtf(syy))
+}
+
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations suffice for test purposes.
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}

@@ -1,0 +1,260 @@
+// Package pool implements Pond's Pool Manager (§4.2, Figure 9): the
+// control entity, colocated with the EMCs, that assigns 1 GB memory
+// slices to hosts on VM arrival and reclaims them after VM departure.
+//
+// Two timing asymmetries drive the design, both measured in the paper:
+// onlining a slice on a host is near-instantaneous (microseconds per GB),
+// while offlining takes 10–100 ms per GB. Pond therefore releases
+// capacity asynchronously — departed VMs' slices drain back into the free
+// pool in the background — and keeps a buffer of unallocated pool memory
+// so VM starts never wait on offlining (Finding 10: the offlining rate
+// needed stays below 1 GB/s for 99.99% of VM starts).
+//
+// The manager operates in simulated time: callers pass the current time
+// to each operation, which lets the cluster simulator drive thousands of
+// days of pool activity deterministically.
+package pool
+
+import (
+	"fmt"
+	"sort"
+
+	"pond/internal/emc"
+	"pond/internal/stats"
+)
+
+// Timing constants (§4.2).
+const (
+	// OnlineSecPerGB: onlining is "near instantaneous with
+	// microseconds/GB".
+	OnlineSecPerGB = 20e-6
+
+	// Offline timing: "offlining 1GB slices empirically takes 10-100
+	// milliseconds/GB".
+	OfflineMinSecPerGB = 0.010
+	OfflineMaxSecPerGB = 0.100
+)
+
+// SliceRef names one slice on one EMC.
+type SliceRef struct {
+	EMC   int // index into the manager's device list
+	Slice emc.SliceID
+}
+
+// AddResult reports a completed add_capacity operation.
+type AddResult struct {
+	Slices []SliceRef
+	// OnlineLatencySec is how long the host driver took to online the
+	// slices (charged to, but not blocking, the VM start path).
+	OnlineLatencySec float64
+	// WaitedSec is how long the request had to wait for pending
+	// offlines to drain because the free buffer was short. Zero for the
+	// common, buffer-satisfied case.
+	WaitedSec float64
+	// RequiredOfflineRate is the offline throughput (GB/s) that had to
+	// materialize for this start; 0 when served from the buffer
+	// (Finding 10's metric).
+	RequiredOfflineRate float64
+}
+
+// pendingRelease is a slice being offlined on its old host.
+type pendingRelease struct {
+	ref      SliceRef
+	host     emc.HostID
+	readySec float64
+}
+
+// Manager is the Pool Manager.
+type Manager struct {
+	emcs []*emc.Device
+	r    *stats.Rand
+
+	pending []pendingRelease // sorted by readySec
+
+	// startRates records RequiredOfflineRate per AddCapacity call, the
+	// distribution behind Finding 10.
+	startRates []float64
+
+	onlineOps  int64
+	releaseOps int64
+}
+
+// NewManager creates a Pool Manager over the given EMCs. The RNG drives
+// the per-operation offline duration draw.
+func NewManager(emcs []*emc.Device, r *stats.Rand) *Manager {
+	if len(emcs) == 0 {
+		panic("pool: manager needs at least one EMC")
+	}
+	return &Manager{emcs: emcs, r: r}
+}
+
+// PoolGB returns the total pool capacity across EMCs.
+func (m *Manager) PoolGB() int {
+	total := 0
+	for _, d := range m.emcs {
+		total += d.CapacityGB()
+	}
+	return total
+}
+
+// FreeGB returns the immediately assignable capacity at the given time
+// (pending offlines that have completed are drained first).
+func (m *Manager) FreeGB(now float64) int {
+	m.drain(now)
+	free := 0
+	for _, d := range m.emcs {
+		free += d.FreeSlices() * emc.SliceGB
+	}
+	return free
+}
+
+// PendingGB returns capacity still draining through offline.
+func (m *Manager) PendingGB(now float64) int {
+	m.drain(now)
+	return len(m.pending) * emc.SliceGB
+}
+
+// drain completes all pending releases whose offline finished by now.
+func (m *Manager) drain(now float64) {
+	i := 0
+	for ; i < len(m.pending); i++ {
+		p := m.pending[i]
+		if p.readySec > now {
+			break
+		}
+		// Release back to the device's free pool; an error here means
+		// the device failed mid-offline, in which case the slice is
+		// gone with the device and dropping it is correct.
+		_ = m.emcs[p.ref.EMC].Release(p.ref.Slice, p.host)
+	}
+	m.pending = m.pending[i:]
+}
+
+// AddCapacity implements the add_capacity(host, slice) flow: pick gb
+// worth of free slices, assign them to the host on the EMC, and notify
+// the host driver to online them. If the free buffer is short the request
+// waits for the earliest pending offlines — the case Finding 10 shows is
+// vanishingly rare with a sane buffer.
+func (m *Manager) AddCapacity(h emc.HostID, gb int, now float64) (AddResult, error) {
+	if gb <= 0 {
+		return AddResult{}, fmt.Errorf("pool: non-positive capacity request %d GB", gb)
+	}
+	m.drain(now)
+
+	res := AddResult{}
+	need := gb / emc.SliceGB
+
+	if free := m.FreeGB(now); free < gb {
+		// Wait for pending offlines to cover the shortfall.
+		shortfall := gb - free
+		covered := 0
+		var waitUntil float64
+		for _, p := range m.pending {
+			covered += emc.SliceGB
+			if covered >= shortfall {
+				waitUntil = p.readySec
+				break
+			}
+		}
+		if covered < shortfall {
+			return AddResult{}, fmt.Errorf("pool: %d GB requested, %d free and %d draining",
+				gb, free, len(m.pending)*emc.SliceGB)
+		}
+		res.WaitedSec = waitUntil - now
+		if res.WaitedSec > 0 {
+			res.RequiredOfflineRate = float64(shortfall) / res.WaitedSec
+		}
+		now = waitUntil
+		m.drain(now)
+	}
+	m.startRates = append(m.startRates, res.RequiredOfflineRate)
+
+	// Prefer filling from the EMC with the most free slices: keeps each
+	// VM's pool memory on one EMC, minimizing failure blast radius.
+	order := make([]int, len(m.emcs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return m.emcs[order[a]].FreeSlices() > m.emcs[order[b]].FreeSlices()
+	})
+	for _, di := range order {
+		if need == 0 {
+			break
+		}
+		d := m.emcs[di]
+		take := d.FreeSlices()
+		if take > need {
+			take = need
+		}
+		if take == 0 {
+			continue
+		}
+		slices, err := d.AssignAny(take, h)
+		if err != nil {
+			continue // failed EMC: try the next one
+		}
+		for _, s := range slices {
+			res.Slices = append(res.Slices, SliceRef{EMC: di, Slice: s})
+		}
+		need -= take
+	}
+	if need > 0 {
+		// Roll back partial assignment; the free pool shrank between
+		// drain and assign (possible only with concurrent use).
+		for _, ref := range res.Slices {
+			_ = m.emcs[ref.EMC].Release(ref.Slice, h)
+		}
+		return AddResult{}, fmt.Errorf("pool: assignment raced; %d GB short", need)
+	}
+	res.OnlineLatencySec = float64(gb) * OnlineSecPerGB
+	m.onlineOps++
+	return res, nil
+}
+
+// ReleaseCapacity implements release_capacity: the host offlines each
+// slice (10–100 ms/GB, drawn per operation) and the slice re-enters the
+// free pool when the offline completes. The call itself returns
+// immediately — this is the asynchronous release strategy of Figure 9.
+func (m *Manager) ReleaseCapacity(h emc.HostID, refs []SliceRef, now float64) {
+	for _, ref := range refs {
+		perGB := m.r.Bounded(OfflineMinSecPerGB, OfflineMaxSecPerGB)
+		m.pending = append(m.pending, pendingRelease{
+			ref:      ref,
+			host:     h,
+			readySec: now + perGB*float64(emc.SliceGB),
+		})
+	}
+	sort.Slice(m.pending, func(i, j int) bool { return m.pending[i].readySec < m.pending[j].readySec })
+	m.releaseOps++
+}
+
+// ReclaimHost handles a host failure (§4.2): every slice the dead host
+// owned — online, in use, or draining — returns to the free pool
+// immediately, since the host can no longer run the offline protocol.
+// It returns the total capacity reclaimed.
+func (m *Manager) ReclaimHost(h emc.HostID) int {
+	// Drop the dead host's pending releases; their slices are force
+	// released below.
+	kept := m.pending[:0]
+	for _, p := range m.pending {
+		if p.host != h {
+			kept = append(kept, p)
+		}
+	}
+	m.pending = kept
+	reclaimed := 0
+	for _, d := range m.emcs {
+		reclaimed += len(d.ForceReleaseAll(h)) * emc.SliceGB
+	}
+	return reclaimed
+}
+
+// StartRates returns the per-VM-start required offline rates (GB/s)
+// recorded so far; the Finding 10 experiment summarizes this.
+func (m *Manager) StartRates() []float64 {
+	return append([]float64(nil), m.startRates...)
+}
+
+// Ops returns operation counters (onlines, releases).
+func (m *Manager) Ops() (online, release int64) { return m.onlineOps, m.releaseOps }

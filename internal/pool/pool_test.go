@@ -1,0 +1,354 @@
+package pool
+
+import (
+	"strings"
+	"testing"
+
+	"pond/internal/emc"
+	"pond/internal/stats"
+)
+
+func newManager(t *testing.T, emcGB ...int) *Manager {
+	t.Helper()
+	devs := make([]*emc.Device, len(emcGB))
+	for i, gb := range emcGB {
+		devs[i] = emc.NewDevice("emc", gb, 16)
+	}
+	return NewManager(devs, stats.NewRand(1))
+}
+
+func TestNewManagerPanicsWithoutEMCs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewManager(nil, stats.NewRand(1))
+}
+
+func TestPoolGB(t *testing.T) {
+	m := newManager(t, 64, 64)
+	if m.PoolGB() != 128 {
+		t.Fatalf("PoolGB = %d", m.PoolGB())
+	}
+	if m.FreeGB(0) != 128 {
+		t.Fatalf("FreeGB = %d", m.FreeGB(0))
+	}
+}
+
+func TestAddCapacityFastPath(t *testing.T) {
+	m := newManager(t, 64)
+	res, err := m.AddCapacity(1, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Slices) != 8 {
+		t.Fatalf("slices = %d, want 8", len(res.Slices))
+	}
+	if res.WaitedSec != 0 || res.RequiredOfflineRate != 0 {
+		t.Fatalf("buffer-satisfied start should not wait: %+v", res)
+	}
+	if res.OnlineLatencySec <= 0 || res.OnlineLatencySec > 0.001 {
+		t.Fatalf("online latency %v should be microseconds/GB", res.OnlineLatencySec)
+	}
+	if m.FreeGB(0) != 56 {
+		t.Fatalf("free = %d, want 56", m.FreeGB(0))
+	}
+}
+
+func TestAddCapacityRejectsBadRequest(t *testing.T) {
+	m := newManager(t, 16)
+	if _, err := m.AddCapacity(0, 0, 0); err == nil {
+		t.Fatal("zero GB accepted")
+	}
+	if _, err := m.AddCapacity(0, -4, 0); err == nil {
+		t.Fatal("negative GB accepted")
+	}
+}
+
+func TestAddCapacityExhausted(t *testing.T) {
+	m := newManager(t, 8)
+	if _, err := m.AddCapacity(0, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.AddCapacity(1, 1, 0)
+	if err == nil {
+		t.Fatal("overcommitted pool accepted")
+	}
+	if !strings.Contains(err.Error(), "requested") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestAsynchronousRelease(t *testing.T) {
+	m := newManager(t, 8)
+	res, err := m.AddCapacity(0, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseCapacity(0, res.Slices, 100)
+	// Immediately after release, nothing is free yet: offline takes
+	// 10-100 ms per GB.
+	if free := m.FreeGB(100); free != 0 {
+		t.Fatalf("free immediately after release = %d, want 0", free)
+	}
+	if pending := m.PendingGB(100); pending != 8 {
+		t.Fatalf("pending = %d, want 8", pending)
+	}
+	// After a second, every slice (max 100 ms each) is back.
+	if free := m.FreeGB(101); free != 8 {
+		t.Fatalf("free after drain = %d, want 8", free)
+	}
+	if pending := m.PendingGB(101); pending != 0 {
+		t.Fatalf("pending after drain = %d", pending)
+	}
+}
+
+func TestOfflineDurationsWithinBounds(t *testing.T) {
+	m := newManager(t, 32)
+	res, _ := m.AddCapacity(0, 32, 0)
+	m.ReleaseCapacity(0, res.Slices, 0)
+	for _, p := range m.pending {
+		perGB := p.readySec / float64(emc.SliceGB)
+		if perGB < OfflineMinSecPerGB || perGB > OfflineMaxSecPerGB {
+			t.Fatalf("offline %v s/GB outside [%v, %v]", perGB, OfflineMinSecPerGB, OfflineMaxSecPerGB)
+		}
+	}
+}
+
+func TestAddCapacityWaitsForPending(t *testing.T) {
+	m := newManager(t, 8)
+	res, _ := m.AddCapacity(0, 8, 0)
+	m.ReleaseCapacity(0, res.Slices, 10)
+	// Request at t=10 while everything is draining: must wait and
+	// report the offline rate it depended on.
+	res2, err := m.AddCapacity(1, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.WaitedSec <= 0 {
+		t.Fatalf("expected a wait, got %+v", res2)
+	}
+	if res2.RequiredOfflineRate <= 0 {
+		t.Fatalf("expected positive required offline rate, got %+v", res2)
+	}
+	if len(res2.Slices) != 4 {
+		t.Fatalf("slices = %d", len(res2.Slices))
+	}
+}
+
+func TestAddCapacityFailsWhenDrainInsufficient(t *testing.T) {
+	m := newManager(t, 8)
+	res, _ := m.AddCapacity(0, 4, 0)
+	m.ReleaseCapacity(0, res.Slices, 0)
+	// 4 free + 4 draining = 8 available; 9 must fail.
+	if _, err := m.AddCapacity(1, 9, 0); err == nil {
+		t.Fatal("request exceeding free+draining accepted")
+	}
+}
+
+func TestBlastRadiusPreference(t *testing.T) {
+	// With two EMCs, a VM-sized request should land on a single EMC
+	// when one has room.
+	m := newManager(t, 64, 64)
+	res, err := m.AddCapacity(0, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emcsUsed := map[int]bool{}
+	for _, ref := range res.Slices {
+		emcsUsed[ref.EMC] = true
+	}
+	if len(emcsUsed) != 1 {
+		t.Fatalf("16 GB spread over %d EMCs; blast radius should prefer one", len(emcsUsed))
+	}
+}
+
+func TestSpillsAcrossEMCsWhenNeeded(t *testing.T) {
+	m := newManager(t, 8, 8)
+	res, err := m.AddCapacity(0, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emcsUsed := map[int]bool{}
+	for _, ref := range res.Slices {
+		emcsUsed[ref.EMC] = true
+	}
+	if len(emcsUsed) != 2 {
+		t.Fatalf("12 GB on 8+8 pool used %d EMCs, want 2", len(emcsUsed))
+	}
+}
+
+func TestFailedEMCSkipped(t *testing.T) {
+	devs := []*emc.Device{
+		emc.NewDevice("emc0", 32, 8),
+		emc.NewDevice("emc1", 32, 8),
+	}
+	m := NewManager(devs, stats.NewRand(1))
+	devs[0].Fail()
+	res, err := m.AddCapacity(0, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range res.Slices {
+		if ref.EMC == 0 {
+			t.Fatal("assigned slice on failed EMC")
+		}
+	}
+}
+
+func TestStartRatesRecorded(t *testing.T) {
+	m := newManager(t, 16)
+	m.AddCapacity(0, 4, 0)
+	m.AddCapacity(1, 4, 0)
+	rates := m.StartRates()
+	if len(rates) != 2 {
+		t.Fatalf("recorded %d start rates, want 2", len(rates))
+	}
+	for _, r := range rates {
+		if r != 0 {
+			t.Fatalf("buffer-satisfied start recorded rate %v", r)
+		}
+	}
+}
+
+func TestStartRatesCopy(t *testing.T) {
+	m := newManager(t, 16)
+	m.AddCapacity(0, 4, 0)
+	rates := m.StartRates()
+	rates[0] = 99
+	if m.StartRates()[0] == 99 {
+		t.Fatal("StartRates aliases internal state")
+	}
+}
+
+func TestOpsCounters(t *testing.T) {
+	m := newManager(t, 16)
+	res, _ := m.AddCapacity(0, 4, 0)
+	m.ReleaseCapacity(0, res.Slices, 0)
+	on, rel := m.Ops()
+	if on != 1 || rel != 1 {
+		t.Fatalf("ops = %d/%d, want 1/1", on, rel)
+	}
+}
+
+func TestCapacityConservation(t *testing.T) {
+	// free + assigned + pending == pool, across a random op sequence.
+	m := newManager(t, 64)
+	r := stats.NewRand(7)
+	assigned := map[emc.HostID][]SliceRef{}
+	totalAssigned := 0
+	now := 0.0
+	for i := 0; i < 400; i++ {
+		now += r.Bounded(0, 0.5)
+		h := emc.HostID(r.Intn(8))
+		if r.Bernoulli(0.6) {
+			gb := 1 + r.Intn(8)
+			res, err := m.AddCapacity(h, gb, now)
+			if err == nil {
+				assigned[h] = append(assigned[h], res.Slices...)
+				totalAssigned += gb
+			}
+		} else if len(assigned[h]) > 0 {
+			n := 1 + r.Intn(len(assigned[h]))
+			m.ReleaseCapacity(h, assigned[h][:n], now)
+			assigned[h] = assigned[h][n:]
+			totalAssigned -= n
+		}
+		free := m.FreeGB(now)
+		pending := m.PendingGB(now)
+		if free+pending+totalAssigned != 64 {
+			t.Fatalf("iteration %d: %d free + %d pending + %d assigned != 64",
+				i, free, pending, totalAssigned)
+		}
+	}
+}
+
+func TestFinding10MostStartsNeedNoOffline(t *testing.T) {
+	// With a pool sized to typical churn, almost all VM starts are
+	// served from the buffer: the required offline rate is 0 for the
+	// overwhelming majority (Finding 10).
+	m := newManager(t, 256)
+	r := stats.NewRand(3)
+	type lease struct {
+		host emc.HostID
+		refs []SliceRef
+		end  float64
+	}
+	var live []lease
+	now := 0.0
+	for i := 0; i < 2000; i++ {
+		now += r.Exponential(1.0)
+		// Expire leases.
+		var keep []lease
+		for _, l := range live {
+			if l.end <= now {
+				m.ReleaseCapacity(l.host, l.refs, l.end)
+			} else {
+				keep = append(keep, l)
+			}
+		}
+		live = keep
+		gb := 1 + r.Intn(8)
+		host := emc.HostID(r.Intn(16))
+		res, err := m.AddCapacity(host, gb, now)
+		if err != nil {
+			continue
+		}
+		live = append(live, lease{
+			host: host,
+			refs: res.Slices,
+			end:  now + r.Exponential(30),
+		})
+	}
+	rates := m.StartRates()
+	zero := 0
+	for _, rate := range rates {
+		if rate == 0 {
+			zero++
+		}
+	}
+	if frac := float64(zero) / float64(len(rates)); frac < 0.99 {
+		t.Fatalf("only %.4f of starts buffer-satisfied, want >= 0.99 (Finding 10)", frac)
+	}
+}
+
+func TestReclaimHostRecoversEverything(t *testing.T) {
+	m := newManager(t, 32)
+	res, err := m.AddCapacity(3, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the slices are draining when the host dies.
+	m.ReleaseCapacity(3, res.Slices[:4], 10)
+	reclaimed := m.ReclaimHost(3)
+	if reclaimed != 8 {
+		t.Fatalf("reclaimed = %d GB, want 8 (online + draining)", reclaimed)
+	}
+	// Everything is immediately free: a dead host cannot run the
+	// offline protocol, so the permission table is reset directly.
+	if free := m.FreeGB(10); free != 32 {
+		t.Fatalf("free = %d, want 32", free)
+	}
+	if m.PendingGB(10) != 0 {
+		t.Fatal("dead host's drains still pending")
+	}
+}
+
+func TestReclaimHostLeavesOthersAlone(t *testing.T) {
+	m := newManager(t, 32)
+	resA, _ := m.AddCapacity(1, 4, 0)
+	resB, _ := m.AddCapacity(2, 4, 0)
+	m.ReleaseCapacity(2, resB.Slices[:2], 5)
+	if got := m.ReclaimHost(1); got != 4 {
+		t.Fatalf("reclaimed = %d", got)
+	}
+	_ = resA
+	// Host 2's live and draining slices are untouched.
+	if free := m.FreeGB(5); free != 28 {
+		t.Fatalf("free = %d, want 28 (host 2 still holds 2 live + 2 draining)", free)
+	}
+	if m.PendingGB(5) != 2 {
+		t.Fatalf("pending = %d, want 2", m.PendingGB(5))
+	}
+}

@@ -1,0 +1,106 @@
+package predict
+
+import (
+	"fmt"
+
+	"pond/internal/workload"
+)
+
+// Eq. (1) of the paper:
+//
+//	maximize  (LI_PDM) + (UM)
+//	subject to (FP_PDM) + (OP) <= (100 - TP)
+//
+// Pond picks one operating point on the insensitivity curve (how many VMs
+// go fully onto the pool, at what false-positive cost) and one on the
+// untouched-memory curve (how much of the remaining VMs' memory goes onto
+// the pool, at what overprediction cost), so the total misprediction
+// budget stays within the tail target TP.
+
+// Combined is a solved operating point.
+type Combined struct {
+	Sens SensPoint
+	UM   UMPoint
+
+	// PoolFrac is the resulting average fraction of VM memory served
+	// from the pool: insensitive VMs contribute their whole memory, the
+	// rest contribute their predicted-untouched share.
+	PoolFrac float64
+
+	// MispredictFrac is the expected fraction of VMs exceeding the PDM:
+	// all false positives, plus overpredicted VMs weighted by the
+	// probability that spilling actually breaks the PDM.
+	MispredictFrac float64
+}
+
+// String renders the choice.
+func (c Combined) String() string {
+	return fmt.Sprintf("LI=%.0f%% (FP=%.2f%%) UM=%.0f%% (OP=%.2f%%) => pool=%.1f%% mispred=%.2f%%",
+		100*c.Sens.InsensitiveFrac, 100*c.Sens.FPRate,
+		100*c.UM.AvgUM, 100*c.UM.OPRate,
+		100*c.PoolFrac, 100*c.MispredictFrac)
+}
+
+// ExceedProbGivenSpill estimates, over the workload catalogue, the
+// probability that a workload whose untouched memory was overpredicted by
+// a typical margin (spilling spillFrac of its footprint) exceeds the PDM.
+// The paper's strawman analysis uses "about 1/4" for PDM=5%.
+func ExceedProbGivenSpill(ratio, pdm, spillFrac float64) float64 {
+	n, exceed := 0, 0
+	for _, w := range workload.Catalogue() {
+		n++
+		if w.SpillSlowdown(ratio, spillFrac) > pdm {
+			exceed++
+		}
+	}
+	return float64(exceed) / float64(n)
+}
+
+// TypicalOverpredictionSpill is the spill fraction assumed for an
+// overpredicted VM when converting OP into PDM violations: overpredictions
+// from a low-quantile model are small, spilling a modest share of the
+// footprint.
+const TypicalOverpredictionSpill = 0.15
+
+// Optimize solves Eq. (1) by grid search over the two curves. tp is the
+// target tail percentage (e.g. 0.98 for 98% of VMs within PDM);
+// exceedProb converts overpredictions into expected PDM violations.
+// The QoS monitor mitigates up to qosMitigation of mispredictions (§6.4.3
+// "Pond uses its QoS monitor to mitigate up to 1% of mispredictions").
+func Optimize(sens []SensPoint, um []UMPoint, tp, exceedProb, qosMitigation float64) (Combined, bool) {
+	budget := (1 - tp) + qosMitigation
+	best := Combined{}
+	found := false
+	for _, s := range sens {
+		for _, u := range um {
+			mispredict := s.FPRate + u.OPRate*(1-s.InsensitiveFrac)*exceedProb
+			if mispredict > budget {
+				continue
+			}
+			poolFrac := s.InsensitiveFrac + (1-s.InsensitiveFrac)*u.AvgUM
+			if !found || poolFrac > best.PoolFrac {
+				best = Combined{
+					Sens:           s,
+					UM:             u,
+					PoolFrac:       poolFrac,
+					MispredictFrac: mispredict,
+				}
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// Frontier sweeps the misprediction budget and returns, for each budget,
+// the maximum achievable pool fraction — the Figure 20 curve relating
+// average pool DRAM to scheduling mispredictions.
+func Frontier(sens []SensPoint, um []UMPoint, exceedProb float64, budgets []float64) []Combined {
+	var out []Combined
+	for _, b := range budgets {
+		if c, ok := Optimize(sens, um, 1-b, exceedProb, 0); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package predict
+
+import (
+	"pond/internal/ml"
+	"pond/internal/pmu"
+)
+
+// CounterImportance audits a trained insensitivity forest: which of the
+// 200 hardware counters actually drive its decisions. The paper's model
+// design (Figure 12) leans on the TMA memory hierarchy — DRAM-bound,
+// store-bound, memory-bound — and this analysis verifies the trained
+// model agrees, the way a production ML-for-systems team would validate
+// a model before deployment.
+type CounterImportance struct {
+	Counter string
+	Index   int
+	Drop    float64
+}
+
+// TopCounters returns the k most influential counters of the model on
+// the dataset, by permutation importance.
+func TopCounters(m *ForestModel, ds SensitivityDataset, k int, seed int64) []CounterImportance {
+	truth := make([]bool, len(ds.Sensitive))
+	for i, s := range ds.Sensitive {
+		truth[i] = !s // positive class = insensitive
+	}
+	imp := ml.PermutationImportance(m.forest.PredictProb, ds.X, truth, 0.5, seed)
+	top := ml.TopFeatures(imp, k)
+	out := make([]CounterImportance, len(top))
+	for i, t := range top {
+		out[i] = CounterImportance{
+			Counter: pmu.CounterName(t.Feature),
+			Index:   t.Feature,
+			Drop:    t.Drop,
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package predict
+
+import (
+	"fmt"
+	"sync"
+
+	"pond/internal/pmu"
+)
+
+// Inference serving. The paper's prototype "adds the prediction (the size
+// of zNUMA) on the VM request path using a custom inference serving
+// system" (§5) — predictions must be fast enough not to delay VM starts.
+// Server wraps the two models behind a request-counting, cache-backed
+// interface: repeated requests from the same customer within a model
+// generation hit a cache, and the serving layer tracks how much simulated
+// latency it added to the request path.
+
+// Serving-cost constants (simulated; the real system reports similar
+// magnitudes for tree-ensemble inference).
+const (
+	// ForestInferenceMicros is one RandomForest evaluation.
+	ForestInferenceMicros = 120.0
+	// GBMInferenceMicros is one GBM evaluation.
+	GBMInferenceMicros = 80.0
+	// CacheHitMicros is a cache lookup.
+	CacheHitMicros = 2.0
+)
+
+// Server serves both models with per-customer caching.
+type Server struct {
+	mu sync.Mutex
+
+	insens Insensitivity
+	um     Untouched
+
+	// generation invalidates caches when models are swapped (nightly
+	// retrain, §4.4).
+	generation int
+
+	sensCache map[int64]cachedScore
+	umCache   map[int64]cachedScore
+
+	requests   int64
+	cacheHits  int64
+	servedCost float64 // accumulated microseconds
+}
+
+type cachedScore struct {
+	generation int
+	value      float64
+}
+
+// NewServer wraps the given models.
+func NewServer(insens Insensitivity, um Untouched) *Server {
+	return &Server{
+		insens:    insens,
+		um:        um,
+		sensCache: make(map[int64]cachedScore),
+		umCache:   make(map[int64]cachedScore),
+	}
+}
+
+// Swap installs retrained models and invalidates all cached predictions.
+func (s *Server) Swap(insens Insensitivity, um Untouched) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insens = insens
+	s.um = um
+	s.generation++
+}
+
+// ScoreInsensitivity serves a latency-insensitivity score for a customer.
+// cacheKey should identify the (customer, workload) pair.
+func (s *Server) ScoreInsensitivity(cacheKey int64, v pmu.Vector) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.insens == nil {
+		return 0, fmt.Errorf("predict: no insensitivity model installed")
+	}
+	s.requests++
+	if c, ok := s.sensCache[cacheKey]; ok && c.generation == s.generation {
+		s.cacheHits++
+		s.servedCost += CacheHitMicros
+		return c.value, nil
+	}
+	score := s.insens.Score(v)
+	s.sensCache[cacheKey] = cachedScore{generation: s.generation, value: score}
+	s.servedCost += ForestInferenceMicros
+	return score, nil
+}
+
+// PredictUntouched serves an untouched-memory fraction.
+func (s *Server) PredictUntouched(cacheKey int64, features []float64) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.um == nil {
+		return 0, fmt.Errorf("predict: no untouched-memory model installed")
+	}
+	s.requests++
+	if c, ok := s.umCache[cacheKey]; ok && c.generation == s.generation {
+		s.cacheHits++
+		s.servedCost += CacheHitMicros
+		return c.value, nil
+	}
+	frac := s.um.PredictUntouchedFrac(features)
+	s.umCache[cacheKey] = cachedScore{generation: s.generation, value: frac}
+	s.servedCost += GBMInferenceMicros
+	return frac, nil
+}
+
+// Stats reports request counts, cache hit rate, and the mean simulated
+// serving latency per request in microseconds.
+func (s *Server) Stats() (requests, hits int64, meanMicros float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.requests > 0 {
+		meanMicros = s.servedCost / float64(s.requests)
+	}
+	return s.requests, s.cacheHits, meanMicros
+}

@@ -1,0 +1,76 @@
+package predict
+
+import (
+	"sort"
+
+	"pond/internal/cluster"
+	"pond/internal/telemetry"
+)
+
+// HistoryWindowSec is the trailing window for customer history features:
+// "the recorded untouched memory by a customer's VMs in the last week"
+// (§4.4).
+const HistoryWindowSec = 7 * 86400
+
+// UMDataset is a chronologically consistent untouched-memory training and
+// evaluation corpus: each VM's features use only outcomes of VMs that
+// departed before it arrived.
+type UMDataset struct {
+	X             [][]float64
+	TrueUntouched []float64
+	MemGB         []float64
+	ArrivalSec    []float64
+}
+
+// Len returns the number of samples.
+func (d UMDataset) Len() int { return len(d.X) }
+
+// Eval converts the dataset (or a subrange) into an evaluation set.
+func (d UMDataset) Eval(from, to int) UMEval {
+	return UMEval{
+		X:             d.X[from:to],
+		TrueUntouched: d.TrueUntouched[from:to],
+		MemGB:         d.MemGB[from:to],
+	}
+}
+
+// SplitAtDay returns the index of the first sample arriving on or after
+// the given day, for train-on-past/test-on-future splits (the nightly
+// retraining of §5).
+func (d UMDataset) SplitAtDay(day int) int {
+	cut := float64(day) * 86400
+	return sort.Search(len(d.ArrivalSec), func(i int) bool { return d.ArrivalSec[i] >= cut })
+}
+
+// BuildUMDataset replays the traces in arrival order, maintaining each
+// customer's outcome history as departures complete, and emits one sample
+// per VM.
+func BuildUMDataset(traces []cluster.Trace) UMDataset {
+	var all []cluster.VMRequest
+	for _, tr := range traces {
+		all = append(all, tr.VMs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ArrivalSec < all[j].ArrivalSec })
+
+	// Departure-ordered view for causal outcome insertion.
+	departures := append([]cluster.VMRequest(nil), all...)
+	sort.Slice(departures, func(i, j int) bool { return departures[i].DepartureSec() < departures[j].DepartureSec() })
+
+	store := telemetry.NewStore()
+	var ds UMDataset
+	di := 0
+	for _, vm := range all {
+		// Fold in every VM that departed before this arrival.
+		for di < len(departures) && departures[di].DepartureSec() <= vm.ArrivalSec {
+			d := departures[di]
+			store.RecordOutcome(d.Customer, d.DepartureSec(), d.GroundTruth.UntouchedFrac)
+			di++
+		}
+		h := store.CustomerHistory(vm.Customer, vm.ArrivalSec, HistoryWindowSec)
+		ds.X = append(ds.X, UMFeatures(vm, h))
+		ds.TrueUntouched = append(ds.TrueUntouched, vm.GroundTruth.UntouchedFrac)
+		ds.MemGB = append(ds.MemGB, vm.Type.MemoryGB)
+		ds.ArrivalSec = append(ds.ArrivalSec, vm.ArrivalSec)
+	}
+	return ds
+}

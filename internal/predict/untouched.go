@@ -1,0 +1,169 @@
+package predict
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"pond/internal/cluster"
+	"pond/internal/ml"
+	"pond/internal/stats"
+	"pond/internal/telemetry"
+)
+
+// UMFeatureCount is the length of the untouched-memory feature vector.
+const UMFeatureCount = 12
+
+// UMFeatures builds the Figure 14 feature vector for a VM request: VM
+// shape (memory, cores, ratio), guest OS, region, workload name (hashed;
+// zero for opaque VMs), and the customer's trailing untouched-memory
+// percentiles.
+func UMFeatures(vm cluster.VMRequest, h telemetry.History) []float64 {
+	return []float64{
+		vm.Type.MemoryGB,
+		float64(vm.Type.Cores),
+		vm.Type.GBPerCore(),
+		hashCode(vm.OS, 16),
+		hashCode(vm.Region, 16),
+		hashCode(vm.WorkloadName, 64),
+		float64(h.Count),
+		h.P0,
+		h.P25,
+		h.P50,
+		h.P75,
+		h.P100,
+	}
+}
+
+// hashCode maps a string to a stable small numeric code; empty strings
+// map to zero so "unknown" is its own value.
+func hashCode(s string, buckets uint32) float64 {
+	if s == "" {
+		return 0
+	}
+	f := fnv.New32a()
+	f.Write([]byte(s))
+	return float64(1 + f.Sum32()%buckets)
+}
+
+// Untouched predicts the fraction of a VM's memory that will never be
+// touched; Pond backs that fraction with pool DRAM behind a zNUMA node.
+type Untouched interface {
+	PredictUntouchedFrac(features []float64) float64
+	Name() string
+}
+
+// GBMUntouched is the paper's quantile-GBM model (§5): it predicts a low
+// conditional quantile of untouched memory, so the true amount exceeds
+// the prediction for most VMs and only the target overprediction rate
+// spills.
+type GBMUntouched struct {
+	model *ml.GBM
+	// Margin shifts predictions down; sweeping it trades average
+	// untouched memory against overpredictions (Figure 18's curve).
+	Margin float64
+}
+
+// TrainGBMUntouched fits the model at the given target quantile.
+func TrainGBMUntouched(X [][]float64, y []float64, quantile float64, seed int64) *GBMUntouched {
+	cfg := ml.DefaultGBMConfig()
+	cfg.Quantile = quantile
+	cfg.Seed = seed
+	return &GBMUntouched{model: ml.FitGBM(X, y, cfg)}
+}
+
+// PredictUntouchedFrac returns the clamped quantile prediction.
+func (m *GBMUntouched) PredictUntouchedFrac(features []float64) float64 {
+	return stats.Clamp(m.model.Predict(features)-m.Margin, 0, 1)
+}
+
+// Name identifies the model.
+func (m *GBMUntouched) Name() string { return "GBM" }
+
+// WithMargin returns a copy with the given safety margin.
+func (m *GBMUntouched) WithMargin(margin float64) *GBMUntouched {
+	return &GBMUntouched{model: m.model, Margin: margin}
+}
+
+// FixedUntouched is the Figure 18 strawman: assume the same untouched
+// fraction for every VM.
+type FixedUntouched struct {
+	Frac float64
+}
+
+// PredictUntouchedFrac returns the fixed fraction.
+func (m FixedUntouched) PredictUntouchedFrac([]float64) float64 { return m.Frac }
+
+// Name identifies the strawman.
+func (m FixedUntouched) Name() string { return "Fixed" }
+
+// UMPoint is one achievable operating point of an untouched-memory model:
+// predicting AvgUM of memory as untouched (GB-weighted fraction) at the
+// cost of OPRate overpredicted VMs — Figure 18's axes.
+type UMPoint struct {
+	AvgUM  float64
+	OPRate float64
+}
+
+// UMEval holds a labeled evaluation set for untouched-memory models.
+type UMEval struct {
+	X [][]float64
+	// TrueUntouched is the ground-truth untouched fraction per VM.
+	TrueUntouched []float64
+	// MemGB weights the average by VM size.
+	MemGB []float64
+}
+
+// Evaluate computes the operating point of a model on the set, with
+// GB-aligned rounding down, as the scheduler allocates whole-GB zNUMA
+// nodes (§4.4).
+func (e UMEval) Evaluate(m Untouched) UMPoint {
+	if len(e.X) == 0 {
+		return UMPoint{}
+	}
+	var umGB, totalGB float64
+	over := 0
+	for i := range e.X {
+		pred := m.PredictUntouchedFrac(e.X[i])
+		predGB := alignDownGB(pred * e.MemGB[i])
+		if predGB > e.TrueUntouched[i]*e.MemGB[i] {
+			over++
+		}
+		umGB += predGB
+		totalGB += e.MemGB[i]
+	}
+	return UMPoint{
+		AvgUM:  umGB / totalGB,
+		OPRate: float64(over) / float64(len(e.X)),
+	}
+}
+
+// Curve sweeps the model's safety margin to produce the Figure 18
+// tradeoff curve, sorted by AvgUM.
+func (e UMEval) Curve(m *GBMUntouched, margins []float64) []UMPoint {
+	out := make([]UMPoint, 0, len(margins))
+	for _, margin := range margins {
+		out = append(out, e.Evaluate(m.WithMargin(margin)))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AvgUM < out[j].AvgUM })
+	return out
+}
+
+// FixedCurve sweeps the strawman's fixed fraction for the same figure.
+func (e UMEval) FixedCurve(fracs []float64) []UMPoint {
+	out := make([]UMPoint, 0, len(fracs))
+	for _, f := range fracs {
+		out = append(out, e.Evaluate(FixedUntouched{Frac: f}))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AvgUM < out[j].AvgUM })
+	return out
+}
+
+// alignDownGB rounds an allocation down to whole GB (1 GB slices).
+func alignDownGB(gb float64) float64 {
+	return float64(int(gb))
+}
+
+// DefaultMargins is the margin grid used for curve construction.
+func DefaultMargins() []float64 {
+	return []float64{-0.15, -0.10, -0.05, 0, 0.03, 0.06, 0.10, 0.15, 0.20, 0.30, 0.40}
+}

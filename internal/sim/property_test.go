@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pond/internal/cluster"
+)
+
+// Property: for any pool size and uniform fraction, the requirement
+// decomposition stays consistent: local never exceeds baseline, pool is
+// non-negative, and the zero-fraction plan is exactly the baseline.
+func TestRequirementDecompositionProperty(t *testing.T) {
+	cfg := cluster.DefaultGenConfig()
+	cfg.Clusters = 1
+	cfg.Days = 10
+	cfg.ServersPerCluster = 6
+	tr := cluster.Generate(cfg)[0]
+	s := BuildSchedule(&tr)
+
+	f := func(rawK, rawFrac uint8) bool {
+		k := 1 + int(rawK%64)
+		frac := float64(rawFrac%101) / 100
+		req := RequiredDRAM(s, k, UniformPlan(len(tr.VMs), frac))
+		if req.LocalGB < 0 || req.PoolGB < 0 {
+			return false
+		}
+		if req.LocalGB > req.BaselineGB+1e-6 {
+			return false
+		}
+		if frac == 0 && (req.PoolGB != 0 || req.RequiredPct() != 100) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stranding samples stay within physical bounds for any
+// generated cluster.
+func TestStrandingBoundsProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		cfg := cluster.DefaultGenConfig()
+		cfg.Clusters = 1
+		cfg.Days = 6
+		cfg.ServersPerCluster = 4
+		cfg.Seed = int64(seed) + 1
+		tr := cluster.Generate(cfg)[0]
+		for _, s := range StrandingSeries(BuildSchedule(&tr)) {
+			if s.StrandedMemFrac < 0 || s.StrandedMemFrac > 1 {
+				return false
+			}
+			if s.ScheduledCoreFrac < 0 || s.ScheduledCoreFrac > 1 {
+				return false
+			}
+			if s.StrandedMemFrac > 1-s.AllocatedMemFrac+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pond/internal/stats"
+)
+
+// SplitPlan assigns each VM of a schedule its pool-memory share and the
+// optional mitigation moment when the QoS pipeline migrates it back to
+// all-local memory.
+type SplitPlan struct {
+	// PoolFrac is the fraction of each VM's memory placed on the pool
+	// (parallel to the trace's VMs). The actual pool allocation rounds
+	// down to whole GB, matching Pond's 1 GB-aligned increments (§4.3).
+	PoolFrac []float64
+
+	// MitigateAtSec, when present for a VM index, moves its pool share
+	// back to local memory at that absolute time (the one-time
+	// reconfiguration of §4.2).
+	MitigateAtSec map[int]float64
+}
+
+// UniformPlan gives every VM the same pool fraction — the strawman
+// policies of Figures 3 and 21.
+func UniformPlan(n int, frac float64) SplitPlan {
+	fr := make([]float64, n)
+	for i := range fr {
+		fr[i] = frac
+	}
+	return SplitPlan{PoolFrac: fr}
+}
+
+// Requirement is the provisioning outcome for one cluster.
+//
+// The accounting follows the paper's argument in §2: servers are bought
+// as one fleet-wide SKU, so without pooling every socket must carry
+// enough DRAM for the most memory-hungry VM mix it may receive — that is
+// today's provisioning, stranding included, and it is the baseline.
+// With pooling, the per-socket SKU shrinks by the share of VM memory the
+// policy places on pools ("provision servers close to the average
+// DRAM-to-core ratios"), while each pool group is provisioned for a high
+// time-quantile of its own aggregate demand ("tackle deviations via the
+// memory pool"). Pooling therefore saves DRAM exactly where the paper
+// says it does: pool demand runs below the pooled share of provisioned
+// DRAM because core-heavy clusters never ask for it (stranding recovery)
+// and group peaks multiplex across sockets and time.
+type Requirement struct {
+	BaselineGB float64
+	LocalGB    float64
+	PoolGB     float64
+}
+
+// RequiredPct returns required DRAM relative to the no-pooling baseline.
+func (r Requirement) RequiredPct() float64 {
+	if r.BaselineGB == 0 {
+		return 100
+	}
+	return 100 * (r.LocalGB + r.PoolGB) / r.BaselineGB
+}
+
+// SavingsPct returns the DRAM saved relative to no pooling.
+func (r Requirement) SavingsPct() float64 { return 100 - r.RequiredPct() }
+
+// Add accumulates another cluster's requirement.
+func (r *Requirement) Add(o Requirement) {
+	r.BaselineGB += o.BaselineGB
+	r.LocalGB += o.LocalGB
+	r.PoolGB += o.PoolGB
+}
+
+// String renders the requirement.
+func (r Requirement) String() string {
+	return fmt.Sprintf("baseline=%.0fGB local=%.0fGB pool=%.0fGB required=%.1f%%",
+		r.BaselineGB, r.LocalGB, r.PoolGB, r.RequiredPct())
+}
+
+// poolGBFor returns the GB-aligned pool allocation for a VM.
+func poolGBFor(memGB, frac float64) float64 {
+	if frac <= 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return math.Floor(memGB * frac)
+}
+
+// poolProvisioningQuantile is the time quantile of group pool demand the
+// pool is sized for; brief demand above it falls back to local allocation
+// (Pond's scheduler tolerates transient pool exhaustion, §4.3).
+const poolProvisioningQuantile = 0.99
+
+// poolSampleSec is the pool-demand sampling interval.
+const poolSampleSec = 3600.0
+
+// RequiredDRAM replays the schedule under the split plan and returns the
+// cluster's DRAM requirement for pools spanning poolSockets sockets.
+// Sockets are grouped contiguously into pools: a 16-socket pool over
+// dual-socket servers groups 8 servers around shared EMCs.
+func RequiredDRAM(s Schedule, poolSockets int, plan SplitPlan) Requirement {
+	tr := s.Trace
+	if len(plan.PoolFrac) != len(tr.VMs) {
+		panic(fmt.Sprintf("sim: plan has %d fractions for %d VMs", len(plan.PoolFrac), len(tr.VMs)))
+	}
+	if poolSockets < 1 {
+		panic("sim: poolSockets must be >= 1")
+	}
+	nSockets := tr.Servers * tr.Spec.Sockets
+	nGroups := (nSockets + poolSockets - 1) / poolSockets
+
+	poolUse := make([]float64, nGroups) // current pool demand per group
+	poolPeak := make([]float64, nGroups)
+	poolSamples := make([][]float64, nGroups)
+
+	// GB-time integrals for the pooled share of the SKU.
+	var poolGBSec, memGBSec float64
+
+	type rEvent struct {
+		sec     float64
+		vmIndex int
+		kind    int // 0 arrive, 1 mitigate, 2 depart
+	}
+	events := make([]rEvent, 0, 2*len(tr.VMs))
+	for i, vm := range tr.VMs {
+		if s.Placement[i] == Rejected {
+			continue
+		}
+		events = append(events,
+			rEvent{sec: vm.ArrivalSec, vmIndex: i, kind: 0},
+			rEvent{sec: vm.DepartureSec(), vmIndex: i, kind: 2},
+		)
+		poolEnd := vm.DepartureSec()
+		if at, ok := plan.MitigateAtSec[i]; ok && at < vm.DepartureSec() {
+			events = append(events, rEvent{sec: at, vmIndex: i, kind: 1})
+			poolEnd = at
+		}
+		poolGBSec += poolGBFor(vm.Type.MemoryGB, plan.PoolFrac[i]) * (poolEnd - vm.ArrivalSec)
+		memGBSec += vm.Type.MemoryGB * vm.LifetimeSec
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].sec != events[b].sec {
+			return events[a].sec < events[b].sec
+		}
+		return events[a].kind > events[b].kind // departures free capacity first
+	})
+
+	mitigated := make(map[int]bool)
+	nextSample := poolSampleSec
+	for _, ev := range events {
+		for nextSample <= ev.sec {
+			for g := range poolUse {
+				poolSamples[g] = append(poolSamples[g], poolUse[g])
+			}
+			nextSample += poolSampleSec
+		}
+		vm := &tr.VMs[ev.vmIndex]
+		a := s.Placement[ev.vmIndex]
+		socket := a.Server*tr.Spec.Sockets + a.Node
+		group := socket / poolSockets
+		poolGB := poolGBFor(vm.Type.MemoryGB, plan.PoolFrac[ev.vmIndex])
+
+		switch ev.kind {
+		case 0: // arrive
+			poolUse[group] += poolGB
+			if poolUse[group] > poolPeak[group] {
+				poolPeak[group] = poolUse[group]
+			}
+		case 1: // mitigate: pool share moves to local
+			if mitigated[ev.vmIndex] || poolGB == 0 {
+				continue
+			}
+			mitigated[ev.vmIndex] = true
+			poolUse[group] -= poolGB
+		case 2: // depart
+			if !mitigated[ev.vmIndex] {
+				poolUse[group] -= poolGB
+			}
+		}
+	}
+
+	var req Requirement
+	req.BaselineGB = float64(nSockets) * tr.Spec.MemGBPerSock
+	poolShare := 0.0
+	if memGBSec > 0 {
+		poolShare = stats.Clamp(poolGBSec/memGBSec, 0, 1)
+	}
+	req.LocalGB = req.BaselineGB * (1 - poolShare)
+	for g := range poolSamples {
+		if len(poolSamples[g]) == 0 {
+			req.PoolGB += poolPeak[g]
+			continue
+		}
+		p := stats.Quantile(poolSamples[g], poolProvisioningQuantile)
+		if p > poolPeak[g] {
+			p = poolPeak[g]
+		}
+		req.PoolGB += p
+	}
+	return req
+}

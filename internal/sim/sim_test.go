@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"pond/internal/cluster"
+)
+
+func testTraces(t *testing.T, clusters, days int) []cluster.Trace {
+	t.Helper()
+	cfg := cluster.DefaultGenConfig()
+	cfg.Clusters = clusters
+	cfg.Days = days
+	cfg.ServersPerCluster = 12
+	return cluster.Generate(cfg)
+}
+
+func TestBuildScheduleLowRejection(t *testing.T) {
+	for _, tr := range testTraces(t, 4, 20) {
+		s := BuildSchedule(&tr)
+		if rate := s.RejectionRate(); rate > 0.08 {
+			t.Fatalf("%s: rejection rate %.3f too high", tr.Name, rate)
+		}
+	}
+}
+
+func TestBuildScheduleRespectsCapacity(t *testing.T) {
+	tr := testTraces(t, 1, 20)[0]
+	s := BuildSchedule(&tr)
+	// Replay and verify capacity never goes negative.
+	nodes := make([][]nodeState, tr.Servers)
+	for i := range nodes {
+		nodes[i] = make([]nodeState, tr.Spec.Sockets)
+		for j := range nodes[i] {
+			nodes[i][j] = nodeState{coresFree: tr.Spec.CoresPerSock, memFree: tr.Spec.MemGBPerSock}
+		}
+	}
+	for _, ev := range buildEvents(tr.VMs) {
+		a := s.Placement[ev.vmIndex]
+		if a == Rejected {
+			continue
+		}
+		vm := &tr.VMs[ev.vmIndex]
+		n := &nodes[a.Server][a.Node]
+		if ev.arrive {
+			n.coresFree -= vm.Type.Cores
+			n.memFree -= vm.Type.MemoryGB
+			if n.coresFree < 0 || n.memFree < -1e-9 {
+				t.Fatalf("capacity violated on server %d node %d", a.Server, a.Node)
+			}
+		} else {
+			n.coresFree += vm.Type.Cores
+			n.memFree += vm.Type.MemoryGB
+		}
+	}
+}
+
+func TestStrandingSeriesShape(t *testing.T) {
+	tr := testTraces(t, 1, 20)[0]
+	s := BuildSchedule(&tr)
+	series := StrandingSeries(s)
+	if len(series) != tr.Days {
+		t.Fatalf("series length = %d, want %d", len(series), tr.Days)
+	}
+	for _, sample := range series {
+		if sample.ScheduledCoreFrac < 0 || sample.ScheduledCoreFrac > 1 {
+			t.Fatalf("day %d: scheduled frac %v", sample.Day, sample.ScheduledCoreFrac)
+		}
+		if sample.StrandedMemFrac < 0 || sample.StrandedMemFrac > 1 {
+			t.Fatalf("day %d: stranded frac %v", sample.Day, sample.StrandedMemFrac)
+		}
+		if sample.StrandedMemFrac > 1-sample.AllocatedMemFrac+1e-9 {
+			t.Fatalf("day %d: stranded %v exceeds free memory %v",
+				sample.Day, sample.StrandedMemFrac, 1-sample.AllocatedMemFrac)
+		}
+	}
+}
+
+func TestStrandingGrowsWithUtilization(t *testing.T) {
+	// Figure 2a's core shape: stranding increases with scheduled cores.
+	traces := testTraces(t, 10, 25)
+	var series [][]StrandingSample
+	for i := range traces {
+		series = append(series, StrandingSeries(BuildSchedule(&traces[i])))
+	}
+	buckets := BucketStranding(series)
+	if len(buckets) < 4 {
+		t.Fatalf("only %d buckets populated", len(buckets))
+	}
+	lo, hi := buckets[0], buckets[len(buckets)-1]
+	if hi.MeanStranded <= lo.MeanStranded {
+		t.Fatalf("stranding flat: %.2f%% at %d%% vs %.2f%% at %d%%",
+			lo.MeanStranded, lo.ScheduledPct, hi.MeanStranded, hi.ScheduledPct)
+	}
+}
+
+func TestBucketPercentileOrdering(t *testing.T) {
+	traces := testTraces(t, 8, 25)
+	var series [][]StrandingSample
+	for i := range traces {
+		series = append(series, StrandingSeries(BuildSchedule(&traces[i])))
+	}
+	for _, b := range BucketStranding(series) {
+		if !(b.P5Stranded <= b.MeanStranded+1e-9 && b.MeanStranded <= b.P95Stranded+1e-9) {
+			t.Fatalf("bucket %d%%: p5 %.2f mean %.2f p95 %.2f out of order",
+				b.ScheduledPct, b.P5Stranded, b.MeanStranded, b.P95Stranded)
+		}
+		if b.MaxStranded < b.P95Stranded {
+			t.Fatalf("bucket %d%%: max below p95", b.ScheduledPct)
+		}
+	}
+}
+
+func TestUniformPlan(t *testing.T) {
+	p := UniformPlan(3, 0.3)
+	if len(p.PoolFrac) != 3 || p.PoolFrac[1] != 0.3 {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestRequiredDRAMNoPoolIsBaseline(t *testing.T) {
+	tr := testTraces(t, 1, 15)[0]
+	s := BuildSchedule(&tr)
+	req := RequiredDRAM(s, 16, UniformPlan(len(tr.VMs), 0))
+	if math.Abs(req.RequiredPct()-100) > 1e-9 {
+		t.Fatalf("no-pool required = %v%%, want 100%%", req.RequiredPct())
+	}
+	if req.PoolGB != 0 {
+		t.Fatalf("no-pool plan used %v GB of pool", req.PoolGB)
+	}
+}
+
+func TestRequiredDRAMPoolingSaves(t *testing.T) {
+	tr := testTraces(t, 1, 20)[0]
+	s := BuildSchedule(&tr)
+	req := RequiredDRAM(s, 16, UniformPlan(len(tr.VMs), 0.5))
+	if req.RequiredPct() >= 100 {
+		t.Fatalf("pooling did not save: %v%%", req.RequiredPct())
+	}
+	if req.RequiredPct() < 70 {
+		t.Fatalf("savings implausibly high: %v%%", req.RequiredPct())
+	}
+}
+
+func TestRequiredDRAMDiminishingReturns(t *testing.T) {
+	// Figure 3: bigger pools save more, with diminishing returns.
+	traces := testTraces(t, 6, 20)
+	required := map[int]float64{}
+	for _, k := range []int{2, 8, 16, 32, 64} {
+		var agg Requirement
+		for i := range traces {
+			s := BuildSchedule(&traces[i])
+			agg.Add(RequiredDRAM(s, k, UniformPlan(len(traces[i].VMs), 0.5)))
+		}
+		required[k] = agg.RequiredPct()
+	}
+	if !(required[2] > required[8] && required[8] > required[16] && required[16] >= required[32] && required[32] >= required[64]) {
+		t.Fatalf("required DRAM not monotone in pool size: %v", required)
+	}
+	// Diminishing: the 8->16 improvement should exceed the 32->64 one.
+	if (required[8] - required[16]) < (required[32] - required[64]) {
+		t.Fatalf("no diminishing returns: %v", required)
+	}
+}
+
+func TestRequiredDRAMMorePoolFracSavesMore(t *testing.T) {
+	tr := testTraces(t, 1, 20)[0]
+	s := BuildSchedule(&tr)
+	r10 := RequiredDRAM(s, 16, UniformPlan(len(tr.VMs), 0.1)).RequiredPct()
+	r30 := RequiredDRAM(s, 16, UniformPlan(len(tr.VMs), 0.3)).RequiredPct()
+	r50 := RequiredDRAM(s, 16, UniformPlan(len(tr.VMs), 0.5)).RequiredPct()
+	if !(r10 > r30 && r30 > r50) {
+		t.Fatalf("pool share ordering violated: %v %v %v", r10, r30, r50)
+	}
+}
+
+func TestRequiredDRAMMitigationMovesMemory(t *testing.T) {
+	tr := testTraces(t, 1, 15)[0]
+	s := BuildSchedule(&tr)
+	plan := UniformPlan(len(tr.VMs), 0.5)
+	// Mitigate every VM just after arrival: pool demand collapses
+	// toward zero, local returns toward baseline.
+	plan.MitigateAtSec = map[int]float64{}
+	for i, vm := range tr.VMs {
+		plan.MitigateAtSec[i] = vm.ArrivalSec + 1
+	}
+	req := RequiredDRAM(s, 16, plan)
+	noPool := RequiredDRAM(s, 16, UniformPlan(len(tr.VMs), 0))
+	if req.LocalGB < noPool.LocalGB*0.95 {
+		t.Fatalf("mitigated local %v far below baseline %v", req.LocalGB, noPool.LocalGB)
+	}
+	// Peak pool demand is small but nonzero (brief residency).
+	if req.PoolGB > noPool.BaselineGB*0.2 {
+		t.Fatalf("mitigated pool demand %v too high", req.PoolGB)
+	}
+}
+
+func TestRequiredDRAMPanicsOnBadPlan(t *testing.T) {
+	tr := testTraces(t, 1, 10)[0]
+	s := BuildSchedule(&tr)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RequiredDRAM(s, 16, SplitPlan{PoolFrac: []float64{0.5}})
+}
+
+func TestRequirementAccumulation(t *testing.T) {
+	a := Requirement{BaselineGB: 100, LocalGB: 70, PoolGB: 20}
+	b := Requirement{BaselineGB: 100, LocalGB: 80, PoolGB: 10}
+	a.Add(b)
+	if a.BaselineGB != 200 || a.LocalGB != 150 || a.PoolGB != 30 {
+		t.Fatalf("accumulated = %+v", a)
+	}
+	if a.RequiredPct() != 90 {
+		t.Fatalf("required = %v", a.RequiredPct())
+	}
+	if a.SavingsPct() != 10 {
+		t.Fatalf("savings = %v", a.SavingsPct())
+	}
+}
+
+func TestPoolGBAlignment(t *testing.T) {
+	if poolGBFor(16, 0.3) != 4 { // 4.8 rounds down
+		t.Fatalf("poolGBFor(16, 0.3) = %v", poolGBFor(16, 0.3))
+	}
+	if poolGBFor(16, 0) != 0 || poolGBFor(16, 1.5) != 16 {
+		t.Fatal("alignment edge cases wrong")
+	}
+}

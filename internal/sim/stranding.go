@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"sort"
+
+	"pond/internal/stats"
+)
+
+// StrandingSample is one cluster-day observation: the fraction of cores
+// scheduled and the fraction of memory stranded — the two axes of
+// Figure 2a.
+type StrandingSample struct {
+	Day               int
+	ScheduledCoreFrac float64
+	StrandedMemFrac   float64
+	AllocatedMemFrac  float64
+}
+
+// StrandingSeries replays the schedule and samples stranding daily.
+// Memory counts as stranded when it is free on a NUMA node whose cores
+// are fully rented: technically available, practically unrentable (§2).
+// The daily value is the time-weighted average over that day.
+func StrandingSeries(s Schedule) []StrandingSample {
+	tr := s.Trace
+	nodes := make([][]nodeState, tr.Servers)
+	for i := range nodes {
+		nodes[i] = make([]nodeState, tr.Spec.Sockets)
+		for j := range nodes[i] {
+			nodes[i][j] = nodeState{coresFree: tr.Spec.CoresPerSock, memFree: tr.Spec.MemGBPerSock}
+		}
+	}
+	totalCores := float64(tr.TotalClusterCores())
+	totalMem := tr.TotalClusterMemGB()
+
+	events := buildEvents(tr.VMs)
+	samples := make([]StrandingSample, tr.Days)
+	weights := make([]float64, tr.Days)
+
+	prev := 0.0
+	measure := func() (coreFrac, strandFrac, allocFrac float64) {
+		var coresUsed, stranded, memUsed float64
+		for si := range nodes {
+			for ni := range nodes[si] {
+				n := nodes[si][ni]
+				coresUsed += float64(tr.Spec.CoresPerSock - n.coresFree)
+				memUsed += tr.Spec.MemGBPerSock - n.memFree
+				if n.coresFree == 0 {
+					stranded += n.memFree
+				}
+			}
+		}
+		return coresUsed / totalCores, stranded / totalMem, memUsed / totalMem
+	}
+
+	accumulate := func(from, to float64) {
+		coreFrac, strandFrac, allocFrac := measure()
+		for from < to {
+			day := int(from / 86400)
+			if day >= tr.Days {
+				return
+			}
+			endOfDay := float64(day+1) * 86400
+			if endOfDay > to {
+				endOfDay = to
+			}
+			w := endOfDay - from
+			samples[day].Day = day
+			samples[day].ScheduledCoreFrac += w * coreFrac
+			samples[day].StrandedMemFrac += w * strandFrac
+			samples[day].AllocatedMemFrac += w * allocFrac
+			weights[day] += w
+			from = endOfDay
+		}
+	}
+
+	for _, ev := range events {
+		if ev.sec > prev {
+			accumulate(prev, ev.sec)
+			prev = ev.sec
+		}
+		a := s.Placement[ev.vmIndex]
+		if a == Rejected {
+			continue
+		}
+		vm := &tr.VMs[ev.vmIndex]
+		n := &nodes[a.Server][a.Node]
+		if ev.arrive {
+			n.coresFree -= vm.Type.Cores
+			n.memFree -= vm.Type.MemoryGB
+		} else {
+			n.coresFree += vm.Type.Cores
+			n.memFree += vm.Type.MemoryGB
+		}
+	}
+	accumulate(prev, float64(tr.Days)*86400)
+
+	for d := range samples {
+		if weights[d] > 0 {
+			samples[d].ScheduledCoreFrac /= weights[d]
+			samples[d].StrandedMemFrac /= weights[d]
+			samples[d].AllocatedMemFrac /= weights[d]
+		}
+		samples[d].Day = d
+	}
+	return samples
+}
+
+// UtilBucket aggregates cluster-days whose scheduled-core fraction falls
+// in one Figure 2a bucket.
+type UtilBucket struct {
+	// ScheduledPct is the bucket's center (e.g. 75 for [72.5, 77.5)).
+	ScheduledPct int
+	N            int
+	MeanStranded float64
+	P5Stranded   float64
+	P95Stranded  float64
+	MaxStranded  float64
+}
+
+// BucketStranding groups daily samples from many clusters into 5-point
+// scheduled-core buckets from 60% to 95%, reproducing Figure 2a.
+func BucketStranding(series [][]StrandingSample) []UtilBucket {
+	byBucket := map[int][]float64{}
+	for _, samples := range series {
+		for _, s := range samples {
+			pct := s.ScheduledCoreFrac * 100
+			bucket := int((pct+2.5)/5) * 5
+			if bucket < 60 || bucket > 95 {
+				continue
+			}
+			byBucket[bucket] = append(byBucket[bucket], s.StrandedMemFrac*100)
+		}
+	}
+	keys := make([]int, 0, len(byBucket))
+	for k := range byBucket {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]UtilBucket, 0, len(keys))
+	for _, k := range keys {
+		xs := byBucket[k]
+		out = append(out, UtilBucket{
+			ScheduledPct: k,
+			N:            len(xs),
+			MeanStranded: stats.Mean(xs),
+			P5Stranded:   stats.Quantile(xs, 0.05),
+			P95Stranded:  stats.Quantile(xs, 0.95),
+			MaxStranded:  stats.Max(xs),
+		})
+	}
+	return out
+}

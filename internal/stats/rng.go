@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand wraps math/rand with the handful of distributions the trace
+// generator and workload models need. Every component of the reproduction
+// receives an explicit *Rand so that experiments are replayable
+// bit-for-bit from a seed.
+type Rand struct {
+	*rand.Rand
+}
+
+// NewRand returns a deterministic source seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent child stream from the parent. The child's
+// seed mixes in the label so different subsystems seeded from one parent
+// do not share streams.
+func (r *Rand) Fork(label int64) *Rand {
+	const mix = int64(0x5851F42D4C957F2D) // LCG multiplier; spreads small labels
+	return NewRand(r.Int63() ^ (label * mix))
+}
+
+// LogNormal samples exp(N(mu, sigma^2)); VM lifetimes and memory
+// footprints in cloud traces are famously heavy-tailed, and lognormal is
+// the standard parametric stand-in.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Exponential samples an exponential with the given mean.
+func (r *Rand) Exponential(mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// Bounded samples uniformly from [lo, hi).
+func (r *Rand) Bounded(lo, hi float64) float64 {
+	return lo + r.Float64()*(hi-lo)
+}
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Choice returns a random index in [0, len(weights)) with probability
+// proportional to weights. It panics if weights is empty or sums to <= 0.
+func (r *Rand) Choice(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic("stats: Choice requires positive total weight")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Beta samples a Beta(a, b) variate via two gamma draws. Untouched-memory
+// fractions are naturally modeled as beta-distributed per customer.
+func (r *Rand) Beta(a, b float64) float64 {
+	x := r.gamma(a)
+	y := r.gamma(b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// gamma samples Gamma(shape, 1) using Marsaglia–Tsang for shape >= 1 and
+// the boost transform for shape < 1.
+func (r *Rand) gamma(shape float64) float64 {
+	if shape < 1 {
+		u := r.Float64()
+		return r.gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Pareto samples a bounded Pareto on [lo, hi] with tail index alpha.
+func (r *Rand) Pareto(lo, hi, alpha float64) float64 {
+	u := r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}

@@ -1,0 +1,156 @@
+// Package telemetry is Pond's distributed telemetry database (§4.2, §5):
+// per-VM core-PMU counter samples recorded once per second by the
+// hypervisor, per-VM untouched-memory outcomes gathered from access-bit
+// scans at VM departure, and the per-customer aggregations that feed the
+// prediction models' features (Figure 14's "percentiles of memory usage
+// in previous VMs by same customer").
+package telemetry
+
+import (
+	"sort"
+	"sync"
+
+	"pond/internal/cluster"
+	"pond/internal/pmu"
+	"pond/internal/stats"
+)
+
+// maxSamplesPerVM bounds per-VM counter retention (a day of 1 Hz samples
+// in production; much smaller here since the models consume means).
+const maxSamplesPerVM = 256
+
+// untouchedRecord is one completed VM's outcome.
+type untouchedRecord struct {
+	endSec    float64
+	untouched float64 // fraction of rented memory never touched
+}
+
+// Store is the in-memory stand-in for the central telemetry database.
+// It is safe for concurrent use.
+type Store struct {
+	mu        sync.Mutex
+	samples   map[cluster.VMID][]pmu.Vector
+	history   map[cluster.CustomerID][]untouchedRecord
+	sensitive map[cluster.CustomerID]bool // QoS-confirmed latency sensitivity
+}
+
+// NewStore creates an empty telemetry store.
+func NewStore() *Store {
+	return &Store{
+		samples:   make(map[cluster.VMID][]pmu.Vector),
+		history:   make(map[cluster.CustomerID][]untouchedRecord),
+		sensitive: make(map[cluster.CustomerID]bool),
+	}
+}
+
+// RecordSample appends a 1 Hz PMU sample for a running VM.
+func (s *Store) RecordSample(id cluster.VMID, v pmu.Vector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := s.samples[id]
+	if len(buf) >= maxSamplesPerVM {
+		copy(buf, buf[1:])
+		buf = buf[:len(buf)-1]
+	}
+	s.samples[id] = append(buf, v)
+}
+
+// MeanCounters returns the mean counter vector for a VM, if any samples
+// exist.
+func (s *Store) MeanCounters(id cluster.VMID) (pmu.Vector, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := s.samples[id]
+	if len(buf) == 0 {
+		return pmu.Vector{}, false
+	}
+	return pmu.MeanVector(buf), true
+}
+
+// ForgetVM drops a departed VM's samples (after outcome extraction).
+func (s *Store) ForgetVM(id cluster.VMID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.samples, id)
+}
+
+// RecordOutcome stores a completed VM's minimum untouched-memory fraction
+// (the label of Figure 14).
+func (s *Store) RecordOutcome(c cluster.CustomerID, endSec, untouchedFrac float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.history[c] = append(s.history[c], untouchedRecord{endSec: endSec, untouched: untouchedFrac})
+}
+
+// MarkSensitive records that QoS monitoring found this customer's
+// workload latency-sensitive; the scheduler consults this history first
+// (§4.4 "retaining a history of VMs that have been latency sensitive").
+func (s *Store) MarkSensitive(c cluster.CustomerID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sensitive[c] = true
+}
+
+// KnownSensitive reports whether the customer was ever QoS-flagged.
+func (s *Store) KnownSensitive(c cluster.CustomerID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sensitive[c]
+}
+
+// History summarizes a customer's untouched-memory record in a trailing
+// window: the 0/25/50/75/100th percentiles Figure 14 lists as the
+// untouched-memory model's most important features.
+type History struct {
+	Count                   int
+	P0, P25, P50, P75, P100 float64
+}
+
+// HasHistory reports whether enough prior VMs exist to trust the
+// percentiles. The paper finds ~80% of VMs have sufficient history.
+func (h History) HasHistory() bool { return h.Count >= 3 }
+
+// CustomerHistory aggregates the customer's outcomes from the window
+// [beforeSec - windowSec, beforeSec). Using only strictly earlier records
+// keeps training causal: the nightly model never sees the future.
+func (s *Store) CustomerHistory(c cluster.CustomerID, beforeSec, windowSec float64) History {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var xs []float64
+	for _, rec := range s.history[c] {
+		if rec.endSec < beforeSec && rec.endSec >= beforeSec-windowSec {
+			xs = append(xs, rec.untouched)
+		}
+	}
+	if len(xs) == 0 {
+		return History{}
+	}
+	sort.Float64s(xs)
+	return History{
+		Count: len(xs),
+		P0:    xs[0],
+		P25:   stats.QuantileSorted(xs, 0.25),
+		P50:   stats.QuantileSorted(xs, 0.50),
+		P75:   stats.QuantileSorted(xs, 0.75),
+		P100:  xs[len(xs)-1],
+	}
+}
+
+// Customers returns all customers with recorded outcomes.
+func (s *Store) Customers() []cluster.CustomerID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]cluster.CustomerID, 0, len(s.history))
+	for c := range s.history {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OutcomeCount returns the number of outcomes stored for a customer.
+func (s *Store) OutcomeCount(c cluster.CustomerID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.history[c])
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"pond/internal/pmu"
+)
+
+func TestRecordAndMeanCounters(t *testing.T) {
+	s := NewStore()
+	var a, b pmu.Vector
+	a[pmu.DRAMBound], b[pmu.DRAMBound] = 0.2, 0.4
+	s.RecordSample(1, a)
+	s.RecordSample(1, b)
+	m, ok := s.MeanCounters(1)
+	if !ok {
+		t.Fatal("no mean for sampled VM")
+	}
+	if diff := m[pmu.DRAMBound] - 0.3; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("mean = %v", m[pmu.DRAMBound])
+	}
+}
+
+func TestMeanCountersMissing(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.MeanCounters(42); ok {
+		t.Fatal("mean for unsampled VM")
+	}
+}
+
+func TestSampleRetentionBounded(t *testing.T) {
+	s := NewStore()
+	var v pmu.Vector
+	for i := 0; i < maxSamplesPerVM+50; i++ {
+		s.RecordSample(1, v)
+	}
+	if n := len(s.samples[1]); n > maxSamplesPerVM {
+		t.Fatalf("retained %d samples, cap %d", n, maxSamplesPerVM)
+	}
+}
+
+func TestForgetVM(t *testing.T) {
+	s := NewStore()
+	s.RecordSample(1, pmu.Vector{})
+	s.ForgetVM(1)
+	if _, ok := s.MeanCounters(1); ok {
+		t.Fatal("samples survived ForgetVM")
+	}
+}
+
+func TestCustomerHistoryPercentiles(t *testing.T) {
+	s := NewStore()
+	for i, u := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		s.RecordOutcome(7, float64(i), u)
+	}
+	h := s.CustomerHistory(7, 100, 1000)
+	if h.Count != 5 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if h.P0 != 0.1 || h.P100 != 0.5 || h.P50 != 0.3 {
+		t.Fatalf("percentiles wrong: %+v", h)
+	}
+	if !h.HasHistory() {
+		t.Fatal("5 records should count as history")
+	}
+}
+
+func TestCustomerHistoryCausality(t *testing.T) {
+	s := NewStore()
+	s.RecordOutcome(7, 50, 0.2)
+	s.RecordOutcome(7, 150, 0.9) // in the future relative to query
+	h := s.CustomerHistory(7, 100, 1000)
+	if h.Count != 1 || h.P100 != 0.2 {
+		t.Fatalf("future outcome leaked into history: %+v", h)
+	}
+}
+
+func TestCustomerHistoryWindow(t *testing.T) {
+	s := NewStore()
+	s.RecordOutcome(7, 10, 0.2) // too old for a 50s window at t=100
+	s.RecordOutcome(7, 80, 0.6)
+	h := s.CustomerHistory(7, 100, 50)
+	if h.Count != 1 || h.P0 != 0.6 {
+		t.Fatalf("window not applied: %+v", h)
+	}
+}
+
+func TestCustomerHistoryEmpty(t *testing.T) {
+	s := NewStore()
+	h := s.CustomerHistory(9, 100, 100)
+	if h.Count != 0 || h.HasHistory() {
+		t.Fatalf("empty history = %+v", h)
+	}
+}
+
+func TestSensitiveFlag(t *testing.T) {
+	s := NewStore()
+	if s.KnownSensitive(3) {
+		t.Fatal("fresh customer flagged")
+	}
+	s.MarkSensitive(3)
+	if !s.KnownSensitive(3) {
+		t.Fatal("flag lost")
+	}
+}
+
+func TestCustomersSorted(t *testing.T) {
+	s := NewStore()
+	s.RecordOutcome(9, 0, 0.5)
+	s.RecordOutcome(2, 0, 0.5)
+	s.RecordOutcome(5, 0, 0.5)
+	got := s.Customers()
+	if len(got) != 3 || got[0] != 2 || got[1] != 5 || got[2] != 9 {
+		t.Fatalf("customers = %v", got)
+	}
+}
+
+func TestOutcomeCount(t *testing.T) {
+	s := NewStore()
+	s.RecordOutcome(1, 0, 0.5)
+	s.RecordOutcome(1, 1, 0.6)
+	if s.OutcomeCount(1) != 2 || s.OutcomeCount(2) != 0 {
+		t.Fatal("outcome counts wrong")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.RecordSample(1, pmu.Vector{})
+				s.RecordOutcome(3, float64(i), 0.5)
+				s.MeanCounters(1)
+				s.CustomerHistory(3, 1e9, 1e9)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.OutcomeCount(3) != 1600 {
+		t.Fatalf("outcomes = %d, want 1600", s.OutcomeCount(3))
+	}
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"math"
+
+	"pond/internal/stats"
+)
+
+// Access-pattern generation. The hypervisor's access-bit scans (§4.2,
+// Figure 15) observe which pages a workload touches; this generator
+// produces the per-page stream those scans see. Page popularity follows
+// a Zipf law whose skew derives from the workload's spill-curve exponent:
+// a workload whose accesses concentrate on recently allocated pages
+// (Skew < 1) has a hot set, while Skew ≈ 1 approaches uniform access.
+
+// AccessTrace draws n page indices over a footprint of pages using the
+// workload's access skew. Page 0 is the hottest.
+func (w Workload) AccessTrace(pages, n int, r *stats.Rand) []int {
+	if pages <= 0 || n <= 0 {
+		return nil
+	}
+	// Zipf parameter from spill skew: Skew 0.5 (strong hot set) maps to
+	// s ~ 1.2; Skew 1.0 (uniform) maps to s ~ 0.4.
+	s := 2.0 - 1.6*w.Skew
+	if s < 0.1 {
+		s = 0.1
+	}
+	weights := zipfWeights(pages, s)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Choice(weights)
+	}
+	return out
+}
+
+// TouchedPagesFrac returns the expected fraction of the footprint's pages
+// touched after n accesses under the workload's popularity curve:
+// 1 - Π(1-p_i)^n evaluated per page.
+func (w Workload) TouchedPagesFrac(pages, n int) float64 {
+	if pages <= 0 || n <= 0 {
+		return 0
+	}
+	s := 2.0 - 1.6*w.Skew
+	if s < 0.1 {
+		s = 0.1
+	}
+	weights := zipfWeights(pages, s)
+	var total float64
+	for _, p := range weights {
+		total += p
+	}
+	touched := 0.0
+	for _, p := range weights {
+		touched += 1 - math.Pow(1-p/total, float64(n))
+	}
+	return touched / float64(pages)
+}
+
+// zipfWeights returns unnormalized Zipf(s) weights for ranks 1..n.
+func zipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return w
+}

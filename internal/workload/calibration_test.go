@@ -1,0 +1,225 @@
+package workload
+
+import "testing"
+
+// These tests pin the catalogue to the published slowdown distribution of
+// Figures 4 and 5. Tolerances are a few percentage points: the paper
+// reports rounded bucket fractions, and the reproduction validates shape,
+// not Azure's exact hardware numbers.
+
+func slowdownsPct(ratio float64) []float64 {
+	var out []float64
+	for _, w := range Catalogue() {
+		out = append(out, w.SlowdownPct(ratio, 1))
+	}
+	return out
+}
+
+func fracWithin(xs []float64, lo, hi float64) float64 {
+	n := 0
+	for _, x := range xs {
+		if x >= lo && x < hi {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+func TestFigure4BucketsAt182(t *testing.T) {
+	xs := slowdownsPct(Ratio182)
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+		tol  float64
+	}{
+		{"<1%", fracWithin(xs, -1, 1), 0.26, 0.05},
+		{"<5% cumulative", fracWithin(xs, -1, 5), 0.43, 0.05},
+		{">25%", fracWithin(xs, 25, 1e9), 0.21, 0.05},
+	}
+	for _, c := range cases {
+		if c.got < c.want-c.tol || c.got > c.want+c.tol {
+			t.Errorf("182%%: fraction %s = %.3f, want %.2f±%.2f (Figure 4)", c.name, c.got, c.want, c.tol)
+		}
+	}
+}
+
+func TestFigure4BucketsAt222(t *testing.T) {
+	xs := slowdownsPct(Ratio222)
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+		tol  float64
+	}{
+		{"<1%", fracWithin(xs, -1, 1), 0.23, 0.05},
+		{"<5% cumulative", fracWithin(xs, -1, 5), 0.37, 0.05},
+		{">25%", fracWithin(xs, 25, 1e9), 0.37, 0.05},
+	}
+	for _, c := range cases {
+		if c.got < c.want-c.tol || c.got > c.want+c.tol {
+			t.Errorf("222%%: fraction %s = %.3f, want %.2f±%.2f (Figure 4)", c.name, c.got, c.want, c.tol)
+		}
+	}
+}
+
+func TestFigure5OutliersAt222(t *testing.T) {
+	// Figure 5: exactly three outliers above 100% slowdown at the 222%
+	// level, with a maximum of ~124%.
+	xs := slowdownsPct(Ratio222)
+	outliers := 0
+	max := 0.0
+	for _, x := range xs {
+		if x > 100 {
+			outliers++
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if outliers != 3 {
+		t.Errorf("outliers >100%% at 222%% = %d, want 3 (Figure 5)", outliers)
+	}
+	if max < 110 || max > 130 {
+		t.Errorf("max slowdown at 222%% = %.1f%%, want ~124%% (Figure 5)", max)
+	}
+}
+
+func TestFigure4NoOutliersAbove100At182(t *testing.T) {
+	for _, w := range Catalogue() {
+		if w.SlowdownPct(Ratio182, 1) > 100 {
+			t.Errorf("%s exceeds 100%% at the 182%% level; Figure 4 tops out below that", w.Name)
+		}
+	}
+}
+
+func TestEveryClassSpansTheRangeExceptSPLASH2x(t *testing.T) {
+	// §3.3: every class has at least one workload <5% and one >25% at
+	// the 182% level — except SPLASH2x, which never exceeds 25%.
+	for _, c := range Classes() {
+		var low, high bool
+		for _, w := range ByClass(c) {
+			s := w.SlowdownPct(Ratio182, 1)
+			if s < 5 {
+				low = true
+			}
+			if s > 25 {
+				high = true
+			}
+		}
+		if !low {
+			t.Errorf("class %v has no workload under 5%% slowdown", c)
+		}
+		if c == SPLASH2x {
+			if high {
+				t.Errorf("SPLASH2x should have no workload above 25%% at 182%% (§3.3)")
+			}
+			continue
+		}
+		if !high {
+			t.Errorf("class %v has no workload above 25%% slowdown", c)
+		}
+	}
+}
+
+func TestGAPBSIsWorstClass(t *testing.T) {
+	classMean := func(c Class) float64 {
+		var sum float64
+		ws := ByClass(c)
+		for _, w := range ws {
+			sum += w.SlowdownPct(Ratio182, 1)
+		}
+		return sum / float64(len(ws))
+	}
+	gapbs := classMean(GAPBS)
+	for _, c := range Classes() {
+		if c == GAPBS {
+			continue
+		}
+		if classMean(c) >= gapbs {
+			t.Errorf("class %v mean slowdown %.1f >= GAPBS %.1f; GAPBS should be worst (§3.3)",
+				c, classMean(c), gapbs)
+		}
+	}
+}
+
+func TestProprietaryDistribution(t *testing.T) {
+	// §3.3: of the 13 production workloads, 6 see <1%, 2 see ~5%, and
+	// the remaining 5 are impacted by 10-28%.
+	var under1, around5, heavy int
+	for _, w := range ByClass(Proprietary) {
+		s := w.SlowdownPct(Ratio182, 1)
+		switch {
+		case s < 1:
+			under1++
+		case s >= 3 && s <= 7:
+			around5++
+		case s >= 9 && s <= 29:
+			heavy++
+		}
+	}
+	if under1 != 6 || around5 != 2 || heavy != 5 {
+		t.Errorf("proprietary split = %d/%d/%d, want 6 (<1%%) / 2 (~5%%) / 5 (10-28%%)",
+			under1, around5, heavy)
+	}
+}
+
+func TestWithinClassVarianceExceedsAcrossClass(t *testing.T) {
+	// §3.3: variability within each workload class is typically much
+	// higher than across classes. Compare the GAPBS within-class spread
+	// to the spread of class means.
+	var classMeans []float64
+	for _, c := range Classes() {
+		ws := ByClass(c)
+		var sum float64
+		for _, w := range ws {
+			sum += w.SlowdownPct(Ratio182, 1)
+		}
+		classMeans = append(classMeans, sum/float64(len(ws)))
+	}
+	meanSpread := maxOf(classMeans) - minOf(classMeans)
+
+	gap := ByClass(GAPBS)
+	var gapS []float64
+	for _, w := range gap {
+		gapS = append(gapS, w.SlowdownPct(Ratio182, 1))
+	}
+	gapSpread := maxOf(gapS) - minOf(gapS)
+	if gapSpread <= meanSpread {
+		t.Errorf("GAPBS within-class spread %.1f <= across-class spread %.1f", gapSpread, meanSpread)
+	}
+}
+
+func TestHigherLatencyMagnifiesSlowdowns(t *testing.T) {
+	// §3.3: workloads performing well at 182% also perform well at
+	// 222%; badly-hit workloads get hit harder. Check order is largely
+	// preserved: the slowdown at 222% must be >= the one at 182% and
+	// scale by the latency excess ratio for latency-driven workloads.
+	for _, w := range Catalogue() {
+		s182 := w.Slowdown(Ratio182, 1)
+		s222 := w.Slowdown(Ratio222, 1)
+		if s222 < s182 {
+			t.Fatalf("%s: 222%% slowdown below 182%% slowdown", w.Name)
+		}
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

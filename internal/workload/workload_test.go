@@ -1,0 +1,462 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pond/internal/stats"
+)
+
+// statsRand and statsSpearman keep the stats dependency localized.
+func statsRand(seed int64) *stats.Rand { return stats.NewRand(seed) }
+
+func statsSpearman(a, b []float64) float64 { return stats.Spearman(a, b) }
+
+func TestCatalogueHas158Workloads(t *testing.T) {
+	if got := len(Catalogue()); got != 158 {
+		t.Fatalf("catalogue has %d workloads, want 158 (§6.1)", got)
+	}
+}
+
+func TestCatalogueNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range Catalogue() {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestCatalogueClassCounts(t *testing.T) {
+	want := map[Class]int{
+		Proprietary: 13, // P1..P13
+		Redis:       6,  // YCSB A-F
+		VoltDB:      6,  // YCSB A-F
+		Spark:       11, // HiBench
+		GAPBS:       30, // 6 kernels x 5 graphs
+		TPCH:        22, // queries 1-22
+		SPECCPU:     43, // full SPEC CPU 2017
+		PARSEC:      13,
+		SPLASH2x:    14,
+	}
+	got := map[Class]int{}
+	for _, w := range Catalogue() {
+		got[w.Class]++
+	}
+	for c, n := range want {
+		if got[c] != n {
+			t.Errorf("class %v has %d workloads, want %d", c, got[c], n)
+		}
+	}
+}
+
+func TestCatalogueReturnsCopy(t *testing.T) {
+	a := Catalogue()
+	a[0].Name = "mutated"
+	if Catalogue()[0].Name == "mutated" {
+		t.Fatal("Catalogue exposes internal state")
+	}
+}
+
+func TestByClassMatchesCatalogue(t *testing.T) {
+	total := 0
+	for _, c := range Classes() {
+		ws := ByClass(c)
+		for _, w := range ws {
+			if w.Class != c {
+				t.Fatalf("ByClass(%v) returned %v", c, w)
+			}
+		}
+		total += len(ws)
+	}
+	if total != 158 {
+		t.Fatalf("classes sum to %d workloads, want 158", total)
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, ok := ByName("505.mcf_r")
+	if !ok || w.Class != SPECCPU {
+		t.Fatalf("ByName(505.mcf_r) = %v, %v", w, ok)
+	}
+	if _, ok := ByName("no-such-workload"); ok {
+		t.Fatal("ByName found a nonexistent workload")
+	}
+}
+
+func TestInternalWorkloadsMatchFigure15(t *testing.T) {
+	ws := InternalWorkloads()
+	if len(ws) != 4 {
+		t.Fatalf("internal workloads = %d, want 4", len(ws))
+	}
+	want := map[string]float64{
+		"P1-video":     0.0025,
+		"P2-database":  0.0006,
+		"P3-kvstore":   0.0011,
+		"P4-analytics": 0.0038,
+	}
+	for _, w := range ws {
+		if want[w.Name] != w.MetadataTraffic {
+			t.Errorf("%s metadata traffic = %v, want %v", w.Name, w.MetadataTraffic, want[w.Name])
+		}
+	}
+}
+
+func TestSlowdownZeroWhenLocal(t *testing.T) {
+	for _, w := range Catalogue() {
+		if got := w.Slowdown(Ratio222, 0); got != 0 {
+			t.Fatalf("%s: slowdown with 0 remote = %v", w.Name, got)
+		}
+	}
+}
+
+func TestSlowdownZeroAtUnitRatio(t *testing.T) {
+	w, _ := ByName("505.mcf_r")
+	if got := w.Slowdown(1.0, 1.0); got != 0 {
+		t.Fatalf("slowdown at ratio 1.0 = %v (bandwidth term should be 0 here)", got)
+	}
+}
+
+func TestSlowdownZeroAtUnitRatioBandwidthBound(t *testing.T) {
+	// Bandwidth-bound workloads still pay BWSens at ratio 1 because the
+	// link, not the latency, is the bottleneck.
+	w, _ := ByName("519.lbm_r")
+	if got := w.Slowdown(1.0, 1.0); got != w.BWSens {
+		t.Fatalf("lbm at ratio 1 = %v, want BWSens %v", got, w.BWSens)
+	}
+}
+
+func TestSlowdownPanicsOnBadRatio(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ratio < 1")
+		}
+	}()
+	Catalogue()[0].Slowdown(0.9, 1)
+}
+
+func TestSlowdownPanicsOnBadFraction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for fraction > 1")
+		}
+	}()
+	Catalogue()[0].Slowdown(1.5, 1.5)
+}
+
+func TestSlowdownMonotoneInLatency(t *testing.T) {
+	for _, w := range Catalogue() {
+		if w.Slowdown(Ratio222, 1) < w.Slowdown(Ratio182, 1) {
+			t.Fatalf("%s: slowdown not monotone in latency", w.Name)
+		}
+	}
+}
+
+func TestSlowdownMonotoneInRemoteFraction(t *testing.T) {
+	for _, w := range Catalogue() {
+		prev := -1.0
+		for _, f := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			s := w.Slowdown(Ratio182, f)
+			if s < prev {
+				t.Fatalf("%s: slowdown not monotone in remote fraction", w.Name)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestSpillSlowdownMonotone(t *testing.T) {
+	for _, w := range Catalogue() {
+		prev := -1.0
+		for _, p := range []float64{0, 0.1, 0.2, 0.4, 0.6, 0.75, 1} {
+			s := w.SpillSlowdown(Ratio182, p)
+			if s < prev-1e-12 {
+				t.Fatalf("%s: spill slowdown not monotone at %v", w.Name, p)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestSpillZeroIsMetadataOnly(t *testing.T) {
+	w, _ := ByName("P1-video")
+	if got := w.RemoteAccessFraction(0); got != w.MetadataTraffic {
+		t.Fatalf("zero spill remote fraction = %v, want metadata %v", got, w.MetadataTraffic)
+	}
+}
+
+func TestSpillFullIsCapped(t *testing.T) {
+	for _, w := range Catalogue() {
+		if got := w.RemoteAccessFraction(1); got > 1 {
+			t.Fatalf("%s: remote fraction %v > 1", w.Name, got)
+		}
+	}
+}
+
+func TestSpillImmediateImpactForSkewedWorkloads(t *testing.T) {
+	// GAPBS skew 0.5: spilling 20% of the footprint exposes ~45% of
+	// accesses — the "immediate impact" of Figure 16.
+	w, _ := ByName("gapbs-bc-twitter")
+	if got := w.RemoteAccessFraction(0.2); got < 0.4 {
+		t.Fatalf("skewed workload remote fraction at 20%% spill = %v, want > 0.4", got)
+	}
+}
+
+func TestFigure16SevereSpillRange(t *testing.T) {
+	// Figure 16: some workloads slow 30-35% with 20-75% spilled and up
+	// to ~50% when fully pool-backed (at the 182% level).
+	found := false
+	for _, w := range Catalogue() {
+		s20 := w.SpillSlowdown(Ratio182, 0.2)
+		s100 := w.SpillSlowdown(Ratio182, 1.0)
+		if s20 >= 0.25 && s100 >= 0.45 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no workload shows the severe spill profile of Figure 16")
+	}
+}
+
+func TestTMAFractionsWithinUnitInterval(t *testing.T) {
+	for _, w := range Catalogue() {
+		for name, v := range map[string]float64{
+			"dram":    w.DRAMBoundFrac(),
+			"store":   w.StoreBoundFrac(),
+			"memory":  w.MemoryBoundFrac(),
+			"backend": w.BackendBoundFrac(),
+		} {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s: %s-bound fraction %v outside [0,1]", w.Name, name, v)
+			}
+		}
+	}
+}
+
+func TestTMAHierarchy(t *testing.T) {
+	// backend >= memory >= dram, per the TMA decomposition.
+	for _, w := range Catalogue() {
+		if w.MemoryBoundFrac() < w.DRAMBoundFrac()-1e-12 {
+			t.Fatalf("%s: memory-bound < DRAM-bound", w.Name)
+		}
+		if w.BackendBoundFrac() < w.MemoryBoundFrac()-1e-12 {
+			t.Fatalf("%s: backend-bound < memory-bound", w.Name)
+		}
+	}
+}
+
+func TestDeceptiveWorkloadsExist(t *testing.T) {
+	// Finding 4: multiple workloads exceed 20% slowdown with only ~2-4%
+	// DRAM-boundedness. These defeat the single-counter heuristics.
+	n := 0
+	for _, w := range Catalogue() {
+		if w.SlowdownPct(Ratio182, 1) > 20 && w.DRAMBoundFrac() < 0.05 {
+			n++
+		}
+	}
+	if n < 2 {
+		t.Fatalf("found %d deceptive workloads, want >= 2 (Finding 4)", n)
+	}
+}
+
+func TestProprietaryAreNUMAAware(t *testing.T) {
+	for _, w := range Catalogue() {
+		if (w.Class == Proprietary) != w.NUMAAware {
+			t.Fatalf("%s: NUMAAware flag inconsistent with class", w.Name)
+		}
+	}
+}
+
+func TestParametersPlausible(t *testing.T) {
+	for _, w := range Catalogue() {
+		if w.FootprintGB <= 0 || w.FootprintGB > 256 {
+			t.Errorf("%s: footprint %v GB implausible", w.Name, w.FootprintGB)
+		}
+		if w.LatSens < 0 || w.LatSens > 1.1 {
+			t.Errorf("%s: LatSens %v implausible", w.Name, w.LatSens)
+		}
+		if w.StoreSens > w.LatSens {
+			t.Errorf("%s: StoreSens %v exceeds LatSens %v", w.Name, w.StoreSens, w.LatSens)
+		}
+		if w.MLP < 1 || w.MLP > 8 {
+			t.Errorf("%s: MLP %v outside [1,8]", w.Name, w.MLP)
+		}
+		if w.Skew < 0.3 || w.Skew > 1.5 {
+			t.Errorf("%s: Skew %v implausible", w.Name, w.Skew)
+		}
+	}
+}
+
+func TestClassStringNames(t *testing.T) {
+	if GAPBS.String() != "GAPBS" || TPCH.String() != "TPC-H" {
+		t.Fatal("class names wrong")
+	}
+	if !strings.HasPrefix(Class(42).String(), "Class(") {
+		t.Fatal("unknown class should render as Class(n)")
+	}
+}
+
+func TestWorkloadString(t *testing.T) {
+	w, _ := ByName("redis-ycsb-a")
+	if got := w.String(); got != "redis-ycsb-a (Redis)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestRatioConstants(t *testing.T) {
+	if math.Abs(Ratio182-1.82) > 0.01 {
+		t.Fatalf("Ratio182 = %v", Ratio182)
+	}
+	if math.Abs(Ratio222-2.217) > 0.01 {
+		t.Fatalf("Ratio222 = %v", Ratio222)
+	}
+}
+
+// Property: slowdown is linear in remote fraction, so half the fraction
+// gives half the slowdown.
+func TestSlowdownLinearityProperty(t *testing.T) {
+	ws := Catalogue()
+	f := func(i uint16, frac float64) bool {
+		w := ws[int(i)%len(ws)]
+		frac = math.Mod(math.Abs(frac), 1)
+		if math.IsNaN(frac) {
+			return true
+		}
+		full := w.Slowdown(Ratio182, frac)
+		half := w.Slowdown(Ratio182, frac/2)
+		return math.Abs(full-2*half) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: remote access fraction is within [0,1] for any spill fraction.
+func TestRemoteAccessFractionBoundedProperty(t *testing.T) {
+	ws := Catalogue()
+	f := func(i uint16, spill float64) bool {
+		w := ws[int(i)%len(ws)]
+		spill = math.Mod(math.Abs(spill), 1)
+		if math.IsNaN(spill) {
+			return true
+		}
+		got := w.RemoteAccessFraction(spill)
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessTraceBounds(t *testing.T) {
+	w, _ := ByName("gapbs-bc-twitter")
+	r := statsRand(1)
+	trace := w.AccessTrace(100, 500, r)
+	if len(trace) != 500 {
+		t.Fatalf("trace length = %d", len(trace))
+	}
+	for _, p := range trace {
+		if p < 0 || p >= 100 {
+			t.Fatalf("page %d out of range", p)
+		}
+	}
+	if w.AccessTrace(0, 10, r) != nil || w.AccessTrace(10, 0, r) != nil {
+		t.Fatal("degenerate traces should be nil")
+	}
+}
+
+func TestAccessTraceSkewConcentrates(t *testing.T) {
+	// A skewed workload (GAPBS, Skew 0.5) concentrates accesses on hot
+	// pages far more than a uniform one (Redis, Skew 1.0).
+	skewed, _ := ByName("gapbs-bc-twitter")
+	uniform, _ := ByName("redis-ycsb-a")
+	r := statsRand(2)
+	hot := func(w Workload) float64 {
+		trace := w.AccessTrace(100, 4000, r)
+		n := 0
+		for _, p := range trace {
+			if p < 10 {
+				n++
+			}
+		}
+		return float64(n) / float64(len(trace))
+	}
+	hs, hu := hot(skewed), hot(uniform)
+	if hs < hu+0.15 {
+		t.Fatalf("skewed hot share %.2f not above uniform %.2f", hs, hu)
+	}
+}
+
+func TestTouchedPagesFracMonotone(t *testing.T) {
+	w, _ := ByName("P2-database")
+	prev := 0.0
+	for _, n := range []int{10, 100, 1000, 10000} {
+		frac := w.TouchedPagesFrac(200, n)
+		if frac < prev || frac > 1 {
+			t.Fatalf("touched frac %v at n=%d (prev %v)", frac, n, prev)
+		}
+		prev = frac
+	}
+	if w.TouchedPagesFrac(0, 10) != 0 {
+		t.Fatal("degenerate input")
+	}
+}
+
+func TestSlowdownRankPreservedAcrossLatencies(t *testing.T) {
+	// §3.3: workloads performing well at 182% also perform well at 222%
+	// — the orderings should correlate almost perfectly.
+	var s182, s222 []float64
+	for _, w := range Catalogue() {
+		s182 = append(s182, w.Slowdown(Ratio182, 1))
+		s222 = append(s222, w.Slowdown(Ratio222, 1))
+	}
+	if rho := statsSpearman(s182, s222); rho < 0.98 {
+		t.Fatalf("rank correlation = %v, want ~1", rho)
+	}
+}
+
+func TestGAPBSGridComplete(t *testing.T) {
+	kernels := []string{"bc", "bfs", "cc", "pr", "sssp", "tc"}
+	graphs := []string{"twitter", "web", "road", "kron", "urand"}
+	for _, k := range kernels {
+		for _, g := range graphs {
+			name := "gapbs-" + k + "-" + g
+			if _, ok := ByName(name); !ok {
+				t.Errorf("missing GAPBS entry %s", name)
+			}
+		}
+	}
+}
+
+func TestTPCHQueriesComplete(t *testing.T) {
+	for q := 1; q <= 22; q++ {
+		name := tpchName(q)
+		w, ok := ByName(name)
+		if !ok {
+			t.Errorf("missing %s", name)
+			continue
+		}
+		if w.Class != TPCH {
+			t.Errorf("%s in class %v", name, w.Class)
+		}
+	}
+}
+
+func TestSPECHasBothRateAndSpeed(t *testing.T) {
+	rate, speed := 0, 0
+	for _, w := range ByClass(SPECCPU) {
+		if strings.HasSuffix(w.Name, "_r") {
+			rate++
+		}
+		if strings.HasSuffix(w.Name, "_s") {
+			speed++
+		}
+	}
+	if rate != 23 || speed != 20 {
+		t.Errorf("SPEC split = %d rate / %d speed, want 23/20", rate, speed)
+	}
+}

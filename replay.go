@@ -1,0 +1,118 @@
+package pond
+
+import (
+	"fmt"
+	"sort"
+
+	"pond/internal/cluster"
+)
+
+// ReplayResult summarizes a trace replay through the live System: every
+// arrival becomes a StartVM, every departure a StopVM, with periodic QoS
+// sweeps in between. This is the integration path between the synthetic
+// trace substrate and the full hardware/software stack (the cluster
+// simulator in internal/sim covers the same ground at fleet scale with
+// lightweight accounting; Replay exercises the real components).
+type ReplayResult struct {
+	Started      int
+	Rejected     int
+	PoolBacked   int
+	Mitigations  int
+	PeakPoolGB   float64
+	PeakStranded float64
+	// MeanSlowdown is the GB-weighted mean realized slowdown.
+	MeanSlowdown float64
+}
+
+// String renders the replay summary.
+func (r ReplayResult) String() string {
+	return fmt.Sprintf("started=%d rejected=%d pool-backed=%d mitigations=%d peak-pool=%.0fGB peak-stranded=%.0fGB mean-slowdown=%.2f%%",
+		r.Started, r.Rejected, r.PoolBacked, r.Mitigations, r.PeakPoolGB, r.PeakStranded, 100*r.MeanSlowdown)
+}
+
+// Replay runs a cluster trace through the system. qosEverySec sets the
+// QoS sweep cadence (0 disables sweeps). The trace should be sized to the
+// system: replaying a 16-server trace into an 8-host system rejects the
+// overflow, which the result reports rather than failing.
+func (s *System) Replay(tr *cluster.Trace, qosEverySec float64) ReplayResult {
+	type event struct {
+		at     float64
+		arrive bool
+		vmIdx  int
+	}
+	events := make([]event, 0, 2*len(tr.VMs))
+	for i := range tr.VMs {
+		events = append(events,
+			event{at: tr.VMs[i].ArrivalSec, arrive: true, vmIdx: i},
+			event{at: tr.VMs[i].DepartureSec(), arrive: false, vmIdx: i},
+		)
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		return !events[a].arrive && events[b].arrive
+	})
+
+	var res ReplayResult
+	idMap := make(map[int]int64, len(tr.VMs))
+	var slowSum, gbSum float64
+	nextQoS := qosEverySec
+
+	for _, ev := range events {
+		if qosEverySec > 0 {
+			for nextQoS <= ev.at {
+				s.AdvanceSeconds(nextQoS - s.Now())
+				for _, rep := range s.RunQoSSweep() {
+					if rep.Reconfigured || rep.Migrated {
+						res.Mitigations++
+					}
+				}
+				nextQoS += qosEverySec
+			}
+		}
+		if ev.at > s.Now() {
+			s.AdvanceSeconds(ev.at - s.Now())
+		}
+		vm := &tr.VMs[ev.vmIdx]
+		if ev.arrive {
+			handle, err := s.StartVM(VMSpec{
+				Cores:         vm.Type.Cores,
+				MemoryGB:      vm.Type.MemoryGB,
+				Workload:      vm.GroundTruth.Workload.Name,
+				Customer:      int32(vm.Customer),
+				UntouchedFrac: vm.GroundTruth.UntouchedFrac,
+			})
+			if err != nil {
+				res.Rejected++
+				continue
+			}
+			res.Started++
+			if handle.PoolGB > 0 {
+				res.PoolBacked++
+			}
+			slowSum += handle.SlowdownFrac * vm.Type.MemoryGB
+			gbSum += vm.Type.MemoryGB
+			idMap[ev.vmIdx] = handle.ID
+
+			st := s.Stats()
+			if st.PoolUsedGB > res.PeakPoolGB {
+				res.PeakPoolGB = st.PoolUsedGB
+			}
+			if st.StrandedGB > res.PeakStranded {
+				res.PeakStranded = st.StrandedGB
+			}
+			continue
+		}
+		if id, ok := idMap[ev.vmIdx]; ok {
+			// The VM may already be gone (EMC/host failure injection
+			// during replay); ignore unknown ids.
+			_ = s.StopVM(id)
+			delete(idMap, ev.vmIdx)
+		}
+	}
+	if gbSum > 0 {
+		res.MeanSlowdown = slowSum / gbSum
+	}
+	return res
+}
