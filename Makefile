@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test test-short test-race bench
+
+all: build vet test-short
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite: paper-scale fidelity for every figure (slow; the experiment
+# pipelines use every core through the parallel engine).
+test: build vet
+	$(GO) test ./...
+
+# Fast tier: reduced trace scales under the race detector; finishes in
+# well under a minute and is what CI gates on.
+test-short: build vet
+	$(GO) test -short -race ./...
+
+# Benchmark smoke: every figure benchmark runs exactly once so a broken
+# pipeline fails fast without paying full benchmarking time.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

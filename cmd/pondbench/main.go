@@ -1,7 +1,11 @@
 // Command pondbench prints the workload-sensitivity studies: per-class
 // slowdowns under CXL latency (Figure 4), the slowdown CDF (Figure 5),
-// zNUMA traffic for the internal workloads (Figure 15), and the spill
-// sensitivity study (Figure 16).
+// zNUMA traffic for the internal workloads (Figure 15), the spill
+// sensitivity study (Figure 16), and — through the shared registry — the
+// model studies (Figures 17-20).
+//
+// -workers bounds the parallel engine's pool (results are byte-identical
+// for any value); -seed reroots every stream.
 package main
 
 import (
@@ -15,23 +19,27 @@ import (
 
 func main() {
 	figs := flag.String("figures", "4,5,15,16",
-		"comma-separated list of figures to print (4,5,15,16)")
+		"comma-separated list of figures to print (4,5,15,16,17,18,19,20)")
+	scaleFlag := flag.String("scale", "quick", "trace scale for the model studies: quick, full, paper, or tiny")
+	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS); results are identical for any value")
+	seed := flag.Int64("seed", experiments.DefaultSeed, "root seed for every generation and training stream")
 	flag.Parse()
 
-	for _, f := range strings.Split(*figs, ",") {
-		switch strings.TrimSpace(f) {
-		case "4":
-			fmt.Println(experiments.Figure4())
-		case "5":
-			fmt.Println(experiments.Figure5())
-		case "15":
-			fmt.Println(experiments.Figure15())
-		case "16":
-			fmt.Println(experiments.Figure16())
-		case "":
-		default:
-			fmt.Fprintf(os.Stderr, "pondbench: unknown figure %q\n", f)
-			os.Exit(2)
-		}
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pondbench: %v\n", err)
+		os.Exit(2)
+	}
+	defs, err := experiments.Lookup(strings.Split(*figs, ","))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pondbench: %v\n", err)
+		os.Exit(2)
+	}
+	opts := []experiments.Option{
+		experiments.WithWorkers(*workers),
+		experiments.WithSeed(*seed),
+	}
+	for _, d := range defs {
+		fmt.Println(d.Run(scale, opts...))
 	}
 }

@@ -3,6 +3,11 @@
 // pool-size impact table (Figure 3), the end-to-end savings evaluation
 // (Figure 21), the offlining-speed distribution (Finding 10), and the
 // pool-headroom ablation.
+//
+// All pipelines run on the parallel deterministic engine: -workers bounds
+// the pool (output is byte-identical for any value), -seed reroots every
+// stream. -sweep evaluates a scenario matrix across scales and policies
+// instead of individual figures.
 package main
 
 import (
@@ -15,41 +20,47 @@ import (
 )
 
 func main() {
-	figs := flag.String("figures", "2a,2b,3,21,finding10,ablation",
-		"comma-separated list of figures to print (2a,2b,3,21,finding10,ablation)")
-	scaleFlag := flag.String("scale", "quick", "trace scale: quick, full, or paper")
+	figs := flag.String("figures", "2a,2b,3,21,finding10,ablation-async",
+		"comma-separated list of figures to print (2a,2b,3,21,finding10,ablation-async)")
+	scaleFlag := flag.String("scale", "quick", "trace scale: quick, full, paper, or tiny")
+	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS); results are identical for any value")
+	seed := flag.Int64("seed", experiments.DefaultSeed, "root seed for every generation and training stream")
+	sweep := flag.String("sweep", "", `scenario matrix, e.g. "scale=quick,full x policy=pooled,static"`)
 	flag.Parse()
 
-	scale := parseScale(*scaleFlag)
-	for _, f := range strings.Split(*figs, ",") {
-		switch strings.TrimSpace(f) {
-		case "2a":
-			fmt.Println(experiments.Figure2a(scale))
-		case "2b":
-			fmt.Println(experiments.Figure2b(scale))
-		case "3":
-			fmt.Println(experiments.Figure3(scale))
-		case "21":
-			fmt.Println(experiments.Figure21(scale))
-		case "finding10":
-			fmt.Println(experiments.Finding10(scale))
-		case "ablation":
-			fmt.Println(experiments.AblationAsyncRelease(scale))
-		case "":
-		default:
-			fmt.Fprintf(os.Stderr, "pondsim: unknown figure %q\n", f)
+	opts := []experiments.Option{
+		experiments.WithWorkers(*workers),
+		experiments.WithSeed(*seed),
+	}
+
+	if *sweep != "" {
+		spec, err := experiments.ParseSweep(*sweep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pondsim: %v\n", err)
 			os.Exit(2)
 		}
+		fmt.Println(experiments.RunSweep(spec, opts...))
+		return
 	}
-}
 
-func parseScale(s string) experiments.Scale {
-	switch s {
-	case "quick":
-		return experiments.ScaleQuick
-	case "paper":
-		return experiments.ScalePaper
-	default:
-		return experiments.ScaleFull
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pondsim: %v\n", err)
+		os.Exit(2)
+	}
+	names := strings.Split(*figs, ",")
+	for i, n := range names {
+		// Accept the legacy name for the pool-headroom ablation.
+		if strings.TrimSpace(n) == "ablation" {
+			names[i] = "ablation-async"
+		}
+	}
+	defs, err := experiments.Lookup(names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pondsim: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range defs {
+		fmt.Println(d.Run(scale, opts...))
 	}
 }

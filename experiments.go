@@ -1,0 +1,70 @@
+package pond
+
+import (
+	"context"
+	"fmt"
+
+	"pond/internal/experiments"
+)
+
+// ExperimentOptions configures RunExperiments.
+type ExperimentOptions struct {
+	// Scale selects the trace scale: "quick" (default), "full", "paper"
+	// (the paper's 100 clusters x 75 days), or "tiny" (the short test
+	// tier's minimal fleet).
+	Scale string
+	// Figures names the experiments to run (e.g. "2a", "21",
+	// "finding10"); empty means every registered experiment.
+	Figures []string
+	// Workers bounds the engine's worker pool; <= 0 means GOMAXPROCS.
+	// Results are byte-identical for every worker count.
+	Workers int
+	// Seed roots every generation and training stream; 0 means the
+	// evaluation's default seed.
+	Seed int64
+}
+
+// ExperimentResult is one experiment's rendered output.
+type ExperimentResult struct {
+	Name   string
+	Output string
+}
+
+// RunExperiments regenerates the paper's figures through the parallel
+// simulation engine: every pipeline shards its work (per cluster, per
+// model fold, per retrain day) across the worker pool with deterministic
+// per-shard RNG, so output depends only on (Scale, Figures, Seed).
+// Cancellation is honored between experiments.
+func RunExperiments(ctx context.Context, opts ExperimentOptions) ([]ExperimentResult, error) {
+	scale := experiments.ScaleQuick
+	if opts.Scale != "" {
+		var err error
+		scale, err = experiments.ParseScale(opts.Scale)
+		if err != nil {
+			return nil, err
+		}
+	}
+	defs := experiments.Registry()
+	if len(opts.Figures) > 0 {
+		var err error
+		defs, err = experiments.Lookup(opts.Figures)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var runOpts []experiments.Option
+	if opts.Workers > 0 {
+		runOpts = append(runOpts, experiments.WithWorkers(opts.Workers))
+	}
+	if opts.Seed != 0 {
+		runOpts = append(runOpts, experiments.WithSeed(opts.Seed))
+	}
+	out := make([]ExperimentResult, 0, len(defs))
+	for _, d := range defs {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("pond: experiments interrupted before %q: %w", d.Name, err)
+		}
+		out = append(out, ExperimentResult{Name: d.Name, Output: d.Run(scale, runOpts...).String()})
+	}
+	return out, nil
+}

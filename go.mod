@@ -1,0 +1,3 @@
+module pond
+
+go 1.21

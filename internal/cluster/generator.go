@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"pond/internal/engine"
 	"pond/internal/stats"
 	"pond/internal/workload"
 )
@@ -34,6 +36,11 @@ type GenConfig struct {
 	FirstPartyFraction float64
 
 	Seed int64
+
+	// Workers bounds how many clusters generate concurrently; <= 0 means
+	// GOMAXPROCS. The generated fleet is byte-identical for every worker
+	// count (each cluster has its own seed and ID space).
+	Workers int
 }
 
 // DefaultGenConfig returns the downscaled default: 24 clusters of 16
@@ -58,15 +65,43 @@ func DefaultGenConfig() GenConfig {
 }
 
 // Generate produces the full set of cluster traces for the configuration.
+//
+// Clusters generate in parallel across cfg.Workers goroutines. Per-cluster
+// seeds are precomputed serially from the root stream (the same draws a
+// serial Fork loop would make), each cluster generates against its own
+// injected RNG with cluster-local IDs, and a deterministic renumbering
+// pass restores the fleet-wide sequential IDs — so the result is
+// byte-identical to serial generation regardless of worker count.
 func Generate(cfg GenConfig) []Trace {
 	root := stats.NewRand(cfg.Seed)
-	traces := make([]Trace, 0, cfg.Clusters)
-	var nextVM VMID
-	var nextCustomer CustomerID
-	for i := 0; i < cfg.Clusters; i++ {
-		r := root.Fork(int64(i + 1))
-		tr := generateCluster(cfg, i, r, &nextVM, &nextCustomer)
-		traces = append(traces, tr)
+	seeds := make([]int64, cfg.Clusters)
+	for i := range seeds {
+		seeds[i] = root.ForkSeed(int64(i + 1))
+	}
+	traces, err := engine.Map(context.Background(), seeds,
+		engine.Options{Workers: cfg.Workers, Seed: cfg.Seed},
+		func(i int, seed int64, _ *stats.Rand) (Trace, error) {
+			return GenerateCluster(cfg, i, stats.NewRand(seed)), nil
+		})
+	if err != nil {
+		panic("cluster: " + err.Error()) // unreachable: jobs cannot fail
+	}
+
+	// Renumber cluster-local IDs into the fleet-wide sequence, exactly as
+	// shared counters would have assigned them serially.
+	var vmOff VMID
+	var custOff CustomerID
+	for ti := range traces {
+		tr := &traces[ti]
+		for i := range tr.Customers {
+			tr.Customers[i].ID += custOff
+		}
+		for i := range tr.VMs {
+			tr.VMs[i].ID += vmOff
+			tr.VMs[i].Customer += custOff
+		}
+		vmOff += VMID(len(tr.VMs))
+		custOff += CustomerID(len(tr.Customers))
 	}
 	return traces
 }
@@ -77,7 +112,12 @@ var (
 	oses    = []string{"linux", "windows"}
 )
 
-func generateCluster(cfg GenConfig, idx int, r *stats.Rand, nextVM *VMID, nextCustomer *CustomerID) Trace {
+// GenerateCluster generates the trace of a single cluster against an
+// injected RNG. IDs are cluster-local (counting from 1); Generate
+// renumbers them into the fleet-wide sequence.
+func GenerateCluster(cfg GenConfig, idx int, r *stats.Rand) Trace {
+	var nextVM VMID
+	var nextCustomer CustomerID
 	tr := Trace{
 		Name:    fmt.Sprintf("cluster-%03d", idx),
 		Spec:    cfg.Spec,
@@ -104,8 +144,8 @@ func generateCluster(cfg GenConfig, idx int, r *stats.Rand, nextVM *VMID, nextCu
 	weights := make([]float64, cfg.CustomersPerCluster)
 	catalogue := workload.Catalogue()
 	for c := range customers {
-		*nextCustomer++
-		customers[c] = makeCustomer(*nextCustomer, r, catalogue, cfg.FirstPartyFraction)
+		nextCustomer++
+		customers[c] = makeCustomer(nextCustomer, r, catalogue, cfg.FirstPartyFraction)
 		weights[c] = r.Pareto(1, 50, 1.1)
 	}
 	tr.Customers = customers
@@ -174,8 +214,8 @@ func generateCluster(cfg GenConfig, idx int, r *stats.Rand, nextVM *VMID, nextCu
 			if at >= horizonSec {
 				break
 			}
-			*nextVM++
-			vm := makeVM(*nextVM, cust, vt, at, meanLifeSec, r)
+			nextVM++
+			vm := makeVM(nextVM, cust, vt, at, meanLifeSec, r)
 			if b == 0 {
 				baseLife = vm.LifetimeSec
 			} else {

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"pond/internal/stats"
+)
+
+// TestGenerateByteIdenticalAcrossWorkerCounts is the fleet-level
+// determinism contract: the same seed must yield the same traces no
+// matter how many workers generate them.
+func TestGenerateByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Clusters = 4
+	cfg.Days = 8
+	cfg.ServersPerCluster = 6
+	cfg.Seed = 99
+
+	cfg.Workers = 1
+	serial := Generate(cfg)
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		got := Generate(cfg)
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("fleet differs between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+// TestGenerateRenumbersClusterLocalIDs checks that the parallel path
+// reproduces the fleet-wide sequential ID space of the original serial
+// generator: VM and customer IDs are contiguous across clusters and every
+// VM references a customer of its own cluster.
+func TestGenerateRenumbersClusterLocalIDs(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Clusters = 3
+	cfg.Days = 6
+	cfg.ServersPerCluster = 4
+	cfg.Seed = 5
+	cfg.Workers = 4
+
+	traces := Generate(cfg)
+	var nextVM VMID
+	var nextCustomer CustomerID
+	for ti, tr := range traces {
+		for _, c := range tr.Customers {
+			nextCustomer++
+			if c.ID != nextCustomer {
+				t.Fatalf("cluster %d: customer ID %d, want %d", ti, c.ID, nextCustomer)
+			}
+		}
+		loCust := tr.Customers[0].ID
+		hiCust := tr.Customers[len(tr.Customers)-1].ID
+		for _, vm := range tr.VMs {
+			if vm.Customer < loCust || vm.Customer > hiCust {
+				t.Fatalf("cluster %d: VM %d owned by customer %d outside [%d, %d]",
+					ti, vm.ID, vm.Customer, loCust, hiCust)
+			}
+		}
+		// VM IDs are assigned in generation order, then the trace is
+		// sorted by arrival: the set must be exactly the next len(VMs)
+		// IDs.
+		seen := make(map[VMID]bool, len(tr.VMs))
+		for _, vm := range tr.VMs {
+			seen[vm.ID] = true
+		}
+		for k := 0; k < len(tr.VMs); k++ {
+			nextVM++
+			if !seen[nextVM] {
+				t.Fatalf("cluster %d: VM ID %d missing from the renumbered block", ti, nextVM)
+			}
+		}
+	}
+}
+
+// TestGenerateClusterInjectedRNG checks the per-cluster entry point: the
+// same injected stream gives the same trace, a different stream a
+// different one.
+func TestGenerateClusterInjectedRNG(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Days = 4
+	cfg.ServersPerCluster = 4
+	a := GenerateCluster(cfg, 0, stats.NewRand(11))
+	b := GenerateCluster(cfg, 0, stats.NewRand(11))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same injected RNG produced different traces")
+	}
+	c := GenerateCluster(cfg, 0, stats.NewRand(12))
+	if reflect.DeepEqual(a.VMs, c.VMs) {
+		t.Fatal("different injected RNG produced identical traces")
+	}
+	if len(a.VMs) == 0 || a.VMs[0].ID == 0 {
+		t.Fatal("cluster-local VM IDs should count from 1")
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// determinismCase tables one engine-backed figure pipeline as a closure
+// from options to rendered output. Byte-identical String() output across
+// runs and across worker counts is the engine's core contract (the
+// paper's evaluation must be reproducible bit-for-bit from a seed).
+type determinismCase struct {
+	name string
+	// heavy pipelines (fleet-scale model training) run at ScaleTiny and
+	// skip the redundant third run; the tiny fleet still drives every
+	// pipeline stage.
+	heavy bool
+	run   func(opts ...Option) fmt.Stringer
+}
+
+func determinismCases(short bool) []determinismCase {
+	cases := []determinismCase{
+		{name: "Figure2a", run: func(o ...Option) fmt.Stringer { return Figure2a(ScaleQuick, o...) }},
+		{name: "Figure2b", run: func(o ...Option) fmt.Stringer { return Figure2b(ScaleQuick, o...) }},
+		{name: "Figure3", run: func(o ...Option) fmt.Stringer { return Figure3(ScaleQuick, o...) }},
+		{name: "Finding10", run: func(o ...Option) fmt.Stringer { return Finding10(ScaleQuick, o...) }},
+		{name: "AblationAsyncRelease", run: func(o ...Option) fmt.Stringer { return AblationAsyncRelease(ScaleQuick, o...) }},
+		{name: "Sweep", run: func(o ...Option) fmt.Stringer {
+			return RunSweep(SweepSpec{Scales: []Scale{ScaleQuick}, Policies: []string{"pooled", "static"}}, o...)
+		}},
+	}
+	if !short {
+		cases = append(cases, []determinismCase{
+			{name: "Figure17", heavy: true, run: func(o ...Option) fmt.Stringer { return Figure17(2, 1, o...) }},
+			{name: "Figure18", heavy: true, run: func(o ...Option) fmt.Stringer { return Figure18(ScaleTiny, o...) }},
+			{name: "Figure19", heavy: true, run: func(o ...Option) fmt.Stringer { return Figure19(ScaleTiny, 28, o...) }},
+			{name: "Figure20", heavy: true, run: func(o ...Option) fmt.Stringer { return Figure20(ScaleTiny, 2, o...) }},
+			{name: "Figure21", heavy: true, run: func(o ...Option) fmt.Stringer { return Figure21(ScaleTiny, o...) }},
+		}...)
+	}
+	return cases
+}
+
+// TestFiguresByteIdentical asserts the two halves of the determinism
+// contract for every engine-backed figure: the same seed renders the same
+// bytes across independent runs, and across workers=1 vs workers=8.
+func TestFiguresByteIdentical(t *testing.T) {
+	for _, tc := range determinismCases(testing.Short()) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			serial := tc.run(WithWorkers(1)).String()
+			parallel := tc.run(WithWorkers(8)).String()
+			if serial == "" {
+				t.Fatalf("%s rendered empty output", tc.name)
+			}
+			if serial != parallel {
+				t.Errorf("%s output differs between workers=1 and workers=8:\n--- workers=1\n%s\n--- workers=8\n%s",
+					tc.name, serial, parallel)
+			}
+			if tc.heavy {
+				// The two runs above already prove rerun stability.
+				return
+			}
+			again := tc.run(WithWorkers(1)).String()
+			if serial != again {
+				t.Errorf("%s output differs between two identical runs:\n--- run 1\n%s\n--- run 2\n%s",
+					tc.name, serial, again)
+			}
+		})
+	}
+}
+
+// TestSeedChangesOutput guards against a seed that is silently ignored.
+func TestSeedChangesOutput(t *testing.T) {
+	a := Figure2a(ScaleQuick).String()
+	b := Figure2a(ScaleQuick, WithSeed(DefaultSeed+1)).String()
+	if a == b {
+		t.Fatal("different seeds rendered identical fleets")
+	}
+	c := Figure2a(ScaleQuick, WithSeed(DefaultSeed)).String()
+	if a != c {
+		t.Fatal("explicit default seed differs from implicit default")
+	}
+}
+
+// TestSweepParsing covers the scenario-matrix syntax.
+func TestSweepParsing(t *testing.T) {
+	spec, err := ParseSweep("scale=S,M,L x policy=pooled,static")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Scales) != 3 || spec.Scales[0] != ScaleQuick || spec.Scales[2] != ScalePaper {
+		t.Fatalf("scales = %v", spec.Scales)
+	}
+	if len(spec.Policies) != 2 {
+		t.Fatalf("policies = %v", spec.Policies)
+	}
+	if _, err := ParseSweep("scale=bogus"); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if _, err := ParseSweep("policy=bogus"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if _, err := ParseSweep("flavor=mild"); err == nil {
+		t.Fatal("bad dimension accepted")
+	}
+	def, err := ParseSweep("")
+	if err != nil || len(def.Scales) == 0 || len(def.Policies) == 0 {
+		t.Fatalf("empty sweep should default: %v %v", def, err)
+	}
+}
+
+// TestSweepOrdering sanity-checks the matrix economics: more pooling must
+// not require more DRAM.
+func TestSweepOrdering(t *testing.T) {
+	r := RunSweep(SweepSpec{Scales: []Scale{ScaleQuick}, Policies: []string{"pooled", "static", "none"}})
+	if len(r.Cells) != 3 {
+		t.Fatalf("cells = %d", len(r.Cells))
+	}
+	pooled, static, none := r.Cells[0], r.Cells[1], r.Cells[2]
+	if !(pooled.RequiredPct <= static.RequiredPct && static.RequiredPct <= none.RequiredPct) {
+		t.Errorf("required DRAM ordering violated: pooled %.1f, static %.1f, none %.1f",
+			pooled.RequiredPct, static.RequiredPct, none.RequiredPct)
+	}
+	if none.RequiredPct != 100 {
+		t.Errorf("no-pooling baseline = %.1f%%, want 100%%", none.RequiredPct)
+	}
+	if pooled.VMs == 0 || pooled.MeanStrandedPct <= 0 {
+		t.Errorf("sweep cell missing fleet stats: %+v", pooled)
+	}
+}
+
+// TestRegistryLookup covers the shared experiment registry.
+func TestRegistryLookup(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 20 {
+		t.Fatalf("registry has %d experiments", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, d := range reg {
+		if d.Name == "" || d.Run == nil {
+			t.Fatalf("malformed definition %+v", d)
+		}
+		if seen[d.Name] {
+			t.Fatalf("duplicate experiment %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	defs, err := Lookup([]string{"2a", " 21 ", "finding10"})
+	if err != nil || len(defs) != 3 {
+		t.Fatalf("lookup: %v %v", defs, err)
+	}
+	if _, err := Lookup([]string{"nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestParseScale covers the scale aliases.
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{
+		"quick": ScaleQuick, "S": ScaleQuick, "small": ScaleQuick,
+		"full": ScaleFull, "M": ScaleFull,
+		"paper": ScalePaper, "L": ScalePaper,
+	} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}

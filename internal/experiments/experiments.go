@@ -11,15 +11,74 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"pond/internal/cluster"
+	"pond/internal/engine"
+	"pond/internal/stats"
 )
 
 // DefaultSeed is the fleet-wide default seed; every experiment derives
 // its own stream from it, so the whole evaluation is reproducible.
 const DefaultSeed = 42
+
+// RunConfig carries the cross-cutting knobs of an experiment run. Every
+// figure pipeline shards its work (per cluster, per fold, per retrain
+// day) over the engine's worker pool; Workers bounds that pool and Seed
+// roots every derived stream. Results are byte-identical for any worker
+// count.
+type RunConfig struct {
+	// Workers bounds pipeline parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Seed roots all generation and training streams (DefaultSeed when
+	// unset through options).
+	Seed int64
+}
+
+// Option tunes how an experiment pipeline runs.
+type Option func(*RunConfig)
+
+// WithWorkers bounds the worker pool (1 forces serial execution).
+func WithWorkers(n int) Option { return func(rc *RunConfig) { rc.Workers = n } }
+
+// WithSeed replaces DefaultSeed as the root of every derived stream.
+func WithSeed(seed int64) Option { return func(rc *RunConfig) { rc.Seed = seed } }
+
+// newRunConfig folds options over the defaults.
+func newRunConfig(opts []Option) RunConfig {
+	rc := RunConfig{Seed: DefaultSeed}
+	for _, o := range opts {
+		o(&rc)
+	}
+	return rc
+}
+
+// genConfig returns the scale's generator configuration under rc.
+func (s Scale) genConfig(rc RunConfig) cluster.GenConfig {
+	cfg := s.GenConfig()
+	cfg.Seed = rc.Seed
+	cfg.Workers = rc.Workers
+	return cfg
+}
+
+// fanOut runs fn over every item on the engine's worker pool and returns
+// the results in item order — the deterministic fan-out/merge primitive
+// behind each figure pipeline. fn must not mutate state shared across
+// items; the rng it receives is the item's own fnv(seed, i)-derived
+// stream.
+func fanOut[T, R any](rc RunConfig, items []T, fn func(i int, item T, rng *stats.Rand) R) []R {
+	out, err := engine.Map(context.Background(), items,
+		engine.Options{Workers: rc.Workers, Seed: rc.Seed},
+		func(i int, item T, rng *stats.Rand) (R, error) {
+			return fn(i, item, rng), nil
+		})
+	if err != nil {
+		panic("experiments: " + err.Error()) // unreachable: jobs cannot fail
+	}
+	return out
+}
 
 // Scale selects the size of trace-driven experiments.
 type Scale int
@@ -33,6 +92,9 @@ const (
 	ScaleFull
 	// ScalePaper: 100 clusters over 75 days, as in the paper. Slow.
 	ScalePaper
+	// ScaleTiny: the smallest fleet that still exercises every pipeline
+	// stage; the determinism tests and `go test -short` run at it.
+	ScaleTiny
 )
 
 // GenConfig returns the trace-generator configuration for the scale.
@@ -40,6 +102,10 @@ func (s Scale) GenConfig() cluster.GenConfig {
 	cfg := cluster.DefaultGenConfig()
 	cfg.Seed = DefaultSeed
 	switch s {
+	case ScaleTiny:
+		cfg.Clusters = 2
+		cfg.Days = 12
+		cfg.ServersPerCluster = 6
 	case ScaleQuick:
 		cfg.Clusters = 6
 		cfg.Days = 25
@@ -59,6 +125,8 @@ func (s Scale) GenConfig() cluster.GenConfig {
 // String names the scale.
 func (s Scale) String() string {
 	switch s {
+	case ScaleTiny:
+		return "tiny"
 	case ScaleQuick:
 		return "quick"
 	case ScalePaper:

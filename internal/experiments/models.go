@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"sort"
+
 	"pond/internal/cluster"
 	"pond/internal/ml"
 	"pond/internal/predict"
+	"pond/internal/stats"
 	"pond/internal/workload"
 )
 
@@ -19,8 +22,10 @@ type Figure17Result struct {
 
 // Figure17 evaluates the latency-insensitivity models at PDM=5% under the
 // 182% latency level with workload-level cross validation. The paper uses
-// 100 folds; benchmarks may pass fewer.
-func Figure17(folds, samplesPerWorkload int) Figure17Result {
+// 100 folds; benchmarks may pass fewer. The four model families
+// cross-validate on independent engine shards.
+func Figure17(folds, samplesPerWorkload int, opts ...Option) Figure17Result {
+	rc := newRunConfig(opts)
 	if folds <= 0 {
 		folds = 100
 	}
@@ -28,11 +33,18 @@ func Figure17(folds, samplesPerWorkload int) Figure17Result {
 		samplesPerWorkload = 3
 	}
 	const pdm = 0.05
+	kinds := []predict.ModelKind{
+		predict.KindRandomForest, predict.KindDRAMBound,
+		predict.KindMemoryBound, predict.KindLogistic,
+	}
+	curves := fanOut(rc, kinds, func(_ int, kind predict.ModelKind, _ *stats.Rand) []predict.SensPoint {
+		return predict.SensitivityCurve(kind, workload.Ratio182, pdm, folds, samplesPerWorkload, rc.Seed)
+	})
 	return Figure17Result{
-		RandomForest: predict.SensitivityCurve(predict.KindRandomForest, workload.Ratio182, pdm, folds, samplesPerWorkload, DefaultSeed),
-		DRAMBound:    predict.SensitivityCurve(predict.KindDRAMBound, workload.Ratio182, pdm, folds, samplesPerWorkload, DefaultSeed),
-		MemoryBound:  predict.SensitivityCurve(predict.KindMemoryBound, workload.Ratio182, pdm, folds, samplesPerWorkload, DefaultSeed),
-		Logistic:     predict.SensitivityCurve(predict.KindLogistic, workload.Ratio182, pdm, folds, samplesPerWorkload, DefaultSeed),
+		RandomForest: curves[0],
+		DRAMBound:    curves[1],
+		MemoryBound:  curves[2],
+		Logistic:     curves[3],
 		Folds:        folds,
 	}
 }
@@ -62,14 +74,22 @@ type Figure18Result struct {
 // Figure18 trains the quantile GBM on the first part of a synthetic fleet
 // and compares its overprediction/untouched-memory tradeoff against the
 // fixed-fraction strawman on the held-out remainder.
-func Figure18(scale Scale) Figure18Result {
-	cfg := scale.GenConfig()
+func Figure18(scale Scale, opts ...Option) Figure18Result {
+	rc := newRunConfig(opts)
+	cfg := scale.genConfig(rc)
 	ds := predict.BuildUMDataset(cluster.Generate(cfg))
 	cut := ds.SplitAtDay(cfg.Days * 2 / 3)
-	m := predict.TrainGBMUntouched(ds.X[:cut], ds.TrueUntouched[:cut], 0.05, DefaultSeed)
+	m := predict.TrainGBMUntouched(ds.X[:cut], ds.TrueUntouched[:cut], 0.05, rc.Seed)
 	eval := ds.Eval(cut, ds.Len())
+	// Each margin of the GBM curve evaluates on its own engine shard; the
+	// fixed-fraction strawman is cheap enough to stay serial.
+	gbmPoints := fanOut(rc, predict.DefaultMargins(), func(_ int, margin float64, _ *stats.Rand) predict.UMPoint {
+		return eval.Evaluate(m.WithMargin(margin))
+	})
+	// Render ascending by average untouched memory, like eval.Curve does.
+	sort.Slice(gbmPoints, func(i, j int) bool { return gbmPoints[i].AvgUM < gbmPoints[j].AvgUM })
 	return Figure18Result{
-		GBM:   eval.Curve(m, predict.DefaultMargins()),
+		GBM:   gbmPoints,
 		Fixed: eval.FixedCurve([]float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.50}),
 	}
 }
@@ -106,8 +126,9 @@ type Figure19Result struct {
 // Figure19 runs the rolling evaluation over the first 110 days of a
 // synthetic 2022 (the trace is extended to 110 days). Retraining happens
 // every retrainEvery days on all data seen so far.
-func Figure19(scale Scale, retrainEvery int) Figure19Result {
-	cfg := scale.GenConfig()
+func Figure19(scale Scale, retrainEvery int, opts ...Option) Figure19Result {
+	rc := newRunConfig(opts)
+	cfg := scale.genConfig(rc)
 	cfg.Days = 110
 	if retrainEvery <= 0 {
 		retrainEvery = 7
@@ -115,24 +136,31 @@ func Figure19(scale Scale, retrainEvery int) Figure19Result {
 	ds := predict.BuildUMDataset(cluster.Generate(cfg))
 
 	r := Figure19Result{TargetOP: 0.04}
-	var model *predict.GBMUntouched
 	warmup := 14
+	var days []int
 	for day := warmup; day < cfg.Days; day += retrainEvery {
+		days = append(days, day)
+	}
+	// Every retrain is independent — each trains on its own trailing
+	// prefix and evaluates on the following window — so the nightly
+	// pipeline fans out across retrain days.
+	points := fanOut(rc, days, func(_ int, day int, _ *stats.Rand) *Figure19Day {
 		trainEnd := ds.SplitAtDay(day)
 		if trainEnd < 200 {
-			continue
+			return nil
 		}
-		model = predict.TrainGBMUntouched(ds.X[:trainEnd], ds.TrueUntouched[:trainEnd], r.TargetOP, DefaultSeed+int64(day))
+		model := predict.TrainGBMUntouched(ds.X[:trainEnd], ds.TrueUntouched[:trainEnd], r.TargetOP, rc.Seed+int64(day))
 		evalEnd := ds.SplitAtDay(day + retrainEvery)
 		if evalEnd <= trainEnd {
-			continue
+			return nil
 		}
 		p := ds.Eval(trainEnd, evalEnd).Evaluate(model)
-		r.Days = append(r.Days, Figure19Day{
-			Day:      day,
-			AvgUMPct: 100 * p.AvgUM,
-			OPPct:    100 * p.OPRate,
-		})
+		return &Figure19Day{Day: day, AvgUMPct: 100 * p.AvgUM, OPPct: 100 * p.OPRate}
+	})
+	for _, p := range points {
+		if p != nil {
+			r.Days = append(r.Days, *p)
+		}
 	}
 	return r
 }
@@ -163,30 +191,33 @@ type Figure20Result struct {
 // Figure20 solves Eq. (1) across misprediction budgets at both levels,
 // producing the tradeoff between average pool DRAM and scheduling
 // mispredictions.
-func Figure20(scale Scale, folds int) Figure20Result {
+func Figure20(scale Scale, folds int, opts ...Option) Figure20Result {
+	rc := newRunConfig(opts)
 	if folds <= 0 {
 		folds = 20
 	}
-	cfg := scale.GenConfig()
+	cfg := scale.genConfig(rc)
 	ds := predict.BuildUMDataset(cluster.Generate(cfg))
 	cut := ds.SplitAtDay(cfg.Days * 2 / 3)
-	gbm := predict.TrainGBMUntouched(ds.X[:cut], ds.TrueUntouched[:cut], 0.05, DefaultSeed)
+	gbm := predict.TrainGBMUntouched(ds.X[:cut], ds.TrueUntouched[:cut], 0.05, rc.Seed)
 	umCurve := ds.Eval(cut, ds.Len()).Curve(gbm, predict.DefaultMargins())
 
 	budgets := []float64{0.002, 0.005, 0.01, 0.015, 0.02, 0.03, 0.04, 0.05}
-	frontier := func(ratio float64) []Figure20Point {
-		sens := predict.SensitivityCurve(predict.KindRandomForest, ratio, 0.05, folds, 2, DefaultSeed)
-		exceed := predict.ExceedProbGivenSpill(ratio, 0.05, predict.TypicalOverpredictionSpill)
-		var out []Figure20Point
-		for _, c := range predict.Frontier(sens, umCurve, exceed, budgets) {
-			out = append(out, Figure20Point{
-				PoolDRAMPct:   100 * c.PoolFrac,
-				MispredictPct: 100 * c.MispredictFrac,
-			})
-		}
-		return out
-	}
-	return Figure20Result{At182: frontier(workload.Ratio182), At222: frontier(workload.Ratio222)}
+	// The two latency levels solve Eq. (1) independently: one shard each.
+	frontiers := fanOut(rc, []float64{workload.Ratio182, workload.Ratio222},
+		func(_ int, ratio float64, _ *stats.Rand) []Figure20Point {
+			sens := predict.SensitivityCurve(predict.KindRandomForest, ratio, 0.05, folds, 2, rc.Seed)
+			exceed := predict.ExceedProbGivenSpill(ratio, 0.05, predict.TypicalOverpredictionSpill)
+			var out []Figure20Point
+			for _, c := range predict.Frontier(sens, umCurve, exceed, budgets) {
+				out = append(out, Figure20Point{
+					PoolDRAMPct:   100 * c.PoolFrac,
+					MispredictPct: 100 * c.MispredictFrac,
+				})
+			}
+			return out
+		})
+	return Figure20Result{At182: frontiers[0], At222: frontiers[1]}
 }
 
 // String renders both frontiers.

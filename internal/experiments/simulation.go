@@ -21,14 +21,16 @@ type Figure2aResult struct {
 }
 
 // Figure2a generates the fleet, packs every cluster, and buckets the
-// cluster-day stranding observations by scheduled-core percentage.
-func Figure2a(scale Scale) Figure2aResult {
-	cfg := scale.GenConfig()
+// cluster-day stranding observations by scheduled-core percentage. Each
+// cluster packs on its own engine shard; the bucket merge runs serially
+// in cluster order.
+func Figure2a(scale Scale, opts ...Option) Figure2aResult {
+	rc := newRunConfig(opts)
+	cfg := scale.genConfig(rc)
 	traces := cluster.Generate(cfg)
-	var series [][]sim.StrandingSample
-	for i := range traces {
-		series = append(series, sim.StrandingSeries(sim.BuildSchedule(&traces[i])))
-	}
+	series := fanOut(rc, traces, func(i int, _ cluster.Trace, _ *stats.Rand) []sim.StrandingSample {
+		return sim.StrandingSeries(sim.BuildSchedule(&traces[i]))
+	})
 	return Figure2aResult{
 		Buckets:  sim.BucketStranding(series),
 		Clusters: cfg.Clusters,
@@ -62,9 +64,10 @@ type Figure2bResult struct {
 }
 
 // Figure2b picks 8 racks (clusters), preferring ones with a workload
-// shock, and reports their daily stranding.
-func Figure2b(scale Scale) Figure2bResult {
-	cfg := scale.GenConfig()
+// shock, and reports their daily stranding. Racks pack in parallel.
+func Figure2b(scale Scale, opts ...Option) Figure2bResult {
+	rc := newRunConfig(opts)
+	cfg := scale.genConfig(rc)
 	traces := cluster.Generate(cfg)
 	sort.SliceStable(traces, func(i, j int) bool {
 		return traces[i].ShockDay > traces[j].ShockDay
@@ -72,16 +75,15 @@ func Figure2b(scale Scale) Figure2bResult {
 	if len(traces) > 8 {
 		traces = traces[:8]
 	}
-	var r Figure2bResult
-	for i := range traces {
+	racks := fanOut(rc, traces, func(i int, _ cluster.Trace, _ *stats.Rand) Figure2bRack {
 		samples := sim.StrandingSeries(sim.BuildSchedule(&traces[i]))
 		rack := Figure2bRack{Name: traces[i].Name, ShockDay: traces[i].ShockDay}
 		for _, s := range samples {
 			rack.Stranded = append(rack.Stranded, 100*s.StrandedMemFrac)
 		}
-		r.Racks = append(r.Racks, rack)
-	}
-	return r
+		return rack
+	})
+	return Figure2bResult{Racks: racks}
 }
 
 // String renders a compact weekly view per rack.
@@ -115,26 +117,35 @@ type Figure3Result struct {
 }
 
 // Figure3 computes required DRAM across pool sizes at fixed 10/30/50%
-// pool allocations.
-func Figure3(scale Scale) Figure3Result {
-	cfg := scale.GenConfig()
+// pool allocations. Packing fans out per cluster; each (fraction, pool
+// size) cell of the table is then its own engine shard aggregating the
+// clusters in deterministic order.
+func Figure3(scale Scale, opts ...Option) Figure3Result {
+	rc := newRunConfig(opts)
+	cfg := scale.genConfig(rc)
 	traces := cluster.Generate(cfg)
-	schedules := make([]sim.Schedule, len(traces))
-	for i := range traces {
-		schedules[i] = sim.BuildSchedule(&traces[i])
+	schedules := fanOut(rc, traces, func(i int, _ cluster.Trace, _ *stats.Rand) sim.Schedule {
+		return sim.BuildSchedule(&traces[i])
+	})
+	type cell struct {
+		frac float64
+		k    int
 	}
-	var r Figure3Result
+	var cells []cell
 	for _, frac := range []float64{0.10, 0.30, 0.50} {
 		for _, k := range []int{2, 8, 16, 32, 64} {
-			var agg sim.Requirement
-			for i := range schedules {
-				plan := sim.UniformPlan(len(traces[i].VMs), frac)
-				agg.Add(sim.RequiredDRAM(schedules[i], k, plan))
-			}
-			r.Rows = append(r.Rows, Figure3Row{PoolSockets: k, PoolFrac: frac, RequiredPct: agg.RequiredPct()})
+			cells = append(cells, cell{frac: frac, k: k})
 		}
 	}
-	return r
+	rows := fanOut(rc, cells, func(_ int, c cell, _ *stats.Rand) Figure3Row {
+		var agg sim.Requirement
+		for i := range schedules {
+			plan := sim.UniformPlan(len(traces[i].VMs), c.frac)
+			agg.Add(sim.RequiredDRAM(schedules[i], c.k, plan))
+		}
+		return Figure3Row{PoolSockets: c.k, PoolFrac: c.frac, RequiredPct: agg.RequiredPct()}
+	})
+	return Figure3Result{Rows: rows}
 }
 
 // String renders the Figure 3 table.
@@ -166,21 +177,42 @@ type Figure21Result struct {
 // trainedPipeline builds a Pond pipeline whose models were trained on an
 // independent fleet (different seed), choosing the Eq. (1) operating
 // point for PDM=5%, TP=98%.
-func trainedPipeline(scale Scale, ratio float64) *core.Pipeline {
-	trainCfg := scale.GenConfig()
-	trainCfg.Seed = DefaultSeed + 1000
+// umTraining is the latency-level-independent half of pipeline training:
+// the training fleet, its dataset, and the untouched-memory GBM. Both
+// latency levels share one instance (the UM model does not depend on the
+// pool ratio), halving Figure 21's training cost.
+type umTraining struct {
+	days int
+	ds   predict.UMDataset
+	gbm  *predict.GBMUntouched
+}
+
+func trainUM(scale Scale, rc RunConfig) umTraining {
+	trainCfg := scale.genConfig(rc)
+	trainCfg.Seed = rc.Seed + 1000
 	trainTraces := cluster.Generate(trainCfg)
 	ds := predict.BuildUMDataset(trainTraces)
-	gbm := predict.TrainGBMUntouched(ds.X, ds.TrueUntouched, 0.05, DefaultSeed)
+	return umTraining{
+		days: trainCfg.Days,
+		ds:   ds,
+		gbm:  predict.TrainGBMUntouched(ds.X, ds.TrueUntouched, 0.05, rc.Seed),
+	}
+}
+
+func trainedPipeline(um umTraining, ratio float64, rc RunConfig) *core.Pipeline {
+	ds, gbm := um.ds, um.gbm
 
 	// Sensitivity model and curves for the optimizer.
-	sensDS := predict.BuildSensitivityDataset(ratio, 0.05, 3, DefaultSeed)
-	rf := predict.TrainForest(sensDS.X, sensDS.Insensitive, DefaultSeed)
-	sensCurve := predict.SensitivityCurve(predict.KindRandomForest, ratio, 0.05, 6, 2, DefaultSeed)
+	sensDS := predict.BuildSensitivityDataset(ratio, 0.05, 3, rc.Seed)
+	rf := predict.TrainForest(sensDS.X, sensDS.Insensitive, rc.Seed)
+	sensCurve := predict.SensitivityCurve(predict.KindRandomForest, ratio, 0.05, 6, 2, rc.Seed)
 
 	// UM curve with margins tracked so the chosen point is realizable.
+	// Serial on purpose: trainedPipeline already runs inside an engine
+	// shard (one per latency ratio), and a nested fan-out would exceed
+	// the configured Workers bound.
 	margins := predict.DefaultMargins()
-	eval := ds.Eval(ds.SplitAtDay(trainCfg.Days*2/3), ds.Len())
+	eval := ds.Eval(ds.SplitAtDay(um.days*2/3), ds.Len())
 	umPoints := make([]predict.UMPoint, len(margins))
 	for i, m := range margins {
 		umPoints[i] = eval.Evaluate(gbm.WithMargin(m))
@@ -190,35 +222,60 @@ func trainedPipeline(scale Scale, ratio float64) *core.Pipeline {
 	choice, ok := predict.Optimize(sensCurve, umPoints, 0.98, exceed, 0.01)
 	cfg := core.DefaultConfig()
 	cfg.Ratio = ratio
-	um := gbm
+	chosenUM := gbm
 	if ok {
 		cfg.InsensScoreThreshold = predict.ThresholdForLabelRate(
 			predict.DatasetScores(rf, sensDS), choice.Sens.InsensitiveFrac)
 		for i, p := range umPoints {
 			if p == choice.UM {
-				um = gbm.WithMargin(margins[i])
+				chosenUM = gbm.WithMargin(margins[i])
 				break
 			}
 		}
 	}
-	return core.NewPipeline(cfg, rf, um, nil)
+	return core.NewPipeline(cfg, rf, chosenUM, nil)
 }
 
 // Figure21 runs the full pipeline — trace generation, packing, model
 // training, scheduling decisions, QoS mitigation — and reports required
 // DRAM versus pool size for Pond at both latency levels and the static
 // 15% strawman.
-func Figure21(scale Scale) Figure21Result {
-	cfg := scale.GenConfig()
+func Figure21(scale Scale, opts ...Option) Figure21Result {
+	rc := newRunConfig(opts)
+	cfg := scale.genConfig(rc)
 	traces := cluster.Generate(cfg)
-	schedules := make([]sim.Schedule, len(traces))
-	for i := range traces {
-		schedules[i] = sim.BuildSchedule(&traces[i])
-	}
+	schedules := fanOut(rc, traces, func(i int, _ cluster.Trace, _ *stats.Rand) sim.Schedule {
+		return sim.BuildSchedule(&traces[i])
+	})
 
-	pond182 := trainedPipeline(scale, workload.Ratio182)
-	pond222 := trainedPipeline(scale, workload.Ratio222)
-	r := stats.NewRand(DefaultSeed + 7)
+	// The UM model is shared; the two latency levels then train their
+	// sensitivity models on independent shards.
+	um := trainUM(scale, rc)
+	pipes := fanOut(rc, []float64{workload.Ratio182, workload.Ratio222},
+		func(_ int, ratio float64, _ *stats.Rand) *core.Pipeline {
+			return trainedPipeline(um, ratio, rc)
+		})
+	pond182, pond222 := pipes[0], pipes[1]
+
+	// Per-cluster planning RNG seeds are drawn serially from the root
+	// stream (the exact draws the serial Fork loop made), then the
+	// control-plane replay of each cluster fans out.
+	r := stats.NewRand(rc.Seed + 7)
+	type planSeeds struct{ s182, s222 int64 }
+	seeds := make([]planSeeds, len(traces))
+	for i := range traces {
+		seeds[i] = planSeeds{s182: r.ForkSeed(int64(i)), s222: r.ForkSeed(int64(i + 1000))}
+	}
+	type planned struct {
+		p182, p222 sim.SplitPlan
+		s182, s222 core.PlanStats
+	}
+	plannedByCluster := fanOut(rc, seeds, func(i int, s planSeeds, _ *stats.Rand) planned {
+		var p planned
+		p.p182, p.s182 = pond182.PlanTrace(&traces[i], stats.NewRand(s.s182))
+		p.p222, p.s222 = pond222.PlanTrace(&traces[i], stats.NewRand(s.s222))
+		return p
+	})
 
 	type policy struct {
 		name  string
@@ -230,30 +287,38 @@ func Figure21(scale Scale) Figure21Result {
 		{name: "Pond@222%", stats: &core.PlanStats{}},
 		{name: "Static 15%"},
 	}
-	for i := range traces {
-		p182, s182 := pond182.PlanTrace(&traces[i], r.Fork(int64(i)))
-		p222, s222 := pond222.PlanTrace(&traces[i], r.Fork(int64(i+1000)))
-		addStats(policies[0].stats, s182)
-		addStats(policies[1].stats, s222)
-		policies[0].plans = append(policies[0].plans, p182)
-		policies[1].plans = append(policies[1].plans, p222)
+	for i, p := range plannedByCluster {
+		addStats(policies[0].stats, p.s182)
+		addStats(policies[1].stats, p.s222)
+		policies[0].plans = append(policies[0].plans, p.p182)
+		policies[1].plans = append(policies[1].plans, p.p222)
 		policies[2].plans = append(policies[2].plans, sim.UniformPlan(len(traces[i].VMs), 0.15))
 	}
 
-	var out Figure21Result
+	// One shard per (pool size, policy) cell of the table.
+	type cell struct {
+		k   int
+		pol int
+	}
+	var cells []cell
 	for _, k := range []int{2, 8, 16, 32, 64} {
-		for _, pol := range policies {
-			var agg sim.Requirement
-			for i := range schedules {
-				agg.Add(sim.RequiredDRAM(schedules[i], k, pol.plans[i]))
-			}
-			out.Rows = append(out.Rows, Figure21Row{
-				Policy:      pol.name,
-				PoolSockets: k,
-				RequiredPct: agg.RequiredPct(),
-			})
+		for pol := range policies {
+			cells = append(cells, cell{k: k, pol: pol})
 		}
 	}
+	rows := fanOut(rc, cells, func(_ int, c cell, _ *stats.Rand) Figure21Row {
+		var agg sim.Requirement
+		for i := range schedules {
+			agg.Add(sim.RequiredDRAM(schedules[i], c.k, policies[c.pol].plans[i]))
+		}
+		return Figure21Row{
+			Policy:      policies[c.pol].name,
+			PoolSockets: c.k,
+			RequiredPct: agg.RequiredPct(),
+		}
+	})
+
+	out := Figure21Result{Rows: rows}
 	out.Pond182Stats = *policies[0].stats
 	out.Pond222Stats = *policies[1].stats
 	return out
@@ -295,15 +360,16 @@ type Finding10Result struct {
 // Finding10 drives a Pool Manager with a trace-derived start/stop load
 // (static 30% pool allocations) and measures the offline throughput each
 // VM start depended on.
-func Finding10(scale Scale) Finding10Result {
-	cfg := scale.GenConfig()
+func Finding10(scale Scale, opts ...Option) Finding10Result {
+	rc := newRunConfig(opts)
+	cfg := scale.genConfig(rc)
 	cfg.Clusters = 1
 	tr := cluster.Generate(cfg)[0]
 
 	// Pool sized like a 16-socket Pond group with a ~30% provision.
 	poolGB := int(tr.TotalClusterMemGB() * 0.30)
 	device := emc.NewDevice("emc0", poolGB, 64)
-	pm := pool.NewManager([]*emc.Device{device}, stats.NewRand(DefaultSeed))
+	pm := pool.NewManager([]*emc.Device{device}, stats.NewRand(rc.Seed))
 
 	type lease struct {
 		end  float64
@@ -374,17 +440,20 @@ type AblationAsyncReleaseResult struct {
 }
 
 // AblationAsyncRelease shrinks the pool from comfortable to tight and
-// measures how often VM starts block on offlining.
-func AblationAsyncRelease(scale Scale) AblationAsyncReleaseResult {
-	cfg := scale.GenConfig()
+// measures how often VM starts block on offlining. The headroom levels
+// replay independently, one engine shard each.
+func AblationAsyncRelease(scale Scale, opts ...Option) AblationAsyncReleaseResult {
+	rc := newRunConfig(opts)
+	cfg := scale.genConfig(rc)
 	cfg.Clusters = 1
 	tr := cluster.Generate(cfg)[0]
 
-	var r AblationAsyncReleaseResult
-	for _, factor := range []float64{0.02, 0.05, 0.10, 0.30} {
+	factors := []float64{0.02, 0.05, 0.10, 0.30}
+	type outcome struct{ waitFrac, fallbackFrac float64 }
+	outcomes := fanOut(rc, factors, func(_ int, factor float64, _ *stats.Rand) outcome {
 		poolGB := int(tr.TotalClusterMemGB() * factor)
 		device := emc.NewDevice("emc0", poolGB, 64)
-		pm := pool.NewManager([]*emc.Device{device}, stats.NewRand(DefaultSeed))
+		pm := pool.NewManager([]*emc.Device{device}, stats.NewRand(rc.Seed))
 		type lease struct {
 			end  float64
 			host emc.HostID
@@ -420,12 +489,20 @@ func AblationAsyncRelease(scale Scale) AblationAsyncReleaseResult {
 			}
 			live = append(live, lease{end: vm.DepartureSec(), host: h, refs: res.Slices})
 		}
-		r.BufferFactor = append(r.BufferFactor, factor)
 		if total == 0 {
 			total = 1
 		}
-		r.WaitFrac = append(r.WaitFrac, float64(waited)/float64(total))
-		r.FallbackFrac = append(r.FallbackFrac, float64(fallback)/float64(total))
+		return outcome{
+			waitFrac:     float64(waited) / float64(total),
+			fallbackFrac: float64(fallback) / float64(total),
+		}
+	})
+
+	var r AblationAsyncReleaseResult
+	for i, o := range outcomes {
+		r.BufferFactor = append(r.BufferFactor, factors[i])
+		r.WaitFrac = append(r.WaitFrac, o.waitFrac)
+		r.FallbackFrac = append(r.FallbackFrac, o.fallbackFrac)
 	}
 	return r
 }

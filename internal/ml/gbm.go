@@ -67,11 +67,15 @@ func FitGBM(X [][]float64, y []float64, cfg GBMConfig) *GBM {
 		lr:       cfg.LearningRate,
 		quantile: cfg.Quantile,
 	}
+	// Every stage trains on the same rows, so one presort of the feature
+	// columns serves the whole ensemble.
+	ps := NewPresort(X)
 	pred := make([]float64, len(y))
 	for i := range pred {
 		pred[i] = m.init
 	}
 	grad := make([]float64, len(y))
+	leafOf := make([]int, len(y))
 	for stage := 0; stage < cfg.NTrees; stage++ {
 		r := root.Fork(int64(stage + 1))
 		// Pinball-loss gradient: q when under-predicting, q-1 when
@@ -83,14 +87,14 @@ func FitGBM(X [][]float64, y []float64, cfg GBMConfig) *GBM {
 				grad[i] = cfg.Quantile - 1
 			}
 		}
-		tree := FitTree(X, grad, cfg.Tree, r)
+		tree := FitTreePresorted(X, grad, cfg.Tree, r, ps)
 
 		// Leaf adjustment: the pinball-optimal constant per leaf is the
 		// q-quantile of the residuals y - pred landing in that leaf.
 		residuals := make([][]float64, tree.Leaves())
 		for i := range y {
-			leaf := tree.LeafID(X[i])
-			residuals[leaf] = append(residuals[leaf], y[i]-pred[i])
+			leafOf[i] = tree.LeafID(X[i])
+			residuals[leafOf[i]] = append(residuals[leafOf[i]], y[i]-pred[i])
 		}
 		for leaf, res := range residuals {
 			if len(res) == 0 {
@@ -101,7 +105,7 @@ func FitGBM(X [][]float64, y []float64, cfg GBMConfig) *GBM {
 			tree.SetLeafValue(leaf, stats.QuantileSorted(res, cfg.Quantile))
 		}
 		for i := range pred {
-			pred[i] += cfg.LearningRate * tree.Predict(X[i])
+			pred[i] += cfg.LearningRate * tree.LeafValue(leafOf[i])
 		}
 		m.trees = append(m.trees, tree)
 	}

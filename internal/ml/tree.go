@@ -10,8 +10,9 @@
 package ml
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"pond/internal/stats"
 )
@@ -58,10 +59,198 @@ type Tree struct {
 	features int
 }
 
+// Presort carries per-feature argsort orders over a fixed training
+// matrix, plus column-major value copies for scan locality. Building it
+// costs one sort per feature; every tree grown from it finds splits by
+// linear scans of the presorted orders instead of re-sorting at each
+// node, and partitions the orders down the tree. A gradient-boosting run
+// fits all its stages on the same rows, so one Presort amortizes over
+// the whole ensemble — this is where the experiment suite's GBM training
+// time goes from minutes to seconds.
+type Presort struct {
+	order [][]int32   // order[f] = row indexes ascending by X[_][f]
+	cols  [][]float64 // cols[f][i] = X[i][f]
+}
+
+// columns transposes the row-major training matrix into per-feature
+// columns.
+func columns(X [][]float64) [][]float64 {
+	cols := make([][]float64, len(X[0]))
+	for f := range cols {
+		col := make([]float64, len(X))
+		for i := range X {
+			col[i] = X[i][f]
+		}
+		cols[f] = col
+	}
+	return cols
+}
+
+// NewPresort argsorts every feature column of X.
+func NewPresort(X [][]float64) *Presort {
+	if len(X) == 0 {
+		panic("ml: presort of empty matrix")
+	}
+	cols := columns(X)
+	ps := &Presort{order: make([][]int32, len(cols)), cols: cols}
+	for f, col := range cols {
+		ord := make([]int32, len(X))
+		for i := range ord {
+			ord[i] = int32(i)
+		}
+		slices.SortFunc(ord, func(a, b int32) int { return cmp.Compare(col[a], col[b]) })
+		ps.order[f] = ord
+	}
+	return ps
+}
+
 // FitTree grows a tree on rows X (all of equal length) with targets y.
 // The RNG drives per-split feature subsampling; pass a fresh fork per
 // tree for forests.
+//
+// Two growth strategies cover the two model families: with a small
+// FeatureFrac (forests examine ~sqrt of hundreds of counters per split)
+// each node sorts just its candidate features; with a large FeatureFrac
+// (the GBM examines most features at every split) presorted per-feature
+// orders are partitioned down the tree instead.
 func FitTree(X [][]float64, y []float64, cfg TreeConfig, r *stats.Rand) *Tree {
+	if len(X) == 0 || len(X) != len(y) {
+		panic(fmt.Sprintf("ml: bad training set: %d rows, %d targets", len(X), len(y)))
+	}
+	if cfg.FeatureFrac > 0 && cfg.FeatureFrac < sparseFracThreshold {
+		return fitTreeSparse(X, y, cfg, r)
+	}
+	return FitTreePresorted(X, y, cfg, r, NewPresort(X))
+}
+
+// sparseFracThreshold selects between the sparse (sort candidates per
+// node) and dense (partition presorted lists) growth strategies.
+const sparseFracThreshold = 0.5
+
+// fitTreeSparse grows a tree sorting candidate features at each node —
+// cheaper than maintaining presorted lists when splits examine only a
+// small feature subset.
+func fitTreeSparse(X [][]float64, y []float64, cfg TreeConfig, r *stats.Rand) *Tree {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 6
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 1
+	}
+	cols := columns(X)
+	idx := make([]int32, len(X))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t := &Tree{features: len(cols)}
+	g := &sparseGrower{cols: cols, y: y, cfg: cfg, pairs: make([]splitPair, len(X))}
+	t.root = t.growSparse(g, idx, 0, r)
+	return t
+}
+
+// splitPair is one (value, target) sample during a candidate-feature
+// scan.
+type splitPair struct{ x, y float64 }
+
+// sparseGrower carries the per-fit state of the sparse strategy,
+// including the reusable sort buffer.
+type sparseGrower struct {
+	cols  [][]float64
+	y     []float64
+	cfg   TreeConfig
+	pairs []splitPair
+}
+
+// growSparse recursively builds the subtree over the rows in idx.
+func (t *Tree) growSparse(g *sparseGrower, idx []int32, depth int, r *stats.Rand) *node {
+	if depth >= g.cfg.MaxDepth || len(idx) < 2*g.cfg.MinLeaf || pure(g.y, idx) {
+		return t.makeLeaf(g.y, idx)
+	}
+	feat, thr, ok := bestSplitSparse(g, idx, r)
+	if !ok {
+		return t.makeLeaf(g.y, idx)
+	}
+	col := g.cols[feat]
+	var left, right []int32
+	for _, i := range idx {
+		if col[i] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < g.cfg.MinLeaf || len(right) < g.cfg.MinLeaf {
+		return t.makeLeaf(g.y, idx)
+	}
+	return &node{
+		feature:   feat,
+		threshold: thr,
+		left:      t.growSparse(g, left, depth+1, r),
+		right:     t.growSparse(g, right, depth+1, r),
+	}
+}
+
+// bestSplitSparse sorts each candidate feature's rows and scans the
+// thresholds with the same prefix statistics as the dense strategy.
+func bestSplitSparse(g *sparseGrower, idx []int32, r *stats.Rand) (feat int, thr float64, ok bool) {
+	candidates := featureSubset(len(g.cols), g.cfg.FeatureFrac, r)
+	y := g.y
+	var totSum, totSq float64
+	for _, i := range idx {
+		totSum += y[i]
+		totSq += y[i] * y[i]
+	}
+	pairs := g.pairs[:len(idx)]
+	bestScore := infinity
+	n := float64(len(idx))
+	for _, f := range candidates {
+		col := g.cols[f]
+		for k, i := range idx {
+			pairs[k] = splitPair{x: col[i], y: y[i]}
+		}
+		slices.SortFunc(pairs, func(a, b splitPair) int { return cmp.Compare(a.x, b.x) })
+		var lSum, lSq float64
+		for k := 0; k < len(pairs)-1; k++ {
+			lSum += pairs[k].y
+			lSq += pairs[k].y * pairs[k].y
+			if pairs[k].x == pairs[k+1].x {
+				continue // cannot split between equal values
+			}
+			ln := float64(k + 1)
+			rn := n - ln
+			if int(ln) < g.cfg.MinLeaf || int(rn) < g.cfg.MinLeaf {
+				continue
+			}
+			score := splitScore(g.cfg.Criterion, lSum, lSq, totSum, totSq, ln, rn)
+			if score < bestScore {
+				bestScore = score
+				feat = f
+				thr = (pairs[k].x + pairs[k+1].x) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+// splitScore evaluates a candidate split from its left-prefix and node
+// totals.
+func splitScore(c Criterion, lSum, lSq, totSum, totSq, ln, rn float64) float64 {
+	switch c {
+	case Gini:
+		lp := lSum / ln
+		rp := (totSum - lSum) / rn
+		return ln*2*lp*(1-lp) + rn*2*rp*(1-rp)
+	default: // Variance: SSE = sq - sum^2/n
+		rSum := totSum - lSum
+		return (lSq - lSum*lSum/ln) + ((totSq - lSq) - rSum*rSum/rn)
+	}
+}
+
+// FitTreePresorted grows a tree using an existing presort of X. The
+// presort must have been built over exactly these rows; it is read-only
+// here, so one presort can serve many trees over the same matrix.
+func FitTreePresorted(X [][]float64, y []float64, cfg TreeConfig, r *stats.Rand, ps *Presort) *Tree {
 	if len(X) == 0 || len(X) != len(y) {
 		panic(fmt.Sprintf("ml: bad training set: %d rows, %d targets", len(X), len(y)))
 	}
@@ -74,59 +263,51 @@ func FitTree(X [][]float64, y []float64, cfg TreeConfig, r *stats.Rand) *Tree {
 	if cfg.FeatureFrac <= 0 || cfg.FeatureFrac > 1 {
 		cfg.FeatureFrac = 1
 	}
-	idx := make([]int, len(X))
-	for i := range idx {
-		idx[i] = i
-	}
 	t := &Tree{features: len(X[0])}
-	t.root = t.grow(X, y, idx, cfg, 0, r)
+	t.root = t.grow(ps.cols, y, ps.order, cfg, 0, r)
 	return t
 }
 
-// grow recursively builds the subtree over the sample indices idx.
-func (t *Tree) grow(X [][]float64, y []float64, idx []int, cfg TreeConfig, depth int, r *stats.Rand) *node {
-	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || pure(y, idx) {
-		return t.makeLeaf(y, idx)
+// grow recursively builds the subtree over the rows held by lists (the
+// node's membership, presorted per feature; every lists[f] holds the same
+// rows). cols is the column-major view of the training matrix.
+func (t *Tree) grow(cols [][]float64, y []float64, lists [][]int32, cfg TreeConfig, depth int, r *stats.Rand) *node {
+	rows := lists[0]
+	if depth >= cfg.MaxDepth || len(rows) < 2*cfg.MinLeaf || pure(y, rows) {
+		return t.makeLeaf(y, rows)
 	}
-	feat, thr, ok := bestSplit(X, y, idx, cfg, r)
+	feat, thr, ok := bestSplit(cols, y, lists, cfg, r)
 	if !ok {
-		return t.makeLeaf(y, idx)
+		return t.makeLeaf(y, rows)
 	}
-	var left, right []int
-	for _, i := range idx {
-		if X[i][feat] <= thr {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
-	if len(left) < cfg.MinLeaf || len(right) < cfg.MinLeaf {
-		return t.makeLeaf(y, idx)
+	left, right := partition(cols[feat], lists, thr)
+	if len(left[0]) < cfg.MinLeaf || len(right[0]) < cfg.MinLeaf {
+		return t.makeLeaf(y, rows)
 	}
 	return &node{
 		feature:   feat,
 		threshold: thr,
-		left:      t.grow(X, y, left, cfg, depth+1, r),
-		right:     t.grow(X, y, right, cfg, depth+1, r),
+		left:      t.grow(cols, y, left, cfg, depth+1, r),
+		right:     t.grow(cols, y, right, cfg, depth+1, r),
 	}
 }
 
 // makeLeaf creates a leaf whose value is the target mean (probability for
 // 0/1 targets).
-func (t *Tree) makeLeaf(y []float64, idx []int) *node {
+func (t *Tree) makeLeaf(y []float64, rows []int32) *node {
 	var sum float64
-	for _, i := range idx {
+	for _, i := range rows {
 		sum += y[i]
 	}
-	n := &node{leaf: true, leafID: len(t.leaves), value: sum / float64(len(idx))}
+	n := &node{leaf: true, leafID: len(t.leaves), value: sum / float64(len(rows))}
 	t.leaves = append(t.leaves, n)
 	return n
 }
 
-// pure reports whether all targets in idx are identical.
-func pure(y []float64, idx []int) bool {
-	for _, i := range idx[1:] {
-		if y[i] != y[idx[0]] {
+// pure reports whether all targets in rows are identical.
+func pure(y []float64, rows []int32) bool {
+	for _, i := range rows[1:] {
+		if y[i] != y[rows[0]] {
 			return false
 		}
 	}
@@ -134,33 +315,30 @@ func pure(y []float64, idx []int) bool {
 }
 
 // bestSplit scans a feature subset for the impurity-minimizing threshold.
-func bestSplit(X [][]float64, y []float64, idx []int, cfg TreeConfig, r *stats.Rand) (feat int, thr float64, ok bool) {
-	nFeatures := len(X[idx[0]])
-	candidates := featureSubset(nFeatures, cfg.FeatureFrac, r)
-
-	type pair struct{ x, y float64 }
-	pairs := make([]pair, len(idx))
+// Each candidate feature's rows arrive presorted, so all thresholds are
+// evaluated in one O(n) prefix-statistics pass with no sorting.
+func bestSplit(cols [][]float64, y []float64, lists [][]int32, cfg TreeConfig, r *stats.Rand) (feat int, thr float64, ok bool) {
+	candidates := featureSubset(len(lists), cfg.FeatureFrac, r)
+	// The node's total target statistics are feature-independent: one
+	// pass here instead of one per candidate feature.
+	var totSum, totSq float64
+	for _, i := range lists[0] {
+		totSum += y[i]
+		totSq += y[i] * y[i]
+	}
 	bestScore := infinity
 	for _, f := range candidates {
-		for k, i := range idx {
-			pairs[k] = pair{X[i][f], y[i]}
-		}
-		sort.Slice(pairs, func(a, b int) bool { return pairs[a].x < pairs[b].x })
-
-		// Prefix statistics allow O(n) evaluation of all thresholds.
+		ord := lists[f]
+		col := cols[f]
 		var lSum, lSq float64
-		var rSum, rSq float64
-		for _, p := range pairs {
-			rSum += p.y
-			rSq += p.y * p.y
-		}
-		n := float64(len(pairs))
-		for k := 0; k < len(pairs)-1; k++ {
-			lSum += pairs[k].y
-			lSq += pairs[k].y * pairs[k].y
-			rSum -= pairs[k].y
-			rSq -= pairs[k].y * pairs[k].y
-			if pairs[k].x == pairs[k+1].x {
+		n := float64(len(ord))
+		for k := 0; k < len(ord)-1; k++ {
+			yk := y[ord[k]]
+			lSum += yk
+			lSq += yk * yk
+			xk := col[ord[k]]
+			xk1 := col[ord[k+1]]
+			if xk == xk1 {
 				continue // cannot split between equal values
 			}
 			ln := float64(k + 1)
@@ -168,24 +346,47 @@ func bestSplit(X [][]float64, y []float64, idx []int, cfg TreeConfig, r *stats.R
 			if int(ln) < cfg.MinLeaf || int(rn) < cfg.MinLeaf {
 				continue
 			}
-			var score float64
-			switch cfg.Criterion {
-			case Gini:
-				lp := lSum / ln
-				rp := rSum / rn
-				score = ln*2*lp*(1-lp) + rn*2*rp*(1-rp)
-			default: // Variance: SSE = sq - sum^2/n
-				score = (lSq - lSum*lSum/ln) + (rSq - rSum*rSum/rn)
-			}
+			score := splitScore(cfg.Criterion, lSum, lSq, totSum, totSq, ln, rn)
 			if score < bestScore {
 				bestScore = score
 				feat = f
-				thr = (pairs[k].x + pairs[k+1].x) / 2
+				thr = (xk + xk1) / 2
 				ok = true
 			}
 		}
 	}
 	return feat, thr, ok
+}
+
+// partition splits every feature's presorted order into the rows left and
+// right of the chosen threshold, preserving sort order on both sides.
+func partition(col []float64, lists [][]int32, thr float64) (left, right [][]int32) {
+	nl := 0
+	for _, i := range lists[0] {
+		if col[i] <= thr {
+			nl++
+		}
+	}
+	n := len(lists[0])
+	left = make([][]int32, len(lists))
+	right = make([][]int32, len(lists))
+	// One backing array per side for all features: fewer, larger
+	// allocations keep each node's lists contiguous.
+	lbuf := make([]int32, 0, nl*len(lists))
+	rbuf := make([]int32, 0, (n-nl)*len(lists))
+	for f, ord := range lists {
+		ls, rs := len(lbuf), len(rbuf)
+		for _, i := range ord {
+			if col[i] <= thr {
+				lbuf = append(lbuf, i)
+			} else {
+				rbuf = append(rbuf, i)
+			}
+		}
+		left[f] = lbuf[ls:len(lbuf):len(lbuf)]
+		right[f] = rbuf[rs:len(rbuf):len(rbuf)]
+	}
+	return left, right
 }
 
 const infinity = 1e308
@@ -236,6 +437,9 @@ func (t *Tree) LeafID(x []float64) int {
 
 // Leaves returns the number of leaves.
 func (t *Tree) Leaves() int { return len(t.leaves) }
+
+// LeafValue returns the current output of a leaf by id.
+func (t *Tree) LeafValue(leafID int) float64 { return t.leaves[leafID].value }
 
 // SetLeafValue overwrites a leaf's output (quantile GBM leaf adjustment).
 func (t *Tree) SetLeafValue(leafID int, v float64) {

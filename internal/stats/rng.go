@@ -18,12 +18,41 @@ func NewRand(seed int64) *Rand {
 	return &Rand{Rand: rand.New(rand.NewSource(seed))}
 }
 
+// ShardSeed derives an independent seed for one shard of a partitioned
+// computation by hashing (root, shard) with FNV-1a. Unlike Fork, it does
+// not consume state from any stream, so shards can be seeded in any order
+// — or concurrently — and still receive the same streams. The parallel
+// experiment engine relies on this for results that are byte-identical
+// regardless of worker count.
+func ShardSeed(root int64, shard int) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range [2]uint64{uint64(root), uint64(shard)} {
+		for b := 0; b < 8; b++ {
+			h ^= (v >> (8 * b)) & 0xff
+			h *= prime64
+		}
+	}
+	return int64(h)
+}
+
 // Fork derives an independent child stream from the parent. The child's
 // seed mixes in the label so different subsystems seeded from one parent
 // do not share streams.
 func (r *Rand) Fork(label int64) *Rand {
+	return NewRand(r.ForkSeed(label))
+}
+
+// ForkSeed returns the seed Fork would use for label, consuming one draw
+// from the parent. Callers that fan work out across goroutines precompute
+// fork seeds serially with this — preserving the exact streams of a
+// serial Fork loop — and then seed each shard independently.
+func (r *Rand) ForkSeed(label int64) int64 {
 	const mix = int64(0x5851F42D4C957F2D) // LCG multiplier; spreads small labels
-	return NewRand(r.Int63() ^ (label * mix))
+	return r.Int63() ^ (label * mix)
 }
 
 // LogNormal samples exp(N(mu, sigma^2)); VM lifetimes and memory

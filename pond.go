@@ -23,6 +23,8 @@ package pond
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"pond/internal/cluster"
 	"pond/internal/core"
@@ -133,7 +135,9 @@ type SystemStats struct {
 	AccessLatencyN float64
 }
 
-// System is a live Pond deployment.
+// System is a live Pond deployment. All methods are safe for concurrent
+// use: one coarse lock serializes the control plane, mirroring the
+// paper's single Pool Manager per pool group.
 type System struct {
 	cfg       Config
 	devices   []*emc.Device
@@ -145,6 +149,7 @@ type System struct {
 	store     *telemetry.Store
 	rng       *stats.Rand
 
+	mu          sync.Mutex
 	nowSec      float64
 	nextVM      int64
 	vms         map[int64]*vmState
@@ -250,13 +255,19 @@ func Workloads() []string {
 
 // AdvanceSeconds moves simulated time forward.
 func (s *System) AdvanceSeconds(sec float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if sec > 0 {
 		s.nowSec += sec
 	}
 }
 
 // Now returns the current simulated time in seconds.
-func (s *System) Now() float64 { return s.nowSec }
+func (s *System) Now() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nowSec
+}
 
 // ErrNoCapacity is returned when no host can place the VM.
 var ErrNoCapacity = errors.New("pond: no host with sufficient capacity")
@@ -272,6 +283,8 @@ func (s *System) StartVM(spec VMSpec) (*VM, error) {
 		}
 		w, _ = workload.ByName("P5-web")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	untouched := spec.UntouchedFrac
 	if untouched < 0 || untouched > 1 {
 		untouched = 1 - stats.Clamp(w.FootprintGB/spec.MemoryGB, 0, 1)
@@ -352,11 +365,16 @@ func (s *System) StartVM(spec VMSpec) (*VM, error) {
 		workload:  w,
 		slices:    slices,
 	}
-	return handle, nil
+	// Callers get a snapshot: the live handle keeps changing under the
+	// system lock (QoS mitigations move memory around).
+	snapshot := *handle
+	return &snapshot, nil
 }
 
 // StopVM releases a VM; its pool slices drain back asynchronously.
 func (s *System) StopVM(id int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	st, ok := s.vms[id]
 	if !ok {
 		return fmt.Errorf("pond: unknown VM %d", id)
@@ -374,6 +392,8 @@ func (s *System) StopVM(id int64) error {
 // InjectHostFailure kills a host: its VMs are lost and its pool memory is
 // reclaimed for the surviving hosts (§4.2). It returns the lost VM ids.
 func (s *System) InjectHostFailure(hostIndex int) ([]int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	lost, _, err := s.scheduler.HandleHostFailure(hostIndex)
 	if err != nil {
 		return nil, err
@@ -403,8 +423,18 @@ type MitigationReport struct {
 // RunQoSSweep inspects every running VM with fresh counters and applies
 // mitigations (Figure 11 B). It returns one report per pool-using VM.
 func (s *System) RunQoSSweep() []MitigationReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Sweep VMs in id order: map iteration order would consume the RNG
+	// stream nondeterministically and break seed reproducibility.
+	ids := make([]int64, 0, len(s.vms))
+	for id := range s.vms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var out []MitigationReport
-	for id, st := range s.vms {
+	for _, id := range ids {
+		st := s.vms[id]
 		if st.placement.PoolGB == 0 {
 			continue
 		}
@@ -484,6 +514,13 @@ func (s *System) migrationTarget(st *vmState) int {
 
 // Stats summarizes the deployment state.
 func (s *System) Stats() SystemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+// statsLocked computes SystemStats; the caller holds s.mu.
+func (s *System) statsLocked() SystemStats {
 	st := SystemStats{
 		RunningVMs:  len(s.vms),
 		PoolFreeGB:  s.manager.FreeGB(s.nowSec),
@@ -500,18 +537,23 @@ func (s *System) Stats() SystemStats {
 	return st
 }
 
-// VMInfo returns the live handle for a VM.
+// VMInfo returns a snapshot of a running VM's state.
 func (s *System) VMInfo(id int64) (*VM, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	st, ok := s.vms[id]
 	if !ok {
 		return nil, false
 	}
-	return st.handle, true
+	snapshot := *st.handle
+	return &snapshot, true
 }
 
 // InjectEMCFailure fails one EMC and returns the IDs of the VMs whose
 // memory was on it — the blast radius (§4.2). Affected VMs are stopped.
 func (s *System) InjectEMCFailure(emcIndex int) ([]int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if emcIndex < 0 || emcIndex >= len(s.devices) {
 		return nil, fmt.Errorf("pond: no EMC %d", emcIndex)
 	}
@@ -525,6 +567,8 @@ func (s *System) InjectEMCFailure(emcIndex int) ([]int64, error) {
 			}
 		}
 	}
+	// Deterministic blast-radius order (map iteration order is random).
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
 	for _, id := range affected {
 		st := s.vms[id]
 		delete(s.vms, id)
@@ -538,7 +582,9 @@ func (s *System) InjectEMCFailure(emcIndex int) ([]int64, error) {
 // Describe renders a one-screen summary of the deployment: topology,
 // latency, pool state, and control-plane configuration.
 func (s *System) Describe() string {
-	st := s.Stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.statsLocked()
 	mode := "predictions enabled"
 	if !s.cfg.UsePredictions {
 		mode = "all-local (no predictions)"

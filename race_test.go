@@ -1,0 +1,168 @@
+package pond
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSystemUse hammers one System from many goroutines mixing
+// every control-plane entry point. Run with -race: the System's coarse
+// lock must serialize VM admission, release, QoS sweeps, and stats reads
+// without data races or lost capacity.
+func TestConcurrentSystemUse(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UsePredictions = false // keep each op cheap; locking is what's under test
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				vm, err := sys.StartVM(VMSpec{
+					Cores: 2, MemoryGB: 8,
+					Workload: "redis-ycsb-a",
+					Customer: int32(g + 1),
+				})
+				if err != nil {
+					if errors.Is(err, ErrNoCapacity) {
+						continue // another goroutine got there first; fine
+					}
+					t.Errorf("StartVM: %v", err)
+					return
+				}
+				if _, ok := sys.VMInfo(vm.ID); !ok {
+					t.Errorf("VMInfo lost VM %d", vm.ID)
+					return
+				}
+				sys.AdvanceSeconds(1)
+				_ = sys.Stats()
+				_ = sys.Describe()
+				if i%5 == 0 {
+					_ = sys.RunQoSSweep()
+				}
+				if err := sys.StopVM(vm.ID); err != nil {
+					t.Errorf("StopVM: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := sys.Stats()
+	if st.RunningVMs != 0 {
+		t.Fatalf("%d VMs leaked after concurrent start/stop", st.RunningVMs)
+	}
+	before, _ := NewSystem(cfg)
+	if st.LocalFreeGB != before.Stats().LocalFreeGB {
+		t.Fatalf("local capacity drifted: %.0f GB free, want %.0f", st.LocalFreeGB, before.Stats().LocalFreeGB)
+	}
+}
+
+// TestConcurrentStartersAndStoppers splits producers and consumers across
+// goroutines so starts and stops of the same VMs genuinely interleave.
+func TestConcurrentStartersAndStoppers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UsePredictions = false
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make(chan int64, 128)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				vm, err := sys.StartVM(VMSpec{Cores: 1, MemoryGB: 4, Workload: "P5-web"})
+				if err != nil {
+					continue
+				}
+				ids <- vm.ID
+			}
+		}()
+	}
+	var stopped sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		stopped.Add(1)
+		go func() {
+			defer stopped.Done()
+			for id := range ids {
+				if err := sys.StopVM(id); err != nil {
+					t.Errorf("StopVM(%d): %v", id, err)
+				}
+				_ = sys.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	stopped.Wait()
+	if n := sys.Stats().RunningVMs; n != 0 {
+		t.Fatalf("%d VMs still running", n)
+	}
+}
+
+// TestRunExperimentsUnderRace drives one small figure pipeline through
+// the public API with a parallel worker pool; under -race this sweeps the
+// engine's work-stealing deques and the fan-out/merge path.
+func TestRunExperimentsUnderRace(t *testing.T) {
+	res, err := RunExperiments(context.Background(), ExperimentOptions{
+		Scale:   "quick",
+		Figures: []string{"2a"},
+		Workers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Name != "2a" || res[0].Output == "" {
+		t.Fatalf("unexpected results: %+v", res)
+	}
+}
+
+// TestRunExperimentsValidation covers the public API's error paths and
+// cancellation.
+func TestRunExperimentsValidation(t *testing.T) {
+	if _, err := RunExperiments(context.Background(), ExperimentOptions{Scale: "galactic"}); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if _, err := RunExperiments(context.Background(), ExperimentOptions{Figures: []string{"nope"}}); err == nil {
+		t.Fatal("bad figure accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunExperiments(ctx, ExperimentOptions{Figures: []string{"2a"}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunExperimentsDeterministic asserts the public API inherits the
+// engine's worker-count independence.
+func TestRunExperimentsDeterministic(t *testing.T) {
+	opts := ExperimentOptions{Figures: []string{"2a", "3"}, Seed: 7}
+	opts.Workers = 1
+	a, err := RunExperiments(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 8
+	b, err := RunExperiments(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Output != b[i].Output {
+			t.Fatalf("figure %s differs between workers=1 and workers=8", a[i].Name)
+		}
+	}
+}
