@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench
+.PHONY: all build vet test test-short test-race bench bench-gate bench-baseline fleet
 
 all: build vet test-short
 
@@ -15,12 +15,33 @@ vet:
 test: build vet
 	$(GO) test ./...
 
-# Fast tier: reduced trace scales under the race detector; finishes in
-# well under a minute and is what CI gates on.
-test-short: build vet
-	$(GO) test -short -race ./...
+# Fast tier: reduced trace scales, no race detector; the quickest CI
+# signal (the race matrix tier covers the detector).
+test-short:
+	$(GO) test -short ./...
+
+# Race tier: the full suite under the race detector (CI matrix tier).
+test-race:
+	$(GO) test -race ./...
 
 # Benchmark smoke: every figure benchmark runs exactly once so a broken
 # pipeline fails fast without paying full benchmarking time.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# CI benchmark-regression gate: time the deterministic fleet smoke, emit
+# BENCH_fleet.json, and fail on >20% regression vs BENCH_baseline.json.
+# The bench output is redirected (not piped through tee) so a failing
+# benchmark fails the target.
+bench-gate:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.txt 2>&1 || (cat bench.txt; false)
+	cat bench.txt
+	$(GO) run ./cmd/benchgate -bench bench.txt -baseline BENCH_baseline.json -out BENCH_fleet.json
+
+# Refresh the committed benchmark baseline after an intentional change.
+bench-baseline:
+	$(GO) run ./cmd/benchgate -update
+
+# Online fleet simulation quick-look across all three topologies.
+fleet:
+	$(GO) run ./cmd/pondfleet -topology flat,sharded,sparse -inject emc-fail@t=500

@@ -6,6 +6,7 @@
 package pond_test
 
 import (
+	"context"
 	"testing"
 
 	"pond"
@@ -295,5 +296,28 @@ func BenchmarkAblationCoLocation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.AblationCoLocation()
 		b.ReportMetric(r.Rows[len(r.Rows)-1].MeanExtraSlowPct, "extra%@16vms")
+	}
+}
+
+// BenchmarkRunFleet drives the online fleet simulator end to end —
+// arrivals, departures, and all three injection kinds over a sparse
+// topology — and reports placement throughput alongside ns/op.
+func BenchmarkRunFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := pond.RunFleet(context.Background(), pond.FleetOpts{
+			Topology:           "sparse",
+			Hosts:              4,
+			EMCs:               4,
+			PoolGB:             64,
+			Cells:              2,
+			DurationSec:        600,
+			Arrival:            "poisson:rate=0.2:life=200",
+			Inject:             "surge@t=100:dur=100:x=3,emc-fail@t=300,host-drain@t=400:host=1",
+			DisablePredictions: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.Placed), "vms-placed")
 	}
 }

@@ -1,0 +1,236 @@
+// Command benchgate is the CI benchmark-regression gate. It times a
+// short, deterministic fleet-simulation smoke run with testing.Benchmark,
+// emits the measurements as BENCH_fleet.json (the CI artifact that gives
+// the repo a performance trajectory), and fails — exit 1 — when any
+// gated metric regresses more than -tolerance against the committed
+// baseline.
+//
+//	benchgate                              # measure, gate against BENCH_baseline.json
+//	benchgate -update                      # refresh the committed baseline
+//	benchgate -bench bench.txt             # also fold `go test -bench` output into the artifact
+//
+// Gated metrics: fleet_ns_per_op, fleet_allocs_per_op (lower is better)
+// and fleet_vms_per_sec (VMs placed per wall-clock second; higher is
+// better). Raw `go test -bench` lines ride along in the artifact for
+// trend dashboards but are not gated — they are too machine-dependent
+// for a hard threshold, whereas the fleet smoke is gated because its
+// work is fixed and deterministic. After an intentional perf change,
+// refresh with: go run ./cmd/benchgate -update.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pond/internal/fleet"
+)
+
+// Metric is one measured value with its comparison direction.
+type Metric struct {
+	Value          float64 `json:"value"`
+	HigherIsBetter bool    `json:"higher_is_better"`
+}
+
+// Result is the artifact schema.
+type Result struct {
+	Schema  string             `json:"schema"`
+	Metrics map[string]Metric  `json:"metrics"`
+	GoBench map[string]float64 `json:"go_bench_ns_per_op,omitempty"`
+}
+
+// smokeOptions is the fixed workload the gate times: small enough for CI,
+// big enough to exercise arrivals, departures, and every injection kind.
+func smokeOptions() fleet.Options {
+	o := fleet.DefaultOptions()
+	o.Cells = 2
+	o.Hosts = 4
+	o.EMCs = 4
+	o.PoolGB = 64
+	o.DurationSec = 600
+	o.Arrival = fleet.ArrivalModel{Kind: fleet.ArrivalPoisson, RatePerSec: 0.2, MeanLifetimeSec: 200}
+	o.Predictions = false // gate the event loop, not model training
+	o.Workers = 1         // single worker: CI runners have unpredictable core counts
+	inj, err := fleet.ParseInjections("surge@t=100:dur=100:x=3,emc-fail@t=300,host-drain@t=400:host=1")
+	if err != nil {
+		panic(err)
+	}
+	o.Injections = inj
+	return o
+}
+
+func main() {
+	out := flag.String("out", "BENCH_fleet.json", "artifact path for the measured metrics")
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline to gate against")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression per metric")
+	update := flag.Bool("update", false, "write the measurements to -baseline and exit")
+	benchFile := flag.String("bench", "", "optional `go test -bench` output to fold into the artifact")
+	flag.Parse()
+
+	if *tolerance < 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: -tolerance must be >= 0, got %g\n", *tolerance)
+		os.Exit(2)
+	}
+
+	res := Result{Schema: "pond-bench/v1", Metrics: measureFleet()}
+	if *benchFile != "" {
+		gb, err := parseGoBench(*benchFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		res.GoBench = gb
+	}
+
+	if err := writeJSON(*out, res); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchgate: wrote %s\n", *out)
+	for _, name := range sortedKeys(res.Metrics) {
+		fmt.Printf("  %-22s %14.1f\n", name, res.Metrics[name].Value)
+	}
+
+	if *update {
+		if err := writeJSON(*baseline, res); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: baseline %s refreshed\n", *baseline)
+		return
+	}
+
+	base, err := readBaseline(*baseline)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("benchgate: no baseline at %s; run with -update to create one (not gating)\n", *baseline)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	var regressions []string
+	for _, name := range sortedKeys(base.Metrics) {
+		b := base.Metrics[name]
+		cur, ok := res.Metrics[name]
+		if !ok {
+			fmt.Printf("benchgate: baseline metric %s no longer measured (skipping)\n", name)
+			continue
+		}
+		var worse float64 // fractional regression, positive = worse
+		if b.HigherIsBetter {
+			worse = (b.Value - cur.Value) / b.Value
+		} else {
+			worse = (cur.Value - b.Value) / b.Value
+		}
+		status := "ok"
+		if worse > *tolerance {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f vs baseline %.1f (%+.0f%%, tolerance %.0f%%)",
+					name, cur.Value, b.Value, 100*worse, 100**tolerance))
+		}
+		fmt.Printf("  %-22s %14.1f baseline %14.1f  %+6.1f%%  %s\n",
+			name, cur.Value, b.Value, 100*worse, status)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d metric(s) regressed >%.0f%%:\n", len(regressions), 100**tolerance)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		fmt.Fprintln(os.Stderr, "benchgate: if intentional, refresh with: go run ./cmd/benchgate -update")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: within tolerance")
+}
+
+// measureFleet times the smoke run and derives the gated metrics.
+func measureFleet() map[string]Metric {
+	o := smokeOptions()
+	var placed int
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := fleet.Run(context.Background(), o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			placed = rep.Placed
+		}
+	})
+	ns := float64(r.NsPerOp())
+	vmsPerSec := 0.0
+	if ns > 0 {
+		vmsPerSec = float64(placed) / (ns / 1e9)
+	}
+	return map[string]Metric{
+		"fleet_ns_per_op":     {Value: ns, HigherIsBetter: false},
+		"fleet_allocs_per_op": {Value: float64(r.AllocsPerOp()), HigherIsBetter: false},
+		"fleet_vms_per_sec":   {Value: vmsPerSec, HigherIsBetter: true},
+	}
+}
+
+// parseGoBench extracts "BenchmarkName  N  ns/op" lines from `go test
+// -bench` output.
+func parseGoBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					out[fields[0]] = v
+				}
+				break
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func readBaseline(path string) (Result, error) {
+	var r Result
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return r, nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func sortedKeys(m map[string]Metric) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"pond/internal/cliutil"
 	"pond/internal/experiments"
 )
 
@@ -24,6 +25,8 @@ func main() {
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	seed := flag.Int64("seed", experiments.DefaultSeed, "root seed for every generation and training stream")
 	flag.Parse()
+
+	cliutil.MustValidateRun("pondbench", *workers, *seed)
 
 	scale, err := experiments.ParseScale(*scaleFlag)
 	if err != nil {

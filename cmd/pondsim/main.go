@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"pond/internal/cliutil"
 	"pond/internal/experiments"
 )
 
@@ -27,6 +28,8 @@ func main() {
 	seed := flag.Int64("seed", experiments.DefaultSeed, "root seed for every generation and training stream")
 	sweep := flag.String("sweep", "", `scenario matrix, e.g. "scale=quick,full x policy=pooled,static"`)
 	flag.Parse()
+
+	cliutil.MustValidateRun("pondsim", *workers, *seed)
 
 	opts := []experiments.Option{
 		experiments.WithWorkers(*workers),

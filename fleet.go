@@ -1,0 +1,128 @@
+package pond
+
+import (
+	"context"
+
+	"pond/internal/fleet"
+)
+
+// FleetOpts configures RunFleet, the online fleet simulation. String
+// fields use the same specs as the cmd/pondfleet flags; zero values fall
+// back to the defaults (flat topology, 4 cells of 8 hosts x 4 EMCs,
+// Poisson arrivals, predictions enabled).
+type FleetOpts struct {
+	// Topology is the host-to-EMC connectivity of every cell: "flat",
+	// "sharded", or "sparse" (Octopus-style overlapping pods).
+	Topology string
+	// PodDegree is the per-host EMC count under "sparse" (default 2).
+	PodDegree int
+
+	// Hosts, EMCs, and PoolGB size each cell's pool group.
+	Hosts  int
+	EMCs   int
+	PoolGB int
+
+	// Cells is the number of independent pool groups (engine shards).
+	Cells int
+
+	// DurationSec is the simulated horizon.
+	DurationSec float64
+
+	// Arrival is the arrival-process spec, e.g. "poisson:rate=0.05:life=600"
+	// or "trace" (interarrivals derived from the cluster generator).
+	Arrival string
+
+	// Inject is a comma-separated scenario list, e.g.
+	// "emc-fail@t=500,host-drain@t=800:host=2,surge@t=300:dur=200:x=3".
+	Inject string
+
+	// DisablePredictions turns off the ML scheduling pipeline (the
+	// no-pooling baseline).
+	DisablePredictions bool
+
+	// Workers bounds the engine worker pool; <= 0 means GOMAXPROCS.
+	// Results are byte-identical for every worker count.
+	Workers int
+	// Seed roots every cell's RNG stream (0 means the default seed).
+	Seed int64
+}
+
+// FleetReport is the merged outcome of an online fleet run.
+type FleetReport struct {
+	// Topology echoes the topology that ran, with its blast-radius
+	// summary.
+	Topology     string
+	TopologyDesc string
+
+	// Counters aggregated across cells.
+	Arrivals, Placed, Rejected, Departed int
+	// BlastVMs is the number of VMs lost to injected EMC failures;
+	// Migrated counts VMs moved off draining hosts.
+	BlastVMs, Migrated int
+
+	// AvgCoreUtil is the time-weighted scheduled-core fraction;
+	// AvgStrandedGB the time-weighted stranded memory (§2); PoolShare
+	// the GB-weighted share of placed memory on pool DRAM.
+	AvgCoreUtil    float64
+	AvgStrandedGB  float64
+	PeakPoolUsedGB float64
+	PoolShare      float64
+
+	// EventLog is the full deterministic event log (cell order);
+	// LogSHA256 is its hash — identical for every worker count.
+	EventLog  string
+	LogSHA256 string
+
+	// Summary is the rendered one-screen report.
+	Summary string
+}
+
+// RunFleet simulates an online Pond fleet: VM arrivals and departures
+// flow through the live prediction/QoS control plane against the chosen
+// pool topology, with failure scenarios injected mid-run. Cells fan out
+// across the parallel engine; the event log and its hash depend only on
+// the options and seed, never on worker count.
+func RunFleet(ctx context.Context, opts FleetOpts) (*FleetReport, error) {
+	arr, err := fleet.ParseArrival(opts.Arrival)
+	if err != nil {
+		return nil, err
+	}
+	inj, err := fleet.ParseInjections(opts.Inject)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := fleet.Run(ctx, fleet.Options{
+		Topology:    opts.Topology,
+		PodDegree:   opts.PodDegree,
+		Hosts:       opts.Hosts,
+		EMCs:        opts.EMCs,
+		PoolGB:      opts.PoolGB,
+		Cells:       opts.Cells,
+		DurationSec: opts.DurationSec,
+		Arrival:     arr,
+		Injections:  inj,
+		Predictions: !opts.DisablePredictions,
+		Workers:     opts.Workers,
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FleetReport{
+		Topology:       rep.Options.Topology,
+		TopologyDesc:   rep.TopologyDesc,
+		Arrivals:       rep.Arrivals,
+		Placed:         rep.Placed,
+		Rejected:       rep.Rejected,
+		Departed:       rep.Departed,
+		BlastVMs:       rep.BlastVMs,
+		Migrated:       rep.Migrated,
+		AvgCoreUtil:    rep.AvgCoreUtil,
+		AvgStrandedGB:  rep.AvgStrandedGB,
+		PeakPoolUsedGB: rep.PeakPoolUsedGB,
+		PoolShare:      rep.PoolShare,
+		EventLog:       rep.EventLog,
+		LogSHA256:      rep.LogSHA256,
+		Summary:        rep.String(),
+	}, nil
+}

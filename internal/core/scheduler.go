@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"pond/internal/cluster"
 	"pond/internal/emc"
@@ -23,6 +24,10 @@ import (
 type ClusterScheduler struct {
 	hosts   []*host.Host
 	manager *pool.Manager
+
+	// drained marks hosts excluded from new placements (maintenance
+	// drain): resident VMs keep running but arrivals route elsewhere.
+	drained []bool
 }
 
 // ErrNoHost is returned when no host fits the VM.
@@ -33,11 +38,76 @@ func NewClusterScheduler(hosts []*host.Host, manager *pool.Manager) *ClusterSche
 	if len(hosts) == 0 {
 		panic("core: scheduler needs at least one host")
 	}
-	return &ClusterScheduler{hosts: hosts, manager: manager}
+	return &ClusterScheduler{hosts: hosts, manager: manager, drained: make([]bool, len(hosts))}
 }
 
 // Hosts returns the managed hosts.
 func (cs *ClusterScheduler) Hosts() []*host.Host { return cs.hosts }
+
+// SetDrained marks a host in or out of maintenance drain.
+func (cs *ClusterScheduler) SetDrained(hostIndex int, drained bool) error {
+	if hostIndex < 0 || hostIndex >= len(cs.hosts) {
+		return fmt.Errorf("core: host index %d out of range", hostIndex)
+	}
+	cs.drained[hostIndex] = drained
+	return nil
+}
+
+// Drained reports whether a host is excluded from new placements.
+func (cs *ClusterScheduler) Drained(hostIndex int) bool {
+	return hostIndex >= 0 && hostIndex < len(cs.hosts) && cs.drained[hostIndex]
+}
+
+// Migration records one VM moved off a draining host.
+type Migration struct {
+	VM     cluster.VMID
+	Target int
+}
+
+// DrainHost marks a host drained and live-migrates its resident VMs to
+// hosts with all-local headroom, releasing their pool slices back to the
+// manager. VMs that fit nowhere stay put and are returned as remaining.
+// Migration proceeds in VM-id order so a seed fully determines the
+// outcome.
+func (cs *ClusterScheduler) DrainHost(hostIndex int, now float64) (migrations []Migration, remaining []cluster.VMID, err error) {
+	if err := cs.SetDrained(hostIndex, true); err != nil {
+		return nil, nil, err
+	}
+	src := cs.hosts[hostIndex]
+	ids := src.VMs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p, ok := src.Placement(id)
+		if !ok {
+			continue
+		}
+		moved := false
+		for t, h := range cs.hosts {
+			if t == hostIndex || cs.drained[t] {
+				continue
+			}
+			if h.FreeCores() < p.VM.Type.Cores || h.FreeLocalGB() < p.VM.Type.MemoryGB {
+				continue
+			}
+			_, slices, merr := host.LiveMigrate(src, h, id)
+			if merr != nil {
+				// Aggregate capacity fit but no single NUMA node did;
+				// keep trying the remaining hosts.
+				continue
+			}
+			if len(slices) > 0 && cs.manager != nil {
+				cs.manager.ReleaseCapacity(emc.HostID(hostIndex), slices, now)
+			}
+			migrations = append(migrations, Migration{VM: id, Target: t})
+			moved = true
+			break
+		}
+		if !moved {
+			remaining = append(remaining, id)
+		}
+	}
+	return migrations, remaining, nil
+}
 
 // PlaceResult reports where a VM landed.
 type PlaceResult struct {
@@ -56,6 +126,9 @@ func (cs *ClusterScheduler) Place(vm cluster.VMRequest, d Decision, now float64)
 	// cores and local memory.
 	bestCores := 1 << 30
 	for i, h := range cs.hosts {
+		if cs.drained[i] {
+			continue
+		}
 		if h.FreeCores() >= vm.Type.Cores && h.FreeLocalGB() >= d.LocalGB && h.FreeCores() < bestCores {
 			bestCores = h.FreeCores()
 			res.HostIndex = i

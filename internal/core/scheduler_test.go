@@ -181,3 +181,73 @@ func TestSchedulerHandleHostFailure(t *testing.T) {
 		t.Fatal("bad host index accepted")
 	}
 }
+
+func TestSchedulerSkipsDrainedHosts(t *testing.T) {
+	cs, _ := newTestScheduler(t, 2, 0)
+	if err := cs.SetDrained(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Drained(0) || cs.Drained(1) {
+		t.Fatal("drain flags wrong")
+	}
+	for i := 0; i < 3; i++ {
+		vm := schedVM(cluster.VMID(100+i), 4, 16, "P5-web")
+		res, err := cs.Place(vm, Decision{Kind: AllLocal, LocalGB: 16}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.HostIndex != 1 {
+			t.Fatalf("placement landed on drained host %d", res.HostIndex)
+		}
+	}
+	// Undrain restores the host.
+	if err := cs.SetDrained(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Drained(0) {
+		t.Fatal("host 0 still drained")
+	}
+	if err := cs.SetDrained(5, true); err == nil {
+		t.Fatal("out-of-range drain should fail")
+	}
+}
+
+func TestSchedulerAllDrainedRejects(t *testing.T) {
+	cs, _ := newTestScheduler(t, 1, 0)
+	_ = cs.SetDrained(0, true)
+	vm := schedVM(200, 2, 8, "P5-web")
+	if _, err := cs.Place(vm, Decision{Kind: AllLocal, LocalGB: 8}, 0); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("want ErrNoHost, got %v", err)
+	}
+}
+
+func TestDrainHostTriesAllCandidates(t *testing.T) {
+	// Host 1 fits the 12 GB VM in aggregate (8+8 free) but on no single
+	// NUMA node; host 2 has a whole node free. The drain must fall
+	// through host 1's failed LiveMigrate and land the VM on host 2.
+	cs, _ := newTestScheduler(t, 3, 0)
+	hs := cs.Hosts()
+	target := schedVM(1, 1, 12, "P5-web")
+	if _, err := hs[0].PlaceVM(target, 12, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, fill := range []cluster.VMID{10, 11} {
+		if _, err := hs[1].PlaceVM(schedVM(fill, 1, 56, "P5-web"), 56, 0, nil); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	if _, err := hs[2].PlaceVM(schedVM(12, 1, 56, "P5-web"), 56, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	migrations, remaining, err := cs.DrainHost(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remaining) != 0 {
+		t.Fatalf("VM left on draining host: remaining=%v", remaining)
+	}
+	if len(migrations) != 1 || migrations[0].VM != 1 || migrations[0].Target != 2 {
+		t.Fatalf("migrations = %+v, want VM 1 -> host 2", migrations)
+	}
+}

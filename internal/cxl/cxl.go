@@ -222,3 +222,23 @@ func SwitchOnlyPath(sockets int) Path {
 func SwitchTraversalNanos() float64 {
 	return PortRoundTripNanos + SwitchARBNanos + PortRoundTripNanos
 }
+
+// PondPathClamped returns the Pond access path for the nearest supported
+// pool size: socket counts outside [2, 64] clamp to the boundary instead
+// of panicking, for callers sizing arbitrary deployments.
+func PondPathClamped(sockets int) Path {
+	if sockets < 2 {
+		sockets = 2
+	}
+	if sockets > 64 {
+		sockets = 64
+	}
+	return PondPath(sockets)
+}
+
+// PondLatencyRatio returns the pool-vs-local DRAM latency ratio at the
+// (clamped) pool size — the SLIT-style distance the control plane and
+// guests work with.
+func PondLatencyRatio(sockets int) float64 {
+	return PondPathClamped(sockets).TotalNanos() / LocalPath().TotalNanos()
+}

@@ -211,10 +211,15 @@ func (d *Device) Access(s SliceID, h HostID) error {
 	return nil
 }
 
-// FreeSlices returns the number of unassigned slices.
+// FreeSlices returns the number of assignable slices: unassigned ones on
+// a healthy device, zero after a failure (a dead EMC serves nothing, so
+// counting its slices as free would misroute capacity planning).
 func (d *Device) FreeSlices() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.failed {
+		return 0
+	}
 	n := 0
 	for _, o := range d.owner {
 		if o == Unowned {

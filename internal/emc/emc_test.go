@@ -398,3 +398,18 @@ func TestFailChannelBlastIsWholeDevice(t *testing.T) {
 		t.Fatalf("channel failure blast = %d GB, want full device", got)
 	}
 }
+
+func TestFreeSlicesZeroAfterFailure(t *testing.T) {
+	d := NewDevice("emc0", 8, 2)
+	if d.FreeSlices() != 8 {
+		t.Fatalf("FreeSlices = %d, want 8", d.FreeSlices())
+	}
+	d.Fail()
+	if d.FreeSlices() != 0 {
+		t.Fatalf("failed device reports %d free slices, want 0", d.FreeSlices())
+	}
+	d.Recover()
+	if d.FreeSlices() != 8 {
+		t.Fatalf("recovered device reports %d free slices, want 8", d.FreeSlices())
+	}
+}

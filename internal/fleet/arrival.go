@@ -1,0 +1,230 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pond/internal/cluster"
+	"pond/internal/stats"
+	"pond/internal/workload"
+)
+
+// Arrival model kinds.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalTrace   = "trace"
+)
+
+// ArrivalModel describes the VM arrival process of one cell.
+type ArrivalModel struct {
+	// Kind is "poisson" (memoryless arrivals with exponential lifetimes)
+	// or "trace" (interarrivals, shapes, and lifetimes derived from the
+	// internal/cluster generator — bursty deployments, customer
+	// correlations, workload shocks).
+	Kind string
+
+	// RatePerSec is the Poisson arrival rate (VMs per second).
+	RatePerSec float64
+
+	// MeanLifetimeSec is the mean exponential VM lifetime under poisson.
+	MeanLifetimeSec float64
+}
+
+// DefaultArrival returns the default Poisson process: one VM every 20
+// simulated seconds, mean lifetime 600 s.
+func DefaultArrival() ArrivalModel {
+	return ArrivalModel{Kind: ArrivalPoisson, RatePerSec: 0.05, MeanLifetimeSec: 600}
+}
+
+// ParseArrival parses an arrival spec:
+//
+//	poisson
+//	poisson:rate=0.05
+//	poisson:rate=0.05:life=600
+//	trace
+func ParseArrival(s string) (ArrivalModel, error) {
+	m := DefaultArrival()
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return m, nil
+	}
+	parts := strings.Split(s, ":")
+	switch parts[0] {
+	case ArrivalPoisson:
+		m.Kind = ArrivalPoisson
+	case ArrivalTrace:
+		m.Kind = ArrivalTrace
+	default:
+		return m, fmt.Errorf("fleet: unknown arrival model %q (want poisson or trace)", parts[0])
+	}
+	for _, p := range parts[1:] {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			return m, fmt.Errorf("fleet: arrival parameter %q is not key=value", p)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 || math.IsInf(f, 0) {
+			return m, fmt.Errorf("fleet: arrival parameter %s=%q must be a positive number", k, v)
+		}
+		switch k {
+		case "rate":
+			m.RatePerSec = f
+		case "life":
+			m.MeanLifetimeSec = f
+		default:
+			return m, fmt.Errorf("fleet: unknown arrival parameter %q (want rate, life)", k)
+		}
+	}
+	if m.Kind == ArrivalTrace && len(parts) > 1 {
+		return m, fmt.Errorf("fleet: trace arrivals take no parameters")
+	}
+	return m, nil
+}
+
+// String renders the model as a parseable spec.
+func (m ArrivalModel) String() string {
+	if m.Kind == ArrivalTrace {
+		return ArrivalTrace
+	}
+	return fmt.Sprintf("%s:rate=%g:life=%g", ArrivalPoisson, m.RatePerSec, m.MeanLifetimeSec)
+}
+
+// synthCustomers builds a small tenant population for the Poisson stream,
+// with the same per-customer behavioural stability the trace generator
+// provides (workload set, untouched-memory level, first-party flag) so
+// the prediction pipeline's history features have something to learn.
+func synthCustomers(n int, r *stats.Rand) []cluster.Customer {
+	catalogue := workload.Catalogue()
+	out := make([]cluster.Customer, n)
+	for i := range out {
+		nw := 1 + r.Intn(3)
+		ws := make([]workload.Workload, nw)
+		for j := range ws {
+			ws[j] = catalogue[r.Intn(len(catalogue))]
+		}
+		out[i] = cluster.Customer{
+			ID:            cluster.CustomerID(i + 1),
+			OS:            "linux",
+			Region:        "local",
+			MeanUntouched: r.Beta(1.45, 1.45),
+			Spread:        r.Bounded(14, 30),
+			Workloads:     ws,
+			FirstParty:    r.Bernoulli(0.35),
+		}
+	}
+	return out
+}
+
+// drawVM samples one VM request from a customer at the given time.
+func drawVM(cust cluster.Customer, at, meanLifeSec float64, r *stats.Rand) cluster.VMRequest {
+	types := cluster.VMTypes()
+	weights := make([]float64, len(types))
+	for i, t := range types {
+		// Small shapes dominate cloud VM counts, as in the generator.
+		weights[i] = 1 / float64(t.Cores)
+	}
+	vt := types[r.Choice(weights)]
+	w := cust.Workloads[r.Intn(len(cust.Workloads))]
+	a := cust.MeanUntouched * cust.Spread
+	b := (1 - cust.MeanUntouched) * cust.Spread
+	if a < 0.05 {
+		a = 0.05
+	}
+	if b < 0.05 {
+		b = 0.05
+	}
+	life := r.Exponential(meanLifeSec)
+	if life < 60 {
+		life = 60
+	}
+	name := ""
+	if cust.FirstParty {
+		name = w.Name
+	}
+	return cluster.VMRequest{
+		Customer:     cust.ID,
+		Type:         vt,
+		OS:           cust.OS,
+		Region:       cust.Region,
+		WorkloadName: name,
+		ArrivalSec:   at,
+		LifetimeSec:  life,
+		GroundTruth: cluster.VMGroundTruth{
+			UntouchedFrac: r.Beta(a, b),
+			Workload:      w,
+		},
+	}
+}
+
+// generateArrivals produces the cell's full arrival stream: the base
+// process (Poisson or trace-derived) plus any surge-injection extras,
+// time-sorted and renumbered chronologically. All randomness comes from
+// forks of the cell RNG in a fixed order, so the stream depends only on
+// the cell seed.
+func generateArrivals(o Options, cell int, r *stats.Rand) []cluster.VMRequest {
+	var vms []cluster.VMRequest
+	var customers []cluster.Customer
+	baseRate := o.Arrival.RatePerSec
+
+	switch o.Arrival.Kind {
+	case ArrivalTrace:
+		gen := cluster.DefaultGenConfig()
+		gen.ServersPerCluster = o.Hosts
+		gen.Days = int(math.Ceil(o.DurationSec / 86400))
+		if gen.Days < 1 {
+			gen.Days = 1
+		}
+		gen.Spec = cluster.ServerSpec{Sockets: 2, CoresPerSock: o.CoresPerSocket, MemGBPerSock: o.MemGBPerSocket}
+		tr := cluster.GenerateCluster(gen, cell, r.Fork(1))
+		customers = tr.Customers
+		for _, vm := range tr.VMs {
+			if vm.ArrivalSec < o.DurationSec {
+				vms = append(vms, vm)
+			}
+		}
+		if n := len(vms); n > 0 {
+			baseRate = float64(n) / o.DurationSec
+		}
+	default: // poisson
+		rArr := r.Fork(1)
+		customers = synthCustomers(32, rArr)
+		for t := rArr.Exponential(1 / o.Arrival.RatePerSec); t < o.DurationSec; t += rArr.Exponential(1 / o.Arrival.RatePerSec) {
+			cust := customers[rArr.Intn(len(customers))]
+			vms = append(vms, drawVM(cust, t, o.Arrival.MeanLifetimeSec, rArr))
+		}
+	}
+
+	// Surge injections add an extra Poisson stream at (factor-1) x the
+	// base rate over their window, drawn from the same tenant population.
+	meanLife := o.Arrival.MeanLifetimeSec
+	if meanLife <= 0 {
+		meanLife = DefaultArrival().MeanLifetimeSec
+	}
+	for i, inj := range o.Injections {
+		if inj.Kind != InjectSurge || len(customers) == 0 {
+			continue
+		}
+		extraRate := baseRate * (inj.Factor - 1)
+		if extraRate <= 0 {
+			continue
+		}
+		rs := r.Fork(int64(100 + i))
+		end := inj.AtSec + inj.DurSec
+		if end > o.DurationSec {
+			end = o.DurationSec
+		}
+		for t := inj.AtSec + rs.Exponential(1/extraRate); t < end; t += rs.Exponential(1 / extraRate) {
+			cust := customers[rs.Intn(len(customers))]
+			vms = append(vms, drawVM(cust, t, meanLife, rs))
+		}
+	}
+
+	sort.SliceStable(vms, func(a, b int) bool { return vms[a].ArrivalSec < vms[b].ArrivalSec })
+	for i := range vms {
+		vms[i].ID = cluster.VMID(i + 1)
+	}
+	return vms
+}

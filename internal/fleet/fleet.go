@@ -1,0 +1,566 @@
+// Package fleet is the online, event-driven counterpart to the offline
+// trace replays of internal/sim. Where the figure pipelines compute a
+// placement once and measure it, fleet drives a live deployment the way
+// §4 and §7 describe the production system: VMs arrive and depart
+// continuously, every admission flows through the prediction/QoS control
+// plane (internal/predict, internal/core), the Pool Manager onlines and
+// drains slices in simulated time, and operational scenarios — EMC
+// failures with topology-bounded blast radius, host drains, load surges —
+// are injected mid-run.
+//
+// A run is a set of independent cells (pool groups), each simulated by a
+// sequential discrete-event loop and fanned out across the parallel
+// engine of internal/engine. Each cell's RNG derives from the root seed
+// and the cell index alone, and cell results merge in cell order, so the
+// full event log — and therefore its hash — is byte-identical for any
+// worker count.
+package fleet
+
+import (
+	"container/heap"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"pond/internal/cluster"
+	"pond/internal/core"
+	"pond/internal/cxl"
+	"pond/internal/emc"
+	"pond/internal/engine"
+	"pond/internal/host"
+	"pond/internal/pmu"
+	"pond/internal/pool"
+	"pond/internal/predict"
+	"pond/internal/stats"
+	"pond/internal/telemetry"
+	"pond/internal/topo"
+)
+
+// Options configures a fleet run. The zero value of any field falls back
+// to the corresponding DefaultOptions value.
+type Options struct {
+	// Topology names the host-to-EMC graph of every cell: flat, sharded,
+	// or sparse (see internal/topo).
+	Topology string
+	// PodDegree is the per-host EMC count under sparse.
+	PodDegree int
+
+	// Hosts, EMCs, and PoolGB size each cell's pool group.
+	Hosts  int
+	EMCs   int
+	PoolGB int
+
+	// CoresPerSocket and MemGBPerSocket shape each dual-socket host.
+	CoresPerSocket int
+	MemGBPerSocket float64
+
+	// Cells is the number of independent pool groups; each is one
+	// engine shard.
+	Cells int
+
+	// DurationSec is the simulated horizon of each cell.
+	DurationSec float64
+
+	// Arrival is the VM arrival process.
+	Arrival ArrivalModel
+
+	// Injections are the scheduled scenario events, applied to every
+	// cell.
+	Injections []Injection
+
+	// Predictions enables the ML scheduling pipeline; when false every
+	// VM is all-local (the no-pooling baseline).
+	Predictions bool
+
+	// PDM and TP are the QoS knobs (§5).
+	PDM float64
+	TP  float64
+
+	// Workers bounds the engine pool; <= 0 means GOMAXPROCS. Results
+	// are byte-identical for every value.
+	Workers int
+	// Seed roots every cell's RNG stream.
+	Seed int64
+}
+
+// DefaultOptions returns the default fleet: four 8-host cells with four
+// 128 GB EMCs each, Poisson arrivals, predictions on.
+func DefaultOptions() Options {
+	return Options{
+		Topology:       topo.Flat,
+		PodDegree:      2,
+		Hosts:          8,
+		EMCs:           4,
+		PoolGB:         512,
+		CoresPerSocket: 24,
+		MemGBPerSocket: 192,
+		Cells:          4,
+		DurationSec:    1000,
+		Arrival:        DefaultArrival(),
+		Predictions:    true,
+		PDM:            0.05,
+		TP:             0.98,
+		Seed:           1,
+	}
+}
+
+// normalize fills zero fields from the defaults and validates the rest.
+func normalize(o Options) (Options, error) {
+	d := DefaultOptions()
+	if o.Topology == "" {
+		o.Topology = d.Topology
+	}
+	if o.PodDegree <= 0 {
+		o.PodDegree = d.PodDegree
+	}
+	if o.Hosts <= 0 {
+		o.Hosts = d.Hosts
+	}
+	if o.EMCs <= 0 {
+		o.EMCs = d.EMCs
+	}
+	if o.PoolGB <= 0 {
+		o.PoolGB = d.PoolGB
+	}
+	if o.CoresPerSocket <= 0 {
+		o.CoresPerSocket = d.CoresPerSocket
+	}
+	if o.MemGBPerSocket <= 0 {
+		o.MemGBPerSocket = d.MemGBPerSocket
+	}
+	if o.Cells <= 0 {
+		o.Cells = d.Cells
+	}
+	if o.DurationSec <= 0 {
+		o.DurationSec = d.DurationSec
+	}
+	if o.Arrival.Kind == "" {
+		o.Arrival.Kind = d.Arrival.Kind
+	}
+	if o.Arrival.RatePerSec <= 0 {
+		o.Arrival.RatePerSec = d.Arrival.RatePerSec
+	}
+	if o.Arrival.MeanLifetimeSec <= 0 {
+		o.Arrival.MeanLifetimeSec = d.Arrival.MeanLifetimeSec
+	}
+	if o.PDM <= 0 {
+		o.PDM = d.PDM
+	}
+	if o.TP <= 0 {
+		o.TP = d.TP
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.PoolGB < o.EMCs {
+		return o, fmt.Errorf("fleet: pool of %d GB cannot shard across %d EMCs", o.PoolGB, o.EMCs)
+	}
+	if _, err := topo.Build(o.Topology, o.Hosts, o.EMCs, o.PodDegree); err != nil {
+		return o, err
+	}
+	for _, in := range o.Injections {
+		if in.Kind == InjectEMCFail && (in.EMC < 0 || in.EMC >= o.EMCs) {
+			return o, fmt.Errorf("fleet: injection %s targets EMC %d of %d", in, in.EMC, o.EMCs)
+		}
+		if in.Kind == InjectHostDrain && (in.Host < 0 || in.Host >= o.Hosts) {
+			return o, fmt.Errorf("fleet: injection %s targets host %d of %d", in, in.Host, o.Hosts)
+		}
+		if in.AtSec > o.DurationSec {
+			// Refuse rather than silently never firing: the caller asked
+			// for a scenario the horizon cannot contain.
+			return o, fmt.Errorf("fleet: injection %s fires after the %gs horizon", in, o.DurationSec)
+		}
+	}
+	return o, nil
+}
+
+// CellResult is one cell's outcome.
+type CellResult struct {
+	Cell int
+
+	Arrivals int
+	Placed   int
+	Rejected int
+	Departed int
+	// BlastVMs counts VMs lost to EMC failures.
+	BlastVMs int
+	// Migrated counts VMs moved off draining hosts.
+	Migrated int
+
+	// AvgCoreUtil is the time-weighted scheduled-core fraction.
+	AvgCoreUtil float64
+	// AvgStrandedGB is the time-weighted stranded local memory (§2).
+	AvgStrandedGB float64
+	// PeakPoolUsedGB is the maximum pool memory in use at any event.
+	PeakPoolUsedGB float64
+	// PoolShare is the GB-weighted share of placed memory on the pool.
+	PoolShare float64
+
+	// Log is the cell's event log.
+	Log string
+}
+
+// Report is the merged outcome of a fleet run.
+type Report struct {
+	Options      Options
+	TopologyDesc string
+	Cells        []CellResult
+
+	Arrivals, Placed, Rejected, Departed int
+	BlastVMs, Migrated                   int
+	AvgCoreUtil                          float64
+	AvgStrandedGB                        float64
+	PeakPoolUsedGB                       float64
+	PoolShare                            float64
+
+	// EventLog is the concatenation of all cell logs in cell order;
+	// LogSHA256 is its hash — the determinism witness.
+	EventLog  string
+	LogSHA256 string
+}
+
+// String renders a one-screen summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: topology=%s cells=%d hosts=%d emcs=%d pool=%dGB arrival=%s duration=%gs seed=%d\n",
+		r.Options.Topology, r.Options.Cells, r.Options.Hosts, r.Options.EMCs, r.Options.PoolGB,
+		r.Options.Arrival, r.Options.DurationSec, r.Options.Seed)
+	fmt.Fprintf(&b, "  %s\n", r.TopologyDesc)
+	fmt.Fprintf(&b, "  arrivals=%d placed=%d rejected=%d departed=%d blast-vms=%d migrated=%d\n",
+		r.Arrivals, r.Placed, r.Rejected, r.Departed, r.BlastVMs, r.Migrated)
+	fmt.Fprintf(&b, "  core-util=%.1f%% stranded=%.1fGB peak-pool-used=%.0fGB pool-share=%.1f%%\n",
+		100*r.AvgCoreUtil, r.AvgStrandedGB, r.PeakPoolUsedGB, 100*r.PoolShare)
+	fmt.Fprintf(&b, "  event-log: %d events, sha256=%s", strings.Count(r.EventLog, "\n"), r.LogSHA256)
+	return b.String()
+}
+
+// Run executes the fleet simulation. Cells fan out across the engine
+// worker pool; the report — including the full event log and its hash —
+// is byte-identical for every worker count.
+func Run(ctx context.Context, o Options) (*Report, error) {
+	o, err := normalize(o)
+	if err != nil {
+		return nil, err
+	}
+
+	// Train the insensitivity model once; scoring is read-only, so every
+	// cell shares it. The threshold targets the paper's ~30% label rate.
+	var insens predict.Insensitivity
+	threshold := 0.0
+	if o.Predictions {
+		ratio := cxl.PondLatencyRatio(o.Hosts * 2)
+		ds := predict.BuildSensitivityDataset(ratio, o.PDM, 3, o.Seed)
+		rf := predict.TrainForest(ds.X, ds.Insensitive, o.Seed)
+		threshold = predict.ThresholdForLabelRate(predict.DatasetScores(rf, ds), 0.30)
+		insens = rf
+	}
+
+	cells := make([]int, o.Cells)
+	for i := range cells {
+		cells[i] = i
+	}
+	results, err := engine.Map(ctx, cells, engine.Options{Workers: o.Workers, Seed: o.Seed},
+		func(i int, _ int, rng *stats.Rand) (CellResult, error) {
+			return runCell(i, o, insens, threshold, rng)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Options: o, Cells: results}
+	tp, _ := topo.Build(o.Topology, o.Hosts, o.EMCs, o.PodDegree)
+	rep.TopologyDesc = tp.Describe()
+	var log strings.Builder
+	for _, c := range results {
+		rep.Arrivals += c.Arrivals
+		rep.Placed += c.Placed
+		rep.Rejected += c.Rejected
+		rep.Departed += c.Departed
+		rep.BlastVMs += c.BlastVMs
+		rep.Migrated += c.Migrated
+		rep.AvgCoreUtil += c.AvgCoreUtil / float64(len(results))
+		rep.AvgStrandedGB += c.AvgStrandedGB / float64(len(results))
+		rep.PoolShare += c.PoolShare / float64(len(results))
+		if c.PeakPoolUsedGB > rep.PeakPoolUsedGB {
+			rep.PeakPoolUsedGB = c.PeakPoolUsedGB
+		}
+		log.WriteString(c.Log)
+	}
+	rep.EventLog = log.String()
+	sum := sha256.Sum256([]byte(rep.EventLog))
+	rep.LogSHA256 = hex.EncodeToString(sum[:])
+	return rep, nil
+}
+
+// Event kinds of the cell loop.
+const (
+	evArrive = iota
+	evDepart
+	evInject
+)
+
+// event is one entry of the cell's time-ordered queue.
+type event struct {
+	at   float64
+	seq  int // push order; breaks time ties deterministically
+	kind int
+	idx  int          // arrival or injection index
+	vm   cluster.VMID // departing VM
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// runningVM tracks one placed VM during the loop.
+type runningVM struct {
+	vm   cluster.VMRequest
+	host int
+}
+
+// runCell simulates one pool group over the full horizon. Everything is
+// sequential and driven by the injected RNG, so the cell's log depends
+// only on (options, cell index, seed).
+func runCell(cell int, o Options, insens predict.Insensitivity, threshold float64, r *stats.Rand) (CellResult, error) {
+	res := CellResult{Cell: cell}
+
+	// Build the cell's deployment: topology, devices, manager, hosts,
+	// control plane — the same wiring as pond.NewSystem.
+	tp, err := topo.Build(o.Topology, o.Hosts, o.EMCs, o.PodDegree)
+	if err != nil {
+		return res, err
+	}
+	perEMC := o.PoolGB / o.EMCs
+	devices := make([]*emc.Device, o.EMCs)
+	for i := range devices {
+		devices[i] = emc.NewDevice(fmt.Sprintf("c%d-emc%d", cell, i), perEMC, o.Hosts)
+	}
+	manager := pool.NewManagerTopo(devices, tp.Conn(), r.Fork(2))
+	spec := cluster.ServerSpec{Sockets: 2, CoresPerSock: o.CoresPerSocket, MemGBPerSock: o.MemGBPerSocket}
+	ratio := cxl.PondLatencyRatio(o.Hosts * 2)
+	hosts := make([]*host.Host, o.Hosts)
+	for i := range hosts {
+		hosts[i] = host.New(emc.HostID(i), spec, host.Config{PoolLatencyRatio: ratio})
+	}
+	store := telemetry.NewStore()
+	pcfg := core.DefaultConfig()
+	pcfg.Ratio = ratio
+	pcfg.PDM = o.PDM
+	pcfg.TP = o.TP
+	pcfg.InsensScoreThreshold = threshold
+	var um predict.Untouched
+	if o.Predictions {
+		um = predict.HistoryQuantileUM{}
+	}
+	pipe := core.NewPipeline(pcfg, insens, um, store)
+	sched := core.NewClusterScheduler(hosts, manager)
+
+	arrivals := generateArrivals(o, cell, r.Fork(3))
+	res.Arrivals = len(arrivals)
+	rPlace := r.Fork(4)
+
+	// Seed the queue: arrivals in time order, then injections.
+	var q eventHeap
+	seq := 0
+	push := func(ev event) {
+		ev.seq = seq
+		seq++
+		heap.Push(&q, ev)
+	}
+	for i := range arrivals {
+		push(event{at: arrivals[i].ArrivalSec, kind: evArrive, idx: i})
+	}
+	for i, inj := range o.Injections {
+		push(event{at: inj.AtSec, kind: evInject, idx: i})
+	}
+
+	running := make(map[cluster.VMID]*runningVM)
+	var log strings.Builder
+	logf := func(at float64, format string, args ...any) {
+		fmt.Fprintf(&log, "[c%d t=%.3f] ", cell, at)
+		fmt.Fprintf(&log, format, args...)
+		log.WriteByte('\n')
+	}
+
+	totalCores := float64(o.Hosts * spec.TotalCores())
+	var placedGB, placedPoolGB float64
+	lastT := 0.0
+	var utilSec, strandedGBSec float64
+	account := func(now float64) {
+		dt := now - lastT
+		if dt <= 0 {
+			return
+		}
+		freeCores, stranded, poolUsed := 0, 0.0, 0.0
+		for _, h := range hosts {
+			freeCores += h.FreeCores()
+			stranded += h.StrandedGB()
+			poolUsed += h.OnlinePoolGB() - h.FreePoolGB()
+		}
+		utilSec += dt * (totalCores - float64(freeCores)) / totalCores
+		strandedGBSec += dt * stranded
+		if poolUsed > res.PeakPoolUsedGB {
+			res.PeakPoolUsedGB = poolUsed
+		}
+		lastT = now
+	}
+
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(event)
+		if ev.at > o.DurationSec {
+			break
+		}
+		account(ev.at)
+		now := ev.at
+		switch ev.kind {
+		case evArrive:
+			vm := arrivals[ev.idx]
+			w := vm.GroundTruth.Workload
+
+			// Admission through the Figure 13 control plane: history
+			// counters when the customer has completed VMs before.
+			var counters *pmu.Vector
+			hist := store.CustomerHistory(vm.Customer, now+1, predict.HistoryWindowSec)
+			if hist.Count > 0 {
+				v := pmu.Sample(w, rPlace)
+				counters = &v
+			}
+			d := pipe.Decide(vm, counters, predict.UMFeatures(vm, hist))
+			pr, perr := sched.Place(vm, d, now)
+			if perr != nil {
+				res.Rejected++
+				logf(now, "reject vm=%d type=%s cores=%d mem=%g", vm.ID, vm.Type.Name, vm.Type.Cores, vm.Type.MemoryGB)
+				continue
+			}
+			if pr.FellBackToLocal {
+				d = core.Decision{Kind: core.AllLocal, LocalGB: vm.Type.MemoryGB}
+			}
+			store.RecordSample(vm.ID, pmu.Sample(w, rPlace))
+			res.Placed++
+			placedGB += vm.Type.MemoryGB
+			placedPoolGB += pr.Placement.PoolGB
+			running[vm.ID] = &runningVM{vm: vm, host: pr.HostIndex}
+			push(event{at: now + vm.LifetimeSec, kind: evDepart, vm: vm.ID})
+			logf(now, "arrive vm=%d cust=%d type=%s decision=%s host=%d local=%g pool=%g",
+				vm.ID, vm.Customer, vm.Type.Name, d.Kind, pr.HostIndex, pr.Placement.LocalGB, pr.Placement.PoolGB)
+
+		case evDepart:
+			st, ok := running[ev.vm]
+			if !ok {
+				continue // lost to an earlier EMC failure
+			}
+			delete(running, ev.vm)
+			p, rerr := sched.Release(st.host, ev.vm, now)
+			if rerr != nil {
+				return res, fmt.Errorf("cell %d: release vm %d: %w", cell, ev.vm, rerr)
+			}
+			store.RecordOutcome(p.VM.Customer, now, p.VM.GroundTruth.UntouchedFrac)
+			store.ForgetVM(ev.vm)
+			res.Departed++
+			logf(now, "depart vm=%d host=%d", ev.vm, st.host)
+
+		case evInject:
+			inj := o.Injections[ev.idx]
+			switch inj.Kind {
+			case InjectEMCFail:
+				devices[inj.EMC].Fail()
+				// Blast radius: every running VM with slices on the dead
+				// device, released in id order.
+				var blast []cluster.VMID
+				for id, st := range running {
+					for _, ref := range hostSlices(hosts[st.host], id) {
+						if ref.EMC == inj.EMC {
+							blast = append(blast, id)
+							break
+						}
+					}
+				}
+				sort.Slice(blast, func(i, j int) bool { return blast[i] < blast[j] })
+				lostGB := 0.0
+				for _, id := range blast {
+					st := running[id]
+					delete(running, id)
+					p, rerr := hosts[st.host].ReleaseVM(id)
+					if rerr != nil {
+						return res, fmt.Errorf("cell %d: blast release vm %d: %w", cell, id, rerr)
+					}
+					lostGB += p.VM.Type.MemoryGB
+					// Slices on the failed device are gone; survivors on
+					// other EMCs drain back through the manager.
+					var alive []pool.SliceRef
+					for _, ref := range p.Slices {
+						if ref.EMC != inj.EMC {
+							alive = append(alive, ref)
+						}
+					}
+					if err := hosts[st.host].RemovePoolCapacity(float64(len(p.Slices))); err != nil {
+						return res, fmt.Errorf("cell %d: blast offline vm %d: %w", cell, id, err)
+					}
+					if len(alive) > 0 {
+						manager.ReleaseCapacity(emc.HostID(st.host), alive, now)
+					}
+					store.ForgetVM(id)
+				}
+				res.BlastVMs += len(blast)
+				logf(now, "inject emc-fail emc=%d blast-hosts=%d blast-vms=%d lost-gb=%g",
+					inj.EMC, tp.BlastRadiusHosts(inj.EMC), len(blast), lostGB)
+
+			case InjectHostDrain:
+				migrations, remaining, derr := sched.DrainHost(inj.Host, now)
+				if derr != nil {
+					return res, derr
+				}
+				for _, m := range migrations {
+					if st, ok := running[m.VM]; ok {
+						st.host = m.Target
+					}
+				}
+				res.Migrated += len(migrations)
+				logf(now, "inject host-drain host=%d migrated=%d remaining=%d", inj.Host, len(migrations), len(remaining))
+
+			case InjectSurge:
+				logf(now, "inject surge x=%g dur=%g", inj.Factor, inj.DurSec)
+			}
+		}
+	}
+	account(o.DurationSec)
+
+	if o.DurationSec > 0 {
+		res.AvgCoreUtil = utilSec / o.DurationSec
+		res.AvgStrandedGB = strandedGBSec / o.DurationSec
+	}
+	if placedGB > 0 {
+		res.PoolShare = placedPoolGB / placedGB
+	}
+	logf(o.DurationSec, "summary arrivals=%d placed=%d rejected=%d departed=%d blast-vms=%d migrated=%d util=%.3f stranded=%.3f pool-share=%.4f",
+		res.Arrivals, res.Placed, res.Rejected, res.Departed, res.BlastVMs, res.Migrated,
+		res.AvgCoreUtil, res.AvgStrandedGB, res.PoolShare)
+	res.Log = log.String()
+	return res, nil
+}
+
+// hostSlices returns a VM's pool slices on its host (nil when unknown).
+func hostSlices(h *host.Host, id cluster.VMID) []pool.SliceRef {
+	if p, ok := h.Placement(id); ok {
+		return p.Slices
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Injection kinds.
+const (
+	// InjectEMCFail fails one EMC at t: its slices are gone, every VM
+	// with memory on it is lost (the §4.2 blast radius), and the device
+	// serves no further capacity.
+	InjectEMCFail = "emc-fail"
+	// InjectHostDrain puts one host into maintenance drain at t: no new
+	// placements, resident VMs live-migrate to all-local placements where
+	// capacity allows.
+	InjectHostDrain = "host-drain"
+	// InjectSurge multiplies the arrival rate by Factor over [t, t+dur].
+	InjectSurge = "surge"
+)
+
+// Injection is one scheduled scenario event.
+type Injection struct {
+	Kind  string
+	AtSec float64
+
+	// EMC is the target device for emc-fail (default 0).
+	EMC int
+	// Host is the target host for host-drain (default 0).
+	Host int
+	// DurSec and Factor shape a surge (defaults 200 s, 2x).
+	DurSec float64
+	Factor float64
+}
+
+// String renders the injection as a parseable spec.
+func (in Injection) String() string {
+	switch in.Kind {
+	case InjectEMCFail:
+		return fmt.Sprintf("%s@t=%g:emc=%d", in.Kind, in.AtSec, in.EMC)
+	case InjectHostDrain:
+		return fmt.Sprintf("%s@t=%g:host=%d", in.Kind, in.AtSec, in.Host)
+	case InjectSurge:
+		return fmt.Sprintf("%s@t=%g:dur=%g:x=%g", in.Kind, in.AtSec, in.DurSec, in.Factor)
+	default:
+		return in.Kind
+	}
+}
+
+// ParseInjections parses a comma-separated injection list:
+//
+//	emc-fail@t=500
+//	emc-fail@t=500:emc=1
+//	host-drain@t=800:host=2
+//	surge@t=300:dur=200:x=3
+func ParseInjections(s string) ([]Injection, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []Injection
+	for _, spec := range strings.Split(s, ",") {
+		in, err := parseInjection(strings.TrimSpace(spec))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+func parseInjection(spec string) (Injection, error) {
+	kind, rest, ok := strings.Cut(spec, "@")
+	if !ok {
+		return Injection{}, fmt.Errorf("fleet: injection %q needs kind@t=SEC", spec)
+	}
+	in := Injection{Kind: kind, AtSec: -1, DurSec: 200, Factor: 2}
+	switch kind {
+	case InjectEMCFail, InjectHostDrain, InjectSurge:
+	default:
+		return in, fmt.Errorf("fleet: unknown injection kind %q (want %s, %s, %s)",
+			kind, InjectEMCFail, InjectHostDrain, InjectSurge)
+	}
+	for _, p := range strings.Split(rest, ":") {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			return in, fmt.Errorf("fleet: injection parameter %q is not key=value", p)
+		}
+		switch k {
+		case "t", "dur", "x":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || math.IsInf(f, 0) || math.IsNaN(f) {
+				return in, fmt.Errorf("fleet: injection parameter %s=%q must be a non-negative number", k, v)
+			}
+			switch k {
+			case "t":
+				in.AtSec = f
+			case "dur":
+				in.DurSec = f
+			case "x":
+				in.Factor = f
+			}
+		case "emc", "host":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return in, fmt.Errorf("fleet: injection parameter %s=%q must be a non-negative integer", k, v)
+			}
+			if k == "emc" {
+				in.EMC = n
+			} else {
+				in.Host = n
+			}
+		default:
+			return in, fmt.Errorf("fleet: unknown injection parameter %q", k)
+		}
+	}
+	if in.AtSec < 0 {
+		return in, fmt.Errorf("fleet: injection %q is missing t=SEC", spec)
+	}
+	if in.Kind == InjectSurge && in.Factor <= 1 {
+		return in, fmt.Errorf("fleet: surge factor x=%g must exceed 1", in.Factor)
+	}
+	return in, nil
+}

@@ -69,6 +69,11 @@ type Manager struct {
 	emcs []*emc.Device
 	r    *stats.Rand
 
+	// conn[h] lists the device indices host h is physically cabled to;
+	// nil means every host reaches every EMC (the flat pool group of the
+	// paper). AddCapacity only assigns slices a host can actually decode.
+	conn [][]int
+
 	pending []pendingRelease // sorted by readySec
 
 	// startRates records RequiredOfflineRate per AddCapacity call, the
@@ -79,13 +84,53 @@ type Manager struct {
 	releaseOps int64
 }
 
-// NewManager creates a Pool Manager over the given EMCs. The RNG drives
-// the per-operation offline duration draw.
+// NewManager creates a Pool Manager over the given EMCs with flat
+// connectivity (every host reaches every device). The RNG drives the
+// per-operation offline duration draw.
 func NewManager(emcs []*emc.Device, r *stats.Rand) *Manager {
+	return NewManagerTopo(emcs, nil, r)
+}
+
+// NewManagerTopo creates a Pool Manager with an explicit host-to-EMC
+// connectivity graph: conn[h] lists the device indices host h reaches
+// (see internal/topo). A nil conn means flat connectivity.
+func NewManagerTopo(emcs []*emc.Device, conn [][]int, r *stats.Rand) *Manager {
 	if len(emcs) == 0 {
 		panic("pool: manager needs at least one EMC")
 	}
-	return &Manager{emcs: emcs, r: r}
+	for h, devs := range conn {
+		for _, di := range devs {
+			if di < 0 || di >= len(emcs) {
+				panic(fmt.Sprintf("pool: host %d wired to EMC %d of %d", h, di, len(emcs)))
+			}
+		}
+	}
+	return &Manager{emcs: emcs, conn: conn, r: r}
+}
+
+// devicesFor returns the device indices host h can reach, in index order.
+func (m *Manager) devicesFor(h emc.HostID) []int {
+	if m.conn != nil && int(h) >= 0 && int(h) < len(m.conn) {
+		return m.conn[h]
+	}
+	all := make([]int, len(m.emcs))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// reaches reports whether host h is cabled to device di.
+func (m *Manager) reaches(h emc.HostID, di int) bool {
+	if m.conn == nil || int(h) < 0 || int(h) >= len(m.conn) {
+		return true
+	}
+	for _, d := range m.conn[h] {
+		if d == di {
+			return true
+		}
+	}
+	return false
 }
 
 // PoolGB returns the total pool capacity across EMCs.
@@ -104,6 +149,17 @@ func (m *Manager) FreeGB(now float64) int {
 	free := 0
 	for _, d := range m.emcs {
 		free += d.FreeSlices() * emc.SliceGB
+	}
+	return free
+}
+
+// FreeGBFor returns the immediately assignable capacity reachable from
+// host h — under sparse topologies a strict subset of FreeGB.
+func (m *Manager) FreeGBFor(h emc.HostID, now float64) int {
+	m.drain(now)
+	free := 0
+	for _, di := range m.devicesFor(h) {
+		free += m.emcs[di].FreeSlices() * emc.SliceGB
 	}
 	return free
 }
@@ -144,12 +200,18 @@ func (m *Manager) AddCapacity(h emc.HostID, gb int, now float64) (AddResult, err
 	res := AddResult{}
 	need := gb / emc.SliceGB
 
-	if free := m.FreeGB(now); free < gb {
-		// Wait for pending offlines to cover the shortfall.
+	if free := m.FreeGBFor(h, now); free < gb {
+		// Wait for pending offlines on reachable EMCs to cover the
+		// shortfall.
 		shortfall := gb - free
 		covered := 0
 		var waitUntil float64
 		for _, p := range m.pending {
+			// Pending slices on unreachable or failed devices will never
+			// become assignable capacity for this host.
+			if !m.reaches(h, p.ref.EMC) || m.emcs[p.ref.EMC].Failed() {
+				continue
+			}
 			covered += emc.SliceGB
 			if covered >= shortfall {
 				waitUntil = p.readySec
@@ -157,8 +219,8 @@ func (m *Manager) AddCapacity(h emc.HostID, gb int, now float64) (AddResult, err
 			}
 		}
 		if covered < shortfall {
-			return AddResult{}, fmt.Errorf("pool: %d GB requested, %d free and %d draining",
-				gb, free, len(m.pending)*emc.SliceGB)
+			return AddResult{}, fmt.Errorf("pool: %d GB requested, %d free and %d draining reachable from host %d",
+				gb, free, covered, h)
 		}
 		res.WaitedSec = waitUntil - now
 		if res.WaitedSec > 0 {
@@ -169,14 +231,16 @@ func (m *Manager) AddCapacity(h emc.HostID, gb int, now float64) (AddResult, err
 	}
 	m.startRates = append(m.startRates, res.RequiredOfflineRate)
 
-	// Prefer filling from the EMC with the most free slices: keeps each
-	// VM's pool memory on one EMC, minimizing failure blast radius.
-	order := make([]int, len(m.emcs))
-	for i := range order {
-		order[i] = i
-	}
+	// Among the EMCs this host reaches, prefer filling from the one with
+	// the most free slices: keeps each VM's pool memory on one EMC,
+	// minimizing failure blast radius.
+	order := append([]int(nil), m.devicesFor(h)...)
 	sort.Slice(order, func(a, b int) bool {
-		return m.emcs[order[a]].FreeSlices() > m.emcs[order[b]].FreeSlices()
+		fa, fb := m.emcs[order[a]].FreeSlices(), m.emcs[order[b]].FreeSlices()
+		if fa != fb {
+			return fa > fb
+		}
+		return order[a] < order[b]
 	})
 	for _, di := range order {
 		if need == 0 {

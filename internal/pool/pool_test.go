@@ -352,3 +352,74 @@ func TestReclaimHostLeavesOthersAlone(t *testing.T) {
 		t.Fatalf("pending = %d, want 2", m.PendingGB(5))
 	}
 }
+
+func TestTopoAddCapacityRespectsConnectivity(t *testing.T) {
+	devs := []*emc.Device{
+		emc.NewDevice("emc0", 8, 4),
+		emc.NewDevice("emc1", 64, 4),
+	}
+	// Host 0 reaches only emc0, host 1 only emc1.
+	m := NewManagerTopo(devs, [][]int{{0}, {1}}, stats.NewRand(1))
+
+	res, err := m.AddCapacity(0, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range res.Slices {
+		if ref.EMC != 0 {
+			t.Fatalf("host 0 got a slice on EMC %d, reaches only EMC 0", ref.EMC)
+		}
+	}
+	// emc0 is now exhausted; host 0 cannot borrow from emc1 even though
+	// it has plenty free.
+	if _, err := m.AddCapacity(0, 8, 0); err == nil {
+		t.Fatal("host 0 should not reach emc1's capacity")
+	}
+	if free := m.FreeGBFor(0, 0); free != 0 {
+		t.Fatalf("FreeGBFor(0) = %d, want 0", free)
+	}
+	if free := m.FreeGBFor(1, 0); free != 64 {
+		t.Fatalf("FreeGBFor(1) = %d, want 64", free)
+	}
+}
+
+func TestTopoWaitOnlyCountsReachablePending(t *testing.T) {
+	devs := []*emc.Device{
+		emc.NewDevice("emc0", 4, 4),
+		emc.NewDevice("emc1", 4, 4),
+	}
+	m := NewManagerTopo(devs, [][]int{{0}, {1}}, stats.NewRand(1))
+
+	// Host 1 takes all of emc1 and releases it: 4 GB draining on emc1.
+	res, err := m.AddCapacity(1, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseCapacity(1, res.Slices, 0)
+	// Host 0 empties emc0 too.
+	if _, err := m.AddCapacity(0, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Host 0 must not be able to wait for emc1's drains: they are
+	// unreachable for it.
+	if _, err := m.AddCapacity(0, 2, 0); err == nil {
+		t.Fatal("host 0 waited for pending offlines on an unreachable EMC")
+	}
+	// Host 1 can wait for its own drains.
+	got, err := m.AddCapacity(1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WaitedSec <= 0 {
+		t.Fatalf("host 1 should have waited for its drains: %+v", got)
+	}
+}
+
+func TestNewManagerTopoPanicsOnBadWiring(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewManagerTopo([]*emc.Device{emc.NewDevice("emc0", 4, 2)}, [][]int{{1}}, stats.NewRand(1))
+}

@@ -167,3 +167,21 @@ func alignDownGB(gb float64) float64 {
 func DefaultMargins() []float64 {
 	return []float64{-0.15, -0.10, -0.05, 0, 0.03, 0.06, 0.10, 0.15, 0.20, 0.30, 0.40}
 }
+
+// HistoryQuantileUM is the online stand-in for a fleet-trained GBM used
+// by the live facades (pond.System, the fleet simulator): the customer's
+// trailing P25 untouched fraction with a 0.9 safety factor, zero without
+// at least three completed VMs of history. Feature indices follow
+// UMFeatures (6 = history count, 8 = P25 untouched).
+type HistoryQuantileUM struct{}
+
+// PredictUntouchedFrac returns the discounted history quantile.
+func (HistoryQuantileUM) PredictUntouchedFrac(features []float64) float64 {
+	if len(features) < 9 || features[6] < 3 {
+		return 0
+	}
+	return features[8] * 0.9
+}
+
+// Name identifies the heuristic.
+func (HistoryQuantileUM) Name() string { return "history-quantile" }

@@ -1,0 +1,192 @@
+// Package topo models how hosts of a Pond deployment attach to external
+// memory controllers. The paper evaluates one flat pool group — every
+// socket reaches every EMC (§4.1, pool sizes of 8-64 sockets) — but the
+// connectivity graph is a real design axis: it trades stranding reduction
+// (more hosts sharing more EMCs multiplex better, §2) against failure
+// blast radius (an EMC failure takes down every VM with slices on it,
+// §4.2) and CXL port budget per EMC. Octopus-style designs make the graph
+// sparse: small pods of hosts share small sets of EMCs, with neighbouring
+// pods overlapping so capacity can still shift toward demand.
+//
+// Three named topologies cover the space:
+//
+//   - flat: every host connects to every EMC (the paper's pool group).
+//     Maximum multiplexing, maximum blast radius.
+//   - sharded: hosts are partitioned and each partition owns exactly one
+//     EMC. Minimum blast radius, no cross-partition multiplexing.
+//   - sparse: each host connects to a sliding window of Degree EMCs, so
+//     adjacent pods overlap on shared devices (Octopus-style pods).
+//
+// The topology is purely a connectivity constraint: the Pool Manager
+// consults it when choosing which EMC serves an add_capacity call, and
+// the fleet simulator uses it for blast-radius accounting.
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Topology names understood by Build.
+const (
+	Flat    = "flat"
+	Sharded = "sharded"
+	Sparse  = "sparse"
+)
+
+// Names lists the supported topology names.
+func Names() []string { return []string{Flat, Sharded, Sparse} }
+
+// Topology is an immutable host-to-EMC connectivity graph.
+type Topology struct {
+	name  string
+	hosts int
+	emcs  int
+	// conn[h] is the ascending list of EMC indices host h reaches.
+	conn [][]int
+	// hostsFor[e] is the ascending list of hosts attached to EMC e.
+	hostsFor [][]int
+}
+
+// Build constructs a named topology. An empty name means flat. degree is
+// only meaningful for sparse (connections per host; <= 0 defaults to 2
+// and is clamped to the EMC count).
+func Build(name string, hosts, emcs, degree int) (*Topology, error) {
+	if hosts <= 0 || emcs <= 0 {
+		return nil, fmt.Errorf("topo: need positive hosts and EMCs, got %d hosts x %d EMCs", hosts, emcs)
+	}
+	switch strings.TrimSpace(strings.ToLower(name)) {
+	case "", Flat:
+		return build(Flat, hosts, emcs, func(h int) []int {
+			all := make([]int, emcs)
+			for e := range all {
+				all[e] = e
+			}
+			return all
+		}), nil
+	case Sharded:
+		// Contiguous partition: host h owns EMC h*emcs/hosts. With more
+		// EMCs than hosts the trailing EMCs go unused by construction, so
+		// reject the shape instead of silently stranding pool capacity.
+		if emcs > hosts {
+			return nil, fmt.Errorf("topo: sharded needs hosts >= EMCs, got %d hosts x %d EMCs", hosts, emcs)
+		}
+		return build(Sharded, hosts, emcs, func(h int) []int {
+			return []int{h * emcs / hosts}
+		}), nil
+	case Sparse:
+		if degree <= 0 {
+			degree = 2
+		}
+		if degree > emcs {
+			degree = emcs
+		}
+		d := degree
+		t := build(Sparse, hosts, emcs, func(h int) []int {
+			// Sliding window: the host's pod anchors at EMC
+			// h*emcs/hosts and spans d consecutive devices (mod emcs),
+			// so adjacent pods share EMCs — the overlap that lets
+			// capacity shift between pods.
+			base := h * emcs / hosts
+			w := make([]int, d)
+			for j := 0; j < d; j++ {
+				w[j] = (base + j) % emcs
+			}
+			sort.Ints(w)
+			return w
+		})
+		// With few hosts, wide EMC counts, and a small degree the
+		// windows can skip devices entirely; reject the shape instead of
+		// silently stranding the unreachable pool capacity.
+		for e := 0; e < emcs; e++ {
+			if len(t.hostsFor[e]) == 0 {
+				return nil, fmt.Errorf("topo: sparse %d hosts x %d EMCs at degree %d leaves EMC %d unreachable; raise the degree",
+					hosts, emcs, d, e)
+			}
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("topo: unknown topology %q (want %s)", name, strings.Join(Names(), ", "))
+	}
+}
+
+// build materializes the graph from a per-host connectivity function.
+func build(name string, hosts, emcs int, emcsFor func(h int) []int) *Topology {
+	t := &Topology{
+		name:     name,
+		hosts:    hosts,
+		emcs:     emcs,
+		conn:     make([][]int, hosts),
+		hostsFor: make([][]int, emcs),
+	}
+	for h := 0; h < hosts; h++ {
+		t.conn[h] = emcsFor(h)
+		for _, e := range t.conn[h] {
+			t.hostsFor[e] = append(t.hostsFor[e], h)
+		}
+	}
+	return t
+}
+
+// Name returns the topology name.
+func (t *Topology) Name() string { return t.name }
+
+// Hosts returns the host count.
+func (t *Topology) Hosts() int { return t.hosts }
+
+// EMCs returns the EMC count.
+func (t *Topology) EMCs() int { return t.emcs }
+
+// EMCsFor returns the EMC indices host h reaches (ascending). The slice
+// is shared; callers must not mutate it.
+func (t *Topology) EMCsFor(h int) []int {
+	if h < 0 || h >= t.hosts {
+		return nil
+	}
+	return t.conn[h]
+}
+
+// HostsFor returns the hosts attached to EMC e (ascending). The slice is
+// shared; callers must not mutate it.
+func (t *Topology) HostsFor(e int) []int {
+	if e < 0 || e >= t.emcs {
+		return nil
+	}
+	return t.hostsFor[e]
+}
+
+// Conn returns a copy of the full host-to-EMC connectivity, indexable by
+// host. The Pool Manager consumes this form.
+func (t *Topology) Conn() [][]int {
+	out := make([][]int, len(t.conn))
+	for h, c := range t.conn {
+		out[h] = append([]int(nil), c...)
+	}
+	return out
+}
+
+// Degree returns the number of EMCs host h reaches.
+func (t *Topology) Degree(h int) int { return len(t.EMCsFor(h)) }
+
+// BlastRadiusHosts returns how many hosts an EMC failure can reach.
+func (t *Topology) BlastRadiusHosts(e int) int { return len(t.HostsFor(e)) }
+
+// MaxBlastRadiusFrac returns the worst-case fraction of the fleet's hosts
+// a single EMC failure touches — the §4.2 isolation metric the sparse
+// topologies exist to shrink.
+func (t *Topology) MaxBlastRadiusFrac() float64 {
+	max := 0
+	for e := 0; e < t.emcs; e++ {
+		if n := t.BlastRadiusHosts(e); n > max {
+			max = n
+		}
+	}
+	return float64(max) / float64(t.hosts)
+}
+
+// Describe renders a one-line summary.
+func (t *Topology) Describe() string {
+	return fmt.Sprintf("%s: %d hosts x %d EMCs, degree %d, max blast radius %.0f%% of hosts",
+		t.name, t.hosts, t.emcs, t.Degree(0), 100*t.MaxBlastRadiusFrac())
+}

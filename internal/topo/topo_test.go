@@ -1,0 +1,156 @@
+package topo
+
+import "testing"
+
+func TestFlat(t *testing.T) {
+	tp, err := Build("flat", 8, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 8; h++ {
+		if got := tp.Degree(h); got != 4 {
+			t.Fatalf("flat host %d degree = %d, want 4", h, got)
+		}
+	}
+	for e := 0; e < 4; e++ {
+		if got := tp.BlastRadiusHosts(e); got != 8 {
+			t.Fatalf("flat EMC %d blast radius = %d hosts, want 8", e, got)
+		}
+	}
+	if frac := tp.MaxBlastRadiusFrac(); frac != 1 {
+		t.Fatalf("flat max blast radius = %v, want 1", frac)
+	}
+}
+
+func TestEmptyNameMeansFlat(t *testing.T) {
+	tp, err := Build("", 4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Name() != Flat {
+		t.Fatalf("empty name built %q, want flat", tp.Name())
+	}
+}
+
+func TestSharded(t *testing.T) {
+	tp, err := Build("sharded", 8, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 8; h++ {
+		emcs := tp.EMCsFor(h)
+		if len(emcs) != 1 {
+			t.Fatalf("sharded host %d reaches %v, want exactly one EMC", h, emcs)
+		}
+		if want := h * 4 / 8; emcs[0] != want {
+			t.Fatalf("sharded host %d -> EMC %d, want %d", h, emcs[0], want)
+		}
+	}
+	// Every EMC serves exactly hosts/emcs hosts; blast radius is 1/EMCs.
+	for e := 0; e < 4; e++ {
+		if got := tp.BlastRadiusHosts(e); got != 2 {
+			t.Fatalf("sharded EMC %d blast radius = %d, want 2", e, got)
+		}
+	}
+	if frac := tp.MaxBlastRadiusFrac(); frac != 0.25 {
+		t.Fatalf("sharded max blast radius = %v, want 0.25", frac)
+	}
+}
+
+func TestShardedRejectsMoreEMCsThanHosts(t *testing.T) {
+	if _, err := Build("sharded", 2, 4, 0); err == nil {
+		t.Fatal("sharded with EMCs > hosts should fail")
+	}
+}
+
+func TestSparse(t *testing.T) {
+	tp, err := Build("sparse", 8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for h := 0; h < 8; h++ {
+		emcs := tp.EMCsFor(h)
+		if len(emcs) != 2 {
+			t.Fatalf("sparse host %d degree = %d, want 2", h, len(emcs))
+		}
+		for _, e := range emcs {
+			seen[e] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("sparse connectivity reaches %d EMCs, want all 4", len(seen))
+	}
+	// Blast radius sits strictly between sharded (1/EMCs) and flat (1).
+	frac := tp.MaxBlastRadiusFrac()
+	if frac <= 0.25 || frac >= 1 {
+		t.Fatalf("sparse max blast radius = %v, want in (0.25, 1)", frac)
+	}
+	// Adjacent pods overlap: hosts 1 and 2 (different anchor EMCs) share
+	// at least one device.
+	share := false
+	for _, a := range tp.EMCsFor(1) {
+		for _, b := range tp.EMCsFor(3) {
+			if a == b {
+				share = true
+			}
+		}
+	}
+	if !share {
+		t.Fatal("sparse pods should overlap on shared EMCs")
+	}
+}
+
+func TestSparseDegreeClamp(t *testing.T) {
+	tp, err := Build("sparse", 4, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Degree(0) != 2 {
+		t.Fatalf("degree should clamp to EMC count, got %d", tp.Degree(0))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build("ring", 4, 2, 0); err == nil {
+		t.Fatal("unknown topology should fail")
+	}
+	if _, err := Build("flat", 0, 2, 0); err == nil {
+		t.Fatal("zero hosts should fail")
+	}
+	if _, err := Build("flat", 2, 0, 0); err == nil {
+		t.Fatal("zero EMCs should fail")
+	}
+}
+
+func TestConnIsACopy(t *testing.T) {
+	tp, _ := Build("flat", 2, 2, 0)
+	conn := tp.Conn()
+	conn[0][0] = 99
+	if tp.EMCsFor(0)[0] == 99 {
+		t.Fatal("Conn must return a copy, not the internal slices")
+	}
+}
+
+func TestOutOfRangeQueries(t *testing.T) {
+	tp, _ := Build("flat", 2, 2, 0)
+	if tp.EMCsFor(-1) != nil || tp.EMCsFor(2) != nil {
+		t.Fatal("out-of-range host should return nil")
+	}
+	if tp.HostsFor(-1) != nil || tp.HostsFor(2) != nil {
+		t.Fatal("out-of-range EMC should return nil")
+	}
+}
+
+func TestSparseRejectsUnreachableEMCs(t *testing.T) {
+	// 2 hosts x 8 EMCs at degree 2: windows {0,1} and {4,5} leave EMCs
+	// 2,3,6,7 wired to nobody — the shape must be rejected, not strand
+	// pool capacity silently.
+	if _, err := Build("sparse", 2, 8, 2); err == nil {
+		t.Fatal("sparse shape with unreachable EMCs should fail")
+	}
+	// Raising the degree makes it legal again.
+	if _, err := Build("sparse", 2, 8, 4); err != nil {
+		t.Fatalf("full-coverage sparse shape rejected: %v", err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"pond/internal/predict"
 	"pond/internal/stats"
 	"pond/internal/telemetry"
+	"pond/internal/topo"
 	"pond/internal/workload"
 )
 
@@ -57,6 +58,16 @@ type Config struct {
 	// EMCs shards the pool capacity across devices (blast-radius
 	// isolation).
 	EMCs int
+
+	// Topology names the host-to-EMC connectivity graph: "flat" (every
+	// host reaches every EMC — the paper's pool group; the default),
+	// "sharded" (disjoint partitions, one EMC each), or "sparse"
+	// (Octopus-style overlapping pods of PodDegree EMCs per host).
+	Topology string
+
+	// PodDegree is the per-host EMC connection count under the sparse
+	// topology; <= 0 defaults to 2.
+	PodDegree int
 
 	// PDM is the performance degradation margin (fraction; 0.05 = 5%).
 	PDM float64
@@ -140,6 +151,7 @@ type SystemStats struct {
 // paper's single Pool Manager per pool group.
 type System struct {
 	cfg       Config
+	topology  *topo.Topology
 	devices   []*emc.Device
 	manager   *pool.Manager
 	hosts     []*host.Host
@@ -180,14 +192,19 @@ func NewSystem(cfg Config) (*System, error) {
 		rng: stats.NewRand(cfg.Seed),
 		vms: make(map[int64]*vmState),
 	}
+	tp, err := topo.Build(cfg.Topology, cfg.Hosts, cfg.EMCs, cfg.PodDegree)
+	if err != nil {
+		return nil, fmt.Errorf("pond: %w", err)
+	}
+	s.topology = tp
 	perEMC := cfg.PoolGB / cfg.EMCs
 	for i := 0; i < cfg.EMCs; i++ {
 		s.devices = append(s.devices, emc.NewDevice(fmt.Sprintf("emc%d", i), perEMC, cfg.Hosts))
 	}
-	s.manager = pool.NewManager(s.devices, s.rng.Fork(1))
+	s.manager = pool.NewManagerTopo(s.devices, tp.Conn(), s.rng.Fork(1))
 
 	sockets := cfg.Hosts * 2
-	ratio := cxl.PondPath(clampSockets(sockets)).TotalNanos() / cxl.LocalPath().TotalNanos()
+	ratio := cxl.PondLatencyRatio(sockets)
 	spec := cluster.ServerSpec{Sockets: 2, CoresPerSock: cfg.CoresPerSocket, MemGBPerSock: cfg.MemGBPerSocket}
 	for i := 0; i < cfg.Hosts; i++ {
 		s.hosts = append(s.hosts, host.New(emc.HostID(i), spec, host.Config{
@@ -209,39 +226,12 @@ func NewSystem(cfg Config) (*System, error) {
 		rf := predict.TrainForest(ds.X, ds.Insensitive, cfg.Seed)
 		pcfg.InsensScoreThreshold = predict.ThresholdForLabelRate(predict.DatasetScores(rf, ds), 0.30)
 		insens = rf
-		um = heuristicUM{}
+		um = predict.HistoryQuantileUM{}
 	}
 	s.pipeline = core.NewPipeline(pcfg, insens, um, s.store)
 	s.monitor = core.NewQoSMonitor(pcfg, insens)
 	s.scheduler = core.NewClusterScheduler(s.hosts, s.manager)
 	return s, nil
-}
-
-// heuristicUM predicts untouched memory from the history features alone:
-// the 25th percentile of the customer's past untouched fractions, or zero
-// without history. It is the facade's stand-in for a fleet-trained GBM
-// (which needs fleet-scale data; see internal/experiments.Figure18 for
-// the full model).
-type heuristicUM struct{}
-
-func (heuristicUM) PredictUntouchedFrac(features []float64) float64 {
-	if len(features) < 9 || features[6] < 3 {
-		return 0
-	}
-	return features[8] * 0.9 // P25 with a safety factor
-}
-
-func (heuristicUM) Name() string { return "history-quantile" }
-
-func clampSockets(n int) int {
-	switch {
-	case n < 2:
-		return 2
-	case n > 64:
-		return 64
-	default:
-		return n
-	}
 }
 
 // Workloads lists the catalogue names usable in VMSpec.Workload.
@@ -480,14 +470,7 @@ func (s *System) RunQoSSweep() []MitigationReport {
 						if len(slices) > 0 {
 							s.manager.ReleaseCapacity(emc.HostID(st.host), slices, s.nowSec)
 						}
-						st.slices = nil
-						st.host = target
-						if p, ok := s.hosts[target].Placement(cluster.VMID(id)); ok {
-							st.placement = p
-						}
-						st.handle.Host = target
-						st.handle.LocalGB += st.handle.PoolGB
-						st.handle.PoolGB = 0
+						s.recordLocalMigration(st, cluster.VMID(id), target)
 					}
 				}
 			}
@@ -497,12 +480,26 @@ func (s *System) RunQoSSweep() []MitigationReport {
 	return out
 }
 
+// recordLocalMigration updates a vmState after a live migration landed
+// the VM all-local on target: the handle's pool memory folds into local
+// and the placement pointer refreshes to the destination host's copy.
+func (s *System) recordLocalMigration(st *vmState, id cluster.VMID, target int) {
+	st.slices = nil
+	st.host = target
+	if p, ok := s.hosts[target].Placement(id); ok {
+		st.placement = p
+	}
+	st.handle.Host = target
+	st.handle.LocalGB += st.handle.PoolGB
+	st.handle.PoolGB = 0
+}
+
 // migrationTarget picks a host with room for the VM's full memory
 // locally, or -1.
 func (s *System) migrationTarget(st *vmState) int {
 	vm := st.placement.VM
 	for i, h := range s.hosts {
-		if i == st.host {
+		if i == st.host || s.scheduler.Drained(i) {
 			continue
 		}
 		if h.FreeCores() >= vm.Type.Cores && h.FreeLocalGB() >= vm.Type.MemoryGB {
@@ -511,6 +508,46 @@ func (s *System) migrationTarget(st *vmState) int {
 	}
 	return -1
 }
+
+// DrainHost puts a host into maintenance drain: it stops receiving new
+// placements and its VMs are live-migrated to hosts with all-local
+// headroom (core.ClusterScheduler.DrainHost). VMs that fit nowhere stay
+// on the draining host and are returned as remaining.
+func (s *System) DrainHost(hostIndex int) (migrated, remaining []int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	migrations, left, err := s.scheduler.DrainHost(hostIndex, s.nowSec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pond: %w", err)
+	}
+	for _, m := range migrations {
+		id := int64(m.VM)
+		migrated = append(migrated, id)
+		if st, ok := s.vms[id]; ok {
+			s.recordLocalMigration(st, m.VM, m.Target)
+		}
+	}
+	for _, id := range left {
+		remaining = append(remaining, int64(id))
+	}
+	return migrated, remaining, nil
+}
+
+// UndrainHost returns a drained host to service.
+func (s *System) UndrainHost(hostIndex int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scheduler.SetDrained(hostIndex, false)
+}
+
+// BlastRadiusHosts returns the hosts wired to an EMC — the set a failure
+// of that device can reach under the configured topology (§4.2).
+func (s *System) BlastRadiusHosts(emcIndex int) []int {
+	return append([]int(nil), s.topology.HostsFor(emcIndex)...)
+}
+
+// TopologyName returns the configured host-to-EMC topology.
+func (s *System) TopologyName() string { return s.topology.Name() }
 
 // Stats summarizes the deployment state.
 func (s *System) Stats() SystemStats {
@@ -531,7 +568,7 @@ func (s *System) statsLocked() SystemStats {
 		st.LocalFreeGB += h.FreeLocalGB()
 		st.PoolUsedGB += h.OnlinePoolGB() - h.FreePoolGB()
 	}
-	path := cxl.PondPath(clampSockets(s.cfg.Hosts * 2))
+	path := cxl.PondPathClamped(s.cfg.Hosts * 2)
 	st.PoolLatency = path.String()
 	st.AccessLatencyN = path.TotalNanos()
 	return st
@@ -574,7 +611,20 @@ func (s *System) InjectEMCFailure(emcIndex int) ([]int64, error) {
 		delete(s.vms, id)
 		if p, err := s.hosts[st.host].ReleaseVM(cluster.VMID(id)); err == nil {
 			_ = s.hosts[st.host].RemovePoolCapacity(float64(len(p.Slices)))
+			// Slices on the dead device are gone with it; survivors on
+			// healthy EMCs drain back to the pool instead of staying
+			// owned forever.
+			var alive []pool.SliceRef
+			for _, ref := range p.Slices {
+				if ref.EMC != emcIndex {
+					alive = append(alive, ref)
+				}
+			}
+			if len(alive) > 0 {
+				s.manager.ReleaseCapacity(emc.HostID(st.host), alive, s.nowSec)
+			}
 		}
+		s.store.ForgetVM(cluster.VMID(id))
 	}
 	return affected, nil
 }
@@ -591,11 +641,13 @@ func (s *System) Describe() string {
 	}
 	return fmt.Sprintf(
 		"Pond deployment: %d hosts x 2 sockets (%d cores, %.0f GB local each)\n"+
+			"topology: %s\n"+
 			"pool: %d GB across %d EMC(s); %d GB free\n"+
 			"latency: %s\n"+
 			"control plane: PDM=%.0f%%, TP=%.0f%%, %s\n"+
 			"running: %d VMs, %d mitigations so far",
 		s.cfg.Hosts, 2*s.cfg.CoresPerSocket, 2*s.cfg.MemGBPerSocket,
+		s.topology.Describe(),
 		s.cfg.PoolGB, len(s.devices), st.PoolFreeGB,
 		st.PoolLatency,
 		100*s.cfg.PDM, 100*s.cfg.TargetPercentile, mode,

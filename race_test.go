@@ -166,3 +166,121 @@ func TestRunExperimentsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentFleetUnderInjection stresses the online control plane the
+// way the fleet simulator exercises it, but concurrently: starters and
+// stoppers race against EMC-failure injection and host drains on a sparse
+// topology. Run with -race: the coarse lock must keep blast-radius
+// accounting, drain migration, and slice release consistent.
+func TestConcurrentFleetUnderInjection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UsePredictions = false
+	cfg.Topology = "sparse"
+	cfg.EMCs = 4
+	cfg.PodDegree = 2
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Churn: start/stop VMs from several goroutines.
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				vm, err := sys.StartVM(VMSpec{
+					Cores: 2, MemoryGB: 8,
+					Workload: "redis-ycsb-a",
+					Customer: int32(g + 1),
+				})
+				if err != nil {
+					continue // capacity contention or blast loss; fine
+				}
+				sys.AdvanceSeconds(1)
+				_ = sys.Stats()
+				// The VM may already be gone to an injected EMC failure.
+				_ = sys.StopVM(vm.ID)
+			}
+		}(g)
+	}
+	// Injector: drain/undrain hosts and fail an EMC mid-churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 10; i++ {
+			h := i % cfg.Hosts
+			if _, _, err := sys.DrainHost(h); err != nil {
+				t.Errorf("DrainHost(%d): %v", h, err)
+				return
+			}
+			_ = sys.Describe()
+			if err := sys.UndrainHost(h); err != nil {
+				t.Errorf("UndrainHost(%d): %v", h, err)
+				return
+			}
+			if i == 5 {
+				if _, err := sys.InjectEMCFailure(1); err != nil {
+					t.Errorf("InjectEMCFailure: %v", err)
+					return
+				}
+				if got := sys.BlastRadiusHosts(1); len(got) == 0 || len(got) == cfg.Hosts {
+					t.Errorf("sparse blast radius = %d hosts, want strict subset", len(got))
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-stop
+
+	// Drain the survivors; capacity must reconcile.
+	st := sys.Stats()
+	if st.RunningVMs < 0 {
+		t.Fatalf("negative running VM count: %+v", st)
+	}
+}
+
+// TestRunFleetDeterministicPublicAPI asserts the acceptance contract end
+// to end: same seed, different worker counts, byte-identical event log
+// and hash — through the public RunFleet facade with injections active.
+func TestRunFleetDeterministicPublicAPI(t *testing.T) {
+	base := FleetOpts{
+		Topology:           "sparse",
+		Hosts:              4,
+		EMCs:               4,
+		PoolGB:             64,
+		Cells:              3,
+		DurationSec:        400,
+		Arrival:            "poisson:rate=0.1:life=200",
+		Inject:             "emc-fail@t=200,host-drain@t=300:host=1,surge@t=50:dur=100:x=2",
+		DisablePredictions: true,
+	}
+	a := base
+	a.Workers = 1
+	ra, err := RunFleet(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := base
+	b.Workers = 8
+	rb, err := RunFleet(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.EventLog != rb.EventLog || ra.LogSHA256 != rb.LogSHA256 {
+		t.Fatal("RunFleet event log differs between workers=1 and workers=8")
+	}
+	if ra.LogSHA256 == "" || ra.Placed == 0 {
+		t.Fatalf("degenerate report: %+v", ra.Summary)
+	}
+	if _, err := RunFleet(context.Background(), FleetOpts{Inject: "bogus@t=1"}); err == nil {
+		t.Fatal("bad injection spec accepted")
+	}
+	if _, err := RunFleet(context.Background(), FleetOpts{Arrival: "bogus"}); err == nil {
+		t.Fatal("bad arrival spec accepted")
+	}
+}
