@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-gate bench-baseline fleet
+.PHONY: all build vet test test-short test-race lint cover bench bench-gate bench-baseline fleet soak
 
 all: build vet test-short
 
@@ -24,6 +24,22 @@ test-short:
 test-race:
 	$(GO) test -race ./...
 
+# Static analysis, pinned to the CI versions (first run downloads them).
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1 ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@v1.1.3 ./...
+
+# Short-tier statement coverage, gated at the committed COVERAGE_MIN.
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	min=$$(cat COVERAGE_MIN 2>/dev/null); \
+	[ -n "$$total" ] || { echo "could not compute total coverage"; exit 1; }; \
+	[ -n "$$min" ] || { echo "COVERAGE_MIN missing or empty; the gate has no floor"; exit 1; }; \
+	echo "total coverage: $$total% (minimum $$min%)"; \
+	awk -v t="$$total" -v m="$$min" 'BEGIN { exit (t+0 >= m+0) ? 0 : 1 }' || \
+		{ echo "coverage $$total% fell below the committed minimum $$min%"; exit 1; }
+
 # Benchmark smoke: every figure benchmark runs exactly once so a broken
 # pipeline fails fast without paying full benchmarking time.
 bench:
@@ -45,3 +61,10 @@ bench-baseline:
 # Online fleet simulation quick-look across all three topologies.
 fleet:
 	$(GO) run ./cmd/pondfleet -topology flat,sharded,sparse -inject emc-fail@t=500
+
+# Long-horizon soak with the retraining loop, as the nightly workflow
+# drives it (one topology; the workflow fans out the full matrix).
+soak:
+	$(GO) run ./cmd/pondfleet -topology sharded -duration 20000 -cells 4 \
+		-arrival poisson:rate=0.1:life=600 -retrain-every 1000 \
+		-inject drift@t=8000:mag=0.6 -models models-soak.json

@@ -13,6 +13,7 @@ import (
 	"pond/internal/cluster"
 	"pond/internal/experiments"
 	"pond/internal/ml"
+	"pond/internal/mlops"
 	"pond/internal/pmu"
 	"pond/internal/sim"
 	"pond/internal/stats"
@@ -319,5 +320,22 @@ func BenchmarkRunFleet(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(rep.Placed), "vms-placed")
+	}
+}
+
+// BenchmarkRetrainLoop times the mlops hot path — shadow scoring, rolling
+// holdout bookkeeping, challenger training, and promotion verdicts — over
+// a fixed synthetic stream, the same work the CI benchmark gate regresses.
+func BenchmarkRetrainLoop(b *testing.B) {
+	cfg := mlops.DefaultConfig()
+	cfg.MinTrainRows = 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := mlops.SyntheticLoop(512, 64, cfg)
+		if q.Retrains == 0 {
+			b.Fatal("synthetic loop never retrained")
+		}
+		b.ReportMetric(float64(q.Retrains), "retrains")
+		b.ReportMetric(float64(q.Promotions), "promotions")
 	}
 }

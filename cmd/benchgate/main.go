@@ -9,9 +9,11 @@
 //	benchgate -update                      # refresh the committed baseline
 //	benchgate -bench bench.txt             # also fold `go test -bench` output into the artifact
 //
-// Gated metrics: fleet_ns_per_op, fleet_allocs_per_op (lower is better)
-// and fleet_vms_per_sec (VMs placed per wall-clock second; higher is
-// better). Raw `go test -bench` lines ride along in the artifact for
+// Gated metrics: fleet_ns_per_op, fleet_allocs_per_op (lower is better),
+// fleet_vms_per_sec (VMs placed per wall-clock second; higher is
+// better), and retrain_ns_per_op (the mlops model-lifecycle hot path —
+// shadow scoring, holdout bookkeeping, challenger training — over a
+// fixed synthetic stream). Raw `go test -bench` lines ride along in the artifact for
 // trend dashboards but are not gated — they are too machine-dependent
 // for a hard threshold, whereas the fleet smoke is gated because its
 // work is fixed and deterministic. After an intentional perf change,
@@ -31,6 +33,7 @@ import (
 	"testing"
 
 	"pond/internal/fleet"
+	"pond/internal/mlops"
 )
 
 // Metric is one measured value with its comparison direction.
@@ -80,6 +83,9 @@ func main() {
 	}
 
 	res := Result{Schema: "pond-bench/v1", Metrics: measureFleet()}
+	for name, m := range measureRetrain() {
+		res.Metrics[name] = m
+	}
 	if *benchFile != "" {
 		gb, err := parseGoBench(*benchFile)
 		if err != nil {
@@ -166,6 +172,7 @@ func measureFleet() map[string]Metric {
 			placed = rep.Placed
 		}
 	})
+	requireMeasured("fleet", r)
 	ns := float64(r.NsPerOp())
 	vmsPerSec := 0.0
 	if ns > 0 {
@@ -175,6 +182,40 @@ func measureFleet() map[string]Metric {
 		"fleet_ns_per_op":     {Value: ns, HigherIsBetter: false},
 		"fleet_allocs_per_op": {Value: float64(r.AllocsPerOp()), HigherIsBetter: false},
 		"fleet_vms_per_sec":   {Value: vmsPerSec, HigherIsBetter: true},
+	}
+}
+
+// measureRetrain times the mlops model-lifecycle hot path over a fixed
+// synthetic stream (512 outcomes, a retrain tick every 64) — the same
+// work as BenchmarkRetrainLoop.
+func measureRetrain() map[string]Metric {
+	cfg := mlops.DefaultConfig()
+	cfg.MinTrainRows = 64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if q := mlops.SyntheticLoop(512, 64, cfg); q.Retrains == 0 {
+				// panic, not b.Fatal: a Fatal inside testing.Benchmark
+				// yields a zero result that would sail through the gate
+				// as a massive improvement.
+				panic("benchgate: synthetic retrain loop never retrained")
+			}
+		}
+	})
+	requireMeasured("retrain", r)
+	return map[string]Metric{
+		"retrain_ns_per_op":     {Value: float64(r.NsPerOp()), HigherIsBetter: false},
+		"retrain_allocs_per_op": {Value: float64(r.AllocsPerOp()), HigherIsBetter: false},
+	}
+}
+
+// requireMeasured exits hard on a zero benchmark result — the signature
+// of a b.Fatal swallowed inside testing.Benchmark, which must never be
+// gated (or written to a baseline) as an infinitely fast run.
+func requireMeasured(name string, r testing.BenchmarkResult) {
+	if r.N == 0 || r.NsPerOp() == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s benchmark produced no measurement (failed inside testing.Benchmark?)\n", name)
+		os.Exit(2)
 	}
 }
 

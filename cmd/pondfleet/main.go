@@ -17,8 +17,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
+	"os"
 	"strings"
 
 	"pond"
@@ -28,7 +31,7 @@ import (
 func main() {
 	topologies := flag.String("topology", "flat", "comma-separated host-to-EMC topologies: flat, sharded, sparse")
 	arrival := flag.String("arrival", "poisson:rate=0.05:life=600", `arrival model: "poisson[:rate=R][:life=L]" or "trace"`)
-	inject := flag.String("inject", "", `scenario injections, e.g. "emc-fail@t=500,host-drain@t=800:host=2,surge@t=300:dur=200:x=3"`)
+	inject := flag.String("inject", "", `scenario injections, e.g. "emc-fail@t=500,host-drain@t=800:host=2,surge@t=300:dur=200:x=3,drift@t=2000:mag=0.6"`)
 	duration := flag.Float64("duration", 1000, "simulated horizon per cell (seconds)")
 	hosts := flag.Int("hosts", 8, "hosts per cell")
 	emcs := flag.Int("emcs", 4, "EMCs per cell")
@@ -36,6 +39,11 @@ func main() {
 	degree := flag.Int("degree", 2, "per-host EMC connections under the sparse topology")
 	cells := flag.Int("cells", 4, "independent pool groups (engine shards)")
 	noPredict := flag.Bool("no-predictions", false, "disable the ML pipeline (all-local baseline)")
+	retrainEvery := flag.Float64("retrain-every", 0, "online model retrain cadence in seconds (0 = frozen models)")
+	promoteMargin := flag.Float64("promote-margin", 0, "fractional rolling-loss improvement required to promote a challenger (0 = default 5%)")
+	holdout := flag.Int("holdout", 0, "rolling holdout window in completed VMs (0 = default)")
+	minRows := flag.Int("min-rows", 0, "minimum completed VMs before a challenger trains (0 = default)")
+	modelsOut := flag.String("models", "", "write the versioned model dump (JSON) to this file")
 	printLog := flag.Bool("log", false, "print the full event log")
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	seed := flag.Int64("seed", 1, "root seed for every cell stream")
@@ -47,6 +55,21 @@ func main() {
 	}
 	if *cells <= 0 {
 		cliutil.Fatal("pondfleet", fmt.Errorf("-cells must be positive, got %d", *cells))
+	}
+	if *retrainEvery < 0 || math.IsNaN(*retrainEvery) || math.IsInf(*retrainEvery, 0) {
+		cliutil.Fatal("pondfleet", fmt.Errorf("-retrain-every must be a finite number >= 0, got %g", *retrainEvery))
+	}
+	if *retrainEvery > 0 && *noPredict {
+		cliutil.Fatal("pondfleet", fmt.Errorf("-retrain-every requires predictions (drop -no-predictions)"))
+	}
+	if *modelsOut != "" && *noPredict {
+		cliutil.Fatal("pondfleet", fmt.Errorf("-models requires predictions (drop -no-predictions)"))
+	}
+	if !(*promoteMargin >= 0 && *promoteMargin < 1) { // rejects NaN too
+		cliutil.Fatal("pondfleet", fmt.Errorf("-promote-margin must be in [0, 1), got %g", *promoteMargin))
+	}
+	if *holdout < 0 || *minRows < 0 {
+		cliutil.Fatal("pondfleet", fmt.Errorf("-holdout and -min-rows must be >= 0"))
 	}
 
 	names := strings.Split(*topologies, ",")
@@ -63,6 +86,11 @@ func main() {
 			Arrival:            *arrival,
 			Inject:             *inject,
 			DisablePredictions: *noPredict,
+			RetrainEverySec:    *retrainEvery,
+			PromoteMargin:      *promoteMargin,
+			HoldoutWindow:      *holdout,
+			MinTrainRows:       *minRows,
+			CaptureModels:      *modelsOut != "",
 			Workers:            *workers,
 			Seed:               *seed,
 		})
@@ -71,19 +99,55 @@ func main() {
 		}
 		reports = append(reports, rep)
 		fmt.Println(rep.Summary)
+		if *retrainEvery > 0 && len(rep.PromotionHistory) > 0 {
+			fmt.Println("model lifecycle:")
+			for _, line := range rep.PromotionHistory {
+				fmt.Printf("  %s\n", line)
+			}
+		}
 		if *printLog {
 			fmt.Print(rep.EventLog)
 		}
 		fmt.Println()
 	}
 
+	if *modelsOut != "" {
+		if err := writeModels(*modelsOut, names, reports); err != nil {
+			cliutil.Fatal("pondfleet", err)
+		}
+		fmt.Printf("wrote versioned model dump to %s\n", *modelsOut)
+	}
+
 	if len(reports) > 1 {
 		fmt.Println("per-topology comparison:")
-		fmt.Printf("  %-10s %9s %9s %12s %12s %12s\n",
-			"topology", "placed", "rejected", "core-util", "stranded-GB", "blast-vms")
-		for _, r := range reports {
-			fmt.Printf("  %-10s %9d %9d %11.1f%% %12.1f %12d\n",
-				r.Topology, r.Placed, r.Rejected, 100*r.AvgCoreUtil, r.AvgStrandedGB, r.BlastVMs)
-		}
+		printComparison(reports)
 	}
+}
+
+func printComparison(reports []*pond.FleetReport) {
+	fmt.Printf("  %-10s %9s %9s %12s %12s %12s\n",
+		"topology", "placed", "rejected", "core-util", "stranded-GB", "blast-vms")
+	for _, r := range reports {
+		fmt.Printf("  %-10s %9d %9d %11.1f%% %12.1f %12d\n",
+			r.Topology, r.Placed, r.Rejected, 100*r.AvgCoreUtil, r.AvgStrandedGB, r.BlastVMs)
+	}
+}
+
+// modelDump is the -models file schema: per-topology, per-cell versioned
+// model snapshots.
+type modelDump struct {
+	Topology string            `json:"topology"`
+	Cells    []json.RawMessage `json:"cells"`
+}
+
+func writeModels(path string, names []string, reports []*pond.FleetReport) error {
+	dumps := make([]modelDump, 0, len(reports))
+	for i, r := range reports {
+		dumps = append(dumps, modelDump{Topology: strings.TrimSpace(names[i]), Cells: r.ModelsJSON})
+	}
+	data, err := json.MarshalIndent(dumps, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

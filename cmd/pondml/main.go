@@ -8,9 +8,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 
+	"pond/internal/cliutil"
 	"pond/internal/experiments"
 )
 
@@ -18,39 +18,37 @@ func main() {
 	figs := flag.String("figures", "17,18,19,20,ablation,audit",
 		"comma-separated list of figures to print (17,18,19,20,ablation,audit)")
 	folds := flag.Int("folds", 20, "cross-validation folds for Figure 17/20 (paper: 100)")
-	scaleFlag := flag.String("scale", "quick", "trace scale: quick, full, or paper")
+	scaleFlag := flag.String("scale", "quick", "trace scale: tiny, quick, full, or paper")
 	flag.Parse()
 
-	scale := parseScale(*scaleFlag)
-	for _, f := range strings.Split(*figs, ",") {
-		switch strings.TrimSpace(f) {
-		case "17":
-			fmt.Println(experiments.Figure17(*folds, 3))
-		case "18":
-			fmt.Println(experiments.Figure18(scale))
-		case "19":
-			fmt.Println(experiments.Figure19(scale, 7))
-		case "20":
-			fmt.Println(experiments.Figure20(scale, *folds))
-		case "ablation":
-			fmt.Println(experiments.AblationForestSize(*folds))
-		case "audit":
-			fmt.Println(experiments.CounterAudit(8))
-		case "":
-		default:
-			fmt.Fprintf(os.Stderr, "pondml: unknown figure %q\n", f)
-			os.Exit(2)
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		cliutil.Fatal("pondml", err)
+	}
+	if *folds < 1 {
+		cliutil.Fatal("pondml", fmt.Errorf("-folds must be >= 1, got %d", *folds))
+	}
+	// One definition list serves both validation and dispatch, so the
+	// two can never drift apart.
+	figures := map[string]func() fmt.Stringer{
+		"17":       func() fmt.Stringer { return experiments.Figure17(*folds, 3) },
+		"18":       func() fmt.Stringer { return experiments.Figure18(scale) },
+		"19":       func() fmt.Stringer { return experiments.Figure19(scale, 7) },
+		"20":       func() fmt.Stringer { return experiments.Figure20(scale, *folds) },
+		"ablation": func() fmt.Stringer { return experiments.AblationForestSize(*folds) },
+		"audit":    func() fmt.Stringer { return experiments.CounterAudit(8) },
+	}
+	// Validate the whole figure list before running anything: a typo in
+	// the last entry must not waste the preceding figures' runtime.
+	names := strings.Split(*figs, ",")
+	for _, f := range names {
+		if f = strings.TrimSpace(f); f != "" && figures[f] == nil {
+			cliutil.Fatal("pondml", fmt.Errorf("unknown figure %q (want 17, 18, 19, 20, ablation, audit)", f))
 		}
 	}
-}
-
-func parseScale(s string) experiments.Scale {
-	switch s {
-	case "quick":
-		return experiments.ScaleQuick
-	case "paper":
-		return experiments.ScalePaper
-	default:
-		return experiments.ScaleFull
+	for _, f := range names {
+		if f = strings.TrimSpace(f); f != "" {
+			fmt.Println(figures[f]())
+		}
 	}
 }

@@ -9,20 +9,21 @@ import (
 	"fmt"
 	"time"
 
+	"pond/internal/cliutil"
 	"pond/internal/experiments"
 )
 
 func main() {
-	scaleFlag := flag.String("scale", "quick", "trace scale: quick, full, or paper")
+	scaleFlag := flag.String("scale", "quick", "trace scale: tiny, quick, full, or paper")
 	folds := flag.Int("folds", 10, "cross-validation folds (paper: 100)")
 	flag.Parse()
 
-	scale := experiments.ScaleFull
-	switch *scaleFlag {
-	case "quick":
-		scale = experiments.ScaleQuick
-	case "paper":
-		scale = experiments.ScalePaper
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		cliutil.Fatal("pondreport", err)
+	}
+	if *folds < 1 {
+		cliutil.Fatal("pondreport", fmt.Errorf("-folds must be >= 1, got %d", *folds))
 	}
 
 	fmt.Printf("Pond reproduction report (scale=%s, folds=%d)\n", scale, *folds)

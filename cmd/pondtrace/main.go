@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 
+	"pond/internal/cliutil"
 	"pond/internal/cluster"
 	"pond/internal/sim"
 	"pond/internal/stats"
@@ -22,6 +23,14 @@ func main() {
 	servers := flag.Int("servers", 16, "servers per cluster")
 	seed := flag.Int64("seed", 42, "generator seed")
 	flag.Parse()
+
+	if *clusters < 1 || *days < 1 || *servers < 1 {
+		cliutil.Fatal("pondtrace", fmt.Errorf("-clusters, -days, and -servers must be >= 1 (got %d, %d, %d)",
+			*clusters, *days, *servers))
+	}
+	if err := cliutil.ValidateSeed(*seed); err != nil {
+		cliutil.Fatal("pondtrace", err)
+	}
 
 	switch {
 	case *gen != "":

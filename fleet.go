@@ -2,6 +2,8 @@ package pond
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 
 	"pond/internal/fleet"
 )
@@ -33,12 +35,32 @@ type FleetOpts struct {
 	Arrival string
 
 	// Inject is a comma-separated scenario list, e.g.
-	// "emc-fail@t=500,host-drain@t=800:host=2,surge@t=300:dur=200:x=3".
+	// "emc-fail@t=500,host-drain@t=800:host=2,surge@t=300:dur=200:x=3,
+	// drift@t=2000:mag=0.6".
 	Inject string
 
 	// DisablePredictions turns off the ML scheduling pipeline (the
 	// no-pooling baseline).
 	DisablePredictions bool
+
+	// RetrainEverySec > 0 closes the model-lifecycle loop: every cell
+	// periodically retrains challenger models from its live telemetry,
+	// shadow-scores them against the serving champions on every
+	// decision, and hot-swaps on proven improvement (demoting again on
+	// regression). Requires predictions.
+	RetrainEverySec float64
+	// PromoteMargin is the fractional rolling-loss improvement a
+	// challenger must show to be promoted (0 = default 5%).
+	PromoteMargin float64
+	// HoldoutWindow is the rolling comparison window in completed VMs
+	// (0 = default).
+	HoldoutWindow int
+	// MinTrainRows is the minimum completed VMs before a challenger is
+	// trained (0 = default).
+	MinTrainRows int
+	// CaptureModels includes each cell's versioned model snapshots in
+	// the report (see FleetReport.ModelsJSON).
+	CaptureModels bool
 
 	// Workers bounds the engine worker pool; <= 0 means GOMAXPROCS.
 	// Results are byte-identical for every worker count.
@@ -59,6 +81,9 @@ type FleetReport struct {
 	// BlastVMs is the number of VMs lost to injected EMC failures;
 	// Migrated counts VMs moved off draining hosts.
 	BlastVMs, Migrated int
+	// QoSViolations counts departed VMs whose realized slowdown exceeded
+	// the PDM; Mitigations those the QoS monitor reconfigured.
+	QoSViolations, Mitigations int
 
 	// AvgCoreUtil is the time-weighted scheduled-core fraction;
 	// AvgStrandedGB the time-weighted stranded memory (§2); PoolShare
@@ -67,6 +92,22 @@ type FleetReport struct {
 	AvgStrandedGB  float64
 	PeakPoolUsedGB float64
 	PoolShare      float64
+
+	// Model lifecycle (populated when predictions run; the counters stay
+	// zero unless retraining was enabled).
+	Retrains, Promotions, Demotions int
+	// PredErrMean is the serving untouched-memory model's mean
+	// asymmetric prediction loss over all completed VMs; PredErrFinal
+	// the same over the final rolling window — the end-of-run prediction
+	// error. InsensErrMean mirrors it for the insensitivity score.
+	PredErrMean, PredErrFinal float64
+	InsensErrMean             float64
+	// PromotionHistory lists every retrain/promote/demote event in cell
+	// order, rendered one per line.
+	PromotionHistory []string
+	// ModelsJSON is the versioned model dump (one JSON array per cell)
+	// when CaptureModels was set.
+	ModelsJSON []json.RawMessage
 
 	// EventLog is the full deterministic event log (cell order);
 	// LogSHA256 is its hash — identical for every worker count.
@@ -92,37 +133,56 @@ func RunFleet(ctx context.Context, opts FleetOpts) (*FleetReport, error) {
 		return nil, err
 	}
 	rep, err := fleet.Run(ctx, fleet.Options{
-		Topology:    opts.Topology,
-		PodDegree:   opts.PodDegree,
-		Hosts:       opts.Hosts,
-		EMCs:        opts.EMCs,
-		PoolGB:      opts.PoolGB,
-		Cells:       opts.Cells,
-		DurationSec: opts.DurationSec,
-		Arrival:     arr,
-		Injections:  inj,
-		Predictions: !opts.DisablePredictions,
-		Workers:     opts.Workers,
-		Seed:        opts.Seed,
+		Topology:        opts.Topology,
+		PodDegree:       opts.PodDegree,
+		Hosts:           opts.Hosts,
+		EMCs:            opts.EMCs,
+		PoolGB:          opts.PoolGB,
+		Cells:           opts.Cells,
+		DurationSec:     opts.DurationSec,
+		Arrival:         arr,
+		Injections:      inj,
+		Predictions:     !opts.DisablePredictions,
+		RetrainEverySec: opts.RetrainEverySec,
+		PromoteMargin:   opts.PromoteMargin,
+		HoldoutWindow:   opts.HoldoutWindow,
+		MinTrainRows:    opts.MinTrainRows,
+		CaptureModels:   opts.CaptureModels,
+		Workers:         opts.Workers,
+		Seed:            opts.Seed,
 	})
 	if err != nil {
 		return nil, err
 	}
+	history := make([]string, 0, len(rep.Lifecycle))
+	for _, e := range rep.Lifecycle {
+		history = append(history, fmt.Sprintf("[c%d t=%.3f] %s", e.Cell, e.AtSec, e))
+	}
 	return &FleetReport{
-		Topology:       rep.Options.Topology,
-		TopologyDesc:   rep.TopologyDesc,
-		Arrivals:       rep.Arrivals,
-		Placed:         rep.Placed,
-		Rejected:       rep.Rejected,
-		Departed:       rep.Departed,
-		BlastVMs:       rep.BlastVMs,
-		Migrated:       rep.Migrated,
-		AvgCoreUtil:    rep.AvgCoreUtil,
-		AvgStrandedGB:  rep.AvgStrandedGB,
-		PeakPoolUsedGB: rep.PeakPoolUsedGB,
-		PoolShare:      rep.PoolShare,
-		EventLog:       rep.EventLog,
-		LogSHA256:      rep.LogSHA256,
-		Summary:        rep.String(),
+		Topology:         rep.Options.Topology,
+		TopologyDesc:     rep.TopologyDesc,
+		Arrivals:         rep.Arrivals,
+		Placed:           rep.Placed,
+		Rejected:         rep.Rejected,
+		Departed:         rep.Departed,
+		BlastVMs:         rep.BlastVMs,
+		Migrated:         rep.Migrated,
+		QoSViolations:    rep.QoSViolations,
+		Mitigations:      rep.Mitigations,
+		AvgCoreUtil:      rep.AvgCoreUtil,
+		AvgStrandedGB:    rep.AvgStrandedGB,
+		PeakPoolUsedGB:   rep.PeakPoolUsedGB,
+		PoolShare:        rep.PoolShare,
+		Retrains:         rep.Retrains,
+		Promotions:       rep.Promotions,
+		Demotions:        rep.Demotions,
+		PredErrMean:      rep.PredErrMean,
+		PredErrFinal:     rep.PredErrFinal,
+		InsensErrMean:    rep.InsensErrMean,
+		PromotionHistory: history,
+		ModelsJSON:       rep.ModelDumps,
+		EventLog:         rep.EventLog,
+		LogSHA256:        rep.LogSHA256,
+		Summary:          rep.String(),
 	}, nil
 }

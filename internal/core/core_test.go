@@ -340,3 +340,63 @@ func TestExplainBranches(t *testing.T) {
 		t.Fatalf("missing all-local branch: %s", s)
 	}
 }
+
+func TestPipelineServesThroughServer(t *testing.T) {
+	// The pipeline must consult the server's models, not the ones it was
+	// built with: swapping the server changes decisions without touching
+	// the pipeline.
+	p := NewPipeline(DefaultConfig(), nil, nil, nil)
+	srv := predict.NewServer(nil, predict.FixedUntouched{Frac: 0.5})
+	p.UseServer(srv)
+	vm := testVM(50, 9, 16, "541.leela_r")
+	feats := make([]float64, 12)
+	d := p.Decide(vm, nil, feats)
+	if d.Kind != ZNUMA || d.PoolGB != 8 {
+		t.Fatalf("served decision = %+v, want 8 GB zNUMA", d)
+	}
+	srv.Swap(nil, predict.FixedUntouched{Frac: 0})
+	if d := p.Decide(vm, nil, feats); d.Kind != AllLocal {
+		t.Fatalf("decision after swap = %+v, want all-local", d)
+	}
+}
+
+func TestPipelineServerWithoutModelFallsBackLocal(t *testing.T) {
+	p := NewPipeline(DefaultConfig(), fixedScore(0.99), predict.FixedUntouched{Frac: 0.5}, nil)
+	p.UseServer(predict.NewServer(nil, nil))
+	// The server overrides the direct models; with none installed the VM
+	// stays local.
+	v := pmu.Vector{}
+	if d := p.Decide(testVM(51, 9, 16, "541.leela_r"), &v, make([]float64, 12)); d.Kind != AllLocal {
+		t.Fatalf("decision = %+v, want all-local when the server is empty", d)
+	}
+}
+
+func TestShadowHookSeesEveryDecision(t *testing.T) {
+	p := NewPipeline(DefaultConfig(), nil, predict.FixedUntouched{Frac: 0.25}, nil)
+	var got []Decision
+	p.SetShadowHook(func(_ cluster.VMRequest, _ *pmu.Vector, _ []float64, d Decision) {
+		got = append(got, d)
+	})
+	d1 := p.Decide(testVM(52, 9, 16, "541.leela_r"), nil, make([]float64, 12))
+	d2 := p.Decide(testVM(53, 9, 32, "541.leela_r"), nil, nil)
+	if len(got) != 2 || got[0] != d1 || got[1] != d2 {
+		t.Fatalf("shadow hook observed %v, want [%v %v]", got, d1, d2)
+	}
+	p.SetShadowHook(nil)
+	p.Decide(testVM(54, 9, 16, "541.leela_r"), nil, nil)
+	if len(got) != 2 {
+		t.Fatal("removed hook still fired")
+	}
+}
+
+func TestSetInsensThreshold(t *testing.T) {
+	p := NewPipeline(DefaultConfig(), fixedScore(0.8), nil, nil)
+	v := pmu.Vector{}
+	if d := p.Decide(testVM(55, 9, 8, "541.leela_r"), &v, nil); d.Kind == AllPool {
+		t.Fatal("score 0.8 below the default threshold should not go all-pool")
+	}
+	p.SetInsensThreshold(0.7)
+	if d := p.Decide(testVM(55, 9, 8, "541.leela_r"), &v, nil); d.Kind != AllPool {
+		t.Fatalf("decision = %+v, want all-pool after lowering the threshold", d)
+	}
+}

@@ -13,7 +13,10 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 	"strings"
+	"sync/atomic"
 
 	"pond/internal/cluster"
 	"pond/internal/pmu"
@@ -105,6 +108,11 @@ func (d Decision) PoolFrac() float64 {
 	return d.PoolGB / total
 }
 
+// ShadowHook observes every scheduling decision with its model inputs.
+// The mlops lifecycle registers one to shadow-score each admission with
+// champion and challenger models (A/B validation before promotion).
+type ShadowHook func(vm cluster.VMRequest, counters *pmu.Vector, umFeatures []float64, d Decision)
+
 // Pipeline wires the prediction models and telemetry into the scheduling
 // and monitoring flows.
 type Pipeline struct {
@@ -112,6 +120,15 @@ type Pipeline struct {
 	insens predict.Insensitivity
 	um     predict.Untouched
 	store  *telemetry.Store
+
+	// srv, when set, routes inference through the serving layer so
+	// retrained models hot-swap via predict.Server.Swap (§5).
+	srv    *predict.Server
+	shadow ShadowHook
+
+	// insensThr is the live all-pool gate, stored atomically so a
+	// promotion can move it while decisions are being served.
+	insensThr atomic.Uint64
 }
 
 // NewPipeline builds the control plane. Either model may be nil: a nil
@@ -121,7 +138,9 @@ func NewPipeline(cfg Config, insens predict.Insensitivity, um predict.Untouched,
 	if store == nil {
 		store = telemetry.NewStore()
 	}
-	return &Pipeline{cfg: cfg, insens: insens, um: um, store: store}
+	p := &Pipeline{cfg: cfg, insens: insens, um: um, store: store}
+	p.insensThr.Store(math.Float64bits(cfg.InsensScoreThreshold))
+	return p
 }
 
 // Config returns the pipeline's configuration.
@@ -129,6 +148,24 @@ func (p *Pipeline) Config() Config { return p.cfg }
 
 // Store returns the telemetry store backing the pipeline.
 func (p *Pipeline) Store() *telemetry.Store { return p.store }
+
+// UseServer routes all model inference through the inference server: the
+// models installed there (not the ones passed to NewPipeline) serve every
+// decision, repeated requests hit its per-generation cache, and
+// Server.Swap hot-swaps retrained models without rebuilding the pipeline.
+func (p *Pipeline) UseServer(s *predict.Server) { p.srv = s }
+
+// SetShadowHook registers fn to observe every Decide call after the
+// decision is made. Pass nil to remove.
+func (p *Pipeline) SetShadowHook(fn ShadowHook) { p.shadow = fn }
+
+// SetInsensThreshold updates the all-pool gate at runtime: a promoted
+// insensitivity model serves at its own operating point. Safe to call
+// concurrently with Decide (the gate is read atomically).
+func (p *Pipeline) SetInsensThreshold(t float64) { p.insensThr.Store(math.Float64bits(t)) }
+
+// InsensThreshold returns the live all-pool gate.
+func (p *Pipeline) InsensThreshold() float64 { return math.Float64frombits(p.insensThr.Load()) }
 
 // Decide runs the Figure 13 scheduling flow for one VM.
 //
@@ -140,28 +177,84 @@ func (p *Pipeline) Store() *telemetry.Store { return p.store }
 // DRAM; otherwise the untouched-memory prediction sizes a zNUMA node
 // (rounded down to whole GB), and a zero prediction keeps the VM local.
 func (p *Pipeline) Decide(vm cluster.VMRequest, counters *pmu.Vector, umFeatures []float64) Decision {
+	d := p.decide(vm, counters, umFeatures)
+	if p.shadow != nil {
+		p.shadow(vm, counters, umFeatures, d)
+	}
+	return d
+}
+
+func (p *Pipeline) decide(vm cluster.VMRequest, counters *pmu.Vector, umFeatures []float64) Decision {
 	mem := vm.Type.MemoryGB
 
-	if p.insens != nil && counters != nil && !p.store.KnownSensitive(vm.Customer) {
-		score := p.insens.Score(*counters)
-		if score >= p.cfg.InsensScoreThreshold {
-			return Decision{Kind: AllPool, PoolGB: mem, Score: score}
+	if counters != nil && !p.store.KnownSensitive(vm.Customer) {
+		if score, ok := p.scoreInsens(vm, *counters); ok {
+			if score >= p.InsensThreshold() {
+				return Decision{Kind: AllPool, PoolGB: mem, Score: score}
+			}
+			// Fall through to the untouched-memory path with the score
+			// recorded for observability.
+			d := p.decideUM(vm, umFeatures)
+			d.Score = score
+			return d
 		}
-		// Fall through to the untouched-memory path with the score
-		// recorded for observability.
-		d := p.decideUM(vm, umFeatures)
-		d.Score = score
-		return d
 	}
 	return p.decideUM(vm, umFeatures)
 }
 
+// scoreInsens serves the latency-insensitivity score — through the
+// inference server when one is attached (per-(customer, workload) cache,
+// hot-swapped models), else from the directly held model.
+func (p *Pipeline) scoreInsens(vm cluster.VMRequest, v pmu.Vector) (float64, bool) {
+	if p.srv != nil {
+		score, err := p.srv.ScoreInsensitivity(insensCacheKey(vm, v), v)
+		return score, err == nil
+	}
+	if p.insens == nil {
+		return 0, false
+	}
+	return p.insens.Score(v), true
+}
+
+// insensCacheKey identifies the (customer, workload) pair, as the
+// serving contract requires. Opaque VMs carry no workload identity, so
+// their key mixes the sampled counters and every VM scores fresh rather
+// than inheriting another workload's cached score.
+func insensCacheKey(vm cluster.VMRequest, v pmu.Vector) int64 {
+	words := make([]uint64, 0, 2+len(v))
+	words = append(words, uint64(vm.Customer), hashString(vm.WorkloadName))
+	if vm.WorkloadName == "" {
+		for _, c := range v {
+			words = append(words, math.Float64bits(c))
+		}
+	}
+	return stats.HashWords(words...)
+}
+
+// predictUM serves the untouched-memory fraction. The server cache key
+// hashes the full feature vector: identical requests hit, any change in
+// the customer's history recomputes.
+func (p *Pipeline) predictUM(vm cluster.VMRequest, features []float64) (float64, bool) {
+	if features == nil {
+		return 0, false
+	}
+	if p.srv != nil {
+		frac, err := p.srv.PredictUntouched(umCacheKey(vm, features), features)
+		return frac, err == nil
+	}
+	if p.um == nil {
+		return 0, false
+	}
+	return p.um.PredictUntouchedFrac(features), true
+}
+
 func (p *Pipeline) decideUM(vm cluster.VMRequest, umFeatures []float64) Decision {
 	mem := vm.Type.MemoryGB
-	if p.um == nil || umFeatures == nil {
+	frac, ok := p.predictUM(vm, umFeatures)
+	if !ok {
 		return Decision{Kind: AllLocal, LocalGB: mem}
 	}
-	frac := p.um.PredictUntouchedFrac(umFeatures) - p.cfg.UMMargin
+	frac -= p.cfg.UMMargin
 	if frac < 0 {
 		frac = 0
 	}
@@ -170,6 +263,25 @@ func (p *Pipeline) decideUM(vm cluster.VMRequest, umFeatures []float64) Decision
 		return Decision{Kind: AllLocal, LocalGB: mem}
 	}
 	return Decision{Kind: ZNUMA, LocalGB: mem - poolGB, PoolGB: poolGB}
+}
+
+// umCacheKey folds the customer and feature vector into a serving-cache
+// key.
+func umCacheKey(vm cluster.VMRequest, features []float64) int64 {
+	words := make([]uint64, 0, 1+len(features))
+	words = append(words, uint64(vm.Customer))
+	for _, f := range features {
+		words = append(words, math.Float64bits(f))
+	}
+	return stats.HashWords(words...)
+}
+
+// hashString digests a string with FNV-1a (empty hashes to a distinct
+// "unknown" value).
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
 }
 
 // Outcome is the ground-truth consequence of a decision, as the QoS
@@ -320,24 +432,51 @@ func (p *Pipeline) PlanTrace(tr *cluster.Trace, r *stats.Rand) (sim.SplitPlan, P
 // Figure 13 branch fired and with what inputs. Decision audit trails are
 // how a platform team debugs "why did this VM get pool memory".
 func (p *Pipeline) Explain(vm cluster.VMRequest, counters *pmu.Vector, umFeatures []float64) string {
-	d := p.Decide(vm, counters, umFeatures)
+	// The inner decide skips the shadow hook: an audit must not register
+	// pending shadow scores (or re-stamp a running VM's) in the mlops
+	// lifecycle.
+	d := p.decide(vm, counters, umFeatures)
 	var b strings.Builder
 	fmt.Fprintf(&b, "VM %d (%d cores, %g GB, customer %d): %s",
 		vm.ID, vm.Type.Cores, vm.Type.MemoryGB, vm.Customer, d.Kind)
+	// Availability reflects whatever serves the decision — the inference
+	// server's installed models when one is attached, the directly held
+	// models otherwise — probed without running (and accounting) real
+	// inference.
 	switch {
 	case counters == nil:
 		b.WriteString("\n  no workload history: latency-insensitivity path skipped")
 	case p.store.KnownSensitive(vm.Customer):
 		b.WriteString("\n  customer previously QoS-flagged: all-pool path skipped")
 	default:
-		fmt.Fprintf(&b, "\n  insensitivity score %.3f vs threshold %.3f", d.Score, p.cfg.InsensScoreThreshold)
+		if !p.hasInsensModel() {
+			b.WriteString("\n  no insensitivity model: all-pool path skipped")
+		} else {
+			fmt.Fprintf(&b, "\n  insensitivity score %.3f vs threshold %.3f", d.Score, p.InsensThreshold())
+		}
 	}
 	if d.Kind != AllPool {
-		if p.um == nil || umFeatures == nil {
+		if !p.hasUMModel() || umFeatures == nil {
 			b.WriteString("\n  no untouched-memory model: all-local")
 		} else {
 			fmt.Fprintf(&b, "\n  untouched-memory prediction => %g GB zNUMA / %g GB local", d.PoolGB, d.LocalGB)
 		}
 	}
 	return b.String()
+}
+
+func (p *Pipeline) hasInsensModel() bool {
+	if p.srv != nil {
+		insens, _ := p.srv.Installed()
+		return insens
+	}
+	return p.insens != nil
+}
+
+func (p *Pipeline) hasUMModel() bool {
+	if p.srv != nil {
+		_, um := p.srv.Installed()
+		return um
+	}
+	return p.um != nil
 }

@@ -159,15 +159,76 @@ func drawVM(cust cluster.Customer, at, meanLifeSec float64, r *stats.Rand) clust
 	}
 }
 
+// driftPopulation applies one drift injection to a tenant population:
+// every customer's mean untouched fraction moves mag of the way toward
+// its complement, and with probability mag the customer's workload set
+// is replaced with a fresh draw from the catalogue. Customer IDs (and
+// thus their telemetry history) persist across the shift, which is
+// exactly what makes pre-drift models stale rather than merely
+// uninformed.
+func driftPopulation(pop []cluster.Customer, mag float64, r *stats.Rand) []cluster.Customer {
+	catalogue := workload.Catalogue()
+	out := make([]cluster.Customer, len(pop))
+	for i, c := range pop {
+		c.MeanUntouched = stats.Clamp(c.MeanUntouched*(1-mag)+(1-c.MeanUntouched)*mag, 0.02, 0.98)
+		if r.Bernoulli(mag) {
+			nw := 1 + r.Intn(3)
+			ws := make([]workload.Workload, nw)
+			for j := range ws {
+				ws[j] = catalogue[r.Intn(len(catalogue))]
+			}
+			c.Workloads = ws
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// driftEpochs precomputes the tenant population for each drift epoch:
+// epochs[0] is the initial population, epochs[k] the population after
+// the k-th drift injection (times returned alongside, ascending).
+func driftEpochs(initial []cluster.Customer, injections []Injection, r *stats.Rand) (times []float64, epochs [][]cluster.Customer) {
+	epochs = [][]cluster.Customer{initial}
+	var drifts []Injection
+	for _, in := range injections {
+		if in.Kind == InjectDrift {
+			drifts = append(drifts, in)
+		}
+	}
+	if len(drifts) == 0 {
+		return nil, epochs
+	}
+	sort.SliceStable(drifts, func(i, j int) bool { return drifts[i].AtSec < drifts[j].AtSec })
+	rd := r.Fork(6)
+	for _, d := range drifts {
+		times = append(times, d.AtSec)
+		epochs = append(epochs, driftPopulation(epochs[len(epochs)-1], d.Mag, rd))
+	}
+	return times, epochs
+}
+
+// populationAt picks the epoch population live at time t.
+func populationAt(t float64, times []float64, epochs [][]cluster.Customer) []cluster.Customer {
+	i := 0
+	for i < len(times) && t >= times[i] {
+		i++
+	}
+	return epochs[i]
+}
+
 // generateArrivals produces the cell's full arrival stream: the base
 // process (Poisson or trace-derived) plus any surge-injection extras,
-// time-sorted and renumbered chronologically. All randomness comes from
+// time-sorted and renumbered chronologically, with drift injections
+// shifting the tenant population mid-stream. All randomness comes from
 // forks of the cell RNG in a fixed order, so the stream depends only on
 // the cell seed.
 func generateArrivals(o Options, cell int, r *stats.Rand) []cluster.VMRequest {
 	var vms []cluster.VMRequest
 	var customers []cluster.Customer
+	var driftTimes []float64
+	var epochs [][]cluster.Customer
 	baseRate := o.Arrival.RatePerSec
+	isTrace := o.Arrival.Kind == ArrivalTrace
 
 	switch o.Arrival.Kind {
 	case ArrivalTrace:
@@ -188,17 +249,22 @@ func generateArrivals(o Options, cell int, r *stats.Rand) []cluster.VMRequest {
 		if n := len(vms); n > 0 {
 			baseRate = float64(n) / o.DurationSec
 		}
+		epochs = [][]cluster.Customer{customers}
 	default: // poisson
 		rArr := r.Fork(1)
 		customers = synthCustomers(32, rArr)
+		driftTimes, epochs = driftEpochs(customers, o.Injections, r)
 		for t := rArr.Exponential(1 / o.Arrival.RatePerSec); t < o.DurationSec; t += rArr.Exponential(1 / o.Arrival.RatePerSec) {
-			cust := customers[rArr.Intn(len(customers))]
+			pop := populationAt(t, driftTimes, epochs)
+			cust := pop[rArr.Intn(len(pop))]
 			vms = append(vms, drawVM(cust, t, o.Arrival.MeanLifetimeSec, rArr))
 		}
 	}
 
 	// Surge injections add an extra Poisson stream at (factor-1) x the
-	// base rate over their window, drawn from the same tenant population.
+	// base rate over their window, drawn from the tenant population live
+	// at each extra arrival's time (pre-drift before a drift point,
+	// post-drift after it).
 	meanLife := o.Arrival.MeanLifetimeSec
 	if meanLife <= 0 {
 		meanLife = DefaultArrival().MeanLifetimeSec
@@ -217,14 +283,55 @@ func generateArrivals(o Options, cell int, r *stats.Rand) []cluster.VMRequest {
 			end = o.DurationSec
 		}
 		for t := inj.AtSec + rs.Exponential(1/extraRate); t < end; t += rs.Exponential(1 / extraRate) {
-			cust := customers[rs.Intn(len(customers))]
+			pop := populationAt(t, driftTimes, epochs)
+			cust := pop[rs.Intn(len(pop))]
 			vms = append(vms, drawVM(cust, t, meanLife, rs))
 		}
+	}
+
+	if isTrace {
+		// Trace streams are pre-generated, so drift transforms the
+		// ground truth of VMs arriving after each drift point instead of
+		// the population that draws them. Applied after surge extras so
+		// they drift too.
+		vms = driftTraceVMs(vms, o.Injections, r)
 	}
 
 	sort.SliceStable(vms, func(a, b int) bool { return vms[a].ArrivalSec < vms[b].ArrivalSec })
 	for i := range vms {
 		vms[i].ID = cluster.VMID(i + 1)
+	}
+	return vms
+}
+
+// driftTraceVMs applies drift injections to a trace-derived stream: each
+// drift flips the untouched-memory behaviour of VMs arriving after it
+// (mag of the way toward the complement) and reassigns a mag fraction of
+// their workloads.
+func driftTraceVMs(vms []cluster.VMRequest, injections []Injection, r *stats.Rand) []cluster.VMRequest {
+	var drifts []Injection
+	for _, in := range injections {
+		if in.Kind == InjectDrift {
+			drifts = append(drifts, in)
+		}
+	}
+	if len(drifts) == 0 {
+		return vms
+	}
+	sort.SliceStable(drifts, func(i, j int) bool { return drifts[i].AtSec < drifts[j].AtSec })
+	catalogue := workload.Catalogue()
+	rd := r.Fork(7)
+	for _, d := range drifts {
+		for i := range vms {
+			if vms[i].ArrivalSec < d.AtSec {
+				continue
+			}
+			uf := vms[i].GroundTruth.UntouchedFrac
+			vms[i].GroundTruth.UntouchedFrac = stats.Clamp(uf*(1-d.Mag)+(1-uf)*d.Mag, 0, 1)
+			if rd.Bernoulli(d.Mag) {
+				vms[i].GroundTruth.Workload = catalogue[rd.Intn(len(catalogue))]
+			}
+		}
 	}
 	return vms
 }

@@ -21,7 +21,9 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -31,6 +33,7 @@ import (
 	"pond/internal/emc"
 	"pond/internal/engine"
 	"pond/internal/host"
+	"pond/internal/mlops"
 	"pond/internal/pmu"
 	"pond/internal/pool"
 	"pond/internal/predict"
@@ -74,6 +77,26 @@ type Options struct {
 	// Predictions enables the ML scheduling pipeline; when false every
 	// VM is all-local (the no-pooling baseline).
 	Predictions bool
+
+	// RetrainEverySec > 0 turns on the online model-lifecycle loop
+	// (internal/mlops): every cell retrains challenger models from its
+	// live telemetry at this cadence, shadow-scores them against the
+	// serving champions, and hot-swaps on proven improvement. Requires
+	// Predictions.
+	RetrainEverySec float64
+	// PromoteMargin is the fractional loss improvement required to
+	// promote a challenger (or demote a regressed champion); zero means
+	// the mlops default.
+	PromoteMargin float64
+	// HoldoutWindow is the rolling comparison window in completed VMs;
+	// zero means the mlops default.
+	HoldoutWindow int
+	// MinTrainRows is the minimum completed VMs before a challenger is
+	// trained; zero means the mlops default.
+	MinTrainRows int
+	// CaptureModels dumps every cell's versioned model snapshots into
+	// the report.
+	CaptureModels bool
 
 	// PDM and TP are the QoS knobs (§5).
 	PDM float64
@@ -158,6 +181,21 @@ func normalize(o Options) (Options, error) {
 	if o.PoolGB < o.EMCs {
 		return o, fmt.Errorf("fleet: pool of %d GB cannot shard across %d EMCs", o.PoolGB, o.EMCs)
 	}
+	if o.RetrainEverySec < 0 || math.IsNaN(o.RetrainEverySec) || math.IsInf(o.RetrainEverySec, 0) {
+		return o, fmt.Errorf("fleet: retrain interval %gs must be a finite number >= 0", o.RetrainEverySec)
+	}
+	if o.RetrainEverySec > 0 && !o.Predictions {
+		return o, fmt.Errorf("fleet: retraining requires predictions")
+	}
+	if o.CaptureModels && !o.Predictions {
+		return o, fmt.Errorf("fleet: capturing models requires predictions")
+	}
+	if !(o.PromoteMargin >= 0 && o.PromoteMargin < 1) { // rejects NaN too
+		return o, fmt.Errorf("fleet: promotion margin %g must be in [0, 1)", o.PromoteMargin)
+	}
+	if o.HoldoutWindow < 0 || o.MinTrainRows < 0 {
+		return o, fmt.Errorf("fleet: holdout window and min train rows must be >= 0")
+	}
 	if _, err := topo.Build(o.Topology, o.Hosts, o.EMCs, o.PodDegree); err != nil {
 		return o, err
 	}
@@ -190,6 +228,11 @@ type CellResult struct {
 	// Migrated counts VMs moved off draining hosts.
 	Migrated int
 
+	// QoSViolations counts departed VMs whose realized slowdown exceeded
+	// the PDM; Mitigations counts those the QoS monitor reconfigured.
+	QoSViolations int
+	Mitigations   int
+
 	// AvgCoreUtil is the time-weighted scheduled-core fraction.
 	AvgCoreUtil float64
 	// AvgStrandedGB is the time-weighted stranded local memory (§2).
@@ -198,6 +241,23 @@ type CellResult struct {
 	PeakPoolUsedGB float64
 	// PoolShare is the GB-weighted share of placed memory on the pool.
 	PoolShare float64
+
+	// Model lifecycle (zero unless retraining ran).
+	Retrains, Promotions, Demotions int
+	// UMChampVer / InsensChampVer are the serving model versions at the
+	// end of the run.
+	UMChampVer, InsensChampVer int
+	// PredErrMean is the serving untouched-memory model's mean
+	// asymmetric prediction loss over all completed VMs; PredErrFinal
+	// the same over the final rolling window.
+	PredErrMean, PredErrFinal float64
+	// InsensErrMean is the serving insensitivity model's mean score
+	// error against ground-truth labels.
+	InsensErrMean float64
+	// Lifecycle is the cell's retrain/promote/demote history.
+	Lifecycle []mlops.Event
+	// ModelDump holds the versioned model snapshots (CaptureModels).
+	ModelDump json.RawMessage
 
 	// Log is the cell's event log.
 	Log string
@@ -211,10 +271,26 @@ type Report struct {
 
 	Arrivals, Placed, Rejected, Departed int
 	BlastVMs, Migrated                   int
+	QoSViolations, Mitigations           int
 	AvgCoreUtil                          float64
 	AvgStrandedGB                        float64
 	PeakPoolUsedGB                       float64
 	PoolShare                            float64
+
+	// Model lifecycle, aggregated across cells (zero unless retraining
+	// ran).
+	Retrains, Promotions, Demotions int
+	// PredErrMean / PredErrFinal are cell means of the serving
+	// untouched-memory model's asymmetric loss (whole run / final
+	// window); InsensErrMean likewise for the insensitivity score.
+	PredErrMean, PredErrFinal float64
+	InsensErrMean             float64
+	// Lifecycle is every cell's retrain/promote/demote history in cell
+	// order.
+	Lifecycle []mlops.Event
+	// ModelDumps is one versioned-model snapshot document per cell
+	// (CaptureModels).
+	ModelDumps []json.RawMessage
 
 	// EventLog is the concatenation of all cell logs in cell order;
 	// LogSHA256 is its hash — the determinism witness.
@@ -231,8 +307,12 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  %s\n", r.TopologyDesc)
 	fmt.Fprintf(&b, "  arrivals=%d placed=%d rejected=%d departed=%d blast-vms=%d migrated=%d\n",
 		r.Arrivals, r.Placed, r.Rejected, r.Departed, r.BlastVMs, r.Migrated)
-	fmt.Fprintf(&b, "  core-util=%.1f%% stranded=%.1fGB peak-pool-used=%.0fGB pool-share=%.1f%%\n",
-		100*r.AvgCoreUtil, r.AvgStrandedGB, r.PeakPoolUsedGB, 100*r.PoolShare)
+	fmt.Fprintf(&b, "  core-util=%.1f%% stranded=%.1fGB peak-pool-used=%.0fGB pool-share=%.1f%% qos-violations=%d mitigated=%d\n",
+		100*r.AvgCoreUtil, r.AvgStrandedGB, r.PeakPoolUsedGB, 100*r.PoolShare, r.QoSViolations, r.Mitigations)
+	if r.Options.RetrainEverySec > 0 {
+		fmt.Fprintf(&b, "  mlops: retrains=%d promotions=%d demotions=%d pred-err=%.4f pred-err-final=%.4f insens-err=%.4f\n",
+			r.Retrains, r.Promotions, r.Demotions, r.PredErrMean, r.PredErrFinal, r.InsensErrMean)
+	}
 	fmt.Fprintf(&b, "  event-log: %d events, sha256=%s", strings.Count(r.EventLog, "\n"), r.LogSHA256)
 	return b.String()
 }
@@ -281,11 +361,23 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		rep.Departed += c.Departed
 		rep.BlastVMs += c.BlastVMs
 		rep.Migrated += c.Migrated
+		rep.QoSViolations += c.QoSViolations
+		rep.Mitigations += c.Mitigations
+		rep.Retrains += c.Retrains
+		rep.Promotions += c.Promotions
+		rep.Demotions += c.Demotions
 		rep.AvgCoreUtil += c.AvgCoreUtil / float64(len(results))
 		rep.AvgStrandedGB += c.AvgStrandedGB / float64(len(results))
 		rep.PoolShare += c.PoolShare / float64(len(results))
+		rep.PredErrMean += c.PredErrMean / float64(len(results))
+		rep.PredErrFinal += c.PredErrFinal / float64(len(results))
+		rep.InsensErrMean += c.InsensErrMean / float64(len(results))
 		if c.PeakPoolUsedGB > rep.PeakPoolUsedGB {
 			rep.PeakPoolUsedGB = c.PeakPoolUsedGB
+		}
+		rep.Lifecycle = append(rep.Lifecycle, c.Lifecycle...)
+		if c.ModelDump != nil {
+			rep.ModelDumps = append(rep.ModelDumps, c.ModelDump)
 		}
 		log.WriteString(c.Log)
 	}
@@ -300,6 +392,7 @@ const (
 	evArrive = iota
 	evDepart
 	evInject
+	evRetrain
 )
 
 // event is one entry of the cell's time-ordered queue.
@@ -320,8 +413,8 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -334,6 +427,7 @@ func (h *eventHeap) Pop() any {
 type runningVM struct {
 	vm   cluster.VMRequest
 	host int
+	dec  core.Decision
 }
 
 // runCell simulates one pool group over the full horizon. Everything is
@@ -373,6 +467,29 @@ func runCell(cell int, o Options, insens predict.Insensitivity, threshold float6
 	pipe := core.NewPipeline(pcfg, insens, um, store)
 	sched := core.NewClusterScheduler(hosts, manager)
 
+	// With predictions on, inference flows through the serving layer
+	// (§5) and the mlops manager shadow-scores every decision — with
+	// retraining disabled it runs monitor-only, so frozen and retrained
+	// fleets report the same prediction-error metrics. Retrain ticks are
+	// what the lifecycle adds on top.
+	var mgr *mlops.Manager
+	if o.Predictions {
+		srv := predict.NewServer(insens, um)
+		pipe.UseServer(srv)
+		mcfg := mlops.DefaultConfig()
+		mcfg.PromoteMargin = o.PromoteMargin
+		if o.HoldoutWindow > 0 {
+			mcfg.HoldoutWindow = o.HoldoutWindow
+		}
+		if o.MinTrainRows > 0 {
+			mcfg.MinTrainRows = o.MinTrainRows
+		}
+		mcfg.Seed = stats.ShardSeed(o.Seed, cell)
+		mgr = mlops.NewManager(mcfg, cell, srv, insens, threshold, um,
+			ratio, o.PDM, pipe.SetInsensThreshold)
+		pipe.SetShadowHook(mgr.ObserveDecision)
+	}
+
 	arrivals := generateArrivals(o, cell, r.Fork(3))
 	res.Arrivals = len(arrivals)
 	rPlace := r.Fork(4)
@@ -390,6 +507,11 @@ func runCell(cell int, o Options, insens predict.Insensitivity, threshold float6
 	}
 	for i, inj := range o.Injections {
 		push(event{at: inj.AtSec, kind: evInject, idx: i})
+	}
+	if mgr != nil && o.RetrainEverySec > 0 {
+		for t := o.RetrainEverySec; t <= o.DurationSec; t += o.RetrainEverySec {
+			push(event{at: t, kind: evRetrain})
+		}
 	}
 
 	running := make(map[cluster.VMID]*runningVM)
@@ -447,6 +569,9 @@ func runCell(cell int, o Options, insens predict.Insensitivity, threshold float6
 			pr, perr := sched.Place(vm, d, now)
 			if perr != nil {
 				res.Rejected++
+				if mgr != nil {
+					mgr.ForgetVM(vm.ID)
+				}
 				logf(now, "reject vm=%d type=%s cores=%d mem=%g", vm.ID, vm.Type.Name, vm.Type.Cores, vm.Type.MemoryGB)
 				continue
 			}
@@ -457,7 +582,7 @@ func runCell(cell int, o Options, insens predict.Insensitivity, threshold float6
 			res.Placed++
 			placedGB += vm.Type.MemoryGB
 			placedPoolGB += pr.Placement.PoolGB
-			running[vm.ID] = &runningVM{vm: vm, host: pr.HostIndex}
+			running[vm.ID] = &runningVM{vm: vm, host: pr.HostIndex, dec: d}
 			push(event{at: now + vm.LifetimeSec, kind: evDepart, vm: vm.ID})
 			logf(now, "arrive vm=%d cust=%d type=%s decision=%s host=%d local=%g pool=%g",
 				vm.ID, vm.Customer, vm.Type.Name, d.Kind, pr.HostIndex, pr.Placement.LocalGB, pr.Placement.PoolGB)
@@ -473,6 +598,23 @@ func runCell(cell int, o Options, insens predict.Insensitivity, threshold float6
 				return res, fmt.Errorf("cell %d: release vm %d: %w", cell, ev.vm, rerr)
 			}
 			store.RecordOutcome(p.VM.Customer, now, p.VM.GroundTruth.UntouchedFrac)
+			if o.Predictions {
+				// Departure is when the QoS monitor's verdict is final:
+				// ground truth turns the decision into an outcome, and
+				// flagged customers skip the all-pool path from now on.
+				out := pipe.Evaluate(st.vm, st.dec)
+				if out.ExceedsPDM {
+					res.QoSViolations++
+					logf(now, "qos-violation vm=%d decision=%s slowdown=%.3f", ev.vm, st.dec.Kind, out.SlowdownFrac)
+				}
+				if out.Mitigated {
+					res.Mitigations++
+				}
+			}
+			if mgr != nil {
+				mc, okc := store.MeanCounters(ev.vm)
+				mgr.ObserveOutcome(st.vm, mc, okc)
+			}
 			store.ForgetVM(ev.vm)
 			res.Departed++
 			logf(now, "depart vm=%d host=%d", ev.vm, st.host)
@@ -518,6 +660,9 @@ func runCell(cell int, o Options, insens predict.Insensitivity, threshold float6
 						manager.ReleaseCapacity(emc.HostID(st.host), alive, now)
 					}
 					store.ForgetVM(id)
+					if mgr != nil {
+						mgr.ForgetVM(id)
+					}
 				}
 				res.BlastVMs += len(blast)
 				logf(now, "inject emc-fail emc=%d blast-hosts=%d blast-vms=%d lost-gb=%g",
@@ -538,6 +683,16 @@ func runCell(cell int, o Options, insens predict.Insensitivity, threshold float6
 
 			case InjectSurge:
 				logf(now, "inject surge x=%g dur=%g", inj.Factor, inj.DurSec)
+
+			case InjectDrift:
+				// The population shift itself happened in the arrival
+				// stream; this marks the moment in the event log.
+				logf(now, "inject drift mag=%g", inj.Mag)
+			}
+
+		case evRetrain:
+			for _, le := range mgr.Tick(now) {
+				logf(now, "%s", le)
 			}
 		}
 	}
@@ -550,9 +705,27 @@ func runCell(cell int, o Options, insens predict.Insensitivity, threshold float6
 	if placedGB > 0 {
 		res.PoolShare = placedPoolGB / placedGB
 	}
-	logf(o.DurationSec, "summary arrivals=%d placed=%d rejected=%d departed=%d blast-vms=%d migrated=%d util=%.3f stranded=%.3f pool-share=%.4f",
+	if mgr != nil {
+		q := mgr.Quality()
+		res.Retrains, res.Promotions, res.Demotions = q.Retrains, q.Promotions, q.Demotions
+		res.UMChampVer, res.InsensChampVer = q.UMChampVer, q.InsensChampVer
+		res.PredErrMean, res.PredErrFinal = q.UMLossMean, q.UMLossFinal
+		res.InsensErrMean = q.InsensLossMean
+		res.Lifecycle = mgr.Events()
+		if o.CaptureModels {
+			dump, derr := mgr.SnapshotJSON()
+			if derr != nil {
+				return res, fmt.Errorf("cell %d: model snapshot: %w", cell, derr)
+			}
+			res.ModelDump = dump
+		}
+		logf(o.DurationSec, "mlops summary retrains=%d promotions=%d demotions=%d um-ver=%d insens-ver=%d pred-err=%.4f pred-err-final=%.4f insens-err=%.4f",
+			q.Retrains, q.Promotions, q.Demotions, q.UMChampVer, q.InsensChampVer,
+			q.UMLossMean, q.UMLossFinal, q.InsensLossMean)
+	}
+	logf(o.DurationSec, "summary arrivals=%d placed=%d rejected=%d departed=%d blast-vms=%d migrated=%d qos=%d util=%.3f stranded=%.3f pool-share=%.4f",
 		res.Arrivals, res.Placed, res.Rejected, res.Departed, res.BlastVMs, res.Migrated,
-		res.AvgCoreUtil, res.AvgStrandedGB, res.PoolShare)
+		res.QoSViolations, res.AvgCoreUtil, res.AvgStrandedGB, res.PoolShare)
 	res.Log = log.String()
 	return res, nil
 }

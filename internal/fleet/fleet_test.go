@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -299,5 +300,214 @@ func TestNormalizeKeepsPartialArrival(t *testing.T) {
 	}
 	if got := rep.Options.Arrival; got.Kind != ArrivalPoisson || got.RatePerSec != 0.3 {
 		t.Fatalf("normalized arrival = %+v, want poisson at rate 0.3", got)
+	}
+}
+
+// retrainOptions is the drift scenario used by the retraining tests: a
+// mid-run tenant-population shift with the lifecycle loop enabled.
+func retrainOptions() Options {
+	o := DefaultOptions()
+	o.Cells = 2
+	o.Hosts = 4
+	o.EMCs = 4
+	o.PoolGB = 128
+	o.DurationSec = 6000
+	o.Seed = 2
+	o.Arrival = ArrivalModel{Kind: ArrivalPoisson, RatePerSec: 0.15, MeanLifetimeSec: 300}
+	o.Predictions = true
+	o.RetrainEverySec = 400
+	inj, err := ParseInjections("drift@t=2500:mag=0.6")
+	if err != nil {
+		panic(err)
+	}
+	o.Injections = inj
+	return o
+}
+
+func TestRetrainDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("retrain determinism needs the full horizon; covered in the full tier")
+	}
+	base := retrainOptions()
+	base.DurationSec = 3000
+	base.Injections[0].AtSec = 1500
+
+	var logs, hashes []string
+	for _, workers := range []int{1, 3, 8} {
+		o := base
+		o.Workers = workers
+		rep, err := Run(context.Background(), o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		logs = append(logs, rep.EventLog)
+		hashes = append(hashes, rep.LogSHA256)
+	}
+	for i := 1; i < len(logs); i++ {
+		if logs[i] != logs[0] || hashes[i] != hashes[0] {
+			t.Fatalf("retrain-enabled event log differs between worker counts 1 and %d", []int{1, 3, 8}[i])
+		}
+	}
+	// Promotion events are part of the deterministic log.
+	for _, want := range []string{"mlops um retrain", "mlops um promote", "inject drift mag=0.6"} {
+		if !strings.Contains(logs[0], want) {
+			t.Fatalf("event log missing %q", want)
+		}
+	}
+}
+
+func TestDriftRetrainingBeatsFrozenModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drift A/B needs the full horizon; covered in the full tier")
+	}
+	o := retrainOptions()
+	frozen := o
+	frozen.RetrainEverySec = 0
+	fr, err := Run(context.Background(), frozen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Promotions == 0 {
+		t.Fatal("no promotions happened; the lifecycle never engaged")
+	}
+	// End-of-run prediction error must be strictly better with
+	// retraining: the frozen champion is stale after the drift.
+	if lr.PredErrFinal >= fr.PredErrFinal {
+		t.Fatalf("retrained end-of-run prediction error %.4f not better than frozen %.4f",
+			lr.PredErrFinal, fr.PredErrFinal)
+	}
+	// And the operational metrics must not regress: QoS strictly no
+	// worse, stranding within measurement noise (stranded GB counts free
+	// local memory behind exhausted cores, so small pool-share changes
+	// move it by fractions of a percent in either direction).
+	if lr.QoSViolations > fr.QoSViolations {
+		t.Fatalf("retraining worsened QoS: %d vs %d violations", lr.QoSViolations, fr.QoSViolations)
+	}
+	if lr.Rejected > fr.Rejected {
+		t.Fatalf("retraining worsened admission: %d vs %d rejections", lr.Rejected, fr.Rejected)
+	}
+	if lr.AvgStrandedGB > fr.AvgStrandedGB*1.01 {
+		t.Fatalf("retraining worsened stranding beyond noise: %.2f vs %.2f GB",
+			lr.AvgStrandedGB, fr.AvgStrandedGB)
+	}
+	// The report must surface the lifecycle.
+	if lr.Retrains == 0 || len(lr.Lifecycle) == 0 {
+		t.Fatalf("lifecycle missing from report: %+v", lr.Lifecycle)
+	}
+}
+
+func TestDriftInjectionShiftsArrivals(t *testing.T) {
+	o := testOptions()
+	base, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Injections, err = ParseInjections("drift@t=200:mag=0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(drifted.EventLog, "inject drift mag=0.8") {
+		t.Fatal("drift injection missing from event log")
+	}
+	if base.LogSHA256 == drifted.LogSHA256 {
+		t.Fatal("drift did not change the event stream")
+	}
+}
+
+func TestDriftAppliesToTraceArrivals(t *testing.T) {
+	o := testOptions()
+	o.Arrival = ArrivalModel{Kind: ArrivalTrace}
+	o.DurationSec = 2000
+	base, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Injections, err = ParseInjections("drift@t=1000:mag=0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.LogSHA256 == drifted.LogSHA256 {
+		t.Fatal("drift did not alter the trace-derived stream")
+	}
+}
+
+func TestRetrainRequiresPredictions(t *testing.T) {
+	o := testOptions() // Predictions: false
+	o.RetrainEverySec = 100
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("retraining without predictions should be rejected")
+	}
+	o = testOptions()
+	o.Predictions = true
+	o.RetrainEverySec = -5
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("negative retrain interval should be rejected")
+	}
+	o = testOptions()
+	o.Predictions = true
+	o.RetrainEverySec = 100
+	o.PromoteMargin = 1.5
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("promotion margin >= 1 should be rejected")
+	}
+}
+
+func TestCaptureModelsDumpsSnapshots(t *testing.T) {
+	o := testOptions()
+	o.Predictions = true
+	o.DurationSec = 800
+	o.Arrival.RatePerSec = 0.2
+	o.RetrainEverySec = 200
+	o.MinTrainRows = 16
+	o.CaptureModels = true
+	rep, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ModelDumps) != o.Cells {
+		t.Fatalf("got %d model dumps for %d cells", len(rep.ModelDumps), o.Cells)
+	}
+	var snaps []map[string]any
+	if err := json.Unmarshal(rep.ModelDumps[0], &snaps); err != nil {
+		t.Fatalf("cell dump is not valid JSON: %v", err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("cell dump holds no models")
+	}
+	if snaps[0]["role"] != "champion" {
+		t.Fatalf("first snapshot is %v, want the champion", snaps[0]["role"])
+	}
+}
+
+func TestParseDriftInjection(t *testing.T) {
+	ins, err := ParseInjections("drift@t=2000:mag=0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins[0].Kind != InjectDrift || ins[0].AtSec != 2000 || ins[0].Mag != 0.6 {
+		t.Fatalf("drift parsed as %+v", ins[0])
+	}
+	if ins[0].String() != "drift@t=2000:mag=0.6" {
+		t.Fatalf("drift renders as %q", ins[0].String())
+	}
+	if ins, err := ParseInjections("drift@t=100"); err != nil || ins[0].Mag != 0.5 {
+		t.Fatalf("default drift magnitude = %+v (%v)", ins, err)
+	}
+	for _, bad := range []string{"drift@t=1:mag=0", "drift@t=1:mag=1.5", "drift@t=1:mag=-1"} {
+		if _, err := ParseInjections(bad); err == nil {
+			t.Fatalf("spec %q should fail to parse", bad)
+		}
 	}
 }

@@ -19,6 +19,12 @@ const (
 	InjectHostDrain = "host-drain"
 	// InjectSurge multiplies the arrival rate by Factor over [t, t+dur].
 	InjectSurge = "surge"
+	// InjectDrift shifts the tenant population at t: customers'
+	// untouched-memory behaviour moves toward its complement and a Mag
+	// fraction of them switch workload sets, so models trained on
+	// pre-drift telemetry go stale — the scenario online retraining is
+	// for.
+	InjectDrift = "drift"
 )
 
 // Injection is one scheduled scenario event.
@@ -33,6 +39,10 @@ type Injection struct {
 	// DurSec and Factor shape a surge (defaults 200 s, 2x).
 	DurSec float64
 	Factor float64
+	// Mag is the drift magnitude in (0, 1] (default 0.5): how far each
+	// customer's untouched-memory mean moves and the probability that a
+	// customer's workload set is replaced.
+	Mag float64
 }
 
 // String renders the injection as a parseable spec.
@@ -44,6 +54,8 @@ func (in Injection) String() string {
 		return fmt.Sprintf("%s@t=%g:host=%d", in.Kind, in.AtSec, in.Host)
 	case InjectSurge:
 		return fmt.Sprintf("%s@t=%g:dur=%g:x=%g", in.Kind, in.AtSec, in.DurSec, in.Factor)
+	case InjectDrift:
+		return fmt.Sprintf("%s@t=%g:mag=%g", in.Kind, in.AtSec, in.Mag)
 	default:
 		return in.Kind
 	}
@@ -55,6 +67,7 @@ func (in Injection) String() string {
 //	emc-fail@t=500:emc=1
 //	host-drain@t=800:host=2
 //	surge@t=300:dur=200:x=3
+//	drift@t=2000:mag=0.6
 func ParseInjections(s string) ([]Injection, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -76,12 +89,12 @@ func parseInjection(spec string) (Injection, error) {
 	if !ok {
 		return Injection{}, fmt.Errorf("fleet: injection %q needs kind@t=SEC", spec)
 	}
-	in := Injection{Kind: kind, AtSec: -1, DurSec: 200, Factor: 2}
+	in := Injection{Kind: kind, AtSec: -1, DurSec: 200, Factor: 2, Mag: 0.5}
 	switch kind {
-	case InjectEMCFail, InjectHostDrain, InjectSurge:
+	case InjectEMCFail, InjectHostDrain, InjectSurge, InjectDrift:
 	default:
-		return in, fmt.Errorf("fleet: unknown injection kind %q (want %s, %s, %s)",
-			kind, InjectEMCFail, InjectHostDrain, InjectSurge)
+		return in, fmt.Errorf("fleet: unknown injection kind %q (want %s, %s, %s, %s)",
+			kind, InjectEMCFail, InjectHostDrain, InjectSurge, InjectDrift)
 	}
 	for _, p := range strings.Split(rest, ":") {
 		k, v, ok := strings.Cut(p, "=")
@@ -89,7 +102,7 @@ func parseInjection(spec string) (Injection, error) {
 			return in, fmt.Errorf("fleet: injection parameter %q is not key=value", p)
 		}
 		switch k {
-		case "t", "dur", "x":
+		case "t", "dur", "x", "mag":
 			f, err := strconv.ParseFloat(v, 64)
 			if err != nil || f < 0 || math.IsInf(f, 0) || math.IsNaN(f) {
 				return in, fmt.Errorf("fleet: injection parameter %s=%q must be a non-negative number", k, v)
@@ -101,6 +114,8 @@ func parseInjection(spec string) (Injection, error) {
 				in.DurSec = f
 			case "x":
 				in.Factor = f
+			case "mag":
+				in.Mag = f
 			}
 		case "emc", "host":
 			n, err := strconv.Atoi(v)
@@ -121,6 +136,9 @@ func parseInjection(spec string) (Injection, error) {
 	}
 	if in.Kind == InjectSurge && in.Factor <= 1 {
 		return in, fmt.Errorf("fleet: surge factor x=%g must exceed 1", in.Factor)
+	}
+	if in.Kind == InjectDrift && (in.Mag <= 0 || in.Mag > 1) {
+		return in, fmt.Errorf("fleet: drift magnitude mag=%g must be in (0, 1]", in.Mag)
 	}
 	return in, nil
 }

@@ -1,0 +1,149 @@
+package mlops
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"pond/internal/ml"
+	"pond/internal/predict"
+)
+
+// Versioned model snapshots. The paper's pipeline exports retrained
+// models (to ONNX) before the serving system picks them up (§5);
+// ml/serialize.go plays the ONNX role here, and the snapshot adds the
+// lifecycle metadata — version, role, training provenance, serving
+// threshold — that makes a dump auditable.
+
+// ModelSnapshot is one model in a lifecycle dump.
+type ModelSnapshot struct {
+	Cell   int    `json:"cell"`
+	Family string `json:"family"` // um | insens
+	Role   string `json:"role"`   // champion | challenger | fallback
+	Ver    int    `json:"version"`
+	Name   string `json:"name"`
+	// TrainedAtSec and Rows are zero for version 0 (the bootstrap model,
+	// trained offline or purely heuristic).
+	TrainedAtSec float64 `json:"trained_at_sec,omitempty"`
+	Rows         int     `json:"rows,omitempty"`
+	// Threshold is the insensitivity serving threshold (insens only).
+	Threshold float64 `json:"threshold,omitempty"`
+	// Model is the ml/serialize wire form; {"kind":"heuristic",...} for
+	// models with no tree ensemble underneath.
+	Model json.RawMessage `json:"model"`
+}
+
+// Snapshot dumps every live model with its lifecycle metadata, champion
+// first, in a deterministic order.
+func (m *Manager) Snapshot() ([]ModelSnapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []ModelSnapshot
+	add := func(family, role string, ver int, name string, thr float64, raw json.RawMessage) {
+		s := ModelSnapshot{Cell: m.cell, Family: family, Role: role, Ver: ver, Name: name, Threshold: thr, Model: raw}
+		meta, ok := m.umMeta[ver]
+		if family == FamilyInsens {
+			meta, ok = m.insMeta[ver]
+		}
+		if ok {
+			s.TrainedAtSec = meta.AtSec
+			s.Rows = meta.Rows
+		}
+		out = append(out, s)
+	}
+
+	umSlots := []struct {
+		role  string
+		model predict.Untouched
+		ver   int
+	}{
+		{"champion", m.umChamp, m.umLC.champVer},
+		{"challenger", m.umChall, m.umLC.challVer},
+		{"fallback", m.umFb, m.umLC.fbVer},
+	}
+	for _, s := range umSlots {
+		if s.model == nil {
+			continue
+		}
+		raw, err := marshalUM(s.model)
+		if err != nil {
+			return nil, err
+		}
+		add(FamilyUM, s.role, s.ver, s.model.Name(), 0, raw)
+	}
+
+	insSlots := []struct {
+		role  string
+		model predict.Insensitivity
+		ver   int
+		thr   float64
+	}{
+		{"champion", m.insChamp, m.insLC.champVer, m.insChampThr},
+		{"challenger", m.insChall, m.insLC.challVer, m.insChallThr},
+		{"fallback", m.insFb, m.insLC.fbVer, m.insFbThr},
+	}
+	for _, s := range insSlots {
+		if s.model == nil {
+			continue
+		}
+		raw, err := marshalInsens(s.model)
+		if err != nil {
+			return nil, err
+		}
+		add(FamilyInsens, s.role, s.ver, s.model.Name(), s.thr, raw)
+	}
+	return out, nil
+}
+
+// SnapshotJSON renders the dump as one JSON document.
+func (m *Manager) SnapshotJSON() (json.RawMessage, error) {
+	snaps, err := m.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(snaps, "", "  ")
+}
+
+func marshalUM(u predict.Untouched) (json.RawMessage, error) {
+	if g, ok := u.(*predict.GBMUntouched); ok {
+		var buf bytes.Buffer
+		if err := ml.ExportGBM(&buf, g.GBM()); err != nil {
+			return nil, fmt.Errorf("mlops: exporting %s: %w", u.Name(), err)
+		}
+		return bytes.TrimSpace(buf.Bytes()), nil
+	}
+	return json.Marshal(map[string]string{"kind": "heuristic", "name": u.Name()})
+}
+
+func marshalInsens(i predict.Insensitivity) (json.RawMessage, error) {
+	if f, ok := i.(*predict.ForestModel); ok {
+		var buf bytes.Buffer
+		if err := ml.ExportForest(&buf, f.Forest()); err != nil {
+			return nil, fmt.Errorf("mlops: exporting %s: %w", i.Name(), err)
+		}
+		return bytes.TrimSpace(buf.Bytes()), nil
+	}
+	return json.Marshal(map[string]string{"kind": "heuristic", "name": i.Name()})
+}
+
+// LoadUM rebuilds an untouched-memory model from a snapshot's wire form —
+// the serving-side half of the export path.
+func LoadUM(s ModelSnapshot) (predict.Untouched, error) {
+	if s.Family != FamilyUM {
+		return nil, fmt.Errorf("mlops: snapshot family %q is not %s", s.Family, FamilyUM)
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(s.Model, &probe); err != nil {
+		return nil, fmt.Errorf("mlops: snapshot model: %w", err)
+	}
+	if probe.Kind == "gbm" {
+		g, err := ml.ImportGBM(bytes.NewReader(s.Model))
+		if err != nil {
+			return nil, err
+		}
+		return predict.WrapGBMUntouched(g), nil
+	}
+	return nil, fmt.Errorf("mlops: cannot rebuild %q model %q", s.Family, probe.Kind)
+}

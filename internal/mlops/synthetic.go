@@ -1,0 +1,49 @@
+package mlops
+
+import (
+	"pond/internal/cluster"
+	"pond/internal/core"
+	"pond/internal/pmu"
+	"pond/internal/predict"
+	"pond/internal/stats"
+	"pond/internal/workload"
+)
+
+// SyntheticLoop drives a standalone Manager through n (decision,
+// outcome) pairs with a retrain tick every tickEvery outcomes — the
+// retrain hot path (shadow scoring, window bookkeeping, challenger
+// training, promotion verdicts) without the surrounding fleet loop.
+// BenchmarkRetrainLoop and the CI benchmark gate time exactly this; the
+// work is fixed and deterministic for a given (n, tickEvery, cfg.Seed).
+func SyntheticLoop(n, tickEvery int, cfg Config) Quality {
+	cfg = cfg.withDefaults()
+	srv := predict.NewServer(nil, predict.HistoryQuantileUM{})
+	m := NewManager(cfg, 0, srv, nil, 0, predict.HistoryQuantileUM{}, 1.82, 0.05, nil)
+	r := stats.NewRand(cfg.Seed)
+	catalogue := workload.Catalogue()
+	types := cluster.VMTypes()
+	for i := 0; i < n; i++ {
+		w := catalogue[i%len(catalogue)]
+		base := 0.2 + 0.6*float64(i%8)/8
+		uf := stats.Clamp(base+r.Bounded(-0.05, 0.05), 0, 1)
+		vm := cluster.VMRequest{
+			ID:       cluster.VMID(i + 1),
+			Customer: cluster.CustomerID(1 + i%16),
+			Type:     types[i%len(types)],
+			GroundTruth: cluster.VMGroundTruth{
+				UntouchedFrac: uf,
+				Workload:      w,
+			},
+		}
+		feats := []float64{
+			vm.Type.MemoryGB, float64(vm.Type.Cores), vm.Type.GBPerCore(),
+			1, 1, float64(i % 64), 5, base - 0.1, base, base, base + 0.05, base + 0.1,
+		}
+		m.ObserveDecision(vm, nil, feats, core.Decision{})
+		m.ObserveOutcome(vm, pmu.Sample(w, r), true)
+		if (i+1)%tickEvery == 0 {
+			m.Tick(float64(i + 1))
+		}
+	}
+	return m.Quality()
+}

@@ -2,6 +2,7 @@ package predict
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"pond/internal/cluster"
@@ -453,5 +454,55 @@ func TestServerUMCache(t *testing.T) {
 	requests, hits, _ := srv.Stats()
 	if requests != 2 || hits != 1 {
 		t.Fatalf("requests=%d hits=%d", requests, hits)
+	}
+}
+
+// TestServerConcurrentScoringDuringSwap hammers both inference paths
+// while another goroutine hot-swaps models, as the mlops lifecycle does
+// mid-run. Run under -race this is the serving-layer swap stress test.
+func TestServerConcurrentScoringDuringSwap(t *testing.T) {
+	srv := NewServer(CounterThreshold{Counter: pmu.DRAMBound}, FixedUntouched{Frac: 0.3})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var v pmu.Vector
+			v[pmu.DRAMBound] = 0.4
+			for i := 0; i < 500; i++ {
+				key := int64(g*1000 + i%7)
+				if _, err := srv.ScoreInsensitivity(key, v); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := srv.PredictUntouched(key, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	swapperDone := make(chan struct{})
+	go func() {
+		defer close(swapperDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			srv.Swap(CounterThreshold{Counter: pmu.MemoryBound}, FixedUntouched{Frac: float64(i%10) / 10})
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-swapperDone
+	requests, hits, _ := srv.Stats()
+	if requests == 0 {
+		t.Fatal("no requests served")
+	}
+	if hits >= requests {
+		t.Fatalf("cache hits %d >= requests %d", hits, requests)
 	}
 }

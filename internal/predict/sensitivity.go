@@ -92,6 +92,10 @@ func (m *ForestModel) Score(v pmu.Vector) float64 { return m.forest.PredictProb(
 // Name identifies the model in figures.
 func (m *ForestModel) Name() string { return "RandomForest" }
 
+// Forest exposes the underlying ensemble for serialization
+// (ml/serialize).
+func (m *ForestModel) Forest() *ml.Forest { return m.forest }
+
 // CounterThreshold is the heuristic baseline: label a workload
 // insensitive when a single TMA counter is low. Score is 1-counter so
 // that higher means more insensitive, like the forest.

@@ -60,13 +60,23 @@ func NewServer(insens Insensitivity, um Untouched) *Server {
 	}
 }
 
+// maxCacheEntries bounds each prediction cache. Serving keys can be
+// per-decision unique (opaque VMs hash their sampled counters, the
+// untouched-memory key hashes the evolving history features), so without
+// a bound a long soak run grows the maps with never-hit entries.
+const maxCacheEntries = 1 << 16
+
 // Swap installs retrained models and invalidates all cached predictions.
+// The caches are dropped outright: every surviving entry would be from a
+// stale generation, and rebuilding frees their memory.
 func (s *Server) Swap(insens Insensitivity, um Untouched) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.insens = insens
 	s.um = um
 	s.generation++
+	s.sensCache = make(map[int64]cachedScore)
+	s.umCache = make(map[int64]cachedScore)
 }
 
 // ScoreInsensitivity serves a latency-insensitivity score for a customer.
@@ -84,6 +94,9 @@ func (s *Server) ScoreInsensitivity(cacheKey int64, v pmu.Vector) (float64, erro
 		return c.value, nil
 	}
 	score := s.insens.Score(v)
+	if len(s.sensCache) >= maxCacheEntries {
+		s.sensCache = make(map[int64]cachedScore)
+	}
 	s.sensCache[cacheKey] = cachedScore{generation: s.generation, value: score}
 	s.servedCost += ForestInferenceMicros
 	return score, nil
@@ -103,9 +116,20 @@ func (s *Server) PredictUntouched(cacheKey int64, features []float64) (float64, 
 		return c.value, nil
 	}
 	frac := s.um.PredictUntouchedFrac(features)
+	if len(s.umCache) >= maxCacheEntries {
+		s.umCache = make(map[int64]cachedScore)
+	}
 	s.umCache[cacheKey] = cachedScore{generation: s.generation, value: frac}
 	s.servedCost += GBMInferenceMicros
 	return frac, nil
+}
+
+// Installed reports which models the server currently serves, without
+// touching the request counters or caches.
+func (s *Server) Installed() (insens, um bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.insens != nil, s.um != nil
 }
 
 // Stats reports request counts, cache hit rate, and the mean simulated

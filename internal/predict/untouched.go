@@ -79,6 +79,13 @@ func (m *GBMUntouched) PredictUntouchedFrac(features []float64) float64 {
 // Name identifies the model.
 func (m *GBMUntouched) Name() string { return "GBM" }
 
+// GBM exposes the underlying ensemble for serialization (ml/serialize).
+func (m *GBMUntouched) GBM() *ml.GBM { return m.model }
+
+// WrapGBMUntouched adopts a deserialized ensemble (e.g. one rebuilt from
+// a versioned mlops snapshot) as an untouched-memory model.
+func WrapGBMUntouched(g *ml.GBM) *GBMUntouched { return &GBMUntouched{model: g} }
+
 // WithMargin returns a copy with the given safety margin.
 func (m *GBMUntouched) WithMargin(margin float64) *GBMUntouched {
 	return &GBMUntouched{model: m.model, Margin: margin}

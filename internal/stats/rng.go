@@ -25,12 +25,19 @@ func NewRand(seed int64) *Rand {
 // experiment engine relies on this for results that are byte-identical
 // regardless of worker count.
 func ShardSeed(root int64, shard int) int64 {
+	return HashWords(uint64(root), uint64(shard))
+}
+
+// HashWords folds 64-bit words into one value with FNV-1a, byte by byte.
+// It backs ShardSeed and the serving-layer cache keys — any place that
+// needs a deterministic, order-sensitive digest of a few numbers.
+func HashWords(words ...uint64) int64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	for _, v := range [2]uint64{uint64(root), uint64(shard)} {
+	for _, v := range words {
 		for b := 0; b < 8; b++ {
 			h ^= (v >> (8 * b)) & 0xff
 			h *= prime64

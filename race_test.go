@@ -3,6 +3,7 @@ package pond
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -282,5 +283,57 @@ func TestRunFleetDeterministicPublicAPI(t *testing.T) {
 	}
 	if _, err := RunFleet(context.Background(), FleetOpts{Arrival: "bogus"}); err == nil {
 		t.Fatal("bad arrival spec accepted")
+	}
+}
+
+// TestRunFleetRetrainPublicAPI drives the online model-lifecycle loop
+// through the public facade: retrain events must appear identically for
+// any worker count, and the report must surface model quality and the
+// promotion history.
+func TestRunFleetRetrainPublicAPI(t *testing.T) {
+	base := FleetOpts{
+		Hosts:           4,
+		EMCs:            4,
+		PoolGB:          128,
+		Cells:           2,
+		DurationSec:     1200,
+		Arrival:         "poisson:rate=0.2:life=200",
+		Inject:          "drift@t=600:mag=0.6",
+		RetrainEverySec: 300,
+		MinTrainRows:    16,
+		CaptureModels:   true,
+	}
+	a := base
+	a.Workers = 1
+	ra, err := RunFleet(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := base
+	b.Workers = 8
+	rb, err := RunFleet(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.EventLog != rb.EventLog || ra.LogSHA256 != rb.LogSHA256 {
+		t.Fatal("retrain-enabled event log differs between workers=1 and workers=8")
+	}
+	if ra.Retrains == 0 || len(ra.PromotionHistory) == 0 {
+		t.Fatalf("lifecycle missing from public report: retrains=%d history=%d",
+			ra.Retrains, len(ra.PromotionHistory))
+	}
+	if !strings.Contains(ra.EventLog, "mlops um retrain") {
+		t.Fatal("retrain events missing from the public event log")
+	}
+	if len(ra.ModelsJSON) != base.Cells {
+		t.Fatalf("model dumps = %d, want one per cell", len(ra.ModelsJSON))
+	}
+	if ra.PredErrMean <= 0 {
+		t.Fatalf("prediction error not surfaced: %+v", ra.PredErrMean)
+	}
+	if _, err := RunFleet(context.Background(), FleetOpts{
+		RetrainEverySec: 100, DisablePredictions: true,
+	}); err == nil {
+		t.Fatal("retraining without predictions accepted")
 	}
 }
