@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race lint cover bench bench-gate bench-baseline fleet soak
+.PHONY: all build vet test test-short test-race lint cover bench bench-gate bench-baseline fleet soak soak-fleet fuzz golden
 
 all: build vet test-short
 
@@ -68,3 +68,25 @@ soak:
 	$(GO) run ./cmd/pondfleet -topology sharded -duration 20000 -cells 4 \
 		-arrival poisson:rate=0.1:life=600 -retrain-every 1000 \
 		-inject drift@t=8000:mag=0.6 -models models-soak.json
+
+# Fleet-scoped soak: the §5 central pipeline with staged canary rollout
+# under regional drift (the nightly sharded-fleet-regional-drift leg).
+soak-fleet:
+	$(GO) run ./cmd/pondfleet -topology sharded -duration 20000 -cells 4 \
+		-arrival poisson:rate=0.1:life=600 -retrain-every 1000 \
+		-model-scope fleet -canary 0.25 -bake 2000 \
+		-inject drift@t=8000:cells=2-3:mag=0.8 -models models-soak-fleet.json
+
+# Fuzz the user-facing spec parsers for a bounded time each (seeds run
+# as plain tests on every `go test`; this explores further, as CI does).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseInjections$$' -fuzztime $(FUZZTIME) ./internal/fleet
+	$(GO) test -run '^$$' -fuzz '^FuzzParseArrival$$'    -fuzztime $(FUZZTIME) ./internal/fleet
+	$(GO) test -run '^$$' -fuzz '^FuzzParseTopologies$$' -fuzztime $(FUZZTIME) ./internal/fleet
+	$(GO) test -run '^$$' -fuzz '^FuzzParseSweep$$'      -fuzztime $(FUZZTIME) ./internal/experiments
+
+# Regenerate the committed golden event logs after an intentional
+# behaviour or log-format change.
+golden:
+	$(GO) test ./internal/fleet -run Golden -update-golden

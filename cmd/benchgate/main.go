@@ -11,9 +11,11 @@
 //
 // Gated metrics: fleet_ns_per_op, fleet_allocs_per_op (lower is better),
 // fleet_vms_per_sec (VMs placed per wall-clock second; higher is
-// better), and retrain_ns_per_op (the mlops model-lifecycle hot path —
+// better), retrain_ns_per_op (the mlops model-lifecycle hot path —
 // shadow scoring, holdout bookkeeping, challenger training — over a
-// fixed synthetic stream). Raw `go test -bench` lines ride along in the artifact for
+// fixed synthetic stream), and rollout_ns_per_op (the fleet pipeline's
+// staged-rollout hot path: cross-cell corpus pooling, canary
+// bookkeeping, release training, verdicts). Raw `go test -bench` lines ride along in the artifact for
 // trend dashboards but are not gated — they are too machine-dependent
 // for a hard threshold, whereas the fleet smoke is gated because its
 // work is fixed and deterministic. After an intentional perf change,
@@ -34,6 +36,7 @@ import (
 
 	"pond/internal/fleet"
 	"pond/internal/mlops"
+	"pond/internal/mlops/fleetpipeline"
 )
 
 // Metric is one measured value with its comparison direction.
@@ -84,6 +87,9 @@ func main() {
 
 	res := Result{Schema: "pond-bench/v1", Metrics: measureFleet()}
 	for name, m := range measureRetrain() {
+		res.Metrics[name] = m
+	}
+	for name, m := range measureRollout() {
 		res.Metrics[name] = m
 	}
 	if *benchFile != "" {
@@ -206,6 +212,30 @@ func measureRetrain() map[string]Metric {
 	return map[string]Metric{
 		"retrain_ns_per_op":     {Value: float64(r.NsPerOp()), HigherIsBetter: false},
 		"retrain_allocs_per_op": {Value: float64(r.AllocsPerOp()), HigherIsBetter: false},
+	}
+}
+
+// measureRollout times the fleet pipeline's staged-rollout hot path —
+// the same work as BenchmarkRolloutLoop: 4 cells feeding one release
+// train through 8 retrain barriers of 24 outcomes per cell.
+func measureRollout() map[string]Metric {
+	cfg := fleetpipeline.DefaultConfig(4)
+	cfg.MinTrainRows = 64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if c := fleetpipeline.SyntheticRollout(4, 8, 24, cfg); c.Retrains == 0 {
+				// panic, not b.Fatal: a Fatal inside testing.Benchmark
+				// yields a zero result that would sail through the gate
+				// as a massive improvement.
+				panic("benchgate: synthetic rollout never retrained")
+			}
+		}
+	})
+	requireMeasured("rollout", r)
+	return map[string]Metric{
+		"rollout_ns_per_op":     {Value: float64(r.NsPerOp()), HigherIsBetter: false},
+		"rollout_allocs_per_op": {Value: float64(r.AllocsPerOp()), HigherIsBetter: false},
 	}
 }
 

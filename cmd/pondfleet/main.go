@@ -1,18 +1,22 @@
 // Command pondfleet runs the online, event-driven fleet simulation: VMs
 // arrive and depart continuously, every admission flows through the
 // prediction/QoS control plane, and operational scenarios — EMC failures
-// with topology-bounded blast radius, host drains, load surges — are
-// injected mid-run.
+// with topology-bounded blast radius, host drains, load surges, regional
+// drift — are injected mid-run.
 //
 //	pondfleet -topology sparse -inject emc-fail@t=500
 //	pondfleet -topology flat,sharded,sparse -arrival trace -duration 3600
 //	pondfleet -arrival poisson:rate=0.2:life=300 -inject surge@t=300:dur=200:x=3
+//	pondfleet -retrain-every 1000 -model-scope fleet -canary 0.25 -bake 2000 \
+//	    -inject drift@t=8000:cells=2-3:mag=0.8
 //
 // -topology accepts a comma-separated list; with more than one entry the
 // tool prints a per-topology comparison of stranding, utilization, and
-// blast radius. Cells fan out over the parallel engine: -workers bounds
-// the pool and the event log (and its printed hash) is byte-identical
-// for any value.
+// blast radius. -model-scope fleet pools telemetry across cells into the
+// §5 central pipeline and deploys each retrained model through a staged
+// canary rollout. Cells fan out over the parallel engine: -workers
+// bounds the pool and the event log (and its printed hash) is
+// byte-identical for any value.
 package main
 
 import (
@@ -26,96 +30,173 @@ import (
 
 	"pond"
 	"pond/internal/cliutil"
+	"pond/internal/fleet"
 )
 
+// flags carries every pondfleet flag value so validation is testable
+// without exec'ing the binary.
+type flags struct {
+	topologies    string
+	arrival       string
+	inject        string
+	duration      float64
+	hosts         int
+	emcs          int
+	poolGB        int
+	degree        int
+	cells         int
+	noPredict     bool
+	retrainEvery  float64
+	modelScope    string
+	canary        float64
+	bake          float64
+	promoteMargin float64
+	holdout       int
+	minRows       int
+	modelsOut     string
+	printLog      bool
+	workers       int
+	seed          int64
+}
+
+// validate rejects every flag combination the fleet layer would only
+// reject after parsing — or, worse, silently coerce — with one readable
+// error. It returns the parsed topology list on success.
+func validate(f flags) ([]string, error) {
+	if err := cliutil.ValidateWorkers(f.workers); err != nil {
+		return nil, err
+	}
+	if err := cliutil.ValidateSeed(f.seed); err != nil {
+		return nil, err
+	}
+	if f.duration <= 0 || math.IsNaN(f.duration) || math.IsInf(f.duration, 0) {
+		return nil, fmt.Errorf("-duration must be a positive number, got %g", f.duration)
+	}
+	if f.cells <= 0 {
+		return nil, fmt.Errorf("-cells must be positive, got %d", f.cells)
+	}
+	if f.retrainEvery < 0 || math.IsNaN(f.retrainEvery) || math.IsInf(f.retrainEvery, 0) {
+		return nil, fmt.Errorf("-retrain-every must be a finite number >= 0, got %g", f.retrainEvery)
+	}
+	if f.retrainEvery > 0 && f.noPredict {
+		return nil, fmt.Errorf("-retrain-every requires predictions (drop -no-predictions)")
+	}
+	if f.modelsOut != "" && f.noPredict {
+		return nil, fmt.Errorf("-models requires predictions (drop -no-predictions)")
+	}
+	switch f.modelScope {
+	case "", fleet.ScopeCell:
+		if f.canary != 0 || f.bake != 0 {
+			return nil, fmt.Errorf("-canary and -bake require -model-scope %s", fleet.ScopeFleet)
+		}
+	case fleet.ScopeFleet:
+		if f.retrainEvery <= 0 {
+			return nil, fmt.Errorf("-model-scope %s requires -retrain-every > 0", fleet.ScopeFleet)
+		}
+		if f.canary != 0 && !(f.canary > 0 && f.canary <= 1) { // rejects NaN too
+			return nil, fmt.Errorf("-canary must be in (0, 1], got %g", f.canary)
+		}
+		if f.bake < 0 || math.IsNaN(f.bake) || math.IsInf(f.bake, 0) {
+			return nil, fmt.Errorf("-bake must be a finite number >= 0, got %g", f.bake)
+		}
+	default:
+		return nil, fmt.Errorf("-model-scope must be %s or %s, got %q", fleet.ScopeCell, fleet.ScopeFleet, f.modelScope)
+	}
+	if !(f.promoteMargin >= 0 && f.promoteMargin < 1) { // rejects NaN too
+		return nil, fmt.Errorf("-promote-margin must be in [0, 1), got %g", f.promoteMargin)
+	}
+	if f.holdout < 0 || f.minRows < 0 {
+		return nil, fmt.Errorf("-holdout and -min-rows must be >= 0")
+	}
+	names, err := fleet.ParseTopologies(f.topologies)
+	if err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
 func main() {
-	topologies := flag.String("topology", "flat", "comma-separated host-to-EMC topologies: flat, sharded, sparse")
-	arrival := flag.String("arrival", "poisson:rate=0.05:life=600", `arrival model: "poisson[:rate=R][:life=L]" or "trace"`)
-	inject := flag.String("inject", "", `scenario injections, e.g. "emc-fail@t=500,host-drain@t=800:host=2,surge@t=300:dur=200:x=3,drift@t=2000:mag=0.6"`)
-	duration := flag.Float64("duration", 1000, "simulated horizon per cell (seconds)")
-	hosts := flag.Int("hosts", 8, "hosts per cell")
-	emcs := flag.Int("emcs", 4, "EMCs per cell")
-	poolGB := flag.Int("pool", 512, "pool capacity per cell (GB)")
-	degree := flag.Int("degree", 2, "per-host EMC connections under the sparse topology")
-	cells := flag.Int("cells", 4, "independent pool groups (engine shards)")
-	noPredict := flag.Bool("no-predictions", false, "disable the ML pipeline (all-local baseline)")
-	retrainEvery := flag.Float64("retrain-every", 0, "online model retrain cadence in seconds (0 = frozen models)")
-	promoteMargin := flag.Float64("promote-margin", 0, "fractional rolling-loss improvement required to promote a challenger (0 = default 5%)")
-	holdout := flag.Int("holdout", 0, "rolling holdout window in completed VMs (0 = default)")
-	minRows := flag.Int("min-rows", 0, "minimum completed VMs before a challenger trains (0 = default)")
-	modelsOut := flag.String("models", "", "write the versioned model dump (JSON) to this file")
-	printLog := flag.Bool("log", false, "print the full event log")
-	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS); results are identical for any value")
-	seed := flag.Int64("seed", 1, "root seed for every cell stream")
+	var f flags
+	flag.StringVar(&f.topologies, "topology", "flat", "comma-separated host-to-EMC topologies: flat, sharded, sparse")
+	flag.StringVar(&f.arrival, "arrival", "poisson:rate=0.05:life=600", `arrival model: "poisson[:rate=R][:life=L]" or "trace"`)
+	flag.StringVar(&f.inject, "inject", "", `scenario injections, e.g. "emc-fail@t=500,host-drain@t=800:host=2,surge@t=300:dur=200:x=3,drift@t=2000:cells=2-3:mag=0.6"`)
+	flag.Float64Var(&f.duration, "duration", 1000, "simulated horizon per cell (seconds)")
+	flag.IntVar(&f.hosts, "hosts", 8, "hosts per cell")
+	flag.IntVar(&f.emcs, "emcs", 4, "EMCs per cell")
+	flag.IntVar(&f.poolGB, "pool", 512, "pool capacity per cell (GB)")
+	flag.IntVar(&f.degree, "degree", 2, "per-host EMC connections under the sparse topology")
+	flag.IntVar(&f.cells, "cells", 4, "independent pool groups (engine shards)")
+	flag.BoolVar(&f.noPredict, "no-predictions", false, "disable the ML pipeline (all-local baseline)")
+	flag.Float64Var(&f.retrainEvery, "retrain-every", 0, "online model retrain cadence in seconds (0 = frozen models)")
+	flag.StringVar(&f.modelScope, "model-scope", "cell", `retraining scope: "cell" (per-cell lifecycle) or "fleet" (pooled telemetry, staged canary rollout)`)
+	flag.Float64Var(&f.canary, "canary", 0, "fraction of cells a fleet-scoped release reaches first (0 = default 0.25)")
+	flag.Float64Var(&f.bake, "bake", 0, "canary bake window in seconds before the promote-or-rollback verdict (0 = 2x retrain cadence)")
+	flag.Float64Var(&f.promoteMargin, "promote-margin", 0, "fractional rolling-loss improvement required to promote a challenger (0 = default 5%)")
+	flag.IntVar(&f.holdout, "holdout", 0, "rolling holdout window in completed VMs (0 = default)")
+	flag.IntVar(&f.minRows, "min-rows", 0, "minimum completed VMs before a challenger trains (0 = default)")
+	flag.StringVar(&f.modelsOut, "models", "", "write the versioned model dump (JSON) to this file")
+	flag.BoolVar(&f.printLog, "log", false, "print the full event log")
+	flag.IntVar(&f.workers, "workers", 0, "engine worker pool size (0 = GOMAXPROCS); results are identical for any value")
+	flag.Int64Var(&f.seed, "seed", 1, "root seed for every cell stream")
 	flag.Parse()
 
-	cliutil.MustValidateRun("pondfleet", *workers, *seed)
-	if *duration <= 0 {
-		cliutil.Fatal("pondfleet", fmt.Errorf("-duration must be positive, got %g", *duration))
-	}
-	if *cells <= 0 {
-		cliutil.Fatal("pondfleet", fmt.Errorf("-cells must be positive, got %d", *cells))
-	}
-	if *retrainEvery < 0 || math.IsNaN(*retrainEvery) || math.IsInf(*retrainEvery, 0) {
-		cliutil.Fatal("pondfleet", fmt.Errorf("-retrain-every must be a finite number >= 0, got %g", *retrainEvery))
-	}
-	if *retrainEvery > 0 && *noPredict {
-		cliutil.Fatal("pondfleet", fmt.Errorf("-retrain-every requires predictions (drop -no-predictions)"))
-	}
-	if *modelsOut != "" && *noPredict {
-		cliutil.Fatal("pondfleet", fmt.Errorf("-models requires predictions (drop -no-predictions)"))
-	}
-	if !(*promoteMargin >= 0 && *promoteMargin < 1) { // rejects NaN too
-		cliutil.Fatal("pondfleet", fmt.Errorf("-promote-margin must be in [0, 1), got %g", *promoteMargin))
-	}
-	if *holdout < 0 || *minRows < 0 {
-		cliutil.Fatal("pondfleet", fmt.Errorf("-holdout and -min-rows must be >= 0"))
+	names, err := validate(f)
+	if err != nil {
+		cliutil.Fatal("pondfleet", err)
 	}
 
-	names := strings.Split(*topologies, ",")
 	reports := make([]*pond.FleetReport, 0, len(names))
 	for _, name := range names {
 		rep, err := pond.RunFleet(context.Background(), pond.FleetOpts{
-			Topology:           strings.TrimSpace(name),
-			PodDegree:          *degree,
-			Hosts:              *hosts,
-			EMCs:               *emcs,
-			PoolGB:             *poolGB,
-			Cells:              *cells,
-			DurationSec:        *duration,
-			Arrival:            *arrival,
-			Inject:             *inject,
-			DisablePredictions: *noPredict,
-			RetrainEverySec:    *retrainEvery,
-			PromoteMargin:      *promoteMargin,
-			HoldoutWindow:      *holdout,
-			MinTrainRows:       *minRows,
-			CaptureModels:      *modelsOut != "",
-			Workers:            *workers,
-			Seed:               *seed,
+			Topology:           name,
+			PodDegree:          f.degree,
+			Hosts:              f.hosts,
+			EMCs:               f.emcs,
+			PoolGB:             f.poolGB,
+			Cells:              f.cells,
+			DurationSec:        f.duration,
+			Arrival:            f.arrival,
+			Inject:             f.inject,
+			DisablePredictions: f.noPredict,
+			RetrainEverySec:    f.retrainEvery,
+			ModelScope:         f.modelScope,
+			CanaryFraction:     f.canary,
+			BakeWindowSec:      f.bake,
+			PromoteMargin:      f.promoteMargin,
+			HoldoutWindow:      f.holdout,
+			MinTrainRows:       f.minRows,
+			CaptureModels:      f.modelsOut != "",
+			Workers:            f.workers,
+			Seed:               f.seed,
 		})
 		if err != nil {
 			cliutil.Fatal("pondfleet", err)
 		}
 		reports = append(reports, rep)
 		fmt.Println(rep.Summary)
-		if *retrainEvery > 0 && len(rep.PromotionHistory) > 0 {
+		if f.retrainEvery > 0 && len(rep.PromotionHistory) > 0 {
 			fmt.Println("model lifecycle:")
 			for _, line := range rep.PromotionHistory {
 				fmt.Printf("  %s\n", line)
 			}
 		}
-		if *printLog {
+		if f.retrainEvery > 0 && len(rep.RolloutHistory) > 0 {
+			fmt.Println("staged rollout:")
+			for _, line := range rep.RolloutHistory {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+		if f.printLog {
 			fmt.Print(rep.EventLog)
 		}
 		fmt.Println()
 	}
 
-	if *modelsOut != "" {
-		if err := writeModels(*modelsOut, names, reports); err != nil {
+	if f.modelsOut != "" {
+		if err := writeModels(f.modelsOut, names, reports); err != nil {
 			cliutil.Fatal("pondfleet", err)
 		}
-		fmt.Printf("wrote versioned model dump to %s\n", *modelsOut)
+		fmt.Printf("wrote versioned model dump to %s\n", f.modelsOut)
 	}
 
 	if len(reports) > 1 {
@@ -133,8 +214,9 @@ func printComparison(reports []*pond.FleetReport) {
 	}
 }
 
-// modelDump is the -models file schema: per-topology, per-cell versioned
-// model snapshots.
+// modelDump is the -models file schema: per-topology versioned model
+// snapshots (per cell under cell scope, the release train under fleet
+// scope).
 type modelDump struct {
 	Topology string            `json:"topology"`
 	Cells    []json.RawMessage `json:"cells"`

@@ -43,12 +43,26 @@ type FleetOpts struct {
 	// no-pooling baseline).
 	DisablePredictions bool
 
-	// RetrainEverySec > 0 closes the model-lifecycle loop: every cell
-	// periodically retrains challenger models from its live telemetry,
-	// shadow-scores them against the serving champions on every
-	// decision, and hot-swaps on proven improvement (demoting again on
-	// regression). Requires predictions.
+	// RetrainEverySec > 0 closes the model-lifecycle loop: models are
+	// periodically retrained from live telemetry, shadow-scored against
+	// the serving champions on every decision, and hot-swapped on proven
+	// improvement (demoting again on regression). Requires predictions.
 	RetrainEverySec float64
+	// ModelScope selects where retraining happens: "cell" (the default —
+	// every cell runs its own champion/challenger lifecycle) or "fleet"
+	// (the §5 central pipeline: telemetry pools across cells into one
+	// training corpus and a single release train deploys through staged
+	// canary rollout — promote to a canary fraction of cells, bake, then
+	// fan out fleet-wide or roll the canaries back).
+	ModelScope string
+	// CanaryFraction is the fraction of cells a fleet-scoped release
+	// reaches first, rounded up to at least one cell (0 = default 0.25).
+	// Fleet scope only.
+	CanaryFraction float64
+	// BakeWindowSec is how long a fleet-scoped canary bakes before its
+	// promote-or-rollback verdict (0 = twice the retrain cadence). Fleet
+	// scope only.
+	BakeWindowSec float64
 	// PromoteMargin is the fractional rolling-loss improvement a
 	// challenger must show to be promoted (0 = default 5%).
 	PromoteMargin float64
@@ -93,9 +107,20 @@ type FleetReport struct {
 	PeakPoolUsedGB float64
 	PoolShare      float64
 
+	// ModelScope echoes the retraining scope that ran ("cell" or
+	// "fleet").
+	ModelScope string
+
 	// Model lifecycle (populated when predictions run; the counters stay
-	// zero unless retraining was enabled).
+	// zero unless retraining was enabled). Under fleet scope they
+	// describe the release train: retrains, fleet-wide promotions,
+	// demotions — and Rollbacks counts challengers the canary bake
+	// stopped from ever reaching a non-canary cell.
 	Retrains, Promotions, Demotions int
+	Rollbacks                       int
+	// ChampionVer is the fleet champion release version at run end
+	// (fleet scope).
+	ChampionVer int
 	// PredErrMean is the serving untouched-memory model's mean
 	// asymmetric prediction loss over all completed VMs; PredErrFinal
 	// the same over the final rolling window — the end-of-run prediction
@@ -103,8 +128,13 @@ type FleetReport struct {
 	PredErrMean, PredErrFinal float64
 	InsensErrMean             float64
 	// PromotionHistory lists every retrain/promote/demote event in cell
-	// order, rendered one per line.
+	// order, rendered one per line (cell scope).
 	PromotionHistory []string
+	// RolloutHistory lists the fleet release train's stage transitions —
+	// retrain, canary-start, hold, promote, rollback, demote — in order,
+	// rendered one per line (fleet scope). Byte-identical for any worker
+	// count.
+	RolloutHistory []string
 	// ModelsJSON is the versioned model dump (one JSON array per cell)
 	// when CaptureModels was set.
 	ModelsJSON []json.RawMessage
@@ -144,6 +174,9 @@ func RunFleet(ctx context.Context, opts FleetOpts) (*FleetReport, error) {
 		Injections:      inj,
 		Predictions:     !opts.DisablePredictions,
 		RetrainEverySec: opts.RetrainEverySec,
+		ModelScope:      opts.ModelScope,
+		CanaryFraction:  opts.CanaryFraction,
+		BakeWindowSec:   opts.BakeWindowSec,
 		PromoteMargin:   opts.PromoteMargin,
 		HoldoutWindow:   opts.HoldoutWindow,
 		MinTrainRows:    opts.MinTrainRows,
@@ -157,6 +190,10 @@ func RunFleet(ctx context.Context, opts FleetOpts) (*FleetReport, error) {
 	history := make([]string, 0, len(rep.Lifecycle))
 	for _, e := range rep.Lifecycle {
 		history = append(history, fmt.Sprintf("[c%d t=%.3f] %s", e.Cell, e.AtSec, e))
+	}
+	rollout := make([]string, 0, len(rep.Rollout))
+	for _, e := range rep.Rollout {
+		rollout = append(rollout, fmt.Sprintf("[fleet t=%.3f] %s", e.AtSec, e))
 	}
 	return &FleetReport{
 		Topology:         rep.Options.Topology,
@@ -173,13 +210,17 @@ func RunFleet(ctx context.Context, opts FleetOpts) (*FleetReport, error) {
 		AvgStrandedGB:    rep.AvgStrandedGB,
 		PeakPoolUsedGB:   rep.PeakPoolUsedGB,
 		PoolShare:        rep.PoolShare,
+		ModelScope:       rep.Options.ModelScope,
 		Retrains:         rep.Retrains,
 		Promotions:       rep.Promotions,
 		Demotions:        rep.Demotions,
+		Rollbacks:        rep.Rollbacks,
+		ChampionVer:      rep.ChampionVer,
 		PredErrMean:      rep.PredErrMean,
 		PredErrFinal:     rep.PredErrFinal,
 		InsensErrMean:    rep.InsensErrMean,
 		PromotionHistory: history,
+		RolloutHistory:   rollout,
 		ModelsJSON:       rep.ModelDumps,
 		EventLog:         rep.EventLog,
 		LogSHA256:        rep.LogSHA256,

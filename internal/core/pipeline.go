@@ -155,6 +155,11 @@ func (p *Pipeline) Store() *telemetry.Store { return p.store }
 // Server.Swap hot-swaps retrained models without rebuilding the pipeline.
 func (p *Pipeline) UseServer(s *predict.Server) { p.srv = s }
 
+// Server returns the attached inference server (nil when inference runs
+// from the directly held models). The fleet pipeline pins per-cell model
+// generations through it during staged rollouts.
+func (p *Pipeline) Server() *predict.Server { return p.srv }
+
 // SetShadowHook registers fn to observe every Decide call after the
 // decision is made. Pass nil to remove.
 func (p *Pipeline) SetShadowHook(fn ShadowHook) { p.shadow = fn }

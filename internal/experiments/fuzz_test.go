@@ -1,0 +1,51 @@
+package experiments
+
+import "testing"
+
+// FuzzParseSweep guards the -sweep scenario-matrix parser: malformed
+// expressions must error, never panic, and accepted matrices must hold
+// only known scales and policies (no silent coercion). Seeds run on
+// every `go test`; the CI fuzz job explores further.
+func FuzzParseSweep(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"scale=S,M,L x policy=pooled,static",
+		"scale=quick,full x policy=pooled,static",
+		"policy=none",
+		"scale=tiny",
+		"scale=bogus",
+		"policy=bogus",
+		"flavor=mild",
+		"scale=",
+		"scale",
+		"x",
+		"x x x",
+		"scale=S x scale=M",
+		"scale=S,,M",
+		"policy=pooled x policy=static",
+		"SCALE=S",
+		" scale = s ",
+	} {
+		f.Add(seed)
+	}
+	valid := map[Scale]bool{ScaleTiny: true, ScaleQuick: true, ScaleFull: true, ScalePaper: true}
+	f.Fuzz(func(t *testing.T, expr string) {
+		spec, err := ParseSweep(expr)
+		if err != nil {
+			return
+		}
+		if len(spec.Scales) == 0 || len(spec.Policies) == 0 {
+			t.Fatalf("accepted %q with an empty dimension: %+v", expr, spec)
+		}
+		for _, sc := range spec.Scales {
+			if !valid[sc] {
+				t.Fatalf("accepted unknown scale %v from %q", sc, expr)
+			}
+		}
+		for _, p := range spec.Policies {
+			if p != "pooled" && p != "static" && p != "none" {
+				t.Fatalf("accepted unknown policy %q from %q", p, expr)
+			}
+		}
+	})
+}

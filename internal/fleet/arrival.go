@@ -66,7 +66,7 @@ func ParseArrival(s string) (ArrivalModel, error) {
 			return m, fmt.Errorf("fleet: arrival parameter %q is not key=value", p)
 		}
 		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || f <= 0 || math.IsInf(f, 0) {
+		if err != nil || f <= 0 || math.IsInf(f, 0) || math.IsNaN(f) {
 			return m, fmt.Errorf("fleet: arrival parameter %s=%q must be a positive number", k, v)
 		}
 		switch k {
@@ -186,12 +186,14 @@ func driftPopulation(pop []cluster.Customer, mag float64, r *stats.Rand) []clust
 
 // driftEpochs precomputes the tenant population for each drift epoch:
 // epochs[0] is the initial population, epochs[k] the population after
-// the k-th drift injection (times returned alongside, ascending).
-func driftEpochs(initial []cluster.Customer, injections []Injection, r *stats.Rand) (times []float64, epochs [][]cluster.Customer) {
+// the k-th drift injection hitting this cell (times returned alongside,
+// ascending). Regional drifts (cells=a-b) leave out-of-range cells'
+// populations untouched — their streams never see the shift.
+func driftEpochs(initial []cluster.Customer, injections []Injection, cell int, r *stats.Rand) (times []float64, epochs [][]cluster.Customer) {
 	epochs = [][]cluster.Customer{initial}
 	var drifts []Injection
 	for _, in := range injections {
-		if in.Kind == InjectDrift {
+		if in.Kind == InjectDrift && in.AppliesTo(cell) {
 			drifts = append(drifts, in)
 		}
 	}
@@ -253,7 +255,7 @@ func generateArrivals(o Options, cell int, r *stats.Rand) []cluster.VMRequest {
 	default: // poisson
 		rArr := r.Fork(1)
 		customers = synthCustomers(32, rArr)
-		driftTimes, epochs = driftEpochs(customers, o.Injections, r)
+		driftTimes, epochs = driftEpochs(customers, o.Injections, cell, r)
 		for t := rArr.Exponential(1 / o.Arrival.RatePerSec); t < o.DurationSec; t += rArr.Exponential(1 / o.Arrival.RatePerSec) {
 			pop := populationAt(t, driftTimes, epochs)
 			cust := pop[rArr.Intn(len(pop))]
@@ -294,7 +296,7 @@ func generateArrivals(o Options, cell int, r *stats.Rand) []cluster.VMRequest {
 		// ground truth of VMs arriving after each drift point instead of
 		// the population that draws them. Applied after surge extras so
 		// they drift too.
-		vms = driftTraceVMs(vms, o.Injections, r)
+		vms = driftTraceVMs(vms, o.Injections, cell, r)
 	}
 
 	sort.SliceStable(vms, func(a, b int) bool { return vms[a].ArrivalSec < vms[b].ArrivalSec })
@@ -307,11 +309,11 @@ func generateArrivals(o Options, cell int, r *stats.Rand) []cluster.VMRequest {
 // driftTraceVMs applies drift injections to a trace-derived stream: each
 // drift flips the untouched-memory behaviour of VMs arriving after it
 // (mag of the way toward the complement) and reassigns a mag fraction of
-// their workloads.
-func driftTraceVMs(vms []cluster.VMRequest, injections []Injection, r *stats.Rand) []cluster.VMRequest {
+// their workloads. Regional drifts skip out-of-range cells.
+func driftTraceVMs(vms []cluster.VMRequest, injections []Injection, cell int, r *stats.Rand) []cluster.VMRequest {
 	var drifts []Injection
 	for _, in := range injections {
-		if in.Kind == InjectDrift {
+		if in.Kind == InjectDrift && in.AppliesTo(cell) {
 			drifts = append(drifts, in)
 		}
 	}

@@ -14,6 +14,15 @@
 // and the cell index alone, and cell results merge in cell order, so the
 // full event log — and therefore its hash — is byte-identical for any
 // worker count.
+//
+// Model retraining runs at one of two scopes. Cell scope (the default)
+// gives every cell its own champion/challenger lifecycle
+// (internal/mlops). Fleet scope is the §5 central pipeline: cells
+// synchronize at every retrain boundary, their telemetry pools into one
+// corpus, and a single fleet release train deploys through staged canary
+// rollout (internal/mlops/fleetpipeline) — cells stay embarrassingly
+// parallel between barriers, and the barrier itself is processed
+// serially in cell order, so determinism is preserved.
 package fleet
 
 import (
@@ -34,12 +43,23 @@ import (
 	"pond/internal/engine"
 	"pond/internal/host"
 	"pond/internal/mlops"
+	"pond/internal/mlops/fleetpipeline"
 	"pond/internal/pmu"
 	"pond/internal/pool"
 	"pond/internal/predict"
 	"pond/internal/stats"
 	"pond/internal/telemetry"
 	"pond/internal/topo"
+)
+
+// Model-retraining scopes.
+const (
+	// ScopeCell: every cell runs its own champion/challenger lifecycle
+	// (the PR-3 behaviour, and the default).
+	ScopeCell = "cell"
+	// ScopeFleet: one central pipeline pools telemetry across cells and
+	// deploys a single release train through staged canary rollout (§5).
+	ScopeFleet = "fleet"
 )
 
 // Options configures a fleet run. The zero value of any field falls back
@@ -71,19 +91,28 @@ type Options struct {
 	Arrival ArrivalModel
 
 	// Injections are the scheduled scenario events, applied to every
-	// cell.
+	// cell (regional drifts restrict themselves to their cell range).
 	Injections []Injection
 
 	// Predictions enables the ML scheduling pipeline; when false every
 	// VM is all-local (the no-pooling baseline).
 	Predictions bool
 
-	// RetrainEverySec > 0 turns on the online model-lifecycle loop
-	// (internal/mlops): every cell retrains challenger models from its
-	// live telemetry at this cadence, shadow-scores them against the
-	// serving champions, and hot-swaps on proven improvement. Requires
+	// RetrainEverySec > 0 turns on the online model-lifecycle loop:
+	// models retrain from live telemetry at this cadence. Requires
 	// Predictions.
 	RetrainEverySec float64
+	// ModelScope selects where retraining happens: ScopeCell (default)
+	// or ScopeFleet (pooled telemetry, staged cross-cell rollout).
+	ModelScope string
+	// CanaryFraction is the fraction of cells a fleet-scoped release
+	// reaches first (rounded up to at least one cell; 0 means the
+	// default 0.25). Fleet scope only.
+	CanaryFraction float64
+	// BakeWindowSec is how long a fleet-scoped canary bakes before its
+	// promote-or-rollback verdict (0 means twice the retrain cadence).
+	// Fleet scope only.
+	BakeWindowSec float64
 	// PromoteMargin is the fractional loss improvement required to
 	// promote a challenger (or demote a regressed champion); zero means
 	// the mlops default.
@@ -94,8 +123,8 @@ type Options struct {
 	// MinTrainRows is the minimum completed VMs before a challenger is
 	// trained; zero means the mlops default.
 	MinTrainRows int
-	// CaptureModels dumps every cell's versioned model snapshots into
-	// the report.
+	// CaptureModels dumps the versioned model snapshots into the report
+	// (per cell under ScopeCell, the release train under ScopeFleet).
 	CaptureModels bool
 
 	// PDM and TP are the QoS knobs (§5).
@@ -124,6 +153,7 @@ func DefaultOptions() Options {
 		DurationSec:    1000,
 		Arrival:        DefaultArrival(),
 		Predictions:    true,
+		ModelScope:     ScopeCell,
 		PDM:            0.05,
 		TP:             0.98,
 		Seed:           1,
@@ -178,6 +208,9 @@ func normalize(o Options) (Options, error) {
 	if o.Seed == 0 {
 		o.Seed = d.Seed
 	}
+	if o.ModelScope == "" {
+		o.ModelScope = ScopeCell
+	}
 	if o.PoolGB < o.EMCs {
 		return o, fmt.Errorf("fleet: pool of %d GB cannot shard across %d EMCs", o.PoolGB, o.EMCs)
 	}
@@ -196,6 +229,32 @@ func normalize(o Options) (Options, error) {
 	if o.HoldoutWindow < 0 || o.MinTrainRows < 0 {
 		return o, fmt.Errorf("fleet: holdout window and min train rows must be >= 0")
 	}
+	switch o.ModelScope {
+	case ScopeCell:
+		// Rollout knobs are fleet-scope-only; a non-zero value under cell
+		// scope is a configuration mistake, not something to ignore.
+		if o.CanaryFraction != 0 || o.BakeWindowSec != 0 {
+			return o, fmt.Errorf("fleet: canary fraction and bake window require model scope %q", ScopeFleet)
+		}
+	case ScopeFleet:
+		if o.RetrainEverySec <= 0 {
+			return o, fmt.Errorf("fleet: model scope %q requires a retrain cadence", ScopeFleet)
+		}
+		if o.CanaryFraction == 0 {
+			o.CanaryFraction = 0.25
+		}
+		if !(o.CanaryFraction > 0 && o.CanaryFraction <= 1) { // rejects NaN too
+			return o, fmt.Errorf("fleet: canary fraction %g must be in (0, 1]", o.CanaryFraction)
+		}
+		if o.BakeWindowSec < 0 || math.IsNaN(o.BakeWindowSec) || math.IsInf(o.BakeWindowSec, 0) {
+			return o, fmt.Errorf("fleet: bake window %gs must be a finite number >= 0", o.BakeWindowSec)
+		}
+		if o.BakeWindowSec == 0 {
+			o.BakeWindowSec = 2 * o.RetrainEverySec
+		}
+	default:
+		return o, fmt.Errorf("fleet: unknown model scope %q (want %s or %s)", o.ModelScope, ScopeCell, ScopeFleet)
+	}
 	if _, err := topo.Build(o.Topology, o.Hosts, o.EMCs, o.PodDegree); err != nil {
 		return o, err
 	}
@@ -205,6 +264,14 @@ func normalize(o Options) (Options, error) {
 		}
 		if in.Kind == InjectHostDrain && (in.Host < 0 || in.Host >= o.Hosts) {
 			return o, fmt.Errorf("fleet: injection %s targets host %d of %d", in, in.Host, o.Hosts)
+		}
+		if in.Kind == InjectDrift && in.CellHi >= 0 {
+			if in.CellLo < 0 || in.CellLo > in.CellHi {
+				return o, fmt.Errorf("fleet: injection %s has an empty cell range", in)
+			}
+			if in.CellHi >= o.Cells {
+				return o, fmt.Errorf("fleet: injection %s targets cell %d of %d", in, in.CellHi, o.Cells)
+			}
 		}
 		if in.AtSec > o.DurationSec {
 			// Refuse rather than silently never firing: the caller asked
@@ -245,8 +312,14 @@ type CellResult struct {
 	// Model lifecycle (zero unless retraining ran).
 	Retrains, Promotions, Demotions int
 	// UMChampVer / InsensChampVer are the serving model versions at the
-	// end of the run.
+	// end of the run. Under fleet scope UMChampVer is the release version
+	// pinned on this cell's request path.
 	UMChampVer, InsensChampVer int
+	// ServedVersions lists every release version this cell ever served,
+	// in pin order (fleet scope; starts at the bootstrap version 0). A
+	// rolled-back release appears only on the cells that served its
+	// canary.
+	ServedVersions []int
 	// PredErrMean is the serving untouched-memory model's mean
 	// asymmetric prediction loss over all completed VMs; PredErrFinal
 	// the same over the final rolling window.
@@ -254,9 +327,11 @@ type CellResult struct {
 	// InsensErrMean is the serving insensitivity model's mean score
 	// error against ground-truth labels.
 	InsensErrMean float64
-	// Lifecycle is the cell's retrain/promote/demote history.
+	// Lifecycle is the cell's retrain/promote/demote history (cell
+	// scope).
 	Lifecycle []mlops.Event
-	// ModelDump holds the versioned model snapshots (CaptureModels).
+	// ModelDump holds the versioned model snapshots (CaptureModels under
+	// cell scope).
 	ModelDump json.RawMessage
 
 	// Log is the cell's event log.
@@ -278,21 +353,31 @@ type Report struct {
 	PoolShare                            float64
 
 	// Model lifecycle, aggregated across cells (zero unless retraining
-	// ran).
+	// ran). Under fleet scope the counters describe the release train:
+	// retrains, fleet-wide promotions, canary rollbacks, demotions.
 	Retrains, Promotions, Demotions int
+	Rollbacks                       int
 	// PredErrMean / PredErrFinal are cell means of the serving
 	// untouched-memory model's asymmetric loss (whole run / final
 	// window); InsensErrMean likewise for the insensitivity score.
 	PredErrMean, PredErrFinal float64
 	InsensErrMean             float64
 	// Lifecycle is every cell's retrain/promote/demote history in cell
-	// order.
+	// order (cell scope).
 	Lifecycle []mlops.Event
+	// Rollout is the fleet release train's stage-transition history
+	// (fleet scope): retrain, canary-start, hold, promote, rollback,
+	// demote — deterministic and byte-identical for any worker count.
+	Rollout []fleetpipeline.Event
+	// ChampionVer is the fleet champion release at run end (fleet scope).
+	ChampionVer int
 	// ModelDumps is one versioned-model snapshot document per cell
-	// (CaptureModels).
+	// (CaptureModels; a single release-train document under fleet
+	// scope).
 	ModelDumps []json.RawMessage
 
-	// EventLog is the concatenation of all cell logs in cell order;
+	// EventLog is the concatenation of all cell logs in cell order,
+	// followed by the fleet pipeline's barrier log under fleet scope;
 	// LogSHA256 is its hash — the determinism witness.
 	EventLog  string
 	LogSHA256 string
@@ -309,7 +394,12 @@ func (r *Report) String() string {
 		r.Arrivals, r.Placed, r.Rejected, r.Departed, r.BlastVMs, r.Migrated)
 	fmt.Fprintf(&b, "  core-util=%.1f%% stranded=%.1fGB peak-pool-used=%.0fGB pool-share=%.1f%% qos-violations=%d mitigated=%d\n",
 		100*r.AvgCoreUtil, r.AvgStrandedGB, r.PeakPoolUsedGB, 100*r.PoolShare, r.QoSViolations, r.Mitigations)
-	if r.Options.RetrainEverySec > 0 {
+	if r.Options.RetrainEverySec > 0 && r.Options.ModelScope == ScopeFleet {
+		fmt.Fprintf(&b, "  fleet-mlops: scope=fleet canary=%.2f bake=%gs retrains=%d promotions=%d rollbacks=%d demotions=%d champion-ver=%d pred-err=%.4f pred-err-final=%.4f insens-err=%.4f\n",
+			r.Options.CanaryFraction, r.Options.BakeWindowSec,
+			r.Retrains, r.Promotions, r.Rollbacks, r.Demotions, r.ChampionVer,
+			r.PredErrMean, r.PredErrFinal, r.InsensErrMean)
+	} else if r.Options.RetrainEverySec > 0 {
 		fmt.Fprintf(&b, "  mlops: retrains=%d promotions=%d demotions=%d pred-err=%.4f pred-err-final=%.4f insens-err=%.4f\n",
 			r.Retrains, r.Promotions, r.Demotions, r.PredErrMean, r.PredErrFinal, r.InsensErrMean)
 	}
@@ -338,14 +428,25 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		insens = rf
 	}
 
-	cells := make([]int, o.Cells)
-	for i := range cells {
-		cells[i] = i
+	var results []CellResult
+	var fleetLog string
+	var fp *fleetpipeline.Manager
+	if o.ModelScope == ScopeFleet && o.RetrainEverySec > 0 {
+		results, fleetLog, fp, err = runFleetScoped(ctx, o, insens, threshold)
+	} else {
+		results, err = engine.Map(ctx, cellIndices(o.Cells),
+			engine.Options{Workers: o.Workers, Seed: o.Seed},
+			func(i int, _ int, rng *stats.Rand) (CellResult, error) {
+				sim, serr := newCellSim(i, o, insens, threshold, rng)
+				if serr != nil {
+					return CellResult{Cell: i}, serr
+				}
+				if serr := sim.runUntil(o.DurationSec, true); serr != nil {
+					return sim.res, serr
+				}
+				return sim.finish()
+			})
 	}
-	results, err := engine.Map(ctx, cells, engine.Options{Workers: o.Workers, Seed: o.Seed},
-		func(i int, _ int, rng *stats.Rand) (CellResult, error) {
-			return runCell(i, o, insens, threshold, rng)
-		})
 	if err != nil {
 		return nil, err
 	}
@@ -381,10 +482,115 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		}
 		log.WriteString(c.Log)
 	}
+	if fp != nil {
+		counts := fp.Counts()
+		rep.Retrains = counts.Retrains
+		rep.Promotions = counts.Promotions
+		rep.Demotions = counts.Demotions
+		rep.Rollbacks = counts.Rollbacks
+		rep.Rollout = fp.Events()
+		rep.ChampionVer = fp.ChampionVer()
+		if o.CaptureModels {
+			dump, derr := fp.SnapshotJSON()
+			if derr != nil {
+				return nil, fmt.Errorf("fleet: release-train snapshot: %w", derr)
+			}
+			rep.ModelDumps = append(rep.ModelDumps, dump)
+		}
+		log.WriteString(fleetLog)
+	}
 	rep.EventLog = log.String()
 	sum := sha256.Sum256([]byte(rep.EventLog))
 	rep.LogSHA256 = hex.EncodeToString(sum[:])
 	return rep, nil
+}
+
+// cellIndices returns [0, n).
+func cellIndices(n int) []int {
+	cells := make([]int, n)
+	for i := range cells {
+		cells[i] = i
+	}
+	return cells
+}
+
+// runFleetScoped drives the §5 central pipeline: every cell simulates
+// one retrain interval at a time on the parallel engine, then a serial
+// barrier (in cell order) pools the cells' drained telemetry into the
+// fleet Manager, advances the release train, and re-pins each cell's
+// serving generation. Stage transitions land in the fleet log; pin
+// changes land in the affected cell's own log.
+func runFleetScoped(ctx context.Context, o Options, insens predict.Insensitivity, threshold float64) ([]CellResult, string, *fleetpipeline.Manager, error) {
+	eopts := engine.Options{Workers: o.Workers, Seed: o.Seed}
+	sims, err := engine.Map(ctx, cellIndices(o.Cells), eopts,
+		func(i int, _ int, rng *stats.Rand) (*cellSim, error) {
+			return newCellSim(i, o, insens, threshold, rng)
+		})
+	if err != nil {
+		return nil, "", nil, err
+	}
+
+	fp := fleetpipeline.NewManager(fleetpipeline.Config{
+		Cells:          o.Cells,
+		CanaryFraction: o.CanaryFraction,
+		BakeWindowSec:  o.BakeWindowSec,
+		MinTrainRows:   o.MinTrainRows,
+		HoldoutWindow:  o.HoldoutWindow,
+		PromoteMargin:  o.PromoteMargin,
+		Seed:           o.Seed,
+	}, predict.HistoryQuantileUM{})
+	rcfg := fp.Config()
+	for _, sim := range sims {
+		sim.col = fleetpipeline.NewCollector(sim.cell, predict.HistoryQuantileUM{}, insens,
+			sim.ratio, o.PDM, rcfg.OverPenalty, rcfg.HoldoutWindow)
+		sim.pipe.SetShadowHook(sim.col.ObserveDecision)
+		sim.res.ServedVersions = []int{0}
+	}
+
+	var fleetLog strings.Builder
+	advance := func(t float64, final bool) error {
+		_, aerr := engine.Map(ctx, sims, eopts,
+			func(_ int, s *cellSim, _ *stats.Rand) (struct{}, error) {
+				return struct{}{}, s.runUntil(t, final)
+			})
+		return aerr
+	}
+	for t := o.RetrainEverySec; t < o.DurationSec; t += o.RetrainEverySec {
+		if err := advance(t, false); err != nil {
+			return nil, "", nil, err
+		}
+		rows := make([][]fleetpipeline.Row, len(sims))
+		obs := make([][]fleetpipeline.Obs, len(sims))
+		for i, s := range sims {
+			rows[i], obs[i] = s.col.Drain()
+		}
+		events, terr := fp.Tick(t, rows, obs)
+		if terr != nil {
+			return nil, "", nil, terr
+		}
+		for _, e := range events {
+			fmt.Fprintf(&fleetLog, "[fleet t=%.3f] %s\n", t, e)
+		}
+		for i, s := range sims {
+			s.applyPin(fp.AssignmentFor(i), t)
+		}
+	}
+	if err := advance(o.DurationSec, true); err != nil {
+		return nil, "", nil, err
+	}
+
+	results := make([]CellResult, len(sims))
+	for i, s := range sims {
+		res, ferr := s.finish()
+		if ferr != nil {
+			return nil, "", nil, ferr
+		}
+		results[i] = res
+	}
+	fmt.Fprintf(&fleetLog, "[fleet t=%.3f] fleetpipeline summary retrains=%d promotions=%d rollbacks=%d demotions=%d holds=%d champion-ver=%d\n",
+		o.DurationSec, fp.Counts().Retrains, fp.Counts().Promotions, fp.Counts().Rollbacks,
+		fp.Counts().Demotions, fp.Counts().Holds, fp.ChampionVer())
+	return results, fleetLog.String(), fp, nil
 }
 
 // Event kinds of the cell loop.
@@ -430,33 +636,81 @@ type runningVM struct {
 	dec  core.Decision
 }
 
-// runCell simulates one pool group over the full horizon. Everything is
-// sequential and driven by the injected RNG, so the cell's log depends
-// only on (options, cell index, seed).
-func runCell(cell int, o Options, insens predict.Insensitivity, threshold float64, r *stats.Rand) (CellResult, error) {
-	res := CellResult{Cell: cell}
+// observer is the model-lifecycle listener a cell drives from its event
+// loop: the cell-scoped mlops.Manager or the fleet pipeline's Collector.
+type observer interface {
+	ObserveOutcome(vm cluster.VMRequest, counters pmu.Vector, haveCounters bool)
+	ForgetVM(id cluster.VMID)
+}
 
-	// Build the cell's deployment: topology, devices, manager, hosts,
-	// control plane — the same wiring as pond.NewSystem.
+// cellSim is one pool group's resumable discrete-event simulation.
+// Everything is sequential and driven by RNGs forked from the injected
+// cell RNG, so the cell's log depends only on (options, cell index,
+// seed) — never on worker count or on how the horizon is sliced into
+// epochs by the fleet-scoped barrier loop.
+type cellSim struct {
+	cell int
+	o    Options
+
+	tp      *topo.Topology
+	devices []*emc.Device
+	manager *pool.Manager
+	spec    cluster.ServerSpec
+	hosts   []*host.Host
+	store   *telemetry.Store
+	pipe    *core.Pipeline
+	sched   *core.ClusterScheduler
+	srv     *predict.Server
+	insens  predict.Insensitivity
+	ratio   float64
+
+	// mgr drives cell-scoped retraining; col is the fleet pipeline's
+	// collector under fleet scope. At most one is non-nil.
+	mgr *mlops.Manager
+	col *fleetpipeline.Collector
+	// pinnedVer is the release version on the request path (fleet scope).
+	pinnedVer int
+
+	arrivals []cluster.VMRequest
+	rPlace   *stats.Rand
+	q        eventHeap
+	seq      int
+	running  map[cluster.VMID]*runningVM
+	log      strings.Builder
+
+	totalCores             float64
+	placedGB, placedPoolGB float64
+	lastT                  float64
+	utilSec, strandedGBSec float64
+
+	res CellResult
+}
+
+// newCellSim builds the cell's deployment: topology, devices, manager,
+// hosts, control plane — the same wiring as pond.NewSystem.
+func newCellSim(cell int, o Options, insens predict.Insensitivity, threshold float64, r *stats.Rand) (*cellSim, error) {
+	c := &cellSim{cell: cell, o: o, insens: insens, res: CellResult{Cell: cell}}
+
 	tp, err := topo.Build(o.Topology, o.Hosts, o.EMCs, o.PodDegree)
 	if err != nil {
-		return res, err
+		return nil, err
 	}
+	c.tp = tp
 	perEMC := o.PoolGB / o.EMCs
-	devices := make([]*emc.Device, o.EMCs)
-	for i := range devices {
-		devices[i] = emc.NewDevice(fmt.Sprintf("c%d-emc%d", cell, i), perEMC, o.Hosts)
+	c.devices = make([]*emc.Device, o.EMCs)
+	for i := range c.devices {
+		c.devices[i] = emc.NewDevice(fmt.Sprintf("c%d-emc%d", cell, i), perEMC, o.Hosts)
 	}
-	manager := pool.NewManagerTopo(devices, tp.Conn(), r.Fork(2))
-	spec := cluster.ServerSpec{Sockets: 2, CoresPerSock: o.CoresPerSocket, MemGBPerSock: o.MemGBPerSocket}
-	ratio := cxl.PondLatencyRatio(o.Hosts * 2)
-	hosts := make([]*host.Host, o.Hosts)
-	for i := range hosts {
-		hosts[i] = host.New(emc.HostID(i), spec, host.Config{PoolLatencyRatio: ratio})
+	c.manager = pool.NewManagerTopo(c.devices, tp.Conn(), r.Fork(2))
+	c.spec = cluster.ServerSpec{Sockets: 2, CoresPerSock: o.CoresPerSocket, MemGBPerSock: o.MemGBPerSocket}
+	c.ratio = cxl.PondLatencyRatio(o.Hosts * 2)
+	c.hosts = make([]*host.Host, o.Hosts)
+	for i := range c.hosts {
+		c.hosts[i] = host.New(emc.HostID(i), c.spec, host.Config{PoolLatencyRatio: c.ratio})
 	}
-	store := telemetry.NewStore()
+	c.store = telemetry.NewStore()
 	pcfg := core.DefaultConfig()
-	pcfg.Ratio = ratio
+	pcfg.Ratio = c.ratio
 	pcfg.PDM = o.PDM
 	pcfg.TP = o.TP
 	pcfg.InsensScoreThreshold = threshold
@@ -464,171 +718,205 @@ func runCell(cell int, o Options, insens predict.Insensitivity, threshold float6
 	if o.Predictions {
 		um = predict.HistoryQuantileUM{}
 	}
-	pipe := core.NewPipeline(pcfg, insens, um, store)
-	sched := core.NewClusterScheduler(hosts, manager)
+	c.pipe = core.NewPipeline(pcfg, insens, um, c.store)
+	c.sched = core.NewClusterScheduler(c.hosts, c.manager)
 
 	// With predictions on, inference flows through the serving layer
-	// (§5) and the mlops manager shadow-scores every decision — with
-	// retraining disabled it runs monitor-only, so frozen and retrained
-	// fleets report the same prediction-error metrics. Retrain ticks are
-	// what the lifecycle adds on top.
-	var mgr *mlops.Manager
+	// (§5). Under cell scope the mlops manager shadow-scores every
+	// decision — with retraining disabled it runs monitor-only, so frozen
+	// and retrained fleets report the same prediction-error metrics.
+	// Under fleet scope the barrier loop attaches a fleetpipeline
+	// Collector instead, after construction.
 	if o.Predictions {
-		srv := predict.NewServer(insens, um)
-		pipe.UseServer(srv)
-		mcfg := mlops.DefaultConfig()
-		mcfg.PromoteMargin = o.PromoteMargin
-		if o.HoldoutWindow > 0 {
-			mcfg.HoldoutWindow = o.HoldoutWindow
+		c.srv = predict.NewServer(insens, um)
+		c.pipe.UseServer(c.srv)
+		if o.ModelScope != ScopeFleet {
+			mcfg := mlops.DefaultConfig()
+			mcfg.PromoteMargin = o.PromoteMargin
+			if o.HoldoutWindow > 0 {
+				mcfg.HoldoutWindow = o.HoldoutWindow
+			}
+			if o.MinTrainRows > 0 {
+				mcfg.MinTrainRows = o.MinTrainRows
+			}
+			mcfg.Seed = stats.ShardSeed(o.Seed, cell)
+			c.mgr = mlops.NewManager(mcfg, cell, c.srv, insens, threshold, um,
+				c.ratio, o.PDM, c.pipe.SetInsensThreshold)
+			c.pipe.SetShadowHook(c.mgr.ObserveDecision)
 		}
-		if o.MinTrainRows > 0 {
-			mcfg.MinTrainRows = o.MinTrainRows
-		}
-		mcfg.Seed = stats.ShardSeed(o.Seed, cell)
-		mgr = mlops.NewManager(mcfg, cell, srv, insens, threshold, um,
-			ratio, o.PDM, pipe.SetInsensThreshold)
-		pipe.SetShadowHook(mgr.ObserveDecision)
 	}
 
-	arrivals := generateArrivals(o, cell, r.Fork(3))
-	res.Arrivals = len(arrivals)
-	rPlace := r.Fork(4)
+	c.arrivals = generateArrivals(o, cell, r.Fork(3))
+	c.res.Arrivals = len(c.arrivals)
+	c.rPlace = r.Fork(4)
 
-	// Seed the queue: arrivals in time order, then injections.
-	var q eventHeap
-	seq := 0
-	push := func(ev event) {
-		ev.seq = seq
-		seq++
-		heap.Push(&q, ev)
-	}
-	for i := range arrivals {
-		push(event{at: arrivals[i].ArrivalSec, kind: evArrive, idx: i})
+	// Seed the queue: arrivals in time order, then injections, then the
+	// cell-scoped retrain ticks (fleet scope drives barriers externally).
+	for i := range c.arrivals {
+		c.push(event{at: c.arrivals[i].ArrivalSec, kind: evArrive, idx: i})
 	}
 	for i, inj := range o.Injections {
-		push(event{at: inj.AtSec, kind: evInject, idx: i})
+		c.push(event{at: inj.AtSec, kind: evInject, idx: i})
 	}
-	if mgr != nil && o.RetrainEverySec > 0 {
+	if c.mgr != nil && o.RetrainEverySec > 0 {
 		for t := o.RetrainEverySec; t <= o.DurationSec; t += o.RetrainEverySec {
-			push(event{at: t, kind: evRetrain})
+			c.push(event{at: t, kind: evRetrain})
 		}
 	}
 
-	running := make(map[cluster.VMID]*runningVM)
-	var log strings.Builder
-	logf := func(at float64, format string, args ...any) {
-		fmt.Fprintf(&log, "[c%d t=%.3f] ", cell, at)
-		fmt.Fprintf(&log, format, args...)
-		log.WriteByte('\n')
-	}
+	c.running = make(map[cluster.VMID]*runningVM)
+	c.totalCores = float64(o.Hosts * c.spec.TotalCores())
+	return c, nil
+}
 
-	totalCores := float64(o.Hosts * spec.TotalCores())
-	var placedGB, placedPoolGB float64
-	lastT := 0.0
-	var utilSec, strandedGBSec float64
-	account := func(now float64) {
-		dt := now - lastT
-		if dt <= 0 {
-			return
-		}
-		freeCores, stranded, poolUsed := 0, 0.0, 0.0
-		for _, h := range hosts {
-			freeCores += h.FreeCores()
-			stranded += h.StrandedGB()
-			poolUsed += h.OnlinePoolGB() - h.FreePoolGB()
-		}
-		utilSec += dt * (totalCores - float64(freeCores)) / totalCores
-		strandedGBSec += dt * stranded
-		if poolUsed > res.PeakPoolUsedGB {
-			res.PeakPoolUsedGB = poolUsed
-		}
-		lastT = now
+// observer returns the active lifecycle listener, nil when none.
+func (c *cellSim) observer() observer {
+	if c.mgr != nil {
+		return c.mgr
 	}
+	if c.col != nil {
+		return c.col
+	}
+	return nil
+}
 
-	for q.Len() > 0 {
-		ev := heap.Pop(&q).(event)
-		if ev.at > o.DurationSec {
+func (c *cellSim) push(ev event) {
+	ev.seq = c.seq
+	c.seq++
+	heap.Push(&c.q, ev)
+}
+
+func (c *cellSim) logf(at float64, format string, args ...any) {
+	fmt.Fprintf(&c.log, "[c%d t=%.3f] ", c.cell, at)
+	fmt.Fprintf(&c.log, format, args...)
+	c.log.WriteByte('\n')
+}
+
+// account integrates the time-weighted utilization metrics up to now.
+func (c *cellSim) account(now float64) {
+	dt := now - c.lastT
+	if dt <= 0 {
+		return
+	}
+	freeCores, stranded, poolUsed := 0, 0.0, 0.0
+	for _, h := range c.hosts {
+		freeCores += h.FreeCores()
+		stranded += h.StrandedGB()
+		poolUsed += h.OnlinePoolGB() - h.FreePoolGB()
+	}
+	c.utilSec += dt * (c.totalCores - float64(freeCores)) / c.totalCores
+	c.strandedGBSec += dt * stranded
+	if poolUsed > c.res.PeakPoolUsedGB {
+		c.res.PeakPoolUsedGB = poolUsed
+	}
+	c.lastT = now
+}
+
+// applyPin installs a fleet-pipeline barrier assignment: the collector's
+// shadow slots always, and — when the serving release changed — the
+// cell's inference server is re-pinned to the new generation and the
+// change is logged in the cell's own stream.
+func (c *cellSim) applyPin(a fleetpipeline.Assignment, now float64) {
+	c.col.Install(a)
+	if a.ServeVer == c.pinnedVer {
+		return
+	}
+	c.pipe.Server().Pin(a.ServeVer, c.insens, a.Serve)
+	c.pinnedVer = a.ServeVer
+	c.res.ServedVersions = append(c.res.ServedVersions, a.ServeVer)
+	c.logf(now, "fleetpipeline pin ver=%d role=%s", a.ServeVer, a.Role)
+}
+
+// runUntil processes events strictly before tEnd; with final set it
+// also takes events at exactly tEnd — the horizon boundary is inclusive,
+// barrier boundaries are not (a barrier's effects apply before anything
+// stamped at or after it).
+func (c *cellSim) runUntil(tEnd float64, final bool) error {
+	o := c.o
+	for c.q.Len() > 0 {
+		if next := c.q[0].at; next > tEnd || (!final && next == tEnd) {
 			break
 		}
-		account(ev.at)
+		ev := heap.Pop(&c.q).(event)
+		c.account(ev.at)
 		now := ev.at
 		switch ev.kind {
 		case evArrive:
-			vm := arrivals[ev.idx]
+			vm := c.arrivals[ev.idx]
 			w := vm.GroundTruth.Workload
 
 			// Admission through the Figure 13 control plane: history
 			// counters when the customer has completed VMs before.
 			var counters *pmu.Vector
-			hist := store.CustomerHistory(vm.Customer, now+1, predict.HistoryWindowSec)
+			hist := c.store.CustomerHistory(vm.Customer, now+1, predict.HistoryWindowSec)
 			if hist.Count > 0 {
-				v := pmu.Sample(w, rPlace)
+				v := pmu.Sample(w, c.rPlace)
 				counters = &v
 			}
-			d := pipe.Decide(vm, counters, predict.UMFeatures(vm, hist))
-			pr, perr := sched.Place(vm, d, now)
+			d := c.pipe.Decide(vm, counters, predict.UMFeatures(vm, hist))
+			pr, perr := c.sched.Place(vm, d, now)
 			if perr != nil {
-				res.Rejected++
-				if mgr != nil {
-					mgr.ForgetVM(vm.ID)
+				c.res.Rejected++
+				if obsv := c.observer(); obsv != nil {
+					obsv.ForgetVM(vm.ID)
 				}
-				logf(now, "reject vm=%d type=%s cores=%d mem=%g", vm.ID, vm.Type.Name, vm.Type.Cores, vm.Type.MemoryGB)
+				c.logf(now, "reject vm=%d type=%s cores=%d mem=%g", vm.ID, vm.Type.Name, vm.Type.Cores, vm.Type.MemoryGB)
 				continue
 			}
 			if pr.FellBackToLocal {
 				d = core.Decision{Kind: core.AllLocal, LocalGB: vm.Type.MemoryGB}
 			}
-			store.RecordSample(vm.ID, pmu.Sample(w, rPlace))
-			res.Placed++
-			placedGB += vm.Type.MemoryGB
-			placedPoolGB += pr.Placement.PoolGB
-			running[vm.ID] = &runningVM{vm: vm, host: pr.HostIndex, dec: d}
-			push(event{at: now + vm.LifetimeSec, kind: evDepart, vm: vm.ID})
-			logf(now, "arrive vm=%d cust=%d type=%s decision=%s host=%d local=%g pool=%g",
+			c.store.RecordSample(vm.ID, pmu.Sample(w, c.rPlace))
+			c.res.Placed++
+			c.placedGB += vm.Type.MemoryGB
+			c.placedPoolGB += pr.Placement.PoolGB
+			c.running[vm.ID] = &runningVM{vm: vm, host: pr.HostIndex, dec: d}
+			c.push(event{at: now + vm.LifetimeSec, kind: evDepart, vm: vm.ID})
+			c.logf(now, "arrive vm=%d cust=%d type=%s decision=%s host=%d local=%g pool=%g",
 				vm.ID, vm.Customer, vm.Type.Name, d.Kind, pr.HostIndex, pr.Placement.LocalGB, pr.Placement.PoolGB)
 
 		case evDepart:
-			st, ok := running[ev.vm]
+			st, ok := c.running[ev.vm]
 			if !ok {
 				continue // lost to an earlier EMC failure
 			}
-			delete(running, ev.vm)
-			p, rerr := sched.Release(st.host, ev.vm, now)
+			delete(c.running, ev.vm)
+			p, rerr := c.sched.Release(st.host, ev.vm, now)
 			if rerr != nil {
-				return res, fmt.Errorf("cell %d: release vm %d: %w", cell, ev.vm, rerr)
+				return fmt.Errorf("cell %d: release vm %d: %w", c.cell, ev.vm, rerr)
 			}
-			store.RecordOutcome(p.VM.Customer, now, p.VM.GroundTruth.UntouchedFrac)
+			c.store.RecordOutcome(p.VM.Customer, now, p.VM.GroundTruth.UntouchedFrac)
 			if o.Predictions {
 				// Departure is when the QoS monitor's verdict is final:
 				// ground truth turns the decision into an outcome, and
 				// flagged customers skip the all-pool path from now on.
-				out := pipe.Evaluate(st.vm, st.dec)
+				out := c.pipe.Evaluate(st.vm, st.dec)
 				if out.ExceedsPDM {
-					res.QoSViolations++
-					logf(now, "qos-violation vm=%d decision=%s slowdown=%.3f", ev.vm, st.dec.Kind, out.SlowdownFrac)
+					c.res.QoSViolations++
+					c.logf(now, "qos-violation vm=%d decision=%s slowdown=%.3f", ev.vm, st.dec.Kind, out.SlowdownFrac)
 				}
 				if out.Mitigated {
-					res.Mitigations++
+					c.res.Mitigations++
 				}
 			}
-			if mgr != nil {
-				mc, okc := store.MeanCounters(ev.vm)
-				mgr.ObserveOutcome(st.vm, mc, okc)
+			if obsv := c.observer(); obsv != nil {
+				mc, okc := c.store.MeanCounters(ev.vm)
+				obsv.ObserveOutcome(st.vm, mc, okc)
 			}
-			store.ForgetVM(ev.vm)
-			res.Departed++
-			logf(now, "depart vm=%d host=%d", ev.vm, st.host)
+			c.store.ForgetVM(ev.vm)
+			c.res.Departed++
+			c.logf(now, "depart vm=%d host=%d", ev.vm, st.host)
 
 		case evInject:
 			inj := o.Injections[ev.idx]
 			switch inj.Kind {
 			case InjectEMCFail:
-				devices[inj.EMC].Fail()
+				c.devices[inj.EMC].Fail()
 				// Blast radius: every running VM with slices on the dead
 				// device, released in id order.
 				var blast []cluster.VMID
-				for id, st := range running {
-					for _, ref := range hostSlices(hosts[st.host], id) {
+				for id, st := range c.running {
+					for _, ref := range hostSlices(c.hosts[st.host], id) {
 						if ref.EMC == inj.EMC {
 							blast = append(blast, id)
 							break
@@ -638,11 +926,11 @@ func runCell(cell int, o Options, insens predict.Insensitivity, threshold float6
 				sort.Slice(blast, func(i, j int) bool { return blast[i] < blast[j] })
 				lostGB := 0.0
 				for _, id := range blast {
-					st := running[id]
-					delete(running, id)
-					p, rerr := hosts[st.host].ReleaseVM(id)
+					st := c.running[id]
+					delete(c.running, id)
+					p, rerr := c.hosts[st.host].ReleaseVM(id)
 					if rerr != nil {
-						return res, fmt.Errorf("cell %d: blast release vm %d: %w", cell, id, rerr)
+						return fmt.Errorf("cell %d: blast release vm %d: %w", c.cell, id, rerr)
 					}
 					lostGB += p.VM.Type.MemoryGB
 					// Slices on the failed device are gone; survivors on
@@ -653,81 +941,102 @@ func runCell(cell int, o Options, insens predict.Insensitivity, threshold float6
 							alive = append(alive, ref)
 						}
 					}
-					if err := hosts[st.host].RemovePoolCapacity(float64(len(p.Slices))); err != nil {
-						return res, fmt.Errorf("cell %d: blast offline vm %d: %w", cell, id, err)
+					if err := c.hosts[st.host].RemovePoolCapacity(float64(len(p.Slices))); err != nil {
+						return fmt.Errorf("cell %d: blast offline vm %d: %w", c.cell, id, err)
 					}
 					if len(alive) > 0 {
-						manager.ReleaseCapacity(emc.HostID(st.host), alive, now)
+						c.manager.ReleaseCapacity(emc.HostID(st.host), alive, now)
 					}
-					store.ForgetVM(id)
-					if mgr != nil {
-						mgr.ForgetVM(id)
+					c.store.ForgetVM(id)
+					if obsv := c.observer(); obsv != nil {
+						obsv.ForgetVM(id)
 					}
 				}
-				res.BlastVMs += len(blast)
-				logf(now, "inject emc-fail emc=%d blast-hosts=%d blast-vms=%d lost-gb=%g",
-					inj.EMC, tp.BlastRadiusHosts(inj.EMC), len(blast), lostGB)
+				c.res.BlastVMs += len(blast)
+				c.logf(now, "inject emc-fail emc=%d blast-hosts=%d blast-vms=%d lost-gb=%g",
+					inj.EMC, c.tp.BlastRadiusHosts(inj.EMC), len(blast), lostGB)
 
 			case InjectHostDrain:
-				migrations, remaining, derr := sched.DrainHost(inj.Host, now)
+				migrations, remaining, derr := c.sched.DrainHost(inj.Host, now)
 				if derr != nil {
-					return res, derr
+					return derr
 				}
 				for _, m := range migrations {
-					if st, ok := running[m.VM]; ok {
+					if st, ok := c.running[m.VM]; ok {
 						st.host = m.Target
 					}
 				}
-				res.Migrated += len(migrations)
-				logf(now, "inject host-drain host=%d migrated=%d remaining=%d", inj.Host, len(migrations), len(remaining))
+				c.res.Migrated += len(migrations)
+				c.logf(now, "inject host-drain host=%d migrated=%d remaining=%d", inj.Host, len(migrations), len(remaining))
 
 			case InjectSurge:
-				logf(now, "inject surge x=%g dur=%g", inj.Factor, inj.DurSec)
+				c.logf(now, "inject surge x=%g dur=%g", inj.Factor, inj.DurSec)
 
 			case InjectDrift:
 				// The population shift itself happened in the arrival
-				// stream; this marks the moment in the event log.
-				logf(now, "inject drift mag=%g", inj.Mag)
+				// stream; this marks the moment in the event log —
+				// regional drifts record whether this cell is in range.
+				if inj.CellHi >= 0 {
+					c.logf(now, "inject drift mag=%g cells=%d-%d applied=%t",
+						inj.Mag, inj.CellLo, inj.CellHi, inj.AppliesTo(c.cell))
+				} else {
+					c.logf(now, "inject drift mag=%g", inj.Mag)
+				}
 			}
 
 		case evRetrain:
-			for _, le := range mgr.Tick(now) {
-				logf(now, "%s", le)
+			for _, le := range c.mgr.Tick(now) {
+				c.logf(now, "%s", le)
 			}
 		}
 	}
-	account(o.DurationSec)
+	return nil
+}
+
+// finish integrates the tail accounting, renders the summary lines, and
+// returns the cell's result.
+func (c *cellSim) finish() (CellResult, error) {
+	o := c.o
+	c.account(o.DurationSec)
 
 	if o.DurationSec > 0 {
-		res.AvgCoreUtil = utilSec / o.DurationSec
-		res.AvgStrandedGB = strandedGBSec / o.DurationSec
+		c.res.AvgCoreUtil = c.utilSec / o.DurationSec
+		c.res.AvgStrandedGB = c.strandedGBSec / o.DurationSec
 	}
-	if placedGB > 0 {
-		res.PoolShare = placedPoolGB / placedGB
+	if c.placedGB > 0 {
+		c.res.PoolShare = c.placedPoolGB / c.placedGB
 	}
-	if mgr != nil {
-		q := mgr.Quality()
-		res.Retrains, res.Promotions, res.Demotions = q.Retrains, q.Promotions, q.Demotions
-		res.UMChampVer, res.InsensChampVer = q.UMChampVer, q.InsensChampVer
-		res.PredErrMean, res.PredErrFinal = q.UMLossMean, q.UMLossFinal
-		res.InsensErrMean = q.InsensLossMean
-		res.Lifecycle = mgr.Events()
+	if c.mgr != nil {
+		q := c.mgr.Quality()
+		c.res.Retrains, c.res.Promotions, c.res.Demotions = q.Retrains, q.Promotions, q.Demotions
+		c.res.UMChampVer, c.res.InsensChampVer = q.UMChampVer, q.InsensChampVer
+		c.res.PredErrMean, c.res.PredErrFinal = q.UMLossMean, q.UMLossFinal
+		c.res.InsensErrMean = q.InsensLossMean
+		c.res.Lifecycle = c.mgr.Events()
 		if o.CaptureModels {
-			dump, derr := mgr.SnapshotJSON()
+			dump, derr := c.mgr.SnapshotJSON()
 			if derr != nil {
-				return res, fmt.Errorf("cell %d: model snapshot: %w", cell, derr)
+				return c.res, fmt.Errorf("cell %d: model snapshot: %w", c.cell, derr)
 			}
-			res.ModelDump = dump
+			c.res.ModelDump = dump
 		}
-		logf(o.DurationSec, "mlops summary retrains=%d promotions=%d demotions=%d um-ver=%d insens-ver=%d pred-err=%.4f pred-err-final=%.4f insens-err=%.4f",
+		c.logf(o.DurationSec, "mlops summary retrains=%d promotions=%d demotions=%d um-ver=%d insens-ver=%d pred-err=%.4f pred-err-final=%.4f insens-err=%.4f",
 			q.Retrains, q.Promotions, q.Demotions, q.UMChampVer, q.InsensChampVer,
 			q.UMLossMean, q.UMLossFinal, q.InsensLossMean)
 	}
-	logf(o.DurationSec, "summary arrivals=%d placed=%d rejected=%d departed=%d blast-vms=%d migrated=%d qos=%d util=%.3f stranded=%.3f pool-share=%.4f",
-		res.Arrivals, res.Placed, res.Rejected, res.Departed, res.BlastVMs, res.Migrated,
-		res.QoSViolations, res.AvgCoreUtil, res.AvgStrandedGB, res.PoolShare)
-	res.Log = log.String()
-	return res, nil
+	if c.col != nil {
+		q := c.col.Quality()
+		c.res.UMChampVer = q.ServeVer
+		c.res.PredErrMean, c.res.PredErrFinal = q.ServeLossMean, q.ServeLossFinal
+		c.res.InsensErrMean = q.InsensLossMean
+		c.logf(o.DurationSec, "fleetpipeline cell summary serve-ver=%d pred-err=%.4f pred-err-final=%.4f insens-err=%.4f",
+			q.ServeVer, q.ServeLossMean, q.ServeLossFinal, q.InsensLossMean)
+	}
+	c.logf(o.DurationSec, "summary arrivals=%d placed=%d rejected=%d departed=%d blast-vms=%d migrated=%d qos=%d util=%.3f stranded=%.3f pool-share=%.4f",
+		c.res.Arrivals, c.res.Placed, c.res.Rejected, c.res.Departed, c.res.BlastVMs, c.res.Migrated,
+		c.res.QoSViolations, c.res.AvgCoreUtil, c.res.AvgStrandedGB, c.res.PoolShare)
+	c.res.Log = c.log.String()
+	return c.res, nil
 }
 
 // hostSlices returns a VM's pool slices on its host (nil when unknown).

@@ -3,8 +3,11 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
+
+	"pond/internal/mlops/fleetpipeline"
 )
 
 // testOptions returns a small fleet that exercises every event kind in a
@@ -488,6 +491,362 @@ func TestCaptureModelsDumpsSnapshots(t *testing.T) {
 	}
 	if snaps[0]["role"] != "champion" {
 		t.Fatalf("first snapshot is %v, want the champion", snaps[0]["role"])
+	}
+}
+
+// fleetScopeOptions is the staged-rollout scenario shared by the fleet
+// acceptance tests: four cells with the central pipeline retraining at a
+// 400 s cadence.
+func fleetScopeOptions() Options {
+	o := DefaultOptions()
+	o.Cells = 4
+	o.Hosts = 4
+	o.EMCs = 4
+	o.PoolGB = 128
+	o.DurationSec = 6000
+	o.Seed = 2
+	o.Arrival = ArrivalModel{Kind: ArrivalPoisson, RatePerSec: 0.15, MeanLifetimeSec: 300}
+	o.Predictions = true
+	o.RetrainEverySec = 400
+	o.ModelScope = ScopeFleet
+	return o
+}
+
+func TestStagedRolloutContainsBadChallengerUnderRegionalDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("staged-rollout acceptance needs the full horizon; covered in the full tier")
+	}
+	// Regional drift hits only cells 2-3: challengers trained after
+	// t=2500 learn from a corpus polluted by the drifted region, and the
+	// canary bake on (undrifted) cell 0 must catch the bad ones.
+	base := fleetScopeOptions()
+	var err error
+	base.Injections, err = ParseInjections("drift@t=2500:cells=2-3:mag=0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var reps []*Report
+	for _, workers := range []int{1, 4, 8} {
+		o := base
+		o.Workers = workers
+		rep, rerr := Run(context.Background(), o)
+		if rerr != nil {
+			t.Fatalf("workers=%d: %v", workers, rerr)
+		}
+		reps = append(reps, rep)
+	}
+	// The event log — stage transitions included — and the rollout
+	// history are byte-identical for every worker count.
+	for i := 1; i < len(reps); i++ {
+		if reps[i].EventLog != reps[0].EventLog || reps[i].LogSHA256 != reps[0].LogSHA256 {
+			t.Fatalf("fleet-scoped event log differs between worker counts 1 and %d", []int{1, 4, 8}[i])
+		}
+		if len(reps[i].Rollout) != len(reps[0].Rollout) {
+			t.Fatal("rollout history length differs between worker counts")
+		}
+		for j := range reps[i].Rollout {
+			if reps[i].Rollout[j] != reps[0].Rollout[j] {
+				t.Fatalf("rollout history differs at step %d between worker counts", j)
+			}
+		}
+	}
+	rep := reps[0]
+
+	// The canary bake must have rolled back at least one challenger
+	// trained during the partial-fleet regime (after the drift).
+	trainedAt := map[int]float64{}
+	for _, e := range rep.Rollout {
+		if e.Kind == fleetpipeline.EventRetrain {
+			trainedAt[e.Ver] = e.AtSec
+		}
+	}
+	var rolledBack []int
+	postDriftRollback := false
+	for _, e := range rep.Rollout {
+		if e.Kind == fleetpipeline.EventRollback {
+			rolledBack = append(rolledBack, e.Ver)
+			if trainedAt[e.Ver] >= 2500 {
+				postDriftRollback = true
+			}
+		}
+	}
+	if len(rolledBack) == 0 {
+		t.Fatal("no challenger was ever rolled back")
+	}
+	if !postDriftRollback {
+		t.Fatalf("no rollback of a challenger trained during the drifted regime; rollbacks: %v, trained at: %v",
+			rolledBack, trainedAt)
+	}
+
+	// Containment: zero non-canary cells ever served a rolled-back
+	// release. Canary sets are the lowest cell indices, so every cell
+	// beyond the canary fraction must have served promoted versions only.
+	canary := map[int]bool{}
+	for _, e := range rep.Rollout {
+		if e.Kind == fleetpipeline.EventCanaryStart {
+			for c := e.CanaryLo; c <= e.CanaryHi; c++ {
+				canary[c] = true
+			}
+		}
+	}
+	bad := map[int]bool{}
+	for _, v := range rolledBack {
+		bad[v] = true
+	}
+	for _, c := range rep.Cells {
+		if canary[c.Cell] {
+			continue
+		}
+		for _, v := range c.ServedVersions {
+			if bad[v] {
+				t.Fatalf("non-canary cell %d served rolled-back release %d (served %v)", c.Cell, v, c.ServedVersions)
+			}
+		}
+	}
+	// And the containment must be visible in the event log itself: pin
+	// lines for rolled-back versions appear only under canary cells.
+	for _, v := range rolledBack {
+		for _, line := range strings.Split(rep.EventLog, "\n") {
+			if !strings.Contains(line, fmt.Sprintf("fleetpipeline pin ver=%d ", v)) {
+				continue
+			}
+			isCanaryLine := false
+			for c := range canary {
+				if strings.HasPrefix(line, fmt.Sprintf("[c%d ", c)) {
+					isCanaryLine = true
+				}
+			}
+			if !isCanaryLine {
+				t.Fatalf("rolled-back release %d pinned outside the canary set: %s", v, line)
+			}
+		}
+	}
+}
+
+func TestFleetScopeNoWorseThanCellScopeUnderUniformDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-vs-cell A/B needs the full horizon; covered in the full tier")
+	}
+	inj, err := ParseInjections("drift@t=2500:mag=0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := fleetScopeOptions()
+	cell.ModelScope = ScopeCell
+	cell.Injections = inj
+	cr, err := Run(context.Background(), cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := fleetScopeOptions()
+	fl.Injections = inj
+	fr, err := Run(context.Background(), fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Promotions == 0 {
+		t.Fatal("the release train never promoted; the fleet pipeline never engaged")
+	}
+	// Pooling telemetry across cells gives the fleet champion more
+	// post-drift rows than any single cell sees: end-of-run prediction
+	// error must be no worse than the per-cell lifecycle's.
+	if fr.PredErrFinal > cr.PredErrFinal {
+		t.Fatalf("fleet-scoped end-of-run prediction error %.4f worse than cell-scoped %.4f",
+			fr.PredErrFinal, cr.PredErrFinal)
+	}
+	if fr.PredErrMean > cr.PredErrMean {
+		t.Fatalf("fleet-scoped whole-run prediction error %.4f worse than cell-scoped %.4f",
+			fr.PredErrMean, cr.PredErrMean)
+	}
+	// Admission must not regress either.
+	if fr.Rejected > cr.Rejected {
+		t.Fatalf("fleet scope worsened admission: %d vs %d rejections", fr.Rejected, cr.Rejected)
+	}
+}
+
+func TestFleetScopeSmoke(t *testing.T) {
+	// Short-tier sanity: the barrier loop runs, pins appear in the log,
+	// and the fleet summary line lands at the end of the event log.
+	o := testOptions()
+	o.Predictions = true
+	o.DurationSec = 800
+	o.Arrival.RatePerSec = 0.2
+	o.RetrainEverySec = 200
+	o.MinTrainRows = 16
+	o.ModelScope = ScopeFleet
+	o.CaptureModels = true
+	rep, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retrains == 0 {
+		t.Fatal("fleet pipeline never trained")
+	}
+	if !strings.Contains(rep.EventLog, "fleetpipeline retrain ver=1") ||
+		!strings.Contains(rep.EventLog, "fleetpipeline pin ver=1 role=canary") {
+		t.Fatalf("fleet log missing rollout markers:\n%s", grepLine(rep.EventLog, "fleetpipeline"))
+	}
+	if !strings.Contains(rep.EventLog, "[fleet t=800.000] fleetpipeline summary") {
+		t.Fatal("fleet summary line missing")
+	}
+	// One release-train dump, not one per cell.
+	if len(rep.ModelDumps) != 1 {
+		t.Fatalf("got %d model dumps, want 1 release-train dump", len(rep.ModelDumps))
+	}
+	var snaps []map[string]any
+	if err := json.Unmarshal(rep.ModelDumps[0], &snaps); err != nil || len(snaps) == 0 {
+		t.Fatalf("release-train dump unreadable: %v", err)
+	}
+	if snaps[0]["role"] != "champion" || snaps[0]["cell"] != float64(-1) {
+		t.Fatalf("first snapshot = %v, want the fleet champion (cell -1)", snaps[0])
+	}
+	// Every cell starts on the bootstrap release.
+	for _, c := range rep.Cells {
+		if len(c.ServedVersions) == 0 || c.ServedVersions[0] != 0 {
+			t.Fatalf("cell %d served versions %v, want bootstrap first", c.Cell, c.ServedVersions)
+		}
+	}
+}
+
+func TestFleetScopeValidation(t *testing.T) {
+	o := testOptions() // Predictions: false
+	o.ModelScope = ScopeFleet
+	o.Predictions = true
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("fleet scope without retraining should be rejected")
+	}
+	o = testOptions()
+	o.Predictions = true
+	o.RetrainEverySec = 100
+	o.ModelScope = "galaxy"
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("unknown model scope should be rejected")
+	}
+	o = testOptions()
+	o.Predictions = true
+	o.RetrainEverySec = 100
+	o.ModelScope = ScopeFleet
+	o.CanaryFraction = 1.5
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("canary fraction > 1 should be rejected")
+	}
+	o = testOptions()
+	o.Predictions = true
+	o.RetrainEverySec = 100
+	o.ModelScope = ScopeFleet
+	o.BakeWindowSec = -1
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("negative bake window should be rejected")
+	}
+	// Rollout knobs under cell scope are a configuration mistake.
+	o = testOptions()
+	o.Predictions = true
+	o.RetrainEverySec = 100
+	o.CanaryFraction = 0.5
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("canary fraction under cell scope should be rejected")
+	}
+}
+
+func TestRegionalDriftOnlyShiftsTargetCells(t *testing.T) {
+	// A drift hitting cells 1-2 must change those cells' streams and
+	// leave cells 0's arrivals untouched. Predictions are on so the
+	// shifted ground truth actually reaches the decision log.
+	o := testOptions()
+	o.Predictions = true
+	base, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Injections, err = ParseInjections("drift@t=200:cells=1-2:mag=0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(drifted.EventLog, "inject drift mag=0.8 cells=1-2 applied=false") {
+		t.Fatal("out-of-range cell missing the applied=false marker")
+	}
+	if !strings.Contains(drifted.EventLog, "inject drift mag=0.8 cells=1-2 applied=true") {
+		t.Fatal("in-range cell missing the applied=true marker")
+	}
+	// Cell 0 is out of range: its arrival stream is unchanged (only the
+	// injection marker line differs).
+	strip := func(log string) string {
+		var keep []string
+		for _, l := range strings.Split(log, "\n") {
+			if !strings.Contains(l, "inject drift") {
+				keep = append(keep, l)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(base.Cells[0].Log) != strip(drifted.Cells[0].Log) {
+		t.Fatal("regional drift changed an out-of-range cell's stream")
+	}
+	if strip(base.Cells[1].Log) == strip(drifted.Cells[1].Log) {
+		t.Fatal("regional drift did not change an in-range cell's stream")
+	}
+	// Beyond-range validation.
+	o.Injections, err = ParseInjections("drift@t=200:cells=2-9:mag=0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("cell range beyond the fleet should be rejected")
+	}
+}
+
+func TestParseRegionalDrift(t *testing.T) {
+	ins, err := ParseInjections("drift@t=2000:cells=2-3:mag=0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins[0].CellLo != 2 || ins[0].CellHi != 3 || ins[0].Mag != 0.6 {
+		t.Fatalf("regional drift parsed as %+v", ins[0])
+	}
+	if got := ins[0].String(); got != "drift@t=2000:cells=2-3:mag=0.6" {
+		t.Fatalf("regional drift renders as %q", got)
+	}
+	// Round trip.
+	again, err := ParseInjections(ins[0].String())
+	if err != nil || again[0] != ins[0] {
+		t.Fatalf("regional drift did not round-trip: %+v (%v)", again, err)
+	}
+	// Single-cell form.
+	ins, err = ParseInjections("drift@t=100:cells=1")
+	if err != nil || ins[0].CellLo != 1 || ins[0].CellHi != 1 {
+		t.Fatalf("single-cell drift parsed as %+v (%v)", ins, err)
+	}
+	// Fleet-wide drift keeps the legacy render and the all-cells
+	// sentinel.
+	ins, err = ParseInjections("drift@t=100")
+	if err != nil || ins[0].CellHi >= 0 || !ins[0].AppliesTo(7) {
+		t.Fatalf("fleet-wide drift parsed as %+v (%v)", ins, err)
+	}
+	for _, bad := range []string{
+		"drift@t=1:cells=", "drift@t=1:cells=a", "drift@t=1:cells=3-1",
+		"drift@t=1:cells=-1-2", "drift@t=1:cells=1-", "emc-fail@t=1:cells=0-1",
+		"surge@t=1:cells=0", "drift@t=1:cells=1-2-3",
+	} {
+		if _, err := ParseInjections(bad); err == nil {
+			t.Fatalf("spec %q should fail to parse", bad)
+		}
+	}
+}
+
+func TestParseTopologies(t *testing.T) {
+	names, err := ParseTopologies("flat, sharded,sparse")
+	if err != nil || len(names) != 3 || names[1] != "sharded" {
+		t.Fatalf("parsed %v (%v)", names, err)
+	}
+	for _, bad := range []string{"", "flat,", ",flat", "flat,,sparse", "moebius", "flat sharded"} {
+		if _, err := ParseTopologies(bad); err == nil {
+			t.Fatalf("topology list %q should fail to parse", bad)
+		}
 	}
 }
 

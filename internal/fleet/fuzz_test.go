@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the user-facing spec parsers. The checked-in seeds
+// (f.Add plus testdata/fuzz corpora) run on every ordinary `go test`;
+// the CI fuzz job additionally explores for a bounded time. The
+// contract under fuzzing: malformed specs must error — never panic —
+// and accepted specs must land inside their documented domains (no
+// silent clamping) and round-trip through String().
+
+func FuzzParseInjections(f *testing.F) {
+	for _, seed := range []string{
+		"emc-fail@t=500",
+		"emc-fail@t=500:emc=1",
+		"host-drain@t=800:host=2",
+		"surge@t=300:dur=200:x=3",
+		"drift@t=2000:mag=0.6",
+		"drift@t=2000:cells=2-3:mag=0.6",
+		"drift@t=100:cells=1",
+		"emc-fail@t=500, host-drain@t=800:host=2, surge@t=300:dur=200:x=3",
+		"",
+		"meteor@t=1",
+		"emc-fail",
+		"emc-fail@t=-1",
+		"emc-fail@t=NaN",
+		"emc-fail@t=Inf",
+		"surge@t=1:x=0.5",
+		"drift@t=1:mag=2",
+		"drift@t=1:cells=3-1",
+		"drift@t=1:cells=1-2-3",
+		"drift@t=1:cells=-1",
+		"emc-fail@t=1:cells=0-1",
+		"emc-fail@t=1:emc=99999999999999999999",
+		"drift@t=1e308:mag=0.5",
+		"surge@t=0:dur=0:x=1.0000001",
+		"@t=1",
+		"emc-fail@",
+		"emc-fail@t=1:",
+		"emc-fail@t=1:=2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		ins, err := ParseInjections(spec)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		for _, in := range ins {
+			// Accepted values must be inside the documented domains —
+			// rejecting is fine, silently clamping is not.
+			if in.AtSec < 0 || math.IsNaN(in.AtSec) || math.IsInf(in.AtSec, 0) {
+				t.Fatalf("accepted injection %q with t=%v", spec, in.AtSec)
+			}
+			switch in.Kind {
+			case InjectEMCFail, InjectHostDrain, InjectSurge, InjectDrift:
+			default:
+				t.Fatalf("accepted unknown kind %q from %q", in.Kind, spec)
+			}
+			if in.EMC < 0 || in.Host < 0 {
+				t.Fatalf("accepted negative target from %q: %+v", spec, in)
+			}
+			if in.Kind == InjectSurge && (in.Factor <= 1 || in.DurSec < 0) {
+				t.Fatalf("accepted out-of-domain surge from %q: %+v", spec, in)
+			}
+			if in.Kind == InjectDrift {
+				if in.Mag <= 0 || in.Mag > 1 {
+					t.Fatalf("accepted out-of-domain drift magnitude from %q: %+v", spec, in)
+				}
+				if in.CellHi >= 0 && (in.CellLo < 0 || in.CellLo > in.CellHi) {
+					t.Fatalf("accepted empty cell range from %q: %+v", spec, in)
+				}
+			}
+			// String() must render a spec that parses back to the same
+			// injection.
+			again, rerr := ParseInjections(in.String())
+			if rerr != nil {
+				t.Fatalf("rendered spec %q does not re-parse: %v", in.String(), rerr)
+			}
+			if len(again) != 1 || again[0] != in {
+				t.Fatalf("injection %+v did not round-trip via %q: %+v", in, in.String(), again)
+			}
+		}
+	})
+}
+
+func FuzzParseArrival(f *testing.F) {
+	for _, seed := range []string{
+		"", "poisson", "poisson:rate=0.05", "poisson:rate=0.05:life=600",
+		"trace", "trace:rate=1", "uniform", "poisson:rate=-1", "poisson:rate=0",
+		"poisson:burst=3", "poisson:rate=", "poisson:rate", "poisson:rate=Inf",
+		"poisson:rate=NaN", "poisson::life=1", "poisson:rate=1e308:life=1e-308",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		m, err := ParseArrival(spec)
+		if err != nil {
+			return
+		}
+		if m.Kind != ArrivalPoisson && m.Kind != ArrivalTrace {
+			t.Fatalf("accepted unknown arrival kind %q from %q", m.Kind, spec)
+		}
+		if m.RatePerSec <= 0 || m.MeanLifetimeSec <= 0 ||
+			math.IsInf(m.RatePerSec, 0) || math.IsNaN(m.RatePerSec) ||
+			math.IsInf(m.MeanLifetimeSec, 0) || math.IsNaN(m.MeanLifetimeSec) {
+			t.Fatalf("accepted out-of-domain arrival from %q: %+v", spec, m)
+		}
+		// Round trip.
+		again, rerr := ParseArrival(m.String())
+		if rerr != nil || again != m {
+			t.Fatalf("arrival %+v did not round-trip via %q: %+v (%v)", m, m.String(), again, rerr)
+		}
+	})
+}
+
+func FuzzParseTopologies(f *testing.F) {
+	for _, seed := range []string{
+		"flat", "flat,sharded,sparse", "flat, sharded", "", ",", "flat,",
+		",flat", "flat,,sparse", "moebius", "FLAT", "flat sharded", "flat;sharded",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, list string) {
+		names, err := ParseTopologies(list)
+		if err != nil {
+			return
+		}
+		if len(names) == 0 {
+			t.Fatalf("accepted %q as an empty topology list", list)
+		}
+		for _, n := range names {
+			if n != "flat" && n != "sharded" && n != "sparse" {
+				t.Fatalf("accepted unknown topology %q from %q", n, list)
+			}
+			if strings.TrimSpace(n) != n || n == "" {
+				t.Fatalf("returned unnormalized topology %q from %q", n, list)
+			}
+		}
+	})
+}

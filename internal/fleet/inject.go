@@ -5,6 +5,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"pond/internal/topo"
 )
 
 // Injection kinds.
@@ -43,6 +45,21 @@ type Injection struct {
 	// customer's untouched-memory mean moves and the probability that a
 	// customer's workload set is replaced.
 	Mag float64
+	// CellLo..CellHi is the inclusive cell range a drift hits
+	// (regionally-correlated workload shifts; parsed from cells=a-b).
+	// CellHi < 0 — the parser default — means every cell. A hand-built
+	// Injection must set CellHi to -1 (or any negative) for fleet-wide
+	// drift; the zero value targets cell 0 alone.
+	CellLo, CellHi int
+}
+
+// AppliesTo reports whether a drift injection hits the given cell.
+// Non-drift injections hit every cell.
+func (in Injection) AppliesTo(cell int) bool {
+	if in.Kind != InjectDrift || in.CellHi < 0 {
+		return true
+	}
+	return cell >= in.CellLo && cell <= in.CellHi
 }
 
 // String renders the injection as a parseable spec.
@@ -55,6 +72,9 @@ func (in Injection) String() string {
 	case InjectSurge:
 		return fmt.Sprintf("%s@t=%g:dur=%g:x=%g", in.Kind, in.AtSec, in.DurSec, in.Factor)
 	case InjectDrift:
+		if in.CellHi >= 0 {
+			return fmt.Sprintf("%s@t=%g:cells=%d-%d:mag=%g", in.Kind, in.AtSec, in.CellLo, in.CellHi, in.Mag)
+		}
 		return fmt.Sprintf("%s@t=%g:mag=%g", in.Kind, in.AtSec, in.Mag)
 	default:
 		return in.Kind
@@ -68,6 +88,7 @@ func (in Injection) String() string {
 //	host-drain@t=800:host=2
 //	surge@t=300:dur=200:x=3
 //	drift@t=2000:mag=0.6
+//	drift@t=2000:cells=2-3:mag=0.6
 func ParseInjections(s string) ([]Injection, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -89,10 +110,17 @@ func parseInjection(spec string) (Injection, error) {
 	if !ok {
 		return Injection{}, fmt.Errorf("fleet: injection %q needs kind@t=SEC", spec)
 	}
-	in := Injection{Kind: kind, AtSec: -1, DurSec: 200, Factor: 2, Mag: 0.5}
-	switch kind {
-	case InjectEMCFail, InjectHostDrain, InjectSurge, InjectDrift:
-	default:
+	in := Injection{Kind: kind, AtSec: -1, DurSec: 200, Factor: 2, Mag: 0.5, CellLo: 0, CellHi: -1}
+	// Parameters valid per kind; a parameter on the wrong kind would
+	// parse, render nowhere in String(), and silently do nothing — so it
+	// is rejected instead.
+	allowed, ok := map[string]string{
+		InjectEMCFail:   "t,emc",
+		InjectHostDrain: "t,host",
+		InjectSurge:     "t,dur,x",
+		InjectDrift:     "t,mag,cells",
+	}[kind]
+	if !ok {
 		return in, fmt.Errorf("fleet: unknown injection kind %q (want %s, %s, %s, %s)",
 			kind, InjectEMCFail, InjectHostDrain, InjectSurge, InjectDrift)
 	}
@@ -100,6 +128,16 @@ func parseInjection(spec string) (Injection, error) {
 		k, v, ok := strings.Cut(p, "=")
 		if !ok {
 			return in, fmt.Errorf("fleet: injection parameter %q is not key=value", p)
+		}
+		valid := false
+		for _, a := range strings.Split(allowed, ",") {
+			if k == a {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return in, fmt.Errorf("fleet: %s takes parameters %s, not %q", kind, allowed, k)
 		}
 		switch k {
 		case "t", "dur", "x", "mag":
@@ -127,6 +165,12 @@ func parseInjection(spec string) (Injection, error) {
 			} else {
 				in.Host = n
 			}
+		case "cells":
+			lo, hi, err := parseCellRange(v)
+			if err != nil {
+				return in, err
+			}
+			in.CellLo, in.CellHi = lo, hi
 		default:
 			return in, fmt.Errorf("fleet: unknown injection parameter %q", k)
 		}
@@ -141,4 +185,53 @@ func parseInjection(spec string) (Injection, error) {
 		return in, fmt.Errorf("fleet: drift magnitude mag=%g must be in (0, 1]", in.Mag)
 	}
 	return in, nil
+}
+
+// parseCellRange parses "a-b" (inclusive) or a single "a" into a cell
+// range. The upper bound against the fleet's cell count is checked by
+// Options normalization, which knows it.
+func parseCellRange(v string) (lo, hi int, err error) {
+	loS, hiS, dashed := strings.Cut(v, "-")
+	if !dashed {
+		hiS = loS
+	}
+	lo, err = strconv.Atoi(loS)
+	if err != nil || lo < 0 {
+		return 0, 0, fmt.Errorf("fleet: cells=%q must be a-b or a with non-negative integers", v)
+	}
+	hi, err = strconv.Atoi(hiS)
+	if err != nil || hi < 0 {
+		return 0, 0, fmt.Errorf("fleet: cells=%q must be a-b or a with non-negative integers", v)
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("fleet: cells=%q is an empty range", v)
+	}
+	return lo, hi, nil
+}
+
+// ParseTopologies parses a comma-separated topology list as the
+// pondfleet -topology flag takes it. Every entry must name a known
+// topology; empty entries (a stray comma) are rejected rather than
+// silently running the default topology an extra time.
+func ParseTopologies(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("fleet: empty topology list")
+	}
+	known := topo.Names()
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		ok := false
+		for _, k := range known {
+			if name == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("fleet: unknown topology %q (want %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, name)
+	}
+	return out, nil
 }

@@ -104,6 +104,10 @@ func (m *Manager) SnapshotJSON() (json.RawMessage, error) {
 	return json.MarshalIndent(snaps, "", "  ")
 }
 
+// MarshalUM exports an untouched-memory model in the snapshot wire form;
+// the fleet pipeline reuses it for its release-train dumps.
+func MarshalUM(u predict.Untouched) (json.RawMessage, error) { return marshalUM(u) }
+
 func marshalUM(u predict.Untouched) (json.RawMessage, error) {
 	if g, ok := u.(*predict.GBMUntouched); ok {
 		var buf bytes.Buffer

@@ -1,0 +1,186 @@
+package pool
+
+import (
+	"fmt"
+	"testing"
+
+	"pond/internal/emc"
+	"pond/internal/stats"
+)
+
+// Property-based invariant check for the Pool Manager: under random
+// interleavings of AddCapacity, ReleaseCapacity, and EMC failures, slice
+// accounting must balance at every step —
+//
+//  1. conservation: on every healthy device, free + owned == capacity,
+//     and the owned set is exactly the slices the test still holds plus
+//     the ones draining through pending release;
+//  2. a failed EMC never reports free slices, never contributes to
+//     FreeGB/FreeGBFor, and AddCapacity never hands out slices on it
+//     (the PR 2 regression fixes);
+//  3. a slice is never double-assigned: every AddCapacity result is
+//     disjoint from everything currently held or draining.
+//
+// Each seed drives one random schedule; failures print the seed and the
+// op index so a shrunk reproduction is one -run flag away.
+func TestManagerInvariantsUnderRandomInterleavings(t *testing.T) {
+	const (
+		devices = 3
+		perDev  = 16
+		hosts   = 4
+		ops     = 400
+	)
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := stats.NewRand(seed)
+			emcs := make([]*emc.Device, devices)
+			for i := range emcs {
+				emcs[i] = emc.NewDevice(fmt.Sprintf("emc%d", i), perDev, hosts)
+			}
+			m := NewManager(emcs, stats.NewRand(seed+1000))
+
+			// held[host] is every slice the test owns, from AddCapacity
+			// results not yet released.
+			held := make(map[emc.HostID][]SliceRef)
+			failed := make(map[int]bool)
+			now := 0.0
+			totalHeld := func() map[SliceRef]bool {
+				set := make(map[SliceRef]bool)
+				for _, refs := range held {
+					for _, ref := range refs {
+						if set[ref] {
+							t.Fatalf("slice %v held twice", ref)
+						}
+						set[ref] = true
+					}
+				}
+				return set
+			}
+
+			check := func(op int) {
+				// FreeGB first: it drains completed offlines, so the
+				// per-device counts below see the settled state.
+				gotFree := m.FreeGB(now)
+				heldSet := totalHeld()
+				for di, d := range emcs {
+					if failed[di] {
+						if d.FreeSlices() != 0 {
+							t.Fatalf("op %d: failed EMC %d reports %d free slices", op, di, d.FreeSlices())
+						}
+						continue
+					}
+					owned := 0
+					for h := 0; h < hosts; h++ {
+						for _, s := range d.OwnedBy(emc.HostID(h)) {
+							owned++
+							ref := SliceRef{EMC: di, Slice: s}
+							// Every owned slice is either held by the test
+							// or draining through a pending release.
+							if !heldSet[ref] && !pendingHas(m, ref) {
+								t.Fatalf("op %d: device %d slice %d owned by host %d but neither held nor pending",
+									op, di, s, h)
+							}
+						}
+					}
+					if free := d.FreeSlices(); free+owned != d.Slices() {
+						t.Fatalf("op %d: device %d leaks slices: %d free + %d owned != %d total",
+							op, di, free, owned, d.Slices())
+					}
+				}
+				// FreeGB must count only healthy devices.
+				sum := 0
+				for di, d := range emcs {
+					if !failed[di] {
+						sum += d.FreeSlices() * emc.SliceGB
+					}
+				}
+				if gotFree != sum {
+					t.Fatalf("op %d: FreeGB = %d, healthy free slices say %d", op, gotFree, sum)
+				}
+			}
+
+			for op := 0; op < ops; op++ {
+				now += r.Bounded(0, 0.5)
+				h := emc.HostID(r.Intn(hosts))
+				switch draw := r.Float64(); {
+				case draw < 0.45: // add
+					gb := 1 + r.Intn(6)
+					res, err := m.AddCapacity(h, gb, now)
+					if err != nil {
+						break // exhaustion is a legal outcome, not a bug
+					}
+					heldSet := totalHeld()
+					for _, ref := range res.Slices {
+						if failed[ref.EMC] {
+							t.Fatalf("op %d: AddCapacity handed out slice %v on failed EMC", op, ref)
+						}
+						if heldSet[ref] || pendingHas(m, ref) {
+							t.Fatalf("op %d: AddCapacity double-assigned slice %v", op, ref)
+						}
+					}
+					held[h] = append(held[h], res.Slices...)
+				case draw < 0.80: // release some of what this host holds
+					refs := held[h]
+					if len(refs) == 0 {
+						break
+					}
+					n := 1 + r.Intn(len(refs))
+					m.ReleaseCapacity(h, refs[:n], now)
+					held[h] = append([]SliceRef(nil), refs[n:]...)
+				case draw < 0.90 && len(failed) < devices-1: // fail an EMC
+					di := r.Intn(devices)
+					if failed[di] {
+						break
+					}
+					emcs[di].Fail()
+					failed[di] = true
+					// Slices on the dead device are gone with it.
+					for hh, refs := range held {
+						var keep []SliceRef
+						for _, ref := range refs {
+							if ref.EMC != di {
+								keep = append(keep, ref)
+							}
+						}
+						held[hh] = keep
+					}
+				default: // let pending offlines drain
+					now += 2
+				}
+				check(op)
+			}
+			// Drain everything: after all holds are released and offline
+			// completes, every healthy device must be fully free again.
+			for hh, refs := range held {
+				if len(refs) > 0 {
+					m.ReleaseCapacity(hh, refs, now)
+				}
+				held[hh] = nil
+			}
+			now += 1000
+			for di, d := range emcs {
+				if failed[di] {
+					continue
+				}
+				free := m.FreeGB(now) // forces a drain
+				_ = free
+				if d.FreeSlices() != d.Slices() {
+					t.Fatalf("after full release: device %d has %d of %d slices free",
+						di, d.FreeSlices(), d.Slices())
+				}
+			}
+		})
+	}
+}
+
+// pendingHas reports whether a slice is draining through the manager's
+// pending-release queue.
+func pendingHas(m *Manager, ref SliceRef) bool {
+	for _, p := range m.pending {
+		if p.ref == ref {
+			return true
+		}
+	}
+	return false
+}

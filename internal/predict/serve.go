@@ -79,6 +79,35 @@ func (s *Server) Swap(insens Insensitivity, um Untouched) {
 	s.umCache = make(map[int64]cachedScore)
 }
 
+// Pin installs the models of one distributed release under an explicit,
+// caller-owned generation number — the fleet pipeline's staged rollout
+// pins each cell's server to the model version its deployment ring
+// serves, so canary and control cells run different versions
+// concurrently and their caches key on the release, not on a local swap
+// counter. Re-pinning the current generation is a no-op that keeps the
+// serving cache warm; any other generation installs the models and drops
+// every cached prediction.
+func (s *Server) Pin(generation int, insens Insensitivity, um Untouched) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if generation == s.generation {
+		return
+	}
+	s.insens = insens
+	s.um = um
+	s.generation = generation
+	s.sensCache = make(map[int64]cachedScore)
+	s.umCache = make(map[int64]cachedScore)
+}
+
+// Generation returns the serving generation: the release version pinned
+// by Pin, or the local swap count under Swap.
+func (s *Server) Generation() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.generation
+}
+
 // ScoreInsensitivity serves a latency-insensitivity score for a customer.
 // cacheKey should identify the (customer, workload) pair.
 func (s *Server) ScoreInsensitivity(cacheKey int64, v pmu.Vector) (float64, error) {
