@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race lint cover bench bench-gate bench-baseline fleet soak soak-fleet fuzz golden
+.PHONY: all build vet test test-short test-race lint cover bench bench-gate bench-baseline fleet plan soak soak-fleet soak-elastic fuzz golden
 
 all: build vet test-short
 
@@ -61,6 +61,17 @@ bench-baseline:
 # Online fleet simulation quick-look across all three topologies.
 fleet:
 	$(GO) run ./cmd/pondfleet -topology flat,sharded,sparse -inject emc-fail@t=500
+
+# Offline capacity planner: the DRAM-savings waterfall per topology.
+plan:
+	$(GO) run ./cmd/pondplan -topology flat,sharded,sparse -target-qos 0.01
+
+# Elastic-pool soak: the capacity controller resizing EMCs mid-run with
+# a manual shrink and a drift landing on top (the nightly elastic leg).
+soak-elastic:
+	$(GO) run ./cmd/pondfleet -topology flat -duration 20000 -cells 4 \
+		-arrival poisson:rate=0.1:life=600 -elastic -plan-every 2000 \
+		-target-qos 0.01 -inject "resize@t=5000:emc=1:slices=-32,drift@t=8000:mag=0.6"
 
 # Long-horizon soak with the retraining loop, as the nightly workflow
 # drives it (one topology; the workflow fans out the full matrix).

@@ -13,9 +13,11 @@
 // fleet_vms_per_sec (VMs placed per wall-clock second; higher is
 // better), retrain_ns_per_op (the mlops model-lifecycle hot path —
 // shadow scoring, holdout bookkeeping, challenger training — over a
-// fixed synthetic stream), and rollout_ns_per_op (the fleet pipeline's
+// fixed synthetic stream), rollout_ns_per_op (the fleet pipeline's
 // staged-rollout hot path: cross-cell corpus pooling, canary
-// bookkeeping, release training, verdicts). Raw `go test -bench` lines ride along in the artifact for
+// bookkeeping, release training, verdicts), and plan_ns_per_op (the
+// elastic-capacity hot path: demand accumulation, controller targeting,
+// Pool Manager grow/shrink against real EMC devices). Raw `go test -bench` lines ride along in the artifact for
 // trend dashboards but are not gated — they are too machine-dependent
 // for a hard threshold, whereas the fleet smoke is gated because its
 // work is fixed and deterministic. After an intentional perf change,
@@ -34,6 +36,7 @@ import (
 	"strings"
 	"testing"
 
+	"pond/internal/capacity"
 	"pond/internal/fleet"
 	"pond/internal/mlops"
 	"pond/internal/mlops/fleetpipeline"
@@ -90,6 +93,9 @@ func main() {
 		res.Metrics[name] = m
 	}
 	for name, m := range measureRollout() {
+		res.Metrics[name] = m
+	}
+	for name, m := range measurePlan() {
 		res.Metrics[name] = m
 	}
 	if *benchFile != "" {
@@ -236,6 +242,29 @@ func measureRollout() map[string]Metric {
 	return map[string]Metric{
 		"rollout_ns_per_op":     {Value: float64(r.NsPerOp()), HigherIsBetter: false},
 		"rollout_allocs_per_op": {Value: float64(r.AllocsPerOp()), HigherIsBetter: false},
+	}
+}
+
+// measurePlan times the elastic-capacity hot path — the same work as
+// BenchmarkPlanLoop: 4 cells' demand waves driving controller targets
+// and Pool Manager grow/shrink through 16 planning rounds of 32 demand
+// samples each.
+func measurePlan() map[string]Metric {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if s := capacity.SyntheticPlan(4, 16, 32, 1); s.Grows == 0 || s.Shrinks == 0 {
+				// panic, not b.Fatal: a Fatal inside testing.Benchmark
+				// yields a zero result that would sail through the gate
+				// as a massive improvement.
+				panic("benchgate: synthetic plan never resized in both directions")
+			}
+		}
+	})
+	requireMeasured("plan", r)
+	return map[string]Metric{
+		"plan_ns_per_op":     {Value: float64(r.NsPerOp()), HigherIsBetter: false},
+		"plan_allocs_per_op": {Value: float64(r.AllocsPerOp()), HigherIsBetter: false},
 	}
 }
 

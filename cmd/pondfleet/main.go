@@ -9,14 +9,20 @@
 //	pondfleet -arrival poisson:rate=0.2:life=300 -inject surge@t=300:dur=200:x=3
 //	pondfleet -retrain-every 1000 -model-scope fleet -canary 0.25 -bake 2000 \
 //	    -inject drift@t=8000:cells=2-3:mag=0.8
+//	pondfleet -elastic -plan-every 500 -target-qos 0.01 \
+//	    -inject resize@t=300:emc=1:slices=-16
 //
 // -topology accepts a comma-separated list; with more than one entry the
 // tool prints a per-topology comparison of stranding, utilization, and
 // blast radius. -model-scope fleet pools telemetry across cells into the
 // §5 central pipeline and deploys each retrained model through a staged
-// canary rollout. Cells fan out over the parallel engine: -workers
-// bounds the pool and the event log (and its printed hash) is
-// byte-identical for any value.
+// canary rollout. -elastic turns on the online capacity controller: at
+// every -plan-every barrier each cell's pool is re-planned from observed
+// demand and grown or shrunk through the Pool Manager's elastic APIs
+// (cmd/pondplan runs the offline savings waterfall over the same
+// telemetry). Cells fan out over the parallel engine: -workers bounds
+// the pool and the event log (and its printed hash) is byte-identical
+// for any value.
 package main
 
 import (
@@ -54,6 +60,9 @@ type flags struct {
 	holdout       int
 	minRows       int
 	modelsOut     string
+	elastic       bool
+	planEvery     float64
+	targetQoS     float64
 	printLog      bool
 	workers       int
 	seed          int64
@@ -105,6 +114,20 @@ func validate(f flags) ([]string, error) {
 	if !(f.promoteMargin >= 0 && f.promoteMargin < 1) { // rejects NaN too
 		return nil, fmt.Errorf("-promote-margin must be in [0, 1), got %g", f.promoteMargin)
 	}
+	if !f.elastic && (f.planEvery != 0 || f.targetQoS != 0) {
+		return nil, fmt.Errorf("-plan-every and -target-qos require -elastic")
+	}
+	if f.elastic {
+		if f.planEvery < 0 || math.IsNaN(f.planEvery) || math.IsInf(f.planEvery, 0) {
+			return nil, fmt.Errorf("-plan-every must be a finite number >= 0, got %g", f.planEvery)
+		}
+		if f.planEvery >= f.duration {
+			return nil, fmt.Errorf("-plan-every %g never fires within the %g second horizon", f.planEvery, f.duration)
+		}
+		if f.targetQoS != 0 && !(f.targetQoS > 0 && f.targetQoS < 1) { // rejects NaN too
+			return nil, fmt.Errorf("-target-qos must be in (0, 1), got %g", f.targetQoS)
+		}
+	}
 	if f.holdout < 0 || f.minRows < 0 {
 		return nil, fmt.Errorf("-holdout and -min-rows must be >= 0")
 	}
@@ -135,6 +158,9 @@ func main() {
 	flag.IntVar(&f.holdout, "holdout", 0, "rolling holdout window in completed VMs (0 = default)")
 	flag.IntVar(&f.minRows, "min-rows", 0, "minimum completed VMs before a challenger trains (0 = default)")
 	flag.StringVar(&f.modelsOut, "models", "", "write the versioned model dump (JSON) to this file")
+	flag.BoolVar(&f.elastic, "elastic", false, "enable the elastic pool: re-plan each cell's capacity from observed demand at every planning barrier")
+	flag.Float64Var(&f.planEvery, "plan-every", 0, "elastic planning cadence in seconds (0 = an eighth of the horizon)")
+	flag.Float64Var(&f.targetQoS, "target-qos", 0, "tolerated fraction of time pool demand may exceed capacity (0 = default 0.01)")
 	flag.BoolVar(&f.printLog, "log", false, "print the full event log")
 	flag.IntVar(&f.workers, "workers", 0, "engine worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	flag.Int64Var(&f.seed, "seed", 1, "root seed for every cell stream")
@@ -166,6 +192,9 @@ func main() {
 			HoldoutWindow:      f.holdout,
 			MinTrainRows:       f.minRows,
 			CaptureModels:      f.modelsOut != "",
+			ElasticPool:        f.elastic,
+			PlanEverySec:       f.planEvery,
+			TargetQoS:          f.targetQoS,
 			Workers:            f.workers,
 			Seed:               f.seed,
 		})
@@ -183,6 +212,12 @@ func main() {
 		if f.retrainEvery > 0 && len(rep.RolloutHistory) > 0 {
 			fmt.Println("staged rollout:")
 			for _, line := range rep.RolloutHistory {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+		if f.elastic && len(rep.PlanHistory) > 0 {
+			fmt.Println("capacity plans:")
+			for _, line := range rep.PlanHistory {
 				fmt.Printf("  %s\n", line)
 			}
 		}

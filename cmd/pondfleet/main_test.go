@@ -43,6 +43,17 @@ func TestValidateFlags(t *testing.T) {
 			f.retrainEvery = 500
 			f.modelScope = "fleet"
 		}, ""},
+		{"elastic", func(f *flags) { f.elastic = true }, ""},
+		{"elastic-knobs", func(f *flags) {
+			f.elastic = true
+			f.planEvery = 200
+			f.targetQoS = 0.02
+		}, ""},
+		{"elastic-with-fleet-scope", func(f *flags) {
+			f.elastic = true
+			f.retrainEvery = 500
+			f.modelScope = "fleet"
+		}, ""},
 
 		{"negative-workers", func(f *flags) { f.workers = -1 }, "-workers"},
 		{"zero-seed", func(f *flags) { f.seed = 0 }, "-seed"},
@@ -85,6 +96,28 @@ func TestValidateFlags(t *testing.T) {
 			f.modelScope = "fleet"
 			f.bake = -1
 		}, "-bake"},
+		{"plan-every-without-elastic", func(f *flags) { f.planEvery = 200 }, "-plan-every"},
+		{"target-qos-without-elastic", func(f *flags) { f.targetQoS = 0.02 }, "-target-qos"},
+		{"plan-every-negative", func(f *flags) {
+			f.elastic = true
+			f.planEvery = -1
+		}, "-plan-every"},
+		{"plan-every-nan", func(f *flags) {
+			f.elastic = true
+			f.planEvery = nan()
+		}, "-plan-every"},
+		{"plan-every-beyond-horizon", func(f *flags) {
+			f.elastic = true
+			f.planEvery = 1000
+		}, "-plan-every"},
+		{"target-qos-too-big", func(f *flags) {
+			f.elastic = true
+			f.targetQoS = 1
+		}, "-target-qos"},
+		{"target-qos-nan", func(f *flags) {
+			f.elastic = true
+			f.targetQoS = nan()
+		}, "-target-qos"},
 		{"margin-too-big", func(f *flags) { f.promoteMargin = 1 }, "-promote-margin"},
 		{"margin-nan", func(f *flags) { f.promoteMargin = nan() }, "-promote-margin"},
 		{"negative-holdout", func(f *flags) { f.holdout = -1 }, "-holdout"},

@@ -76,6 +76,21 @@ type FleetOpts struct {
 	// the report (see FleetReport.ModelsJSON).
 	CaptureModels bool
 
+	// ElasticPool closes the capacity loop: at every PlanEverySec
+	// barrier each cell re-plans its pool size from the demand observed
+	// since the previous barrier and grows or shrinks the EMCs through
+	// the Pool Manager's elastic APIs. Shrinks retire only free slices —
+	// live VMs are never stranded — and the planning decisions land in
+	// the deterministic event log (see FleetReport.PlanHistory).
+	ElasticPool bool
+	// PlanEverySec is the planning-barrier cadence in simulated seconds
+	// (0 = an eighth of the horizon). Elastic pool only.
+	PlanEverySec float64
+	// TargetQoS is the tolerated fraction of time pool demand may exceed
+	// capacity, the controller's sizing target (0 = default 0.01).
+	// Elastic pool only.
+	TargetQoS float64
+
 	// Workers bounds the engine worker pool; <= 0 means GOMAXPROCS.
 	// Results are byte-identical for every worker count.
 	Workers int
@@ -106,6 +121,19 @@ type FleetReport struct {
 	AvgStrandedGB  float64
 	PeakPoolUsedGB float64
 	PoolShare      float64
+
+	// Capacity loop (meaningful when ElasticPool or a resize injection
+	// ran). FinalPoolGB sums the cells' active pool capacity at run end;
+	// DRAMSavedGB is the fleet's time-averaged capacity below static
+	// provisioning — the Pond §7 savings metric, negative if the pool
+	// grew past the static size; Fallbacks counts pool-exhaustion
+	// downgrades to all-local placements.
+	FinalPoolGB int
+	DRAMSavedGB float64
+	Fallbacks   int
+	// PlanHistory lists every planning-barrier decision in cell order,
+	// rendered one per line. Byte-identical for any worker count.
+	PlanHistory []string
 
 	// ModelScope echoes the retraining scope that ran ("cell" or
 	// "fleet").
@@ -181,6 +209,9 @@ func RunFleet(ctx context.Context, opts FleetOpts) (*FleetReport, error) {
 		HoldoutWindow:   opts.HoldoutWindow,
 		MinTrainRows:    opts.MinTrainRows,
 		CaptureModels:   opts.CaptureModels,
+		ElasticPool:     opts.ElasticPool,
+		PlanEverySec:    opts.PlanEverySec,
+		TargetQoS:       opts.TargetQoS,
 		Workers:         opts.Workers,
 		Seed:            opts.Seed,
 	})
@@ -194,6 +225,10 @@ func RunFleet(ctx context.Context, opts FleetOpts) (*FleetReport, error) {
 	rollout := make([]string, 0, len(rep.Rollout))
 	for _, e := range rep.Rollout {
 		rollout = append(rollout, fmt.Sprintf("[fleet t=%.3f] %s", e.AtSec, e))
+	}
+	plans := make([]string, 0, len(rep.PlanHistory))
+	for _, e := range rep.PlanHistory {
+		plans = append(plans, fmt.Sprintf("[c%d t=%.3f] %s", e.Cell, e.AtSec, e))
 	}
 	return &FleetReport{
 		Topology:         rep.Options.Topology,
@@ -210,6 +245,10 @@ func RunFleet(ctx context.Context, opts FleetOpts) (*FleetReport, error) {
 		AvgStrandedGB:    rep.AvgStrandedGB,
 		PeakPoolUsedGB:   rep.PeakPoolUsedGB,
 		PoolShare:        rep.PoolShare,
+		FinalPoolGB:      rep.FinalPoolGB,
+		DRAMSavedGB:      rep.DRAMSavedGB,
+		Fallbacks:        rep.Fallbacks,
+		PlanHistory:      plans,
 		ModelScope:       rep.Options.ModelScope,
 		Retrains:         rep.Retrains,
 		Promotions:       rep.Promotions,

@@ -1,0 +1,204 @@
+package capacity
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDemandQuantileAndOverflow(t *testing.T) {
+	d := NewDemand()
+	// 90 s at 10 GB, 9 s at 50 GB, 1 s at 100 GB.
+	d.Observe(90, 10)
+	d.Observe(9, 50)
+	d.Observe(1, 100)
+
+	if got := d.PeakGB(); got != 100 {
+		t.Fatalf("peak = %d, want 100", got)
+	}
+	if got := d.TotalSec(); got != 100 {
+		t.Fatalf("total = %g, want 100", got)
+	}
+	if got := d.QuantileGB(0.90); got != 10 {
+		t.Fatalf("q90 = %d, want 10", got)
+	}
+	if got := d.QuantileGB(0.99); got != 50 {
+		t.Fatalf("q99 = %d, want 50", got)
+	}
+	if got := d.QuantileGB(1); got != 100 {
+		t.Fatalf("q100 = %d, want 100", got)
+	}
+	if got := d.OverflowFrac(10); got != 0.10 {
+		t.Fatalf("overflow(10) = %g, want 0.10", got)
+	}
+	if got := d.OverflowFrac(50); got != 0.01 {
+		t.Fatalf("overflow(50) = %g, want 0.01", got)
+	}
+	if got := d.OverflowFrac(100); got != 0 {
+		t.Fatalf("overflow(100) = %g, want 0", got)
+	}
+}
+
+func TestDemandEmptyAndReset(t *testing.T) {
+	d := NewDemand()
+	if d.QuantileGB(0.99) != 0 || d.OverflowFrac(0) != 0 || d.PeakGB() != 0 {
+		t.Fatal("empty distribution must read as zero")
+	}
+	d.Observe(10, 42)
+	d.Reset()
+	if d.TotalSec() != 0 || d.PeakGB() != 0 || d.QuantileGB(0.5) != 0 {
+		t.Fatal("Reset did not clear the distribution")
+	}
+}
+
+func TestDemandMerge(t *testing.T) {
+	a, b := NewDemand(), NewDemand()
+	a.Observe(50, 10)
+	b.Observe(50, 30)
+	a.Merge(b)
+	if a.TotalSec() != 100 || a.PeakGB() != 30 {
+		t.Fatalf("merge: total=%g peak=%d", a.TotalSec(), a.PeakGB())
+	}
+	if got := a.QuantileGB(0.5); got != 10 {
+		t.Fatalf("merged q50 = %d, want 10", got)
+	}
+}
+
+func TestControllerShrinksIdleAndGrowsOnFallbacks(t *testing.T) {
+	ctrl := NewController(ControllerConfig{TargetQoS: 0.01, SliceGB: 1, MinPoolGB: 4})
+
+	// Idle epoch at a fat pool: shrink toward quantile + headroom.
+	epoch := NewDemand()
+	epoch.Observe(100, 16)
+	target := ctrl.Target(epoch, 0, 0, 0, 512)
+	if target >= 512 {
+		t.Fatalf("idle epoch did not shrink: target %d", target)
+	}
+	if target < 16 {
+		t.Fatalf("target %d below observed demand 16", target)
+	}
+
+	// Fallbacks force growth beyond the current (censored) capacity.
+	grown := ctrl.Target(epoch, 0, 3, 0, 32)
+	if grown <= 32 {
+		t.Fatalf("fallbacks did not grow the pool: target %d", grown)
+	}
+
+	// A known attempted draw jumps the pool straight past it instead of
+	// crawling up by the multiplicative backstop.
+	jumped := ctrl.Target(epoch, 0, 1, 90, 32)
+	if jumped <= 90 {
+		t.Fatalf("attempted draw of 90 did not lift the target past it: %d", jumped)
+	}
+
+	// The assigned floor wins over the demand read.
+	floored := ctrl.Target(epoch, 200, 0, 0, 512)
+	if floored < 200 {
+		t.Fatalf("target %d below assigned floor 200", floored)
+	}
+
+	// Empty epochs keep the current size.
+	if got := ctrl.Target(NewDemand(), 0, 0, 0, 64); got != 64 {
+		t.Fatalf("empty epoch changed the target to %d", got)
+	}
+
+	// MinPoolGB is respected even when demand reads zero.
+	quiet := NewDemand()
+	quiet.Observe(100, 0)
+	if got := ctrl.Target(quiet, 0, 0, 0, 64); got < 4 {
+		t.Fatalf("target %d fell below the 4 GB floor", got)
+	}
+}
+
+func TestPlanWaterfallChoosesMinimalMeetingConfig(t *testing.T) {
+	// Two cells: one peaks at 40 GB briefly, one stays at 20 GB.
+	hot, cold := NewDemand(), NewDemand()
+	hot.Observe(990, 20)
+	hot.Observe(10, 40) // 1% of time at 40
+	cold.Observe(1000, 20)
+
+	p := PlanWaterfall("flat", 128, []*Demand{hot, cold}, PlanConfig{TargetQoS: 0.02, SliceGB: 1, MinPoolGB: 4})
+	// q98 of the hot cell is 20 GB; chosen = 20 + 1 slice headroom.
+	if p.ChosenGB != 21 {
+		t.Fatalf("chosen = %d, want 21", p.ChosenGB)
+	}
+	if p.SavedGBPerCell != 128-21 || p.FleetSavedGB != 2*(128-21) {
+		t.Fatalf("savings: per-cell %d fleet %d", p.SavedGBPerCell, p.FleetSavedGB)
+	}
+	// The waterfall is descending, includes the chosen size, and its
+	// overflow column is monotonically non-decreasing as pools shrink.
+	sawChosen := false
+	for i, c := range p.Candidates {
+		if c.PoolGB == p.ChosenGB {
+			sawChosen = true
+			if !c.Meets {
+				t.Fatalf("chosen candidate %d marked as not meeting the target", c.PoolGB)
+			}
+		}
+		if i > 0 {
+			if c.PoolGB >= p.Candidates[i-1].PoolGB {
+				t.Fatalf("waterfall not descending at row %d", i)
+			}
+			if c.OverflowFrac < p.Candidates[i-1].OverflowFrac {
+				t.Fatalf("overflow not monotone at row %d", i)
+			}
+		}
+	}
+	if !sawChosen {
+		t.Fatalf("waterfall omits the chosen size %d: %+v", p.ChosenGB, p.Candidates)
+	}
+	if !strings.Contains(p.Table(), "chosen: 21GB/cell") {
+		t.Fatalf("table missing the chosen line:\n%s", p.Table())
+	}
+}
+
+func TestPlanWaterfallDemandAboveStatic(t *testing.T) {
+	// Demand above the static pool: savings go negative, never panic.
+	hot := NewDemand()
+	hot.Observe(1000, 96)
+	p := PlanWaterfall("flat", 64, []*Demand{hot}, PlanConfig{TargetQoS: 0.01, SliceGB: 1})
+	if p.ChosenGB <= 96 {
+		t.Fatalf("chosen %d does not cover demand 96", p.ChosenGB)
+	}
+	if p.SavedGBPerCell >= 0 {
+		t.Fatalf("expected negative savings, got %d", p.SavedGBPerCell)
+	}
+}
+
+func TestPlanEventString(t *testing.T) {
+	e := PlanEvent{Cell: 2, AtSec: 100, PoolGB: 64, TargetGB: 24, NewPoolGB: 24,
+		PeakGB: 18, QGB: 16, ShrunkGB: 40}
+	want := "plan pool=64 peak=18 q=16 target=24 grow=0 shrink=40 new-pool=24 fallbacks=0"
+	if e.String() != want {
+		t.Fatalf("String() = %q, want %q", e.String(), want)
+	}
+	e.Fallbacks, e.AttemptedGB = 2, 30
+	if got := e.String(); !strings.Contains(got, "fallbacks=2 attempted=30") {
+		t.Fatalf("String() = %q, want the attempted draw rendered", got)
+	}
+}
+
+func TestSyntheticPlanResizes(t *testing.T) {
+	s := SyntheticPlan(2, 8, 16, 1)
+	if s.Plans != 16 {
+		t.Fatalf("plans = %d, want 16", s.Plans)
+	}
+	if s.Grows == 0 || s.Shrinks == 0 {
+		t.Fatalf("synthetic wave never exercised both directions: %+v", s)
+	}
+	if s.FinalPoolGB <= 0 {
+		t.Fatalf("final pool %d", s.FinalPoolGB)
+	}
+	// Deterministic for a fixed seed.
+	if again := SyntheticPlan(2, 8, 16, 1); again != s {
+		t.Fatalf("synthetic plan not deterministic: %+v vs %+v", again, s)
+	}
+}
+
+func BenchmarkPlanLoop(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s := SyntheticPlan(4, 16, 32, 1); s.Plans == 0 {
+			b.Fatal("synthetic plan did nothing")
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package capacity
+
+import "fmt"
+
+// ControllerConfig tunes the online elastic-pool controller. Zero fields
+// take defaults.
+type ControllerConfig struct {
+	// TargetQoS is the tolerated fraction of epoch time pool demand may
+	// exceed capacity. Default 0.01.
+	TargetQoS float64
+	// SliceGB is the resize granularity. Default 1.
+	SliceGB int
+	// MinPoolGB is the floor the controller never shrinks below (keep at
+	// least one slice per EMC so no topology pod goes dark). Default
+	// SliceGB.
+	MinPoolGB int
+	// HeadroomFrac is the slack provisioned above the demand quantile —
+	// the paper's buffer of unallocated pool memory that keeps VM starts
+	// from ever waiting on offlining (Finding 10). Default 0.25.
+	HeadroomFrac float64
+	// GrowBoostFrac is the multiplicative growth applied when the pool
+	// ran dry during the epoch (scheduler fallbacks observed): measured
+	// demand is censored at capacity, so the controller over-grows and
+	// lets the next epoch's telemetry settle the size. Default 0.5.
+	GrowBoostFrac float64
+}
+
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.TargetQoS <= 0 {
+		c.TargetQoS = 0.01
+	}
+	if c.SliceGB <= 0 {
+		c.SliceGB = 1
+	}
+	if c.MinPoolGB <= 0 {
+		c.MinPoolGB = c.SliceGB
+	}
+	if c.HeadroomFrac <= 0 {
+		c.HeadroomFrac = 0.25
+	}
+	if c.GrowBoostFrac <= 0 {
+		c.GrowBoostFrac = 0.5
+	}
+	return c
+}
+
+// Controller is the online half of the capacity loop: at every planning
+// barrier it turns one epoch of demand telemetry into a pool-size target
+// the Pool Manager grows or shrinks toward. It is pure arithmetic —
+// deterministic for identical telemetry — and per cell: each pool group
+// plans against its own demand.
+type Controller struct {
+	cfg ControllerConfig
+}
+
+// NewController builds a controller with defaults applied.
+func NewController(cfg ControllerConfig) *Controller {
+	return &Controller{cfg: cfg.withDefaults()}
+}
+
+// Target computes the next-epoch pool size from the last epoch's demand
+// distribution. assignedGB is capacity currently held by hosts or
+// draining (the shrink floor); fallbacks counts pool-exhaustion
+// downgrades during the epoch and attemptedGB the largest pool draw that
+// *wanted* to happen (in-use plus the failed request) — the censoring
+// signals that demand exceeded what the pool could show; curGB is the
+// current pool size. An epoch with no time mass keeps the current size
+// (nothing was learned).
+func (c *Controller) Target(epoch *Demand, assignedGB, fallbacks, attemptedGB, curGB int) int {
+	if epoch == nil || epoch.TotalSec() <= 0 {
+		return curGB
+	}
+	q := epoch.QuantileGB(1 - c.cfg.TargetQoS)
+	head := int(float64(q)*c.cfg.HeadroomFrac + 0.999999)
+	if head < c.cfg.SliceGB {
+		head = c.cfg.SliceGB
+	}
+	target := q + head
+	if fallbacks > 0 {
+		// The pool ran dry: the epoch's demand reads are capped at
+		// capacity. Jump to the observed attempted draw (plus headroom)
+		// when known; the multiplicative boost is the backstop, so the
+		// pool re-measures from above either way.
+		if censored := attemptedGB + head; censored > target {
+			target = censored
+		}
+		if boosted := curGB + int(float64(curGB)*c.cfg.GrowBoostFrac+0.999999); boosted > target {
+			target = boosted
+		}
+	}
+	if target < assignedGB {
+		target = assignedGB
+	}
+	if target < c.cfg.MinPoolGB {
+		target = c.cfg.MinPoolGB
+	}
+	return alignUp(target, c.cfg.SliceGB)
+}
+
+// PlanEvent records one planning barrier's decision for a cell — the
+// elastic-pool counterpart of the mlops lifecycle events, rendered into
+// the deterministic event log.
+type PlanEvent struct {
+	Cell  int     `json:"cell"`
+	AtSec float64 `json:"at_sec"`
+	// PoolGB is the capacity before the resize, NewPoolGB after it (the
+	// shrink path can fall short of TargetGB when capacity is assigned
+	// or draining).
+	PoolGB, TargetGB, NewPoolGB int
+	// PeakGB and QGB summarize the epoch's demand (peak and the
+	// provisioning quantile).
+	PeakGB, QGB int
+	// Fallbacks counts the epoch's pool-exhaustion downgrades;
+	// AttemptedGB is the largest pool draw that wanted to happen during
+	// one (in-use plus the failed request).
+	Fallbacks   int
+	AttemptedGB int
+	// GrewGB and ShrunkGB are the applied resize.
+	GrewGB, ShrunkGB int
+}
+
+// String renders the event as one deterministic log line (no time or
+// cell prefix; the fleet loop adds its own).
+func (e PlanEvent) String() string {
+	s := fmt.Sprintf("plan pool=%d peak=%d q=%d target=%d grow=%d shrink=%d new-pool=%d fallbacks=%d",
+		e.PoolGB, e.PeakGB, e.QGB, e.TargetGB, e.GrewGB, e.ShrunkGB, e.NewPoolGB, e.Fallbacks)
+	if e.Fallbacks > 0 {
+		s += fmt.Sprintf(" attempted=%d", e.AttemptedGB)
+	}
+	return s
+}

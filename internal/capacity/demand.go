@@ -1,0 +1,125 @@
+// Package capacity closes Pond's provisioning loop: from observed fleet
+// telemetry to DRAM savings. The paper's headline result (§7) is that a
+// pool sized against the cluster's *observed* demand — untouched memory,
+// stranding, and the time-multiplexed pool draw — needs 7-9% less DRAM
+// than static per-host provisioning; Aquifer-style production studies
+// put 25-35% of fleet memory in the strandable band. This package
+// supplies both halves of the loop:
+//
+//   - an offline planner (PlanWaterfall) that turns per-cell pool-demand
+//     distributions into a DRAM-savings waterfall across candidate pool
+//     sizes and picks the minimal configuration meeting a QoS target;
+//   - an online controller (Controller) that re-plans each cell's pool
+//     at fixed barriers and emits grow/shrink targets the Pool Manager
+//     applies mid-run — the elastic-pool control plane of the fleet
+//     simulator.
+//
+// Everything is plain arithmetic over deterministic inputs: the same
+// telemetry always yields the same plan, which is what lets the fleet's
+// event log stay byte-identical across worker counts.
+package capacity
+
+// Demand is a time-weighted distribution of pool memory in use, bucketed
+// at 1 GB granularity: secAt[g] is the simulated time spent with exactly
+// g GB drawn from the pool. It is the planner's core telemetry input —
+// peak and percentile pool demand fall out of it directly.
+type Demand struct {
+	secAt    []float64
+	peakGB   int
+	totalSec float64
+}
+
+// NewDemand returns an empty distribution.
+func NewDemand() *Demand { return &Demand{} }
+
+// Observe accumulates dt seconds at the given pool draw. Fractional GB
+// round to the nearest bucket (pool grants are whole slices, so real
+// draws are already integral).
+func (d *Demand) Observe(dt, gb float64) {
+	if dt <= 0 {
+		return
+	}
+	g := int(gb + 0.5)
+	if g < 0 {
+		g = 0
+	}
+	for len(d.secAt) <= g {
+		d.secAt = append(d.secAt, 0)
+	}
+	d.secAt[g] += dt
+	d.totalSec += dt
+	if g > d.peakGB {
+		d.peakGB = g
+	}
+}
+
+// ObserveSamples folds equally-weighted demand samples (e.g. the hourly
+// pool-demand series of internal/sim's trace replay) into the
+// distribution, one unit of time per sample.
+func (d *Demand) ObserveSamples(samples []float64) {
+	for _, s := range samples {
+		d.Observe(1, s)
+	}
+}
+
+// PeakGB returns the maximum observed pool draw.
+func (d *Demand) PeakGB() int { return d.peakGB }
+
+// TotalSec returns the observed time mass.
+func (d *Demand) TotalSec() float64 { return d.totalSec }
+
+// QuantileGB returns the smallest capacity K with demand <= K for at
+// least fraction q of the observed time (the provisioning quantile of
+// internal/sim, here over the online event stream). An empty
+// distribution returns 0.
+func (d *Demand) QuantileGB(q float64) int {
+	if d.totalSec <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return d.peakGB
+	}
+	need := q * d.totalSec
+	cum := 0.0
+	for g, sec := range d.secAt {
+		cum += sec
+		if cum >= need {
+			return g
+		}
+	}
+	return d.peakGB
+}
+
+// OverflowFrac returns the fraction of observed time demand exceeded gb
+// — the QoS-risk estimate for a candidate pool size: time above the pool
+// is time the scheduler would have fallen back to local allocation or
+// rejected.
+func (d *Demand) OverflowFrac(gb int) float64 {
+	if d.totalSec <= 0 {
+		return 0
+	}
+	over := 0.0
+	for g := gb + 1; g < len(d.secAt); g++ {
+		over += d.secAt[g]
+	}
+	return over / d.totalSec
+}
+
+// Merge folds another distribution into this one.
+func (d *Demand) Merge(o *Demand) {
+	if o == nil {
+		return
+	}
+	for g, sec := range o.secAt {
+		if sec > 0 {
+			d.Observe(sec, float64(g))
+		}
+	}
+}
+
+// Reset clears the distribution (the controller's per-epoch window).
+func (d *Demand) Reset() {
+	d.secAt = d.secAt[:0]
+	d.peakGB = 0
+	d.totalSec = 0
+}

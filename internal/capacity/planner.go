@@ -1,0 +1,183 @@
+package capacity
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlanConfig tunes the offline planner. Zero fields take defaults.
+type PlanConfig struct {
+	// TargetQoS is the tolerated fraction of time pool demand may exceed
+	// the provisioned pool (demand above it falls back to local
+	// allocation, §4.3). Default 0.01.
+	TargetQoS float64
+	// SliceGB is the provisioning granularity (the EMC slice size).
+	// Default 1.
+	SliceGB int
+	// MinPoolGB is the smallest admissible pool (e.g. one slice per EMC
+	// so no device goes empty). Default SliceGB.
+	MinPoolGB int
+	// Steps is the number of waterfall rows between the static pool and
+	// MinPoolGB. Default 8.
+	Steps int
+}
+
+func (c PlanConfig) withDefaults() PlanConfig {
+	if c.TargetQoS <= 0 {
+		c.TargetQoS = 0.01
+	}
+	if c.SliceGB <= 0 {
+		c.SliceGB = 1
+	}
+	if c.MinPoolGB <= 0 {
+		c.MinPoolGB = c.SliceGB
+	}
+	if c.Steps <= 0 {
+		c.Steps = 8
+	}
+	return c
+}
+
+// Candidate is one row of the DRAM-savings waterfall: a candidate
+// per-cell pool size with its QoS risk and savings versus the static
+// provisioning.
+type Candidate struct {
+	PoolGB int
+	// OverflowFrac is the worst cell's fraction of time demand exceeded
+	// this pool size (the conservative QoS-risk estimate).
+	OverflowFrac float64
+	// SavedGB is the per-cell DRAM saved versus the static pool.
+	SavedGB int
+	// SavedPct is SavedGB relative to the static pool.
+	SavedPct float64
+	// Meets reports whether OverflowFrac is within the QoS target.
+	Meets bool
+}
+
+// Plan is the planner's outcome for one topology: the savings waterfall
+// and the chosen minimal configuration.
+type Plan struct {
+	Topology     string
+	Cells        int
+	StaticPoolGB int
+	TargetQoS    float64
+	// Candidates is the waterfall, descending pool size.
+	Candidates []Candidate
+	// ChosenGB is the minimal per-cell pool meeting the target across
+	// every cell, aligned up to the slice granularity and clamped to
+	// MinPoolGB.
+	ChosenGB int
+	// SavedGBPerCell and FleetSavedGB are the DRAM savings of the chosen
+	// configuration (negative if demand outgrew the static pool).
+	SavedGBPerCell int
+	FleetSavedGB   int
+}
+
+// PlanWaterfall computes the DRAM-savings waterfall for one topology
+// from per-cell pool-demand distributions observed at the static pool
+// size. Candidate sizes step down from the static pool to the floor;
+// each row's QoS risk is the worst cell's overflow fraction, so a
+// configuration "meets" the target only if every cell does. The chosen
+// size is exact — the worst cell's demand quantile at 1-TargetQoS plus
+// one slice of headroom — not merely the smallest passing row.
+func PlanWaterfall(topology string, staticPoolGB int, cells []*Demand, cfg PlanConfig) Plan {
+	cfg = cfg.withDefaults()
+	p := Plan{
+		Topology:     topology,
+		Cells:        len(cells),
+		StaticPoolGB: staticPoolGB,
+		TargetQoS:    cfg.TargetQoS,
+	}
+
+	// Exact minimal size: every cell's 1-TargetQoS demand quantile must
+	// fit, plus one slice so the paper's never-wait buffer survives.
+	required := 0
+	for _, d := range cells {
+		if q := d.QuantileGB(1 - cfg.TargetQoS); q > required {
+			required = q
+		}
+	}
+	required += cfg.SliceGB
+	p.ChosenGB = alignUp(required, cfg.SliceGB)
+	if p.ChosenGB < cfg.MinPoolGB {
+		p.ChosenGB = cfg.MinPoolGB
+	}
+	p.SavedGBPerCell = staticPoolGB - p.ChosenGB
+	p.FleetSavedGB = p.SavedGBPerCell * len(cells)
+
+	// Waterfall rows: static down to the floor in Steps even steps, the
+	// chosen size spliced in so the table always shows the selection.
+	step := alignUp((staticPoolGB-cfg.MinPoolGB+cfg.Steps-1)/cfg.Steps, cfg.SliceGB)
+	if step < cfg.SliceGB {
+		step = cfg.SliceGB
+	}
+	sizes := []int{}
+	for gb := staticPoolGB; gb > cfg.MinPoolGB; gb -= step {
+		sizes = append(sizes, gb)
+	}
+	sizes = append(sizes, cfg.MinPoolGB)
+	if p.ChosenGB <= staticPoolGB {
+		sizes = insertSorted(sizes, p.ChosenGB)
+	}
+	for _, gb := range sizes {
+		worst := 0.0
+		for _, d := range cells {
+			if f := d.OverflowFrac(gb); f > worst {
+				worst = f
+			}
+		}
+		p.Candidates = append(p.Candidates, Candidate{
+			PoolGB:       gb,
+			OverflowFrac: worst,
+			SavedGB:      staticPoolGB - gb,
+			SavedPct:     100 * float64(staticPoolGB-gb) / float64(max(staticPoolGB, 1)),
+			Meets:        worst <= cfg.TargetQoS,
+		})
+	}
+	return p
+}
+
+// Table renders the Pond-style savings table: one row per candidate,
+// the chosen configuration marked.
+func (p Plan) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "capacity plan: topology=%s cells=%d static-pool=%dGB/cell target-qos=%.2f%%\n",
+		p.Topology, p.Cells, p.StaticPoolGB, 100*p.TargetQoS)
+	fmt.Fprintf(&b, "  %8s %10s %10s %8s %6s\n", "pool-GB", "overflow%", "saved-GB", "saved%", "meets")
+	for _, c := range p.Candidates {
+		mark := " "
+		if c.PoolGB == p.ChosenGB {
+			mark = "*"
+		}
+		meets := "no"
+		if c.Meets {
+			meets = "yes"
+		}
+		fmt.Fprintf(&b, "  %7d%s %10.2f %10d %7.1f%% %6s\n",
+			c.PoolGB, mark, 100*c.OverflowFrac, c.SavedGB, c.SavedPct, meets)
+	}
+	fmt.Fprintf(&b, "  chosen: %dGB/cell -> fleet DRAM saved %dGB (%.1f%% of the pool)",
+		p.ChosenGB, p.FleetSavedGB, 100*float64(p.SavedGBPerCell)/float64(max(p.StaticPoolGB, 1)))
+	return b.String()
+}
+
+// alignUp rounds n up to a multiple of step.
+func alignUp(n, step int) int {
+	if step <= 1 {
+		return n
+	}
+	return (n + step - 1) / step * step
+}
+
+// insertSorted splices v into a descending size list, deduplicating.
+func insertSorted(sizes []int, v int) []int {
+	for i, s := range sizes {
+		if s == v {
+			return sizes
+		}
+		if s < v {
+			return append(sizes[:i], append([]int{v}, sizes[i:]...)...)
+		}
+	}
+	return append(sizes, v)
+}

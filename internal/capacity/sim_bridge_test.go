@@ -1,0 +1,75 @@
+package capacity
+
+import (
+	"testing"
+
+	"pond/internal/cluster"
+	"pond/internal/sim"
+	"pond/internal/stats"
+)
+
+// TestPlanWaterfallFromSimTraceDemand is the offline bridge the planner
+// documents: a trace replay's per-group pool-demand profile
+// (sim.PoolDemand) folds into Demand via ObserveSamples and drives the
+// savings waterfall — the §7 provisioning argument without the online
+// fleet loop.
+func TestPlanWaterfallFromSimTraceDemand(t *testing.T) {
+	gen := cluster.DefaultGenConfig()
+	gen.Days = 2
+	gen.ServersPerCluster = 8
+	tr := cluster.GenerateCluster(gen, 0, stats.NewRand(1))
+	s := sim.BuildSchedule(&tr)
+
+	groups, poolShare := sim.PoolDemand(s, 16, sim.UniformPlan(len(tr.VMs), 0.3))
+	if len(groups) == 0 {
+		t.Fatal("trace replay produced no pool groups")
+	}
+	if !(poolShare > 0 && poolShare <= 0.3+1e-9) {
+		t.Fatalf("pool share %g outside (0, 0.3]", poolShare)
+	}
+
+	demands := make([]*Demand, 0, len(groups))
+	static := 0
+	for _, g := range groups {
+		d := NewDemand()
+		d.ObserveSamples(g.Samples)
+		demands = append(demands, d)
+		if int(g.PeakGB) > static {
+			static = int(g.PeakGB)
+		}
+		if g.PeakGB > 0 && d.PeakGB() == 0 && len(g.Samples) > 0 {
+			// A sampled peak below the true peak is fine (samples are
+			// hourly), but a non-empty profile must not read as empty.
+			nonZero := false
+			for _, v := range g.Samples {
+				if v > 0 {
+					nonZero = true
+					break
+				}
+			}
+			if nonZero {
+				t.Fatal("ObserveSamples dropped a non-zero demand profile")
+			}
+		}
+	}
+	// Provision the waterfall against double the worst observed peak —
+	// the oversized-SKU baseline right-sizing shrinks from.
+	static *= 2
+	if static == 0 {
+		t.Fatal("degenerate trace: no pool demand at all")
+	}
+	plan := PlanWaterfall("flat", static, demands, PlanConfig{TargetQoS: 0.01})
+	if plan.ChosenGB <= 0 || plan.ChosenGB > static {
+		t.Fatalf("chosen %d GB outside (0, %d]", plan.ChosenGB, static)
+	}
+	if plan.SavedGBPerCell <= 0 {
+		t.Fatalf("right-sizing a 2x-peak baseline saved nothing: %+v", plan)
+	}
+	// The chosen size must actually meet the target on the folded
+	// demand: every group's overflow at ChosenGB within TargetQoS.
+	for i, d := range demands {
+		if f := d.OverflowFrac(plan.ChosenGB); f > 0.01 {
+			t.Fatalf("group %d overflows the chosen pool %.2f%% of the time", i, 100*f)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package capacity
+
+import (
+	"fmt"
+
+	"pond/internal/emc"
+	"pond/internal/pool"
+	"pond/internal/stats"
+)
+
+// Summary tallies a synthetic planning run.
+type Summary struct {
+	Plans, Grows, Shrinks int
+	GrownGB, ShrunkGB     int
+	FinalPoolGB           int
+}
+
+// SyntheticPlan drives the elastic-capacity hot path — demand
+// accumulation, controller targeting, and Pool Manager grow/shrink
+// against real EMC devices — through barriers planning rounds per cell,
+// with samplesPerBarrier demand observations between rounds following a
+// deterministic wave (so every round actually resizes). BenchmarkPlanLoop
+// and the CI benchmark gate time exactly this; the work is fixed for a
+// given (cells, barriers, samplesPerBarrier, seed).
+func SyntheticPlan(cells, barriers, samplesPerBarrier int, seed int64) Summary {
+	const (
+		emcsPerCell = 4
+		perEMCGB    = 32
+	)
+	var sum Summary
+	for c := 0; c < cells; c++ {
+		r := stats.NewRand(stats.ShardSeed(seed, c))
+		devs := make([]*emc.Device, emcsPerCell)
+		for i := range devs {
+			devs[i] = emc.NewDevice(fmt.Sprintf("p%d-emc%d", c, i), perEMCGB, 4)
+		}
+		m := pool.NewManager(devs, r.Fork(1))
+		ctrl := NewController(ControllerConfig{SliceGB: emc.SliceGB, MinPoolGB: emcsPerCell})
+		static := m.PoolGB()
+		epoch := NewDemand()
+		rs := r.Fork(2)
+		now := 0.0
+		for b := 1; b <= barriers; b++ {
+			// Demand wave: alternating low/high epochs with jitter, so the
+			// controller shrinks and grows on every other round.
+			level := float64(static) * 0.15
+			if b%2 == 0 {
+				level = float64(static) * 0.6
+			}
+			for i := 0; i < samplesPerBarrier; i++ {
+				now += 1
+				epoch.Observe(1, level+rs.Bounded(-4, 4))
+			}
+			cur := m.PoolGB()
+			target := ctrl.Target(epoch, m.AssignedGB(now), 0, 0, cur)
+			switch {
+			case target > cur:
+				sum.Grows++
+				sum.GrownGB += m.Grow(target - cur)
+			case target < cur:
+				sum.Shrinks++
+				sum.ShrunkGB += m.Shrink(cur-target, now)
+			}
+			sum.Plans++
+			epoch.Reset()
+		}
+		sum.FinalPoolGB += m.PoolGB()
+	}
+	return sum
+}

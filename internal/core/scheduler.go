@@ -28,6 +28,11 @@ type ClusterScheduler struct {
 	// drained marks hosts excluded from new placements (maintenance
 	// drain): resident VMs keep running but arrivals route elsewhere.
 	drained []bool
+
+	// fallbacks counts pool-heavy decisions downgraded to all-local
+	// because the pool had no reachable capacity — the censoring signal
+	// the elastic-pool controller reads as "demand exceeded capacity".
+	fallbacks int64
 }
 
 // ErrNoHost is returned when no host fits the VM.
@@ -148,9 +153,17 @@ func (cs *ClusterScheduler) Place(vm cluster.VMRequest, d Decision, now float64)
 		add, err := cs.manager.AddCapacity(emc.HostID(res.HostIndex), int(poolGB), now)
 		if err != nil {
 			// Pool exhausted: fall back to all-local (§4.3). The host
-			// chosen above may lack the extra local memory; re-select.
+			// chosen above may lack the extra local memory; re-select —
+			// and keep the fallback flag on the recursive result, so
+			// callers (the QoS record, the capacity controller's
+			// censored-demand signal) see this placement for what it is.
+			cs.fallbacks++
 			if cs.hosts[res.HostIndex].FreeLocalGB() < vm.Type.MemoryGB {
-				return cs.Place(vm, Decision{Kind: AllLocal, LocalGB: vm.Type.MemoryGB}, now)
+				r, rerr := cs.Place(vm, Decision{Kind: AllLocal, LocalGB: vm.Type.MemoryGB}, now)
+				if rerr == nil {
+					r.FellBackToLocal = true
+				}
+				return r, rerr
 			}
 			localGB, poolGB = vm.Type.MemoryGB, 0
 			res.FellBackToLocal = true
@@ -175,6 +188,10 @@ func (cs *ClusterScheduler) Place(vm cluster.VMRequest, d Decision, now float64)
 	res.Placement = p
 	return res, nil
 }
+
+// Fallbacks returns how many placements were downgraded from a pool
+// split to all-local because the pool had no reachable capacity.
+func (cs *ClusterScheduler) Fallbacks() int64 { return cs.fallbacks }
 
 // Release stops a VM on the given host, returning its pool slices to the
 // manager for asynchronous offline.

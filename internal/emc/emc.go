@@ -30,6 +30,13 @@ type HostID int
 // Unowned marks a slice that belongs to the free pool.
 const Unowned HostID = -1
 
+// Retired marks a slice decommissioned by an elastic-pool shrink: it is
+// not assignable, serves no accesses, and does not count toward
+// capacity. Slice IDs stay stable across retire/grow cycles so in-flight
+// SliceRefs never dangle; a later Grow re-activates retired slices
+// before minting new ones.
+const Retired HostID = -2
+
 // SliceID indexes a 1 GB slice within one EMC.
 type SliceID int
 
@@ -93,11 +100,27 @@ func (d *Device) Name() string { return d.name }
 // Heads returns the number of CXL ports (connectable hosts).
 func (d *Device) Heads() int { return d.heads }
 
-// CapacityGB returns total device capacity.
-func (d *Device) CapacityGB() int { return len(d.owner) * SliceGB }
+// CapacityGB returns the device's active capacity: physical slices minus
+// the ones retired by an elastic-pool shrink.
+func (d *Device) CapacityGB() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, o := range d.owner {
+		if o != Retired {
+			n++
+		}
+	}
+	return n * SliceGB
+}
 
-// Slices returns the number of slices.
-func (d *Device) Slices() int { return len(d.owner) }
+// Slices returns the number of physical slices, retired ones included —
+// the ID space, not the active capacity.
+func (d *Device) Slices() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.owner)
+}
 
 // validHost checks that h is one of the device's heads.
 func (d *Device) validHost(h HostID) error {
@@ -130,6 +153,8 @@ func (d *Device) Assign(s SliceID, h HostID) error {
 		d.owner[s] = h
 		d.assignments++
 		return nil
+	case Retired:
+		return fmt.Errorf("emc %s: slice %d is retired", d.name, s)
 	default:
 		return fmt.Errorf("%w: slice %d owned by host %d", ErrSliceBusy, s, d.owner[s])
 	}
@@ -263,6 +288,67 @@ func (d *Device) ForceReleaseAll(h HostID) []SliceID {
 	return freed
 }
 
+// Grow adds gb of active capacity: retired slices are re-activated first
+// (lowest IDs first, keeping the ID space compact), then fresh slices are
+// appended. This is the elastic-pool grow path — in hardware terms,
+// re-enabling decommissioned DIMM ranks before installing new ones.
+func (d *Device) Grow(gb int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return ErrDeviceFailed
+	}
+	if gb <= 0 {
+		return fmt.Errorf("emc %s: non-positive grow %d GB", d.name, gb)
+	}
+	need := gb / SliceGB
+	for i := 0; i < len(d.owner) && need > 0; i++ {
+		if d.owner[i] == Retired {
+			d.owner[i] = Unowned
+			need--
+		}
+	}
+	for ; need > 0; need-- {
+		d.owner = append(d.owner, Unowned)
+	}
+	return nil
+}
+
+// Retire decommissions up to n free slices (highest IDs first, so fresh
+// growth is unwound before original capacity) and returns how many were
+// actually retired. Only Unowned slices are eligible: slices assigned to
+// a host — in use or draining through offline — are never revoked, which
+// is what makes an elastic shrink safe for live VMs. A failed device
+// retires nothing (its slices are already gone with it).
+func (d *Device) Retire(n int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed || n <= 0 {
+		return 0
+	}
+	retired := 0
+	for i := len(d.owner) - 1; i >= 0 && retired < n; i-- {
+		if d.owner[i] == Unowned {
+			d.owner[i] = Retired
+			retired++
+		}
+	}
+	return retired
+}
+
+// RetiredSlices returns the number of retired (decommissioned) slices.
+func (d *Device) RetiredSlices() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, o := range d.owner {
+		if o == Retired {
+			n++
+		}
+	}
+	return n
+}
+
 // Fail marks the device failed: every subsequent operation errors, which
 // the host side surfaces as memory loss for exactly the VMs with slices
 // on this EMC.
@@ -273,13 +359,16 @@ func (d *Device) Fail() {
 }
 
 // Recover clears the failure (e.g. after blade replacement); ownership
-// state is reset because DRAM contents did not survive.
+// state is reset because DRAM contents did not survive. Retired slices
+// stay retired — decommissioning is a capacity decision, not a DRAM one.
 func (d *Device) Recover() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.failed = false
 	for i := range d.owner {
-		d.owner[i] = Unowned
+		if d.owner[i] != Retired {
+			d.owner[i] = Unowned
+		}
 	}
 }
 

@@ -413,3 +413,81 @@ func TestFreeSlicesZeroAfterFailure(t *testing.T) {
 		t.Fatalf("recovered device reports %d free slices, want 8", d.FreeSlices())
 	}
 }
+
+func TestGrowAndRetire(t *testing.T) {
+	d := NewDevice("emc0", 8, 4)
+
+	// Retire is capped by the free slices and never touches owned ones.
+	slices, err := d.AssignAny(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Retire(100); got != 5 {
+		t.Fatalf("retired %d, want the 5 free slices", got)
+	}
+	if d.CapacityGB() != 3 || d.FreeSlices() != 0 || d.RetiredSlices() != 5 {
+		t.Fatalf("after retire: cap=%d free=%d retired=%d", d.CapacityGB(), d.FreeSlices(), d.RetiredSlices())
+	}
+	for _, s := range slices {
+		if d.Owner(s) != 1 {
+			t.Fatalf("retire revoked owned slice %d", s)
+		}
+	}
+
+	// Assigning a retired slice is an error, not a silent grant.
+	var retired SliceID = -1
+	for s := SliceID(0); int(s) < d.Slices(); s++ {
+		if d.Owner(s) == Retired {
+			retired = s
+			break
+		}
+	}
+	if retired < 0 {
+		t.Fatal("no retired slice found")
+	}
+	if err := d.Assign(retired, 2); err == nil {
+		t.Fatal("assigning a retired slice should fail")
+	}
+	if err := d.Access(retired, 2); err == nil {
+		t.Fatal("accessing a retired slice should fail")
+	}
+
+	// Grow re-activates retired slices before minting new ones: the
+	// physical slice count is unchanged until the retired pool is spent.
+	if err := d.Grow(3); err != nil {
+		t.Fatal(err)
+	}
+	if d.Slices() != 8 || d.CapacityGB() != 6 || d.RetiredSlices() != 2 {
+		t.Fatalf("after grow 3: physical=%d cap=%d retired=%d", d.Slices(), d.CapacityGB(), d.RetiredSlices())
+	}
+	if err := d.Grow(4); err != nil {
+		t.Fatal(err)
+	}
+	if d.Slices() != 10 || d.CapacityGB() != 10 || d.RetiredSlices() != 0 {
+		t.Fatalf("after grow 4: physical=%d cap=%d retired=%d", d.Slices(), d.CapacityGB(), d.RetiredSlices())
+	}
+
+	// Failed devices neither grow nor retire.
+	d.Fail()
+	if err := d.Grow(1); err == nil {
+		t.Fatal("growing a failed device should fail")
+	}
+	if got := d.Retire(1); got != 0 {
+		t.Fatalf("failed device retired %d slices", got)
+	}
+}
+
+func TestRecoverPreservesRetirement(t *testing.T) {
+	d := NewDevice("emc0", 4, 2)
+	if got := d.Retire(2); got != 2 {
+		t.Fatalf("retired %d", got)
+	}
+	d.Fail()
+	d.Recover()
+	if d.CapacityGB() != 2 || d.RetiredSlices() != 2 {
+		t.Fatalf("recover resurrected retired capacity: cap=%d retired=%d", d.CapacityGB(), d.RetiredSlices())
+	}
+	if d.FreeSlices() != 2 {
+		t.Fatalf("free = %d after recover", d.FreeSlices())
+	}
+}

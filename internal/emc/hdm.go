@@ -17,13 +17,17 @@ type HDMDecoder struct {
 
 // NewHDMDecoder programs a decoder for the device window. All slices
 // start offline, matching "hosts program each EMC's address range but
-// treat them initially as offline".
+// treat them initially as offline". The window spans the *physical*
+// slice ID space — retired slices stay addressable but are never
+// onlined — so a decoder programmed after an elastic shrink can still
+// reach live high-ID slices (capacity is not contiguous once mid-range
+// slices retire).
 func NewHDMDecoder(h HostID, d *Device, baseAddr uint64) *HDMDecoder {
 	return &HDMDecoder{
 		Host:     h,
 		Device:   d.Name(),
 		BaseAddr: baseAddr,
-		SizeGB:   d.CapacityGB(),
+		SizeGB:   d.Slices() * SliceGB,
 		enabled:  make([]bool, d.Slices()),
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"sort"
 	"strings"
 
+	"pond/internal/capacity"
 	"pond/internal/cluster"
 	"pond/internal/core"
 	"pond/internal/cxl"
@@ -126,6 +127,20 @@ type Options struct {
 	// CaptureModels dumps the versioned model snapshots into the report
 	// (per cell under ScopeCell, the release train under ScopeFleet).
 	CaptureModels bool
+
+	// ElasticPool turns on the online capacity controller: at every
+	// PlanEverySec barrier each cell re-plans its pool size from the
+	// demand observed since the previous barrier and grows or shrinks the
+	// EMCs through the Pool Manager's elastic APIs (shrinks retire only
+	// free slices — live VMs are never stranded).
+	ElasticPool bool
+	// PlanEverySec is the planning-barrier cadence (0 means an eighth of
+	// the horizon). Elastic pool only.
+	PlanEverySec float64
+	// TargetQoS is the tolerated fraction of time pool demand may exceed
+	// capacity — the controller's and the offline planner's sizing target
+	// (0 means the 0.01 default). Elastic pool only.
+	TargetQoS float64
 
 	// PDM and TP are the QoS knobs (§5).
 	PDM float64
@@ -255,12 +270,38 @@ func normalize(o Options) (Options, error) {
 	default:
 		return o, fmt.Errorf("fleet: unknown model scope %q (want %s or %s)", o.ModelScope, ScopeCell, ScopeFleet)
 	}
+	if !o.ElasticPool && (o.PlanEverySec != 0 || o.TargetQoS != 0) {
+		// Elastic knobs without the elastic pool are a configuration
+		// mistake, not something to ignore (same discipline as canary/bake
+		// under cell scope).
+		return o, fmt.Errorf("fleet: plan cadence and QoS target require the elastic pool")
+	}
+	if o.ElasticPool {
+		if o.PlanEverySec < 0 || math.IsNaN(o.PlanEverySec) || math.IsInf(o.PlanEverySec, 0) {
+			return o, fmt.Errorf("fleet: plan cadence %gs must be a finite number >= 0", o.PlanEverySec)
+		}
+		if o.PlanEverySec == 0 {
+			o.PlanEverySec = o.DurationSec / 8
+		}
+		if o.PlanEverySec >= o.DurationSec {
+			return o, fmt.Errorf("fleet: plan cadence %gs never fires within the %gs horizon", o.PlanEverySec, o.DurationSec)
+		}
+		if o.TargetQoS == 0 {
+			o.TargetQoS = 0.01
+		}
+		if !(o.TargetQoS > 0 && o.TargetQoS < 1) { // rejects NaN too
+			return o, fmt.Errorf("fleet: QoS target %g must be in (0, 1)", o.TargetQoS)
+		}
+	}
 	if _, err := topo.Build(o.Topology, o.Hosts, o.EMCs, o.PodDegree); err != nil {
 		return o, err
 	}
 	for _, in := range o.Injections {
-		if in.Kind == InjectEMCFail && (in.EMC < 0 || in.EMC >= o.EMCs) {
+		if (in.Kind == InjectEMCFail || in.Kind == InjectResize) && (in.EMC < 0 || in.EMC >= o.EMCs) {
 			return o, fmt.Errorf("fleet: injection %s targets EMC %d of %d", in, in.EMC, o.EMCs)
+		}
+		if in.Kind == InjectResize && (in.Slices == 0 || in.Slices < -MaxResizeSlices || in.Slices > MaxResizeSlices) {
+			return o, fmt.Errorf("fleet: injection %s must resize by a non-zero count of at most %d slices", in, MaxResizeSlices)
 		}
 		if in.Kind == InjectHostDrain && (in.Host < 0 || in.Host >= o.Hosts) {
 			return o, fmt.Errorf("fleet: injection %s targets host %d of %d", in, in.Host, o.Hosts)
@@ -309,6 +350,25 @@ type CellResult struct {
 	// PoolShare is the GB-weighted share of placed memory on the pool.
 	PoolShare float64
 
+	// Capacity loop (the pool stays at the static size unless the
+	// elastic controller or a resize injection ran).
+	//
+	// FinalPoolGB is the cell's active pool capacity at run end;
+	// DRAMSavedGB the time-averaged capacity the cell ran below the
+	// static pool (negative if it grew past it); Fallbacks the
+	// pool-exhaustion downgrades to all-local.
+	FinalPoolGB int
+	DRAMSavedGB float64
+	Fallbacks   int
+	// Plans is the cell's planning-barrier history.
+	Plans []capacity.PlanEvent
+	// Demand is the whole-run time-weighted pool-demand distribution —
+	// the offline planner's (and cmd/pondplan's) telemetry input.
+	Demand *capacity.Demand
+	// UntouchedP50/P90 summarize the cell's observed untouched-memory
+	// outcome distribution (zero without predictions).
+	UntouchedP50, UntouchedP90 float64
+
 	// Model lifecycle (zero unless retraining ran).
 	Retrains, Promotions, Demotions int
 	// UMChampVer / InsensChampVer are the serving model versions at the
@@ -352,6 +412,15 @@ type Report struct {
 	PeakPoolUsedGB                       float64
 	PoolShare                            float64
 
+	// Capacity loop, aggregated across cells: FinalPoolGB sums the
+	// cells' end-of-run pools, DRAMSavedGB their time-averaged savings
+	// versus static provisioning, Fallbacks the pool-exhaustion
+	// downgrades; PlanHistory is every planning decision in cell order.
+	FinalPoolGB int
+	DRAMSavedGB float64
+	Fallbacks   int
+	PlanHistory []capacity.PlanEvent
+
 	// Model lifecycle, aggregated across cells (zero unless retraining
 	// ran). Under fleet scope the counters describe the release train:
 	// retrains, fleet-wide promotions, canary rollbacks, demotions.
@@ -394,6 +463,11 @@ func (r *Report) String() string {
 		r.Arrivals, r.Placed, r.Rejected, r.Departed, r.BlastVMs, r.Migrated)
 	fmt.Fprintf(&b, "  core-util=%.1f%% stranded=%.1fGB peak-pool-used=%.0fGB pool-share=%.1f%% qos-violations=%d mitigated=%d\n",
 		100*r.AvgCoreUtil, r.AvgStrandedGB, r.PeakPoolUsedGB, 100*r.PoolShare, r.QoSViolations, r.Mitigations)
+	if r.Options.ElasticPool {
+		fmt.Fprintf(&b, "  elastic: plan-every=%gs target-qos=%.2f%% plans=%d final-pool=%dGB dram-saved=%.1fGB fallbacks=%d\n",
+			r.Options.PlanEverySec, 100*r.Options.TargetQoS, len(r.PlanHistory),
+			r.FinalPoolGB, r.DRAMSavedGB, r.Fallbacks)
+	}
 	if r.Options.RetrainEverySec > 0 && r.Options.ModelScope == ScopeFleet {
 		fmt.Fprintf(&b, "  fleet-mlops: scope=fleet canary=%.2f bake=%gs retrains=%d promotions=%d rollbacks=%d demotions=%d champion-ver=%d pred-err=%.4f pred-err-final=%.4f insens-err=%.4f\n",
 			r.Options.CanaryFraction, r.Options.BakeWindowSec,
@@ -431,8 +505,8 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	var results []CellResult
 	var fleetLog string
 	var fp *fleetpipeline.Manager
-	if o.ModelScope == ScopeFleet && o.RetrainEverySec > 0 {
-		results, fleetLog, fp, err = runFleetScoped(ctx, o, insens, threshold)
+	if (o.ModelScope == ScopeFleet && o.RetrainEverySec > 0) || o.ElasticPool {
+		results, fleetLog, fp, err = runBarriered(ctx, o, insens, threshold)
 	} else {
 		results, err = engine.Map(ctx, cellIndices(o.Cells),
 			engine.Options{Workers: o.Workers, Seed: o.Seed},
@@ -476,6 +550,10 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		if c.PeakPoolUsedGB > rep.PeakPoolUsedGB {
 			rep.PeakPoolUsedGB = c.PeakPoolUsedGB
 		}
+		rep.FinalPoolGB += c.FinalPoolGB
+		rep.DRAMSavedGB += c.DRAMSavedGB
+		rep.Fallbacks += c.Fallbacks
+		rep.PlanHistory = append(rep.PlanHistory, c.Plans...)
 		rep.Lifecycle = append(rep.Lifecycle, c.Lifecycle...)
 		if c.ModelDump != nil {
 			rep.ModelDumps = append(rep.ModelDumps, c.ModelDump)
@@ -514,13 +592,63 @@ func cellIndices(n int) []int {
 	return cells
 }
 
-// runFleetScoped drives the §5 central pipeline: every cell simulates
-// one retrain interval at a time on the parallel engine, then a serial
-// barrier (in cell order) pools the cells' drained telemetry into the
-// fleet Manager, advances the release train, and re-pins each cell's
-// serving generation. Stage transitions land in the fleet log; pin
-// changes land in the affected cell's own log.
-func runFleetScoped(ctx context.Context, o Options, insens predict.Insensitivity, threshold float64) ([]CellResult, string, *fleetpipeline.Manager, error) {
+// barrier is one synchronization point of the barriered run: every cell
+// advances to t, then the barrier work runs serially in cell order.
+type barrier struct {
+	t             float64
+	retrain, plan bool
+}
+
+// barrierSchedule merges the retrain ticks (fleet model scope) and the
+// planning ticks (elastic pool) into one ascending schedule. Times are
+// computed as exact multiples of their cadence, so coincident barriers
+// merge instead of firing twice.
+func barrierSchedule(o Options, fleetScoped bool) []barrier {
+	var bs []barrier
+	add := func(t float64, retrain, plan bool) {
+		for i := range bs {
+			if bs[i].t == t {
+				bs[i].retrain = bs[i].retrain || retrain
+				bs[i].plan = bs[i].plan || plan
+				return
+			}
+		}
+		bs = append(bs, barrier{t: t, retrain: retrain, plan: plan})
+	}
+	if fleetScoped {
+		for k := 1; ; k++ {
+			t := float64(k) * o.RetrainEverySec
+			if t >= o.DurationSec {
+				break
+			}
+			add(t, true, false)
+		}
+	}
+	if o.ElasticPool {
+		for k := 1; ; k++ {
+			t := float64(k) * o.PlanEverySec
+			if t >= o.DurationSec {
+				break
+			}
+			add(t, false, true)
+		}
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].t < bs[j].t })
+	return bs
+}
+
+// runBarriered drives every cell through the PR-4 barrier machinery:
+// cells simulate one inter-barrier epoch at a time on the parallel
+// engine, then the barrier itself is processed serially in cell order.
+// Two barrier kinds share the schedule: retrain barriers (the §5 central
+// pipeline — pooled telemetry into the fleet Manager, release-train
+// advance, per-cell re-pins) and planning barriers (the elastic-pool
+// controller — each cell's epoch demand becomes a pool resize). At a
+// coincident barrier models go first, then capacity. Stage transitions
+// land in the fleet log; pins and resizes land in the affected cell's
+// own log, so the full event stream stays byte-identical for any worker
+// count.
+func runBarriered(ctx context.Context, o Options, insens predict.Insensitivity, threshold float64) ([]CellResult, string, *fleetpipeline.Manager, error) {
 	eopts := engine.Options{Workers: o.Workers, Seed: o.Seed}
 	sims, err := engine.Map(ctx, cellIndices(o.Cells), eopts,
 		func(i int, _ int, rng *stats.Rand) (*cellSim, error) {
@@ -530,21 +658,25 @@ func runFleetScoped(ctx context.Context, o Options, insens predict.Insensitivity
 		return nil, "", nil, err
 	}
 
-	fp := fleetpipeline.NewManager(fleetpipeline.Config{
-		Cells:          o.Cells,
-		CanaryFraction: o.CanaryFraction,
-		BakeWindowSec:  o.BakeWindowSec,
-		MinTrainRows:   o.MinTrainRows,
-		HoldoutWindow:  o.HoldoutWindow,
-		PromoteMargin:  o.PromoteMargin,
-		Seed:           o.Seed,
-	}, predict.HistoryQuantileUM{})
-	rcfg := fp.Config()
-	for _, sim := range sims {
-		sim.col = fleetpipeline.NewCollector(sim.cell, predict.HistoryQuantileUM{}, insens,
-			sim.ratio, o.PDM, rcfg.OverPenalty, rcfg.HoldoutWindow)
-		sim.pipe.SetShadowHook(sim.col.ObserveDecision)
-		sim.res.ServedVersions = []int{0}
+	fleetScoped := o.ModelScope == ScopeFleet && o.RetrainEverySec > 0
+	var fp *fleetpipeline.Manager
+	if fleetScoped {
+		fp = fleetpipeline.NewManager(fleetpipeline.Config{
+			Cells:          o.Cells,
+			CanaryFraction: o.CanaryFraction,
+			BakeWindowSec:  o.BakeWindowSec,
+			MinTrainRows:   o.MinTrainRows,
+			HoldoutWindow:  o.HoldoutWindow,
+			PromoteMargin:  o.PromoteMargin,
+			Seed:           o.Seed,
+		}, predict.HistoryQuantileUM{})
+		rcfg := fp.Config()
+		for _, sim := range sims {
+			sim.col = fleetpipeline.NewCollector(sim.cell, predict.HistoryQuantileUM{}, insens,
+				sim.ratio, o.PDM, rcfg.OverPenalty, rcfg.HoldoutWindow)
+			sim.pipe.SetShadowHook(sim.col.ObserveDecision)
+			sim.res.ServedVersions = []int{0}
+		}
 	}
 
 	var fleetLog strings.Builder
@@ -555,24 +687,31 @@ func runFleetScoped(ctx context.Context, o Options, insens predict.Insensitivity
 			})
 		return aerr
 	}
-	for t := o.RetrainEverySec; t < o.DurationSec; t += o.RetrainEverySec {
-		if err := advance(t, false); err != nil {
+	for _, b := range barrierSchedule(o, fleetScoped) {
+		if err := advance(b.t, false); err != nil {
 			return nil, "", nil, err
 		}
-		rows := make([][]fleetpipeline.Row, len(sims))
-		obs := make([][]fleetpipeline.Obs, len(sims))
-		for i, s := range sims {
-			rows[i], obs[i] = s.col.Drain()
+		if b.retrain {
+			rows := make([][]fleetpipeline.Row, len(sims))
+			obs := make([][]fleetpipeline.Obs, len(sims))
+			for i, s := range sims {
+				rows[i], obs[i] = s.col.Drain()
+			}
+			events, terr := fp.Tick(b.t, rows, obs)
+			if terr != nil {
+				return nil, "", nil, terr
+			}
+			for _, e := range events {
+				fmt.Fprintf(&fleetLog, "[fleet t=%.3f] %s\n", b.t, e)
+			}
+			for i, s := range sims {
+				s.applyPin(fp.AssignmentFor(i), b.t)
+			}
 		}
-		events, terr := fp.Tick(t, rows, obs)
-		if terr != nil {
-			return nil, "", nil, terr
-		}
-		for _, e := range events {
-			fmt.Fprintf(&fleetLog, "[fleet t=%.3f] %s\n", t, e)
-		}
-		for i, s := range sims {
-			s.applyPin(fp.AssignmentFor(i), t)
+		if b.plan {
+			for _, s := range sims {
+				s.planTick(b.t)
+			}
 		}
 	}
 	if err := advance(o.DurationSec, true); err != nil {
@@ -587,9 +726,11 @@ func runFleetScoped(ctx context.Context, o Options, insens predict.Insensitivity
 		}
 		results[i] = res
 	}
-	fmt.Fprintf(&fleetLog, "[fleet t=%.3f] fleetpipeline summary retrains=%d promotions=%d rollbacks=%d demotions=%d holds=%d champion-ver=%d\n",
-		o.DurationSec, fp.Counts().Retrains, fp.Counts().Promotions, fp.Counts().Rollbacks,
-		fp.Counts().Demotions, fp.Counts().Holds, fp.ChampionVer())
+	if fleetScoped {
+		fmt.Fprintf(&fleetLog, "[fleet t=%.3f] fleetpipeline summary retrains=%d promotions=%d rollbacks=%d demotions=%d holds=%d champion-ver=%d\n",
+			o.DurationSec, fp.Counts().Retrains, fp.Counts().Promotions, fp.Counts().Rollbacks,
+			fp.Counts().Demotions, fp.Counts().Holds, fp.ChampionVer())
+	}
 	return results, fleetLog.String(), fp, nil
 }
 
@@ -683,6 +824,28 @@ type cellSim struct {
 	lastT                  float64
 	utilSec, strandedGBSec float64
 
+	// Capacity loop: ctrl is the elastic controller (nil when off);
+	// demandEpoch the distribution since the last planning barrier,
+	// demandTotal the whole-run one; staticPoolGB is the capacity
+	// actually provisioned at build time (o.PoolGB rounded down to the
+	// per-EMC share — the savings baseline); poolGB caches the manager's
+	// active capacity so per-event accounting never rescans devices;
+	// savedGBSec integrates (static - actual) capacity over time;
+	// lastFallbacks marks the scheduler's fallback counter at the last
+	// barrier.
+	ctrl          *capacity.Controller
+	demandEpoch   *capacity.Demand
+	demandTotal   *capacity.Demand
+	staticPoolGB  int
+	poolGB        int
+	savedGBSec    float64
+	lastFallbacks int64
+	// lastPoolUsed is the pool draw at the last accounting point;
+	// attemptGB the epoch's largest draw that wanted to happen (in-use
+	// plus a failed request) — the censored-demand signal.
+	lastPoolUsed float64
+	attemptGB    int
+
 	res CellResult
 }
 
@@ -766,6 +929,22 @@ func newCellSim(cell int, o Options, insens predict.Insensitivity, threshold flo
 
 	c.running = make(map[cluster.VMID]*runningVM)
 	c.totalCores = float64(o.Hosts * c.spec.TotalCores())
+
+	c.demandEpoch = capacity.NewDemand()
+	c.demandTotal = capacity.NewDemand()
+	// perEMC rounds down, so the provisioned capacity — not o.PoolGB —
+	// is the savings baseline; using the requested figure would bank
+	// phantom savings whenever PoolGB does not divide across the EMCs.
+	c.staticPoolGB = perEMC * o.EMCs
+	c.poolGB = c.staticPoolGB
+	if o.ElasticPool {
+		// Floor at one slice per EMC so no topology pod ever goes dark.
+		c.ctrl = capacity.NewController(capacity.ControllerConfig{
+			TargetQoS: o.TargetQoS,
+			SliceGB:   emc.SliceGB,
+			MinPoolGB: o.EMCs * emc.SliceGB,
+		})
+	}
 	return c, nil
 }
 
@@ -804,8 +983,12 @@ func (c *cellSim) account(now float64) {
 		stranded += h.StrandedGB()
 		poolUsed += h.OnlinePoolGB() - h.FreePoolGB()
 	}
+	c.lastPoolUsed = poolUsed
 	c.utilSec += dt * (c.totalCores - float64(freeCores)) / c.totalCores
 	c.strandedGBSec += dt * stranded
+	c.demandEpoch.Observe(dt, poolUsed)
+	c.demandTotal.Observe(dt, poolUsed)
+	c.savedGBSec += dt * float64(c.staticPoolGB-c.poolGB)
 	if poolUsed > c.res.PeakPoolUsedGB {
 		c.res.PeakPoolUsedGB = poolUsed
 	}
@@ -825,6 +1008,43 @@ func (c *cellSim) applyPin(a fleetpipeline.Assignment, now float64) {
 	c.pinnedVer = a.ServeVer
 	c.res.ServedVersions = append(c.res.ServedVersions, a.ServeVer)
 	c.logf(now, "fleetpipeline pin ver=%d role=%s", a.ServeVer, a.Role)
+}
+
+// planTick runs one elastic-pool planning barrier: the demand observed
+// since the previous barrier becomes a pool-size target and the Pool
+// Manager grows or shrinks toward it (shrinks retire free slices only —
+// live and draining capacity is never revoked). The decision is pure
+// arithmetic over cell-local state and is logged into the cell's own
+// stream, so the event log stays byte-identical for any worker count.
+func (c *cellSim) planTick(now float64) {
+	c.account(now)
+	cur := c.manager.PoolGB()
+	total := c.sched.Fallbacks()
+	fallbacks := int(total - c.lastFallbacks)
+	c.lastFallbacks = total
+	target := c.ctrl.Target(c.demandEpoch, c.manager.AssignedGB(now), fallbacks, c.attemptGB, cur)
+	ev := capacity.PlanEvent{
+		Cell:        c.cell,
+		AtSec:       now,
+		PoolGB:      cur,
+		TargetGB:    target,
+		PeakGB:      c.demandEpoch.PeakGB(),
+		QGB:         c.demandEpoch.QuantileGB(1 - c.o.TargetQoS),
+		Fallbacks:   fallbacks,
+		AttemptedGB: c.attemptGB,
+	}
+	switch {
+	case target > cur:
+		ev.GrewGB = c.manager.Grow(target - cur)
+	case target < cur:
+		ev.ShrunkGB = c.manager.Shrink(cur-target, now)
+	}
+	c.poolGB = c.manager.PoolGB()
+	ev.NewPoolGB = c.poolGB
+	c.res.Plans = append(c.res.Plans, ev)
+	c.demandEpoch.Reset()
+	c.attemptGB = 0
+	c.logf(now, "%s", ev)
 }
 
 // runUntil processes events strictly before tEnd; with final set it
@@ -864,6 +1084,12 @@ func (c *cellSim) runUntil(tEnd float64, final bool) error {
 				continue
 			}
 			if pr.FellBackToLocal {
+				// Record the draw the pool could not serve: demand above
+				// capacity is invisible to the usage telemetry, so the
+				// capacity controller needs the attempted size to grow past.
+				if a := int(c.lastPoolUsed + d.PoolGB + 0.5); a > c.attemptGB {
+					c.attemptGB = a
+				}
 				d = core.Decision{Kind: core.AllLocal, LocalGB: vm.Type.MemoryGB}
 			}
 			c.store.RecordSample(vm.ID, pmu.Sample(w, c.rPlace))
@@ -972,6 +1198,23 @@ func (c *cellSim) runUntil(tEnd float64, final bool) error {
 			case InjectSurge:
 				c.logf(now, "inject surge x=%g dur=%g", inj.Factor, inj.DurSec)
 
+			case InjectResize:
+				applied := 0
+				if inj.Slices > 0 {
+					if gerr := c.manager.GrowEMC(inj.EMC, inj.Slices*emc.SliceGB); gerr == nil {
+						applied = inj.Slices
+					} // a failed EMC grows nothing; applied stays 0
+				} else {
+					gb, serr := c.manager.ShrinkEMC(inj.EMC, -inj.Slices*emc.SliceGB, now)
+					if serr != nil {
+						return fmt.Errorf("cell %d: resize: %w", c.cell, serr)
+					}
+					applied = -gb / emc.SliceGB
+				}
+				c.poolGB = c.manager.PoolGB()
+				c.logf(now, "inject resize emc=%d slices=%+d applied=%+d pool=%d",
+					inj.EMC, inj.Slices, applied, c.poolGB)
+
 			case InjectDrift:
 				// The population shift itself happened in the arrival
 				// stream; this marks the moment in the event log —
@@ -1031,6 +1274,19 @@ func (c *cellSim) finish() (CellResult, error) {
 		c.res.InsensErrMean = q.InsensLossMean
 		c.logf(o.DurationSec, "fleetpipeline cell summary serve-ver=%d pred-err=%.4f pred-err-final=%.4f insens-err=%.4f",
 			q.ServeVer, q.ServeLossMean, q.ServeLossFinal, q.InsensLossMean)
+	}
+	c.res.FinalPoolGB = c.poolGB
+	if o.DurationSec > 0 {
+		c.res.DRAMSavedGB = c.savedGBSec / o.DurationSec
+	}
+	c.res.Fallbacks = int(c.sched.Fallbacks())
+	c.res.Demand = c.demandTotal
+	if qs := c.store.UntouchedQuantiles(0.5, 0.9); qs != nil {
+		c.res.UntouchedP50, c.res.UntouchedP90 = qs[0], qs[1]
+	}
+	if o.ElasticPool || c.poolGB != c.staticPoolGB {
+		c.logf(o.DurationSec, "elastic summary plans=%d final-pool=%d dram-saved=%.2f fallbacks=%d",
+			len(c.res.Plans), c.poolGB, c.res.DRAMSavedGB, c.res.Fallbacks)
 	}
 	c.logf(o.DurationSec, "summary arrivals=%d placed=%d rejected=%d departed=%d blast-vms=%d migrated=%d qos=%d util=%.3f stranded=%.3f pool-share=%.4f",
 		c.res.Arrivals, c.res.Placed, c.res.Rejected, c.res.Departed, c.res.BlastVMs, c.res.Migrated,

@@ -870,3 +870,247 @@ func TestParseDriftInjection(t *testing.T) {
 		}
 	}
 }
+
+func TestParseResizeInjection(t *testing.T) {
+	ins, err := ParseInjections("resize@t=500:emc=1:slices=-8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 1 || ins[0].Kind != InjectResize || ins[0].EMC != 1 || ins[0].Slices != -8 {
+		t.Fatalf("parsed %+v", ins)
+	}
+	// String() round-trips, the explicit plus sign included.
+	if s := ins[0].String(); s != "resize@t=500:emc=1:slices=-8" {
+		t.Fatalf("String() = %q", s)
+	}
+	grow, err := ParseInjections("resize@t=1:slices=+16")
+	if err != nil || grow[0].Slices != 16 {
+		t.Fatalf("grow spec parsed as %+v (%v)", grow, err)
+	}
+	if again, err := ParseInjections(grow[0].String()); err != nil || again[0] != grow[0] {
+		t.Fatalf("grow spec did not round-trip via %q: %+v (%v)", grow[0].String(), again, err)
+	}
+	for _, bad := range []string{
+		"resize@t=1",                             // missing slices
+		"resize@t=1:slices=0",                    // zero delta
+		"resize@t=1:slices=1.5",                  // non-integer
+		"resize@t=1:dur=5:slices=4",              // inapplicable param
+		"resize@t=1:mag=0.5",                     // inapplicable param
+		"resize@t=1:host=2:slices=4",             // inapplicable param
+		"resize@t=1:cells=0:slices=4",            // inapplicable param
+		"resize@t=1:emc=-1:slices=4",             // negative target
+		"resize@t=1:slices=-9223372036854775808", // negation would overflow
+		"resize@t=1:slices=2000000",              // beyond MaxResizeSlices
+	} {
+		if _, err := ParseInjections(bad); err == nil {
+			t.Fatalf("spec %q should fail to parse", bad)
+		}
+	}
+}
+
+func TestElasticValidation(t *testing.T) {
+	// Elastic knobs without the elastic pool are rejected.
+	o := testOptions()
+	o.PlanEverySec = 100
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("plan cadence without the elastic pool should fail")
+	}
+	o = testOptions()
+	o.TargetQoS = 0.05
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("QoS target without the elastic pool should fail")
+	}
+	// A cadence beyond the horizon never fires.
+	o = testOptions()
+	o.ElasticPool = true
+	o.PlanEverySec = o.DurationSec
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("plan cadence at the horizon should fail")
+	}
+	// Out-of-domain QoS target.
+	o = testOptions()
+	o.ElasticPool = true
+	o.TargetQoS = 1.5
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("QoS target above 1 should fail")
+	}
+	// Resize injections validate the EMC range and the delta.
+	o = testOptions()
+	o.Injections = []Injection{{Kind: InjectResize, AtSec: 1, EMC: 99, Slices: 4, CellHi: -1}}
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("out-of-range resize EMC should fail")
+	}
+	o = testOptions()
+	o.Injections = []Injection{{Kind: InjectResize, AtSec: 1, EMC: 0, Slices: 0, CellHi: -1}}
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("zero-slice resize should fail")
+	}
+}
+
+func TestResizeInjectionChangesPool(t *testing.T) {
+	o := testOptions()
+	var err error
+	o.Injections, err = ParseInjections("resize@t=100:emc=1:slices=+8,resize@t=200:emc=2:slices=-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"inject resize emc=1 slices=+8 applied=+8",
+		"inject resize emc=2 slices=-4 applied=-4",
+	} {
+		if !strings.Contains(rep.EventLog, want) {
+			t.Fatalf("event log missing %q:\n%s", want, grepLine(rep.EventLog, "resize"))
+		}
+	}
+	// Net +4 GB per cell at run end, and the summary reflects it.
+	wantPool := (o.PoolGB + 4) * o.Cells
+	if rep.FinalPoolGB != wantPool {
+		t.Fatalf("final pool %d GB, want %d", rep.FinalPoolGB, wantPool)
+	}
+	// Growth above static provisioning reads as negative savings.
+	if rep.DRAMSavedGB >= 0 {
+		t.Fatalf("net growth should read as negative savings, got %.2f", rep.DRAMSavedGB)
+	}
+	if !strings.Contains(rep.EventLog, "elastic summary") {
+		t.Fatal("resized run missing the elastic summary line")
+	}
+}
+
+func TestElasticPoolSmokeAndDeterminism(t *testing.T) {
+	base := testOptions()
+	base.Predictions = true
+	base.Arrival.RatePerSec = 0.2
+	base.ElasticPool = true
+	base.PlanEverySec = 100
+
+	var reps []*Report
+	for _, workers := range []int{1, 3, 8} {
+		o := base
+		o.Workers = workers
+		rep, err := Run(context.Background(), o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		reps = append(reps, rep)
+	}
+	for i := 1; i < len(reps); i++ {
+		if reps[i].EventLog != reps[0].EventLog || reps[i].LogSHA256 != reps[0].LogSHA256 {
+			t.Fatalf("elastic event log differs between worker counts 1 and %d", []int{1, 3, 8}[i])
+		}
+	}
+	rep := reps[0]
+	if len(rep.PlanHistory) == 0 {
+		t.Fatal("elastic run produced no planning decisions")
+	}
+	if !strings.Contains(rep.EventLog, "plan pool=") {
+		t.Fatal("plan decisions missing from the event log")
+	}
+	// The default pool is grossly oversized for this stream: the
+	// controller must have shrunk it and banked savings.
+	if rep.FinalPoolGB >= base.PoolGB*base.Cells {
+		t.Fatalf("final pool %d GB did not shrink below static %d", rep.FinalPoolGB, base.PoolGB*base.Cells)
+	}
+	if rep.DRAMSavedGB <= 0 {
+		t.Fatalf("no DRAM saved: %.2f", rep.DRAMSavedGB)
+	}
+	// Plan history agrees with the per-cell plans.
+	n := 0
+	for _, c := range rep.Cells {
+		n += len(c.Plans)
+	}
+	if n != len(rep.PlanHistory) {
+		t.Fatalf("plan history has %d entries, cells carry %d", len(rep.PlanHistory), n)
+	}
+	// The whole-run demand distribution rides along for the offline
+	// planner.
+	for _, c := range rep.Cells {
+		if c.Demand == nil || c.Demand.TotalSec() <= 0 {
+			t.Fatalf("cell %d missing its demand distribution", c.Cell)
+		}
+	}
+}
+
+// TestElasticPlannerSavesDRAMAtNoWorseQoS is the capacity-loop
+// acceptance test: on a drift-free trace workload the planner-driven
+// elastic pool must bank strictly positive DRAM savings versus the
+// static baseline while violating QoS and rejecting VMs no more often —
+// Pond's §7 right-sizing claim, reproduced end to end in the online
+// loop. The elastic event log must also be byte-identical for every
+// worker count.
+func TestElasticPlannerSavesDRAMAtNoWorseQoS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity acceptance needs the full horizon; covered in the full tier")
+	}
+	base := testOptions()
+	base.Predictions = true
+	base.Arrival = ArrivalModel{Kind: ArrivalTrace}
+	base.DurationSec = 2000
+	base.PoolGB = 128
+
+	static, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	elastic := base
+	elastic.ElasticPool = true
+	elastic.PlanEverySec = 250
+	elastic.TargetQoS = 0.01
+
+	var reps []*Report
+	for _, workers := range []int{1, 4, 8} {
+		o := elastic
+		o.Workers = workers
+		rep, rerr := Run(context.Background(), o)
+		if rerr != nil {
+			t.Fatalf("workers=%d: %v", workers, rerr)
+		}
+		reps = append(reps, rep)
+	}
+	for i := 1; i < len(reps); i++ {
+		if reps[i].EventLog != reps[0].EventLog || reps[i].LogSHA256 != reps[0].LogSHA256 {
+			t.Fatalf("elastic event log differs between worker counts 1 and %d", []int{1, 4, 8}[i])
+		}
+	}
+	rep := reps[0]
+
+	if rep.DRAMSavedGB <= 0 {
+		t.Fatalf("elastic pool saved no DRAM: %.2f GB", rep.DRAMSavedGB)
+	}
+	if rep.QoSViolations > static.QoSViolations {
+		t.Fatalf("elastic pool worsened QoS: %d violations vs static %d",
+			rep.QoSViolations, static.QoSViolations)
+	}
+	if rep.Rejected > static.Rejected {
+		t.Fatalf("elastic pool worsened admission: %d rejections vs static %d",
+			rep.Rejected, static.Rejected)
+	}
+	if rep.FinalPoolGB >= base.PoolGB*base.Cells {
+		t.Fatalf("final pool %d GB not below static %d", rep.FinalPoolGB, base.PoolGB*base.Cells)
+	}
+}
+
+func TestIndivisiblePoolBanksNoPhantomSavings(t *testing.T) {
+	// 130 GB across 4 EMCs provisions 128 GB (the per-EMC share rounds
+	// down); the savings baseline must be what was provisioned, not the
+	// requested figure — a static run saves exactly nothing.
+	o := testOptions()
+	o.PoolGB = 130
+	rep, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DRAMSavedGB != 0 {
+		t.Fatalf("static run banked %.2f GB of phantom savings", rep.DRAMSavedGB)
+	}
+	if rep.FinalPoolGB != 128*o.Cells {
+		t.Fatalf("final pool %d GB, want the provisioned %d", rep.FinalPoolGB, 128*o.Cells)
+	}
+	if strings.Contains(rep.EventLog, "elastic summary") {
+		t.Fatal("static run emitted an elastic summary line")
+	}
+}

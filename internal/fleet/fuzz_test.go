@@ -42,6 +42,20 @@ func FuzzParseInjections(f *testing.F) {
 		"emc-fail@",
 		"emc-fail@t=1:",
 		"emc-fail@t=1:=2",
+		"resize@t=500:emc=1:slices=-8",
+		"resize@t=500:emc=0:slices=+16",
+		"resize@t=500:emc=0:slices=16",
+		"resize@t=1",
+		"resize@t=1:slices=0",
+		"resize@t=1:slices=1.5",
+		"resize@t=1:emc=-1:slices=4",
+		"resize@t=1:dur=5:slices=4",
+		"resize@t=1:mag=0.5",
+		"resize@t=1:host=2:slices=4",
+		"resize@t=1:cells=0-1:slices=4",
+		"resize@t=1:slices=99999999999999999999",
+		"resize@t=1:slices=-9223372036854775808",
+		"resize@t=1:emc=0:slices=2000000",
 	} {
 		f.Add(seed)
 	}
@@ -57,7 +71,7 @@ func FuzzParseInjections(f *testing.F) {
 				t.Fatalf("accepted injection %q with t=%v", spec, in.AtSec)
 			}
 			switch in.Kind {
-			case InjectEMCFail, InjectHostDrain, InjectSurge, InjectDrift:
+			case InjectEMCFail, InjectHostDrain, InjectSurge, InjectDrift, InjectResize:
 			default:
 				t.Fatalf("accepted unknown kind %q from %q", in.Kind, spec)
 			}
@@ -74,6 +88,9 @@ func FuzzParseInjections(f *testing.F) {
 				if in.CellHi >= 0 && (in.CellLo < 0 || in.CellLo > in.CellHi) {
 					t.Fatalf("accepted empty cell range from %q: %+v", spec, in)
 				}
+			}
+			if in.Kind == InjectResize && (in.Slices == 0 || in.Slices < -MaxResizeSlices || in.Slices > MaxResizeSlices) {
+				t.Fatalf("accepted out-of-domain resize from %q: %+v", spec, in)
 			}
 			// String() must render a spec that parses back to the same
 			// injection.

@@ -40,10 +40,21 @@ func goldenCases() map[string]Options {
 	sparse.ModelScope = ScopeFleet
 	sparse.Injections = mustParseInjections("surge@t=100:dur=100:x=3")
 
+	// The elastic-pool control plane: planning barriers resize the pool
+	// against observed demand while a manual resize and a drift land
+	// mid-run.
+	elastic := testOptions()
+	elastic.Predictions = true
+	elastic.Arrival.RatePerSec = 0.2
+	elastic.ElasticPool = true
+	elastic.PlanEverySec = 100
+	elastic.Injections = mustParseInjections("resize@t=150:emc=1:slices=-8,drift@t=250:mag=0.5")
+
 	return map[string]Options{
 		"flat-emc-fail":      flat,
 		"sharded-host-drain": sharded,
 		"sparse-surge-fleet": sparse,
+		"flat-elastic":       elastic,
 	}
 }
 

@@ -27,7 +27,20 @@ const (
 	// pre-drift telemetry go stale — the scenario online retraining is
 	// for.
 	InjectDrift = "drift"
+	// InjectResize grows (slices > 0) or shrinks (slices < 0) one EMC's
+	// active capacity mid-run through the Pool Manager's elastic APIs —
+	// the manual counterpart of the capacity controller's planned
+	// resizes. A shrink retires only free slices, so the applied delta
+	// can fall short of the request.
+	InjectResize = "resize"
 )
+
+// MaxResizeSlices bounds a single resize injection's magnitude (1 PB of
+// 1 GB slices): larger requests are deployment-spec typos, and an
+// unbounded grow would materialize the slice table for whatever number
+// parses — rejected at parse time, per the parsers' no-runtime-surprise
+// discipline.
+const MaxResizeSlices = 1 << 20
 
 // Injection is one scheduled scenario event.
 type Injection struct {
@@ -51,6 +64,9 @@ type Injection struct {
 	// Injection must set CellHi to -1 (or any negative) for fleet-wide
 	// drift; the zero value targets cell 0 alone.
 	CellLo, CellHi int
+	// Slices is the signed capacity delta of a resize (non-zero; parsed
+	// from slices=±N).
+	Slices int
 }
 
 // AppliesTo reports whether a drift injection hits the given cell.
@@ -76,6 +92,8 @@ func (in Injection) String() string {
 			return fmt.Sprintf("%s@t=%g:cells=%d-%d:mag=%g", in.Kind, in.AtSec, in.CellLo, in.CellHi, in.Mag)
 		}
 		return fmt.Sprintf("%s@t=%g:mag=%g", in.Kind, in.AtSec, in.Mag)
+	case InjectResize:
+		return fmt.Sprintf("%s@t=%g:emc=%d:slices=%+d", in.Kind, in.AtSec, in.EMC, in.Slices)
 	default:
 		return in.Kind
 	}
@@ -89,6 +107,7 @@ func (in Injection) String() string {
 //	surge@t=300:dur=200:x=3
 //	drift@t=2000:mag=0.6
 //	drift@t=2000:cells=2-3:mag=0.6
+//	resize@t=500:emc=1:slices=-8
 func ParseInjections(s string) ([]Injection, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -119,10 +138,11 @@ func parseInjection(spec string) (Injection, error) {
 		InjectHostDrain: "t,host",
 		InjectSurge:     "t,dur,x",
 		InjectDrift:     "t,mag,cells",
+		InjectResize:    "t,emc,slices",
 	}[kind]
 	if !ok {
-		return in, fmt.Errorf("fleet: unknown injection kind %q (want %s, %s, %s, %s)",
-			kind, InjectEMCFail, InjectHostDrain, InjectSurge, InjectDrift)
+		return in, fmt.Errorf("fleet: unknown injection kind %q (want %s, %s, %s, %s, %s)",
+			kind, InjectEMCFail, InjectHostDrain, InjectSurge, InjectDrift, InjectResize)
 	}
 	for _, p := range strings.Split(rest, ":") {
 		k, v, ok := strings.Cut(p, "=")
@@ -165,6 +185,13 @@ func parseInjection(spec string) (Injection, error) {
 			} else {
 				in.Host = n
 			}
+		case "slices":
+			n, err := strconv.Atoi(v)
+			if err != nil || n == 0 || n < -MaxResizeSlices || n > MaxResizeSlices {
+				return in, fmt.Errorf("fleet: injection parameter slices=%q must be a non-zero integer in [-%d, %d]",
+					v, MaxResizeSlices, MaxResizeSlices)
+			}
+			in.Slices = n
 		case "cells":
 			lo, hi, err := parseCellRange(v)
 			if err != nil {
@@ -183,6 +210,9 @@ func parseInjection(spec string) (Injection, error) {
 	}
 	if in.Kind == InjectDrift && (in.Mag <= 0 || in.Mag > 1) {
 		return in, fmt.Errorf("fleet: drift magnitude mag=%g must be in (0, 1]", in.Mag)
+	}
+	if in.Kind == InjectResize && in.Slices == 0 {
+		return in, fmt.Errorf("fleet: resize injection %q is missing slices=±N", spec)
 	}
 	return in, nil
 }

@@ -7,7 +7,8 @@
 // one fleet-wide challenger, and deploys it through a staged rollout:
 //
 //  1. canary — the challenger is pinned onto a configurable fraction of
-//     cells (the lowest cell indices: deployment ring 0) while the rest
+//     cells (one deployment ring; rings partition the fleet and rotate
+//     per release, spreading bake exposure across cells) while the rest
 //     of the fleet keeps the champion;
 //  2. bake — every cell shadow-scores both contenders on departing VMs
 //     for BakeWindowSec seconds of simulated time;
@@ -283,6 +284,27 @@ func (m *Manager) canaryCount() int {
 	return n
 }
 
+// ringFor returns the canary cell range of a release: the fleet is
+// partitioned into ceil(cells/canaryCount) contiguous deployment rings
+// and release ver bakes on ring (ver-1) mod ringCount, so successive
+// releases rotate bake exposure across the whole fleet instead of always
+// pinning the lowest indices. The last ring may be narrower when the
+// fleet does not divide evenly.
+func (m *Manager) ringFor(ver int) (lo, hi int) {
+	count := m.canaryCount()
+	rings := (m.cfg.Cells + count - 1) / count
+	ring := (ver - 1) % rings
+	if ring < 0 {
+		ring = 0
+	}
+	lo = ring * count
+	hi = lo + count - 1
+	if hi >= m.cfg.Cells {
+		hi = m.cfg.Cells - 1
+	}
+	return lo, hi
+}
+
 // isCanary reports whether cell is in the in-flight release's canary set.
 func (m *Manager) isCanary(cell int) bool {
 	return m.stage == StageCanary && cell >= m.canaryLo && cell <= m.canaryHi
@@ -395,7 +417,7 @@ func (m *Manager) Tick(nowSec float64, rows [][]Row, obs [][]Obs) ([]Event, erro
 		m.meta[ver] = trainMeta{AtSec: nowSec, Rows: len(m.x)}
 		out = append(out, Event{AtSec: nowSec, Kind: EventRetrain, Ver: ver, Rows: len(m.x)})
 
-		m.canaryLo, m.canaryHi = 0, m.canaryCount()-1
+		m.canaryLo, m.canaryHi = m.ringFor(ver)
 		m.bakeEndSec = nowSec + m.cfg.BakeWindowSec
 		m.stage = StageCanary
 		out = append(out, Event{AtSec: nowSec, Kind: EventCanaryStart, Ver: ver,

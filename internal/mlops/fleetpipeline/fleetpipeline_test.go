@@ -425,3 +425,73 @@ func TestPinServesPerCellGenerations(t *testing.T) {
 		t.Fatalf("new-generation pin must swap models, served %g", got)
 	}
 }
+
+func TestCanaryRingRotatesPerRelease(t *testing.T) {
+	// Five releases over a four-cell fleet at one canary cell each must
+	// bake on rings 0, 1, 2, 3, then wrap back to 0 — bake exposure is
+	// spread across the fleet instead of always pinning cell 0.
+	cfg := testConfig(4)
+	cfg.CanaryFraction = 0.25
+	m := NewManager(cfg, fixedUM(0.5))
+
+	var starts []Event
+	lo, hi := -1, -1
+	now := 0.0
+	for release := 1; release <= 5; release++ {
+		now += 10 // comfortably past every bake window
+		rows := make([][]Row, 4)
+		obs := make([][]Obs, 4)
+		for c := 0; c < 4; c++ {
+			r, _ := feed(8, 0, 0.5, -1, 0, 0.5)
+			rows[c] = r
+		}
+		if lo >= 0 {
+			// The baking challenger loses badly on its canary cells, so
+			// every release rolls back and the champion stays version 0.
+			for c := lo; c <= hi; c++ {
+				_, o := feed(8, 0, 0.5, release-1, 0.95, 0.5)
+				obs[c] = o
+			}
+		}
+		evs, err := m.Tick(now, rows, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range evs {
+			if e.Kind == EventCanaryStart {
+				starts = append(starts, e)
+				lo, hi = e.CanaryLo, e.CanaryHi
+			}
+		}
+	}
+
+	want := [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {0, 0}}
+	if len(starts) != len(want) {
+		t.Fatalf("saw %d canary starts, want %d: %v", len(starts), len(want), starts)
+	}
+	for i, e := range starts {
+		if e.Ver != i+1 {
+			t.Fatalf("canary start %d is release %d, want %d", i, e.Ver, i+1)
+		}
+		if e.CanaryLo != want[i][0] || e.CanaryHi != want[i][1] {
+			t.Fatalf("release %d baked on cells %d-%d, want %d-%d",
+				e.Ver, e.CanaryLo, e.CanaryHi, want[i][0], want[i][1])
+		}
+	}
+}
+
+func TestRingForUnevenFleet(t *testing.T) {
+	// Five cells at two canary cells per ring: rings are [0,1], [2,3],
+	// and the clamped [4,4]; release numbers rotate through them.
+	cfg := testConfig(5)
+	cfg.CanaryFraction = 0.4
+	m := NewManager(cfg, fixedUM(0.5))
+	for _, tc := range []struct{ ver, lo, hi int }{
+		{1, 0, 1}, {2, 2, 3}, {3, 4, 4}, {4, 0, 1}, {5, 2, 3}, {6, 4, 4},
+	} {
+		lo, hi := m.ringFor(tc.ver)
+		if lo != tc.lo || hi != tc.hi {
+			t.Errorf("ringFor(%d) = %d-%d, want %d-%d", tc.ver, lo, hi, tc.lo, tc.hi)
+		}
+	}
+}

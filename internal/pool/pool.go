@@ -293,6 +293,124 @@ func (m *Manager) ReleaseCapacity(h emc.HostID, refs []SliceRef, now float64) {
 	m.releaseOps++
 }
 
+// GrowEMC adds gb of active capacity to one device (the elastic-pool
+// grow path and the resize@… injection). Growth is near-instantaneous —
+// fresh slices come up unowned and assignable, like onlining.
+func (m *Manager) GrowEMC(di, gb int) error {
+	if di < 0 || di >= len(m.emcs) {
+		return fmt.Errorf("pool: grow targets EMC %d of %d", di, len(m.emcs))
+	}
+	return m.emcs[di].Grow(gb)
+}
+
+// ShrinkEMC retires up to gb of free capacity on one device, returning
+// the GB actually retired. Slices assigned to hosts — live or draining —
+// are never revoked, so a shrink can fall short; callers re-request at
+// the next planning round once departures have drained capacity back.
+func (m *Manager) ShrinkEMC(di, gb int, now float64) (int, error) {
+	if di < 0 || di >= len(m.emcs) {
+		return 0, fmt.Errorf("pool: shrink targets EMC %d of %d", di, len(m.emcs))
+	}
+	if gb <= 0 {
+		return 0, fmt.Errorf("pool: non-positive shrink %d GB", gb)
+	}
+	m.drain(now)
+	return m.emcs[di].Retire(gb/emc.SliceGB) * emc.SliceGB, nil
+}
+
+// Grow spreads gb of new capacity across healthy devices, smallest
+// active capacity first (ties by index), one slice at a time — growth
+// rebalances the pool toward evenly-sized devices so every topology pod
+// gains headroom. It returns the GB added (short only when every device
+// has failed).
+func (m *Manager) Grow(gb int) int {
+	need := gb / emc.SliceGB
+	caps := make([]int, len(m.emcs))
+	alive := 0
+	for i, d := range m.emcs {
+		caps[i] = d.CapacityGB()
+		if !d.Failed() {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return 0
+	}
+	added := 0
+	for ; need > 0; need-- {
+		best := -1
+		for i, d := range m.emcs {
+			if d.Failed() {
+				continue
+			}
+			if best < 0 || caps[i] < caps[best] {
+				best = i
+			}
+		}
+		if err := m.emcs[best].Grow(emc.SliceGB); err != nil {
+			break
+		}
+		caps[best] += emc.SliceGB
+		added += emc.SliceGB
+	}
+	return added
+}
+
+// Shrink retires up to gb of free capacity across devices, taking one
+// slice at a time from the device with the most free slices (ties by
+// index). Levelling the shrink this way respects topology reachability:
+// no device is drained to empty while its neighbours stay fat, so hosts
+// wired to a strict subset of EMCs keep proportional headroom. Assigned
+// and draining slices are never revoked — live VMs cannot be stranded by
+// a shrink — so the result may fall short of the request; it returns the
+// GB actually retired.
+func (m *Manager) Shrink(gb int, now float64) int {
+	m.drain(now)
+	need := gb / emc.SliceGB
+	free := make([]int, len(m.emcs))
+	for i, d := range m.emcs {
+		free[i] = d.FreeSlices()
+	}
+	retired := 0
+	for ; need > 0; need-- {
+		best := -1
+		for i := range m.emcs {
+			if free[i] == 0 {
+				continue
+			}
+			if best < 0 || free[i] > free[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if m.emcs[best].Retire(1) == 0 {
+			break
+		}
+		free[best]--
+		retired += emc.SliceGB
+	}
+	return retired
+}
+
+// AssignedGB returns the capacity not immediately assignable: slices
+// held by hosts, draining through pending release, or lost to failed
+// devices — the floor below which a shrink cannot reach.
+func (m *Manager) AssignedGB(now float64) int {
+	return m.PoolGB() - m.FreeGB(now)
+}
+
+// RetiredGB returns the capacity decommissioned by shrinks and not yet
+// re-activated by a grow.
+func (m *Manager) RetiredGB() int {
+	total := 0
+	for _, d := range m.emcs {
+		total += d.RetiredSlices() * emc.SliceGB
+	}
+	return total
+}
+
 // ReclaimHost handles a host failure (§4.2): every slice the dead host
 // owned — online, in use, or draining — returns to the free pool
 // immediately, since the host can no longer run the offline protocol.

@@ -9,17 +9,23 @@ import (
 )
 
 // Property-based invariant check for the Pool Manager: under random
-// interleavings of AddCapacity, ReleaseCapacity, and EMC failures, slice
-// accounting must balance at every step —
+// interleavings of AddCapacity, ReleaseCapacity, EMC failures, and
+// elastic grow/shrink resizes, slice accounting must balance at every
+// step —
 //
-//  1. conservation: on every healthy device, free + owned == capacity,
-//     and the owned set is exactly the slices the test still holds plus
-//     the ones draining through pending release;
+//  1. conservation: on every healthy device, free + owned + retired ==
+//     physical slices across resizes, and the owned set is exactly the
+//     slices the test still holds plus the ones draining through pending
+//     release;
 //  2. a failed EMC never reports free slices, never contributes to
 //     FreeGB/FreeGBFor, and AddCapacity never hands out slices on it
 //     (the PR 2 regression fixes);
 //  3. a slice is never double-assigned: every AddCapacity result is
-//     disjoint from everything currently held or draining.
+//     disjoint from everything currently held or draining;
+//  4. a shrink never revokes an assigned slice: everything held before a
+//     Shrink/ShrinkEMC is still owned by the same host afterwards, and
+//     the manager's active capacity moves by exactly the grown/retired
+//     amount.
 //
 // Each seed drives one random schedule; failures print the seed and the
 // op index so a shrunk reproduction is one -run flag away.
@@ -83,9 +89,14 @@ func TestManagerInvariantsUnderRandomInterleavings(t *testing.T) {
 							}
 						}
 					}
-					if free := d.FreeSlices(); free+owned != d.Slices() {
-						t.Fatalf("op %d: device %d leaks slices: %d free + %d owned != %d total",
-							op, di, free, owned, d.Slices())
+					// Conservation across resizes: every physical slice is
+					// free, owned, or retired — grow/shrink never leak.
+					if free, retired := d.FreeSlices(), d.RetiredSlices(); free+owned+retired != d.Slices() {
+						t.Fatalf("op %d: device %d leaks slices: %d free + %d owned + %d retired != %d physical",
+							op, di, free, owned, retired, d.Slices())
+					}
+					if got := d.CapacityGB(); got != (d.Slices()-d.RetiredSlices())*emc.SliceGB {
+						t.Fatalf("op %d: device %d capacity %d GB does not match physical minus retired", op, di, got)
 					}
 				}
 				// FreeGB must count only healthy devices.
@@ -98,13 +109,41 @@ func TestManagerInvariantsUnderRandomInterleavings(t *testing.T) {
 				if gotFree != sum {
 					t.Fatalf("op %d: FreeGB = %d, healthy free slices say %d", op, gotFree, sum)
 				}
+				// The manager's retirement view must agree with the devices.
+				retiredSum := 0
+				for _, d := range emcs {
+					retiredSum += d.RetiredSlices() * emc.SliceGB
+				}
+				if got := m.RetiredGB(); got != retiredSum {
+					t.Fatalf("op %d: RetiredGB = %d, devices say %d", op, got, retiredSum)
+				}
+			}
+
+			activeGB := func() int {
+				total := 0
+				for _, d := range emcs {
+					total += d.CapacityGB()
+				}
+				return total
+			}
+			// verifyHeldIntact asserts no held slice changed owner — the
+			// shrink-safety property: resizes never revoke assigned slices.
+			verifyHeldIntact := func(op int, what string) {
+				for hh, refs := range held {
+					for _, ref := range refs {
+						if got := emcs[ref.EMC].Owner(ref.Slice); got != hh {
+							t.Fatalf("op %d: %s revoked held slice %v (owner now %d, want %d)",
+								op, what, ref, got, hh)
+						}
+					}
+				}
 			}
 
 			for op := 0; op < ops; op++ {
 				now += r.Bounded(0, 0.5)
 				h := emc.HostID(r.Intn(hosts))
 				switch draw := r.Float64(); {
-				case draw < 0.45: // add
+				case draw < 0.35: // add
 					gb := 1 + r.Intn(6)
 					res, err := m.AddCapacity(h, gb, now)
 					if err != nil {
@@ -120,7 +159,7 @@ func TestManagerInvariantsUnderRandomInterleavings(t *testing.T) {
 						}
 					}
 					held[h] = append(held[h], res.Slices...)
-				case draw < 0.80: // release some of what this host holds
+				case draw < 0.60: // release some of what this host holds
 					refs := held[h]
 					if len(refs) == 0 {
 						break
@@ -128,7 +167,45 @@ func TestManagerInvariantsUnderRandomInterleavings(t *testing.T) {
 					n := 1 + r.Intn(len(refs))
 					m.ReleaseCapacity(h, refs[:n], now)
 					held[h] = append([]SliceRef(nil), refs[n:]...)
-				case draw < 0.90 && len(failed) < devices-1: // fail an EMC
+				case draw < 0.70: // grow (spread or targeted)
+					gb := 1 + r.Intn(8)
+					before := activeGB()
+					var added int
+					if r.Bernoulli(0.5) {
+						added = m.Grow(gb)
+					} else {
+						di := r.Intn(devices)
+						if err := m.GrowEMC(di, gb); err == nil {
+							added = gb
+						} else if !failed[di] {
+							t.Fatalf("op %d: GrowEMC(%d, %d) failed on healthy device: %v", op, di, gb, err)
+						}
+					}
+					if got := activeGB(); got != before+added {
+						t.Fatalf("op %d: grow of %d moved active capacity %d -> %d", op, added, before, got)
+					}
+				case draw < 0.85: // shrink (spread or targeted)
+					gb := 1 + r.Intn(8)
+					before := activeGB()
+					var retired int
+					if r.Bernoulli(0.5) {
+						retired = m.Shrink(gb, now)
+					} else {
+						di := r.Intn(devices)
+						var err error
+						retired, err = m.ShrinkEMC(di, gb, now)
+						if err != nil {
+							t.Fatalf("op %d: ShrinkEMC(%d, %d): %v", op, di, gb, err)
+						}
+					}
+					if retired > gb {
+						t.Fatalf("op %d: shrink of %d retired %d", op, gb, retired)
+					}
+					if got := activeGB(); got != before-retired {
+						t.Fatalf("op %d: shrink of %d moved active capacity %d -> %d", op, retired, before, got)
+					}
+					verifyHeldIntact(op, "shrink")
+				case draw < 0.92 && len(failed) < devices-1: // fail an EMC
 					di := r.Intn(devices)
 					if failed[di] {
 						break
@@ -151,7 +228,8 @@ func TestManagerInvariantsUnderRandomInterleavings(t *testing.T) {
 				check(op)
 			}
 			// Drain everything: after all holds are released and offline
-			// completes, every healthy device must be fully free again.
+			// completes, every healthy device must be fully free again —
+			// up to the slices the elastic shrinks retired.
 			for hh, refs := range held {
 				if len(refs) > 0 {
 					m.ReleaseCapacity(hh, refs, now)
@@ -165,9 +243,9 @@ func TestManagerInvariantsUnderRandomInterleavings(t *testing.T) {
 				}
 				free := m.FreeGB(now) // forces a drain
 				_ = free
-				if d.FreeSlices() != d.Slices() {
-					t.Fatalf("after full release: device %d has %d of %d slices free",
-						di, d.FreeSlices(), d.Slices())
+				if d.FreeSlices()+d.RetiredSlices() != d.Slices() {
+					t.Fatalf("after full release: device %d has %d free + %d retired of %d slices",
+						di, d.FreeSlices(), d.RetiredSlices(), d.Slices())
 				}
 			}
 		})

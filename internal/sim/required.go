@@ -96,11 +96,22 @@ const poolProvisioningQuantile = 0.99
 // poolSampleSec is the pool-demand sampling interval.
 const poolSampleSec = 3600.0
 
-// RequiredDRAM replays the schedule under the split plan and returns the
-// cluster's DRAM requirement for pools spanning poolSockets sockets.
-// Sockets are grouped contiguously into pools: a 16-socket pool over
-// dual-socket servers groups 8 servers around shared EMCs.
-func RequiredDRAM(s Schedule, poolSockets int, plan SplitPlan) Requirement {
+// GroupDemand is one pool group's sampled demand profile: the peak
+// aggregate pool draw and the poolSampleSec-spaced samples the
+// provisioning quantile is taken over. The offline capacity planner
+// (internal/capacity) consumes these directly — fold Samples into a
+// capacity.Demand to run the savings waterfall against a trace replay.
+type GroupDemand struct {
+	PeakGB  float64
+	Samples []float64
+}
+
+// PoolDemand replays the schedule under the split plan and returns each
+// pool group's demand profile plus the GB-weighted share of VM memory
+// the plan placed on the pool. Sockets are grouped contiguously into
+// pools: a 16-socket pool over dual-socket servers groups 8 servers
+// around shared EMCs.
+func PoolDemand(s Schedule, poolSockets int, plan SplitPlan) (groups []GroupDemand, poolShare float64) {
 	tr := s.Trace
 	if len(plan.PoolFrac) != len(tr.VMs) {
 		panic(fmt.Sprintf("sim: plan has %d fractions for %d VMs", len(plan.PoolFrac), len(tr.VMs)))
@@ -181,21 +192,36 @@ func RequiredDRAM(s Schedule, poolSockets int, plan SplitPlan) Requirement {
 		}
 	}
 
-	var req Requirement
-	req.BaselineGB = float64(nSockets) * tr.Spec.MemGBPerSock
-	poolShare := 0.0
 	if memGBSec > 0 {
 		poolShare = stats.Clamp(poolGBSec/memGBSec, 0, 1)
 	}
+	groups = make([]GroupDemand, nGroups)
+	for g := range groups {
+		groups[g] = GroupDemand{PeakGB: poolPeak[g], Samples: poolSamples[g]}
+	}
+	return groups, poolShare
+}
+
+// RequiredDRAM replays the schedule under the split plan and returns the
+// cluster's DRAM requirement for pools spanning poolSockets sockets:
+// each group's pool is provisioned for the poolProvisioningQuantile of
+// its own demand profile, and the per-socket SKU shrinks by the pooled
+// share of VM memory.
+func RequiredDRAM(s Schedule, poolSockets int, plan SplitPlan) Requirement {
+	tr := s.Trace
+	groups, poolShare := PoolDemand(s, poolSockets, plan)
+
+	var req Requirement
+	req.BaselineGB = float64(tr.Servers*tr.Spec.Sockets) * tr.Spec.MemGBPerSock
 	req.LocalGB = req.BaselineGB * (1 - poolShare)
-	for g := range poolSamples {
-		if len(poolSamples[g]) == 0 {
-			req.PoolGB += poolPeak[g]
+	for _, g := range groups {
+		if len(g.Samples) == 0 {
+			req.PoolGB += g.PeakGB
 			continue
 		}
-		p := stats.Quantile(poolSamples[g], poolProvisioningQuantile)
-		if p > poolPeak[g] {
-			p = poolPeak[g]
+		p := stats.Quantile(g.Samples, poolProvisioningQuantile)
+		if p > g.PeakGB {
+			p = g.PeakGB
 		}
 		req.PoolGB += p
 	}

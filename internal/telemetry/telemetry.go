@@ -136,6 +136,31 @@ func (s *Store) CustomerHistory(c cluster.CustomerID, beforeSec, windowSec float
 	}
 }
 
+// UntouchedQuantiles pools every recorded outcome across customers and
+// returns the requested quantiles of the fleet's untouched-memory
+// distribution — the provisioning input behind Pond's §2 argument that
+// untouched (and stranded) memory is what a right-sized pool absorbs.
+// It returns nil when no outcomes exist.
+func (s *Store) UntouchedQuantiles(qs ...float64) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var xs []float64
+	for _, recs := range s.history {
+		for _, rec := range recs {
+			xs = append(xs, rec.untouched)
+		}
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	sort.Float64s(xs)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = stats.QuantileSorted(xs, q)
+	}
+	return out
+}
+
 // Customers returns all customers with recorded outcomes.
 func (s *Store) Customers() []cluster.CustomerID {
 	s.mu.Lock()

@@ -337,3 +337,53 @@ func TestRunFleetRetrainPublicAPI(t *testing.T) {
 		t.Fatal("retraining without predictions accepted")
 	}
 }
+
+// TestRunFleetElasticPublicAPI drives the elastic capacity loop through
+// the public facade: planning decisions appear identically for any
+// worker count, and the report surfaces the savings metrics and plan
+// history together with a manual resize injection.
+func TestRunFleetElasticPublicAPI(t *testing.T) {
+	base := FleetOpts{
+		Hosts:        4,
+		EMCs:         4,
+		PoolGB:       128,
+		Cells:        2,
+		DurationSec:  800,
+		Arrival:      "poisson:rate=0.2:life=200",
+		Inject:       "resize@t=150:emc=1:slices=-8",
+		ElasticPool:  true,
+		PlanEverySec: 200,
+		TargetQoS:    0.01,
+	}
+	a := base
+	a.Workers = 1
+	ra, err := RunFleet(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := base
+	b.Workers = 8
+	rb, err := RunFleet(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.EventLog != rb.EventLog || ra.LogSHA256 != rb.LogSHA256 {
+		t.Fatal("elastic event log differs between workers=1 and workers=8")
+	}
+	if len(ra.PlanHistory) == 0 {
+		t.Fatal("plan history missing from the public report")
+	}
+	if ra.DRAMSavedGB <= 0 || ra.FinalPoolGB >= base.PoolGB*base.Cells {
+		t.Fatalf("elastic pool banked no savings: saved=%.2f final=%d", ra.DRAMSavedGB, ra.FinalPoolGB)
+	}
+	if !strings.Contains(ra.EventLog, "inject resize emc=1") {
+		t.Fatal("resize injection missing from the public event log")
+	}
+	if !strings.Contains(ra.Summary, "elastic:") {
+		t.Fatalf("summary missing the elastic line:\n%s", ra.Summary)
+	}
+	// Elastic knobs without the elastic pool are rejected.
+	if _, err := RunFleet(context.Background(), FleetOpts{PlanEverySec: 100}); err == nil {
+		t.Fatal("plan cadence without ElasticPool accepted")
+	}
+}
