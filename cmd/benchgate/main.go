@@ -17,7 +17,15 @@
 // staged-rollout hot path: cross-cell corpus pooling, canary
 // bookkeeping, release training, verdicts), and plan_ns_per_op (the
 // elastic-capacity hot path: demand accumulation, controller targeting,
-// Pool Manager grow/shrink against real EMC devices). Raw `go test -bench` lines ride along in the artifact for
+// Pool Manager grow/shrink against real EMC devices).
+//
+// Timing metrics gate with the wide -tolerance (default 20%) because CI
+// runners are noisy. The *_allocs_per_op metrics gate with the separate
+// -alloc-tolerance (default 2%): allocation counts are a deterministic
+// function of the code, so even a small increase is a real regression —
+// this is the tripwire protecting the zero-alloc steady-state hot path.
+//
+// Raw `go test -bench` lines ride along in the artifact for
 // trend dashboards but are not gated — they are too machine-dependent
 // for a hard threshold, whereas the fleet smoke is gated because its
 // work is fixed and deterministic. After an intentional perf change,
@@ -78,13 +86,15 @@ func smokeOptions() fleet.Options {
 func main() {
 	out := flag.String("out", "BENCH_fleet.json", "artifact path for the measured metrics")
 	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline to gate against")
-	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression per metric")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression per timing metric")
+	allocTolerance := flag.Float64("alloc-tolerance", 0.02, "allowed fractional regression per *_allocs_per_op metric (allocation counts are deterministic, so the gate is tight)")
 	update := flag.Bool("update", false, "write the measurements to -baseline and exit")
 	benchFile := flag.String("bench", "", "optional `go test -bench` output to fold into the artifact")
+	summary := flag.String("summary", "", "optional path to append a Markdown before/after delta table (CI passes $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 
-	if *tolerance < 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: -tolerance must be >= 0, got %g\n", *tolerance)
+	if *tolerance < 0 || *allocTolerance < 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: tolerances must be >= 0, got -tolerance=%g -alloc-tolerance=%g\n", *tolerance, *allocTolerance)
 		os.Exit(2)
 	}
 
@@ -136,6 +146,7 @@ func main() {
 	}
 
 	var regressions []string
+	var rows []summaryRow
 	for _, name := range sortedKeys(base.Metrics) {
 		b := base.Metrics[name]
 		cur, ok := res.Metrics[name]
@@ -149,18 +160,34 @@ func main() {
 		} else {
 			worse = (cur.Value - b.Value) / b.Value
 		}
+		// Timing metrics absorb CI-runner noise with the wide -tolerance;
+		// allocation counts are a deterministic function of the code, so
+		// they get the tight -alloc-tolerance. A change that quietly
+		// re-boxes events or drops a freelist fails here even when the
+		// wall clock happens to look fine.
+		tol := *tolerance
+		if strings.HasSuffix(name, "_allocs_per_op") {
+			tol = *allocTolerance
+		}
 		status := "ok"
-		if worse > *tolerance {
+		if worse > tol {
 			status = "REGRESSION"
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.1f vs baseline %.1f (%+.0f%%, tolerance %.0f%%)",
-					name, cur.Value, b.Value, 100*worse, 100**tolerance))
+					name, cur.Value, b.Value, 100*worse, 100*tol))
 		}
 		fmt.Printf("  %-22s %14.1f baseline %14.1f  %+6.1f%%  %s\n",
 			name, cur.Value, b.Value, 100*worse, status)
+		rows = append(rows, summaryRow{name: name, base: b.Value, cur: cur.Value, worse: worse, tol: tol, status: status})
+	}
+	if *summary != "" {
+		if err := writeSummary(*summary, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if len(regressions) > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d metric(s) regressed >%.0f%%:\n", len(regressions), 100**tolerance)
+		fmt.Fprintf(os.Stderr, "benchgate: %d metric(s) regressed past tolerance:\n", len(regressions))
 		for _, r := range regressions {
 			fmt.Fprintf(os.Stderr, "  %s\n", r)
 		}
@@ -266,6 +293,42 @@ func measurePlan() map[string]Metric {
 		"plan_ns_per_op":     {Value: float64(r.NsPerOp()), HigherIsBetter: false},
 		"plan_allocs_per_op": {Value: float64(r.AllocsPerOp()), HigherIsBetter: false},
 	}
+}
+
+// summaryRow is one gated metric's before/after comparison, rendered
+// into the CI job summary.
+type summaryRow struct {
+	name       string
+	base, cur  float64
+	worse, tol float64
+	status     string
+}
+
+// writeSummary appends a Markdown delta table to path. CI passes
+// $GITHUB_STEP_SUMMARY so every run shows the baseline comparison on the
+// job page without digging through logs or artifacts.
+func writeSummary(path string, rows []summaryRow) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "### Benchmark gate: current vs committed baseline")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Metric | Baseline | Current | Δ | Tolerance | Status |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---|")
+	for _, r := range rows {
+		mark := "✅"
+		if r.status != "ok" {
+			mark = "❌"
+		}
+		fmt.Fprintf(w, "| `%s` | %.1f | %.1f | %+.1f%% | %.0f%% | %s %s |\n",
+			r.name, r.base, r.cur, 100*r.worse, 100*r.tol, mark, r.status)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Δ is the fractional *regression* (positive = worse, regardless of metric direction).")
+	return w.Flush()
 }
 
 // requireMeasured exits hard on a zero benchmark result — the signature

@@ -19,9 +19,12 @@ type FleetOpts struct {
 	// PodDegree is the per-host EMC count under "sparse" (default 2).
 	PodDegree int
 
-	// Hosts, EMCs, and PoolGB size each cell's pool group.
-	Hosts  int
-	EMCs   int
+	// Hosts is the number of hypervisor hosts per cell.
+	Hosts int
+	// EMCs is the number of external memory controllers per cell.
+	EMCs int
+	// PoolGB is each cell's pool capacity in GB, split evenly across
+	// its EMCs.
 	PoolGB int
 
 	// Cells is the number of independent pool groups (engine shards).
@@ -100,12 +103,15 @@ type FleetOpts struct {
 
 // FleetReport is the merged outcome of an online fleet run.
 type FleetReport struct {
-	// Topology echoes the topology that ran, with its blast-radius
-	// summary.
-	Topology     string
+	// Topology echoes the topology that ran.
+	Topology string
+	// TopologyDesc is the topology's one-line description with its
+	// blast-radius summary.
 	TopologyDesc string
 
-	// Counters aggregated across cells.
+	// Arrivals, Placed, Rejected, and Departed count VM lifecycle
+	// events aggregated across cells: VMs that arrived, were admitted,
+	// were turned away with no fitting host, and completed.
 	Arrivals, Placed, Rejected, Departed int
 	// BlastVMs is the number of VMs lost to injected EMC failures;
 	// Migrated counts VMs moved off draining hosts.
@@ -114,13 +120,15 @@ type FleetReport struct {
 	// the PDM; Mitigations those the QoS monitor reconfigured.
 	QoSViolations, Mitigations int
 
-	// AvgCoreUtil is the time-weighted scheduled-core fraction;
-	// AvgStrandedGB the time-weighted stranded memory (§2); PoolShare
-	// the GB-weighted share of placed memory on pool DRAM.
-	AvgCoreUtil    float64
-	AvgStrandedGB  float64
+	// AvgCoreUtil is the time-weighted scheduled-core fraction.
+	AvgCoreUtil float64
+	// AvgStrandedGB is the time-weighted stranded memory (§2).
+	AvgStrandedGB float64
+	// PeakPoolUsedGB is the highest pool usage any cell reached — the
+	// demand signal capacity planning sizes against.
 	PeakPoolUsedGB float64
-	PoolShare      float64
+	// PoolShare is the GB-weighted share of placed memory on pool DRAM.
+	PoolShare float64
 
 	// Capacity loop (meaningful when ElasticPool or a resize injection
 	// ran). FinalPoolGB sums the cells' active pool capacity at run end;

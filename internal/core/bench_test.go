@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"pond/internal/pmu"
+	"pond/internal/predict"
+	"pond/internal/stats"
+	"pond/internal/telemetry"
+)
+
+// BenchmarkDecideMiss measures the pipeline's prediction-disabled path:
+// no insensitivity model, no untouched-memory model, so every VM falls
+// through to the all-local default. This is the fleet event loop's
+// per-admission cost when predictions are off (the benchgate smoke
+// configuration) and must stay allocation-free — a Decision is returned
+// by value and no feature vectors or errors may escape to the heap.
+func BenchmarkDecideMiss(b *testing.B) {
+	p := NewPipeline(DefaultConfig(), nil, nil, telemetry.NewStore())
+	vm := testVM(1, 7, 32, "541.leela_r")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := p.Decide(vm, nil, nil)
+		if d.Kind != AllLocal {
+			b.Fatalf("decision = %+v, want all-local", d)
+		}
+	}
+}
+
+// BenchmarkDecideScored measures the full scored path — insensitivity
+// model consulted on the counters, then the untouched-memory split —
+// with the models attached directly (no serving layer).
+func BenchmarkDecideScored(b *testing.B) {
+	store := telemetry.NewStore()
+	p := NewPipeline(DefaultConfig(), fixedScore(0.2), predict.FixedUntouched{Frac: 0.3}, store)
+	vm := testVM(1, 7, 32, "505.mcf_r")
+	counters := pmu.Sample(vm.GroundTruth.Workload, stats.NewRand(1))
+	feats := predict.UMFeatures(vm, telemetry.History{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := p.Decide(vm, &counters, feats)
+		if d.Kind != ZNUMA {
+			b.Fatalf("decision = %+v, want zNUMA", d)
+		}
+	}
+}

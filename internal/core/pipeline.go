@@ -13,7 +13,6 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strings"
 	"sync/atomic"
@@ -193,7 +192,7 @@ func (p *Pipeline) decide(vm cluster.VMRequest, counters *pmu.Vector, umFeatures
 	mem := vm.Type.MemoryGB
 
 	if counters != nil && !p.store.KnownSensitive(vm.Customer) {
-		if score, ok := p.scoreInsens(vm, *counters); ok {
+		if score, ok := p.scoreInsens(vm, counters); ok {
 			if score >= p.InsensThreshold() {
 				return Decision{Kind: AllPool, PoolGB: mem, Score: score}
 			}
@@ -210,30 +209,30 @@ func (p *Pipeline) decide(vm cluster.VMRequest, counters *pmu.Vector, umFeatures
 // scoreInsens serves the latency-insensitivity score — through the
 // inference server when one is attached (per-(customer, workload) cache,
 // hot-swapped models), else from the directly held model.
-func (p *Pipeline) scoreInsens(vm cluster.VMRequest, v pmu.Vector) (float64, bool) {
+func (p *Pipeline) scoreInsens(vm cluster.VMRequest, v *pmu.Vector) (float64, bool) {
 	if p.srv != nil {
-		score, err := p.srv.ScoreInsensitivity(insensCacheKey(vm, v), v)
+		score, err := p.srv.ScoreInsensitivity(insensCacheKey(vm, v), *v)
 		return score, err == nil
 	}
 	if p.insens == nil {
 		return 0, false
 	}
-	return p.insens.Score(v), true
+	return p.insens.Score(*v), true
 }
 
 // insensCacheKey identifies the (customer, workload) pair, as the
 // serving contract requires. Opaque VMs carry no workload identity, so
 // their key mixes the sampled counters and every VM scores fresh rather
-// than inheriting another workload's cached score.
-func insensCacheKey(vm cluster.VMRequest, v pmu.Vector) int64 {
-	words := make([]uint64, 0, 2+len(v))
-	words = append(words, uint64(vm.Customer), hashString(vm.WorkloadName))
+// than inheriting another workload's cached score. Keys are folded
+// through the streaming digest so the miss path allocates nothing.
+func insensCacheKey(vm cluster.VMRequest, v *pmu.Vector) int64 {
+	d := stats.NewDigest().Word(uint64(vm.Customer)).Word(hashString(vm.WorkloadName))
 	if vm.WorkloadName == "" {
 		for _, c := range v {
-			words = append(words, math.Float64bits(c))
+			d = d.Word(math.Float64bits(c))
 		}
 	}
-	return stats.HashWords(words...)
+	return d.Sum()
 }
 
 // predictUM serves the untouched-memory fraction. The server cache key
@@ -271,22 +270,25 @@ func (p *Pipeline) decideUM(vm cluster.VMRequest, umFeatures []float64) Decision
 }
 
 // umCacheKey folds the customer and feature vector into a serving-cache
-// key.
+// key, allocation-free via the streaming digest.
 func umCacheKey(vm cluster.VMRequest, features []float64) int64 {
-	words := make([]uint64, 0, 1+len(features))
-	words = append(words, uint64(vm.Customer))
+	d := stats.NewDigest().Word(uint64(vm.Customer))
 	for _, f := range features {
-		words = append(words, math.Float64bits(f))
+		d = d.Word(math.Float64bits(f))
 	}
-	return stats.HashWords(words...)
+	return d.Sum()
 }
 
 // hashString digests a string with FNV-1a (empty hashes to a distinct
-// "unknown" value).
+// "unknown" value). The fold is inlined — identical to hash/fnv's
+// 64-bit variant — so key construction never allocates.
 func hashString(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return h.Sum64()
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Outcome is the ground-truth consequence of a decision, as the QoS

@@ -38,6 +38,21 @@ type ClusterScheduler struct {
 // ErrNoHost is returned when no host fits the VM.
 var ErrNoHost = errors.New("core: no host with sufficient capacity")
 
+// noHostError is the rejection error Place returns. Rendering the
+// message lazily keeps the fleet's reject path (which only does
+// errors.Is(err, ErrNoHost) and logs its own line) down to one
+// allocation instead of fmt.Errorf's several.
+type noHostError struct {
+	cores   int
+	localGB float64
+}
+
+func (e *noHostError) Error() string {
+	return fmt.Sprintf("%v: %d cores / %g GB local", ErrNoHost, e.cores, e.localGB)
+}
+
+func (e *noHostError) Unwrap() error { return ErrNoHost }
+
 // NewClusterScheduler wires hosts and the pool manager.
 func NewClusterScheduler(hosts []*host.Host, manager *pool.Manager) *ClusterScheduler {
 	if len(hosts) == 0 {
@@ -144,7 +159,7 @@ func (cs *ClusterScheduler) Place(vm cluster.VMRequest, d Decision, now float64)
 		if d.PoolGB > 0 {
 			return cs.Place(vm, Decision{Kind: AllLocal, LocalGB: vm.Type.MemoryGB}, now)
 		}
-		return res, fmt.Errorf("%w: %d cores / %g GB local", ErrNoHost, vm.Type.Cores, d.LocalGB)
+		return res, &noHostError{cores: vm.Type.Cores, localGB: d.LocalGB}
 	}
 
 	var slices []pool.SliceRef

@@ -97,7 +97,7 @@ func (m ArrivalModel) String() string {
 // provides (workload set, untouched-memory level, first-party flag) so
 // the prediction pipeline's history features have something to learn.
 func synthCustomers(n int, r *stats.Rand) []cluster.Customer {
-	catalogue := workload.Catalogue()
+	catalogue := catalogueCache
 	out := make([]cluster.Customer, n)
 	for i := range out {
 		nw := 1 + r.Intn(3)
@@ -118,15 +118,40 @@ func synthCustomers(n int, r *stats.Rand) []cluster.Customer {
 	return out
 }
 
-// drawVM samples one VM request from a customer at the given time.
-func drawVM(cust cluster.Customer, at, meanLifeSec float64, r *stats.Rand) cluster.VMRequest {
-	types := cluster.VMTypes()
-	weights := make([]float64, len(types))
-	for i, t := range types {
+// expectedArrivals estimates the Poisson stream length (base process
+// plus surge extras, ~10% headroom) so the arrival slice is allocated
+// once. Only capacity — never content — depends on the estimate.
+func expectedArrivals(o Options) int {
+	n := o.Arrival.RatePerSec * o.DurationSec
+	for _, inj := range o.Injections {
+		if inj.Kind == InjectSurge && inj.Factor > 1 {
+			n += o.Arrival.RatePerSec * (inj.Factor - 1) * inj.DurSec
+		}
+	}
+	return int(n+n/10) + 16
+}
+
+// catalogueCache avoids re-copying the 158-workload catalogue on every
+// tenant-population build; the fleet generator only reads it.
+var catalogueCache = workload.Catalogue()
+
+// vmTypes and vmTypeWeights cache the type catalogue and its arrival
+// mix: the weights depend only on the (fixed) catalogue, so rebuilding
+// them per drawn VM was pure allocation churn in stream generation.
+var vmTypes = cluster.VMTypes()
+
+var vmTypeWeights = func() []float64 {
+	weights := make([]float64, len(vmTypes))
+	for i, t := range vmTypes {
 		// Small shapes dominate cloud VM counts, as in the generator.
 		weights[i] = 1 / float64(t.Cores)
 	}
-	vt := types[r.Choice(weights)]
+	return weights
+}()
+
+// drawVM samples one VM request from a customer at the given time.
+func drawVM(cust cluster.Customer, at, meanLifeSec float64, r *stats.Rand) cluster.VMRequest {
+	vt := vmTypes[r.Choice(vmTypeWeights)]
 	w := cust.Workloads[r.Intn(len(cust.Workloads))]
 	a := cust.MeanUntouched * cust.Spread
 	b := (1 - cust.MeanUntouched) * cust.Spread
@@ -167,7 +192,7 @@ func drawVM(cust cluster.Customer, at, meanLifeSec float64, r *stats.Rand) clust
 // exactly what makes pre-drift models stale rather than merely
 // uninformed.
 func driftPopulation(pop []cluster.Customer, mag float64, r *stats.Rand) []cluster.Customer {
-	catalogue := workload.Catalogue()
+	catalogue := catalogueCache
 	out := make([]cluster.Customer, len(pop))
 	for i, c := range pop {
 		c.MeanUntouched = stats.Clamp(c.MeanUntouched*(1-mag)+(1-c.MeanUntouched)*mag, 0.02, 0.98)
@@ -256,6 +281,9 @@ func generateArrivals(o Options, cell int, r *stats.Rand) []cluster.VMRequest {
 		rArr := r.Fork(1)
 		customers = synthCustomers(32, rArr)
 		driftTimes, epochs = driftEpochs(customers, o.Injections, cell, r)
+		// Presize for the expected stream (surge extras included below
+		// share the slice); capacity never affects the drawn contents.
+		vms = make([]cluster.VMRequest, 0, expectedArrivals(o))
 		for t := rArr.Exponential(1 / o.Arrival.RatePerSec); t < o.DurationSec; t += rArr.Exponential(1 / o.Arrival.RatePerSec) {
 			pop := populationAt(t, driftTimes, epochs)
 			cust := pop[rArr.Intn(len(pop))]
@@ -299,12 +327,23 @@ func generateArrivals(o Options, cell int, r *stats.Rand) []cluster.VMRequest {
 		vms = driftTraceVMs(vms, o.Injections, cell, r)
 	}
 
-	sort.SliceStable(vms, func(a, b int) bool { return vms[a].ArrivalSec < vms[b].ArrivalSec })
+	// Concrete-type stable sort: a stable sort's output is uniquely
+	// determined by the comparator and input order, so replacing
+	// sort.SliceStable (reflect-based swaps of a large struct) with
+	// sort.Stable over byArrival changes no stream or golden byte.
+	sort.Stable(byArrival(vms))
 	for i := range vms {
 		vms[i].ID = cluster.VMID(i + 1)
 	}
 	return vms
 }
+
+// byArrival stable-sorts VM requests by arrival time.
+type byArrival []cluster.VMRequest
+
+func (s byArrival) Len() int           { return len(s) }
+func (s byArrival) Less(a, b int) bool { return s[a].ArrivalSec < s[b].ArrivalSec }
+func (s byArrival) Swap(a, b int)      { s[a], s[b] = s[b], s[a] }
 
 // driftTraceVMs applies drift injections to a trace-derived stream: each
 // drift flips the untouched-memory behaviour of VMs arriving after it
@@ -321,7 +360,7 @@ func driftTraceVMs(vms []cluster.VMRequest, injections []Injection, cell int, r 
 		return vms
 	}
 	sort.SliceStable(drifts, func(i, j int) bool { return drifts[i].AtSec < drifts[j].AtSec })
-	catalogue := workload.Catalogue()
+	catalogue := catalogueCache
 	rd := r.Fork(7)
 	for _, d := range drifts {
 		for i := range vms {

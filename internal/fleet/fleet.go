@@ -26,14 +26,15 @@
 package fleet
 
 import (
-	"container/heap"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"pond/internal/capacity"
@@ -529,6 +530,11 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	tp, _ := topo.Build(o.Topology, o.Hosts, o.EMCs, o.PodDegree)
 	rep.TopologyDesc = tp.Describe()
 	var log strings.Builder
+	logLen := 0
+	for _, c := range results {
+		logLen += len(c.Log)
+	}
+	log.Grow(logLen + len(fleetLog))
 	for _, c := range results {
 		rep.Arrivals += c.Arrivals
 		rep.Placed += c.Placed
@@ -578,8 +584,11 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		log.WriteString(fleetLog)
 	}
 	rep.EventLog = log.String()
-	sum := sha256.Sum256([]byte(rep.EventLog))
-	rep.LogSHA256 = hex.EncodeToString(sum[:])
+	// Hash the builder's string directly: io.WriteString avoids the
+	// []byte(rep.EventLog) copy, and the digest is identical.
+	h := sha256.New()
+	io.WriteString(h, rep.EventLog)
+	rep.LogSHA256 = hex.EncodeToString(h.Sum(nil))
 	return rep, nil
 }
 
@@ -751,22 +760,59 @@ type event struct {
 	vm   cluster.VMID // departing VM
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq).
+// (at, seq) is a strict total order — seq is unique per cell — so the
+// minimum is always unique and the pop sequence is fully determined by
+// the comparison alone, independent of the heap's internal layout. The
+// methods avoid container/heap's interface boxing: pushing and popping
+// an event allocates nothing once the backing array is grown.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
+
+func (h eventHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// popMin removes and returns the minimum event.
+func (h *eventHeap) popMin() event {
+	q := *h
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	*h = q[:n]
+	q[:n].down(0)
 	return ev
 }
 
@@ -819,6 +865,17 @@ type cellSim struct {
 	running  map[cluster.VMID]*runningVM
 	log      strings.Builder
 
+	// Hot-path scratch, all scoped to this cell (cells are sequential,
+	// so reuse is race-free and deterministic): lbuf renders log lines,
+	// ctrBuf receives PMU samples handed to Decide (the pipeline and its
+	// shadow hooks read the counters synchronously and never retain the
+	// pointer), featBuf backs the UMFeatures vector (observers copy it),
+	// and rvFree recycles runningVM records across departures.
+	lbuf    []byte
+	ctrBuf  pmu.Vector
+	featBuf []float64
+	rvFree  []*runningVM
+
 	totalCores             float64
 	placedGB, placedPoolGB float64
 	lastT                  float64
@@ -869,7 +926,9 @@ func newCellSim(cell int, o Options, insens predict.Insensitivity, threshold flo
 	c.ratio = cxl.PondLatencyRatio(o.Hosts * 2)
 	c.hosts = make([]*host.Host, o.Hosts)
 	for i := range c.hosts {
-		c.hosts[i] = host.New(emc.HostID(i), c.spec, host.Config{PoolLatencyRatio: c.ratio})
+		// The fleet loop never boots guests from placements, so the
+		// per-VM guest topology is skipped (see host.Config).
+		c.hosts[i] = host.New(emc.HostID(i), c.spec, host.Config{PoolLatencyRatio: c.ratio, SkipGuestTopology: true})
 	}
 	c.store = telemetry.NewStore()
 	pcfg := core.DefaultConfig()
@@ -915,6 +974,10 @@ func newCellSim(cell int, o Options, insens predict.Insensitivity, threshold flo
 
 	// Seed the queue: arrivals in time order, then injections, then the
 	// cell-scoped retrain ticks (fleet scope drives barriers externally).
+	// Presize the heap for every arrival plus its departure so steady
+	// state never regrows it, and the log for the expected line volume.
+	c.q = make(eventHeap, 0, 2*len(c.arrivals)+len(o.Injections)+8)
+	c.log.Grow(96 * (2*len(c.arrivals) + 16))
 	for i := range c.arrivals {
 		c.push(event{at: c.arrivals[i].ArrivalSec, kind: evArrive, idx: i})
 	}
@@ -948,6 +1011,22 @@ func newCellSim(cell int, o Options, insens predict.Insensitivity, threshold flo
 	return c, nil
 }
 
+// newRunningVM takes a record from the cell freelist, or allocates one.
+func (c *cellSim) newRunningVM() *runningVM {
+	if n := len(c.rvFree); n > 0 {
+		rv := c.rvFree[n-1]
+		c.rvFree = c.rvFree[:n-1]
+		return rv
+	}
+	return &runningVM{}
+}
+
+// freeRunningVM recycles a record after its last read. The caller must
+// not touch rv afterwards.
+func (c *cellSim) freeRunningVM(rv *runningVM) {
+	c.rvFree = append(c.rvFree, rv)
+}
+
 // observer returns the active lifecycle listener, nil when none.
 func (c *cellSim) observer() observer {
 	if c.mgr != nil {
@@ -962,13 +1041,96 @@ func (c *cellSim) observer() observer {
 func (c *cellSim) push(ev event) {
 	ev.seq = c.seq
 	c.seq++
-	heap.Push(&c.q, ev)
+	c.q = append(c.q, ev)
+	c.q.up(len(c.q) - 1)
 }
 
+// logf renders one cold-path log line through fmt. Hot-path events
+// (arrive, depart, reject, qos-violation) use the append-based helpers
+// below instead, which produce byte-identical output without boxing
+// arguments or allocating.
 func (c *cellSim) logf(at float64, format string, args ...any) {
 	fmt.Fprintf(&c.log, "[c%d t=%.3f] ", c.cell, at)
 	fmt.Fprintf(&c.log, format, args...)
 	c.log.WriteByte('\n')
+}
+
+// logPrefix appends the shared "[c%d t=%.3f] " prefix to the line
+// scratch buffer and returns it. strconv.AppendFloat with 'f'/3 renders
+// exactly what fmt's %.3f does, and AppendInt exactly what %d does, so
+// the zero-alloc helpers below reproduce logf's bytes bit for bit — the
+// golden event logs pin this equivalence.
+func (c *cellSim) logPrefix(at float64) []byte {
+	b := append(c.lbuf[:0], "[c"...)
+	b = strconv.AppendInt(b, int64(c.cell), 10)
+	b = append(b, " t="...)
+	b = appendFixed3(b, at)
+	return append(b, "] "...)
+}
+
+// logLine commits a rendered line to the cell log, keeping the grown
+// scratch buffer for the next event.
+func (c *cellSim) logLine(b []byte) {
+	b = append(b, '\n')
+	c.log.Write(b)
+	c.lbuf = b[:0]
+}
+
+// logArrive renders "arrive vm=%d cust=%d type=%s decision=%s host=%d
+// local=%g pool=%g".
+func (c *cellSim) logArrive(at float64, vm *cluster.VMRequest, kind core.DecisionKind, hostIdx int, localGB, poolGB float64) {
+	b := c.logPrefix(at)
+	b = append(b, "arrive vm="...)
+	b = strconv.AppendInt(b, int64(vm.ID), 10)
+	b = append(b, " cust="...)
+	b = strconv.AppendInt(b, int64(vm.Customer), 10)
+	b = append(b, " type="...)
+	b = append(b, vm.Type.Name...)
+	b = append(b, " decision="...)
+	b = append(b, kind.String()...)
+	b = append(b, " host="...)
+	b = strconv.AppendInt(b, int64(hostIdx), 10)
+	b = append(b, " local="...)
+	b = strconv.AppendFloat(b, localGB, 'g', -1, 64)
+	b = append(b, " pool="...)
+	b = strconv.AppendFloat(b, poolGB, 'g', -1, 64)
+	c.logLine(b)
+}
+
+// logDepart renders "depart vm=%d host=%d".
+func (c *cellSim) logDepart(at float64, id cluster.VMID, hostIdx int) {
+	b := c.logPrefix(at)
+	b = append(b, "depart vm="...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	b = append(b, " host="...)
+	b = strconv.AppendInt(b, int64(hostIdx), 10)
+	c.logLine(b)
+}
+
+// logReject renders "reject vm=%d type=%s cores=%d mem=%g".
+func (c *cellSim) logReject(at float64, vm *cluster.VMRequest) {
+	b := c.logPrefix(at)
+	b = append(b, "reject vm="...)
+	b = strconv.AppendInt(b, int64(vm.ID), 10)
+	b = append(b, " type="...)
+	b = append(b, vm.Type.Name...)
+	b = append(b, " cores="...)
+	b = strconv.AppendInt(b, int64(vm.Type.Cores), 10)
+	b = append(b, " mem="...)
+	b = strconv.AppendFloat(b, vm.Type.MemoryGB, 'g', -1, 64)
+	c.logLine(b)
+}
+
+// logQoS renders "qos-violation vm=%d decision=%s slowdown=%.3f".
+func (c *cellSim) logQoS(at float64, id cluster.VMID, kind core.DecisionKind, slowdown float64) {
+	b := c.logPrefix(at)
+	b = append(b, "qos-violation vm="...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	b = append(b, " decision="...)
+	b = append(b, kind.String()...)
+	b = append(b, " slowdown="...)
+	b = appendFixed3(b, slowdown)
+	c.logLine(b)
 }
 
 // account integrates the time-weighted utilization metrics up to now.
@@ -1053,11 +1215,11 @@ func (c *cellSim) planTick(now float64) {
 // stamped at or after it).
 func (c *cellSim) runUntil(tEnd float64, final bool) error {
 	o := c.o
-	for c.q.Len() > 0 {
+	for len(c.q) > 0 {
 		if next := c.q[0].at; next > tEnd || (!final && next == tEnd) {
 			break
 		}
-		ev := heap.Pop(&c.q).(event)
+		ev := c.q.popMin()
 		c.account(ev.at)
 		now := ev.at
 		switch ev.kind {
@@ -1066,21 +1228,24 @@ func (c *cellSim) runUntil(tEnd float64, final bool) error {
 			w := vm.GroundTruth.Workload
 
 			// Admission through the Figure 13 control plane: history
-			// counters when the customer has completed VMs before.
+			// counters when the customer has completed VMs before. The
+			// counter vector and feature slice are per-cell scratch —
+			// Decide and its shadow hooks consume them synchronously.
 			var counters *pmu.Vector
 			hist := c.store.CustomerHistory(vm.Customer, now+1, predict.HistoryWindowSec)
 			if hist.Count > 0 {
-				v := pmu.Sample(w, c.rPlace)
-				counters = &v
+				pmu.SampleInto(&c.ctrBuf, w, c.rPlace)
+				counters = &c.ctrBuf
 			}
-			d := c.pipe.Decide(vm, counters, predict.UMFeatures(vm, hist))
+			c.featBuf = predict.UMFeaturesInto(c.featBuf[:0], vm, hist)
+			d := c.pipe.Decide(vm, counters, c.featBuf)
 			pr, perr := c.sched.Place(vm, d, now)
 			if perr != nil {
 				c.res.Rejected++
 				if obsv := c.observer(); obsv != nil {
 					obsv.ForgetVM(vm.ID)
 				}
-				c.logf(now, "reject vm=%d type=%s cores=%d mem=%g", vm.ID, vm.Type.Name, vm.Type.Cores, vm.Type.MemoryGB)
+				c.logReject(now, &c.arrivals[ev.idx])
 				continue
 			}
 			if pr.FellBackToLocal {
@@ -1092,14 +1257,16 @@ func (c *cellSim) runUntil(tEnd float64, final bool) error {
 				}
 				d = core.Decision{Kind: core.AllLocal, LocalGB: vm.Type.MemoryGB}
 			}
-			c.store.RecordSample(vm.ID, pmu.Sample(w, c.rPlace))
+			pmu.SampleInto(&c.ctrBuf, w, c.rPlace)
+			c.store.RecordSample(vm.ID, c.ctrBuf)
 			c.res.Placed++
 			c.placedGB += vm.Type.MemoryGB
 			c.placedPoolGB += pr.Placement.PoolGB
-			c.running[vm.ID] = &runningVM{vm: vm, host: pr.HostIndex, dec: d}
+			rv := c.newRunningVM()
+			rv.vm, rv.host, rv.dec = vm, pr.HostIndex, d
+			c.running[vm.ID] = rv
 			c.push(event{at: now + vm.LifetimeSec, kind: evDepart, vm: vm.ID})
-			c.logf(now, "arrive vm=%d cust=%d type=%s decision=%s host=%d local=%g pool=%g",
-				vm.ID, vm.Customer, vm.Type.Name, d.Kind, pr.HostIndex, pr.Placement.LocalGB, pr.Placement.PoolGB)
+			c.logArrive(now, &c.arrivals[ev.idx], d.Kind, pr.HostIndex, pr.Placement.LocalGB, pr.Placement.PoolGB)
 
 		case evDepart:
 			st, ok := c.running[ev.vm]
@@ -1119,7 +1286,7 @@ func (c *cellSim) runUntil(tEnd float64, final bool) error {
 				out := c.pipe.Evaluate(st.vm, st.dec)
 				if out.ExceedsPDM {
 					c.res.QoSViolations++
-					c.logf(now, "qos-violation vm=%d decision=%s slowdown=%.3f", ev.vm, st.dec.Kind, out.SlowdownFrac)
+					c.logQoS(now, ev.vm, st.dec.Kind, out.SlowdownFrac)
 				}
 				if out.Mitigated {
 					c.res.Mitigations++
@@ -1131,7 +1298,10 @@ func (c *cellSim) runUntil(tEnd float64, final bool) error {
 			}
 			c.store.ForgetVM(ev.vm)
 			c.res.Departed++
-			c.logf(now, "depart vm=%d host=%d", ev.vm, st.host)
+			hostIdx := st.host
+			c.freeRunningVM(st)
+			c.hosts[hostIdx].RecyclePlacement(p)
+			c.logDepart(now, ev.vm, hostIdx)
 
 		case evInject:
 			inj := o.Injections[ev.idx]
@@ -1177,6 +1347,8 @@ func (c *cellSim) runUntil(tEnd float64, final bool) error {
 					if obsv := c.observer(); obsv != nil {
 						obsv.ForgetVM(id)
 					}
+					c.hosts[st.host].RecyclePlacement(p)
+					c.freeRunningVM(st)
 				}
 				c.res.BlastVMs += len(blast)
 				c.logf(now, "inject emc-fail emc=%d blast-hosts=%d blast-vms=%d lost-gb=%g",

@@ -1,0 +1,71 @@
+package fleet
+
+import (
+	"math"
+	"strconv"
+)
+
+// appendFixed3 appends v formatted exactly as strconv.AppendFloat(dst,
+// v, 'f', 3, 64) — and therefore exactly as fmt's %.3f — but without
+// strconv's big-decimal slow path, which dominated the event loop's
+// logging cost. The golden event logs pin the byte-for-byte equivalence;
+// TestAppendFixed3MatchesStrconv checks it differentially.
+//
+// The fast path covers non-negative finite values whose thousandths fit
+// in a uint64: v*1000 is computed exactly as mantissa*1000 (a 53-bit by
+// 10-bit product, exact in uint64) scaled by the binary exponent, then
+// rounded to nearest with ties to even on the true binary value — the
+// same correct rounding strconv implements in decimal. Everything else
+// (negatives, NaN, Inf, huge magnitudes) falls back to strconv.
+func appendFixed3(dst []byte, v float64) []byte {
+	bits := math.Float64bits(v)
+	if bits>>63 != 0 {
+		// Negative or negative zero: rare in sim logs, not worth a path.
+		return strconv.AppendFloat(dst, v, 'f', 3, 64)
+	}
+	exp := int(bits >> 52) // sign bit already known zero
+	mant := bits & (1<<52 - 1)
+	if exp == 0x7ff {
+		return strconv.AppendFloat(dst, v, 'f', 3, 64) // +Inf or NaN
+	}
+	if exp == 0 {
+		exp = 1 // subnormal: value = mant * 2^(1-1075)
+	} else {
+		mant |= 1 << 52
+	}
+	e := exp - 1075 // v = mant * 2^e
+
+	// milli = v*1000 = (mant*1000) * 2^e, exact: mant < 2^53, 1000 < 2^10.
+	m := mant * 1000
+	var ip uint64 // floor(milli)
+	rnd := -1     // fractional part of milli vs 1/2: -1 below, 0 equal, 1 above
+	switch {
+	case e >= 0:
+		if e > 10 || m>>(63-e) != 0 {
+			return strconv.AppendFloat(dst, v, 'f', 3, 64) // too large
+		}
+		ip = m << e // exact integer, fraction zero
+	case e <= -64:
+		// m < 2^63 <= 2^(-e), so milli < 1 and its fraction is below
+		// one half (m < 2^(-e-1)); the result is floor 0 → "0.000".
+		ip = 0
+	default:
+		s := uint(-e)
+		ip = m >> s
+		rem := m & (1<<s - 1)
+		half := uint64(1) << (s - 1)
+		switch {
+		case rem > half:
+			rnd = 1
+		case rem == half:
+			rnd = 0
+		}
+	}
+	if rnd > 0 || (rnd == 0 && ip&1 == 1) {
+		ip++
+	}
+
+	dst = strconv.AppendUint(dst, ip/1000, 10)
+	f := ip % 1000
+	return append(dst, '.', byte('0'+f/100), byte('0'+f/10%10), byte('0'+f%10))
+}

@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// TestAppendFixed3MatchesStrconv differentially checks the fast %.3f
+// formatter against strconv over the value shapes the event log emits —
+// plus adversarial edges: exact thousandth ties, subnormals, huge and
+// tiny magnitudes, negatives, and specials.
+func TestAppendFixed3MatchesStrconv(t *testing.T) {
+	check := func(v float64) {
+		t.Helper()
+		got := string(appendFixed3(nil, v))
+		want := string(strconv.AppendFloat(nil, v, 'f', 3, 64))
+		if got != want {
+			t.Fatalf("appendFixed3(%v) = %q, want %q (bits %#016x)", v, got, want, math.Float64bits(v))
+		}
+	}
+
+	fixed := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, 0.0005, 0.0015, 0.0025,
+		0.001499999999, 600, 86400, 1e6, 1e15, 1e16, 1e18, 1e300,
+		-3.14159, 1.0005, 2.0005, 123.4565, 123.4575,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		math.SmallestNonzeroFloat64, math.MaxFloat64,
+		5e-324, 1e-10, 0.49999999999999994,
+	}
+	for _, v := range fixed {
+		check(v)
+	}
+	// Exact representable ties: k/2 and k/8 land on binary halves after
+	// scaling by 1000 for many k, exercising the ties-to-even branch.
+	for k := 0; k < 4096; k++ {
+		check(float64(k) / 2)
+		check(float64(k) / 8)
+		check(float64(k) / 1024)
+	}
+
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		check(r.Float64() * 1e6)                // sim-time range
+		check(r.Float64() * 10)                 // slowdown range
+		check(r.NormFloat64())                  // signed, near zero
+		check(math.Float64frombits(r.Uint64())) // arbitrary bit patterns
+	}
+}
+
+func BenchmarkAppendFixed3(b *testing.B) {
+	b.ReportAllocs()
+	buf := make([]byte, 0, 32)
+	v := 123.456
+	for i := 0; i < b.N; i++ {
+		buf = appendFixed3(buf[:0], v)
+		v += 0.618
+		if v > 600 {
+			v -= 600
+		}
+	}
+}

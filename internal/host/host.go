@@ -27,6 +27,22 @@ var (
 	ErrPartition      = errors.New("host: pool partition is hypervisor-only")
 )
 
+// noCapacityError is the rejection PlaceVM returns when no NUMA node
+// fits. The scheduler probes hosts until one accepts, so rejections are
+// routine on a loaded fleet; rendering the message lazily keeps each
+// probe to a single allocation where fmt.Errorf pays several.
+type noCapacityError struct {
+	id      cluster.VMID
+	cores   int
+	localGB float64
+}
+
+func (e *noCapacityError) Error() string {
+	return fmt.Sprintf("%v: VM %d needs %d cores / %g GB local", ErrNoCapacity, e.id, e.cores, e.localGB)
+}
+
+func (e *noCapacityError) Unwrap() error { return ErrNoCapacity }
+
 // Placement records where one VM's resources live.
 type Placement struct {
 	VM      cluster.VMRequest
@@ -73,6 +89,14 @@ type Config struct {
 	// single node has room. The paper observes this for 2-3% of VMs
 	// and under 1% of memory pages (§3.1 "NUMA spanning").
 	AllowSpanning bool
+
+	// SkipGuestTopology leaves Placement.Topology zero instead of
+	// building the vNUMA/zNUMA SRAT/SLIT view on every placement. The
+	// fleet simulator sets it — its event loop never boots guests, so
+	// the per-placement topology (several slice allocations per VM)
+	// would be pure garbage. Facades that hand placements to
+	// internal/guest must leave it off.
+	SkipGuestTopology bool
 }
 
 // numaNode is the host-side accounting for one physical socket.
@@ -97,6 +121,11 @@ type Host struct {
 	poolOnlineGB float64
 
 	vms map[cluster.VMID]*Placement
+
+	// free recycles Placement records between ReleaseVM and the next
+	// PlaceVM (see RecyclePlacement); the fleet loop drains it so
+	// steady-state admission allocates nothing.
+	free []*Placement
 }
 
 // New creates a host with all cores and memory free.
@@ -193,8 +222,7 @@ func (h *Host) PlaceVM(vm cluster.VMRequest, localGB, poolGB float64, slices []p
 		}
 	}
 	if node < 0 {
-		return nil, fmt.Errorf("%w: VM %d needs %d cores / %g GB local",
-			ErrNoCapacity, vm.ID, vm.Type.Cores, localGB)
+		return nil, &noCapacityError{id: vm.ID, cores: vm.Type.Cores, localGB: localGB}
 	}
 	h.nodes[node].coresFree -= vm.Type.Cores
 	h.nodes[node].memFreeGB -= localGB - spannedGB
@@ -203,22 +231,47 @@ func (h *Host) PlaceVM(vm cluster.VMRequest, localGB, poolGB float64, slices []p
 	}
 	h.poolFreeGB -= poolGB
 
-	p := &Placement{
+	p := h.newPlacement()
+	*p = Placement{
 		VM:           vm,
 		Node:         node,
 		LocalGB:      localGB,
 		PoolGB:       poolGB,
 		Slices:       slices,
-		Topology:     NewTopology(vm.Type.Cores, localGB, poolGB, h.cfg.PoolLatencyRatio),
 		AccelEnabled: true,
 		SpannedGB:    spannedGB,
 		SpanNode:     spanNode,
+	}
+	if !h.cfg.SkipGuestTopology {
+		p.Topology = NewTopology(vm.Type.Cores, localGB, poolGB, h.cfg.PoolLatencyRatio)
 	}
 	if h.cfg.EnablePageTables {
 		p.PageTable = NewPageTable(vm.Type.MemoryGB)
 	}
 	h.vms[vm.ID] = p
 	return p, nil
+}
+
+// newPlacement takes a record from the host freelist, or allocates one.
+func (h *Host) newPlacement() *Placement {
+	if n := len(h.free); n > 0 {
+		p := h.free[n-1]
+		h.free = h.free[:n-1]
+		return p
+	}
+	return &Placement{}
+}
+
+// RecyclePlacement returns a released placement to the host's freelist
+// so the next PlaceVM reuses it. Call it only after every read of a
+// ReleaseVM result is done — the record's contents are overwritten by
+// the next admission. Callers that retain placements (the single-VM
+// facades) simply never recycle.
+func (h *Host) RecyclePlacement(p *Placement) {
+	if p == nil {
+		return
+	}
+	h.free = append(h.free, p)
 }
 
 // ReleaseVM frees a departed VM's resources and returns its pool slices
@@ -263,7 +316,9 @@ func (h *Host) Reconfigure(id cluster.VMID) (durationSec, freedPoolGB float64, e
 	p.LocalGB += moved
 	p.PoolGB = 0
 	p.Reconfigured = true
-	p.Topology = NewTopology(p.VM.Type.Cores, p.LocalGB, 0, h.cfg.PoolLatencyRatio)
+	if !h.cfg.SkipGuestTopology {
+		p.Topology = NewTopology(p.VM.Type.Cores, p.LocalGB, 0, h.cfg.PoolLatencyRatio)
+	}
 	p.AccelEnabled = true
 	return moved * ReconfigSecPerGB, moved, nil
 }

@@ -37,6 +37,13 @@ type Forest struct {
 }
 
 // FitForest trains the ensemble with bootstrap sampling.
+//
+// The training matrix is transposed to feature columns exactly once;
+// each tree then grows over its bootstrap *index* list through the
+// grower's row indirection instead of copying and re-transposing
+// resampled rows. The per-tree RNG streams (one fork, n index draws,
+// then the growth draws) are identical to a row-copying bootstrap, so
+// fitted forests are unchanged.
 func FitForest(X [][]float64, y []float64, cfg ForestConfig) *Forest {
 	if len(X) == 0 || len(X) != len(y) {
 		panic(fmt.Sprintf("ml: bad training set: %d rows, %d targets", len(X), len(y)))
@@ -47,17 +54,34 @@ func FitForest(X [][]float64, y []float64, cfg ForestConfig) *Forest {
 	root := stats.NewRand(cfg.Seed)
 	f := &Forest{trees: make([]*Tree, cfg.NTrees)}
 	n := len(X)
+	if cfg.Tree.FeatureFrac <= 0 || cfg.Tree.FeatureFrac >= sparseFracThreshold {
+		// Dense-strategy trees presort per tree; fall back to row copies.
+		for t := range f.trees {
+			r := root.Fork(int64(t + 1))
+			bx := make([][]float64, n)
+			by := make([]float64, n)
+			for i := 0; i < n; i++ {
+				j := r.Intn(n)
+				bx[i] = X[j]
+				by[i] = y[j]
+			}
+			f.trees[t] = FitTree(bx, by, cfg.Tree, r)
+		}
+		return f
+	}
+	cols := columns(X)
+	boot := make([]int32, n)
+	by := make([]float64, n)
+	g := newSparseGrower(cols, boot, by, cfg.Tree)
+	g.buildRanks(y)
 	for t := range f.trees {
 		r := root.Fork(int64(t + 1))
-		// Bootstrap resample.
-		bx := make([][]float64, n)
-		by := make([]float64, n)
 		for i := 0; i < n; i++ {
 			j := r.Intn(n)
-			bx[i] = X[j]
+			boot[i] = int32(j)
 			by[i] = y[j]
 		}
-		f.trees[t] = FitTree(bx, by, cfg.Tree, r)
+		f.trees[t] = g.fit(n, r)
 	}
 	return f
 }

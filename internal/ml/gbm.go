@@ -70,12 +70,24 @@ func FitGBM(X [][]float64, y []float64, cfg GBMConfig) *GBM {
 	// Every stage trains on the same rows, so one presort of the feature
 	// columns serves the whole ensemble.
 	ps := NewPresort(X)
+	scratch := &denseScratch{}
+	treeCfg := cfg.Tree
+	if treeCfg.MaxDepth <= 0 {
+		treeCfg.MaxDepth = 6
+	}
+	if treeCfg.MinLeaf <= 0 {
+		treeCfg.MinLeaf = 1
+	}
+	if treeCfg.FeatureFrac <= 0 || treeCfg.FeatureFrac > 1 {
+		treeCfg.FeatureFrac = 1
+	}
 	pred := make([]float64, len(y))
 	for i := range pred {
 		pred[i] = m.init
 	}
 	grad := make([]float64, len(y))
 	leafOf := make([]int, len(y))
+	scratch.leafOf = leafOf
 	for stage := 0; stage < cfg.NTrees; stage++ {
 		r := root.Fork(int64(stage + 1))
 		// Pinball-loss gradient: q when under-predicting, q-1 when
@@ -87,13 +99,14 @@ func FitGBM(X [][]float64, y []float64, cfg GBMConfig) *GBM {
 				grad[i] = cfg.Quantile - 1
 			}
 		}
-		tree := FitTreePresorted(X, grad, cfg.Tree, r, ps)
+		tree := fitPresorted(X, grad, treeCfg, r, ps, scratch)
 
 		// Leaf adjustment: the pinball-optimal constant per leaf is the
-		// q-quantile of the residuals y - pred landing in that leaf.
+		// q-quantile of the residuals y - pred landing in that leaf. The
+		// fit recorded each row's leaf id as its leaves were made, so no
+		// per-row tree traversal is needed here.
 		residuals := make([][]float64, tree.Leaves())
 		for i := range y {
-			leafOf[i] = tree.LeafID(X[i])
 			residuals[leafOf[i]] = append(residuals[leafOf[i]], y[i]-pred[i])
 		}
 		for leaf, res := range residuals {

@@ -93,6 +93,16 @@ func OverheadFraction() float64 { return SampleCostMillis / SamplePeriodMillis }
 // generic counters are weak mixtures of the informative ones plus noise.
 func Sample(w workload.Workload, r *stats.Rand) Vector {
 	var v Vector
+	SampleInto(&v, w, r)
+	return v
+}
+
+// SampleInto writes one counter vector into v, drawing exactly the same
+// noise stream as Sample. Hot loops (the fleet event loop samples twice
+// per admission) pass a reused per-cell vector so the 200-counter sample
+// never touches the heap.
+func SampleInto(vp *Vector, w workload.Workload, r *stats.Rand) {
+	v := vp
 	noisy := func(x, sigma float64) float64 {
 		return stats.Clamp(x*(1+sigma*r.NormFloat64()), 0, 1)
 	}
@@ -110,14 +120,28 @@ func Sample(w workload.Workload, r *stats.Rand) Vector {
 	// Generic counters: a deterministic per-index mixture of the
 	// informative signals, mostly drowned in noise. A handful carry a
 	// little real signal so a forest can find them; most are useless,
-	// which is what makes a 200-feature model realistic.
+	// which is what makes a 200-feature model realistic. The mix weights
+	// are pure functions of the index, precomputed once into mixDram /
+	// mixBW; the loop body keeps the original expression shape so every
+	// counter value is bit-identical to the pre-table code.
+	dram := v[DRAMBound]
+	bw := v[BandwidthGBps]
 	for i := GenericBase; i < NumCounters; i++ {
-		wDram := mixWeight(i, 0)
-		wBW := mixWeight(i, 1)
-		signal := wDram*v[DRAMBound] + wBW*v[BandwidthGBps]/120
+		signal := mixDram[i]*dram + mixBW[i]*bw/120
 		v[i] = stats.Clamp(0.2*signal+0.9*r.Float64(), 0, 1)
 	}
-	return v
+}
+
+// mixDram and mixBW cache mixWeight(i, 0) and mixWeight(i, 1) for every
+// generic counter: recomputing the hash 380 times per sample dominated
+// the fleet hot path's flat profile.
+var mixDram, mixBW [NumCounters]float64
+
+func init() {
+	for i := GenericBase; i < NumCounters; i++ {
+		mixDram[i] = mixWeight(i, 0)
+		mixBW[i] = mixWeight(i, 1)
+	}
 }
 
 // mixWeight returns a small deterministic weight in [0, 0.3) for generic

@@ -82,6 +82,13 @@ type Manager struct {
 
 	onlineOps  int64
 	releaseOps int64
+
+	// flat caches the all-devices index list for flat connectivity and
+	// orderScratch holds AddCapacity's fill-order sort between calls; the
+	// device set never changes size after construction, so both are pure
+	// reuse — AddCapacity's steady state allocates nothing.
+	flat         []int
+	orderScratch []int
 }
 
 // NewManager creates a Pool Manager over the given EMCs with flat
@@ -113,11 +120,13 @@ func (m *Manager) devicesFor(h emc.HostID) []int {
 	if m.conn != nil && int(h) >= 0 && int(h) < len(m.conn) {
 		return m.conn[h]
 	}
-	all := make([]int, len(m.emcs))
-	for i := range all {
-		all[i] = i
+	if m.flat == nil {
+		m.flat = make([]int, len(m.emcs))
+		for i := range m.flat {
+			m.flat[i] = i
+		}
 	}
-	return all
+	return m.flat
 }
 
 // reaches reports whether host h is cabled to device di.
@@ -234,7 +243,8 @@ func (m *Manager) AddCapacity(h emc.HostID, gb int, now float64) (AddResult, err
 	// Among the EMCs this host reaches, prefer filling from the one with
 	// the most free slices: keeps each VM's pool memory on one EMC,
 	// minimizing failure blast radius.
-	order := append([]int(nil), m.devicesFor(h)...)
+	order := append(m.orderScratch[:0], m.devicesFor(h)...)
+	m.orderScratch = order
 	sort.Slice(order, func(a, b int) bool {
 		fa, fb := m.emcs[order[a]].FreeSlices(), m.emcs[order[b]].FreeSlices()
 		if fa != fb {

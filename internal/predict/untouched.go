@@ -1,7 +1,6 @@
 package predict
 
 import (
-	"hash/fnv"
 	"sort"
 
 	"pond/internal/cluster"
@@ -18,7 +17,16 @@ const UMFeatureCount = 12
 // zero for opaque VMs), and the customer's trailing untouched-memory
 // percentiles.
 func UMFeatures(vm cluster.VMRequest, h telemetry.History) []float64 {
-	return []float64{
+	return UMFeaturesInto(make([]float64, 0, UMFeatureCount), vm, h)
+}
+
+// UMFeaturesInto appends the feature vector to dst and returns it. The
+// fleet event loop passes a reused per-cell buffer so feature assembly
+// allocates nothing; every consumer of the vector (the pipeline, the
+// serving cache keys, the mlops shadow hooks) either reads it
+// synchronously or copies it.
+func UMFeaturesInto(dst []float64, vm cluster.VMRequest, h telemetry.History) []float64 {
+	return append(dst,
 		vm.Type.MemoryGB,
 		float64(vm.Type.Cores),
 		vm.Type.GBPerCore(),
@@ -31,18 +39,22 @@ func UMFeatures(vm cluster.VMRequest, h telemetry.History) []float64 {
 		h.P50,
 		h.P75,
 		h.P100,
-	}
+	)
 }
 
 // hashCode maps a string to a stable small numeric code; empty strings
-// map to zero so "unknown" is its own value.
+// map to zero so "unknown" is its own value. The FNV-1a fold is inlined
+// (identical to hash/fnv's 32-bit variant) to keep it allocation-free.
 func hashCode(s string, buckets uint32) float64 {
 	if s == "" {
 		return 0
 	}
-	f := fnv.New32a()
-	f.Write([]byte(s))
-	return float64(1 + f.Sum32()%buckets)
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return float64(1 + h%buckets)
 }
 
 // Untouched predicts the fraction of a VM's memory that will never be

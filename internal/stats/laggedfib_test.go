@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandMatchesMathRand pins the vendored generator to math/rand: for
+// several seeds, a long interleaved sequence of every distribution and
+// helper must produce bit-identical values to the stdlib seeded the same
+// way. This is the contract the golden fleet logs depend on.
+func TestRandMatchesMathRand(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40, -1 << 50, 89482311, 1<<63 - 1} {
+		ours := NewRand(seed)
+		ref := rand.New(rand.NewSource(seed))
+		for i := 0; i < 5000; i++ {
+			switch i % 8 {
+			case 0:
+				if g, w := ours.Int63(), ref.Int63(); g != w {
+					t.Fatalf("seed %d step %d: Int63 = %d, want %d", seed, i, g, w)
+				}
+			case 1:
+				if g, w := ours.Uint64(), ref.Uint64(); g != w {
+					t.Fatalf("seed %d step %d: Uint64 = %d, want %d", seed, i, g, w)
+				}
+			case 2:
+				n := i%97 + 1
+				if g, w := ours.Intn(n), ref.Intn(n); g != w {
+					t.Fatalf("seed %d step %d: Intn(%d) = %d, want %d", seed, i, n, g, w)
+				}
+			case 3:
+				if g, w := ours.Float64(), ref.Float64(); g != w {
+					t.Fatalf("seed %d step %d: Float64 = %v, want %v", seed, i, g, w)
+				}
+			case 4:
+				if g, w := ours.NormFloat64(), ref.NormFloat64(); g != w {
+					t.Fatalf("seed %d step %d: NormFloat64 = %v, want %v", seed, i, g, w)
+				}
+			case 5:
+				if g, w := ours.ExpFloat64(), ref.ExpFloat64(); g != w {
+					t.Fatalf("seed %d step %d: ExpFloat64 = %v, want %v", seed, i, g, w)
+				}
+			case 6:
+				n := i%13 + 1
+				g, w := ours.Perm(n), ref.Perm(n)
+				for k := range g {
+					if g[k] != w[k] {
+						t.Fatalf("seed %d step %d: Perm(%d) = %v, want %v", seed, i, n, g, w)
+					}
+				}
+			case 7:
+				n := i%29 + 1
+				g := make([]int, n)
+				w := make([]int, n)
+				for k := range g {
+					g[k], w[k] = k, k
+				}
+				ours.Shuffle(n, func(a, b int) { g[a], g[b] = g[b], g[a] })
+				ref.Shuffle(n, func(a, b int) { w[a], w[b] = w[b], w[a] })
+				for k := range g {
+					if g[k] != w[k] {
+						t.Fatalf("seed %d step %d: Shuffle(%d) = %v, want %v", seed, i, n, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRandIntnBig exercises the Int63n path (n beyond 31 bits) against
+// the stdlib.
+func TestRandIntnBig(t *testing.T) {
+	ours := NewRand(99)
+	ref := rand.New(rand.NewSource(99))
+	const n = 1<<40 + 12345
+	for i := 0; i < 2000; i++ {
+		if g, w := ours.Intn(n), ref.Intn(n); g != w {
+			t.Fatalf("step %d: Intn(%d) = %d, want %d", i, n, g, w)
+		}
+	}
+}
+
+func TestRandPanicMessages(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "invalid argument to Intn" {
+			t.Fatalf("Intn(0) panic = %v, want stdlib message", r)
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := NewRand(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := NewRand(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.NormFloat64()
+	}
+	_ = sink
+}

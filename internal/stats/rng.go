@@ -1,21 +1,97 @@
 package stats
 
-import (
-	"math"
-	"math/rand"
-)
+import "math"
 
-// Rand wraps math/rand with the handful of distributions the trace
-// generator and workload models need. Every component of the reproduction
-// receives an explicit *Rand so that experiments are replayable
-// bit-for-bit from a seed.
+// Rand is a deterministic pseudo-random source with the handful of
+// distributions the trace generator and workload models need. Every
+// component of the reproduction receives an explicit *Rand so that
+// experiments are replayable bit-for-bit from a seed.
+//
+// The generator is the vendored port of math/rand's lagged-Fibonacci
+// source (laggedfib.go), held by value so one Rand is one allocation and
+// every draw is a concrete, inlinable call — math/rand's per-draw Source
+// interface dispatch was the single largest cost in the fleet hot path's
+// PMU sampler. Streams are bit-identical to math/rand seeded with the
+// same seed; TestRandMatchesMathRand enforces that.
+//
+// Seeding is lazy: the source pays ~2000 LCG steps per seed, and a
+// fleet run forks a stream per subsystem whether or not the
+// configuration ever draws from it (the pool manager's stream in an
+// all-local run, for example). Deferring the seeding to the first draw
+// makes unused forks free while leaving every drawn stream
+// bit-identical — the seeded state is a pure function of the seed,
+// whenever it is computed.
 type Rand struct {
-	*rand.Rand
+	seeded bool
+	seed   int64
+	lf     laggedFib
 }
 
 // NewRand returns a deterministic source seeded with seed.
 func NewRand(seed int64) *Rand {
-	return &Rand{Rand: rand.New(rand.NewSource(seed))}
+	return &Rand{seed: seed}
+}
+
+// src returns the generator, seeding it on first use.
+func (r *Rand) src() *laggedFib {
+	if !r.seeded {
+		r.seeded = true
+		r.lf.seed(r.seed)
+	}
+	return &r.lf
+}
+
+// The math/rand-compatible methods. Each matches the stdlib
+// implementation exactly — including rejection-loop draw counts and
+// panic messages — so the streams line up draw for draw.
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *Rand) Int63() int64 { return r.src().int63() }
+
+// Uint64 returns a random 64-bit value.
+func (r *Rand) Uint64() uint64 { return r.src().uint64() }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("invalid argument to Intn")
+	}
+	if n <= 1<<31-1 {
+		return int(r.src().int31n(int32(n)))
+	}
+	return int(r.src().int63n(int64(n)))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *Rand) Float64() float64 { return r.src().float64() }
+
+// NormFloat64 returns a standard normal variate.
+func (r *Rand) NormFloat64() float64 { return r.src().normFloat64() }
+
+// ExpFloat64 returns a rate-1 exponential variate.
+func (r *Rand) ExpFloat64() float64 { return r.src().expFloat64() }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	return r.PermInto(n, make([]int, n))
+}
+
+// Shuffle pseudo-randomizes the order of n elements via swap. It panics
+// if n < 0.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("invalid argument to Shuffle")
+	}
+	rng := r.src()
+	i := n - 1
+	for ; i > 1<<31-1-1; i-- {
+		j := int(rng.int63n(int64(i + 1)))
+		swap(i, j)
+	}
+	for ; i > 0; i-- {
+		j := int(rng.int31nLemire(int32(i + 1)))
+		swap(i, j)
+	}
 }
 
 // ShardSeed derives an independent seed for one shard of a partitioned
@@ -32,19 +108,35 @@ func ShardSeed(root int64, shard int) int64 {
 // It backs ShardSeed and the serving-layer cache keys — any place that
 // needs a deterministic, order-sensitive digest of a few numbers.
 func HashWords(words ...uint64) int64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
+	d := NewDigest()
 	for _, v := range words {
-		for b := 0; b < 8; b++ {
-			h ^= (v >> (8 * b)) & 0xff
-			h *= prime64
-		}
+		d = d.Word(v)
 	}
-	return int64(h)
+	return d.Sum()
 }
+
+// Digest is the streaming form of HashWords: fold words one at a time
+// without materializing a slice. NewDigest().Word(a).Word(b).Sum() is
+// identical to HashWords(a, b) — hot paths (the serving-layer cache
+// keys) use it to build keys with zero allocation.
+type Digest uint64
+
+// NewDigest returns the FNV-1a offset basis.
+func NewDigest() Digest { return 14695981039346656037 }
+
+// Word folds one 64-bit word into the digest, byte by byte.
+func (d Digest) Word(v uint64) Digest {
+	const prime64 = 1099511628211
+	h := uint64(d)
+	for b := 0; b < 8; b++ {
+		h ^= (v >> (8 * b)) & 0xff
+		h *= prime64
+	}
+	return Digest(h)
+}
+
+// Sum returns the folded value.
+func (d Digest) Sum() int64 { return int64(d) }
 
 // Fork derives an independent child stream from the parent. The child's
 // seed mixes in the label so different subsystems seeded from one parent
@@ -60,6 +152,24 @@ func (r *Rand) Fork(label int64) *Rand {
 func (r *Rand) ForkSeed(label int64) int64 {
 	const mix = int64(0x5851F42D4C957F2D) // LCG multiplier; spreads small labels
 	return r.Int63() ^ (label * mix)
+}
+
+// PermInto writes a pseudo-random permutation of [0, n) into dst,
+// growing it as needed, and returns the permutation. It consumes exactly
+// the same draws as math/rand's Perm (one Intn per element), so callers
+// can swap Perm for PermInto to reuse a scratch buffer without changing
+// any downstream stream — the hot training loops rely on this.
+func (r *Rand) PermInto(n int, dst []int) []int {
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	m := dst[:n]
+	for i := 0; i < n; i++ {
+		j := r.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	return m
 }
 
 // LogNormal samples exp(N(mu, sigma^2)); VM lifetimes and memory

@@ -25,6 +25,18 @@ type untouchedRecord struct {
 	untouched float64 // fraction of rented memory never touched
 }
 
+// histWindow memoizes one customer's last computed history: as long as
+// a later query selects the same record span [lo, hi), the percentiles
+// are unchanged and the sort is skipped.
+type histWindow struct {
+	lo, hi int
+	h      History
+}
+
+// maxFreeSampleBufs bounds the recycled sample-buffer freelist; buffers
+// beyond it are dropped to the garbage collector.
+const maxFreeSampleBufs = 256
+
 // Store is the in-memory stand-in for the central telemetry database.
 // It is safe for concurrent use.
 type Store struct {
@@ -32,22 +44,48 @@ type Store struct {
 	samples   map[cluster.VMID][]pmu.Vector
 	history   map[cluster.CustomerID][]untouchedRecord
 	sensitive map[cluster.CustomerID]bool // QoS-confirmed latency sensitivity
+
+	// Hot-path reuse, all guarded by mu. sampleFree recycles departed
+	// VMs' sample buffers into the next RecordSample; histUnsorted marks
+	// customers whose outcomes arrived out of endSec order (offline
+	// replays), disabling the binary-search window; histCache memoizes
+	// the last percentile window per customer; histScratch is the sort
+	// buffer for window fractions.
+	sampleFree   [][]pmu.Vector
+	histUnsorted map[cluster.CustomerID]bool
+	histCache    map[cluster.CustomerID]histWindow
+	histScratch  []float64
 }
 
 // NewStore creates an empty telemetry store.
 func NewStore() *Store {
 	return &Store{
-		samples:   make(map[cluster.VMID][]pmu.Vector),
-		history:   make(map[cluster.CustomerID][]untouchedRecord),
-		sensitive: make(map[cluster.CustomerID]bool),
+		samples:      make(map[cluster.VMID][]pmu.Vector),
+		sampleFree:   make([][]pmu.Vector, 0, maxFreeSampleBufs),
+		history:      make(map[cluster.CustomerID][]untouchedRecord),
+		sensitive:    make(map[cluster.CustomerID]bool),
+		histUnsorted: make(map[cluster.CustomerID]bool),
+		histCache:    make(map[cluster.CustomerID]histWindow),
 	}
 }
 
-// RecordSample appends a 1 Hz PMU sample for a running VM.
+// RecordSample appends a 1 Hz PMU sample for a running VM. First samples
+// land in buffers recycled from departed VMs, so a churning fleet
+// reaches a steady state where sampling allocates nothing.
 func (s *Store) RecordSample(id cluster.VMID, v pmu.Vector) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	buf := s.samples[id]
+	buf, ok := s.samples[id]
+	if !ok {
+		if n := len(s.sampleFree); n > 0 {
+			buf = s.sampleFree[n-1][:0]
+			s.sampleFree = s.sampleFree[:n-1]
+		} else {
+			// Admission records two samples; start at capacity 2 so a
+			// fresh VM never pays the 1→2 growth copy of a 1.6 KB vector.
+			buf = make([]pmu.Vector, 0, 2)
+		}
+	}
 	if len(buf) >= maxSamplesPerVM {
 		copy(buf, buf[1:])
 		buf = buf[:len(buf)-1]
@@ -67,11 +105,19 @@ func (s *Store) MeanCounters(id cluster.VMID) (pmu.Vector, bool) {
 	return pmu.MeanVector(buf), true
 }
 
-// ForgetVM drops a departed VM's samples (after outcome extraction).
+// ForgetVM drops a departed VM's samples (after outcome extraction) and
+// recycles the buffer for a future VM's first sample.
 func (s *Store) ForgetVM(id cluster.VMID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	buf, ok := s.samples[id]
+	if !ok {
+		return
+	}
 	delete(s.samples, id)
+	if cap(buf) > 0 && len(s.sampleFree) < maxFreeSampleBufs {
+		s.sampleFree = append(s.sampleFree, buf[:0])
+	}
 }
 
 // RecordOutcome stores a completed VM's minimum untouched-memory fraction
@@ -79,7 +125,18 @@ func (s *Store) ForgetVM(id cluster.VMID) {
 func (s *Store) RecordOutcome(c cluster.CustomerID, endSec, untouchedFrac float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.history[c] = append(s.history[c], untouchedRecord{endSec: endSec, untouched: untouchedFrac})
+	recs := s.history[c]
+	if recs == nil {
+		// Most customers accumulate a handful of outcomes quickly; start
+		// at capacity 8 so the steady churn of departures does not pay a
+		// growth reallocation per power of two per customer.
+		recs = make([]untouchedRecord, 0, 8)
+	} else if n := len(recs); n > 0 && endSec < recs[n-1].endSec {
+		// Out-of-order outcome (offline trace replays): this customer's
+		// windows fall back to the full scan from here on.
+		s.histUnsorted[c] = true
+	}
+	s.history[c] = append(recs, untouchedRecord{endSec: endSec, untouched: untouchedFrac})
 }
 
 // MarkSensitive records that QoS monitoring found this customer's
@@ -113,20 +170,47 @@ func (h History) HasHistory() bool { return h.Count >= 3 }
 // CustomerHistory aggregates the customer's outcomes from the window
 // [beforeSec - windowSec, beforeSec). Using only strictly earlier records
 // keeps training causal: the nightly model never sees the future.
+//
+// The online path (every fleet admission calls this) is allocation-free:
+// records appended in time order are window-selected by binary search,
+// the percentile sort reuses a store-level scratch buffer, and a window
+// identical to the customer's previous query returns the memoized
+// result. Customers with out-of-order outcomes take the original scan.
 func (s *Store) CustomerHistory(c cluster.CustomerID, beforeSec, windowSec float64) History {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var xs []float64
-	for _, rec := range s.history[c] {
-		if rec.endSec < beforeSec && rec.endSec >= beforeSec-windowSec {
+	recs := s.history[c]
+	xs := s.histScratch[:0]
+	lo, hi := 0, 0
+	if !s.histUnsorted[c] {
+		// Records are endSec-ascending: the window is the contiguous
+		// span [lo, hi) with lo the first record >= beforeSec-windowSec
+		// and hi the first record >= beforeSec.
+		from := beforeSec - windowSec
+		lo = sort.Search(len(recs), func(i int) bool { return recs[i].endSec >= from })
+		hi = sort.Search(len(recs), func(i int) bool { return recs[i].endSec >= beforeSec })
+		if hi <= lo {
+			return History{}
+		}
+		if w, ok := s.histCache[c]; ok && w.lo == lo && w.hi == hi {
+			return w.h
+		}
+		for _, rec := range recs[lo:hi] {
 			xs = append(xs, rec.untouched)
 		}
-	}
-	if len(xs) == 0 {
-		return History{}
+	} else {
+		for _, rec := range recs {
+			if rec.endSec < beforeSec && rec.endSec >= beforeSec-windowSec {
+				xs = append(xs, rec.untouched)
+			}
+		}
+		if len(xs) == 0 {
+			s.histScratch = xs
+			return History{}
+		}
 	}
 	sort.Float64s(xs)
-	return History{
+	h := History{
 		Count: len(xs),
 		P0:    xs[0],
 		P25:   stats.QuantileSorted(xs, 0.25),
@@ -134,6 +218,11 @@ func (s *Store) CustomerHistory(c cluster.CustomerID, beforeSec, windowSec float
 		P75:   stats.QuantileSorted(xs, 0.75),
 		P100:  xs[len(xs)-1],
 	}
+	s.histScratch = xs
+	if !s.histUnsorted[c] {
+		s.histCache[c] = histWindow{lo: lo, hi: hi, h: h}
+	}
+	return h
 }
 
 // UntouchedQuantiles pools every recorded outcome across customers and
@@ -144,7 +233,11 @@ func (s *Store) CustomerHistory(c cluster.CustomerID, beforeSec, windowSec float
 func (s *Store) UntouchedQuantiles(qs ...float64) []float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var xs []float64
+	total := 0
+	for _, recs := range s.history {
+		total += len(recs)
+	}
+	xs := make([]float64, 0, total)
 	for _, recs := range s.history {
 		for _, rec := range recs {
 			xs = append(xs, rec.untouched)
