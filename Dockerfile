@@ -1,0 +1,20 @@
+# Multi-stage build for pondserve, the live fleet control-plane daemon.
+# The builder compiles a static binary; the runtime stage carries only
+# that binary, a non-root user, and a writable state directory for the
+# SIGTERM checkpoint.
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/pondserve ./cmd/pondserve
+
+FROM alpine:3.20
+RUN adduser -D -u 10001 pond && mkdir -p /var/lib/pond && chown pond /var/lib/pond
+COPY --from=build /out/pondserve /usr/local/bin/pondserve
+USER pond
+VOLUME /var/lib/pond
+EXPOSE 8080
+HEALTHCHECK --interval=10s --timeout=3s --start-period=5s \
+    CMD ["pondserve", "-check", "-addr", ":8080"]
+ENTRYPOINT ["pondserve"]
+CMD ["-addr", ":8080", "-state", "/var/lib/pond/checkpoint.json"]

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race lint cover bench bench-gate bench-baseline fleet plan soak soak-fleet soak-elastic fuzz golden
+.PHONY: all build vet test test-short test-race lint cover bench bench-gate bench-baseline fleet plan serve docker docker-smoke soak soak-fleet soak-elastic fuzz golden
 
 all: build vet test-short
 
@@ -65,6 +65,20 @@ fleet:
 # Offline capacity planner: the DRAM-savings waterfall per topology.
 plan:
 	$(GO) run ./cmd/pondplan -topology flat,sharded,sparse -target-qos 0.01
+
+# Live control-plane daemon on :8080, checkpointing to ./checkpoint.json
+# on SIGTERM (curl walkthrough in README).
+serve:
+	$(GO) run ./cmd/pondserve -addr :8080 -state checkpoint.json
+
+# Build the pondserve container image.
+docker:
+	docker build -t pondserve .
+
+# Build the image and run the end-to-end container smoke: /healthz, a
+# tiny run, and the streamed-log-vs-CLI determinism check (CI job).
+docker-smoke:
+	./scripts/docker-smoke.sh
 
 # Elastic-pool soak: the capacity controller resizing EMCs mid-run with
 # a manual shrink and a drift landing on top (the nightly elastic leg).

@@ -23,6 +23,12 @@
 // telemetry). Cells fan out over the parallel engine: -workers bounds
 // the pool and the event log (and its printed hash) is byte-identical
 // for any value.
+//
+// The flags map one-to-one onto pond.FleetOpts' grouped sub-configs —
+// cluster sizing, model lifecycle, capacity planning, engine — and are
+// registered per group through internal/cliutil, with defaults drawn
+// from pond.Defaults(). pondserve accepts the same configuration as a
+// JSON body.
 package main
 
 import (
@@ -40,95 +46,91 @@ import (
 )
 
 // flags carries every pondfleet flag value so validation is testable
-// without exec'ing the binary.
+// without exec'ing the binary. The grouped opts hold everything the
+// shared cliutil registrations own; the spec-string and output flags
+// are pondfleet-local.
 type flags struct {
-	topologies    string
-	arrival       string
-	inject        string
-	duration      float64
-	hosts         int
-	emcs          int
-	poolGB        int
-	degree        int
-	cells         int
-	noPredict     bool
-	retrainEvery  float64
-	modelScope    string
-	canary        float64
-	bake          float64
-	promoteMargin float64
-	holdout       int
-	minRows       int
-	modelsOut     string
-	elastic       bool
-	planEvery     float64
-	targetQoS     float64
-	printLog      bool
-	workers       int
-	seed          int64
+	topologies string
+	arrival    string
+	inject     string
+	modelsOut  string
+	printLog   bool
+	opts       pond.FleetOpts
+}
+
+// baseOpts seeds the grouped defaults the flag registrations use.
+// Arrivals are zeroed because the -arrival spec string carries the
+// arrival model (the shim maps it; leaving both set would trip the
+// conflict check), and the topology comes from the -topology list.
+func baseOpts() pond.FleetOpts {
+	o := pond.Defaults()
+	o.Arrivals = pond.ArrivalOpts{}
+	o.Cluster.Topology = ""
+	return o
 }
 
 // validate rejects every flag combination the fleet layer would only
 // reject after parsing — or, worse, silently coerce — with one readable
 // error. It returns the parsed topology list on success.
 func validate(f flags) ([]string, error) {
-	if err := cliutil.ValidateWorkers(f.workers); err != nil {
+	if err := cliutil.ValidateWorkers(f.opts.Engine.Workers); err != nil {
 		return nil, err
 	}
-	if err := cliutil.ValidateSeed(f.seed); err != nil {
+	if err := cliutil.ValidateSeed(f.opts.Engine.Seed); err != nil {
 		return nil, err
 	}
-	if f.duration <= 0 || math.IsNaN(f.duration) || math.IsInf(f.duration, 0) {
-		return nil, fmt.Errorf("-duration must be a positive number, got %g", f.duration)
+	cl, m, cp := f.opts.Cluster, f.opts.Model, f.opts.Capacity
+	if cl.DurationSec <= 0 || math.IsNaN(cl.DurationSec) || math.IsInf(cl.DurationSec, 0) {
+		return nil, fmt.Errorf("-duration must be a positive number, got %g", cl.DurationSec)
 	}
-	if f.cells <= 0 {
-		return nil, fmt.Errorf("-cells must be positive, got %d", f.cells)
+	if cl.Cells <= 0 {
+		return nil, fmt.Errorf("-cells must be positive, got %d", cl.Cells)
 	}
-	if f.retrainEvery < 0 || math.IsNaN(f.retrainEvery) || math.IsInf(f.retrainEvery, 0) {
-		return nil, fmt.Errorf("-retrain-every must be a finite number >= 0, got %g", f.retrainEvery)
+	if m.RetrainEverySec < 0 || math.IsNaN(m.RetrainEverySec) || math.IsInf(m.RetrainEverySec, 0) {
+		return nil, fmt.Errorf("-retrain-every must be a finite number >= 0, got %g", m.RetrainEverySec)
 	}
-	if f.retrainEvery > 0 && f.noPredict {
+	if m.RetrainEverySec > 0 && m.Disabled {
 		return nil, fmt.Errorf("-retrain-every requires predictions (drop -no-predictions)")
 	}
-	if f.modelsOut != "" && f.noPredict {
+	if f.modelsOut != "" && m.Disabled {
 		return nil, fmt.Errorf("-models requires predictions (drop -no-predictions)")
 	}
-	switch f.modelScope {
+	switch m.Scope {
 	case "", fleet.ScopeCell:
-		if f.canary != 0 || f.bake != 0 {
+		if m.CanaryFraction != 0 || m.BakeWindowSec != 0 {
 			return nil, fmt.Errorf("-canary and -bake require -model-scope %s", fleet.ScopeFleet)
 		}
 	case fleet.ScopeFleet:
-		if f.retrainEvery <= 0 {
+		if m.RetrainEverySec <= 0 {
 			return nil, fmt.Errorf("-model-scope %s requires -retrain-every > 0", fleet.ScopeFleet)
 		}
-		if f.canary != 0 && !(f.canary > 0 && f.canary <= 1) { // rejects NaN too
-			return nil, fmt.Errorf("-canary must be in (0, 1], got %g", f.canary)
+		if m.CanaryFraction != 0 && !(m.CanaryFraction > 0 && m.CanaryFraction <= 1) { // rejects NaN too
+			return nil, fmt.Errorf("-canary must be in (0, 1], got %g", m.CanaryFraction)
 		}
-		if f.bake < 0 || math.IsNaN(f.bake) || math.IsInf(f.bake, 0) {
-			return nil, fmt.Errorf("-bake must be a finite number >= 0, got %g", f.bake)
+		if m.BakeWindowSec < 0 || math.IsNaN(m.BakeWindowSec) || math.IsInf(m.BakeWindowSec, 0) {
+			return nil, fmt.Errorf("-bake must be a finite number >= 0, got %g", m.BakeWindowSec)
 		}
 	default:
-		return nil, fmt.Errorf("-model-scope must be %s or %s, got %q", fleet.ScopeCell, fleet.ScopeFleet, f.modelScope)
+		return nil, fmt.Errorf("-model-scope must be %s or %s, got %q", fleet.ScopeCell, fleet.ScopeFleet, m.Scope)
 	}
-	if !(f.promoteMargin >= 0 && f.promoteMargin < 1) { // rejects NaN too
-		return nil, fmt.Errorf("-promote-margin must be in [0, 1), got %g", f.promoteMargin)
+	if !(m.PromoteMargin >= 0 && m.PromoteMargin < 1) { // rejects NaN too
+		return nil, fmt.Errorf("-promote-margin must be in [0, 1), got %g", m.PromoteMargin)
 	}
-	if !f.elastic && (f.planEvery != 0 || f.targetQoS != 0) {
+	if !cp.Elastic && (cp.PlanEverySec != 0 || cp.TargetQoS != 0) {
 		return nil, fmt.Errorf("-plan-every and -target-qos require -elastic")
 	}
-	if f.elastic {
-		if f.planEvery < 0 || math.IsNaN(f.planEvery) || math.IsInf(f.planEvery, 0) {
-			return nil, fmt.Errorf("-plan-every must be a finite number >= 0, got %g", f.planEvery)
+	if cp.Elastic {
+		if cp.PlanEverySec < 0 || math.IsNaN(cp.PlanEverySec) || math.IsInf(cp.PlanEverySec, 0) {
+			return nil, fmt.Errorf("-plan-every must be a finite number >= 0, got %g", cp.PlanEverySec)
 		}
-		if f.planEvery >= f.duration {
-			return nil, fmt.Errorf("-plan-every %g never fires within the %g second horizon", f.planEvery, f.duration)
+		if cp.PlanEverySec >= cl.DurationSec {
+			return nil, fmt.Errorf("-plan-every %g never fires within the %g second horizon", cp.PlanEverySec, cl.DurationSec)
 		}
-		if f.targetQoS != 0 && !(f.targetQoS > 0 && f.targetQoS < 1) { // rejects NaN too
-			return nil, fmt.Errorf("-target-qos must be in (0, 1), got %g", f.targetQoS)
+		if cp.TargetQoS != 0 && !(cp.TargetQoS > 0 && cp.TargetQoS < 1) { // rejects NaN too
+			return nil, fmt.Errorf("-target-qos must be in (0, 1), got %g", cp.TargetQoS)
 		}
 	}
-	if f.holdout < 0 || f.minRows < 0 {
+	if m.HoldoutWindow < 0 || m.MinTrainRows < 0 {
 		return nil, fmt.Errorf("-holdout and -min-rows must be >= 0")
 	}
 	names, err := fleet.ParseTopologies(f.topologies)
@@ -139,31 +141,17 @@ func validate(f flags) ([]string, error) {
 }
 
 func main() {
-	var f flags
-	flag.StringVar(&f.topologies, "topology", "flat", "comma-separated host-to-EMC topologies: flat, sharded, sparse")
-	flag.StringVar(&f.arrival, "arrival", "poisson:rate=0.05:life=600", `arrival model: "poisson[:rate=R][:life=L]" or "trace"`)
+	f := flags{opts: baseOpts()}
+	d := pond.Defaults()
+	flag.StringVar(&f.topologies, "topology", d.Cluster.Topology, "comma-separated host-to-EMC topologies: flat, sharded, sparse")
+	flag.StringVar(&f.arrival, "arrival", d.Arrivals.Spec(), `arrival model: "poisson[:rate=R][:life=L]" or "trace"`)
 	flag.StringVar(&f.inject, "inject", "", `scenario injections, e.g. "emc-fail@t=500,host-drain@t=800:host=2,surge@t=300:dur=200:x=3,drift@t=2000:cells=2-3:mag=0.6"`)
-	flag.Float64Var(&f.duration, "duration", 1000, "simulated horizon per cell (seconds)")
-	flag.IntVar(&f.hosts, "hosts", 8, "hosts per cell")
-	flag.IntVar(&f.emcs, "emcs", 4, "EMCs per cell")
-	flag.IntVar(&f.poolGB, "pool", 512, "pool capacity per cell (GB)")
-	flag.IntVar(&f.degree, "degree", 2, "per-host EMC connections under the sparse topology")
-	flag.IntVar(&f.cells, "cells", 4, "independent pool groups (engine shards)")
-	flag.BoolVar(&f.noPredict, "no-predictions", false, "disable the ML pipeline (all-local baseline)")
-	flag.Float64Var(&f.retrainEvery, "retrain-every", 0, "online model retrain cadence in seconds (0 = frozen models)")
-	flag.StringVar(&f.modelScope, "model-scope", "cell", `retraining scope: "cell" (per-cell lifecycle) or "fleet" (pooled telemetry, staged canary rollout)`)
-	flag.Float64Var(&f.canary, "canary", 0, "fraction of cells a fleet-scoped release reaches first (0 = default 0.25)")
-	flag.Float64Var(&f.bake, "bake", 0, "canary bake window in seconds before the promote-or-rollback verdict (0 = 2x retrain cadence)")
-	flag.Float64Var(&f.promoteMargin, "promote-margin", 0, "fractional rolling-loss improvement required to promote a challenger (0 = default 5%)")
-	flag.IntVar(&f.holdout, "holdout", 0, "rolling holdout window in completed VMs (0 = default)")
-	flag.IntVar(&f.minRows, "min-rows", 0, "minimum completed VMs before a challenger trains (0 = default)")
 	flag.StringVar(&f.modelsOut, "models", "", "write the versioned model dump (JSON) to this file")
-	flag.BoolVar(&f.elastic, "elastic", false, "enable the elastic pool: re-plan each cell's capacity from observed demand at every planning barrier")
-	flag.Float64Var(&f.planEvery, "plan-every", 0, "elastic planning cadence in seconds (0 = an eighth of the horizon)")
-	flag.Float64Var(&f.targetQoS, "target-qos", 0, "tolerated fraction of time pool demand may exceed capacity (0 = default 0.01)")
 	flag.BoolVar(&f.printLog, "log", false, "print the full event log")
-	flag.IntVar(&f.workers, "workers", 0, "engine worker pool size (0 = GOMAXPROCS); results are identical for any value")
-	flag.Int64Var(&f.seed, "seed", 1, "root seed for every cell stream")
+	cliutil.RegisterClusterFlags(flag.CommandLine, &f.opts.Cluster)
+	cliutil.RegisterModelFlags(flag.CommandLine, &f.opts.Model)
+	cliutil.RegisterCapacityFlags(flag.CommandLine, &f.opts.Capacity)
+	cliutil.RegisterEngineFlags(flag.CommandLine, &f.opts.Engine)
 	flag.Parse()
 
 	names, err := validate(f)
@@ -173,49 +161,30 @@ func main() {
 
 	reports := make([]*pond.FleetReport, 0, len(names))
 	for _, name := range names {
-		rep, err := pond.RunFleet(context.Background(), pond.FleetOpts{
-			Topology:           name,
-			PodDegree:          f.degree,
-			Hosts:              f.hosts,
-			EMCs:               f.emcs,
-			PoolGB:             f.poolGB,
-			Cells:              f.cells,
-			DurationSec:        f.duration,
-			Arrival:            f.arrival,
-			Inject:             f.inject,
-			DisablePredictions: f.noPredict,
-			RetrainEverySec:    f.retrainEvery,
-			ModelScope:         f.modelScope,
-			CanaryFraction:     f.canary,
-			BakeWindowSec:      f.bake,
-			PromoteMargin:      f.promoteMargin,
-			HoldoutWindow:      f.holdout,
-			MinTrainRows:       f.minRows,
-			CaptureModels:      f.modelsOut != "",
-			ElasticPool:        f.elastic,
-			PlanEverySec:       f.planEvery,
-			TargetQoS:          f.targetQoS,
-			Workers:            f.workers,
-			Seed:               f.seed,
-		})
+		o := f.opts
+		o.Cluster.Topology = name
+		o.Arrival = f.arrival
+		o.Inject = f.inject
+		o.Model.Capture = f.modelsOut != ""
+		rep, err := pond.RunFleet(context.Background(), o)
 		if err != nil {
 			cliutil.Fatal("pondfleet", err)
 		}
 		reports = append(reports, rep)
 		fmt.Println(rep.Summary)
-		if f.retrainEvery > 0 && len(rep.PromotionHistory) > 0 {
+		if f.opts.Model.RetrainEverySec > 0 && len(rep.PromotionHistory) > 0 {
 			fmt.Println("model lifecycle:")
 			for _, line := range rep.PromotionHistory {
 				fmt.Printf("  %s\n", line)
 			}
 		}
-		if f.retrainEvery > 0 && len(rep.RolloutHistory) > 0 {
+		if f.opts.Model.RetrainEverySec > 0 && len(rep.RolloutHistory) > 0 {
 			fmt.Println("staged rollout:")
 			for _, line := range rep.RolloutHistory {
 				fmt.Printf("  %s\n", line)
 			}
 		}
-		if f.elastic && len(rep.PlanHistory) > 0 {
+		if f.opts.Capacity.Elastic && len(rep.PlanHistory) > 0 {
 			fmt.Println("capacity plans:")
 			for _, line := range rep.PlanHistory {
 				fmt.Printf("  %s\n", line)

@@ -13,14 +13,7 @@ func defaults() flags {
 	return flags{
 		topologies: "flat",
 		arrival:    "poisson:rate=0.05:life=600",
-		duration:   1000,
-		hosts:      8,
-		emcs:       4,
-		poolGB:     512,
-		degree:     2,
-		cells:      4,
-		modelScope: "cell",
-		seed:       1,
+		opts:       baseOpts(),
 	}
 }
 
@@ -32,96 +25,96 @@ func TestValidateFlags(t *testing.T) {
 	}{
 		{"defaults", func(f *flags) {}, ""},
 		{"topology-list", func(f *flags) { f.topologies = "flat,sharded,sparse" }, ""},
-		{"retrain-cell-scope", func(f *flags) { f.retrainEvery = 500 }, ""},
+		{"retrain-cell-scope", func(f *flags) { f.opts.Model.RetrainEverySec = 500 }, ""},
 		{"fleet-scope", func(f *flags) {
-			f.retrainEvery = 500
-			f.modelScope = "fleet"
-			f.canary = 0.25
-			f.bake = 1000
+			f.opts.Model.RetrainEverySec = 500
+			f.opts.Model.Scope = "fleet"
+			f.opts.Model.CanaryFraction = 0.25
+			f.opts.Model.BakeWindowSec = 1000
 		}, ""},
 		{"fleet-scope-default-knobs", func(f *flags) {
-			f.retrainEvery = 500
-			f.modelScope = "fleet"
+			f.opts.Model.RetrainEverySec = 500
+			f.opts.Model.Scope = "fleet"
 		}, ""},
-		{"elastic", func(f *flags) { f.elastic = true }, ""},
+		{"elastic", func(f *flags) { f.opts.Capacity.Elastic = true }, ""},
 		{"elastic-knobs", func(f *flags) {
-			f.elastic = true
-			f.planEvery = 200
-			f.targetQoS = 0.02
+			f.opts.Capacity.Elastic = true
+			f.opts.Capacity.PlanEverySec = 200
+			f.opts.Capacity.TargetQoS = 0.02
 		}, ""},
 		{"elastic-with-fleet-scope", func(f *flags) {
-			f.elastic = true
-			f.retrainEvery = 500
-			f.modelScope = "fleet"
+			f.opts.Capacity.Elastic = true
+			f.opts.Model.RetrainEverySec = 500
+			f.opts.Model.Scope = "fleet"
 		}, ""},
 
-		{"negative-workers", func(f *flags) { f.workers = -1 }, "-workers"},
-		{"zero-seed", func(f *flags) { f.seed = 0 }, "-seed"},
-		{"negative-duration", func(f *flags) { f.duration = -1 }, "-duration"},
-		{"nan-duration", func(f *flags) { f.duration = nan() }, "-duration"},
-		{"zero-cells", func(f *flags) { f.cells = 0 }, "-cells"},
-		{"negative-retrain", func(f *flags) { f.retrainEvery = -5 }, "-retrain-every"},
+		{"negative-workers", func(f *flags) { f.opts.Engine.Workers = -1 }, "-workers"},
+		{"zero-seed", func(f *flags) { f.opts.Engine.Seed = 0 }, "-seed"},
+		{"negative-duration", func(f *flags) { f.opts.Cluster.DurationSec = -1 }, "-duration"},
+		{"nan-duration", func(f *flags) { f.opts.Cluster.DurationSec = nan() }, "-duration"},
+		{"zero-cells", func(f *flags) { f.opts.Cluster.Cells = 0 }, "-cells"},
+		{"negative-retrain", func(f *flags) { f.opts.Model.RetrainEverySec = -5 }, "-retrain-every"},
 		{"retrain-no-predictions", func(f *flags) {
-			f.retrainEvery = 500
-			f.noPredict = true
+			f.opts.Model.RetrainEverySec = 500
+			f.opts.Model.Disabled = true
 		}, "-retrain-every requires predictions"},
 		{"models-no-predictions", func(f *flags) {
 			f.modelsOut = "m.json"
-			f.noPredict = true
+			f.opts.Model.Disabled = true
 		}, "-models requires predictions"},
 		{"unknown-scope", func(f *flags) {
-			f.retrainEvery = 500
-			f.modelScope = "galaxy"
+			f.opts.Model.RetrainEverySec = 500
+			f.opts.Model.Scope = "galaxy"
 		}, "-model-scope"},
-		{"fleet-scope-without-retrain", func(f *flags) { f.modelScope = "fleet" }, "-retrain-every > 0"},
-		{"canary-under-cell-scope", func(f *flags) { f.canary = 0.5 }, "-canary"},
-		{"bake-under-cell-scope", func(f *flags) { f.bake = 100 }, "-bake"},
+		{"fleet-scope-without-retrain", func(f *flags) { f.opts.Model.Scope = "fleet" }, "-retrain-every > 0"},
+		{"canary-under-cell-scope", func(f *flags) { f.opts.Model.CanaryFraction = 0.5 }, "-canary"},
+		{"bake-under-cell-scope", func(f *flags) { f.opts.Model.BakeWindowSec = 100 }, "-bake"},
 		{"canary-too-big", func(f *flags) {
-			f.retrainEvery = 500
-			f.modelScope = "fleet"
-			f.canary = 1.5
+			f.opts.Model.RetrainEverySec = 500
+			f.opts.Model.Scope = "fleet"
+			f.opts.Model.CanaryFraction = 1.5
 		}, "-canary"},
 		{"canary-negative", func(f *flags) {
-			f.retrainEvery = 500
-			f.modelScope = "fleet"
-			f.canary = -0.5
+			f.opts.Model.RetrainEverySec = 500
+			f.opts.Model.Scope = "fleet"
+			f.opts.Model.CanaryFraction = -0.5
 		}, "-canary"},
 		{"canary-nan", func(f *flags) {
-			f.retrainEvery = 500
-			f.modelScope = "fleet"
-			f.canary = nan()
+			f.opts.Model.RetrainEverySec = 500
+			f.opts.Model.Scope = "fleet"
+			f.opts.Model.CanaryFraction = nan()
 		}, "-canary"},
 		{"bake-negative", func(f *flags) {
-			f.retrainEvery = 500
-			f.modelScope = "fleet"
-			f.bake = -1
+			f.opts.Model.RetrainEverySec = 500
+			f.opts.Model.Scope = "fleet"
+			f.opts.Model.BakeWindowSec = -1
 		}, "-bake"},
-		{"plan-every-without-elastic", func(f *flags) { f.planEvery = 200 }, "-plan-every"},
-		{"target-qos-without-elastic", func(f *flags) { f.targetQoS = 0.02 }, "-target-qos"},
+		{"plan-every-without-elastic", func(f *flags) { f.opts.Capacity.PlanEverySec = 200 }, "-plan-every"},
+		{"target-qos-without-elastic", func(f *flags) { f.opts.Capacity.TargetQoS = 0.02 }, "-target-qos"},
 		{"plan-every-negative", func(f *flags) {
-			f.elastic = true
-			f.planEvery = -1
+			f.opts.Capacity.Elastic = true
+			f.opts.Capacity.PlanEverySec = -1
 		}, "-plan-every"},
 		{"plan-every-nan", func(f *flags) {
-			f.elastic = true
-			f.planEvery = nan()
+			f.opts.Capacity.Elastic = true
+			f.opts.Capacity.PlanEverySec = nan()
 		}, "-plan-every"},
 		{"plan-every-beyond-horizon", func(f *flags) {
-			f.elastic = true
-			f.planEvery = 1000
+			f.opts.Capacity.Elastic = true
+			f.opts.Capacity.PlanEverySec = 1000
 		}, "-plan-every"},
 		{"target-qos-too-big", func(f *flags) {
-			f.elastic = true
-			f.targetQoS = 1
+			f.opts.Capacity.Elastic = true
+			f.opts.Capacity.TargetQoS = 1
 		}, "-target-qos"},
 		{"target-qos-nan", func(f *flags) {
-			f.elastic = true
-			f.targetQoS = nan()
+			f.opts.Capacity.Elastic = true
+			f.opts.Capacity.TargetQoS = nan()
 		}, "-target-qos"},
-		{"margin-too-big", func(f *flags) { f.promoteMargin = 1 }, "-promote-margin"},
-		{"margin-nan", func(f *flags) { f.promoteMargin = nan() }, "-promote-margin"},
-		{"negative-holdout", func(f *flags) { f.holdout = -1 }, "-holdout"},
-		{"negative-min-rows", func(f *flags) { f.minRows = -1 }, "-min-rows"},
+		{"margin-too-big", func(f *flags) { f.opts.Model.PromoteMargin = 1 }, "-promote-margin"},
+		{"margin-nan", func(f *flags) { f.opts.Model.PromoteMargin = nan() }, "-promote-margin"},
+		{"negative-holdout", func(f *flags) { f.opts.Model.HoldoutWindow = -1 }, "-holdout"},
+		{"negative-min-rows", func(f *flags) { f.opts.Model.MinTrainRows = -1 }, "-min-rows"},
 		{"bad-topology", func(f *flags) { f.topologies = "moebius" }, "unknown topology"},
 		{"empty-topology-entry", func(f *flags) { f.topologies = "flat," }, "unknown topology"},
 	}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain lets the test binary stand in for the pondserve binary, so
+// the daemon tests below run the real main() without a separate build
+// step.
+func TestMain(m *testing.M) {
+	if os.Getenv("PONDSERVE_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// freeAddr reserves a loopback port for the daemon under test.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startDaemon launches main() as a subprocess and waits for /healthz.
+func startDaemon(t *testing.T, addr, state string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-addr", addr, "-state", state)
+	cmd.Env = append(os.Environ(), "PONDSERVE_RUN_MAIN=1")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	t.Fatal("daemon never became healthy")
+	return nil
+}
+
+type snapshot struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Error  string `json:"error"`
+	Report *struct {
+		Summary   string `json:"summary"`
+		LogSHA256 string `json:"log_sha256"`
+	} `json:"report"`
+}
+
+func getSnapshot(t *testing.T, addr, id string) snapshot {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/runs/%s", addr, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /runs/%s: status %d", id, resp.StatusCode)
+	}
+	var s snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func waitDone(t *testing.T, addr, id string) snapshot {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		s := getSnapshot(t, addr, id)
+		if s.State == "done" {
+			return s
+		}
+		if s.State == "failed" {
+			t.Fatalf("run %s failed: %s", id, s.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("run %s never completed", id)
+	return snapshot{}
+}
+
+// TestSIGTERMCheckpointAndRestore is the graceful-shutdown acceptance
+// test: run a simulation to completion, SIGTERM the daemon, assert the
+// checkpoint file was written, then boot a fresh daemon on the same
+// state file and assert it serves the completed run's report with the
+// identical event-log hash.
+func TestSIGTERMCheckpointAndRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess round-trips are full-tier")
+	}
+	state := filepath.Join(t.TempDir(), "checkpoint.json")
+	addr := freeAddr(t)
+	cmd := startDaemon(t, addr, state)
+
+	body := []byte(`{"opts": {
+		"cluster": {"hosts": 4, "emcs": 4, "pool_gb": 64, "cells": 2, "duration_sec": 300},
+		"arrival": {"process": "poisson", "rate_per_sec": 0.1, "mean_lifetime_sec": 150},
+		"model": {"disabled": true}
+	}}`)
+	resp, err := http.Post("http://"+addr+"/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("start status %d", resp.StatusCode)
+	}
+	first := waitDone(t, addr, created.ID)
+	if first.Report == nil || first.Report.LogSHA256 == "" {
+		t.Fatalf("first daemon served no report: %+v", first)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon did not exit cleanly: %v", err)
+	}
+	if _, err := os.Stat(state); err != nil {
+		t.Fatalf("checkpoint file not written: %v", err)
+	}
+
+	addr2 := freeAddr(t)
+	cmd2 := startDaemon(t, addr2, state)
+	defer func() {
+		_ = cmd2.Process.Signal(syscall.SIGTERM)
+		_ = cmd2.Wait()
+	}()
+	second := waitDone(t, addr2, created.ID)
+	if second.Report == nil {
+		t.Fatalf("restored daemon served no report: %+v", second)
+	}
+	if second.Report.LogSHA256 != first.Report.LogSHA256 {
+		t.Fatalf("restored report sha %s != original %s", second.Report.LogSHA256, first.Report.LogSHA256)
+	}
+	if second.Report.Summary != first.Report.Summary {
+		t.Fatal("restored summary differs from the original")
+	}
+}
+
+// TestCheckProbe exercises the -check health probe both ways.
+func TestCheckProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess round-trips are full-tier")
+	}
+	addr := freeAddr(t)
+	cmd := startDaemon(t, addr, "")
+	defer func() {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		_ = cmd.Wait()
+	}()
+
+	probe := exec.Command(os.Args[0], "-check", "-addr", addr)
+	probe.Env = append(os.Environ(), "PONDSERVE_RUN_MAIN=1")
+	if out, err := probe.CombinedOutput(); err != nil {
+		t.Fatalf("healthy probe failed: %v\n%s", err, out)
+	}
+
+	dead := exec.Command(os.Args[0], "-check", "-addr", freeAddr(t))
+	dead.Env = append(os.Environ(), "PONDSERVE_RUN_MAIN=1")
+	if err := dead.Run(); err == nil {
+		t.Fatal("probe of a dead address succeeded")
+	}
+}

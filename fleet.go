@@ -8,99 +8,6 @@ import (
 	"pond/internal/fleet"
 )
 
-// FleetOpts configures RunFleet, the online fleet simulation. String
-// fields use the same specs as the cmd/pondfleet flags; zero values fall
-// back to the defaults (flat topology, 4 cells of 8 hosts x 4 EMCs,
-// Poisson arrivals, predictions enabled).
-type FleetOpts struct {
-	// Topology is the host-to-EMC connectivity of every cell: "flat",
-	// "sharded", or "sparse" (Octopus-style overlapping pods).
-	Topology string
-	// PodDegree is the per-host EMC count under "sparse" (default 2).
-	PodDegree int
-
-	// Hosts is the number of hypervisor hosts per cell.
-	Hosts int
-	// EMCs is the number of external memory controllers per cell.
-	EMCs int
-	// PoolGB is each cell's pool capacity in GB, split evenly across
-	// its EMCs.
-	PoolGB int
-
-	// Cells is the number of independent pool groups (engine shards).
-	Cells int
-
-	// DurationSec is the simulated horizon.
-	DurationSec float64
-
-	// Arrival is the arrival-process spec, e.g. "poisson:rate=0.05:life=600"
-	// or "trace" (interarrivals derived from the cluster generator).
-	Arrival string
-
-	// Inject is a comma-separated scenario list, e.g.
-	// "emc-fail@t=500,host-drain@t=800:host=2,surge@t=300:dur=200:x=3,
-	// drift@t=2000:mag=0.6".
-	Inject string
-
-	// DisablePredictions turns off the ML scheduling pipeline (the
-	// no-pooling baseline).
-	DisablePredictions bool
-
-	// RetrainEverySec > 0 closes the model-lifecycle loop: models are
-	// periodically retrained from live telemetry, shadow-scored against
-	// the serving champions on every decision, and hot-swapped on proven
-	// improvement (demoting again on regression). Requires predictions.
-	RetrainEverySec float64
-	// ModelScope selects where retraining happens: "cell" (the default —
-	// every cell runs its own champion/challenger lifecycle) or "fleet"
-	// (the §5 central pipeline: telemetry pools across cells into one
-	// training corpus and a single release train deploys through staged
-	// canary rollout — promote to a canary fraction of cells, bake, then
-	// fan out fleet-wide or roll the canaries back).
-	ModelScope string
-	// CanaryFraction is the fraction of cells a fleet-scoped release
-	// reaches first, rounded up to at least one cell (0 = default 0.25).
-	// Fleet scope only.
-	CanaryFraction float64
-	// BakeWindowSec is how long a fleet-scoped canary bakes before its
-	// promote-or-rollback verdict (0 = twice the retrain cadence). Fleet
-	// scope only.
-	BakeWindowSec float64
-	// PromoteMargin is the fractional rolling-loss improvement a
-	// challenger must show to be promoted (0 = default 5%).
-	PromoteMargin float64
-	// HoldoutWindow is the rolling comparison window in completed VMs
-	// (0 = default).
-	HoldoutWindow int
-	// MinTrainRows is the minimum completed VMs before a challenger is
-	// trained (0 = default).
-	MinTrainRows int
-	// CaptureModels includes each cell's versioned model snapshots in
-	// the report (see FleetReport.ModelsJSON).
-	CaptureModels bool
-
-	// ElasticPool closes the capacity loop: at every PlanEverySec
-	// barrier each cell re-plans its pool size from the demand observed
-	// since the previous barrier and grows or shrinks the EMCs through
-	// the Pool Manager's elastic APIs. Shrinks retire only free slices —
-	// live VMs are never stranded — and the planning decisions land in
-	// the deterministic event log (see FleetReport.PlanHistory).
-	ElasticPool bool
-	// PlanEverySec is the planning-barrier cadence in simulated seconds
-	// (0 = an eighth of the horizon). Elastic pool only.
-	PlanEverySec float64
-	// TargetQoS is the tolerated fraction of time pool demand may exceed
-	// capacity, the controller's sizing target (0 = default 0.01).
-	// Elastic pool only.
-	TargetQoS float64
-
-	// Workers bounds the engine worker pool; <= 0 means GOMAXPROCS.
-	// Results are byte-identical for every worker count.
-	Workers int
-	// Seed roots every cell's RNG stream (0 means the default seed).
-	Seed int64
-}
-
 // FleetReport is the merged outcome of an online fleet run.
 type FleetReport struct {
 	// Topology echoes the topology that ran.
@@ -130,11 +37,11 @@ type FleetReport struct {
 	// PoolShare is the GB-weighted share of placed memory on pool DRAM.
 	PoolShare float64
 
-	// Capacity loop (meaningful when ElasticPool or a resize injection
-	// ran). FinalPoolGB sums the cells' active pool capacity at run end;
-	// DRAMSavedGB is the fleet's time-averaged capacity below static
-	// provisioning — the Pond §7 savings metric, negative if the pool
-	// grew past the static size; Fallbacks counts pool-exhaustion
+	// Capacity loop (meaningful when Capacity.Elastic or a resize
+	// injection ran). FinalPoolGB sums the cells' active pool capacity at
+	// run end; DRAMSavedGB is the fleet's time-averaged capacity below
+	// static provisioning — the Pond §7 savings metric, negative if the
+	// pool grew past the static size; Fallbacks counts pool-exhaustion
 	// downgrades to all-local placements.
 	FinalPoolGB int
 	DRAMSavedGB float64
@@ -172,7 +79,7 @@ type FleetReport struct {
 	// count.
 	RolloutHistory []string
 	// ModelsJSON is the versioned model dump (one JSON array per cell)
-	// when CaptureModels was set.
+	// when Model.Capture was set.
 	ModelsJSON []json.RawMessage
 
 	// EventLog is the full deterministic event log (cell order);
@@ -188,44 +95,23 @@ type FleetReport struct {
 // flow through the live prediction/QoS control plane against the chosen
 // pool topology, with failure scenarios injected mid-run. Cells fan out
 // across the parallel engine; the event log and its hash depend only on
-// the options and seed, never on worker count.
+// the options and seed, never on worker count. For an incrementally
+// driven run with live injections, use StartFleet.
 func RunFleet(ctx context.Context, opts FleetOpts) (*FleetReport, error) {
-	arr, err := fleet.ParseArrival(opts.Arrival)
+	fo, err := opts.fleetOptions()
 	if err != nil {
 		return nil, err
 	}
-	inj, err := fleet.ParseInjections(opts.Inject)
+	rep, err := fleet.Run(ctx, fo)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := fleet.Run(ctx, fleet.Options{
-		Topology:        opts.Topology,
-		PodDegree:       opts.PodDegree,
-		Hosts:           opts.Hosts,
-		EMCs:            opts.EMCs,
-		PoolGB:          opts.PoolGB,
-		Cells:           opts.Cells,
-		DurationSec:     opts.DurationSec,
-		Arrival:         arr,
-		Injections:      inj,
-		Predictions:     !opts.DisablePredictions,
-		RetrainEverySec: opts.RetrainEverySec,
-		ModelScope:      opts.ModelScope,
-		CanaryFraction:  opts.CanaryFraction,
-		BakeWindowSec:   opts.BakeWindowSec,
-		PromoteMargin:   opts.PromoteMargin,
-		HoldoutWindow:   opts.HoldoutWindow,
-		MinTrainRows:    opts.MinTrainRows,
-		CaptureModels:   opts.CaptureModels,
-		ElasticPool:     opts.ElasticPool,
-		PlanEverySec:    opts.PlanEverySec,
-		TargetQoS:       opts.TargetQoS,
-		Workers:         opts.Workers,
-		Seed:            opts.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
+	return newFleetReport(rep), nil
+}
+
+// newFleetReport maps the internal report to the public form, rendering
+// the lifecycle, rollout, and planning histories one line each.
+func newFleetReport(rep *fleet.Report) *FleetReport {
 	history := make([]string, 0, len(rep.Lifecycle))
 	for _, e := range rep.Lifecycle {
 		history = append(history, fmt.Sprintf("[c%d t=%.3f] %s", e.Cell, e.AtSec, e))
@@ -272,5 +158,5 @@ func RunFleet(ctx context.Context, opts FleetOpts) (*FleetReport, error) {
 		EventLog:         rep.EventLog,
 		LogSHA256:        rep.LogSHA256,
 		Summary:          rep.String(),
-	}, nil
+	}
 }

@@ -1,3 +1,3 @@
 module pond
 
-go 1.21
+go 1.22

@@ -1,0 +1,55 @@
+package cliutil
+
+import (
+	"flag"
+
+	"pond"
+)
+
+// Per-group flag registration: each Register*Flags call wires one
+// grouped pond option struct onto a FlagSet, using the struct's current
+// values as the flag defaults. Commands seed the struct (normally from
+// pond.Defaults()), register the groups they expose, and parse — the
+// same declarative types then flow unchanged into RunFleet or
+// StartFleet. Flag names and usage strings live here once, shared by
+// every command, and the usage text inherits its defaults from
+// Defaults() instead of restating numbers that can drift.
+
+// RegisterClusterFlags registers the cluster-sizing flags. The
+// -topology flag is not registered here: commands that accept a
+// topology list (pondfleet's comparison mode) handle it themselves.
+func RegisterClusterFlags(fs *flag.FlagSet, c *pond.ClusterOpts) {
+	fs.IntVar(&c.Hosts, "hosts", c.Hosts, "hosts per cell")
+	fs.IntVar(&c.EMCs, "emcs", c.EMCs, "EMCs per cell")
+	fs.IntVar(&c.PoolGB, "pool", c.PoolGB, "pool capacity per cell (GB)")
+	fs.IntVar(&c.PodDegree, "degree", c.PodDegree, "per-host EMC connections under the sparse topology")
+	fs.IntVar(&c.Cells, "cells", c.Cells, "independent pool groups (engine shards)")
+	fs.Float64Var(&c.DurationSec, "duration", c.DurationSec, "simulated horizon per cell (seconds)")
+}
+
+// RegisterModelFlags registers the prediction-pipeline and
+// model-lifecycle flags.
+func RegisterModelFlags(fs *flag.FlagSet, m *pond.ModelOpts) {
+	fs.BoolVar(&m.Disabled, "no-predictions", m.Disabled, "disable the ML pipeline (all-local baseline)")
+	fs.Float64Var(&m.RetrainEverySec, "retrain-every", m.RetrainEverySec, "online model retrain cadence in seconds (0 = frozen models)")
+	fs.StringVar(&m.Scope, "model-scope", m.Scope, `retraining scope: "cell" (per-cell lifecycle) or "fleet" (pooled telemetry, staged canary rollout)`)
+	fs.Float64Var(&m.CanaryFraction, "canary", m.CanaryFraction, "fraction of cells a fleet-scoped release reaches first (0 = default 0.25)")
+	fs.Float64Var(&m.BakeWindowSec, "bake", m.BakeWindowSec, "canary bake window in seconds before the promote-or-rollback verdict (0 = 2x retrain cadence)")
+	fs.Float64Var(&m.PromoteMargin, "promote-margin", m.PromoteMargin, "fractional rolling-loss improvement required to promote a challenger (0 = default 5%)")
+	fs.IntVar(&m.HoldoutWindow, "holdout", m.HoldoutWindow, "rolling holdout window in completed VMs (0 = default)")
+	fs.IntVar(&m.MinTrainRows, "min-rows", m.MinTrainRows, "minimum completed VMs before a challenger trains (0 = default)")
+}
+
+// RegisterCapacityFlags registers the elastic capacity-planning flags.
+func RegisterCapacityFlags(fs *flag.FlagSet, c *pond.CapacityOpts) {
+	fs.BoolVar(&c.Elastic, "elastic", c.Elastic, "enable the elastic pool: re-plan each cell's capacity from observed demand at every planning barrier")
+	fs.Float64Var(&c.PlanEverySec, "plan-every", c.PlanEverySec, "elastic planning cadence in seconds (0 = an eighth of the horizon)")
+	fs.Float64Var(&c.TargetQoS, "target-qos", c.TargetQoS, "tolerated fraction of time pool demand may exceed capacity (0 = default 0.01)")
+}
+
+// RegisterEngineFlags registers the execution flags. Neither changes
+// results: the event log is byte-identical for any worker count.
+func RegisterEngineFlags(fs *flag.FlagSet, e *pond.EngineOpts) {
+	fs.IntVar(&e.Workers, "workers", e.Workers, "engine worker pool size (0 = GOMAXPROCS); results are identical for any value")
+	fs.Int64Var(&e.Seed, "seed", e.Seed, "root seed for every cell stream")
+}

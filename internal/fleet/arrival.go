@@ -209,12 +209,25 @@ func driftPopulation(pop []cluster.Customer, mag float64, r *stats.Rand) []clust
 	return out
 }
 
+// Labels of the drift-transform RNG streams. Their seeds are keyed to
+// the arrival seed with stats.HashWords rather than drawn from the
+// parent stream: a parent draw's position would depend on whether any
+// drift exists, so adding a first drift would shift every later
+// sub-stream's seed — including surge streams whose pre-drift extras
+// were already simulated. Keyed seeds make each sub-stream independent
+// of which other injections are present, the property the Runner's
+// live-injection regeneration relies on.
+const (
+	driftForkLabel      = 6
+	driftTraceForkLabel = 7
+)
+
 // driftEpochs precomputes the tenant population for each drift epoch:
 // epochs[0] is the initial population, epochs[k] the population after
 // the k-th drift injection hitting this cell (times returned alongside,
 // ascending). Regional drifts (cells=a-b) leave out-of-range cells'
 // populations untouched — their streams never see the shift.
-func driftEpochs(initial []cluster.Customer, injections []Injection, cell int, r *stats.Rand) (times []float64, epochs [][]cluster.Customer) {
+func driftEpochs(initial []cluster.Customer, injections []Injection, cell int, rd *stats.Rand) (times []float64, epochs [][]cluster.Customer) {
 	epochs = [][]cluster.Customer{initial}
 	var drifts []Injection
 	for _, in := range injections {
@@ -226,7 +239,6 @@ func driftEpochs(initial []cluster.Customer, injections []Injection, cell int, r
 		return nil, epochs
 	}
 	sort.SliceStable(drifts, func(i, j int) bool { return drifts[i].AtSec < drifts[j].AtSec })
-	rd := r.Fork(6)
 	for _, d := range drifts {
 		times = append(times, d.AtSec)
 		epochs = append(epochs, driftPopulation(epochs[len(epochs)-1], d.Mag, rd))
@@ -246,10 +258,13 @@ func populationAt(t float64, times []float64, epochs [][]cluster.Customer) []clu
 // generateArrivals produces the cell's full arrival stream: the base
 // process (Poisson or trace-derived) plus any surge-injection extras,
 // time-sorted and renumbered chronologically, with drift injections
-// shifting the tenant population mid-stream. All randomness comes from
-// forks of the cell RNG in a fixed order, so the stream depends only on
-// the cell seed.
-func generateArrivals(o Options, cell int, r *stats.Rand) []cluster.VMRequest {
+// shifting the tenant population mid-stream. The stream is a pure
+// function of (options, cell, seed): all randomness comes from forks of
+// the seed in a fixed order, with drift-transform forks keyed to the
+// seed directly (see driftForkLabel) so the presence of one injection
+// never perturbs another injection's sub-stream.
+func generateArrivals(o Options, cell int, seed int64) []cluster.VMRequest {
+	r := stats.NewRand(seed)
 	var vms []cluster.VMRequest
 	var customers []cluster.Customer
 	var driftTimes []float64
@@ -280,7 +295,8 @@ func generateArrivals(o Options, cell int, r *stats.Rand) []cluster.VMRequest {
 	default: // poisson
 		rArr := r.Fork(1)
 		customers = synthCustomers(32, rArr)
-		driftTimes, epochs = driftEpochs(customers, o.Injections, cell, r)
+		driftTimes, epochs = driftEpochs(customers, o.Injections, cell,
+			stats.NewRand(stats.HashWords(uint64(seed), driftForkLabel)))
 		// Presize for the expected stream (surge extras included below
 		// share the slice); capacity never affects the drawn contents.
 		vms = make([]cluster.VMRequest, 0, expectedArrivals(o))
@@ -324,7 +340,8 @@ func generateArrivals(o Options, cell int, r *stats.Rand) []cluster.VMRequest {
 		// ground truth of VMs arriving after each drift point instead of
 		// the population that draws them. Applied after surge extras so
 		// they drift too.
-		vms = driftTraceVMs(vms, o.Injections, cell, r)
+		vms = driftTraceVMs(vms, o.Injections, cell,
+			stats.NewRand(stats.HashWords(uint64(seed), driftTraceForkLabel)))
 	}
 
 	// Concrete-type stable sort: a stable sort's output is uniquely
@@ -349,7 +366,7 @@ func (s byArrival) Swap(a, b int)      { s[a], s[b] = s[b], s[a] }
 // drift flips the untouched-memory behaviour of VMs arriving after it
 // (mag of the way toward the complement) and reassigns a mag fraction of
 // their workloads. Regional drifts skip out-of-range cells.
-func driftTraceVMs(vms []cluster.VMRequest, injections []Injection, cell int, r *stats.Rand) []cluster.VMRequest {
+func driftTraceVMs(vms []cluster.VMRequest, injections []Injection, cell int, rd *stats.Rand) []cluster.VMRequest {
 	var drifts []Injection
 	for _, in := range injections {
 		if in.Kind == InjectDrift && in.AppliesTo(cell) {
@@ -361,7 +378,6 @@ func driftTraceVMs(vms []cluster.VMRequest, injections []Injection, cell int, r 
 	}
 	sort.SliceStable(drifts, func(i, j int) bool { return drifts[i].AtSec < drifts[j].AtSec })
 	catalogue := catalogueCache
-	rd := r.Fork(7)
 	for _, d := range drifts {
 		for i := range vms {
 			if vms[i].ArrivalSec < d.AtSec {

@@ -298,30 +298,47 @@ func normalize(o Options) (Options, error) {
 		return o, err
 	}
 	for _, in := range o.Injections {
-		if (in.Kind == InjectEMCFail || in.Kind == InjectResize) && (in.EMC < 0 || in.EMC >= o.EMCs) {
-			return o, fmt.Errorf("fleet: injection %s targets EMC %d of %d", in, in.EMC, o.EMCs)
-		}
-		if in.Kind == InjectResize && (in.Slices == 0 || in.Slices < -MaxResizeSlices || in.Slices > MaxResizeSlices) {
-			return o, fmt.Errorf("fleet: injection %s must resize by a non-zero count of at most %d slices", in, MaxResizeSlices)
-		}
-		if in.Kind == InjectHostDrain && (in.Host < 0 || in.Host >= o.Hosts) {
-			return o, fmt.Errorf("fleet: injection %s targets host %d of %d", in, in.Host, o.Hosts)
-		}
-		if in.Kind == InjectDrift && in.CellHi >= 0 {
-			if in.CellLo < 0 || in.CellLo > in.CellHi {
-				return o, fmt.Errorf("fleet: injection %s has an empty cell range", in)
-			}
-			if in.CellHi >= o.Cells {
-				return o, fmt.Errorf("fleet: injection %s targets cell %d of %d", in, in.CellHi, o.Cells)
-			}
-		}
-		if in.AtSec > o.DurationSec {
-			// Refuse rather than silently never firing: the caller asked
-			// for a scenario the horizon cannot contain.
-			return o, fmt.Errorf("fleet: injection %s fires after the %gs horizon", in, o.DurationSec)
+		if err := ValidateInjection(in, o); err != nil {
+			return o, err
 		}
 	}
 	return o, nil
+}
+
+// NormalizeOptions fills zero fields from the defaults and validates the
+// rest — the single validation path shared by Run, the Runner, and the
+// public pond facade (flag parsing and serve request bodies both land
+// here).
+func NormalizeOptions(o Options) (Options, error) { return normalize(o) }
+
+// ValidateInjection checks one injection against the sized fleet. It is
+// shared by Options normalization and the Runner's live-injection path,
+// so a scenario POSTed into a running simulation meets exactly the same
+// rules as one scheduled from the command line.
+func ValidateInjection(in Injection, o Options) error {
+	if (in.Kind == InjectEMCFail || in.Kind == InjectResize) && (in.EMC < 0 || in.EMC >= o.EMCs) {
+		return fmt.Errorf("fleet: injection %s targets EMC %d of %d", in, in.EMC, o.EMCs)
+	}
+	if in.Kind == InjectResize && (in.Slices == 0 || in.Slices < -MaxResizeSlices || in.Slices > MaxResizeSlices) {
+		return fmt.Errorf("fleet: injection %s must resize by a non-zero count of at most %d slices", in, MaxResizeSlices)
+	}
+	if in.Kind == InjectHostDrain && (in.Host < 0 || in.Host >= o.Hosts) {
+		return fmt.Errorf("fleet: injection %s targets host %d of %d", in, in.Host, o.Hosts)
+	}
+	if in.Kind == InjectDrift && in.CellHi >= 0 {
+		if in.CellLo < 0 || in.CellLo > in.CellHi {
+			return fmt.Errorf("fleet: injection %s has an empty cell range", in)
+		}
+		if in.CellHi >= o.Cells {
+			return fmt.Errorf("fleet: injection %s targets cell %d of %d", in, in.CellHi, o.Cells)
+		}
+	}
+	if in.AtSec > o.DurationSec {
+		// Refuse rather than silently never firing: the caller asked
+		// for a scenario the horizon cannot contain.
+		return fmt.Errorf("fleet: injection %s fires after the %gs horizon", in, o.DurationSec)
+	}
+	return nil
 }
 
 // CellResult is one cell's outcome.
@@ -490,42 +507,57 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	insens, threshold := trainInsens(o)
 
-	// Train the insensitivity model once; scoring is read-only, so every
-	// cell shares it. The threshold targets the paper's ~30% label rate.
-	var insens predict.Insensitivity
-	threshold := 0.0
-	if o.Predictions {
-		ratio := cxl.PondLatencyRatio(o.Hosts * 2)
-		ds := predict.BuildSensitivityDataset(ratio, o.PDM, 3, o.Seed)
-		rf := predict.TrainForest(ds.X, ds.Insensitive, o.Seed)
-		threshold = predict.ThresholdForLabelRate(predict.DatasetScores(rf, ds), 0.30)
-		insens = rf
-	}
-
-	var results []CellResult
-	var fleetLog string
-	var fp *fleetpipeline.Manager
+	// Barriered configurations (fleet-scoped retraining, elastic pool)
+	// go through the Runner — the one implementation of the barrier
+	// loop, shared with pondserve's live runs. Everything else takes the
+	// one-shot fast path: each cell is built, run to the horizon, and
+	// finished inside a single engine job with no intermediate state.
 	if (o.ModelScope == ScopeFleet && o.RetrainEverySec > 0) || o.ElasticPool {
-		results, fleetLog, fp, err = runBarriered(ctx, o, insens, threshold)
-	} else {
-		results, err = engine.Map(ctx, cellIndices(o.Cells),
-			engine.Options{Workers: o.Workers, Seed: o.Seed},
-			func(i int, _ int, rng *stats.Rand) (CellResult, error) {
-				sim, serr := newCellSim(i, o, insens, threshold, rng)
-				if serr != nil {
-					return CellResult{Cell: i}, serr
-				}
-				if serr := sim.runUntil(o.DurationSec, true); serr != nil {
-					return sim.res, serr
-				}
-				return sim.finish()
-			})
+		r, rerr := newRunner(ctx, o, insens, threshold)
+		if rerr != nil {
+			return nil, rerr
+		}
+		return r.Finish(ctx)
 	}
+
+	results, err := engine.Map(ctx, cellIndices(o.Cells),
+		engine.Options{Workers: o.Workers, Seed: o.Seed},
+		func(i int, _ int, rng *stats.Rand) (CellResult, error) {
+			sim, serr := newCellSim(i, o, insens, threshold, rng)
+			if serr != nil {
+				return CellResult{Cell: i}, serr
+			}
+			if serr := sim.runUntil(o.DurationSec, true); serr != nil {
+				return sim.res, serr
+			}
+			return sim.finish()
+		})
 	if err != nil {
 		return nil, err
 	}
+	return assembleReport(o, results, "", nil)
+}
 
+// trainInsens trains the shared insensitivity model once per run;
+// scoring is read-only, so every cell shares it. The threshold targets
+// the paper's ~30% label rate. Without predictions there is no model.
+func trainInsens(o Options) (predict.Insensitivity, float64) {
+	if !o.Predictions {
+		return nil, 0
+	}
+	ratio := cxl.PondLatencyRatio(o.Hosts * 2)
+	ds := predict.BuildSensitivityDataset(ratio, o.PDM, 3, o.Seed)
+	rf := predict.TrainForest(ds.X, ds.Insensitive, o.Seed)
+	threshold := predict.ThresholdForLabelRate(predict.DatasetScores(rf, ds), 0.30)
+	return rf, threshold
+}
+
+// assembleReport merges the per-cell results — and the fleet pipeline's
+// log and release-train counters, when one ran — into the final report,
+// concatenates the event log in cell order, and hashes it.
+func assembleReport(o Options, results []CellResult, fleetLog string, fp *fleetpipeline.Manager) (*Report, error) {
 	rep := &Report{Options: o, Cells: results}
 	tp, _ := topo.Build(o.Topology, o.Hosts, o.EMCs, o.PodDegree)
 	rep.TopologyDesc = tp.Describe()
@@ -646,103 +678,6 @@ func barrierSchedule(o Options, fleetScoped bool) []barrier {
 	return bs
 }
 
-// runBarriered drives every cell through the PR-4 barrier machinery:
-// cells simulate one inter-barrier epoch at a time on the parallel
-// engine, then the barrier itself is processed serially in cell order.
-// Two barrier kinds share the schedule: retrain barriers (the §5 central
-// pipeline — pooled telemetry into the fleet Manager, release-train
-// advance, per-cell re-pins) and planning barriers (the elastic-pool
-// controller — each cell's epoch demand becomes a pool resize). At a
-// coincident barrier models go first, then capacity. Stage transitions
-// land in the fleet log; pins and resizes land in the affected cell's
-// own log, so the full event stream stays byte-identical for any worker
-// count.
-func runBarriered(ctx context.Context, o Options, insens predict.Insensitivity, threshold float64) ([]CellResult, string, *fleetpipeline.Manager, error) {
-	eopts := engine.Options{Workers: o.Workers, Seed: o.Seed}
-	sims, err := engine.Map(ctx, cellIndices(o.Cells), eopts,
-		func(i int, _ int, rng *stats.Rand) (*cellSim, error) {
-			return newCellSim(i, o, insens, threshold, rng)
-		})
-	if err != nil {
-		return nil, "", nil, err
-	}
-
-	fleetScoped := o.ModelScope == ScopeFleet && o.RetrainEverySec > 0
-	var fp *fleetpipeline.Manager
-	if fleetScoped {
-		fp = fleetpipeline.NewManager(fleetpipeline.Config{
-			Cells:          o.Cells,
-			CanaryFraction: o.CanaryFraction,
-			BakeWindowSec:  o.BakeWindowSec,
-			MinTrainRows:   o.MinTrainRows,
-			HoldoutWindow:  o.HoldoutWindow,
-			PromoteMargin:  o.PromoteMargin,
-			Seed:           o.Seed,
-		}, predict.HistoryQuantileUM{})
-		rcfg := fp.Config()
-		for _, sim := range sims {
-			sim.col = fleetpipeline.NewCollector(sim.cell, predict.HistoryQuantileUM{}, insens,
-				sim.ratio, o.PDM, rcfg.OverPenalty, rcfg.HoldoutWindow)
-			sim.pipe.SetShadowHook(sim.col.ObserveDecision)
-			sim.res.ServedVersions = []int{0}
-		}
-	}
-
-	var fleetLog strings.Builder
-	advance := func(t float64, final bool) error {
-		_, aerr := engine.Map(ctx, sims, eopts,
-			func(_ int, s *cellSim, _ *stats.Rand) (struct{}, error) {
-				return struct{}{}, s.runUntil(t, final)
-			})
-		return aerr
-	}
-	for _, b := range barrierSchedule(o, fleetScoped) {
-		if err := advance(b.t, false); err != nil {
-			return nil, "", nil, err
-		}
-		if b.retrain {
-			rows := make([][]fleetpipeline.Row, len(sims))
-			obs := make([][]fleetpipeline.Obs, len(sims))
-			for i, s := range sims {
-				rows[i], obs[i] = s.col.Drain()
-			}
-			events, terr := fp.Tick(b.t, rows, obs)
-			if terr != nil {
-				return nil, "", nil, terr
-			}
-			for _, e := range events {
-				fmt.Fprintf(&fleetLog, "[fleet t=%.3f] %s\n", b.t, e)
-			}
-			for i, s := range sims {
-				s.applyPin(fp.AssignmentFor(i), b.t)
-			}
-		}
-		if b.plan {
-			for _, s := range sims {
-				s.planTick(b.t)
-			}
-		}
-	}
-	if err := advance(o.DurationSec, true); err != nil {
-		return nil, "", nil, err
-	}
-
-	results := make([]CellResult, len(sims))
-	for i, s := range sims {
-		res, ferr := s.finish()
-		if ferr != nil {
-			return nil, "", nil, ferr
-		}
-		results[i] = res
-	}
-	if fleetScoped {
-		fmt.Fprintf(&fleetLog, "[fleet t=%.3f] fleetpipeline summary retrains=%d promotions=%d rollbacks=%d demotions=%d holds=%d champion-ver=%d\n",
-			o.DurationSec, fp.Counts().Retrains, fp.Counts().Promotions, fp.Counts().Rollbacks,
-			fp.Counts().Demotions, fp.Counts().Holds, fp.ChampionVer())
-	}
-	return results, fleetLog.String(), fp, nil
-}
-
 // Event kinds of the cell loop.
 const (
 	evArrive = iota
@@ -754,11 +689,26 @@ const (
 // event is one entry of the cell's time-ordered queue.
 type event struct {
 	at   float64
-	seq  int // push order; breaks time ties deterministically
+	seq  int // banded tie-break (see the seq* bands below)
 	kind int
 	idx  int          // arrival or injection index
 	vm   cluster.VMID // departing VM
 }
+
+// Sequence-number bands. Events at equal times pop in band order, and
+// within a band in index order — exactly the order the old push-counter
+// scheme produced (arrivals, then injections, then retrain ticks, then
+// runtime-pushed departures). Making the bands explicit instead of
+// implicit in push order is what lets a live injection, added mid-run
+// through the Runner, land with the same sequence number it would have
+// had if it had been scheduled from the start: the pop order — and
+// therefore the event log — is byte-identical to the equivalent batch
+// run.
+const (
+	seqInjectBand  = 1 << 40 // injections: seqInjectBand + injection index
+	seqRetrainBand = 2 << 40 // cell-scoped retrain ticks: + tick index
+	seqRuntimeBand = 3 << 40 // events pushed while running: + push counter
+)
 
 // eventHeap is a hand-rolled binary min-heap ordered by (at, seq).
 // (at, seq) is a strict total order — seq is unique per cell — so the
@@ -859,11 +809,15 @@ type cellSim struct {
 	pinnedVer int
 
 	arrivals []cluster.VMRequest
-	rPlace   *stats.Rand
-	q        eventHeap
-	seq      int
-	running  map[cluster.VMID]*runningVM
-	log      strings.Builder
+	// arrSeed is the seed of the arrival-stream RNG fork, kept so a live
+	// drift or surge injection can regenerate the stream bit-identically
+	// to a batch run that had the injection from the start.
+	arrSeed int64
+	rPlace  *stats.Rand
+	q       eventHeap
+	seq     int
+	running map[cluster.VMID]*runningVM
+	log     strings.Builder
 
 	// Hot-path scratch, all scoped to this cell (cells are sequential,
 	// so reuse is race-free and deterministic): lbuf renders log lines,
@@ -968,7 +922,11 @@ func newCellSim(cell int, o Options, insens predict.Insensitivity, threshold flo
 		}
 	}
 
-	c.arrivals = generateArrivals(o, cell, r.Fork(3))
+	// ForkSeed consumes exactly the one parent draw Fork(3) used to, so
+	// the arrival stream is unchanged — but keeping the seed lets a live
+	// injection regenerate the stream later (see regenerateArrivals).
+	c.arrSeed = r.ForkSeed(3)
+	c.arrivals = generateArrivals(o, cell, c.arrSeed)
 	c.res.Arrivals = len(c.arrivals)
 	c.rPlace = r.Fork(4)
 
@@ -979,14 +937,16 @@ func newCellSim(cell int, o Options, insens predict.Insensitivity, threshold flo
 	c.q = make(eventHeap, 0, 2*len(c.arrivals)+len(o.Injections)+8)
 	c.log.Grow(96 * (2*len(c.arrivals) + 16))
 	for i := range c.arrivals {
-		c.push(event{at: c.arrivals[i].ArrivalSec, kind: evArrive, idx: i})
+		c.pushSeq(event{at: c.arrivals[i].ArrivalSec, kind: evArrive, idx: i}, i)
 	}
 	for i, inj := range o.Injections {
-		c.push(event{at: inj.AtSec, kind: evInject, idx: i})
+		c.pushSeq(event{at: inj.AtSec, kind: evInject, idx: i}, seqInjectBand+i)
 	}
 	if c.mgr != nil && o.RetrainEverySec > 0 {
+		k := 0
 		for t := o.RetrainEverySec; t <= o.DurationSec; t += o.RetrainEverySec {
-			c.push(event{at: t, kind: evRetrain})
+			c.pushSeq(event{at: t, kind: evRetrain}, seqRetrainBand+k)
+			k++
 		}
 	}
 
@@ -1038,11 +998,75 @@ func (c *cellSim) observer() observer {
 	return nil
 }
 
+// push enqueues an event generated while the loop runs (departures,
+// failure re-arms) in the runtime band: after every same-time seeded
+// event, in push order among themselves — the order the old plain
+// counter produced.
 func (c *cellSim) push(ev event) {
-	ev.seq = c.seq
+	c.pushSeq(ev, seqRuntimeBand+c.seq)
 	c.seq++
+}
+
+// pushSeq enqueues an event with an explicit banded sequence number.
+func (c *cellSim) pushSeq(ev event, seq int) {
+	ev.seq = seq
 	c.q = append(c.q, ev)
 	c.q.up(len(c.q) - 1)
+}
+
+// liveInject schedules an injection added mid-run through the Runner.
+// The injection is appended to the cell's own copy of the injection
+// list — index order is the determinism contract: the equivalent batch
+// run lists live injections after the scheduled ones, in the order they
+// were added — and enqueued with the exact banded sequence number a
+// batch-scheduled injection at that index would have carried. Drift and
+// surge are baked into the pre-generated arrival stream, so those two
+// kinds also regenerate it.
+func (c *cellSim) liveInject(in Injection, now float64) {
+	idx := len(c.o.Injections)
+	// Full-slice append: the seeded Options share one backing array
+	// across every cell's copy, so an in-place grow from one cell could
+	// be observed by another. Forcing a fresh allocation keeps each
+	// cell's list independent.
+	c.o.Injections = append(c.o.Injections[:idx:idx], in)
+	c.pushSeq(event{at: in.AtSec, kind: evInject, idx: idx}, seqInjectBand+idx)
+	if in.Kind == InjectDrift || in.Kind == InjectSurge {
+		c.regenerateArrivals(now)
+	}
+}
+
+// regenerateArrivals rebuilds the arrival stream from the stored fork
+// seed after a live drift or surge changed the injection list. Because
+// generateArrivals is a pure function of (options, cell, seed), the
+// regenerated stream is exactly what a batch run with the same
+// injections would have drawn — and its pre-now prefix is unchanged,
+// since drift and surge only alter draws at or after their firing time
+// and a live injection cannot fire in the past. Every event already
+// processed therefore keeps its bytes; only the pending arrival events
+// need replacing.
+func (c *cellSim) regenerateArrivals(now float64) {
+	c.arrivals = generateArrivals(c.o, c.cell, c.arrSeed)
+	c.res.Arrivals = len(c.arrivals)
+	// Drop the stale pending arrivals, re-add those still due with their
+	// band-0 sequence numbers, and re-establish the heap invariant. The
+	// pop order depends only on the (at, seq) comparison — a strict
+	// total order — so a heapified queue pops the same sequence a batch
+	// run's incremental pushes would.
+	q := c.q[:0]
+	for _, ev := range c.q {
+		if ev.kind != evArrive {
+			q = append(q, ev)
+		}
+	}
+	for i := range c.arrivals {
+		if c.arrivals[i].ArrivalSec >= now {
+			q = append(q, event{at: c.arrivals[i].ArrivalSec, seq: i, kind: evArrive, idx: i})
+		}
+	}
+	c.q = q
+	for i := len(c.q)/2 - 1; i >= 0; i-- {
+		c.q.down(i)
+	}
 }
 
 // logf renders one cold-path log line through fmt. Hot-path events

@@ -124,6 +124,14 @@ func ParseInjections(s string) ([]Injection, error) {
 	return out, nil
 }
 
+// ParseInjection parses a single injection spec — one element of the
+// comma-separated ParseInjections grammar. It is the entry point for
+// callers that handle injections one at a time, like pondserve's
+// live-injection bodies; ParseInjections loops over it.
+func ParseInjection(spec string) (Injection, error) {
+	return parseInjection(strings.TrimSpace(spec))
+}
+
 func parseInjection(spec string) (Injection, error) {
 	kind, rest, ok := strings.Cut(spec, "@")
 	if !ok {

@@ -1,0 +1,271 @@
+// Package serve is pondserve's control plane: it owns a registry of
+// live fleet runs, drives each one through the public pond.FleetRun API
+// on its own goroutine, and exposes start/inspect/inject/stream over
+// HTTP. The simulation layer stays process-agnostic — everything the
+// daemon does goes through StartFleet/Advance/Inject/DrainEvents, the
+// same calls a batch RunFleet makes internally, so a served run's event
+// log is byte-identical to the equivalent batch run.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"pond"
+)
+
+// Run states. A run is born running (or holding, with a 0 hold),
+// advances slice by slice, pauses at each requested hold point until
+// resumed, and ends done — or failed if the simulation errors.
+const (
+	StateRunning = "running"
+	StateHolding = "holding"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Event is one sequenced event-log line; Seq numbers are contiguous
+// per run from 0, so a client that saw seq N resumes with ?from=N+1.
+// Cell is -1 for the fleet pipeline's barrier log.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Cell int    `json:"cell"`
+	Line string `json:"line"`
+}
+
+// Run is one live simulation owned by the daemon. The mutex serializes
+// the driver goroutine and the HTTP handlers; every time the driver
+// releases it between Advance slices is a safe point where an injection
+// may land — which is exactly the determinism contract FleetRun
+// provides.
+type Run struct {
+	ID string
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast on new events or a state change
+
+	fr     *pond.FleetRun
+	state  string
+	holds  []float64 // ascending hold times not yet reached
+	events []Event
+	report *pond.FleetReport
+	err    error
+}
+
+func newRun(id string, fr *pond.FleetRun, holds []float64) *Run {
+	r := &Run{ID: id, fr: fr, state: StateRunning, holds: holds}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// drive advances the run to completion on the caller's goroutine,
+// pausing at each hold point until Resume. sliceSec bounds how long the
+// run lock is held at a stretch: smaller slices mean injections land
+// sooner, at the cost of more lock round-trips.
+func (r *Run) drive(ctx context.Context, sliceSec float64) {
+	stop := context.AfterFunc(ctx, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer stop()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		for r.state == StateHolding {
+			r.cond.Wait()
+			if ctx.Err() != nil {
+				return
+			}
+		}
+		target := r.fr.Config().Cluster.DurationSec
+		holding := false
+		if len(r.holds) > 0 && r.holds[0] <= target {
+			target, holding = r.holds[0], true
+		}
+		next := r.fr.Now() + sliceSec
+		if next >= target {
+			next = target
+		}
+		if err := r.fr.Advance(ctx, next); err != nil {
+			r.fail(err)
+			return
+		}
+		r.drainLocked()
+		if next == target && holding {
+			r.holds = r.holds[1:]
+			r.state = StateHolding
+			r.cond.Broadcast()
+			continue
+		}
+		if r.fr.Done() {
+			rep, err := r.fr.Finish(ctx)
+			if err != nil {
+				r.fail(err)
+				return
+			}
+			r.drainLocked()
+			r.report = rep
+			r.state = StateDone
+			r.cond.Broadcast()
+			return
+		}
+		// Safe point: let a pending inject or snapshot take the lock.
+		r.mu.Unlock()
+		r.mu.Lock()
+	}
+}
+
+// drainLocked moves newly produced log lines into the sequenced event
+// buffer and wakes streamers. Callers hold r.mu.
+func (r *Run) drainLocked() {
+	evs := r.fr.DrainEvents()
+	if len(evs) == 0 {
+		return
+	}
+	for _, e := range evs {
+		r.events = append(r.events, Event{Seq: len(r.events), Cell: e.Cell, Line: e.Line})
+	}
+	r.cond.Broadcast()
+}
+
+func (r *Run) fail(err error) {
+	r.err = err
+	r.state = StateFailed
+	r.cond.Broadcast()
+}
+
+// Inject schedules an injection at the next safe point. A completed run
+// refuses with ErrCompleted; validation failures pass through from the
+// fleet layer.
+func (r *Run) Inject(in pond.Injection) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == StateDone || r.state == StateFailed {
+		return ErrCompleted
+	}
+	return r.fr.Inject(in)
+}
+
+// Resume releases a holding run. It reports whether the run was
+// actually holding.
+func (r *Run) Resume() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != StateHolding {
+		return false
+	}
+	r.state = StateRunning
+	r.cond.Broadcast()
+	return true
+}
+
+// ErrCompleted marks an injection refused because the run already
+// reached its horizon.
+var ErrCompleted = fmt.Errorf("run completed; injections are closed")
+
+// Snapshot is the inspectable state GET /runs/{id} serves. Report
+// fields are populated once the run is done.
+type Snapshot struct {
+	ID       string             `json:"id"`
+	State    string             `json:"state"`
+	Error    string             `json:"error,omitempty"`
+	Progress pond.FleetProgress `json:"progress"`
+	Events   int                `json:"events"`
+	HoldsAt  []float64          `json:"holds_at,omitempty"`
+	Config   pond.FleetOpts     `json:"config"`
+	Report   *SnapshotReport    `json:"report,omitempty"`
+}
+
+// SnapshotReport is the served subset of the final report: the summary,
+// the determinism witness, and the planner / rollout / model state.
+type SnapshotReport struct {
+	Summary          string   `json:"summary"`
+	LogSHA256        string   `json:"log_sha256"`
+	PlanHistory      []string `json:"plan_history,omitempty"`
+	RolloutHistory   []string `json:"rollout_history,omitempty"`
+	PromotionHistory []string `json:"promotion_history,omitempty"`
+	ChampionVer      int      `json:"champion_ver"`
+	Retrains         int      `json:"retrains"`
+	Promotions       int      `json:"promotions"`
+	Rollbacks        int      `json:"rollbacks"`
+	DRAMSavedGB      float64  `json:"dram_saved_gb"`
+	FinalPoolGB      int      `json:"final_pool_gb"`
+}
+
+// Snapshot captures the run's current state at a safe point.
+func (r *Run) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		ID:       r.ID,
+		State:    r.state,
+		Progress: r.fr.Progress(),
+		Events:   len(r.events),
+		HoldsAt:  append([]float64(nil), r.holds...),
+		Config:   r.fr.Config(),
+	}
+	if r.err != nil {
+		s.Error = r.err.Error()
+	}
+	if r.report != nil {
+		s.Report = &SnapshotReport{
+			Summary:          r.report.Summary,
+			LogSHA256:        r.report.LogSHA256,
+			PlanHistory:      r.report.PlanHistory,
+			RolloutHistory:   r.report.RolloutHistory,
+			PromotionHistory: r.report.PromotionHistory,
+			ChampionVer:      r.report.ChampionVer,
+			Retrains:         r.report.Retrains,
+			Promotions:       r.report.Promotions,
+			Rollbacks:        r.report.Rollbacks,
+			DRAMSavedGB:      r.report.DRAMSavedGB,
+			FinalPoolGB:      r.report.FinalPoolGB,
+		}
+	}
+	return s
+}
+
+// EventsFrom returns the buffered events with Seq >= from. If the run
+// is still producing and no new events are buffered, it blocks until
+// more arrive, the run ends, or ctx is cancelled; it returns nil only
+// when no further events will ever arrive (or the wait was cancelled).
+func (r *Run) EventsFrom(ctx context.Context, from int) []Event {
+	stop := context.AfterFunc(ctx, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer stop()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if from < len(r.events) {
+			return append([]Event(nil), r.events[from:]...)
+		}
+		if r.state == StateDone || r.state == StateFailed || ctx.Err() != nil {
+			return nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// waitDone blocks until the run reaches a terminal state or ctx is
+// cancelled.
+func (r *Run) waitDone(ctx context.Context) {
+	stop := context.AfterFunc(ctx, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer stop()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.state != StateDone && r.state != StateFailed && ctx.Err() == nil {
+		r.cond.Wait()
+	}
+}

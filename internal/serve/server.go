@@ -1,0 +1,407 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pond"
+)
+
+// Config configures a Server.
+type Config struct {
+	// StatePath is the checkpoint file Shutdown writes and New restores
+	// from; empty disables checkpointing.
+	StatePath string
+	// SliceSec bounds how much simulated time a run advances per lock
+	// hold; 0 derives a per-run slice (1/64 of the horizon) so
+	// injections land promptly without slicing tiny runs to dust.
+	SliceSec float64
+	// Log receives the daemon's structured logs; nil discards them.
+	Log *slog.Logger
+}
+
+// Server owns the run registry and implements the pondserve HTTP API:
+//
+//	POST /runs              start a run (body: {"opts": FleetOpts, "hold_at_sec": [...]})
+//	GET  /runs              list runs
+//	GET  /runs/{id}         inspect one run (progress, config, report when done)
+//	POST /runs/{id}/inject  schedule an injection at the next safe point
+//	POST /runs/{id}/resume  release a holding run
+//	GET  /runs/{id}/events  stream the event log as NDJSON (?from=seq resumes)
+//	GET  /healthz           liveness probe
+type Server struct {
+	cfg Config
+	log *slog.Logger
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	runs   map[string]*Run
+	nextID int
+}
+
+// New builds a Server, restoring any runs checkpointed at
+// cfg.StatePath: each restored run re-executes from its checkpointed
+// configuration, which the determinism contract guarantees reproduces
+// the original event log and report byte for byte.
+func New(cfg Config) (*Server, error) {
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{cfg: cfg, log: cfg.Log, ctx: ctx, cancel: cancel, runs: make(map[string]*Run)}
+	if cfg.StatePath != "" {
+		if err := s.restore(cfg.StatePath); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /runs", s.handleStart)
+	mux.HandleFunc("GET /runs", s.handleList)
+	mux.HandleFunc("GET /runs/{id}", s.handleGet)
+	mux.HandleFunc("POST /runs/{id}/inject", s.handleInject)
+	mux.HandleFunc("POST /runs/{id}/resume", s.handleResume)
+	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	return mux
+}
+
+// Shutdown stops every run driver, waits for them to park, and writes
+// the checkpoint file. The HTTP listener is the caller's to close (the
+// daemon pairs this with http.Server.Shutdown on SIGTERM).
+func (s *Server) Shutdown() error {
+	s.cancel()
+	s.wg.Wait()
+	if s.cfg.StatePath == "" {
+		return nil
+	}
+	return s.checkpoint(s.cfg.StatePath)
+}
+
+// startRun registers and launches a run. holds are sorted ascending so
+// the driver consumes them in time order.
+func (s *Server) startRun(opts pond.FleetOpts, holds []float64) (*Run, error) {
+	fr, err := pond.StartFleet(s.ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	sort.Float64s(holds)
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("r%d", s.nextID)
+	r := newRun(id, fr, holds)
+	s.runs[id] = r
+	s.mu.Unlock()
+
+	slice := s.cfg.SliceSec
+	if slice <= 0 {
+		slice = fr.Config().Cluster.DurationSec / 64
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		r.drive(s.ctx, slice)
+		snap := r.Snapshot()
+		s.log.Info("run finished", "id", id, "state", snap.State, "events", snap.Events)
+	}()
+	s.log.Info("run started", "id", id, "holds", holds)
+	return r, nil
+}
+
+func (s *Server) run(id string) (*Run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	return r, ok
+}
+
+// apiError is the structured error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := len(s.runs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "runs": n})
+}
+
+// startRequest is the POST /runs body: the same grouped FleetOpts the
+// Go API and the pondfleet flags take, plus optional hold points where
+// the run pauses until POST /runs/{id}/resume — the handle a client
+// uses to line up a live injection at an exact simulated time.
+type startRequest struct {
+	Opts      pond.FleetOpts `json:"opts"`
+	HoldAtSec []float64      `json:"hold_at_sec,omitempty"`
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return errors.New("request body must be a single JSON object")
+	}
+	return nil
+}
+
+func (s *Server) handleStart(w http.ResponseWriter, req *http.Request) {
+	var body startRequest
+	if err := decodeJSON(req, &body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := body.Opts.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
+		return
+	}
+	for _, h := range body.HoldAtSec {
+		if h < 0 {
+			writeError(w, http.StatusBadRequest, "hold_at_sec %g is negative", h)
+			return
+		}
+	}
+	r, err := s.startRun(body.Opts, body.HoldAtSec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "start run: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, r.Snapshot())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	runs := make([]*Run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	sort.Slice(runs, func(i, j int) bool { return runID(runs[i].ID) < runID(runs[j].ID) })
+	out := make([]Snapshot, len(runs))
+	for i, r := range runs {
+		out[i] = r.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+}
+
+func runID(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "r"))
+	return n
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.run(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, r.Snapshot())
+}
+
+// injectRequest is the POST /runs/{id}/inject body: one injection in
+// its canonical spec form, e.g. {"injection": "emc-fail@t=500:emc=1"}
+// — the same string the -inject flag takes, parsed and validated by
+// the same code.
+type injectRequest struct {
+	Injection pond.Injection `json:"injection"`
+}
+
+func (s *Server) handleInject(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.run(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	var body injectRequest
+	if err := decodeJSON(req, &body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if body.Injection == (pond.Injection{}) {
+		writeError(w, http.StatusBadRequest, `bad request body: missing "injection"`)
+		return
+	}
+	if err := r.Inject(body.Injection); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrCompleted) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "inject: %v", err)
+		return
+	}
+	s.log.Info("injection scheduled", "id", r.ID, "injection", body.Injection.String())
+	writeJSON(w, http.StatusOK, r.Snapshot())
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.run(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	if !r.Resume() {
+		writeError(w, http.StatusConflict, "run %s is not holding", r.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, r.Snapshot())
+}
+
+// handleEvents streams the run's event log as NDJSON, one Event per
+// line, following the run live until it completes. ?from=N resumes
+// after a dropped connection: the first line sent has seq >= N.
+func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.run(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	from := 0
+	if q := req.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad from=%q: want a sequence number >= 0", q)
+			return
+		}
+		from = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for {
+		evs := r.EventsFrom(req.Context(), from)
+		if len(evs) == 0 {
+			return
+		}
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		from = evs[len(evs)-1].Seq + 1
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// checkpointFile is the persisted daemon state: each run's
+// reproduce-from-scratch configuration (scheduled plus live injections,
+// already folded together by FleetRun.Config).
+type checkpointFile struct {
+	NextID int             `json:"next_id"`
+	Runs   []checkpointRun `json:"runs"`
+}
+
+type checkpointRun struct {
+	ID   string         `json:"id"`
+	Opts pond.FleetOpts `json:"opts"`
+}
+
+// checkpoint writes the registry's batch configurations. Runs that were
+// mid-flight are stored the same way as completed ones: re-running the
+// config deterministically reproduces everything up to — and past —
+// the point the daemon stopped.
+func (s *Server) checkpoint(path string) error {
+	s.mu.Lock()
+	ck := checkpointFile{NextID: s.nextID}
+	ids := make([]string, 0, len(s.runs))
+	for id := range s.runs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return runID(ids[i]) < runID(ids[j]) })
+	for _, id := range ids {
+		ck.Runs = append(ck.Runs, checkpointRun{ID: id, Opts: s.runs[id].fr.Config()})
+	}
+	s.mu.Unlock()
+	data, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	s.log.Info("checkpoint written", "path", path, "runs", len(ck.Runs))
+	return nil
+}
+
+// restore relaunches every checkpointed run under its original ID. A
+// missing checkpoint file is a fresh start, not an error.
+func (s *Server) restore(path string) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		if dir := filepath.Dir(path); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var ck checkpointFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return fmt.Errorf("corrupt checkpoint %s: %w", path, err)
+	}
+	s.nextID = ck.NextID
+	for _, cr := range ck.Runs {
+		fr, err := pond.StartFleet(s.ctx, cr.Opts)
+		if err != nil {
+			return fmt.Errorf("restore run %s: %w", cr.ID, err)
+		}
+		r := newRun(cr.ID, fr, nil)
+		s.runs[cr.ID] = r
+		slice := s.cfg.SliceSec
+		if slice <= 0 {
+			slice = fr.Config().Cluster.DurationSec / 64
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			r.drive(s.ctx, slice)
+		}()
+		s.log.Info("run restored", "id", cr.ID)
+	}
+	return nil
+}

@@ -1,0 +1,409 @@
+package pond
+
+import (
+	"fmt"
+
+	"pond/internal/fleet"
+)
+
+// ClusterOpts sizes the simulated fleet: the per-cell topology and
+// hardware, how many independent cells run, and for how long. The zero
+// value of any field falls back to the Defaults value.
+type ClusterOpts struct {
+	// Topology is the host-to-EMC connectivity of every cell: "flat",
+	// "sharded", or "sparse" (Octopus-style overlapping pods).
+	Topology string `json:"topology,omitempty"`
+	// PodDegree is the per-host EMC count under "sparse".
+	PodDegree int `json:"pod_degree,omitempty"`
+	// Hosts is the number of hypervisor hosts per cell.
+	Hosts int `json:"hosts,omitempty"`
+	// EMCs is the number of external memory controllers per cell.
+	EMCs int `json:"emcs,omitempty"`
+	// PoolGB is each cell's pool capacity in GB, split evenly across its
+	// EMCs.
+	PoolGB int `json:"pool_gb,omitempty"`
+	// Cells is the number of independent pool groups (engine shards).
+	Cells int `json:"cells,omitempty"`
+	// DurationSec is the simulated horizon.
+	DurationSec float64 `json:"duration_sec,omitempty"`
+}
+
+// ArrivalOpts describes the VM arrival process — the declarative form
+// of the "poisson:rate=0.05:life=600" spec strings the CLI takes.
+type ArrivalOpts struct {
+	// Process is "poisson" (memoryless arrivals, exponential lifetimes)
+	// or "trace" (interarrivals derived from the cluster generator).
+	Process string `json:"process,omitempty"`
+	// RatePerSec is the Poisson arrival rate in VMs per second.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// MeanLifetimeSec is the mean exponential VM lifetime under poisson.
+	MeanLifetimeSec float64 `json:"mean_lifetime_sec,omitempty"`
+}
+
+// ModelOpts configures the prediction pipeline and the online
+// model-lifecycle loop (§5 of the paper).
+type ModelOpts struct {
+	// Disabled turns off the ML scheduling pipeline entirely — the
+	// no-pooling baseline. The zero value keeps predictions on.
+	Disabled bool `json:"disabled,omitempty"`
+	// RetrainEverySec > 0 closes the model-lifecycle loop: models
+	// retrain from live telemetry at this cadence, shadow-score against
+	// the serving champions, and hot-swap on proven improvement.
+	RetrainEverySec float64 `json:"retrain_every_sec,omitempty"`
+	// Scope selects where retraining happens: "cell" (the default —
+	// every cell runs its own champion/challenger lifecycle) or "fleet"
+	// (one central pipeline with staged canary rollout across cells).
+	Scope string `json:"scope,omitempty"`
+	// CanaryFraction is the fraction of cells a fleet-scoped release
+	// reaches first, rounded up to at least one cell (0 = 0.25).
+	CanaryFraction float64 `json:"canary_fraction,omitempty"`
+	// BakeWindowSec is how long a fleet-scoped canary bakes before its
+	// promote-or-rollback verdict (0 = twice the retrain cadence).
+	BakeWindowSec float64 `json:"bake_window_sec,omitempty"`
+	// PromoteMargin is the fractional rolling-loss improvement a
+	// challenger must show to be promoted (0 = the 5% default).
+	PromoteMargin float64 `json:"promote_margin,omitempty"`
+	// HoldoutWindow is the rolling comparison window in completed VMs
+	// (0 = the mlops default).
+	HoldoutWindow int `json:"holdout_window,omitempty"`
+	// MinTrainRows is the minimum completed VMs before a challenger is
+	// trained (0 = the mlops default).
+	MinTrainRows int `json:"min_train_rows,omitempty"`
+	// Capture includes each cell's versioned model snapshots in the
+	// report (see FleetReport.ModelsJSON).
+	Capture bool `json:"capture,omitempty"`
+}
+
+// CapacityOpts configures the online capacity-planning loop that closes
+// the telemetry-to-DRAM-savings cycle.
+type CapacityOpts struct {
+	// Elastic turns on the controller: at every PlanEverySec barrier
+	// each cell re-plans its pool size from observed demand and grows or
+	// shrinks the EMCs through the Pool Manager's elastic APIs.
+	Elastic bool `json:"elastic,omitempty"`
+	// PlanEverySec is the planning-barrier cadence in simulated seconds
+	// (0 = an eighth of the horizon). Elastic only.
+	PlanEverySec float64 `json:"plan_every_sec,omitempty"`
+	// TargetQoS is the tolerated fraction of time pool demand may exceed
+	// capacity — the controller's sizing target (0 = 0.01). Elastic
+	// only.
+	TargetQoS float64 `json:"target_qos,omitempty"`
+}
+
+// EngineOpts controls execution, not behaviour: results are
+// byte-identical for every Workers value.
+type EngineOpts struct {
+	// Workers bounds the engine worker pool; <= 0 means GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// Seed roots every cell's RNG stream (0 means the default seed).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// FleetOpts configures RunFleet and StartFleet. Configuration lives in
+// the grouped, JSON-tagged sub-configs — the same declarative types
+// drive the Go API, the pondfleet flags, and pondserve request bodies,
+// with one validation path underneath. The flat fields mirror the
+// pre-grouping API and remain so existing callers compile unchanged;
+// each maps onto its grouped counterpart, and setting both to
+// disagreeing values is an error.
+type FleetOpts struct {
+	Cluster  ClusterOpts  `json:"cluster"`
+	Arrivals ArrivalOpts  `json:"arrival"`
+	Model    ModelOpts    `json:"model"`
+	Capacity CapacityOpts `json:"capacity"`
+	Engine   EngineOpts   `json:"engine"`
+
+	// Injections are the scheduled scenario events. In JSON each is its
+	// canonical spec string, e.g. "emc-fail@t=500:emc=1".
+	Injections []Injection `json:"injections,omitempty"`
+
+	// Deprecated: use Cluster.Topology.
+	Topology string `json:"-"`
+	// Deprecated: use Cluster.PodDegree.
+	PodDegree int `json:"-"`
+	// Deprecated: use Cluster.Hosts.
+	Hosts int `json:"-"`
+	// Deprecated: use Cluster.EMCs.
+	EMCs int `json:"-"`
+	// Deprecated: use Cluster.PoolGB.
+	PoolGB int `json:"-"`
+	// Deprecated: use Cluster.Cells.
+	Cells int `json:"-"`
+	// Deprecated: use Cluster.DurationSec.
+	DurationSec float64 `json:"-"`
+	// Deprecated: use Arrivals; this is its spec-string form, e.g.
+	// "poisson:rate=0.05:life=600".
+	Arrival string `json:"-"`
+	// Deprecated: use Injections; this is the comma-separated spec list
+	// the -inject flag takes.
+	Inject string `json:"-"`
+	// Deprecated: use Model.Disabled.
+	DisablePredictions bool `json:"-"`
+	// Deprecated: use Model.RetrainEverySec.
+	RetrainEverySec float64 `json:"-"`
+	// Deprecated: use Model.Scope.
+	ModelScope string `json:"-"`
+	// Deprecated: use Model.CanaryFraction.
+	CanaryFraction float64 `json:"-"`
+	// Deprecated: use Model.BakeWindowSec.
+	BakeWindowSec float64 `json:"-"`
+	// Deprecated: use Model.PromoteMargin.
+	PromoteMargin float64 `json:"-"`
+	// Deprecated: use Model.HoldoutWindow.
+	HoldoutWindow int `json:"-"`
+	// Deprecated: use Model.MinTrainRows.
+	MinTrainRows int `json:"-"`
+	// Deprecated: use Model.Capture.
+	CaptureModels bool `json:"-"`
+	// Deprecated: use Capacity.Elastic.
+	ElasticPool bool `json:"-"`
+	// Deprecated: use Capacity.PlanEverySec.
+	PlanEverySec float64 `json:"-"`
+	// Deprecated: use Capacity.TargetQoS.
+	TargetQoS float64 `json:"-"`
+	// Deprecated: use Engine.Workers.
+	Workers int `json:"-"`
+	// Deprecated: use Engine.Seed.
+	Seed int64 `json:"-"`
+}
+
+// Defaults returns the fully-populated default configuration — four
+// flat-topology cells of 8 hosts x 4 EMCs, Poisson arrivals, predictions
+// on. It is the single source of truth the pondfleet usage text and
+// docs/DEFAULTS.md are generated from; conditional defaults (values
+// derived from other fields at run time) are listed in DefaultNotes.
+func Defaults() FleetOpts {
+	d := fleet.DefaultOptions()
+	return FleetOpts{
+		Cluster: ClusterOpts{
+			Topology:    d.Topology,
+			PodDegree:   d.PodDegree,
+			Hosts:       d.Hosts,
+			EMCs:        d.EMCs,
+			PoolGB:      d.PoolGB,
+			Cells:       d.Cells,
+			DurationSec: d.DurationSec,
+		},
+		Arrivals: ArrivalOpts{
+			Process:         d.Arrival.Kind,
+			RatePerSec:      d.Arrival.RatePerSec,
+			MeanLifetimeSec: d.Arrival.MeanLifetimeSec,
+		},
+		Model:  ModelOpts{Scope: d.ModelScope},
+		Engine: EngineOpts{Seed: d.Seed},
+	}
+}
+
+// DefaultNote documents one zero-value default that is derived from
+// other fields at run time rather than being a fixed number.
+type DefaultNote struct {
+	Field string
+	Note  string
+}
+
+// DefaultNotes lists the conditional defaults, one sentence each — the
+// companion to Defaults for doc generation. Keeping the sentences here,
+// next to the structs, is what stops the three doc sites (struct
+// godoc, pondfleet usage, README) drifting apart again.
+func DefaultNotes() []DefaultNote {
+	return []DefaultNote{
+		{"Model.CanaryFraction", "0 means 0.25 of the cells (rounded up to at least one); fleet scope only."},
+		{"Model.BakeWindowSec", "0 means twice Model.RetrainEverySec; fleet scope only."},
+		{"Model.PromoteMargin", "0 means the mlops default of 5%."},
+		{"Model.HoldoutWindow", "0 means the mlops default window."},
+		{"Model.MinTrainRows", "0 means the mlops default row floor."},
+		{"Capacity.PlanEverySec", "0 means an eighth of Cluster.DurationSec; elastic pool only."},
+		{"Capacity.TargetQoS", "0 means 0.01; elastic pool only."},
+		{"Engine.Workers", "0 means GOMAXPROCS; never changes results."},
+	}
+}
+
+// resolved maps the deprecated flat fields onto the grouped structs,
+// erroring when a flat field and its grouped counterpart are both set
+// and disagree. The returned options carry all configuration in the
+// grouped fields; the flat fields are cleared.
+func (o FleetOpts) resolved() (FleetOpts, error) {
+	var errs []error
+	mergeStr := func(dst *string, flat, name string) {
+		switch {
+		case flat == "":
+		case *dst == "":
+			*dst = flat
+		case *dst != flat:
+			errs = append(errs, fmt.Errorf("pond: deprecated FleetOpts.%s %q disagrees with the grouped field %q", name, flat, *dst))
+		}
+	}
+	mergeInt := func(dst *int, flat int, name string) {
+		switch {
+		case flat == 0:
+		case *dst == 0:
+			*dst = flat
+		case *dst != flat:
+			errs = append(errs, fmt.Errorf("pond: deprecated FleetOpts.%s %d disagrees with the grouped field %d", name, flat, *dst))
+		}
+	}
+	mergeInt64 := func(dst *int64, flat int64, name string) {
+		switch {
+		case flat == 0:
+		case *dst == 0:
+			*dst = flat
+		case *dst != flat:
+			errs = append(errs, fmt.Errorf("pond: deprecated FleetOpts.%s %d disagrees with the grouped field %d", name, flat, *dst))
+		}
+	}
+	mergeFloat := func(dst *float64, flat float64, name string) {
+		switch {
+		case flat == 0:
+		case *dst == 0:
+			*dst = flat
+		case *dst != flat:
+			errs = append(errs, fmt.Errorf("pond: deprecated FleetOpts.%s %g disagrees with the grouped field %g", name, flat, *dst))
+		}
+	}
+	mergeBool := func(dst *bool, flat bool) {
+		// A true on either side wins; two bools cannot disagree the way
+		// two non-zero numbers can.
+		*dst = *dst || flat
+	}
+
+	mergeStr(&o.Cluster.Topology, o.Topology, "Topology")
+	mergeInt(&o.Cluster.PodDegree, o.PodDegree, "PodDegree")
+	mergeInt(&o.Cluster.Hosts, o.Hosts, "Hosts")
+	mergeInt(&o.Cluster.EMCs, o.EMCs, "EMCs")
+	mergeInt(&o.Cluster.PoolGB, o.PoolGB, "PoolGB")
+	mergeInt(&o.Cluster.Cells, o.Cells, "Cells")
+	mergeFloat(&o.Cluster.DurationSec, o.DurationSec, "DurationSec")
+	mergeBool(&o.Model.Disabled, o.DisablePredictions)
+	mergeFloat(&o.Model.RetrainEverySec, o.RetrainEverySec, "RetrainEverySec")
+	mergeStr(&o.Model.Scope, o.ModelScope, "ModelScope")
+	mergeFloat(&o.Model.CanaryFraction, o.CanaryFraction, "CanaryFraction")
+	mergeFloat(&o.Model.BakeWindowSec, o.BakeWindowSec, "BakeWindowSec")
+	mergeFloat(&o.Model.PromoteMargin, o.PromoteMargin, "PromoteMargin")
+	mergeInt(&o.Model.HoldoutWindow, o.HoldoutWindow, "HoldoutWindow")
+	mergeInt(&o.Model.MinTrainRows, o.MinTrainRows, "MinTrainRows")
+	mergeBool(&o.Model.Capture, o.CaptureModels)
+	mergeBool(&o.Capacity.Elastic, o.ElasticPool)
+	mergeFloat(&o.Capacity.PlanEverySec, o.PlanEverySec, "PlanEverySec")
+	mergeFloat(&o.Capacity.TargetQoS, o.TargetQoS, "TargetQoS")
+	mergeInt(&o.Engine.Workers, o.Workers, "Workers")
+	mergeInt64(&o.Engine.Seed, o.Seed, "Seed")
+
+	if o.Arrival != "" {
+		fm, err := fleet.ParseArrival(o.Arrival)
+		if err != nil {
+			return o, err
+		}
+		g := o.Arrivals
+		if g == (ArrivalOpts{}) {
+			o.Arrivals = ArrivalOpts{Process: fm.Kind, RatePerSec: fm.RatePerSec, MeanLifetimeSec: fm.MeanLifetimeSec}
+		} else if filled := fillArrival(g.model()); filled != fm {
+			errs = append(errs, fmt.Errorf("pond: deprecated FleetOpts.Arrival %q disagrees with the grouped Arrivals (%s)", o.Arrival, filled))
+		}
+	}
+	if o.Inject != "" {
+		parsed, err := ParseInjections(o.Inject)
+		if err != nil {
+			return o, err
+		}
+		if len(o.Injections) == 0 {
+			o.Injections = parsed
+		} else if specsOf(parsed) != specsOf(o.Injections) {
+			errs = append(errs, fmt.Errorf("pond: deprecated FleetOpts.Inject %q disagrees with the grouped Injections (%s)", o.Inject, specsOf(o.Injections)))
+		}
+	}
+	if len(errs) > 0 {
+		return o, errs[0]
+	}
+	o.Topology, o.PodDegree, o.Hosts, o.EMCs, o.PoolGB, o.Cells, o.DurationSec = "", 0, 0, 0, 0, 0, 0
+	o.Arrival, o.Inject = "", ""
+	o.DisablePredictions, o.CaptureModels, o.ElasticPool = false, false, false
+	o.RetrainEverySec, o.CanaryFraction, o.BakeWindowSec, o.PromoteMargin = 0, 0, 0, 0
+	o.ModelScope = ""
+	o.HoldoutWindow, o.MinTrainRows, o.Workers = 0, 0, 0
+	o.PlanEverySec, o.TargetQoS = 0, 0
+	o.Seed = 0
+	return o, nil
+}
+
+// model converts the grouped arrival options to the internal form,
+// leaving zero fields zero for the shared normalization to fill.
+func (a ArrivalOpts) model() fleet.ArrivalModel {
+	return fleet.ArrivalModel{Kind: a.Process, RatePerSec: a.RatePerSec, MeanLifetimeSec: a.MeanLifetimeSec}
+}
+
+// Spec renders the canonical arrival spec string the -arrival flag
+// takes, e.g. "poisson:rate=0.05:life=600", with zero fields filled
+// from the defaults.
+func (a ArrivalOpts) Spec() string {
+	return fillArrival(a.model()).String()
+}
+
+// fillArrival applies the arrival defaults to zero fields so a
+// partially-specified grouped model compares equal to the same spec
+// parsed from a string (the parser fills defaults eagerly).
+func fillArrival(m fleet.ArrivalModel) fleet.ArrivalModel {
+	d := fleet.DefaultArrival()
+	if m.Kind == "" {
+		m.Kind = d.Kind
+	}
+	if m.RatePerSec <= 0 {
+		m.RatePerSec = d.RatePerSec
+	}
+	if m.MeanLifetimeSec <= 0 {
+		m.MeanLifetimeSec = d.MeanLifetimeSec
+	}
+	return m
+}
+
+// fleetOptions resolves the flat-field shim and converts to the
+// internal options. Validation itself happens in the internal
+// normalization — the single path shared by every entry point.
+func (o FleetOpts) fleetOptions() (fleet.Options, error) {
+	r, err := o.resolved()
+	if err != nil {
+		return fleet.Options{}, err
+	}
+	inj := make([]fleet.Injection, len(r.Injections))
+	for i := range r.Injections {
+		inj[i] = r.Injections[i].in
+	}
+	return fleet.Options{
+		Topology:        r.Cluster.Topology,
+		PodDegree:       r.Cluster.PodDegree,
+		Hosts:           r.Cluster.Hosts,
+		EMCs:            r.Cluster.EMCs,
+		PoolGB:          r.Cluster.PoolGB,
+		Cells:           r.Cluster.Cells,
+		DurationSec:     r.Cluster.DurationSec,
+		Arrival:         r.Arrivals.model(),
+		Injections:      inj,
+		Predictions:     !r.Model.Disabled,
+		RetrainEverySec: r.Model.RetrainEverySec,
+		ModelScope:      r.Model.Scope,
+		CanaryFraction:  r.Model.CanaryFraction,
+		BakeWindowSec:   r.Model.BakeWindowSec,
+		PromoteMargin:   r.Model.PromoteMargin,
+		HoldoutWindow:   r.Model.HoldoutWindow,
+		MinTrainRows:    r.Model.MinTrainRows,
+		CaptureModels:   r.Model.Capture,
+		ElasticPool:     r.Capacity.Elastic,
+		PlanEverySec:    r.Capacity.PlanEverySec,
+		TargetQoS:       r.Capacity.TargetQoS,
+		Workers:         r.Engine.Workers,
+		Seed:            r.Engine.Seed,
+	}, nil
+}
+
+// Validate resolves the deprecated-field shim and runs the full
+// normalization — the same checks RunFleet and StartFleet apply —
+// without running anything. CLI flag parsing and pondserve both
+// validate through here, so an error reads identically no matter which
+// entry point produced it.
+func (o FleetOpts) Validate() error {
+	fo, err := o.fleetOptions()
+	if err != nil {
+		return err
+	}
+	_, err = fleet.NormalizeOptions(fo)
+	return err
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Docker smoke test: build the pondserve image, boot it, poll /healthz,
+# POST a tiny run, stream its event log, and assert the streamed log's
+# SHA-256 matches both the daemon's served report hash and the same
+# configuration executed through the pondfleet CLI — the determinism
+# bridge, verified across the container boundary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+IMAGE=pondserve-smoke
+NAME=pondserve-smoke-$$
+PORT="${SMOKE_PORT:-18080}"
+
+cleanup() {
+    docker rm -f "$NAME" >/dev/null 2>&1 || true
+}
+trap cleanup EXIT
+
+echo "==> building image"
+docker build -t "$IMAGE" .
+
+echo "==> starting container"
+docker run -d --name "$NAME" -p "127.0.0.1:${PORT}:8080" "$IMAGE" >/dev/null
+
+echo "==> waiting for /healthz"
+for i in $(seq 1 50); do
+    if curl -fsS "http://127.0.0.1:${PORT}/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    [ "$i" = 50 ] && { echo "daemon never became healthy"; docker logs "$NAME"; exit 1; }
+    sleep 0.2
+done
+
+echo "==> starting a tiny run"
+BODY='{"opts": {
+  "cluster": {"hosts": 4, "emcs": 4, "pool_gb": 64, "cells": 2, "duration_sec": 300},
+  "arrival": {"process": "poisson", "rate_per_sec": 0.1, "mean_lifetime_sec": 150},
+  "model": {"disabled": true},
+  "injections": ["emc-fail@t=150:emc=1"]
+}}'
+RUN_ID=$(curl -fsS -X POST "http://127.0.0.1:${PORT}/runs" -d "$BODY" | jq -r .id)
+[ -n "$RUN_ID" ] && [ "$RUN_ID" != null ] || { echo "no run id returned"; exit 1; }
+
+echo "==> waiting for run $RUN_ID"
+for i in $(seq 1 100); do
+    STATE=$(curl -fsS "http://127.0.0.1:${PORT}/runs/${RUN_ID}" | jq -r .state)
+    [ "$STATE" = done ] && break
+    [ "$STATE" = failed ] && { echo "run failed"; exit 1; }
+    [ "$i" = 100 ] && { echo "run never completed (state=$STATE)"; exit 1; }
+    sleep 0.2
+done
+
+SERVED_SHA=$(curl -fsS "http://127.0.0.1:${PORT}/runs/${RUN_ID}" | jq -r .report.log_sha256)
+
+echo "==> reassembling the streamed event log"
+# The deterministic EventLog is the cell streams concatenated in cell
+# order with the fleet stream (cell -1) last; within a stream the lines
+# keep their sequence order, which a stable sort preserves.
+STREAM_SHA=$(curl -fsS "http://127.0.0.1:${PORT}/runs/${RUN_ID}/events" \
+    | jq -rs 'map(.cell = (if .cell < 0 then 1e12 else .cell end)) | sort_by(.cell) | .[].line' \
+    | sha256sum | cut -d' ' -f1)
+
+echo "==> running the same configuration through pondfleet"
+CLI_SHA=$(go run ./cmd/pondfleet -hosts 4 -emcs 4 -pool 64 -cells 2 -duration 300 \
+    -arrival poisson:rate=0.1:life=150 -no-predictions -inject emc-fail@t=150:emc=1 \
+    | grep -o 'sha256=[0-9a-f]*' | cut -d= -f2)
+
+echo "    streamed: $STREAM_SHA"
+echo "    served:   $SERVED_SHA"
+echo "    cli:      $CLI_SHA"
+[ "$STREAM_SHA" = "$SERVED_SHA" ] || { echo "streamed log does not match the served report hash"; exit 1; }
+[ "$STREAM_SHA" = "$CLI_SHA" ] || { echo "served run does not match the pondfleet CLI run"; exit 1; }
+echo "==> docker smoke passed"
