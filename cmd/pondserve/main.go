@@ -18,8 +18,9 @@
 // -inject — the determinism contract extends across the process
 // boundary.
 //
-// On SIGTERM or SIGINT the daemon drains in-flight requests, parks
-// every run at a safe point, and checkpoints each run's
+// On SIGTERM or SIGINT the daemon parks every run at a safe point
+// (which closes attached event streams), drains in-flight requests,
+// and checkpoints each run's
 // reproduce-from-scratch configuration to -state; a fresh daemon
 // pointed at the same file re-runs them to the same byte-identical
 // reports. -check probes a running daemon's /healthz and exits 0/1 —
@@ -78,12 +79,18 @@ func main() {
 		log.Info("shutting down", "signal", s.String())
 	}
 
+	// Park first: runs reach a terminal state and broadcast, so attached
+	// /events followers EOF and the HTTP drain below finishes promptly
+	// instead of burning its timeout waiting on live streams. The
+	// checkpoint is written last, once no handler can still be mutating a
+	// run's config.
+	srv.Park()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Error("http shutdown", "err", err)
 	}
-	if err := srv.Shutdown(); err != nil {
+	if err := srv.Checkpoint(); err != nil {
 		log.Error("checkpoint failed", "err", err)
 		os.Exit(1)
 	}

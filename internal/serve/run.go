@@ -17,12 +17,16 @@ import (
 
 // Run states. A run is born running (or holding, with a 0 hold),
 // advances slice by slice, pauses at each requested hold point until
-// resumed, and ends done — or failed if the simulation errors.
+// resumed, and ends done — or failed if the simulation errors. A daemon
+// shutdown parks every unfinished run at its current safe point: parked
+// is terminal for this process (streams close, injections refuse), and
+// the checkpointed config re-runs the simulation after restart.
 const (
 	StateRunning = "running"
 	StateHolding = "holding"
 	StateDone    = "done"
 	StateFailed  = "failed"
+	StateParked  = "parked"
 )
 
 // Event is one sequenced event-log line; Seq numbers are contiguous
@@ -45,16 +49,17 @@ type Run struct {
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast on new events or a state change
 
-	fr     *pond.FleetRun
-	state  string
-	holds  []float64 // ascending hold times not yet reached
-	events []Event
-	report *pond.FleetReport
-	err    error
+	fr      *pond.FleetRun
+	horizon float64 // normalized DurationSec — Config() may carry a 0
+	state   string
+	holds   []float64 // ascending hold times not yet reached
+	events  []Event
+	report  *pond.FleetReport
+	err     error
 }
 
 func newRun(id string, fr *pond.FleetRun, holds []float64) *Run {
-	r := &Run{ID: id, fr: fr, state: StateRunning, holds: holds}
+	r := &Run{ID: id, fr: fr, horizon: fr.Progress().DurationSec, state: StateRunning, holds: holds}
 	r.cond = sync.NewCond(&r.mu)
 	return r
 }
@@ -74,15 +79,17 @@ func (r *Run) drive(ctx context.Context, sliceSec float64) {
 	defer r.mu.Unlock()
 	for {
 		if ctx.Err() != nil {
+			r.parkLocked()
 			return
 		}
 		for r.state == StateHolding {
 			r.cond.Wait()
 			if ctx.Err() != nil {
+				r.parkLocked()
 				return
 			}
 		}
-		target := r.fr.Config().Cluster.DurationSec
+		target := r.horizon
 		holding := false
 		if len(r.holds) > 0 && r.holds[0] <= target {
 			target, holding = r.holds[0], true
@@ -92,7 +99,11 @@ func (r *Run) drive(ctx context.Context, sliceSec float64) {
 			next = target
 		}
 		if err := r.fr.Advance(ctx, next); err != nil {
-			r.fail(err)
+			if ctx.Err() != nil {
+				r.parkLocked()
+			} else {
+				r.fail(err)
+			}
 			return
 		}
 		r.drainLocked()
@@ -105,7 +116,11 @@ func (r *Run) drive(ctx context.Context, sliceSec float64) {
 		if r.fr.Done() {
 			rep, err := r.fr.Finish(ctx)
 			if err != nil {
-				r.fail(err)
+				if ctx.Err() != nil {
+					r.parkLocked()
+				} else {
+					r.fail(err)
+				}
 				return
 			}
 			r.drainLocked()
@@ -139,14 +154,34 @@ func (r *Run) fail(err error) {
 	r.cond.Broadcast()
 }
 
+// parkLocked moves an unfinished run to the parked terminal state and
+// wakes every waiter, so event streams and hold waits end promptly when
+// the daemon shuts down. Callers hold r.mu; done/failed runs stay put.
+func (r *Run) parkLocked() {
+	if r.state == StateDone || r.state == StateFailed {
+		return
+	}
+	r.state = StateParked
+	r.cond.Broadcast()
+}
+
+// terminalLocked reports whether the run will never produce another
+// event in this process. Callers hold r.mu.
+func (r *Run) terminalLocked() bool {
+	return r.state == StateDone || r.state == StateFailed || r.state == StateParked
+}
+
 // Inject schedules an injection at the next safe point. A completed run
-// refuses with ErrCompleted; validation failures pass through from the
-// fleet layer.
+// refuses with ErrCompleted, a parked one with ErrParked; validation
+// failures pass through from the fleet layer.
 func (r *Run) Inject(in pond.Injection) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.state == StateDone || r.state == StateFailed {
 		return ErrCompleted
+	}
+	if r.state == StateParked {
+		return ErrParked
 	}
 	return r.fr.Inject(in)
 }
@@ -167,6 +202,18 @@ func (r *Run) Resume() bool {
 // ErrCompleted marks an injection refused because the run already
 // reached its horizon.
 var ErrCompleted = fmt.Errorf("run completed; injections are closed")
+
+// ErrParked marks an injection refused because the daemon parked the
+// run for shutdown.
+var ErrParked = fmt.Errorf("run parked for shutdown; injections are closed")
+
+// Config returns the run's reproduce-from-scratch batch configuration
+// (live injections folded in) at a safe point.
+func (r *Run) Config() pond.FleetOpts {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fr.Config()
+}
 
 // Snapshot is the inspectable state GET /runs/{id} serves. Report
 // fields are populated once the run is done.
@@ -247,7 +294,7 @@ func (r *Run) EventsFrom(ctx context.Context, from int) []Event {
 		if from < len(r.events) {
 			return append([]Event(nil), r.events[from:]...)
 		}
-		if r.state == StateDone || r.state == StateFailed || ctx.Err() != nil {
+		if r.terminalLocked() || ctx.Err() != nil {
 			return nil
 		}
 		r.cond.Wait()
@@ -265,7 +312,7 @@ func (r *Run) waitDone(ctx context.Context) {
 	defer stop()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for r.state != StateDone && r.state != StateFailed && ctx.Err() == nil {
+	for !r.terminalLocked() && ctx.Err() == nil {
 		r.cond.Wait()
 	}
 }

@@ -157,6 +157,36 @@ func TestEndpointsTable(t *testing.T) {
 		}
 	})
 
+	t.Run("start-empty-opts", func(t *testing.T) {
+		// All-default options: the horizon must come from normalization
+		// (the raw config carries duration_sec 0), so the run advances and
+		// completes instead of busy-spinning at t=0.
+		resp := postJSON(t, ts.URL+"/runs", map[string]any{"opts": map[string]any{}})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("start status %d", resp.StatusCode)
+		}
+		snap := decodeSnapshot(t, resp)
+		if snap.Progress.DurationSec <= 0 {
+			t.Fatalf("progress horizon %g, want the normalized default", snap.Progress.DurationSec)
+		}
+		done := waitState(t, ts.URL, snap.ID, StateDone)
+		if done.Report == nil || !done.Progress.Done {
+			t.Fatalf("defaulted run finished without a report: %+v", done)
+		}
+	})
+
+	t.Run("start-hold-past-horizon", func(t *testing.T) {
+		resp := postJSON(t, ts.URL+"/runs", map[string]any{"opts": tinyOpts(), "hold_at_sec": []float64{301}})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+		var e apiError
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "horizon") {
+			t.Fatalf("error does not mention the horizon: %+v err=%v", e, err)
+		}
+	})
+
 	t.Run("get-unknown-run", func(t *testing.T) {
 		resp, err := client.Get(ts.URL + "/runs/r999")
 		if err != nil {
@@ -453,6 +483,51 @@ func TestEventsStreamLive(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("live stream never completed")
+	}
+}
+
+// TestShutdownParksRunsAndClosesStreams checks graceful shutdown is
+// prompt even with a follower attached to a run that would never finish
+// on its own: Park returns, the run lands in the parked terminal state,
+// the NDJSON stream EOFs, and later injections refuse with 409.
+func TestShutdownParksRunsAndClosesStreams(t *testing.T) {
+	s, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/runs", map[string]any{"opts": tinyOpts(), "hold_at_sec": []float64{150}})
+	snap := decodeSnapshot(t, resp)
+	waitState(t, ts.URL, snap.ID, StateHolding)
+
+	ch := make(chan []Event, 1)
+	go func() {
+		ch <- streamEvents(t, ts.URL+"/runs/"+snap.ID+"/events")
+	}()
+	// Give the streamer a moment to attach and block on the holding run.
+	time.Sleep(50 * time.Millisecond)
+
+	parked := make(chan struct{})
+	go func() {
+		s.Park()
+		close(parked)
+	}()
+	select {
+	case <-parked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Park never returned with a holding run attached")
+	}
+
+	select {
+	case evs := <-ch:
+		got := waitState(t, ts.URL, snap.ID, StateParked)
+		if len(evs) != got.Events {
+			t.Fatalf("stream saw %d events, parked run buffered %d", len(evs), got.Events)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("event stream did not close on shutdown")
+	}
+
+	iresp := postJSON(t, ts.URL+"/runs/"+snap.ID+"/inject", map[string]any{"injection": "emc-fail@t=200:emc=1"})
+	defer iresp.Body.Close()
+	if iresp.StatusCode != http.StatusConflict {
+		t.Fatalf("inject into parked run: status %d, want 409", iresp.StatusCode)
 	}
 }
 

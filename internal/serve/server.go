@@ -85,12 +85,27 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// Shutdown stops every run driver, waits for them to park, and writes
-// the checkpoint file. The HTTP listener is the caller's to close (the
-// daemon pairs this with http.Server.Shutdown on SIGTERM).
+// Shutdown parks every run and writes the checkpoint file — the
+// in-process equivalent of Park followed by Checkpoint. The HTTP
+// listener is the caller's to close.
 func (s *Server) Shutdown() error {
+	s.Park()
+	return s.Checkpoint()
+}
+
+// Park stops every run driver and waits for the runs to park at their
+// current safe points. Parking is terminal: attached event streams
+// close and further injections refuse, so an http.Server drains quickly
+// afterwards. The daemon calls Park before http.Server.Shutdown and
+// Checkpoint after it, once no handler can race the state file.
+func (s *Server) Park() {
 	s.cancel()
 	s.wg.Wait()
+}
+
+// Checkpoint writes the parked registry to the configured state file;
+// with checkpointing disabled it is a no-op.
+func (s *Server) Checkpoint() error {
 	if s.cfg.StatePath == "" {
 		return nil
 	}
@@ -98,11 +113,18 @@ func (s *Server) Shutdown() error {
 }
 
 // startRun registers and launches a run. holds are sorted ascending so
-// the driver consumes them in time order.
+// the driver consumes them in time order; a hold past the normalized
+// horizon would never be reached, so it is refused up front.
 func (s *Server) startRun(opts pond.FleetOpts, holds []float64) (*Run, error) {
 	fr, err := pond.StartFleet(s.ctx, opts)
 	if err != nil {
 		return nil, err
+	}
+	horizon := fr.Progress().DurationSec
+	for _, h := range holds {
+		if h > horizon {
+			return nil, fmt.Errorf("hold_at_sec %g is past the %gs horizon", h, horizon)
+		}
 	}
 	sort.Float64s(holds)
 	s.mu.Lock()
@@ -114,7 +136,7 @@ func (s *Server) startRun(opts pond.FleetOpts, holds []float64) (*Run, error) {
 
 	slice := s.cfg.SliceSec
 	if slice <= 0 {
-		slice = fr.Config().Cluster.DurationSec / 64
+		slice = horizon / 64
 	}
 	s.wg.Add(1)
 	go func() {
@@ -258,7 +280,7 @@ func (s *Server) handleInject(w http.ResponseWriter, req *http.Request) {
 	}
 	if err := r.Inject(body.Injection); err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, ErrCompleted) {
+		if errors.Is(err, ErrCompleted) || errors.Is(err, ErrParked) {
 			status = http.StatusConflict
 		}
 		writeError(w, status, "inject: %v", err)
@@ -341,15 +363,17 @@ type checkpointRun struct {
 func (s *Server) checkpoint(path string) error {
 	s.mu.Lock()
 	ck := checkpointFile{NextID: s.nextID}
-	ids := make([]string, 0, len(s.runs))
-	for id := range s.runs {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return runID(ids[i]) < runID(ids[j]) })
-	for _, id := range ids {
-		ck.Runs = append(ck.Runs, checkpointRun{ID: id, Opts: s.runs[id].fr.Config()})
+	runs := make([]*Run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
 	}
 	s.mu.Unlock()
+	sort.Slice(runs, func(i, j int) bool { return runID(runs[i].ID) < runID(runs[j].ID) })
+	for _, r := range runs {
+		// Config takes the run lock, so a straggling inject handler cannot
+		// tear the persisted injection list.
+		ck.Runs = append(ck.Runs, checkpointRun{ID: r.ID, Opts: r.Config()})
+	}
 	data, err := json.MarshalIndent(ck, "", "  ")
 	if err != nil {
 		return err
@@ -394,7 +418,7 @@ func (s *Server) restore(path string) error {
 		s.runs[cr.ID] = r
 		slice := s.cfg.SliceSec
 		if slice <= 0 {
-			slice = fr.Config().Cluster.DurationSec / 64
+			slice = fr.Progress().DurationSec / 64
 		}
 		s.wg.Add(1)
 		go func() {
