@@ -38,7 +38,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"pond"
 	"pond/internal/cliutil"
@@ -55,6 +57,8 @@ type flags struct {
 	inject     string
 	modelsOut  string
 	printLog   bool
+	checkpoint string
+	resume     bool
 	opts       pond.FleetOpts
 }
 
@@ -137,6 +141,12 @@ func validate(f flags) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	if f.resume && f.checkpoint == "" {
+		return nil, fmt.Errorf("-resume requires -checkpoint <path>")
+	}
+	if f.checkpoint != "" && len(names) > 1 {
+		return nil, fmt.Errorf("-checkpoint runs a single topology, got %d", len(names))
+	}
 	return names, nil
 }
 
@@ -148,6 +158,8 @@ func main() {
 	flag.StringVar(&f.inject, "inject", "", `scenario injections, e.g. "emc-fail@t=500,host-drain@t=800:host=2,surge@t=300:dur=200:x=3,drift@t=2000:cells=2-3:mag=0.6"`)
 	flag.StringVar(&f.modelsOut, "models", "", "write the versioned model dump (JSON) to this file")
 	flag.BoolVar(&f.printLog, "log", false, "print the full event log")
+	flag.StringVar(&f.checkpoint, "checkpoint", "", "snapshot file: SIGTERM/SIGINT pauses the run at a safe point and writes its full state here (single topology only)")
+	flag.BoolVar(&f.resume, "resume", false, "resume from the -checkpoint snapshot instead of starting at t=0; the run configuration comes from the snapshot")
 	cliutil.RegisterClusterFlags(flag.CommandLine, &f.opts.Cluster)
 	cliutil.RegisterModelFlags(flag.CommandLine, &f.opts.Model)
 	cliutil.RegisterCapacityFlags(flag.CommandLine, &f.opts.Capacity)
@@ -166,7 +178,17 @@ func main() {
 		o.Arrival = f.arrival
 		o.Inject = f.inject
 		o.Model.Capture = f.modelsOut != ""
-		rep, err := pond.RunFleet(context.Background(), o)
+		var rep *pond.FleetReport
+		var err error
+		if f.checkpoint != "" {
+			rep, err = runCheckpointable(context.Background(), o, f.checkpoint, f.resume)
+			if err == nil && rep == nil {
+				// A signal paused the run and its snapshot is on disk.
+				return
+			}
+		} else {
+			rep, err = pond.RunFleet(context.Background(), o)
+		}
 		if err != nil {
 			cliutil.Fatal("pondfleet", err)
 		}
@@ -207,6 +229,71 @@ func main() {
 		fmt.Println("per-topology comparison:")
 		printComparison(reports)
 	}
+}
+
+// runCheckpointable drives one run incrementally so SIGTERM/SIGINT can
+// pause it at a safe point and persist its full state. It returns
+// (nil, nil) when a signal stopped the run and the snapshot was
+// written; resuming later continues from that point, and the final
+// event log and report hash are byte-identical to an uninterrupted run.
+func runCheckpointable(ctx context.Context, o pond.FleetOpts, path string, resume bool) (*pond.FleetReport, error) {
+	var fr *pond.FleetRun
+	if resume {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("reading snapshot: %w", err)
+		}
+		var snap pond.FleetSnapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("corrupt snapshot %s: %w", path, err)
+		}
+		fr, err = pond.RestoreFleet(ctx, &snap)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("resumed from %s at t=%.0fs\n", path, fr.Now())
+	} else {
+		var err error
+		fr, err = pond.StartFleet(ctx, o)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	horizon := fr.Progress().DurationSec
+	slice := horizon / 64
+	for !fr.Done() {
+		select {
+		case <-sig:
+			snap, err := fr.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			data, err := json.Marshal(snap)
+			if err != nil {
+				return nil, err
+			}
+			tmp := path + ".tmp"
+			if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+			if err := os.Rename(tmp, path); err != nil {
+				return nil, err
+			}
+			fmt.Printf("interrupted at t=%.0fs; snapshot written to %s (resume with -resume -checkpoint %s)\n",
+				fr.Now(), path, path)
+			return nil, nil
+		default:
+		}
+		if err := fr.Advance(ctx, fr.Now()+slice); err != nil {
+			return nil, err
+		}
+	}
+	return fr.Finish(ctx)
 }
 
 func printComparison(reports []*pond.FleetReport) {

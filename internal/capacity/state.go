@@ -1,0 +1,24 @@
+package capacity
+
+// DemandState is the serializable form of a Demand distribution.
+type DemandState struct {
+	SecAt    []float64 `json:"sec_at,omitempty"`
+	PeakGB   int       `json:"peak_gb,omitempty"`
+	TotalSec float64   `json:"total_sec,omitempty"`
+}
+
+// State captures the distribution for serialization.
+func (d *Demand) State() DemandState {
+	return DemandState{
+		SecAt:    append([]float64(nil), d.secAt...),
+		PeakGB:   d.peakGB,
+		TotalSec: d.totalSec,
+	}
+}
+
+// SetState restores a distribution captured by State.
+func (d *Demand) SetState(s DemandState) {
+	d.secAt = append(d.secAt[:0], s.SecAt...)
+	d.peakGB = s.PeakGB
+	d.totalSec = s.TotalSec
+}

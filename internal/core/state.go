@@ -1,0 +1,35 @@
+package core
+
+import "fmt"
+
+// SchedulerState is the serializable dynamic state of a
+// ClusterScheduler: the maintenance-drain flags and the pool-fallback
+// counter (the censored-demand signal the capacity controller reads).
+// Hosts and the pool manager are wiring, rebuilt by the restoring
+// caller.
+type SchedulerState struct {
+	Drained   []bool `json:"drained,omitempty"`
+	Fallbacks int64  `json:"fallbacks,omitempty"`
+}
+
+// State captures the scheduler's current state for serialization.
+func (cs *ClusterScheduler) State() SchedulerState {
+	return SchedulerState{
+		Drained:   append([]bool(nil), cs.drained...),
+		Fallbacks: cs.fallbacks,
+	}
+}
+
+// SetState restores a state captured by State onto a freshly built
+// scheduler over the same host set.
+func (cs *ClusterScheduler) SetState(s SchedulerState) error {
+	if len(s.Drained) != 0 && len(s.Drained) != len(cs.hosts) {
+		return fmt.Errorf("core: state has %d drain flags for %d hosts", len(s.Drained), len(cs.hosts))
+	}
+	for i := range cs.drained {
+		cs.drained[i] = false
+	}
+	copy(cs.drained, s.Drained)
+	cs.fallbacks = s.Fallbacks
+	return nil
+}

@@ -1,0 +1,45 @@
+package emc
+
+import "fmt"
+
+// State is the serializable dynamic state of a Device: the per-slice
+// permission table (retired slices included — the ID space must survive
+// a snapshot so in-flight SliceRefs keep resolving), the failure flag,
+// and the assignment counter. Name and head count are configuration and
+// are rebuilt by the restoring caller, not carried here.
+type State struct {
+	Owner       []HostID `json:"owner"`
+	Failed      bool     `json:"failed,omitempty"`
+	Assignments int64    `json:"assignments,omitempty"`
+}
+
+// State captures the device's current state for serialization.
+func (d *Device) State() State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return State{
+		Owner:       append([]HostID(nil), d.owner...),
+		Failed:      d.failed,
+		Assignments: d.assignments,
+	}
+}
+
+// SetState restores a state captured by State, replacing the permission
+// table wholesale (the snapshot's slice count wins: grows and retires
+// may have resized the ID space since construction).
+func (d *Device) SetState(s State) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(s.Owner) == 0 {
+		return fmt.Errorf("emc %s: state has no slices", d.name)
+	}
+	for i, o := range s.Owner {
+		if o != Unowned && o != Retired && (o < 0 || int(o) >= d.heads) {
+			return fmt.Errorf("emc %s: state slice %d owned by invalid host %d (%d heads)", d.name, i, o, d.heads)
+		}
+	}
+	d.owner = append(d.owner[:0], s.Owner...)
+	d.failed = s.Failed
+	d.assignments = s.Assignments
+	return nil
+}

@@ -31,6 +31,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash"
 	"io"
 	"math"
 	"sort"
@@ -412,8 +413,14 @@ type CellResult struct {
 	// cell scope).
 	ModelDump json.RawMessage
 
-	// Log is the cell's event log.
+	// Log is the cell's event log — the full stream, or only its
+	// undrained tail when the Runner ran with drained-prefix compaction.
 	Log string
+	// LogSHA is the hex SHA-256 of the cell's complete event-log stream,
+	// compacted prefix included. Compacted counts the lines that were
+	// folded into the digest and released (0 without compaction).
+	LogSHA    string
+	Compacted int
 }
 
 // Report is the merged outcome of a fleet run.
@@ -464,9 +471,17 @@ type Report struct {
 	ModelDumps []json.RawMessage
 
 	// EventLog is the concatenation of all cell logs in cell order,
-	// followed by the fleet pipeline's barrier log under fleet scope;
-	// LogSHA256 is its hash — the determinism witness.
-	EventLog  string
+	// followed by the fleet pipeline's barrier log under fleet scope.
+	// Under drained-prefix compaction it carries only the retained tails;
+	// Events always counts the full run's log lines.
+	EventLog string
+	Events   int
+	// LogSHA256 is the determinism witness: the SHA-256 of the stream
+	// manifest — one hex SHA-256 line per cell stream in cell order, then
+	// one for the fleet stream (always present, even when empty). Hashing
+	// per stream is what lets drained prefixes be folded into running
+	// digests and released without changing the final hash; recompute it
+	// from a full log with EventLogSHA256.
 	LogSHA256 string
 }
 
@@ -495,7 +510,7 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "  mlops: retrains=%d promotions=%d demotions=%d pred-err=%.4f pred-err-final=%.4f insens-err=%.4f\n",
 			r.Retrains, r.Promotions, r.Demotions, r.PredErrMean, r.PredErrFinal, r.InsensErrMean)
 	}
-	fmt.Fprintf(&b, "  event-log: %d events, sha256=%s", strings.Count(r.EventLog, "\n"), r.LogSHA256)
+	fmt.Fprintf(&b, "  event-log: %d events, sha256=%s", r.Events, r.LogSHA256)
 	return b.String()
 }
 
@@ -537,7 +552,7 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return assembleReport(o, results, "", nil)
+	return assembleReport(o, results, "", "", 0, nil)
 }
 
 // trainInsens trains the shared insensitivity model once per run;
@@ -556,8 +571,11 @@ func trainInsens(o Options) (predict.Insensitivity, float64) {
 
 // assembleReport merges the per-cell results — and the fleet pipeline's
 // log and release-train counters, when one ran — into the final report,
-// concatenates the event log in cell order, and hashes it.
-func assembleReport(o Options, results []CellResult, fleetLog string, fp *fleetpipeline.Manager) (*Report, error) {
+// concatenates the (retained) event log in cell order, and hashes the
+// stream manifest. fleetSHA is the fleet stream's precomputed hex hash
+// when the Runner compacted it ("" means hash fleetLog here), and
+// fleetCompacted its folded-away line count.
+func assembleReport(o Options, results []CellResult, fleetLog, fleetSHA string, fleetCompacted int, fp *fleetpipeline.Manager) (*Report, error) {
 	rep := &Report{Options: o, Cells: results}
 	tp, _ := topo.Build(o.Topology, o.Hosts, o.EMCs, o.PodDegree)
 	rep.TopologyDesc = tp.Describe()
@@ -616,12 +634,89 @@ func assembleReport(o Options, results []CellResult, fleetLog string, fp *fleetp
 		log.WriteString(fleetLog)
 	}
 	rep.EventLog = log.String()
-	// Hash the builder's string directly: io.WriteString avoids the
-	// []byte(rep.EventLog) copy, and the digest is identical.
-	h := sha256.New()
-	io.WriteString(h, rep.EventLog)
-	rep.LogSHA256 = hex.EncodeToString(h.Sum(nil))
+	rep.Events = strings.Count(rep.EventLog, "\n") + fleetCompacted
+	for _, c := range results {
+		rep.Events += c.Compacted
+	}
+	// The manifest hashes each stream separately: one line per cell in
+	// cell order, then the fleet stream. Cells finished without a running
+	// digest fall back to hashing their full log here (the one-shot path
+	// and synthetic test results).
+	var manifest strings.Builder
+	for _, c := range results {
+		sha := c.LogSHA
+		if sha == "" {
+			sha = streamSHA256(c.Log)
+		}
+		manifest.WriteString(sha)
+		manifest.WriteByte('\n')
+	}
+	if fleetSHA == "" {
+		fleetSHA = streamSHA256(fleetLog)
+	}
+	manifest.WriteString(fleetSHA)
+	manifest.WriteByte('\n')
+	rep.LogSHA256 = streamSHA256(manifest.String())
 	return rep, nil
+}
+
+// streamSHA256 hashes a string without the []byte copy.
+func streamSHA256(s string) string {
+	h := sha256.New()
+	io.WriteString(h, s)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// EventLogSHA256 recomputes a report's LogSHA256 from a complete event
+// log and the run's cell count: lines are partitioned back into their
+// per-cell streams (by the "[c<N> " prefix; everything else — the
+// "[fleet " lines — is the fleet stream), each stream is hashed, and
+// the manifest of stream hashes (cells in cell order, fleet last,
+// always present) is hashed. External verifiers — golden tests, the
+// serve client's drained-stream reassembly, CI smoke checks — use it to
+// prove a reassembled log matches the report hash byte for byte.
+func EventLogSHA256(log string, cells int) string {
+	cellH := make([]hash.Hash, cells)
+	for i := range cellH {
+		cellH[i] = sha256.New()
+	}
+	fleetH := sha256.New()
+	for len(log) > 0 {
+		line := log
+		if nl := strings.IndexByte(log, '\n'); nl >= 0 {
+			line, log = log[:nl+1], log[nl+1:]
+		} else {
+			log = ""
+		}
+		h := fleetH
+		if strings.HasPrefix(line, "[c") {
+			if cell, ok := parseCellPrefix(line[2:]); ok && cell < cells {
+				h = cellH[cell]
+			}
+		}
+		io.WriteString(h, line)
+	}
+	var manifest strings.Builder
+	for _, h := range cellH {
+		manifest.WriteString(hex.EncodeToString(h.Sum(nil)))
+		manifest.WriteByte('\n')
+	}
+	manifest.WriteString(hex.EncodeToString(fleetH.Sum(nil)))
+	manifest.WriteByte('\n')
+	return streamSHA256(manifest.String())
+}
+
+// parseCellPrefix reads the decimal cell index terminating at the space
+// of a "[c<N> t=..." line prefix (already stripped of "[c").
+func parseCellPrefix(s string) (int, bool) {
+	n, i := 0, 0
+	for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		n = n*10 + int(s[i]-'0')
+	}
+	if i == 0 || i >= len(s) || s[i] != ' ' {
+		return 0, false
+	}
+	return n, true
 }
 
 // cellIndices returns [0, n).
@@ -818,6 +913,11 @@ type cellSim struct {
 	seq     int
 	running map[cluster.VMID]*runningVM
 	log     strings.Builder
+	// logDigest is the SHA-256 midstate of the log prefix the Runner
+	// compacted away (nil until compaction first fires, so the default
+	// path allocates nothing); compacted counts the folded lines.
+	logDigest hash.Hash
+	compacted int
 
 	// Hot-path scratch, all scoped to this cell (cells are sequential,
 	// so reuse is race-free and deterministic): lbuf renders log lines,
@@ -1067,6 +1167,14 @@ func (c *cellSim) regenerateArrivals(now float64) {
 	for i := len(c.q)/2 - 1; i >= 0; i-- {
 		c.q.down(i)
 	}
+}
+
+// compactLog folds the drained log prefix (the first mark bytes) into
+// the cell's stream digest and keeps only the tail, returning the
+// tail-relative drain mark. Called by the Runner under SetCompactDrained.
+func (c *cellSim) compactLog(mark int) int {
+	c.logDigest, c.compacted, mark = compactStream(&c.log, c.logDigest, c.compacted, mark)
+	return mark
 }
 
 // logf renders one cold-path log line through fmt. Hot-path events
@@ -1488,6 +1596,15 @@ func (c *cellSim) finish() (CellResult, error) {
 		c.res.Arrivals, c.res.Placed, c.res.Rejected, c.res.Departed, c.res.BlastVMs, c.res.Migrated,
 		c.res.QoSViolations, c.res.AvgCoreUtil, c.res.AvgStrandedGB, c.res.PoolShare)
 	c.res.Log = c.log.String()
+	if c.logDigest != nil {
+		// Complete the stream hash from the midstate; the prefix bytes it
+		// absorbed are gone, so res.Log is just the tail.
+		io.WriteString(c.logDigest, c.res.Log)
+		c.res.LogSHA = hex.EncodeToString(c.logDigest.Sum(nil))
+	} else {
+		c.res.LogSHA = streamSHA256(c.res.Log)
+	}
+	c.res.Compacted = c.compacted
 	return c.res, nil
 }
 

@@ -2,8 +2,6 @@ package fleet
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"flag"
 	"os"
 	"path/filepath"
@@ -90,8 +88,11 @@ func TestGoldenEventLogs(t *testing.T) {
 			if err != nil {
 				t.Fatalf("missing golden log (generate with `go test ./internal/fleet -run Golden -update-golden`): %v", err)
 			}
-			wantSum := sha256.Sum256(want)
-			if got := hex.EncodeToString(wantSum[:]); rep.LogSHA256 == got {
+			// Recompute the stream-manifest hash from the committed log —
+			// the same partition-and-hash the report performs — so the
+			// golden file keeps pinning the exact bytes.
+			wantSHA := EventLogSHA256(string(want), rep.Options.Cells)
+			if rep.LogSHA256 == wantSHA {
 				return
 			}
 			// Determinism broke (or the behaviour intentionally changed):
@@ -104,7 +105,7 @@ func TestGoldenEventLogs(t *testing.T) {
 				"(%d vs %d lines; sha256 %s vs committed %s)\n"+
 				"If this change is intentional, refresh with: go test ./internal/fleet -run Golden -update-golden",
 				path, line, gotL, wantL, len(gotLines), len(wantLines),
-				rep.LogSHA256, hex.EncodeToString(wantSum[:]))
+				rep.LogSHA256, wantSHA)
 		})
 	}
 }

@@ -2,7 +2,11 @@ package fleet
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"hash"
+	"io"
 	"strings"
 
 	"pond/internal/engine"
@@ -47,6 +51,12 @@ type Runner struct {
 	// has consumed up to.
 	marks     []int
 	fleetMark int
+
+	// compact, when set, folds drained log prefixes into per-stream
+	// SHA-256 midstates instead of retaining them (see SetCompactDrained).
+	compact        bool
+	fleetDigest    hash.Hash
+	fleetCompacted int
 
 	rep *Report
 }
@@ -126,6 +136,12 @@ func (r *Runner) Options() Options { return r.o }
 func (r *Runner) Advance(ctx context.Context, t float64) error {
 	if r.done {
 		return nil
+	}
+	if t < r.now {
+		// Clamp: time is monotonic. Advancing to the past is a no-op, not
+		// a rewind of the reported clock (which would also corrupt the
+		// AddInjection not-in-the-past validation).
+		t = r.now
 	}
 	if t > r.o.DurationSec {
 		t = r.o.DurationSec
@@ -250,7 +266,16 @@ func (r *Runner) Finish(ctx context.Context) (*Report, error) {
 			r.o.DurationSec, r.fp.Counts().Retrains, r.fp.Counts().Promotions, r.fp.Counts().Rollbacks,
 			r.fp.Counts().Demotions, r.fp.Counts().Holds, r.fp.ChampionVer())
 	}
-	rep, err := assembleReport(r.o, results, r.fleetLog.String(), r.fp)
+	fleetTail := r.fleetLog.String()
+	fleetSHA := ""
+	if r.fleetDigest != nil {
+		// The compacted prefix lives only in the midstate; absorbing the
+		// tail completes the stream hash. Finish caches its report, so the
+		// midstate is consumed exactly once.
+		io.WriteString(r.fleetDigest, fleetTail)
+		fleetSHA = hex.EncodeToString(r.fleetDigest.Sum(nil))
+	}
+	rep, err := assembleReport(r.o, results, fleetTail, fleetSHA, r.fleetCompacted, r.fp)
 	if err != nil {
 		return nil, err
 	}
@@ -296,17 +321,54 @@ type LogEvent struct {
 	Line string
 }
 
+// SetCompactDrained controls drained-prefix compaction. When on, every
+// DrainEvents call folds the bytes it has handed out into per-stream
+// SHA-256 midstates and releases them from memory, so a long-running
+// attended run holds only its undrained tail instead of the whole-run
+// log. The final report's per-stream hashes — and therefore LogSHA256 —
+// are unchanged, but its EventLog carries only the retained tails (its
+// Events counter still covers the full run). Off by default: batch runs
+// and tests rely on Report.EventLog being the complete log.
+func (r *Runner) SetCompactDrained(on bool) { r.compact = on }
+
 // DrainEvents returns the log lines appended since the previous drain:
 // cells in cell order, the fleet log last. Only complete lines are
 // returned (without their trailing newline); anything mid-line stays
-// for the next drain.
+// for the next drain. Under SetCompactDrained the returned bytes are
+// also absorbed into the per-stream digests and dropped from memory.
 func (r *Runner) DrainEvents() []LogEvent {
 	var out []LogEvent
 	for i, s := range r.sims {
 		out, r.marks[i] = drainLines(out, i, s.log.String(), r.marks[i])
+		if r.compact {
+			r.marks[i] = s.compactLog(r.marks[i])
+		}
 	}
 	out, r.fleetMark = drainLines(out, -1, r.fleetLog.String(), r.fleetMark)
+	if r.compact {
+		r.fleetDigest, r.fleetCompacted, r.fleetMark =
+			compactStream(&r.fleetLog, r.fleetDigest, r.fleetCompacted, r.fleetMark)
+	}
 	return out
+}
+
+// compactStream absorbs b's first mark bytes into the stream digest,
+// keeps only the tail, and returns the updated digest, compacted line
+// count, and tail-relative mark.
+func compactStream(b *strings.Builder, d hash.Hash, lines, mark int) (hash.Hash, int, int) {
+	if mark == 0 {
+		return d, lines, mark
+	}
+	full := b.String()
+	if d == nil {
+		d = sha256.New()
+	}
+	io.WriteString(d, full[:mark])
+	lines += strings.Count(full[:mark], "\n")
+	tail := full[mark:]
+	b.Reset()
+	b.WriteString(tail)
+	return d, lines, 0
 }
 
 // drainLines appends the complete lines of full[mark:] to out and

@@ -1,0 +1,420 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// snapshotCases are the configurations the round-trip tests cover: the
+// plain cell-scoped path, the barriered fleet-scope release train, and
+// the elastic pool — every subsystem a snapshot must carry.
+func snapshotCases() map[string]Options {
+	plain := testOptions()
+	plain.Predictions = true
+	plain.RetrainEverySec = 100
+	plain.MinTrainRows = 16
+	plain.Injections = mustParseInjections("emc-fail@t=200")
+
+	fleetScope := testOptions()
+	fleetScope.Predictions = true
+	fleetScope.Arrival.RatePerSec = 0.2
+	fleetScope.RetrainEverySec = 100
+	fleetScope.MinTrainRows = 16
+	fleetScope.ModelScope = ScopeFleet
+	fleetScope.Injections = mustParseInjections("surge@t=100:dur=100:x=3")
+
+	elastic := testOptions()
+	elastic.Predictions = true
+	elastic.Arrival.RatePerSec = 0.2
+	elastic.ElasticPool = true
+	elastic.PlanEverySec = 100
+	elastic.Injections = mustParseInjections("resize@t=150:emc=1:slices=-8,drift@t=250:mag=0.5")
+
+	return map[string]Options{
+		"cell-scope":  plain,
+		"fleet-scope": fleetScope,
+		"elastic":     elastic,
+	}
+}
+
+// TestSnapshotRestoreMatchesUninterrupted is the tentpole's correctness
+// bar: snapshot at a mid-run safe point, restore in a fresh Runner
+// (through the JSON wire form, as a fresh process would), and the
+// remaining event log plus the final report hash must be byte-identical
+// to the uninterrupted batch run — for worker counts 1 and 4.
+func TestSnapshotRestoreMatchesUninterrupted(t *testing.T) {
+	for name, o := range snapshotCases() {
+		for _, workers := range []int{1, 4} {
+			o := o
+			o.Workers = workers
+			t.Run(name+"/workers="+string(rune('0'+workers)), func(t *testing.T) {
+				t.Parallel()
+				ctx := context.Background()
+				batch, err := Run(ctx, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				r, err := NewRunner(ctx, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := r.Advance(ctx, 170); err != nil {
+					t.Fatal(err)
+				}
+				drained := r.DrainEvents()
+				prefix := ""
+				// Reassemble the drained prefix per stream for the byte check
+				// below: cells in cell order, fleet last — report layout.
+				perCell := make([]string, o.Cells)
+				fleetPart := ""
+				for _, ev := range drained {
+					if ev.Cell < 0 {
+						fleetPart += ev.Line + "\n"
+					} else {
+						perCell[ev.Cell] += ev.Line + "\n"
+					}
+				}
+				for _, s := range perCell {
+					prefix += s
+				}
+				prefix += fleetPart
+
+				snap, err := r.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wire, err := json.Marshal(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var loaded Snapshot
+				if err := json.Unmarshal(wire, &loaded); err != nil {
+					t.Fatal(err)
+				}
+
+				restored, err := RestoreRunner(ctx, &loaded)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if restored.Now() != r.Now() {
+					t.Fatalf("restored clock %g, want %g", restored.Now(), r.Now())
+				}
+				rep, err := restored.Finish(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.LogSHA256 != batch.LogSHA256 {
+					gotLines := splitLines(rep.EventLog)
+					wantLines := splitLines(batch.EventLog)
+					line, g, w := firstDiff(gotLines, wantLines)
+					t.Fatalf("restored run hash %s, batch %s; first divergence at line %d:\n  got:  %s\n  want: %s",
+						rep.LogSHA256, batch.LogSHA256, line, g, w)
+				}
+				if rep.EventLog != batch.EventLog {
+					t.Fatalf("restored EventLog differs from batch (%d vs %d bytes)", len(rep.EventLog), len(batch.EventLog))
+				}
+				if rep.Events != batch.Events {
+					t.Fatalf("restored Events=%d, batch %d", rep.Events, batch.Events)
+				}
+
+				// The remaining log after the snapshot point must be exactly
+				// the batch log minus the drained prefix, stream by stream.
+				restored2, err := RestoreRunner(ctx, snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := restored2.Advance(ctx, o.DurationSec); err != nil {
+					t.Fatal(err)
+				}
+				rest := restored2.DrainEvents()
+				perCell2 := make([]string, o.Cells)
+				fleet2 := ""
+				for _, ev := range rest {
+					if ev.Cell < 0 {
+						fleet2 += ev.Line + "\n"
+					} else {
+						perCell2[ev.Cell] += ev.Line + "\n"
+					}
+				}
+				if _, err := restored2.Finish(ctx); err != nil {
+					t.Fatal(err)
+				}
+				final := restored2.DrainEvents()
+				for _, ev := range final {
+					if ev.Cell < 0 {
+						fleet2 += ev.Line + "\n"
+					} else {
+						perCell2[ev.Cell] += ev.Line + "\n"
+					}
+				}
+				full := ""
+				for i := range perCell2 {
+					full += perCell[i] + perCell2[i]
+				}
+				full += fleetPart + fleet2
+				if full != batch.EventLog {
+					t.Fatalf("drained-prefix + restored-remainder reassembly differs from batch log (%d vs %d bytes)",
+						len(full), len(batch.EventLog))
+				}
+			})
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		out = append(out, s[:i])
+		if i < len(s) {
+			i++
+		}
+		s = s[i:]
+	}
+	return out
+}
+
+// TestSnapshotRefusedAfterFinish pins the safe-point contract: a
+// finished run cannot be snapshotted.
+func TestSnapshotRefusedAfterFinish(t *testing.T) {
+	o := testOptions()
+	ctx := context.Background()
+	r, err := NewRunner(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Finish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Snapshot(); err == nil {
+		t.Fatal("snapshot of a finished run succeeded")
+	}
+}
+
+// TestRestoreRejectsVersionAndShape pins the validation surface.
+func TestRestoreRejectsVersionAndShape(t *testing.T) {
+	o := testOptions()
+	ctx := context.Background()
+	r, err := NewRunner(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Advance(ctx, 50); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *snap
+	bad.Version = SnapshotVersion + 1
+	if _, err := RestoreRunner(ctx, &bad); err == nil {
+		t.Fatal("wrong snapshot version accepted")
+	}
+	bad = *snap
+	bad.Cells = snap.Cells[:1]
+	if _, err := RestoreRunner(ctx, &bad); err == nil {
+		t.Fatal("truncated cell list accepted")
+	}
+	if _, err := RestoreRunner(ctx, nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+}
+
+// TestAdvanceClampsToNow is the monotonic-clock regression test:
+// advancing to the past neither rewinds the clock nor perturbs the run.
+func TestAdvanceClampsToNow(t *testing.T) {
+	o := testOptions()
+	ctx := context.Background()
+	r, err := NewRunner(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Advance(ctx, 200); err != nil {
+		t.Fatal(err)
+	}
+	if r.Now() != 200 {
+		t.Fatalf("Now() = %g, want 200", r.Now())
+	}
+	if err := r.Advance(ctx, 50); err != nil {
+		t.Fatal(err)
+	}
+	if r.Now() != 200 {
+		t.Fatalf("Now() after Advance(50) = %g, want 200 (clock went backwards)", r.Now())
+	}
+	// An injection at a time after the true clock but before a bogus
+	// rewound one must still be accepted.
+	if err := r.AddInjection(Injection{Kind: InjectSurge, AtSec: 250, DurSec: 50, Factor: 2}); err != nil {
+		t.Fatalf("injection at t=250 refused after Advance(50): %v", err)
+	}
+	rep, err := r.Finish(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchOpts := r.Options()
+	batch, err := Run(ctx, batchOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LogSHA256 != batch.LogSHA256 {
+		t.Fatalf("clamped run hash %s differs from batch %s", rep.LogSHA256, batch.LogSHA256)
+	}
+}
+
+// TestCompactDrainedPreservesHash pins the compaction satellite: with
+// drained-prefix compaction on, the runner releases drained bytes but
+// the final report hash, event count, and the drained-stream reassembly
+// all still match the uncompacted batch run.
+func TestCompactDrainedPreservesHash(t *testing.T) {
+	o := testOptions()
+	o.Predictions = true
+	o.Injections = mustParseInjections("emc-fail@t=200")
+	ctx := context.Background()
+	batch, err := Run(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewRunner(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetCompactDrained(true)
+	perCell := make([]string, o.Cells)
+	fleetPart := ""
+	drain := func() {
+		for _, ev := range r.DrainEvents() {
+			if ev.Cell < 0 {
+				fleetPart += ev.Line + "\n"
+			} else {
+				perCell[ev.Cell] += ev.Line + "\n"
+			}
+		}
+	}
+	for _, tAt := range []float64{33, 90, 91, 250, 399} {
+		if err := r.Advance(ctx, tAt); err != nil {
+			t.Fatal(err)
+		}
+		drain()
+	}
+	rep, err := r.Finish(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain()
+	if rep.LogSHA256 != batch.LogSHA256 {
+		t.Fatalf("compacted run hash %s, batch %s", rep.LogSHA256, batch.LogSHA256)
+	}
+	if rep.Events != batch.Events {
+		t.Fatalf("compacted Events=%d, batch %d", rep.Events, batch.Events)
+	}
+	if len(rep.EventLog) >= len(batch.EventLog) {
+		t.Fatalf("compaction retained the whole log (%d bytes, batch %d)", len(rep.EventLog), len(batch.EventLog))
+	}
+	full := ""
+	for i := range perCell {
+		full += perCell[i]
+	}
+	full += fleetPart
+	if full != batch.EventLog {
+		t.Fatalf("drained reassembly differs from batch log (%d vs %d bytes)", len(full), len(batch.EventLog))
+	}
+	if got := EventLogSHA256(full, o.Cells); got != batch.LogSHA256 {
+		t.Fatalf("EventLogSHA256(reassembly) = %s, want %s", got, batch.LogSHA256)
+	}
+}
+
+// TestSnapshotOfCompactedRunRestores covers the interaction of the two
+// new mechanisms: a snapshot taken mid-run with compaction on carries
+// the digest midstates, and the restored run still finishes with the
+// batch hash.
+func TestSnapshotOfCompactedRunRestores(t *testing.T) {
+	o := testOptions()
+	o.Predictions = true
+	ctx := context.Background()
+	batch, err := Run(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetCompactDrained(true)
+	if err := r.Advance(ctx, 180); err != nil {
+		t.Fatal(err)
+	}
+	r.DrainEvents()
+	snap, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Snapshot
+	if err := json.Unmarshal(wire, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreRunner(ctx, &loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := restored.Finish(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LogSHA256 != batch.LogSHA256 {
+		t.Fatalf("restored compacted run hash %s, batch %s", rep.LogSHA256, batch.LogSHA256)
+	}
+}
+
+// BenchmarkRestoreRunner pins the O(state) restore claim: rebuilding a
+// runner from a snapshot taken deep into a long horizon costs the same
+// as from one taken early, because restore rebuilds live state instead
+// of replaying elapsed simulated time. Run both pause depths and
+// compare: the deep restore must not scale with the elapsed horizon.
+func BenchmarkRestoreRunner(b *testing.B) {
+	for _, pause := range []float64{1000, 18000} {
+		b.Run(fmt.Sprintf("pause=%g", pause), func(b *testing.B) {
+			o := testOptions()
+			o.DurationSec = 20000
+			ctx := context.Background()
+			r, err := NewRunner(ctx, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.SetCompactDrained(true)
+			if err := r.Advance(ctx, pause); err != nil {
+				b.Fatal(err)
+			}
+			r.DrainEvents()
+			snap, err := r.Snapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			wire, err := json.Marshal(snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(wire)), "snapshot-bytes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var s Snapshot
+				if err := json.Unmarshal(wire, &s); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := RestoreRunner(ctx, &s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

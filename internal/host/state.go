@@ -1,0 +1,96 @@
+package host
+
+import (
+	"fmt"
+	"sort"
+
+	"pond/internal/cluster"
+	"pond/internal/pool"
+)
+
+// NodeState is one NUMA node's free-resource accounting.
+type NodeState struct {
+	CoresFree int     `json:"cores_free"`
+	MemFreeGB float64 `json:"mem_free_gb"`
+}
+
+// PlacementState is one resident VM's placement. The guest-visible
+// topology and page table are not carried: the fleet simulator runs with
+// SkipGuestTopology and never boots guests, so both are zero for every
+// placement a fleet snapshot can see.
+type PlacementState struct {
+	VM           cluster.VMRequest `json:"vm"`
+	Node         int               `json:"node"`
+	LocalGB      float64           `json:"local_gb"`
+	PoolGB       float64           `json:"pool_gb"`
+	Slices       []pool.SliceRef   `json:"slices,omitempty"`
+	AccelEnabled bool              `json:"accel_enabled"`
+	Reconfigured bool              `json:"reconfigured,omitempty"`
+	SpannedGB    float64           `json:"spanned_gb,omitempty"`
+	SpanNode     int               `json:"span_node"`
+}
+
+// State is the serializable dynamic state of a Host: per-node free
+// resources, the pool partition, and every resident placement (sorted by
+// VM ID so the encoding is deterministic). ID, spec, and config are
+// rebuilt by the restoring caller; the placement freelist is a pure
+// cache and restores empty.
+type State struct {
+	Nodes        []NodeState      `json:"nodes"`
+	PoolFreeGB   float64          `json:"pool_free_gb"`
+	PoolOnlineGB float64          `json:"pool_online_gb"`
+	VMs          []PlacementState `json:"vms,omitempty"`
+}
+
+// State captures the host's current state for serialization.
+func (h *Host) State() State {
+	s := State{PoolFreeGB: h.poolFreeGB, PoolOnlineGB: h.poolOnlineGB}
+	for _, nd := range h.nodes {
+		s.Nodes = append(s.Nodes, NodeState{CoresFree: nd.coresFree, MemFreeGB: nd.memFreeGB})
+	}
+	ids := make([]cluster.VMID, 0, len(h.vms))
+	for id := range h.vms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := h.vms[id]
+		s.VMs = append(s.VMs, PlacementState{
+			VM: p.VM, Node: p.Node, LocalGB: p.LocalGB, PoolGB: p.PoolGB,
+			Slices:       append([]pool.SliceRef(nil), p.Slices...),
+			AccelEnabled: p.AccelEnabled, Reconfigured: p.Reconfigured,
+			SpannedGB: p.SpannedGB, SpanNode: p.SpanNode,
+		})
+	}
+	return s
+}
+
+// SetState restores a state captured by State onto a freshly built host
+// with the same spec.
+func (h *Host) SetState(s State) error {
+	if len(s.Nodes) != len(h.nodes) {
+		return fmt.Errorf("host %d: state has %d NUMA nodes, host has %d", h.ID, len(s.Nodes), len(h.nodes))
+	}
+	for i, nd := range s.Nodes {
+		h.nodes[i] = numaNode{coresFree: nd.CoresFree, memFreeGB: nd.MemFreeGB}
+	}
+	h.poolFreeGB = s.PoolFreeGB
+	h.poolOnlineGB = s.PoolOnlineGB
+	h.vms = make(map[cluster.VMID]*Placement, len(s.VMs))
+	h.free = nil
+	for _, ps := range s.VMs {
+		if _, dup := h.vms[ps.VM.ID]; dup {
+			return fmt.Errorf("host %d: state places VM %d twice", h.ID, ps.VM.ID)
+		}
+		if ps.Node < 0 || ps.Node >= len(h.nodes) {
+			return fmt.Errorf("host %d: state places VM %d on node %d of %d", h.ID, ps.VM.ID, ps.Node, len(h.nodes))
+		}
+		h.vms[ps.VM.ID] = &Placement{
+			VM: ps.VM, Node: ps.Node, LocalGB: ps.LocalGB, PoolGB: ps.PoolGB,
+			Slices:       append([]pool.SliceRef(nil), ps.Slices...),
+			AccelEnabled: ps.AccelEnabled, Reconfigured: ps.Reconfigured,
+			SpannedGB: ps.SpannedGB, SpanNode: ps.SpanNode,
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package pool
+
+import (
+	"fmt"
+
+	"pond/internal/emc"
+	"pond/internal/stats"
+)
+
+// PendingState is one in-flight release_capacity offline.
+type PendingState struct {
+	EMC      int         `json:"emc"`
+	Slice    emc.SliceID `json:"slice"`
+	Host     emc.HostID  `json:"host"`
+	ReadySec float64     `json:"ready_sec"`
+}
+
+// State is the serializable dynamic state of the Pool Manager: the
+// offline-drain queue with its completion times, the per-start offline
+// rates behind Finding 10, the op counters, and the RNG that draws each
+// offline duration. Device wiring (emcs, conn) is configuration and is
+// rebuilt by the restoring caller; the scratch buffers are pure caches
+// and restore empty.
+type State struct {
+	Pending    []PendingState  `json:"pending,omitempty"`
+	StartRates []float64       `json:"start_rates,omitempty"`
+	OnlineOps  int64           `json:"online_ops,omitempty"`
+	ReleaseOps int64           `json:"release_ops,omitempty"`
+	RNG        stats.RandState `json:"rng"`
+}
+
+// State captures the manager's current state for serialization.
+func (m *Manager) State() State {
+	s := State{
+		StartRates: append([]float64(nil), m.startRates...),
+		OnlineOps:  m.onlineOps,
+		ReleaseOps: m.releaseOps,
+		RNG:        m.r.State(),
+	}
+	for _, p := range m.pending {
+		s.Pending = append(s.Pending, PendingState{
+			EMC: p.ref.EMC, Slice: p.ref.Slice, Host: p.host, ReadySec: p.readySec,
+		})
+	}
+	return s
+}
+
+// SetState restores a state captured by State onto a freshly built
+// manager over the same device set.
+func (m *Manager) SetState(s State) error {
+	if err := m.r.SetState(s.RNG); err != nil {
+		return fmt.Errorf("pool: %w", err)
+	}
+	m.pending = m.pending[:0]
+	for _, p := range s.Pending {
+		if p.EMC < 0 || p.EMC >= len(m.emcs) {
+			return fmt.Errorf("pool: pending release on EMC %d of %d", p.EMC, len(m.emcs))
+		}
+		m.pending = append(m.pending, pendingRelease{
+			ref:      SliceRef{EMC: p.EMC, Slice: p.Slice},
+			host:     p.Host,
+			readySec: p.ReadySec,
+		})
+	}
+	m.startRates = append(m.startRates[:0], s.StartRates...)
+	m.onlineOps = s.OnlineOps
+	m.releaseOps = s.ReleaseOps
+	return nil
+}

@@ -1,0 +1,94 @@
+package predict
+
+import (
+	"sort"
+
+	"pond/internal/ml"
+)
+
+// CacheEntryState is one cached prediction, keyed by the serving cache
+// key (a (customer, workload) or (customer, features) hash).
+type CacheEntryState struct {
+	Key        int64   `json:"key"`
+	Generation int     `json:"gen"`
+	Value      float64 `json:"value"`
+}
+
+// ServerState is the serializable state of a serving Server: the pinned
+// generation, the request accounting, and both prediction caches.
+// Models are installed separately (via Pin, from the mlops/fleetpipeline
+// model snapshots). The caches are semantic state, not a recomputable
+// memo: a cache key identifies a (customer, workload) pair while the
+// inputs (sampled counters, evolving history features) change between
+// requests, so within a generation the server intentionally serves the
+// score computed at the pair's FIRST request. Restoring the caches
+// empty would re-score later arrivals against their own fresher inputs
+// and diverge from the uninterrupted run.
+type ServerState struct {
+	Generation       int               `json:"generation"`
+	Requests         int64             `json:"requests,omitempty"`
+	CacheHits        int64             `json:"cache_hits,omitempty"`
+	ServedCostMicros float64           `json:"served_cost_micros,omitempty"`
+	SensCache        []CacheEntryState `json:"sens_cache,omitempty"`
+	UMCache          []CacheEntryState `json:"um_cache,omitempty"`
+}
+
+// cacheState flattens a prediction cache into a key-sorted slice so the
+// encoding is stable across map iteration orders.
+func cacheState(m map[int64]cachedScore) []CacheEntryState {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]CacheEntryState, 0, len(m))
+	for k, c := range m {
+		out = append(out, CacheEntryState{Key: k, Generation: c.generation, Value: c.value})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func restoreCache(entries []CacheEntryState) map[int64]cachedScore {
+	m := make(map[int64]cachedScore, len(entries))
+	for _, e := range entries {
+		m[e.Key] = cachedScore{generation: e.Generation, value: e.Value}
+	}
+	return m
+}
+
+// State captures the server's counters and caches for serialization.
+func (s *Server) State() ServerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServerState{
+		Generation:       s.generation,
+		Requests:         s.requests,
+		CacheHits:        s.cacheHits,
+		ServedCostMicros: s.servedCost,
+		SensCache:        cacheState(s.sensCache),
+		UMCache:          cacheState(s.umCache),
+	}
+}
+
+// SetState restores the state captured by State. Call it after the
+// models have been re-installed with Pin. Restoring the full cache
+// contents also preserves the map sizes, so the wholesale eviction at
+// maxCacheEntries keeps firing at the same requests it would have in
+// the uninterrupted run.
+func (s *Server) SetState(st ServerState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.generation = st.Generation
+	s.requests = st.Requests
+	s.cacheHits = st.CacheHits
+	s.servedCost = st.ServedCostMicros
+	s.sensCache = restoreCache(st.SensCache)
+	s.umCache = restoreCache(st.UMCache)
+}
+
+// WrapForestModel adopts a deserialized forest as the insensitivity
+// model, mirroring WrapGBMUntouched for the untouched-memory side —
+// the restore path that round-trips models through ml/serialize uses
+// both.
+func WrapForestModel(f *ml.Forest) *ForestModel {
+	return &ForestModel{forest: f}
+}

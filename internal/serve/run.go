@@ -49,13 +49,22 @@ type Run struct {
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast on new events or a state change
 
-	fr      *pond.FleetRun
-	horizon float64 // normalized DurationSec — Config() may carry a 0
-	state   string
-	holds   []float64 // ascending hold times not yet reached
-	events  []Event
-	report  *pond.FleetReport
-	err     error
+	// fr is nil for a terminal (done/failed) run restored from a v2
+	// checkpoint: its config, progress, and report are served from the
+	// persisted copies instead of a live simulation.
+	fr       *pond.FleetRun
+	config   pond.FleetOpts     // serving copy when fr is nil
+	progress pond.FleetProgress // serving copy when fr is nil
+	horizon  float64            // normalized DurationSec — Config() may carry a 0
+	state    string
+	// parkedFrom remembers the state a park interrupted (running or
+	// holding), so the checkpoint can resume the run holding at the same
+	// point instead of silently releasing it.
+	parkedFrom string
+	holds      []float64 // ascending hold times not yet reached
+	events     []Event
+	report     *SnapshotReport
+	err        error
 }
 
 func newRun(id string, fr *pond.FleetRun, holds []float64) *Run {
@@ -124,7 +133,8 @@ func (r *Run) drive(ctx context.Context, sliceSec float64) {
 				return
 			}
 			r.drainLocked()
-			r.report = rep
+			r.report = snapshotReport(rep)
+			r.progress = r.fr.Progress()
 			r.state = StateDone
 			r.cond.Broadcast()
 			return
@@ -160,6 +170,9 @@ func (r *Run) fail(err error) {
 func (r *Run) parkLocked() {
 	if r.state == StateDone || r.state == StateFailed {
 		return
+	}
+	if r.state == StateRunning || r.state == StateHolding {
+		r.parkedFrom = r.state
 	}
 	r.state = StateParked
 	r.cond.Broadcast()
@@ -212,7 +225,21 @@ var ErrParked = fmt.Errorf("run parked for shutdown; injections are closed")
 func (r *Run) Config() pond.FleetOpts {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.configLocked()
+}
+
+func (r *Run) configLocked() pond.FleetOpts {
+	if r.fr == nil {
+		return r.config
+	}
 	return r.fr.Config()
+}
+
+func (r *Run) progressLocked() pond.FleetProgress {
+	if r.fr == nil {
+		return r.progress
+	}
+	return r.fr.Progress()
 }
 
 // Snapshot is the inspectable state GET /runs/{id} serves. Report
@@ -251,30 +278,36 @@ func (r *Run) Snapshot() Snapshot {
 	s := Snapshot{
 		ID:       r.ID,
 		State:    r.state,
-		Progress: r.fr.Progress(),
+		Progress: r.progressLocked(),
 		Events:   len(r.events),
 		HoldsAt:  append([]float64(nil), r.holds...),
-		Config:   r.fr.Config(),
+		Config:   r.configLocked(),
 	}
 	if r.err != nil {
 		s.Error = r.err.Error()
 	}
 	if r.report != nil {
-		s.Report = &SnapshotReport{
-			Summary:          r.report.Summary,
-			LogSHA256:        r.report.LogSHA256,
-			PlanHistory:      r.report.PlanHistory,
-			RolloutHistory:   r.report.RolloutHistory,
-			PromotionHistory: r.report.PromotionHistory,
-			ChampionVer:      r.report.ChampionVer,
-			Retrains:         r.report.Retrains,
-			Promotions:       r.report.Promotions,
-			Rollbacks:        r.report.Rollbacks,
-			DRAMSavedGB:      r.report.DRAMSavedGB,
-			FinalPoolGB:      r.report.FinalPoolGB,
-		}
+		rep := *r.report
+		s.Report = &rep
 	}
 	return s
+}
+
+// snapshotReport extracts the served subset from a full report.
+func snapshotReport(rep *pond.FleetReport) *SnapshotReport {
+	return &SnapshotReport{
+		Summary:          rep.Summary,
+		LogSHA256:        rep.LogSHA256,
+		PlanHistory:      rep.PlanHistory,
+		RolloutHistory:   rep.RolloutHistory,
+		PromotionHistory: rep.PromotionHistory,
+		ChampionVer:      rep.ChampionVer,
+		Retrains:         rep.Retrains,
+		Promotions:       rep.Promotions,
+		Rollbacks:        rep.Rollbacks,
+		DRAMSavedGB:      rep.DRAMSavedGB,
+		FinalPoolGB:      rep.FinalPoolGB,
+	}
 }
 
 // EventsFrom returns the buffered events with Seq >= from. If the run

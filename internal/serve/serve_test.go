@@ -4,8 +4,6 @@ import (
 	"bufio"
 	"bytes"
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -390,8 +388,7 @@ func TestDeterminismBridgeHTTP(t *testing.T) {
 		done := waitState(t, ts.URL, snap.ID, StateDone)
 		events := streamEvents(t, ts.URL+"/runs/"+snap.ID+"/events")
 		log := reassemble(events, done.Config.Cluster.Cells)
-		sum := sha256.Sum256([]byte(log))
-		streamed := hex.EncodeToString(sum[:])
+		streamed := pond.EventLogSHA256(log, done.Config.Cluster.Cells)
 		if streamed != done.Report.LogSHA256 {
 			t.Fatalf("workers=%d: streamed log sha %s != served report sha %s", workers, streamed, done.Report.LogSHA256)
 		}
@@ -531,8 +528,11 @@ func TestShutdownParksRunsAndClosesStreams(t *testing.T) {
 	}
 }
 
-// TestCheckpointRestore shuts a server down mid-run and checks a fresh
-// server restores the run and reproduces the identical report.
+// TestCheckpointRestore shuts a server down while a run is holding and
+// checks a fresh server restores the run FROM ITS SNAPSHOT — still
+// holding at the same point, with the live injection and the event
+// sequence intact — and that releasing it reproduces the identical
+// report without re-simulating the elapsed horizon.
 func TestCheckpointRestore(t *testing.T) {
 	statePath := filepath.Join(t.TempDir(), "checkpoint.json")
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -550,6 +550,7 @@ func TestCheckpointRestore(t *testing.T) {
 		t.Fatalf("inject status %d", iresp.StatusCode)
 	}
 	iresp.Body.Close()
+	preShutdown := streamEventsNow(t, ts1.URL+"/runs/"+snap.ID+"/events")
 	ts1.Close()
 	if err := s1.Shutdown(); err != nil {
 		t.Fatal(err)
@@ -572,12 +573,187 @@ func TestCheckpointRestore(t *testing.T) {
 			t.Errorf("second shutdown: %v", err)
 		}
 	}()
+
+	// The hold must survive the restart: before the fix, restore dropped
+	// the hold points and the run silently sprinted to completion.
+	restored := waitState(t, ts2.URL, snap.ID, StateHolding)
+	if restored.Progress.NowSec != 100 {
+		t.Fatalf("restored run is holding at t=%g, want the checkpointed hold at t=100", restored.Progress.NowSec)
+	}
+	if got := len(restored.Config.Injections); got != 1 {
+		t.Fatalf("restored config lost the live injection: %d injections", got)
+	}
+
+	rresp := postJSON(t, ts2.URL+"/runs/"+snap.ID+"/resume", struct{}{})
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("resume status %d", rresp.StatusCode)
+	}
+	rresp.Body.Close()
 	done := waitState(t, ts2.URL, snap.ID, StateDone)
 	if done.Report.LogSHA256 != want.LogSHA256 {
 		t.Fatalf("restored run sha %s != batch sha %s", done.Report.LogSHA256, want.LogSHA256)
 	}
-	if got := len(done.Config.Injections); got != 1 {
-		t.Fatalf("restored config lost the live injection: %d injections", got)
+
+	// The event sequence is continuous across the restart: the full
+	// stream re-served by the new process extends the pre-shutdown one,
+	// and reassembling it reproduces the batch hash.
+	events := streamEvents(t, ts2.URL+"/runs/"+snap.ID+"/events")
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d after restore", i, e.Seq)
+		}
+	}
+	for i, e := range preShutdown {
+		if events[i] != e {
+			t.Fatalf("restored stream rewrote event %d: %+v != %+v", i, events[i], e)
+		}
+	}
+	log := reassemble(events, done.Config.Cluster.Cells)
+	if got := pond.EventLogSHA256(log, done.Config.Cluster.Cells); got != want.LogSHA256 {
+		t.Fatalf("restored stream sha %s != batch sha %s", got, want.LogSHA256)
+	}
+}
+
+// streamEventsNow fetches the currently buffered events without
+// following the run: it reads ?from=0 and cuts the connection once the
+// buffered suffix stalls.
+func streamEventsNow(t *testing.T, url string) []Event {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// TestCheckpointTerminalRunsSkipResimulation finishes a run, restarts
+// the daemon, and checks the run comes back done — report, error state,
+// and replay buffer intact — without any live simulation attached.
+func TestCheckpointTerminalRunsSkipResimulation(t *testing.T) {
+	statePath := filepath.Join(t.TempDir(), "checkpoint.json")
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	s1, err := New(Config{StatePath: statePath, Log: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	resp := postJSON(t, ts1.URL+"/runs", map[string]any{"opts": tinyOpts()})
+	snap := decodeSnapshot(t, resp)
+	done := waitState(t, ts1.URL, snap.ID, StateDone)
+	ts1.Close()
+	if err := s1.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{StatePath: statePath, Log: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		if err := s2.Shutdown(); err != nil {
+			t.Errorf("second shutdown: %v", err)
+		}
+	}()
+
+	// Immediately done — no waiting, nothing to re-simulate.
+	r, ok := s2.run(snap.ID)
+	if !ok {
+		t.Fatalf("run %s missing after restore", snap.ID)
+	}
+	if r.fr != nil {
+		t.Fatal("terminal restored run carries a live simulation")
+	}
+	got := decodeSnapshot(t, mustGet(t, ts2.URL+"/runs/"+snap.ID))
+	if got.State != StateDone {
+		t.Fatalf("restored terminal run state %s, want done", got.State)
+	}
+	if got.Report == nil || got.Report.LogSHA256 != done.Report.LogSHA256 {
+		t.Fatalf("restored terminal run report: %+v, want sha %s", got.Report, done.Report.LogSHA256)
+	}
+	if got.Events != done.Events {
+		t.Fatalf("restored terminal run buffers %d events, want %d", got.Events, done.Events)
+	}
+	if got.Progress != done.Progress {
+		t.Fatalf("restored terminal run progress %+v, want %+v", got.Progress, done.Progress)
+	}
+	events := streamEvents(t, ts2.URL+"/runs/"+snap.ID+"/events")
+	if len(events) != done.Events {
+		t.Fatalf("restored terminal run replays %d events, want %d", len(events), done.Events)
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestCheckpointV1LegacyRestore hand-writes a version-1 (unversioned,
+// config-only) state file and checks the daemon still restores it by
+// re-running the configuration, reproducing the batch report.
+func TestCheckpointV1LegacyRestore(t *testing.T) {
+	statePath := filepath.Join(t.TempDir(), "checkpoint.json")
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	var opts pond.FleetOpts
+	data, _ := json.Marshal(tinyOpts())
+	if err := json.Unmarshal(data, &opts); err != nil {
+		t.Fatal(err)
+	}
+	v1 := map[string]any{
+		"next_id": 1,
+		"runs":    []map[string]any{{"id": "r1", "opts": json.RawMessage(data)}},
+	}
+	fileData, err := json.Marshal(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(statePath, fileData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := pond.RunFleet(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{StatePath: statePath, Log: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		if err := s.Shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	done := waitState(t, ts.URL, "r1", StateDone)
+	if done.Report.LogSHA256 != want.LogSHA256 {
+		t.Fatalf("v1-restored run sha %s != batch sha %s", done.Report.LogSHA256, want.LogSHA256)
 	}
 }
 

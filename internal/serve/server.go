@@ -127,6 +127,10 @@ func (s *Server) startRun(opts pond.FleetOpts, holds []float64) (*Run, error) {
 		}
 	}
 	sort.Float64s(holds)
+	// The daemon keeps its own sequenced replay buffer, so the runner's
+	// copy of drained log prefixes is redundant — fold them into the
+	// incremental report hash and free the bytes.
+	fr.SetCompactDrained(true)
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("r%d", s.nextID)
@@ -134,6 +138,13 @@ func (s *Server) startRun(opts pond.FleetOpts, holds []float64) (*Run, error) {
 	s.runs[id] = r
 	s.mu.Unlock()
 
+	s.launch(r, horizon)
+	s.log.Info("run started", "id", id, "holds", holds)
+	return r, nil
+}
+
+// launch starts the driver goroutine for a registered run.
+func (s *Server) launch(r *Run, horizon float64) {
 	slice := s.cfg.SliceSec
 	if slice <= 0 {
 		slice = horizon / 64
@@ -143,10 +154,8 @@ func (s *Server) startRun(opts pond.FleetOpts, holds []float64) (*Run, error) {
 		defer s.wg.Done()
 		r.drive(s.ctx, slice)
 		snap := r.Snapshot()
-		s.log.Info("run finished", "id", id, "state", snap.State, "events", snap.Events)
+		s.log.Info("run finished", "id", r.ID, "state", snap.State, "events", snap.Events)
 	}()
-	s.log.Info("run started", "id", id, "holds", holds)
-	return r, nil
 }
 
 func (s *Server) run(id string) (*Run, bool) {
@@ -343,26 +352,84 @@ func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
-// checkpointFile is the persisted daemon state: each run's
-// reproduce-from-scratch configuration (scheduled plus live injections,
-// already folded together by FleetRun.Config).
+// checkpointVersion is the current state-file format. Version 2 embeds
+// each run's full simulator snapshot, replay buffer, and remaining hold
+// points, so a restart resumes runs from their parked safe points.
+// Version-1 files (no version field) carried only the batch
+// configuration; they still restore, by re-running the configuration
+// from t=0 under the determinism contract.
+const checkpointVersion = 2
+
+// checkpointFile is the persisted daemon state.
 type checkpointFile struct {
-	NextID int             `json:"next_id"`
-	Runs   []checkpointRun `json:"runs"`
+	Version int             `json:"version"`
+	NextID  int             `json:"next_id"`
+	Runs    []checkpointRun `json:"runs"`
 }
 
+// checkpointRun is one run's persisted state: the
+// reproduce-from-scratch configuration (scheduled plus live injections,
+// already folded together by FleetRun.Config) plus, in v2, the state
+// needed to resume without re-simulation — the pre-park run state, the
+// remaining hold points, the sequenced event buffer (so ?from= streams
+// survive the restart), and either the simulator snapshot (mid-flight
+// runs) or the final report (terminal runs).
 type checkpointRun struct {
-	ID   string         `json:"id"`
-	Opts pond.FleetOpts `json:"opts"`
+	ID       string              `json:"id"`
+	Opts     pond.FleetOpts      `json:"opts"`
+	State    string              `json:"state,omitempty"`
+	HoldsAt  []float64           `json:"holds_at,omitempty"`
+	Events   []Event             `json:"events,omitempty"`
+	Snapshot *pond.FleetSnapshot `json:"snapshot,omitempty"`
+	Report   *SnapshotReport     `json:"report,omitempty"`
+	Error    string              `json:"error,omitempty"`
+	Progress *pond.FleetProgress `json:"progress,omitempty"`
 }
 
-// checkpoint writes the registry's batch configurations. Runs that were
-// mid-flight are stored the same way as completed ones: re-running the
-// config deterministically reproduces everything up to — and past —
-// the point the daemon stopped.
+// checkpointState captures the run for persistence. The run lock keeps
+// a straggling inject handler from tearing the persisted state; parked
+// runs record the state the park interrupted, so a run parked while
+// holding resumes holding at the same point.
+func (r *Run) checkpointState() (checkpointRun, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cr := checkpointRun{
+		ID:      r.ID,
+		Opts:    r.configLocked(),
+		State:   r.state,
+		HoldsAt: append([]float64(nil), r.holds...),
+		Events:  append([]Event(nil), r.events...),
+	}
+	if r.state == StateParked && r.parkedFrom != "" {
+		cr.State = r.parkedFrom
+	}
+	switch cr.State {
+	case StateDone, StateFailed:
+		cr.Report = r.report
+		if r.err != nil {
+			cr.Error = r.err.Error()
+		}
+		p := r.progressLocked()
+		cr.Progress = &p
+	default:
+		if r.fr == nil {
+			return cr, fmt.Errorf("run %s: %s with no live simulation", r.ID, cr.State)
+		}
+		snap, err := r.fr.Snapshot()
+		if err != nil {
+			return cr, fmt.Errorf("run %s: snapshot: %w", r.ID, err)
+		}
+		cr.Snapshot = snap
+	}
+	return cr, nil
+}
+
+// checkpoint writes the parked registry: every run's configuration plus
+// the v2 resume state — simulator snapshots for mid-flight runs, final
+// reports for terminal ones.
 func (s *Server) checkpoint(path string) error {
 	s.mu.Lock()
-	ck := checkpointFile{NextID: s.nextID}
+	ck := checkpointFile{Version: checkpointVersion, NextID: s.nextID}
 	runs := make([]*Run, 0, len(s.runs))
 	for _, r := range s.runs {
 		runs = append(runs, r)
@@ -370,9 +437,11 @@ func (s *Server) checkpoint(path string) error {
 	s.mu.Unlock()
 	sort.Slice(runs, func(i, j int) bool { return runID(runs[i].ID) < runID(runs[j].ID) })
 	for _, r := range runs {
-		// Config takes the run lock, so a straggling inject handler cannot
-		// tear the persisted injection list.
-		ck.Runs = append(ck.Runs, checkpointRun{ID: r.ID, Opts: r.Config()})
+		cr, err := r.checkpointState()
+		if err != nil {
+			return err
+		}
+		ck.Runs = append(ck.Runs, cr)
 	}
 	data, err := json.MarshalIndent(ck, "", "  ")
 	if err != nil {
@@ -389,8 +458,11 @@ func (s *Server) checkpoint(path string) error {
 	return nil
 }
 
-// restore relaunches every checkpointed run under its original ID. A
-// missing checkpoint file is a fresh start, not an error.
+// restore rebuilds every checkpointed run under its original ID. A
+// missing checkpoint file is a fresh start, not an error. Runs with a
+// v2 snapshot resume from their parked safe point in O(state) time;
+// terminal runs are rebuilt from their persisted report without any
+// simulation; v1 config-only runs re-execute from t=0.
 func (s *Server) restore(path string) error {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -408,24 +480,63 @@ func (s *Server) restore(path string) error {
 	if err := json.Unmarshal(data, &ck); err != nil {
 		return fmt.Errorf("corrupt checkpoint %s: %w", path, err)
 	}
+	if ck.Version != 0 && ck.Version != checkpointVersion {
+		return fmt.Errorf("checkpoint %s: version %d, this build reads versions 1 (unversioned) and %d",
+			path, ck.Version, checkpointVersion)
+	}
 	s.nextID = ck.NextID
 	for _, cr := range ck.Runs {
-		fr, err := pond.StartFleet(s.ctx, cr.Opts)
-		if err != nil {
+		if err := s.restoreRun(cr); err != nil {
 			return fmt.Errorf("restore run %s: %w", cr.ID, err)
 		}
-		r := newRun(cr.ID, fr, nil)
-		s.runs[cr.ID] = r
-		slice := s.cfg.SliceSec
-		if slice <= 0 {
-			slice = fr.Progress().DurationSec / 64
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			r.drive(s.ctx, slice)
-		}()
-		s.log.Info("run restored", "id", cr.ID)
 	}
+	return nil
+}
+
+// restoreRun rebuilds one checkpointed run.
+func (s *Server) restoreRun(cr checkpointRun) error {
+	if cr.State == StateDone || cr.State == StateFailed {
+		r := &Run{
+			ID:     cr.ID,
+			state:  cr.State,
+			config: cr.Opts,
+			events: cr.Events,
+			report: cr.Report,
+		}
+		if cr.Progress != nil {
+			r.progress = *cr.Progress
+		}
+		if cr.Error != "" {
+			r.err = errors.New(cr.Error)
+		}
+		r.cond = sync.NewCond(&r.mu)
+		s.runs[cr.ID] = r
+		s.log.Info("run restored", "id", cr.ID, "state", cr.State)
+		return nil
+	}
+	var fr *pond.FleetRun
+	var err error
+	if cr.Snapshot != nil {
+		fr, err = pond.RestoreFleet(s.ctx, cr.Snapshot)
+	} else {
+		// v1 config-only checkpoint: the snapshot is missing, so the only
+		// way back to the parked point is to re-run the configuration
+		// from t=0 — correct under the determinism contract, but paying
+		// the full re-simulation the v2 format exists to avoid.
+		s.log.Warn("v1 checkpoint has no snapshot; re-running from t=0", "id", cr.ID)
+		fr, err = pond.StartFleet(s.ctx, cr.Opts)
+	}
+	if err != nil {
+		return err
+	}
+	fr.SetCompactDrained(true)
+	r := newRun(cr.ID, fr, append([]float64(nil), cr.HoldsAt...))
+	r.events = cr.Events
+	if cr.State == StateHolding {
+		r.state = StateHolding
+	}
+	s.runs[cr.ID] = r
+	s.launch(r, fr.Progress().DurationSec)
+	s.log.Info("run restored", "id", cr.ID, "state", r.state, "t", fr.Now())
 	return nil
 }

@@ -1,0 +1,50 @@
+package stats
+
+import "fmt"
+
+// RandState is the serializable state of a Rand: the seed plus, for a
+// stream that has already been drawn from, the lagged-Fibonacci register
+// verbatim. The register is plain data — restoring it reproduces the
+// stream draw-for-draw from exactly where the snapshot was taken. An
+// unseeded Rand serializes as just its seed (Vec empty), keeping
+// snapshots of runs with unused forks small and preserving the lazy
+// seeding on restore.
+type RandState struct {
+	Seeded bool    `json:"seeded"`
+	Seed   int64   `json:"seed"`
+	Tap    int     `json:"tap,omitempty"`
+	Feed   int     `json:"feed,omitempty"`
+	Vec    []int64 `json:"vec,omitempty"`
+}
+
+// State captures the Rand's current state for serialization.
+func (r *Rand) State() RandState {
+	s := RandState{Seeded: r.seeded, Seed: r.seed}
+	if r.seeded {
+		s.Tap = r.lf.tap
+		s.Feed = r.lf.feed
+		s.Vec = append([]int64(nil), r.lf.vec[:]...)
+	}
+	return s
+}
+
+// SetState restores a state captured by State, replacing the Rand's
+// stream position.
+func (r *Rand) SetState(s RandState) error {
+	if !s.Seeded {
+		*r = Rand{seed: s.Seed}
+		return nil
+	}
+	if len(s.Vec) != rngLen {
+		return fmt.Errorf("stats: RandState has %d register words, want %d", len(s.Vec), rngLen)
+	}
+	if s.Tap < 0 || s.Tap >= rngLen || s.Feed < 0 || s.Feed >= rngLen {
+		return fmt.Errorf("stats: RandState tap/feed %d/%d out of range [0,%d)", s.Tap, s.Feed, rngLen)
+	}
+	r.seeded = true
+	r.seed = s.Seed
+	r.lf.tap = s.Tap
+	r.lf.feed = s.Feed
+	copy(r.lf.vec[:], s.Vec)
+	return nil
+}

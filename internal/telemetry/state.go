@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"sort"
+
+	"pond/internal/cluster"
+	"pond/internal/pmu"
+)
+
+// VMSamplesState is one running VM's retained counter samples.
+type VMSamplesState struct {
+	ID      cluster.VMID `json:"id"`
+	Samples []pmu.Vector `json:"samples"`
+}
+
+// OutcomeState is one completed VM's untouched-memory outcome.
+type OutcomeState struct {
+	EndSec    float64 `json:"end_sec"`
+	Untouched float64 `json:"untouched"`
+}
+
+// CustomerState is one customer's outcome history, in recorded order
+// (which is what the sorted/unsorted window logic depends on).
+type CustomerState struct {
+	ID       cluster.CustomerID `json:"id"`
+	Outcomes []OutcomeState     `json:"outcomes"`
+	Unsorted bool               `json:"unsorted,omitempty"`
+}
+
+// State is the serializable state of the telemetry Store: per-VM counter
+// samples, per-customer outcome histories with their unsorted flags, and
+// the QoS-sensitivity set. Slices are keyed deterministically (sorted by
+// ID) so the encoding is stable; the memo caches and buffer freelists
+// are rebuilt empty on restore.
+type State struct {
+	VMs       []VMSamplesState     `json:"vms,omitempty"`
+	Customers []CustomerState      `json:"customers,omitempty"`
+	Sensitive []cluster.CustomerID `json:"sensitive,omitempty"`
+}
+
+// State captures the store's current contents for serialization.
+func (s *Store) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st State
+
+	vmIDs := make([]cluster.VMID, 0, len(s.samples))
+	for id := range s.samples {
+		vmIDs = append(vmIDs, id)
+	}
+	sort.Slice(vmIDs, func(i, j int) bool { return vmIDs[i] < vmIDs[j] })
+	for _, id := range vmIDs {
+		st.VMs = append(st.VMs, VMSamplesState{
+			ID:      id,
+			Samples: append([]pmu.Vector(nil), s.samples[id]...),
+		})
+	}
+
+	custIDs := make([]cluster.CustomerID, 0, len(s.history))
+	for c := range s.history {
+		custIDs = append(custIDs, c)
+	}
+	sort.Slice(custIDs, func(i, j int) bool { return custIDs[i] < custIDs[j] })
+	for _, c := range custIDs {
+		cs := CustomerState{ID: c, Unsorted: s.histUnsorted[c]}
+		for _, rec := range s.history[c] {
+			cs.Outcomes = append(cs.Outcomes, OutcomeState{EndSec: rec.endSec, Untouched: rec.untouched})
+		}
+		st.Customers = append(st.Customers, cs)
+	}
+
+	for c := range s.sensitive {
+		st.Sensitive = append(st.Sensitive, c)
+	}
+	sort.Slice(st.Sensitive, func(i, j int) bool { return st.Sensitive[i] < st.Sensitive[j] })
+	return st
+}
+
+// SetState restores a state captured by State, replacing the store's
+// contents.
+func (s *Store) SetState(st State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples = make(map[cluster.VMID][]pmu.Vector, len(st.VMs))
+	for _, vs := range st.VMs {
+		s.samples[vs.ID] = append([]pmu.Vector(nil), vs.Samples...)
+	}
+	s.history = make(map[cluster.CustomerID][]untouchedRecord, len(st.Customers))
+	s.histUnsorted = make(map[cluster.CustomerID]bool)
+	for _, cs := range st.Customers {
+		recs := make([]untouchedRecord, 0, len(cs.Outcomes))
+		for _, o := range cs.Outcomes {
+			recs = append(recs, untouchedRecord{endSec: o.EndSec, untouched: o.Untouched})
+		}
+		s.history[cs.ID] = recs
+		if cs.Unsorted {
+			s.histUnsorted[cs.ID] = true
+		}
+	}
+	s.sensitive = make(map[cluster.CustomerID]bool, len(st.Sensitive))
+	for _, c := range st.Sensitive {
+		s.sensitive[c] = true
+	}
+	s.sampleFree = s.sampleFree[:0]
+	s.histCache = make(map[cluster.CustomerID]histWindow)
+	s.histScratch = nil
+	return nil
+}

@@ -1,64 +1,95 @@
 #!/usr/bin/env bash
 # Docker smoke test: build the pondserve image, boot it, poll /healthz,
 # POST a tiny run, stream its event log, and assert the streamed log's
-# SHA-256 matches both the daemon's served report hash and the same
-# configuration executed through the pondfleet CLI — the determinism
-# bridge, verified across the container boundary.
+# manifest SHA-256 matches both the daemon's served report hash and the
+# same configuration executed through the pondfleet CLI — the
+# determinism bridge, verified across the container boundary.
+#
+# A second leg exercises the v2 checkpoint: a run held mid-flight is
+# SIGTERMed with the container, the container restarts, and the run must
+# come back holding at the same simulated second (restored from its
+# snapshot, not re-simulated), resume, and finish with the identical
+# hash.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 IMAGE=pondserve-smoke
 NAME=pondserve-smoke-$$
 PORT="${SMOKE_PORT:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+CELLS=2
 
 cleanup() {
     docker rm -f "$NAME" >/dev/null 2>&1 || true
 }
 trap cleanup EXIT
 
+# stream_sha reassembles the report hash from drained NDJSON events the
+# way pond.EventLogSHA256 does: partition lines into per-cell streams
+# (cell -1 is the fleet pipeline), hash each stream, then hash the
+# manifest of stream hashes. This is the scheme FleetReport.LogSHA256
+# uses, so it can verify a log whose drained prefixes the daemon has
+# already compacted away.
+stream_sha() {
+    local events=$1 manifest="" c h
+    for c in $(seq 0 $((CELLS - 1))); do
+        h=$(printf '%s' "$events" \
+            | jq -rs --argjson c "$c" 'map(select(.cell == $c)) | .[].line' \
+            | sha256sum | cut -d' ' -f1)
+        manifest+="$h"$'\n'
+    done
+    h=$(printf '%s' "$events" \
+        | jq -rs 'map(select(.cell < 0)) | .[].line' \
+        | sha256sum | cut -d' ' -f1)
+    manifest+="$h"$'\n'
+    printf '%s' "$manifest" | sha256sum | cut -d' ' -f1
+}
+
+wait_healthy() {
+    for i in $(seq 1 50); do
+        if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        [ "$i" = 50 ] && { echo "daemon never became healthy"; docker logs "$NAME"; exit 1; }
+        sleep 0.2
+    done
+}
+
+wait_state() {
+    local id=$1 want=$2 state
+    for i in $(seq 1 100); do
+        state=$(curl -fsS "$BASE/runs/$id" | jq -r .state)
+        [ "$state" = "$want" ] && return 0
+        [ "$state" = failed ] && { echo "run $id failed"; exit 1; }
+        [ "$i" = 100 ] && { echo "run $id never reached $want (state=$state)"; exit 1; }
+        sleep 0.2
+    done
+}
+
 echo "==> building image"
 docker build -t "$IMAGE" .
 
 echo "==> starting container"
 docker run -d --name "$NAME" -p "127.0.0.1:${PORT}:8080" "$IMAGE" >/dev/null
-
-echo "==> waiting for /healthz"
-for i in $(seq 1 50); do
-    if curl -fsS "http://127.0.0.1:${PORT}/healthz" >/dev/null 2>&1; then
-        break
-    fi
-    [ "$i" = 50 ] && { echo "daemon never became healthy"; docker logs "$NAME"; exit 1; }
-    sleep 0.2
-done
+wait_healthy
 
 echo "==> starting a tiny run"
-BODY='{"opts": {
+OPTS='{
   "cluster": {"hosts": 4, "emcs": 4, "pool_gb": 64, "cells": 2, "duration_sec": 300},
   "arrival": {"process": "poisson", "rate_per_sec": 0.1, "mean_lifetime_sec": 150},
   "model": {"disabled": true},
   "injections": ["emc-fail@t=150:emc=1"]
-}}'
-RUN_ID=$(curl -fsS -X POST "http://127.0.0.1:${PORT}/runs" -d "$BODY" | jq -r .id)
+}'
+RUN_ID=$(curl -fsS -X POST "$BASE/runs" -d "{\"opts\": $OPTS}" | jq -r .id)
 [ -n "$RUN_ID" ] && [ "$RUN_ID" != null ] || { echo "no run id returned"; exit 1; }
 
 echo "==> waiting for run $RUN_ID"
-for i in $(seq 1 100); do
-    STATE=$(curl -fsS "http://127.0.0.1:${PORT}/runs/${RUN_ID}" | jq -r .state)
-    [ "$STATE" = done ] && break
-    [ "$STATE" = failed ] && { echo "run failed"; exit 1; }
-    [ "$i" = 100 ] && { echo "run never completed (state=$STATE)"; exit 1; }
-    sleep 0.2
-done
+wait_state "$RUN_ID" done
 
-SERVED_SHA=$(curl -fsS "http://127.0.0.1:${PORT}/runs/${RUN_ID}" | jq -r .report.log_sha256)
+SERVED_SHA=$(curl -fsS "$BASE/runs/${RUN_ID}" | jq -r .report.log_sha256)
 
 echo "==> reassembling the streamed event log"
-# The deterministic EventLog is the cell streams concatenated in cell
-# order with the fleet stream (cell -1) last; within a stream the lines
-# keep their sequence order, which a stable sort preserves.
-STREAM_SHA=$(curl -fsS "http://127.0.0.1:${PORT}/runs/${RUN_ID}/events" \
-    | jq -rs 'map(.cell = (if .cell < 0 then 1e12 else .cell end)) | sort_by(.cell) | .[].line' \
-    | sha256sum | cut -d' ' -f1)
+STREAM_SHA=$(stream_sha "$(curl -fsS "$BASE/runs/${RUN_ID}/events")")
 
 echo "==> running the same configuration through pondfleet"
 CLI_SHA=$(go run ./cmd/pondfleet -hosts 4 -emcs 4 -pool 64 -cells 2 -duration 300 \
@@ -70,4 +101,35 @@ echo "    served:   $SERVED_SHA"
 echo "    cli:      $CLI_SHA"
 [ "$STREAM_SHA" = "$SERVED_SHA" ] || { echo "streamed log does not match the served report hash"; exit 1; }
 [ "$STREAM_SHA" = "$CLI_SHA" ] || { echo "served run does not match the pondfleet CLI run"; exit 1; }
+
+echo "==> kill-restart leg: hold a run mid-flight, SIGTERM the container"
+HOLD_ID=$(curl -fsS -X POST "$BASE/runs" -d "{\"opts\": $OPTS, \"hold_at_sec\": [100]}" | jq -r .id)
+[ -n "$HOLD_ID" ] && [ "$HOLD_ID" != null ] || { echo "no run id returned"; exit 1; }
+wait_state "$HOLD_ID" holding
+
+docker stop -t 30 "$NAME" >/dev/null
+
+echo "==> restarting container; run must restore from its snapshot"
+RESTORE_START=$SECONDS
+docker start "$NAME" >/dev/null
+wait_healthy
+wait_state "$HOLD_ID" holding
+RESTORE_SECS=$((SECONDS - RESTORE_START))
+
+NOW=$(curl -fsS "$BASE/runs/${HOLD_ID}" | jq -r .progress.now_sec)
+[ "$NOW" = 100 ] || { echo "restored run is at t=${NOW}s, expected the 100s hold point"; exit 1; }
+# The snapshot restore is O(state): a generous bound still catches a
+# regression to re-running the elapsed horizon.
+[ "$RESTORE_SECS" -le 20 ] || { echo "restore took ${RESTORE_SECS}s; snapshot restore should be near-instant"; exit 1; }
+
+echo "==> resuming restored run"
+curl -fsS -X POST "$BASE/runs/${HOLD_ID}/resume" >/dev/null
+wait_state "$HOLD_ID" done
+
+RESTORED_SHA=$(curl -fsS "$BASE/runs/${HOLD_ID}" | jq -r .report.log_sha256)
+RESTORED_STREAM_SHA=$(stream_sha "$(curl -fsS "$BASE/runs/${HOLD_ID}/events")")
+echo "    restored served:   $RESTORED_SHA (restore ${RESTORE_SECS}s)"
+echo "    restored streamed: $RESTORED_STREAM_SHA"
+[ "$RESTORED_SHA" = "$CLI_SHA" ] || { echo "restored run does not match the uninterrupted CLI run"; exit 1; }
+[ "$RESTORED_STREAM_SHA" = "$CLI_SHA" ] || { echo "restored stream (across the restart) does not reassemble to the CLI hash"; exit 1; }
 echo "==> docker smoke passed"
