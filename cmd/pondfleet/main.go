@@ -56,6 +56,7 @@ type flags struct {
 	arrival    string
 	inject     string
 	modelsOut  string
+	metricsOut string
 	printLog   bool
 	checkpoint string
 	resume     bool
@@ -137,6 +138,13 @@ func validate(f flags) ([]string, error) {
 	if m.HoldoutWindow < 0 || m.MinTrainRows < 0 {
 		return nil, fmt.Errorf("-holdout and -min-rows must be >= 0")
 	}
+	every := f.opts.Engine.MetricsEverySec
+	if every < 0 || math.IsNaN(every) || math.IsInf(every, 0) {
+		return nil, fmt.Errorf("-metrics-every must be a finite number >= 0, got %g", every)
+	}
+	if f.metricsOut != "" && every <= 0 {
+		return nil, fmt.Errorf("-metrics requires -metrics-every > 0 to sample anything")
+	}
 	names, err := fleet.ParseTopologies(f.topologies)
 	if err != nil {
 		return nil, err
@@ -146,6 +154,9 @@ func validate(f flags) ([]string, error) {
 	}
 	if f.checkpoint != "" && len(names) > 1 {
 		return nil, fmt.Errorf("-checkpoint runs a single topology, got %d", len(names))
+	}
+	if f.metricsOut != "" && len(names) > 1 {
+		return nil, fmt.Errorf("-metrics streams a single topology, got %d", len(names))
 	}
 	return names, nil
 }
@@ -157,6 +168,7 @@ func main() {
 	flag.StringVar(&f.arrival, "arrival", d.Arrivals.Spec(), `arrival model: "poisson[:rate=R][:life=L]" or "trace"`)
 	flag.StringVar(&f.inject, "inject", "", `scenario injections, e.g. "emc-fail@t=500,host-drain@t=800:host=2,surge@t=300:dur=200:x=3,drift@t=2000:cells=2-3:mag=0.6"`)
 	flag.StringVar(&f.modelsOut, "models", "", "write the versioned model dump (JSON) to this file")
+	flag.StringVar(&f.metricsOut, "metrics", "", "stream the sim-time metrics series to this NDJSON file as the run advances (requires -metrics-every; single topology)")
 	flag.BoolVar(&f.printLog, "log", false, "print the full event log")
 	flag.StringVar(&f.checkpoint, "checkpoint", "", "snapshot file: SIGTERM/SIGINT pauses the run at a safe point and writes its full state here (single topology only)")
 	flag.BoolVar(&f.resume, "resume", false, "resume from the -checkpoint snapshot instead of starting at t=0; the run configuration comes from the snapshot")
@@ -181,11 +193,13 @@ func main() {
 		var rep *pond.FleetReport
 		var err error
 		if f.checkpoint != "" {
-			rep, err = runCheckpointable(context.Background(), o, f.checkpoint, f.resume)
+			rep, err = runCheckpointable(context.Background(), o, f.checkpoint, f.resume, f.metricsOut)
 			if err == nil && rep == nil {
 				// A signal paused the run and its snapshot is on disk.
 				return
 			}
+		} else if f.metricsOut != "" {
+			rep, err = runStreamingMetrics(context.Background(), o, f.metricsOut)
 		} else {
 			rep, err = pond.RunFleet(context.Background(), o)
 		}
@@ -231,12 +245,97 @@ func main() {
 	}
 }
 
+// metricsWriter streams drained sim-time series rows to an NDJSON
+// file, one pond.MetricsRow object per line. Rows are observations
+// only, so streaming them never changes the run's event log or report.
+type metricsWriter struct {
+	f   *os.File
+	enc *json.Encoder
+}
+
+// openMetricsWriter opens the -metrics output. A resumed run appends —
+// its earlier rows are already on disk and the snapshot carries only
+// the not-yet-drained tail — while a fresh run truncates.
+func openMetricsWriter(path string, resume bool) (*metricsWriter, error) {
+	mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	if resume {
+		mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	}
+	f, err := os.OpenFile(path, mode, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &metricsWriter{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+func (w *metricsWriter) writeRows(rows []pond.MetricsRow) error {
+	if w == nil {
+		return nil
+	}
+	for _, row := range rows {
+		if err := w.enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *metricsWriter) Close() error {
+	if w == nil {
+		return nil
+	}
+	return w.f.Close()
+}
+
+// runStreamingMetrics drives one run incrementally, draining the
+// sampled series to the -metrics file after every slice so the NDJSON
+// output follows the simulation rather than appearing at the end.
+func runStreamingMetrics(ctx context.Context, o pond.FleetOpts, metricsPath string) (*pond.FleetReport, error) {
+	fr, err := pond.StartFleet(ctx, o)
+	if err != nil {
+		return nil, err
+	}
+	mw, err := openMetricsWriter(metricsPath, false)
+	if err != nil {
+		return nil, err
+	}
+	horizon := fr.Progress().DurationSec
+	slice := horizon / 64
+	for !fr.Done() {
+		if err := fr.Advance(ctx, fr.Now()+slice); err != nil {
+			mw.Close()
+			return nil, err
+		}
+		if err := mw.writeRows(fr.DrainMetrics()); err != nil {
+			mw.Close()
+			return nil, err
+		}
+	}
+	rep, err := fr.Finish(ctx)
+	if err != nil {
+		mw.Close()
+		return nil, err
+	}
+	if err := mw.writeRows(fr.DrainMetrics()); err != nil {
+		mw.Close()
+		return nil, err
+	}
+	if err := mw.Close(); err != nil {
+		return nil, err
+	}
+	fmt.Printf("streamed metrics to %s\n", metricsPath)
+	return rep, nil
+}
+
 // runCheckpointable drives one run incrementally so SIGTERM/SIGINT can
 // pause it at a safe point and persist its full state. It returns
 // (nil, nil) when a signal stopped the run and the snapshot was
 // written; resuming later continues from that point, and the final
 // event log and report hash are byte-identical to an uninterrupted run.
-func runCheckpointable(ctx context.Context, o pond.FleetOpts, path string, resume bool) (*pond.FleetReport, error) {
+// With metricsPath set the sampled series streams to NDJSON alongside;
+// rows not yet drained when a signal lands ride inside the snapshot and
+// are appended after -resume.
+func runCheckpointable(ctx context.Context, o pond.FleetOpts, path string, resume bool, metricsPath string) (*pond.FleetReport, error) {
 	var fr *pond.FleetRun
 	if resume {
 		data, err := os.ReadFile(path)
@@ -258,6 +357,16 @@ func runCheckpointable(ctx context.Context, o pond.FleetOpts, path string, resum
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	var mw *metricsWriter
+	if metricsPath != "" {
+		var err error
+		mw, err = openMetricsWriter(metricsPath, resume)
+		if err != nil {
+			return nil, err
+		}
+		defer mw.Close()
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -292,8 +401,18 @@ func runCheckpointable(ctx context.Context, o pond.FleetOpts, path string, resum
 		if err := fr.Advance(ctx, fr.Now()+slice); err != nil {
 			return nil, err
 		}
+		if err := mw.writeRows(fr.DrainMetrics()); err != nil {
+			return nil, err
+		}
 	}
-	return fr.Finish(ctx)
+	rep, err := fr.Finish(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := mw.writeRows(fr.DrainMetrics()); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 func printComparison(reports []*pond.FleetReport) {

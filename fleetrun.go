@@ -104,6 +104,21 @@ type FleetProgress struct {
 	Departed int `json:"departed"`
 	// Injections counts scheduled plus live-added injections.
 	Injections int `json:"injections"`
+
+	// LiveVMs counts placed, not-yet-departed VMs across cells; PoolGB is
+	// the summed active pool capacity and PoolUsedGB the summed pool draw
+	// at the last accounting point.
+	LiveVMs    int     `json:"live_vms"`
+	PoolGB     int     `json:"pool_gb"`
+	PoolUsedGB float64 `json:"pool_used_gb"`
+	// Fallbacks counts pool-exhaustion DRAM fallbacks; QoSViolations
+	// counts latency-band violations observed so far.
+	Fallbacks     int `json:"fallbacks"`
+	QoSViolations int `json:"qos_violations"`
+	// Retrains and Rollbacks count model-lifecycle actions (cell scope
+	// sums cells; fleet scope reports the central pipeline's counters).
+	Retrains  int `json:"retrains"`
+	Rollbacks int `json:"rollbacks"`
 }
 
 // Progress snapshots the run's aggregate lifecycle counters.
@@ -118,6 +133,14 @@ func (fr *FleetRun) Progress() FleetProgress {
 		Rejected:    p.Rejected,
 		Departed:    p.Departed,
 		Injections:  p.Injections,
+
+		LiveVMs:       p.LiveVMs,
+		PoolGB:        p.PoolGB,
+		PoolUsedGB:    p.PoolUsedGB,
+		Fallbacks:     p.Fallbacks,
+		QoSViolations: p.QoSViolations,
+		Retrains:      p.Retrains,
+		Rollbacks:     p.Rollbacks,
 	}
 }
 
@@ -141,4 +164,27 @@ func (fr *FleetRun) DrainEvents() []FleetLogEvent {
 		out[i] = FleetLogEvent{Cell: e.Cell, Line: e.Line}
 	}
 	return out
+}
+
+// MetricsRow is one sampled point of a cell's sim-time metrics series;
+// see EngineOpts.MetricsEverySec. Rows are pure observations — draining
+// or discarding them never changes the run's results.
+type MetricsRow = fleet.MetricsRow
+
+// DrainMetrics returns the sim-time metrics rows sampled since the
+// previous drain: cells in cell order, each cell's rows in time order.
+// Must be called at a safe point (between Advance calls). Returns nil
+// when EngineOpts.MetricsEverySec is unset.
+func (fr *FleetRun) DrainMetrics() []MetricsRow {
+	return fr.r.DrainMetrics()
+}
+
+// SetPhaseHook installs fn to be called at the end of each engine phase
+// — "advance" (one parallel epoch), "retrain" and "plan" (barrier
+// work), "finish" (the serial close-out) — with the simulated time the
+// phase completed at and its wall-clock duration in seconds. The hook
+// runs on the driving goroutine at safe points and observes only
+// wall-clock timing, never simulation state; nil uninstalls it.
+func (fr *FleetRun) SetPhaseHook(fn func(phase string, atSec, seconds float64)) {
+	fr.r.SetPhaseHook(fn)
 }

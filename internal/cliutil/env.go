@@ -1,0 +1,76 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ApplyEnv layers environment variables under an already-parsed
+// FlagSet: every flag the command line did not set explicitly is looked
+// up as PREFIX_FLAGNAME (the flag name upper-cased, dashes to
+// underscores) and, when the variable is present and non-empty, set
+// from its value. Flags given on the command line always win. The
+// aliases map adds extra variable suffixes for flags whose env name
+// should differ from the flag name (e.g. CHECKPOINT -> -state); an
+// alias is only consulted when the primary variable is absent.
+//
+// Call after fs.Parse — flag.Visit only reports explicitly-set flags
+// once parsing has happened. A malformed value reports the variable
+// name so the error points at the environment, not at a flag.
+func ApplyEnv(fs *flag.FlagSet, prefix string, aliases map[string]string) error {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	fromEnv := func(name, suffix string) error {
+		key := prefix + "_" + suffix
+		v, ok := os.LookupEnv(key)
+		if !ok || v == "" {
+			return nil
+		}
+		if err := fs.Set(name, v); err != nil {
+			return fmt.Errorf("%s=%q: %w", key, v, err)
+		}
+		set[name] = true
+		return nil
+	}
+
+	var err error
+	fs.VisitAll(func(f *flag.Flag) {
+		if err != nil || set[f.Name] {
+			return
+		}
+		suffix := strings.ToUpper(strings.ReplaceAll(f.Name, "-", "_"))
+		err = fromEnv(f.Name, suffix)
+	})
+	if err != nil {
+		return err
+	}
+	for _, a := range sortedAliases(aliases) {
+		if set[a.flag] {
+			continue
+		}
+		if err := fromEnv(a.flag, a.suffix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type envAlias struct{ suffix, flag string }
+
+// sortedAliases fixes the alias application order so two aliases for
+// the same flag resolve deterministically.
+func sortedAliases(aliases map[string]string) []envAlias {
+	out := make([]envAlias, 0, len(aliases))
+	for suffix, name := range aliases {
+		out = append(out, envAlias{suffix: suffix, flag: name})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].suffix < out[j-1].suffix; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

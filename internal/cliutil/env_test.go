@@ -1,0 +1,97 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func newTestSet() (*flag.FlagSet, *string, *int, *float64) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	addr := fs.String("addr", ":8080", "")
+	retain := fs.Int("retain-done", 0, "")
+	every := fs.Float64("metrics-every", 0, "")
+	return fs, addr, retain, every
+}
+
+func TestApplyEnvFillsUnsetFlags(t *testing.T) {
+	t.Setenv("PONDTEST_ADDR", ":9999")
+	t.Setenv("PONDTEST_RETAIN_DONE", "7")
+	t.Setenv("PONDTEST_METRICS_EVERY", "2.5")
+	fs, addr, retain, every := newTestSet()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyEnv(fs, "PONDTEST", nil); err != nil {
+		t.Fatal(err)
+	}
+	if *addr != ":9999" || *retain != 7 || *every != 2.5 {
+		t.Fatalf("env not applied: addr=%q retain=%d every=%g", *addr, *retain, *every)
+	}
+}
+
+func TestApplyEnvFlagsWin(t *testing.T) {
+	t.Setenv("PONDTEST_ADDR", ":9999")
+	t.Setenv("PONDTEST_RETAIN_DONE", "7")
+	fs, addr, retain, _ := newTestSet()
+	if err := fs.Parse([]string{"-addr", ":1234"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyEnv(fs, "PONDTEST", nil); err != nil {
+		t.Fatal(err)
+	}
+	if *addr != ":1234" {
+		t.Fatalf("explicit flag overridden by env: addr=%q", *addr)
+	}
+	if *retain != 7 {
+		t.Fatalf("unset flag should still come from env: retain=%d", *retain)
+	}
+}
+
+func TestApplyEnvAlias(t *testing.T) {
+	t.Setenv("PONDTEST_CHECKPOINT", "/tmp/cp.json")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	state := fs.String("state", "", "")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyEnv(fs, "PONDTEST", map[string]string{"CHECKPOINT": "state"}); err != nil {
+		t.Fatal(err)
+	}
+	if *state != "/tmp/cp.json" {
+		t.Fatalf("alias not applied: state=%q", *state)
+	}
+}
+
+func TestApplyEnvAliasLosesToPrimaryAndFlag(t *testing.T) {
+	t.Setenv("PONDTEST_STATE", "/primary.json")
+	t.Setenv("PONDTEST_CHECKPOINT", "/alias.json")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	state := fs.String("state", "", "")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyEnv(fs, "PONDTEST", map[string]string{"CHECKPOINT": "state"}); err != nil {
+		t.Fatal(err)
+	}
+	if *state != "/primary.json" {
+		t.Fatalf("primary env var should beat alias: state=%q", *state)
+	}
+}
+
+func TestApplyEnvBadValue(t *testing.T) {
+	t.Setenv("PONDTEST_RETAIN_DONE", "not-a-number")
+	fs, _, _, _ := newTestSet()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	err := ApplyEnv(fs, "PONDTEST", nil)
+	if err == nil {
+		t.Fatal("expected error for malformed env value")
+	}
+	if !strings.Contains(err.Error(), "PONDTEST_RETAIN_DONE") {
+		t.Fatalf("error should name the variable: %v", err)
+	}
+}

@@ -52,4 +52,5 @@ func RegisterCapacityFlags(fs *flag.FlagSet, c *pond.CapacityOpts) {
 func RegisterEngineFlags(fs *flag.FlagSet, e *pond.EngineOpts) {
 	fs.IntVar(&e.Workers, "workers", e.Workers, "engine worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	fs.Int64Var(&e.Seed, "seed", e.Seed, "root seed for every cell stream")
+	fs.Float64Var(&e.MetricsEverySec, "metrics-every", e.MetricsEverySec, "sim-time metrics sampling cadence in simulated seconds (0 = off); never changes results")
 }

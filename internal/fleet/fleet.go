@@ -148,6 +148,14 @@ type Options struct {
 	PDM float64
 	TP  float64
 
+	// MetricsEverySec > 0 samples each cell's sim-time metrics series
+	// (live VMs, pool used/free, queue depth, pred-err EWMA) at this
+	// simulated cadence into a preallocated per-cell ring, drained via
+	// Runner.DrainMetrics and surfaced in CellResult.Series. Sampling
+	// reads sim state only: the event log and report hashes are
+	// byte-identical with metrics on or off. 0 disables sampling.
+	MetricsEverySec float64
+
 	// Workers bounds the engine pool; <= 0 means GOMAXPROCS. Results
 	// are byte-identical for every value.
 	Workers int
@@ -271,6 +279,9 @@ func normalize(o Options) (Options, error) {
 		}
 	default:
 		return o, fmt.Errorf("fleet: unknown model scope %q (want %s or %s)", o.ModelScope, ScopeCell, ScopeFleet)
+	}
+	if o.MetricsEverySec < 0 || math.IsNaN(o.MetricsEverySec) || math.IsInf(o.MetricsEverySec, 0) {
+		return o, fmt.Errorf("fleet: metrics cadence %gs must be a finite number >= 0", o.MetricsEverySec)
 	}
 	if !o.ElasticPool && (o.PlanEverySec != 0 || o.TargetQoS != 0) {
 		// Elastic knobs without the elastic pool are a configuration
@@ -412,6 +423,13 @@ type CellResult struct {
 	// ModelDump holds the versioned model snapshots (CaptureModels under
 	// cell scope).
 	ModelDump json.RawMessage
+
+	// Series is the cell's sim-time metrics series (MetricsEverySec > 0)
+	// — the full series for a one-shot run, or only the undrained tail
+	// when the Runner drained rows along the way. MetricsDropped counts
+	// rows lost to ring overflow (0 for serially drained runs).
+	Series         []MetricsRow
+	MetricsDropped int
 
 	// Log is the cell's event log — the full stream, or only its
 	// undrained tail when the Runner ran with drained-prefix compaction.
@@ -957,6 +975,21 @@ type cellSim struct {
 	lastPoolUsed float64
 	attemptGB    int
 
+	// Sim-time metrics sampling (see metrics.go; all zero when
+	// MetricsEverySec is 0): metricsEvery is the cadence, sampleK the
+	// index of the next sample (sample k fires at k*cadence), ring the
+	// preallocated row buffer with its start/len cursor, ringDropped the
+	// overflow count, and predErrEWMA/predErrN the departure-fed
+	// prediction-error average the rows carry.
+	metricsEvery float64
+	sampleK      int
+	ring         []MetricsRow
+	ringStart    int
+	ringLen      int
+	ringDropped  int
+	predErrEWMA  float64
+	predErrN     int
+
 	res CellResult
 }
 
@@ -1067,6 +1100,14 @@ func newCellSim(cell int, o Options, insens predict.Insensitivity, threshold flo
 			SliceGB:   emc.SliceGB,
 			MinPoolGB: o.EMCs * emc.SliceGB,
 		})
+	}
+	if o.MetricsEverySec > 0 {
+		// The ring is preallocated here so steady-state sampling writes
+		// into existing rows and never allocates (sample 1 fires at the
+		// cadence, not at t=0 — an all-zero row says nothing).
+		c.metricsEvery = o.MetricsEverySec
+		c.sampleK = 1
+		c.ring = make([]MetricsRow, metricsRingCap(o.DurationSec, o.MetricsEverySec))
 	}
 	return c, nil
 }
@@ -1351,6 +1392,13 @@ func (c *cellSim) runUntil(tEnd float64, final bool) error {
 		if next := c.q[0].at; next > tEnd || (!final && next == tEnd) {
 			break
 		}
+		// Emit metric samples due at or before the next event, before it
+		// mutates anything: a row stamped at an event's exact time shows
+		// the pre-event state. Inclusive here, exclusive at non-final
+		// slice ends (the tail call below), so the series is independent
+		// of how the horizon is sliced — a barrier's effects land before
+		// any row stamped at or after it, mirroring the event rule.
+		c.sampleMetricsUpTo(c.q[0].at, true)
 		ev := c.q.popMin()
 		c.account(ev.at)
 		now := ev.at
@@ -1423,6 +1471,7 @@ func (c *cellSim) runUntil(tEnd float64, final bool) error {
 				if out.Mitigated {
 					c.res.Mitigations++
 				}
+				c.observePredErr(st)
 			}
 			if obsv := c.observer(); obsv != nil {
 				mc, okc := c.store.MeanCounters(ev.vm)
@@ -1537,6 +1586,7 @@ func (c *cellSim) runUntil(tEnd float64, final bool) error {
 			}
 		}
 	}
+	c.sampleMetricsUpTo(tEnd, final)
 	return nil
 }
 
@@ -1583,6 +1633,10 @@ func (c *cellSim) finish() (CellResult, error) {
 	if o.DurationSec > 0 {
 		c.res.DRAMSavedGB = c.savedGBSec / o.DurationSec
 	}
+	if c.ringLen > 0 {
+		c.res.Series = c.drainMetricsInto(c.res.Series)
+	}
+	c.res.MetricsDropped = c.ringDropped
 	c.res.Fallbacks = int(c.sched.Fallbacks())
 	c.res.Demand = c.demandTotal
 	if qs := c.store.UntouchedQuantiles(0.5, 0.9); qs != nil {

@@ -1,0 +1,243 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"pond/internal/stats"
+)
+
+// metricsTestOptions is a small fleet with the full control plane on —
+// predictions, retraining, injections — so the determinism bridge is
+// tested against the busiest code paths, not a quiet baseline.
+func metricsTestOptions(t *testing.T) Options {
+	t.Helper()
+	o := testOptions()
+	o.Predictions = true
+	o.RetrainEverySec = 100
+	inj, err := ParseInjections("surge@t=50:dur=100:x=3,emc-fail@t=200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Injections = inj
+	return o
+}
+
+// TestMetricsOnOffLogIdentity is the tentpole's hard requirement: the
+// event log and its hash are byte-identical with sampling on or off, at
+// multiple worker counts, under retraining and injections.
+func TestMetricsOnOffLogIdentity(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		off := metricsTestOptions(t)
+		off.Workers = workers
+		repOff, err := Run(context.Background(), off)
+		if err != nil {
+			t.Fatalf("workers=%d off: %v", workers, err)
+		}
+
+		on := metricsTestOptions(t)
+		on.Workers = workers
+		on.MetricsEverySec = 7 // deliberately not a divisor of the horizon
+		repOn, err := Run(context.Background(), on)
+		if err != nil {
+			t.Fatalf("workers=%d on: %v", workers, err)
+		}
+
+		if repOn.EventLog != repOff.EventLog {
+			t.Fatalf("workers=%d: event log differs with metrics on", workers)
+		}
+		if repOn.LogSHA256 != repOff.LogSHA256 {
+			t.Fatalf("workers=%d: log hash differs with metrics on", workers)
+		}
+
+		rows := 0
+		sawPredErr := false
+		for _, c := range repOn.Cells {
+			for _, row := range c.Series {
+				rows++
+				if r := row.TSec / 7; r != math.Trunc(r) {
+					t.Fatalf("sample at t=%g is not on the 7s cadence", row.TSec)
+				}
+				if row.TSec <= 0 || row.TSec > on.DurationSec {
+					t.Fatalf("sample at t=%g outside (0, %g]", row.TSec, on.DurationSec)
+				}
+				if row.PredErrEWMA > 0 {
+					sawPredErr = true
+				}
+			}
+			if len(c.Series) == 0 {
+				t.Fatalf("cell %d sampled no rows", c.Cell)
+			}
+		}
+		if rows == 0 {
+			t.Fatal("metrics on produced no series rows")
+		}
+		if !sawPredErr {
+			t.Fatal("no sampled row carries a prediction-error EWMA despite predictions being on")
+		}
+	}
+}
+
+// TestMetricsSeriesSliceIndependent checks the companion invariant: the
+// sampled series itself — not just the log — is identical whether the
+// horizon runs in one shot or in ragged Advance slices.
+func TestMetricsSeriesSliceIndependent(t *testing.T) {
+	o := metricsTestOptions(t)
+	o.MetricsEverySec = 7
+
+	batch, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	r, err := NewRunner(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drained []MetricsRow
+	for _, at := range []float64{13.7, 14, 99.99, 100, 256.5, 399.2} {
+		if err := r.Advance(ctx, at); err != nil {
+			t.Fatalf("advance to %g: %v", at, err)
+		}
+		drained = append(drained, r.DrainMetrics()...)
+	}
+	if _, err := r.Finish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	drained = append(drained, r.DrainMetrics()...)
+
+	byCell := make(map[int][]MetricsRow)
+	for _, row := range drained {
+		byCell[row.Cell] = append(byCell[row.Cell], row)
+	}
+	for _, c := range batch.Cells {
+		got := byCell[c.Cell]
+		if len(got) != len(c.Series) {
+			t.Fatalf("cell %d: sliced run drained %d rows, batch sampled %d", c.Cell, len(got), len(c.Series))
+		}
+		for i := range got {
+			if got[i] != c.Series[i] {
+				t.Fatalf("cell %d row %d differs:\nsliced: %+v\nbatch:  %+v", c.Cell, i, got[i], c.Series[i])
+			}
+		}
+	}
+}
+
+// TestMetricsRingOverflowKeepsLatest exercises the bounded-ring path: a
+// run that outproduces its ring keeps the newest rows and counts the
+// overwritten ones.
+func TestMetricsRingOverflowKeepsLatest(t *testing.T) {
+	saved := maxMetricsRing
+	maxMetricsRing = 4
+	defer func() { maxMetricsRing = saved }()
+
+	o := testOptions()
+	o.Cells = 1
+	o.MetricsEverySec = 10 // 40 samples over the 400s horizon, ring of 4
+	rep, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Cells[0]
+	if len(c.Series) != 4 {
+		t.Fatalf("ring of 4 yielded %d rows", len(c.Series))
+	}
+	if c.MetricsDropped != 36 {
+		t.Fatalf("dropped = %d, want 36", c.MetricsDropped)
+	}
+	for i, want := range []float64{370, 380, 390, 400} {
+		if c.Series[i].TSec != want {
+			t.Fatalf("row %d at t=%g, want the newest rows ending at the horizon (%g)", i, c.Series[i].TSec, want)
+		}
+	}
+}
+
+// TestMetricsSnapshotRoundTrip proves the series survives
+// checkpoint/restore: rows not yet drained ride inside the snapshot,
+// and the restored run continues sampling on the same cadence so the
+// combined series — and the event log — match an uninterrupted run.
+func TestMetricsSnapshotRoundTrip(t *testing.T) {
+	o := metricsTestOptions(t)
+	o.MetricsEverySec = 7
+	ctx := context.Background()
+
+	r, err := NewRunner(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Advance(ctx, 150); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately do NOT drain: the snapshot must carry the ring rows.
+	snap, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := RestoreRunner(ctx, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	finishAndDrain := func(run *Runner) ([]MetricsRow, string) {
+		t.Helper()
+		rows := run.DrainMetrics()
+		rep, err := run.Finish(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, run.DrainMetrics()...)
+		return rows, rep.LogSHA256
+	}
+	origRows, origSHA := finishAndDrain(r)
+	restRows, restSHA := finishAndDrain(restored)
+
+	if origSHA != restSHA {
+		t.Fatalf("restored run log hash %s != original %s", restSHA, origSHA)
+	}
+	if len(origRows) != len(restRows) {
+		t.Fatalf("restored run drained %d rows, original %d", len(restRows), len(origRows))
+	}
+	for i := range origRows {
+		if origRows[i] != restRows[i] {
+			t.Fatalf("row %d differs after restore:\noriginal: %+v\nrestored: %+v", i, origRows[i], restRows[i])
+		}
+	}
+	if len(origRows) == 0 {
+		t.Fatal("round trip exercised no rows")
+	}
+}
+
+// TestWarmedCellSteadyStateAllocsWithMetrics re-runs the zero-alloc
+// steady-state bound with sampling on at a 1s cadence: rows land in the
+// preallocated ring, so the budget is identical to the metrics-off
+// test. A regression that allocates per sample trips this immediately.
+func TestWarmedCellSteadyStateAllocsWithMetrics(t *testing.T) {
+	o := testOptions()
+	o.Cells = 1
+	o.DurationSec = 2000
+	o.Arrival = ArrivalModel{Kind: ArrivalPoisson, RatePerSec: 0.2, MeanLifetimeSec: 200}
+	o.MetricsEverySec = 1
+
+	sim, err := newCellSim(0, o, nil, 0, stats.NewRand(o.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.runUntil(1000, false); err != nil {
+		t.Fatal(err)
+	}
+
+	now := 1000.0
+	avg := testing.AllocsPerRun(100, func() {
+		now += 5
+		if err := sim.runUntil(now, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("avg allocs per 5s slice with sampling: %.2f", avg)
+	if avg > 8 {
+		t.Fatalf("steady-state allocations = %.1f per 5s slice with sampling on, want ~0", avg)
+	}
+}

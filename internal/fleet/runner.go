@@ -8,6 +8,7 @@ import (
 	"hash"
 	"io"
 	"strings"
+	"time"
 
 	"pond/internal/engine"
 	"pond/internal/mlops/fleetpipeline"
@@ -58,7 +59,31 @@ type Runner struct {
 	fleetDigest    hash.Hash
 	fleetCompacted int
 
+	// phase, when set, receives wall-clock spans of the run's phases
+	// (see SetPhaseHook). Wall time is measured only when a hook is
+	// installed, so the default path never calls time.Now.
+	phase PhaseFunc
+
 	rep *Report
+}
+
+// PhaseFunc receives one completed phase span: the phase name
+// ("advance" for a parallel cell epoch, "retrain" and "plan" for the
+// serial barriers, "finish" for the serial close-out), the simulated
+// time the phase completed at, and its wall-clock duration in seconds.
+type PhaseFunc func(phase string, atSec, seconds float64)
+
+// SetPhaseHook installs a wall-clock span listener. The hook observes
+// execution, never simulation: it runs on the Advance caller's
+// goroutine at phase boundaries and cannot alter any simulated
+// outcome. nil removes the hook.
+func (r *Runner) SetPhaseHook(fn PhaseFunc) { r.phase = fn }
+
+// timePhase reports one span to the hook when installed.
+func (r *Runner) timePhase(name string, atSec float64, start time.Time) {
+	if r.phase != nil {
+		r.phase(name, atSec, time.Since(start).Seconds())
+	}
 }
 
 // NewRunner builds a paused fleet run at t=0. The options pass through
@@ -154,9 +179,14 @@ func (r *Runner) Advance(ctx context.Context, t float64) error {
 		if next >= r.o.DurationSec {
 			next, final = r.o.DurationSec, true
 		}
+		var t0 time.Time
+		if r.phase != nil {
+			t0 = time.Now()
+		}
 		if err := r.advanceCells(ctx, next, final); err != nil {
 			return err
 		}
+		r.timePhase("advance", next, t0)
 		r.now = next
 		if final {
 			r.done = true
@@ -190,7 +220,11 @@ func (r *Runner) advanceCells(ctx context.Context, t float64, final bool) error 
 // re-pin, planning barriers let each cell's capacity controller resize
 // its pool.
 func (r *Runner) processBarrier(b barrier) error {
+	var t0 time.Time
 	if b.retrain {
+		if r.phase != nil {
+			t0 = time.Now()
+		}
 		rows := make([][]fleetpipeline.Row, len(r.sims))
 		obs := make([][]fleetpipeline.Obs, len(r.sims))
 		for i, s := range r.sims {
@@ -206,11 +240,16 @@ func (r *Runner) processBarrier(b barrier) error {
 		for i, s := range r.sims {
 			s.applyPin(r.fp.AssignmentFor(i), b.t)
 		}
+		r.timePhase("retrain", b.t, t0)
 	}
 	if b.plan {
+		if r.phase != nil {
+			t0 = time.Now()
+		}
 		for _, s := range r.sims {
 			s.planTick(b.t)
 		}
+		r.timePhase("plan", b.t, t0)
 	}
 	return nil
 }
@@ -253,6 +292,11 @@ func (r *Runner) Finish(ctx context.Context) (*Report, error) {
 	if err := r.Advance(ctx, r.o.DurationSec); err != nil {
 		return nil, err
 	}
+	var t0 time.Time
+	if r.phase != nil {
+		t0 = time.Now()
+	}
+	defer r.timePhase("finish", r.o.DurationSec, t0)
 	results := make([]CellResult, len(r.sims))
 	for i, s := range r.sims {
 		res, err := s.finish()
@@ -296,6 +340,21 @@ type Progress struct {
 	Departed int `json:"departed"`
 	// Injections counts scheduled plus live-added injections.
 	Injections int `json:"injections"`
+
+	// Live occupancy at the safe point: placed-not-departed VMs, active
+	// pool capacity, and the pool draw at the last accounted event.
+	LiveVMs    int     `json:"live_vms"`
+	PoolGB     int     `json:"pool_gb"`
+	PoolUsedGB float64 `json:"pool_used_gb"`
+	// Fallbacks counts pool-exhaustion downgrades so far; QoSViolations
+	// departures whose slowdown exceeded the PDM.
+	Fallbacks     int `json:"fallbacks"`
+	QoSViolations int `json:"qos_violations"`
+	// Retrains and Rollbacks count model-lifecycle events so far: cell
+	// scope sums the per-cell managers, fleet scope reads the release
+	// train (rollbacks are fleet-scope only).
+	Retrains  int `json:"retrains"`
+	Rollbacks int `json:"rollbacks"`
 }
 
 // Progress snapshots the run's aggregate lifecycle counters.
@@ -307,6 +366,18 @@ func (r *Runner) Progress() Progress {
 		p.Placed += s.res.Placed
 		p.Rejected += s.res.Rejected
 		p.Departed += s.res.Departed
+		p.LiveVMs += len(s.running)
+		p.PoolGB += s.poolGB
+		p.PoolUsedGB += s.lastPoolUsed
+		p.QoSViolations += s.res.QoSViolations
+		p.Fallbacks += int(s.sched.Fallbacks())
+		if s.mgr != nil {
+			p.Retrains += s.mgr.Quality().Retrains
+		}
+	}
+	if r.fp != nil {
+		counts := r.fp.Counts()
+		p.Retrains, p.Rollbacks = counts.Retrains, counts.Rollbacks
 	}
 	return p
 }

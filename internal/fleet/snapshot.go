@@ -103,6 +103,17 @@ type CellState struct {
 	Mlops     *mlops.State                  `json:"mlops,omitempty"`
 	Collector *fleetpipeline.CollectorState `json:"collector,omitempty"`
 
+	// Sim-time metrics state (MetricsEverySec > 0; all omitted
+	// otherwise): the next sample index, the undrained ring rows in
+	// sample order, the cumulative overflow count, and the pred-err
+	// EWMA with its observation count. Carrying these keeps the series
+	// of a restored run byte-identical to an uninterrupted one.
+	SampleK        int          `json:"sample_k,omitempty"`
+	MetricsRows    []MetricsRow `json:"metrics_rows,omitempty"`
+	MetricsDropped int          `json:"metrics_dropped,omitempty"`
+	PredErrEWMA    float64      `json:"pred_err_ewma,omitempty"`
+	PredErrN       int          `json:"pred_err_n,omitempty"`
+
 	PlacedGB      float64              `json:"placed_gb"`
 	PlacedPoolGB  float64              `json:"placed_pool_gb"`
 	LastT         float64              `json:"last_t"`
@@ -200,6 +211,11 @@ func (c *cellSim) state(mark int) (CellState, error) {
 		Pool:      c.manager.State(),
 		PinnedVer: c.pinnedVer,
 
+		SampleK:        c.sampleK,
+		MetricsDropped: c.ringDropped,
+		PredErrEWMA:    c.predErrEWMA,
+		PredErrN:       c.predErrN,
+
 		PlacedGB:      c.placedGB,
 		PlacedPoolGB:  c.placedPoolGB,
 		LastT:         c.lastT,
@@ -218,6 +234,12 @@ func (c *cellSim) state(mark int) (CellState, error) {
 	var err error
 	if cs.Log, err = logStream(c.log.String(), mark, c.logDigest, c.compacted); err != nil {
 		return cs, err
+	}
+	if c.ringLen > 0 {
+		cs.MetricsRows = c.ring[:0:0]
+		for i := 0; i < c.ringLen; i++ {
+			cs.MetricsRows = append(cs.MetricsRows, c.ring[(c.ringStart+i)%len(c.ring)])
+		}
 	}
 	cs.Heap = make([]EventState, len(c.q))
 	for i, ev := range c.q {
@@ -416,6 +438,22 @@ func (c *cellSim) restoreState(cs CellState, fp *fleetpipeline.Manager) error {
 	}
 	c.pinnedVer = cs.PinnedVer
 
+	if len(cs.MetricsRows) > 0 && c.metricsEvery <= 0 {
+		return fmt.Errorf("cell %d: snapshot carries metrics rows but options disable sampling", c.cell)
+	}
+	if c.metricsEvery > 0 {
+		if len(cs.MetricsRows) > len(c.ring) {
+			return fmt.Errorf("cell %d: snapshot carries %d metrics rows, ring holds %d", c.cell, len(cs.MetricsRows), len(c.ring))
+		}
+		c.ringStart, c.ringLen = 0, len(cs.MetricsRows)
+		copy(c.ring, cs.MetricsRows)
+		if cs.SampleK > 0 {
+			c.sampleK = cs.SampleK
+		}
+		c.ringDropped = cs.MetricsDropped
+		c.predErrEWMA = cs.PredErrEWMA
+		c.predErrN = cs.PredErrN
+	}
 	c.placedGB = cs.PlacedGB
 	c.placedPoolGB = cs.PlacedPoolGB
 	c.lastT = cs.LastT

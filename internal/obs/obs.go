@@ -1,0 +1,345 @@
+// Package obs is the fleet's observability layer: a small metrics
+// registry (counters, gauges, fixed-bucket histograms) with Prometheus
+// text exposition, built for a determinism-sensitive simulator.
+//
+// Two constraints shape the design. First, instrument sites sit on the
+// simulation hot path, so every increment is a single atomic operation:
+// no locks, no map lookups, no heap allocations, no RNG draws — the
+// allocs-per-op tests pin this. Second, the simulation's determinism
+// contract (event logs byte-identical for any worker count, with
+// observability on or off) means metrics must only ever *read* sim
+// state; nothing in this package feeds back into simulated behaviour.
+// All the cost of rendering — label formatting, float printing — is
+// paid at scrape time, on the HTTP handler's goroutine, never at the
+// instrument site.
+//
+// Registration is startup-time and mutex-guarded; instruments are
+// immutable after creation and safe for concurrent use. Collectors
+// cover the dynamic tail (per-run gauges whose label sets change as
+// runs come and go): a collector is a callback invoked at scrape time
+// under no registry lock beyond its own registration slot.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metric types in the Prometheus exposition format.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Counter is a monotonically increasing counter. Inc and Add are
+// single atomic adds: lock-free and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a programming error and ignored).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down, stored as IEEE
+// bits in a uint64 so Set is a single atomic store.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta via a CAS loop; allocation-free.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Observe walks the
+// (small, immutable) upper-bound slice and lands one atomic add plus a
+// CAS on the float sum: lock-free and allocation-free.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf excluded
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefBuckets are the default histogram bounds (seconds), matching the
+// conventional Prometheus latency spread.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// metric is one registered instrument with its prerendered label set.
+type metric struct {
+	name   string
+	help   string
+	typ    string
+	labels string // prerendered `{k="v",...}` or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds registered instruments and scrape-time collectors.
+// Registration locks; reads of registered instruments never do.
+type Registry struct {
+	mu         sync.Mutex
+	metrics    []*metric
+	seen       map[string]string // name -> type, for cross-registration consistency
+	collectors []func(w *Writer)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{seen: make(map[string]string)}
+}
+
+// register validates and appends one instrument. Metrics sharing a name
+// must share a type (they form one family, distinguished by labels);
+// duplicate (name, labels) pairs are a programming error.
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.seen[m.name]; ok && t != m.typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", m.name, t, m.typ))
+	}
+	for _, prev := range r.metrics {
+		if prev.name == m.name && prev.labels == m.labels {
+			panic(fmt.Sprintf("obs: duplicate metric %q%s", m.name, m.labels))
+		}
+	}
+	r.seen[m.name] = m.typ
+	r.metrics = append(r.metrics, m)
+}
+
+// renderLabels turns key/value pairs into a canonical `{k="v",...}`
+// string, sorted by key so the exposition is stable.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("obs: label pairs must come in key/value couples")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// Counter registers and returns a counter. labels are optional
+// key/value pairs fixed at registration.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, typ: TypeCounter, labels: renderLabels(labels), c: c})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, typ: TypeGauge, labels: renderLabels(labels), g: g})
+	return g
+}
+
+// Histogram registers and returns a histogram over the given ascending
+// upper bounds (nil means DefBuckets). The bounds slice is copied.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...), buckets: make([]atomic.Uint64, len(bounds))}
+	r.register(&metric{name: name, help: help, typ: TypeHistogram, labels: renderLabels(labels), h: h})
+	return h
+}
+
+// RegisterCollector adds a scrape-time callback for dynamic series —
+// gauges whose label sets change at runtime (per-run metrics). The
+// callback runs on the scraping goroutine; allocation there is fine.
+func (r *Registry) RegisterCollector(fn func(w *Writer)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// Writer renders exposition-format lines for collectors.
+type Writer struct {
+	w        io.Writer
+	lastName string
+}
+
+// Family emits the # HELP / # TYPE header for a metric family. Calling
+// it again for the same consecutive name is a no-op, so collectors can
+// emit one family header per run loop iteration without duplicates.
+func (w *Writer) Family(name, typ, help string) {
+	if name == w.lastName {
+		return
+	}
+	w.lastName = name
+	fmt.Fprintf(w.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Value emits one sample line; labels are optional key/value pairs.
+func (w *Writer) Value(name string, v float64, labels ...string) {
+	fmt.Fprintf(w.w, "%s%s %s\n", name, renderLabels(labels), formatFloat(v))
+}
+
+// formatFloat renders a sample value the way Prometheus clients do.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered instrument, then every
+// collector, in the text exposition format (version 0.0.4). Instruments
+// sharing a name render under one family header.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	collectors := append([]func(w *Writer){}, r.collectors...)
+	r.mu.Unlock()
+
+	// Group by family: stable-sort by name, preserving registration
+	// order within a family so label permutations stay put.
+	sort.SliceStable(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+	ww := &Writer{w: w}
+	for _, m := range metrics {
+		ww.Family(m.name, m.typ, m.help)
+		switch m.typ {
+		case TypeCounter:
+			fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.c.Value())
+		case TypeGauge:
+			fmt.Fprintf(w, "%s%s %s\n", m.name, m.labels, formatFloat(m.g.Value()))
+		case TypeHistogram:
+			writeHistogram(w, m)
+		}
+	}
+	for _, fn := range collectors {
+		fn(ww)
+	}
+}
+
+// writeHistogram renders the cumulative buckets, sum, and count.
+func writeHistogram(w io.Writer, m *metric) {
+	h := m.h
+	cum := uint64(0)
+	for i, ub := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, withLE(m.labels, formatFloat(ub)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, withLE(m.labels, "+Inf"), h.Count())
+	fmt.Fprintf(w, "%s_sum%s %s\n", m.name, m.labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, h.Count())
+}
+
+// withLE merges the le bucket label into a prerendered label set.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// RegisterProcessCollector adds the standard process-level series:
+// goroutines, heap bytes, total allocated bytes, GC cycles, and uptime.
+// runtime.ReadMemStats stops the world briefly — acceptable at scrape
+// time, which is why this is a collector and not a polled gauge.
+func RegisterProcessCollector(r *Registry) {
+	start := time.Now()
+	r.RegisterCollector(func(w *Writer) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		w.Family("pond_process_goroutines", TypeGauge, "Current number of goroutines.")
+		w.Value("pond_process_goroutines", float64(runtime.NumGoroutine()))
+		w.Family("pond_process_heap_bytes", TypeGauge, "Bytes of allocated heap objects.")
+		w.Value("pond_process_heap_bytes", float64(ms.HeapAlloc))
+		w.Family("pond_process_alloc_bytes_total", TypeCounter, "Cumulative bytes allocated for heap objects.")
+		w.Value("pond_process_alloc_bytes_total", float64(ms.TotalAlloc))
+		w.Family("pond_process_gc_cycles_total", TypeCounter, "Completed GC cycles.")
+		w.Value("pond_process_gc_cycles_total", float64(ms.NumGC))
+		w.Family("pond_process_uptime_seconds", TypeGauge, "Seconds since the process collector was registered.")
+		w.Value("pond_process_uptime_seconds", time.Since(start).Seconds())
+	})
+}

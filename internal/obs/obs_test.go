@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestIncrementAllocsZero pins the hot-path contract: counter, gauge,
+// and histogram updates allocate nothing. An instrument site inside the
+// simulation's event loop must never pressure the GC — the fleet
+// benchgate's alloc budget (2% tolerance) depends on it.
+func TestIncrementAllocsZero(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "test")
+	g := r.Gauge("t_gauge", "test")
+	h := r.Histogram("t_hist", "test", nil)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(42.5) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(0.5) }); n != 0 {
+		t.Fatalf("Gauge.Add allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.03) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op, want 0", n)
+	}
+}
+
+func TestCounterGaugeValues(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "test")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "test")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "test", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 5.555; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.01"} 1`,
+		`h_seconds_bucket{le="0.1"} 2`,
+		`h_seconds_bucket{le="1"} 3`,
+		`h_seconds_bucket{le="+Inf"} 4`,
+		`h_seconds_sum 5.555`,
+		`h_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExpositionFormat checks the text format end to end: HELP/TYPE
+// headers once per family, labeled series under one header, collectors
+// appended, stable ordering.
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pond_requests_total", "Requests served.", "method", "get").Add(3)
+	r.Counter("pond_requests_total", "Requests served.", "method", "post").Add(1)
+	r.Gauge("pond_temp", "A gauge.").Set(36.6)
+	r.RegisterCollector(func(w *Writer) {
+		w.Family("pond_dyn", TypeGauge, "Dynamic per-run series.")
+		w.Value("pond_dyn", 1, "run", "r1")
+		w.Value("pond_dyn", 2, "run", "r2")
+	})
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	if strings.Count(out, "# HELP pond_requests_total") != 1 {
+		t.Fatalf("family header should appear once:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE pond_requests_total counter",
+		`pond_requests_total{method="get"} 3`,
+		`pond_requests_total{method="post"} 1`,
+		"pond_temp 36.6",
+		"# TYPE pond_dyn gauge",
+		`pond_dyn{run="r1"} 1`,
+		`pond_dyn{run="r2"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Two scrapes render identically (stable ordering).
+	var b2 strings.Builder
+	r.WritePrometheus(&b2)
+	if b2.String() != out {
+		t.Fatal("exposition not stable across scrapes")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	if got := renderLabels([]string{"k", `a"b\c` + "\n"}); got != `{k="a\"b\\c\n"}` {
+		t.Fatalf("escaped labels = %s", got)
+	}
+}
+
+func TestProcessCollector(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessCollector(r)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	for _, want := range []string{"pond_process_goroutines", "pond_process_heap_bytes", "pond_process_uptime_seconds"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("process collector missing %s:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "test")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "test")
+}
+
+// TestConcurrentScrapeAndIncrement exercises the lock-free instruments
+// under -race: scrapes interleave with increments from many goroutines.
+func TestConcurrentScrapeAndIncrement(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "test")
+	g := r.Gauge("race_gauge", "test")
+	h := r.Histogram("race_seconds", "test", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j) / 1000)
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		var b strings.Builder
+		r.WritePrometheus(&b)
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Fatalf("counter = %d, want 4000", c.Value())
+	}
+	if g.Value() != 4000 {
+		t.Fatalf("gauge = %g, want 4000", g.Value())
+	}
+	if h.Count() != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", h.Count())
+	}
+}

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+
+	"pond"
+	"pond/internal/obs"
+)
+
+// serverMetrics is the daemon's instrumentation: process-wide counters
+// and histograms registered once, plus a collector that walks the run
+// registry at scrape time and emits the per-run gauges. Everything here
+// observes the control plane only — the simulation below never sees it,
+// so metrics can never perturb a run's event log or report.
+type serverMetrics struct {
+	runsStarted  *obs.Counter
+	runsRestored *obs.Counter
+	runsEvicted  *obs.Counter
+	injections   *obs.Counter
+	checkpoints  *obs.Counter
+
+	checkpointBytes   *obs.Gauge
+	checkpointSeconds *obs.Histogram
+
+	// phaseSeconds times the engine phases across all runs; one fixed
+	// histogram per phase name keeps the label set static.
+	phaseSeconds map[string]*obs.Histogram
+}
+
+// enginePhases are the phase names FleetRun.SetPhaseHook reports.
+var enginePhases = []string{"advance", "retrain", "plan", "finish"}
+
+// initMetrics builds the registry and registers every family plus the
+// process and per-run collectors.
+func (s *Server) initMetrics() {
+	s.obs = obs.NewRegistry()
+	obs.RegisterProcessCollector(s.obs)
+	m := &serverMetrics{
+		runsStarted:       s.obs.Counter("pond_runs_started_total", "Runs started via POST /runs."),
+		runsRestored:      s.obs.Counter("pond_runs_restored_total", "Runs rebuilt from the checkpoint at startup."),
+		runsEvicted:       s.obs.Counter("pond_runs_evicted_total", "Terminal runs evicted by the retention policy."),
+		injections:        s.obs.Counter("pond_injections_total", "Live injections accepted via POST /runs/{id}/inject."),
+		checkpoints:       s.obs.Counter("pond_checkpoints_total", "Checkpoint files written."),
+		checkpointBytes:   s.obs.Gauge("pond_checkpoint_bytes", "Size of the last checkpoint file written."),
+		checkpointSeconds: s.obs.Histogram("pond_checkpoint_seconds", "Wall-clock latency of checkpoint writes.", obs.DefBuckets),
+		phaseSeconds:      map[string]*obs.Histogram{},
+	}
+	for _, ph := range enginePhases {
+		m.phaseSeconds[ph] = s.obs.Histogram("pond_phase_seconds", "Wall-clock engine phase durations across runs.", obs.DefBuckets, "phase", ph)
+	}
+	s.met = m
+	s.obs.RegisterCollector(s.collectRuns)
+}
+
+// instrument installs the engine phase hook on a live run: each phase's
+// wall-clock duration feeds the shared histograms and a structured span
+// log. The hook fires on the driver goroutine at safe points; "advance"
+// fires once per slice, so it logs at debug while the rarer barrier and
+// close-out phases log at info.
+func (s *Server) instrument(id string, fr *pond.FleetRun) {
+	fr.SetPhaseHook(func(phase string, atSec, seconds float64) {
+		if h := s.met.phaseSeconds[phase]; h != nil {
+			h.Observe(seconds)
+		}
+		if phase == "advance" {
+			s.log.Debug("phase", "id", id, "phase", phase, "t", atSec, "seconds", seconds)
+		} else {
+			s.log.Info("phase", "id", id, "phase", phase, "t", atSec, "seconds", seconds)
+		}
+	})
+}
+
+// collectRuns emits the per-run gauge families, one labelled series per
+// run, runs in ID order so scrapes are stable.
+func (s *Server) collectRuns(w *obs.Writer) {
+	s.mu.Lock()
+	runs := make([]*Run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	sort.Slice(runs, func(i, j int) bool { return runID(runs[i].ID) < runID(runs[j].ID) })
+	views := make([]gaugeView, len(runs))
+	for i, r := range runs {
+		views[i] = r.gauges()
+	}
+
+	emit := func(name, help string, val func(gaugeView) float64) {
+		w.Family(name, "gauge", help)
+		for _, v := range views {
+			w.Value(name, val(v), "run", v.id)
+		}
+	}
+	emit("pond_run_sim_time_seconds", "Simulated time the run has reached.", func(v gaugeView) float64 { return v.progress.NowSec })
+	emit("pond_run_horizon_seconds", "Simulated horizon of the run.", func(v gaugeView) float64 { return v.progress.DurationSec })
+	emit("pond_run_live_vms", "Placed, not-yet-departed VMs across the run's cells.", func(v gaugeView) float64 { return float64(v.progress.LiveVMs) })
+	emit("pond_run_pool_gb", "Active pool capacity summed across cells.", func(v gaugeView) float64 { return float64(v.progress.PoolGB) })
+	emit("pond_run_pool_used_gb", "Pool draw at the last accounting point, summed across cells.", func(v gaugeView) float64 { return v.progress.PoolUsedGB })
+	emit("pond_run_fallbacks", "Pool-exhaustion DRAM fallbacks so far.", func(v gaugeView) float64 { return float64(v.progress.Fallbacks) })
+	emit("pond_run_qos_violations", "Latency-band QoS violations so far.", func(v gaugeView) float64 { return float64(v.progress.QoSViolations) })
+	emit("pond_run_retrains", "Model retrains so far.", func(v gaugeView) float64 { return float64(v.progress.Retrains) })
+	emit("pond_run_rollbacks", "Model rollbacks so far.", func(v gaugeView) float64 { return float64(v.progress.Rollbacks) })
+	emit("pond_run_events", "Sequenced event-log lines buffered.", func(v gaugeView) float64 { return float64(v.events) })
+	emit("pond_run_event_stream_lag", "Buffered event lines not yet delivered to any streamer.", func(v gaugeView) float64 { return float64(v.lag) })
+	emit("pond_run_metrics_rows", "Buffered sim-time series rows.", func(v gaugeView) float64 { return float64(v.rows) })
+	emit("pond_run_state_age_seconds", "Wall-clock seconds since the run's last state change.", func(v gaugeView) float64 { return v.ageSec })
+
+	w.Family("pond_run_state", "gauge", "Run state as a one-hot series per state label.")
+	for _, v := range views {
+		for _, st := range []string{StateRunning, StateHolding, StateDone, StateFailed, StateParked} {
+			val := 0.0
+			if v.state == st {
+				val = 1
+			}
+			w.Value("pond_run_state", val, "run", v.id, "state", st)
+		}
+	}
+}
+
+// MetricsHandler serves the Prometheus text exposition — mounted at
+// GET /metrics on the API listener and, when configured, on the admin
+// listener next to pprof.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.obs.WritePrometheus(w)
+	})
+}

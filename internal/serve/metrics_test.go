@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pond"
+)
+
+// metricsOpts is tinyOpts with sim-time sampling on: 2 cells, 300s
+// horizon, a 50s cadence — 6 samples per cell, 12 rows total.
+func metricsOpts() map[string]any {
+	o := tinyOpts()
+	o["engine"] = map[string]any{"metrics_every_sec": 50}
+	return o
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+// runMetricsBody is the GET /runs/{id}/metrics response shape.
+type runMetricsBody struct {
+	Run  string            `json:"run"`
+	Rows []pond.MetricsRow `json:"rows"`
+}
+
+func getRunMetrics(t *testing.T, base, id string) runMetricsBody {
+	t.Helper()
+	status, body := getBody(t, base+"/runs/"+id+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("GET /runs/%s/metrics: status %d: %s", id, status, body)
+	}
+	var out runMetricsBody
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMetricsEndpointLiveGauges is the mid-run acceptance check:
+// /metrics serves per-run gauges while the run is in flight — here
+// paused at a hold, so the expected sim time is exact — and the
+// per-run series endpoint already carries sampled rows.
+func TestMetricsEndpointLiveGauges(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	status, body := getBody(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", status)
+	}
+	for _, want := range []string{
+		"# TYPE pond_runs_started_total counter",
+		"pond_runs_started_total 0",
+		"pond_process_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("initial /metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	resp := postJSON(t, ts.URL+"/runs", map[string]any{"opts": metricsOpts(), "hold_at_sec": []float64{150}})
+	snap := decodeSnapshot(t, resp)
+	waitState(t, ts.URL, snap.ID, StateHolding)
+
+	_, body = getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"pond_runs_started_total 1",
+		`pond_run_sim_time_seconds{run="r1"} 150`,
+		`pond_run_horizon_seconds{run="r1"} 300`,
+		`pond_run_state{run="r1",state="holding"} 1`,
+		`pond_run_state{run="r1",state="running"} 0`,
+		`pond_run_live_vms{run="r1"}`,
+		`pond_run_event_stream_lag{run="r1"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("mid-run /metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	mid := getRunMetrics(t, ts.URL, snap.ID)
+	if len(mid.Rows) == 0 {
+		t.Fatal("no sampled rows mid-run")
+	}
+	for _, row := range mid.Rows {
+		if row.TSec > 150 {
+			t.Fatalf("mid-run row at t=%g is past the hold at 150", row.TSec)
+		}
+	}
+
+	if resp := postJSON(t, ts.URL+"/runs/"+snap.ID+"/resume", map[string]any{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("resume: status %d", resp.StatusCode)
+	}
+	final := waitState(t, ts.URL, snap.ID, StateDone)
+	if final.MetricsRows != 12 {
+		t.Fatalf("snapshot reports %d metrics rows, want 12", final.MetricsRows)
+	}
+	if final.StateAgeSec < 0 {
+		t.Fatalf("negative state age %g", final.StateAgeSec)
+	}
+
+	done := getRunMetrics(t, ts.URL, snap.ID)
+	if len(done.Rows) != 12 {
+		t.Fatalf("final series has %d rows, want 12", len(done.Rows))
+	}
+	assertFullSeries(t, done.Rows, 2, 50, 300)
+}
+
+// assertFullSeries checks rows form the complete per-cell cadence
+// series: every cell sampled at every multiple of every up to horizon,
+// in drain order (time-ordered within each cell).
+func assertFullSeries(t *testing.T, rows []pond.MetricsRow, cells int, every, horizon float64) {
+	t.Helper()
+	next := make([]float64, cells)
+	for i := range next {
+		next[i] = every
+	}
+	for _, row := range rows {
+		if row.Cell < 0 || row.Cell >= cells {
+			t.Fatalf("row for unknown cell %d", row.Cell)
+		}
+		if row.TSec != next[row.Cell] {
+			t.Fatalf("cell %d sampled at t=%g, want %g (gap or duplicate)", row.Cell, row.TSec, next[row.Cell])
+		}
+		next[row.Cell] += every
+	}
+	for c, n := range next {
+		if n != horizon+every {
+			t.Fatalf("cell %d series ends before the horizon: next expected sample t=%g", c, n)
+		}
+	}
+}
+
+// TestRunMetricsFollowStreamsNDJSON covers the streaming form: follow
+// from mid-series and read rows as NDJSON until the run completes.
+func TestRunMetricsFollowStreamsNDJSON(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/runs", map[string]any{"opts": metricsOpts()})
+	snap := decodeSnapshot(t, resp)
+
+	stream, err := http.Get(ts.URL + "/runs/" + snap.ID + "/metrics?follow=1&from=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("follow content type %q", ct)
+	}
+	var got []MetricsRow
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		var row MetricsRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		got = append(got, row)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9 {
+		t.Fatalf("followed %d rows from seq 3, want 9 of 12", len(got))
+	}
+	for i, row := range got {
+		if row.Seq != 3+i {
+			t.Fatalf("row %d has seq %d, want %d", i, row.Seq, 3+i)
+		}
+	}
+	waitState(t, ts.URL, snap.ID, StateDone)
+}
+
+// TestRunMetricsSeriesSurvivesRestore is the checkpoint acceptance
+// check: park a mid-flight sampled run, restore it from the v2
+// checkpoint in a fresh server, and the completed series must replay in
+// full — drained rows from the checkpoint metrics buffer, undrained
+// ones from the simulator snapshot's rings, the rest sampled live.
+func TestRunMetricsSeriesSurvivesRestore(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "checkpoint.json")
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	s1, err := New(Config{StatePath: state, Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	resp := postJSON(t, ts1.URL+"/runs", map[string]any{"opts": metricsOpts(), "hold_at_sec": []float64{150}})
+	snap := decodeSnapshot(t, resp)
+	waitState(t, ts1.URL, snap.ID, StateHolding)
+	ts1.Close()
+	if err := s1.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{StatePath: state, Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		if err := s2.Shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+
+	// The run parked while holding, so it restores holding at t=150 with
+	// its pre-park rows already served.
+	mid := getRunMetrics(t, ts2.URL, snap.ID)
+	if len(mid.Rows) == 0 {
+		t.Fatal("restored run lost its pre-park series rows")
+	}
+	if resp := postJSON(t, ts2.URL+"/runs/"+snap.ID+"/resume", map[string]any{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("resume after restore: status %d", resp.StatusCode)
+	}
+	waitState(t, ts2.URL, snap.ID, StateDone)
+
+	done := getRunMetrics(t, ts2.URL, snap.ID)
+	if len(done.Rows) != 12 {
+		t.Fatalf("replayed series has %d rows, want 12", len(done.Rows))
+	}
+	assertFullSeries(t, done.Rows, 2, 50, 300)
+}
+
+// TestRetentionEvictsOldestTerminal covers the -retain-done policy:
+// with a cap of 1, finishing runs evict the oldest-finished terminal
+// runs, while runs that are still holding are never touched.
+func TestRetentionEvictsOldestTerminal(t *testing.T) {
+	s, err := New(Config{Log: slog.New(slog.NewTextHandler(io.Discard, nil)), RetainDone: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := s.Shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+
+	// A holding run must survive any amount of churn around it.
+	resp := postJSON(t, ts.URL+"/runs", map[string]any{"opts": tinyOpts(), "hold_at_sec": []float64{150}})
+	held := decodeSnapshot(t, resp)
+	waitState(t, ts.URL, held.ID, StateHolding)
+
+	var doneIDs []string
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, ts.URL+"/runs", map[string]any{"opts": tinyOpts()})
+		snap := decodeSnapshot(t, resp)
+		waitState(t, ts.URL, snap.ID, StateDone)
+		doneIDs = append(doneIDs, snap.ID)
+	}
+
+	// Eviction runs when each later run finishes; wait for it to settle.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if status, _ := getBody(t, ts.URL+"/runs/"+doneIDs[0]); status == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("oldest done run %s was never evicted", doneIDs[0])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if status, _ := getBody(t, ts.URL+"/runs/"+held.ID); status != http.StatusOK {
+		t.Fatalf("holding run %s was evicted", held.ID)
+	}
+	if status, _ := getBody(t, ts.URL+"/runs/"+doneIDs[2]); status != http.StatusOK {
+		t.Fatalf("newest done run %s should be retained", doneIDs[2])
+	}
+	_, body := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "pond_runs_evicted_total 2") {
+		t.Fatalf("/metrics missing eviction count:\n%s", body)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"pond"
 )
@@ -65,12 +66,37 @@ type Run struct {
 	events     []Event
 	report     *SnapshotReport
 	err        error
+
+	// metrics is the cumulative sim-time series drained from the run
+	// (empty unless the run's Engine.MetricsEverySec is set). Rows are
+	// observations only — dropping them could never change the event log
+	// — but they persist through checkpoints so GET /runs/{id}/metrics
+	// replays the full series after a restart.
+	metrics []pond.MetricsRow
+	// streamed is the highest event seq + 1 any events streamer has been
+	// handed; len(events) - streamed is the event-stream lag gauge.
+	streamed int
+	// stateSince stamps the last state transition; finishedAt is set once
+	// the run goes done or failed and orders retention eviction.
+	stateSince time.Time
+	finishedAt time.Time
 }
 
 func newRun(id string, fr *pond.FleetRun, holds []float64) *Run {
-	r := &Run{ID: id, fr: fr, horizon: fr.Progress().DurationSec, state: StateRunning, holds: holds}
+	r := &Run{ID: id, fr: fr, horizon: fr.Progress().DurationSec, state: StateRunning, holds: holds, stateSince: time.Now()}
 	r.cond = sync.NewCond(&r.mu)
 	return r
+}
+
+// setStateLocked transitions the run state, stamping the wall-clock
+// transition time and, for done/failed, the finish time retention
+// eviction orders by. Callers hold r.mu and broadcast themselves.
+func (r *Run) setStateLocked(st string) {
+	r.state = st
+	r.stateSince = time.Now()
+	if (st == StateDone || st == StateFailed) && r.finishedAt.IsZero() {
+		r.finishedAt = r.stateSince
+	}
 }
 
 // drive advances the run to completion on the caller's goroutine,
@@ -118,7 +144,7 @@ func (r *Run) drive(ctx context.Context, sliceSec float64) {
 		r.drainLocked()
 		if next == target && holding {
 			r.holds = r.holds[1:]
-			r.state = StateHolding
+			r.setStateLocked(StateHolding)
 			r.cond.Broadcast()
 			continue
 		}
@@ -135,7 +161,7 @@ func (r *Run) drive(ctx context.Context, sliceSec float64) {
 			r.drainLocked()
 			r.report = snapshotReport(rep)
 			r.progress = r.fr.Progress()
-			r.state = StateDone
+			r.setStateLocked(StateDone)
 			r.cond.Broadcast()
 			return
 		}
@@ -146,12 +172,15 @@ func (r *Run) drive(ctx context.Context, sliceSec float64) {
 }
 
 // drainLocked moves newly produced log lines into the sequenced event
-// buffer and wakes streamers. Callers hold r.mu.
+// buffer and sampled metrics rows into the series buffer, waking
+// streamers of both. Callers hold r.mu.
 func (r *Run) drainLocked() {
+	rows := r.fr.DrainMetrics()
 	evs := r.fr.DrainEvents()
-	if len(evs) == 0 {
+	if len(rows) == 0 && len(evs) == 0 {
 		return
 	}
+	r.metrics = append(r.metrics, rows...)
 	for _, e := range evs {
 		r.events = append(r.events, Event{Seq: len(r.events), Cell: e.Cell, Line: e.Line})
 	}
@@ -160,7 +189,7 @@ func (r *Run) drainLocked() {
 
 func (r *Run) fail(err error) {
 	r.err = err
-	r.state = StateFailed
+	r.setStateLocked(StateFailed)
 	r.cond.Broadcast()
 }
 
@@ -174,7 +203,7 @@ func (r *Run) parkLocked() {
 	if r.state == StateRunning || r.state == StateHolding {
 		r.parkedFrom = r.state
 	}
-	r.state = StateParked
+	r.setStateLocked(StateParked)
 	r.cond.Broadcast()
 }
 
@@ -207,7 +236,7 @@ func (r *Run) Resume() bool {
 	if r.state != StateHolding {
 		return false
 	}
-	r.state = StateRunning
+	r.setStateLocked(StateRunning)
 	r.cond.Broadcast()
 	return true
 }
@@ -242,17 +271,25 @@ func (r *Run) progressLocked() pond.FleetProgress {
 	return r.fr.Progress()
 }
 
-// Snapshot is the inspectable state GET /runs/{id} serves. Report
+// Snapshot is the inspectable state GET /runs/{id} serves — and, per
+// element, the GET /runs list, so the list carries each run's live
+// sim-time progress and state age without a second round trip. Report
 // fields are populated once the run is done.
 type Snapshot struct {
-	ID       string             `json:"id"`
-	State    string             `json:"state"`
-	Error    string             `json:"error,omitempty"`
-	Progress pond.FleetProgress `json:"progress"`
-	Events   int                `json:"events"`
-	HoldsAt  []float64          `json:"holds_at,omitempty"`
-	Config   pond.FleetOpts     `json:"config"`
-	Report   *SnapshotReport    `json:"report,omitempty"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// StateAgeSec is the wall-clock seconds since the last state
+	// transition — how long the run has been running/holding/terminal.
+	StateAgeSec float64            `json:"state_age_sec"`
+	Error       string             `json:"error,omitempty"`
+	Progress    pond.FleetProgress `json:"progress"`
+	Events      int                `json:"events"`
+	// MetricsRows counts the buffered sim-time series rows served by
+	// GET /runs/{id}/metrics (0 with sampling off).
+	MetricsRows int             `json:"metrics_rows,omitempty"`
+	HoldsAt     []float64       `json:"holds_at,omitempty"`
+	Config      pond.FleetOpts  `json:"config"`
+	Report      *SnapshotReport `json:"report,omitempty"`
 }
 
 // SnapshotReport is the served subset of the final report: the summary,
@@ -276,12 +313,14 @@ func (r *Run) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
-		ID:       r.ID,
-		State:    r.state,
-		Progress: r.progressLocked(),
-		Events:   len(r.events),
-		HoldsAt:  append([]float64(nil), r.holds...),
-		Config:   r.configLocked(),
+		ID:          r.ID,
+		State:       r.state,
+		StateAgeSec: time.Since(r.stateSince).Seconds(),
+		Progress:    r.progressLocked(),
+		Events:      len(r.events),
+		MetricsRows: len(r.metrics),
+		HoldsAt:     append([]float64(nil), r.holds...),
+		Config:      r.configLocked(),
 	}
 	if r.err != nil {
 		s.Error = r.err.Error()
@@ -325,12 +364,82 @@ func (r *Run) EventsFrom(ctx context.Context, from int) []Event {
 	defer r.mu.Unlock()
 	for {
 		if from < len(r.events) {
+			if len(r.events) > r.streamed {
+				r.streamed = len(r.events)
+			}
 			return append([]Event(nil), r.events[from:]...)
 		}
 		if r.terminalLocked() || ctx.Err() != nil {
 			return nil
 		}
 		r.cond.Wait()
+	}
+}
+
+// MetricsRow is one streamed sim-time series row with its buffer
+// position, so ?from=N resumes a dropped metrics stream the same way
+// event streams resume.
+type MetricsRow struct {
+	Seq int `json:"seq"`
+	pond.MetricsRow
+}
+
+// MetricsFrom returns the buffered sim-time series rows at positions
+// >= from, blocking like EventsFrom when the run is still producing.
+func (r *Run) MetricsFrom(ctx context.Context, from int) []MetricsRow {
+	stop := context.AfterFunc(ctx, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer stop()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if from < len(r.metrics) {
+			out := make([]MetricsRow, 0, len(r.metrics)-from)
+			for i := from; i < len(r.metrics); i++ {
+				out = append(out, MetricsRow{Seq: i, MetricsRow: r.metrics[i]})
+			}
+			return out
+		}
+		if r.terminalLocked() || ctx.Err() != nil {
+			return nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// Metrics returns a copy of the full buffered sim-time series.
+func (r *Run) Metrics() []pond.MetricsRow {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]pond.MetricsRow(nil), r.metrics...)
+}
+
+// gaugeView is the per-run state the /metrics collector scrapes: one
+// consistent read under the run lock, cheap enough for a scrape path.
+type gaugeView struct {
+	id       string
+	state    string
+	ageSec   float64
+	progress pond.FleetProgress
+	events   int
+	lag      int
+	rows     int
+}
+
+func (r *Run) gauges() gaugeView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return gaugeView{
+		id:       r.ID,
+		state:    r.state,
+		ageSec:   time.Since(r.stateSince).Seconds(),
+		progress: r.progressLocked(),
+		events:   len(r.events),
+		lag:      len(r.events) - r.streamed,
+		rows:     len(r.metrics),
 	}
 }
 

@@ -14,8 +14,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"pond"
+	"pond/internal/obs"
 )
 
 // Config configures a Server.
@@ -29,6 +31,14 @@ type Config struct {
 	SliceSec float64
 	// Log receives the daemon's structured logs; nil discards them.
 	Log *slog.Logger
+	// RetainDone caps how many terminal (done or failed) runs the
+	// registry keeps: when exceeded, the oldest-finished are evicted.
+	// 0 keeps every run. Mid-flight and parked runs are never evicted.
+	RetainDone int
+	// RetainAge evicts terminal runs whose finish is older than this;
+	// 0 disables age-based eviction. Checked when runs finish and start,
+	// not on a timer.
+	RetainAge time.Duration
 }
 
 // Server owns the run registry and implements the pondserve HTTP API:
@@ -48,6 +58,9 @@ type Server struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	obs *obs.Registry
+	met *serverMetrics
+
 	mu     sync.Mutex
 	runs   map[string]*Run
 	nextID int
@@ -63,6 +76,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{cfg: cfg, log: cfg.Log, ctx: ctx, cancel: cancel, runs: make(map[string]*Run)}
+	s.initMetrics()
 	if cfg.StatePath != "" {
 		if err := s.restore(cfg.StatePath); err != nil {
 			cancel()
@@ -82,6 +96,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /runs/{id}/inject", s.handleInject)
 	mux.HandleFunc("POST /runs/{id}/resume", s.handleResume)
 	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /runs/{id}/metrics", s.handleRunMetrics)
+	mux.Handle("GET /metrics", s.MetricsHandler())
 	return mux
 }
 
@@ -138,6 +154,9 @@ func (s *Server) startRun(opts pond.FleetOpts, holds []float64) (*Run, error) {
 	s.runs[id] = r
 	s.mu.Unlock()
 
+	s.instrument(id, fr)
+	s.met.runsStarted.Inc()
+	s.evict()
 	s.launch(r, horizon)
 	s.log.Info("run started", "id", id, "holds", holds)
 	return r, nil
@@ -155,6 +174,7 @@ func (s *Server) launch(r *Run, horizon float64) {
 		r.drive(s.ctx, slice)
 		snap := r.Snapshot()
 		s.log.Info("run finished", "id", r.ID, "state", snap.State, "events", snap.Events)
+		s.evict()
 	}()
 }
 
@@ -295,6 +315,7 @@ func (s *Server) handleInject(w http.ResponseWriter, req *http.Request) {
 		writeError(w, status, "inject: %v", err)
 		return
 	}
+	s.met.injections.Inc()
 	s.log.Info("injection scheduled", "id", r.ID, "injection", body.Injection.String())
 	writeJSON(w, http.StatusOK, r.Snapshot())
 }
@@ -352,6 +373,126 @@ func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
+// handleRunMetrics serves the run's buffered sim-time series (empty
+// unless the run was started with engine.metrics_every_sec > 0). The
+// default response is one JSON object with the full series; ?follow=1
+// streams rows as NDJSON, following the run live until it completes,
+// with ?from=N resuming after the row at buffer position N-1.
+func (s *Server) handleRunMetrics(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.run(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	q := req.URL.Query()
+	from := 0
+	if v := q.Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad from=%q: want a row index >= 0", v)
+			return
+		}
+		from = n
+	}
+	if q.Get("follow") == "" {
+		rows := r.Metrics()
+		if from > len(rows) {
+			from = len(rows)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"run":  r.ID,
+			"rows": rows[from:],
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for {
+		rows := r.MetricsFrom(req.Context(), from)
+		if len(rows) == 0 {
+			return
+		}
+		for _, e := range rows {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		from = rows[len(rows)-1].Seq + 1
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// evict applies the retention policy: with RetainDone set, at most that
+// many terminal (done or failed) runs survive, oldest finish evicted
+// first; with RetainAge set, terminal runs older than the age go
+// regardless of count. Mid-flight, holding, and parked runs are never
+// touched — parked runs carry resume state the next process needs.
+// Called when a run starts and when one finishes; never on a timer.
+func (s *Server) evict() {
+	if s.cfg.RetainDone <= 0 && s.cfg.RetainAge <= 0 {
+		return
+	}
+	s.mu.Lock()
+	runs := make([]*Run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+
+	type done struct {
+		r  *Run
+		at time.Time
+	}
+	var terminal []done
+	for _, r := range runs {
+		r.mu.Lock()
+		if (r.state == StateDone || r.state == StateFailed) && !r.finishedAt.IsZero() {
+			terminal = append(terminal, done{r: r, at: r.finishedAt})
+		}
+		r.mu.Unlock()
+	}
+	sort.Slice(terminal, func(i, j int) bool {
+		if !terminal[i].at.Equal(terminal[j].at) {
+			return terminal[i].at.Before(terminal[j].at)
+		}
+		return runID(terminal[i].r.ID) < runID(terminal[j].r.ID)
+	})
+	var victims []*Run
+	keep := len(terminal)
+	if s.cfg.RetainDone > 0 && keep > s.cfg.RetainDone {
+		for _, d := range terminal[:keep-s.cfg.RetainDone] {
+			victims = append(victims, d.r)
+		}
+		terminal = terminal[keep-s.cfg.RetainDone:]
+	}
+	if s.cfg.RetainAge > 0 {
+		for _, d := range terminal {
+			if time.Since(d.at) > s.cfg.RetainAge {
+				victims = append(victims, d.r)
+			}
+		}
+	}
+	if len(victims) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, v := range victims {
+		// Terminal states never transition back, so the re-check under
+		// s.mu only guards against a concurrent evict already deleting it.
+		if _, ok := s.runs[v.ID]; ok {
+			delete(s.runs, v.ID)
+			s.met.runsEvicted.Inc()
+			s.log.Info("run evicted", "id", v.ID, "state", v.state)
+		}
+	}
+	s.mu.Unlock()
+}
+
 // checkpointVersion is the current state-file format. Version 2 embeds
 // each run's full simulator snapshot, replay buffer, and remaining hold
 // points, so a restart resumes runs from their parked safe points.
@@ -380,6 +521,7 @@ type checkpointRun struct {
 	State    string              `json:"state,omitempty"`
 	HoldsAt  []float64           `json:"holds_at,omitempty"`
 	Events   []Event             `json:"events,omitempty"`
+	Metrics  []pond.MetricsRow   `json:"metrics,omitempty"`
 	Snapshot *pond.FleetSnapshot `json:"snapshot,omitempty"`
 	Report   *SnapshotReport     `json:"report,omitempty"`
 	Error    string              `json:"error,omitempty"`
@@ -399,6 +541,7 @@ func (r *Run) checkpointState() (checkpointRun, error) {
 		State:   r.state,
 		HoldsAt: append([]float64(nil), r.holds...),
 		Events:  append([]Event(nil), r.events...),
+		Metrics: append([]pond.MetricsRow(nil), r.metrics...),
 	}
 	if r.state == StateParked && r.parkedFrom != "" {
 		cr.State = r.parkedFrom
@@ -428,6 +571,7 @@ func (r *Run) checkpointState() (checkpointRun, error) {
 // the v2 resume state — simulator snapshots for mid-flight runs, final
 // reports for terminal ones.
 func (s *Server) checkpoint(path string) error {
+	t0 := time.Now()
 	s.mu.Lock()
 	ck := checkpointFile{Version: checkpointVersion, NextID: s.nextID}
 	runs := make([]*Run, 0, len(s.runs))
@@ -454,7 +598,11 @@ func (s *Server) checkpoint(path string) error {
 	if err := os.Rename(tmp, path); err != nil {
 		return err
 	}
-	s.log.Info("checkpoint written", "path", path, "runs", len(ck.Runs))
+	secs := time.Since(t0).Seconds()
+	s.met.checkpoints.Inc()
+	s.met.checkpointBytes.Set(float64(len(data) + 1))
+	s.met.checkpointSeconds.Observe(secs)
+	s.log.Info("checkpoint written", "path", path, "runs", len(ck.Runs), "bytes", len(data)+1, "seconds", secs)
 	return nil
 }
 
@@ -497,11 +645,17 @@ func (s *Server) restore(path string) error {
 func (s *Server) restoreRun(cr checkpointRun) error {
 	if cr.State == StateDone || cr.State == StateFailed {
 		r := &Run{
-			ID:     cr.ID,
-			state:  cr.State,
-			config: cr.Opts,
-			events: cr.Events,
-			report: cr.Report,
+			ID:      cr.ID,
+			state:   cr.State,
+			config:  cr.Opts,
+			events:  cr.Events,
+			metrics: cr.Metrics,
+			report:  cr.Report,
+			// The original finish time is not persisted; ageing restored
+			// terminal runs from the restore instead of evicting them
+			// immediately errs on the side of keeping data.
+			stateSince: time.Now(),
+			finishedAt: time.Now(),
 		}
 		if cr.Progress != nil {
 			r.progress = *cr.Progress
@@ -511,6 +665,7 @@ func (s *Server) restoreRun(cr checkpointRun) error {
 		}
 		r.cond = sync.NewCond(&r.mu)
 		s.runs[cr.ID] = r
+		s.met.runsRestored.Inc()
 		s.log.Info("run restored", "id", cr.ID, "state", cr.State)
 		return nil
 	}
@@ -532,11 +687,17 @@ func (s *Server) restoreRun(cr checkpointRun) error {
 	fr.SetCompactDrained(true)
 	r := newRun(cr.ID, fr, append([]float64(nil), cr.HoldsAt...))
 	r.events = cr.Events
+	r.metrics = cr.Metrics
 	if cr.State == StateHolding {
 		r.state = StateHolding
 	}
 	s.runs[cr.ID] = r
+	s.instrument(cr.ID, fr)
+	s.met.runsRestored.Inc()
+	// Read the resume point before launch: once the driver goroutine is
+	// running, the simulator belongs to it.
+	at := fr.Now()
 	s.launch(r, fr.Progress().DurationSec)
-	s.log.Info("run restored", "id", cr.ID, "state", r.state, "t", fr.Now())
+	s.log.Info("run restored", "id", cr.ID, "state", r.state, "t", at)
 	return nil
 }

@@ -97,6 +97,12 @@ type EngineOpts struct {
 	Workers int `json:"workers,omitempty"`
 	// Seed roots every cell's RNG stream (0 means the default seed).
 	Seed int64 `json:"seed,omitempty"`
+	// MetricsEverySec > 0 samples each cell's sim-time metrics series
+	// (live VMs, pool use, queue depth, prediction error) at this cadence
+	// in simulated seconds, drained via FleetRun.DrainMetrics. Sampling
+	// only reads simulation state: the event log and report are
+	// byte-identical with it on or off. 0 disables sampling.
+	MetricsEverySec float64 `json:"metrics_every_sec,omitempty"`
 }
 
 // FleetOpts configures RunFleet and StartFleet. Configuration lives in
@@ -215,6 +221,7 @@ func DefaultNotes() []DefaultNote {
 		{"Capacity.PlanEverySec", "0 means an eighth of Cluster.DurationSec; elastic pool only."},
 		{"Capacity.TargetQoS", "0 means 0.01; elastic pool only."},
 		{"Engine.Workers", "0 means GOMAXPROCS; never changes results."},
+		{"Engine.MetricsEverySec", "0 disables sim-time metrics sampling; any value never changes results."},
 	}
 }
 
@@ -391,6 +398,7 @@ func (o FleetOpts) fleetOptions() (fleet.Options, error) {
 		TargetQoS:       r.Capacity.TargetQoS,
 		Workers:         r.Engine.Workers,
 		Seed:            r.Engine.Seed,
+		MetricsEverySec: r.Engine.MetricsEverySec,
 	}, nil
 }
 

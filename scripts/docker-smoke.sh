@@ -10,6 +10,14 @@
 # come back holding at the same simulated second (restored from its
 # snapshot, not re-simulated), resume, and finish with the identical
 # hash.
+#
+# The observability assertions ride the same runs: the served runs
+# sample a sim-time series (engine.metrics_every_sec) while the CLI
+# comparison run does not, so the hash equalities double as the
+# metrics-on/off determinism proof across the container boundary.
+# /metrics must serve live per-run gauges mid-run, the series must
+# replay in full after the checkpoint restore, and the pprof surface
+# must NOT exist on the API listener (it is opt-in via -admin-addr).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -78,8 +86,11 @@ OPTS='{
   "cluster": {"hosts": 4, "emcs": 4, "pool_gb": 64, "cells": 2, "duration_sec": 300},
   "arrival": {"process": "poisson", "rate_per_sec": 0.1, "mean_lifetime_sec": 150},
   "model": {"disabled": true},
+  "engine": {"metrics_every_sec": 50},
   "injections": ["emc-fail@t=150:emc=1"]
 }'
+# 2 cells x 6 samples (50s cadence over 300s) = the full series size.
+EXPECT_ROWS=12
 RUN_ID=$(curl -fsS -X POST "$BASE/runs" -d "{\"opts\": $OPTS}" | jq -r .id)
 [ -n "$RUN_ID" ] && [ "$RUN_ID" != null ] || { echo "no run id returned"; exit 1; }
 
@@ -107,6 +118,21 @@ HOLD_ID=$(curl -fsS -X POST "$BASE/runs" -d "{\"opts\": $OPTS, \"hold_at_sec\": 
 [ -n "$HOLD_ID" ] && [ "$HOLD_ID" != null ] || { echo "no run id returned"; exit 1; }
 wait_state "$HOLD_ID" holding
 
+echo "==> observability: /metrics serves live per-run gauges mid-run"
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -q "pond_run_sim_time_seconds{run=\"$HOLD_ID\"} 100" \
+    || { echo "/metrics missing the held run's sim-time gauge at t=100"; echo "$METRICS" | grep pond_run_sim_time || true; exit 1; }
+echo "$METRICS" | grep -q "pond_run_state{run=\"$HOLD_ID\",state=\"holding\"} 1" \
+    || { echo "/metrics missing the held run's state gauge"; exit 1; }
+echo "$METRICS" | grep -q "pond_runs_started_total 2" \
+    || { echo "/metrics runs-started counter wrong"; exit 1; }
+MID_ROWS=$(curl -fsS "$BASE/runs/${HOLD_ID}/metrics" | jq '.rows | length')
+[ "$MID_ROWS" -gt 0 ] || { echo "no sim-time series rows mid-run"; exit 1; }
+
+echo "==> observability: pprof must be absent without -admin-addr"
+PPROF_CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/debug/pprof/")
+[ "$PPROF_CODE" = 404 ] || { echo "pprof answered $PPROF_CODE on the API listener; it must be admin-only"; exit 1; }
+
 docker stop -t 30 "$NAME" >/dev/null
 
 echo "==> restarting container; run must restore from its snapshot"
@@ -132,4 +158,8 @@ echo "    restored served:   $RESTORED_SHA (restore ${RESTORE_SECS}s)"
 echo "    restored streamed: $RESTORED_STREAM_SHA"
 [ "$RESTORED_SHA" = "$CLI_SHA" ] || { echo "restored run does not match the uninterrupted CLI run"; exit 1; }
 [ "$RESTORED_STREAM_SHA" = "$CLI_SHA" ] || { echo "restored stream (across the restart) does not reassemble to the CLI hash"; exit 1; }
+
+echo "==> observability: full series replays after the checkpoint restore"
+FINAL_ROWS=$(curl -fsS "$BASE/runs/${HOLD_ID}/metrics" | jq '.rows | length')
+[ "$FINAL_ROWS" = "$EXPECT_ROWS" ] || { echo "replayed series has $FINAL_ROWS rows, want $EXPECT_ROWS"; exit 1; }
 echo "==> docker smoke passed"
